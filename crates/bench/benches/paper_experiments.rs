@@ -1,0 +1,187 @@
+//! Criterion benches: one group per paper table/figure. Each group runs a
+//! reduced version of the corresponding experiment (small traces) so that
+//! `cargo bench` regenerates every result with statistical timing, while
+//! the `src/bin/*` binaries produce the full-size tables.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+use windserve::{Parallelism, ServeConfig, SystemKind};
+use windserve_bench::experiments::fig8;
+use windserve_bench::run_point;
+use windserve_gpu::GpuSpec;
+use windserve_model::{CostModel, ModelSpec};
+use windserve_workload::{ArrivalProcess, Dataset, Trace};
+
+const N: usize = 200;
+
+fn configure(c: &mut Criterion) -> &mut Criterion {
+    c
+}
+
+fn bench_point(
+    c: &mut Criterion,
+    group: &str,
+    id: &str,
+    cfg: fn() -> ServeConfig,
+    dataset: fn() -> Dataset,
+    rate: f64,
+) {
+    let mut g = c.benchmark_group(group);
+    g.sample_size(10).measurement_time(Duration::from_secs(2));
+    let ds = dataset();
+    g.bench_function(BenchmarkId::from_parameter(id), |b| {
+        b.iter(|| run_point(cfg(), &ds, rate, N, 0xB))
+    });
+    g.finish();
+}
+
+fn fig1_motivation(c: &mut Criterion) {
+    bench_point(
+        configure(c),
+        "fig1_motivation",
+        "distserve_opt13b_r4",
+        || ServeConfig::opt_13b_sharegpt(SystemKind::DistServe),
+        || Dataset::sharegpt(2048),
+        4.0,
+    );
+}
+
+fn fig2_utilization(c: &mut Criterion) {
+    bench_point(
+        c,
+        "fig2_utilization",
+        "distserve_opt13b_r3",
+        || ServeConfig::opt_13b_sharegpt(SystemKind::DistServe),
+        || Dataset::sharegpt(2048),
+        3.0,
+    );
+}
+
+fn fig3_placement(c: &mut Criterion) {
+    bench_point(
+        c,
+        "fig3_placement",
+        "tp2_tp1_r4",
+        || {
+            let mut cfg = ServeConfig::opt_13b_sharegpt(SystemKind::DistServe);
+            cfg.decode_parallelism = Parallelism::tp(1);
+            cfg
+        },
+        || Dataset::sharegpt(2048),
+        4.0,
+    );
+}
+
+fn fig5_threshold(c: &mut Criterion) {
+    bench_point(
+        c,
+        "fig5_threshold",
+        "windserve_thrd_default",
+        || ServeConfig::opt_13b_sharegpt(SystemKind::WindServe),
+        || Dataset::sharegpt(2048),
+        4.0,
+    );
+}
+
+fn fig8_sbd(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig8_sbd_microbench");
+    g.sample_size(20);
+    g.bench_function("all_models_analytic", |b| b.iter(fig8::measure));
+    g.finish();
+}
+
+fn fig10_end_to_end(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig10_end_to_end");
+    g.sample_size(10).measurement_time(Duration::from_secs(3));
+    let sharegpt = Dataset::sharegpt(2048);
+    for system in [
+        SystemKind::WindServe,
+        SystemKind::DistServe,
+        SystemKind::VllmColocated,
+    ] {
+        g.bench_function(BenchmarkId::from_parameter(system.label()), |b| {
+            b.iter(|| {
+                run_point(
+                    ServeConfig::opt_13b_sharegpt(system),
+                    &sharegpt,
+                    4.0,
+                    N,
+                    0xB,
+                )
+            })
+        });
+    }
+    g.finish();
+}
+
+fn fig11_slo(c: &mut Criterion) {
+    bench_point(
+        c,
+        "fig11_slo",
+        "windserve_opt66b_r05",
+        || ServeConfig::opt_66b_sharegpt(SystemKind::WindServe),
+        || Dataset::sharegpt(2048),
+        0.5,
+    );
+}
+
+fn fig12_bottleneck(c: &mut Criterion) {
+    bench_point(
+        c,
+        "fig12_bottleneck",
+        "windserve_tp2_tp1_r3",
+        || {
+            let mut cfg = ServeConfig::opt_13b_sharegpt(SystemKind::WindServe);
+            cfg.decode_parallelism = Parallelism::tp(1);
+            cfg
+        },
+        || Dataset::sharegpt(2048),
+        3.0,
+    );
+}
+
+fn fig13_ablation(c: &mut Criterion) {
+    bench_point(
+        c,
+        "fig13_ablation",
+        "no_split_longbench_r3",
+        || ServeConfig::opt_13b_sharegpt(SystemKind::WindServeNoSplit),
+        || Dataset::longbench(2048),
+        3.0,
+    );
+}
+
+fn table1_cost_model(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table1_cost_model");
+    g.sample_size(20);
+    let cost =
+        CostModel::new(ModelSpec::opt_13b(), GpuSpec::a800_80gb(), Parallelism::tp(2)).unwrap();
+    g.bench_function("profiler_fit", |b| b.iter(|| windserve::Profiler::fit(&cost)));
+    g.finish();
+}
+
+fn table2_datasets(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table2_datasets");
+    g.sample_size(20);
+    let ds = Dataset::sharegpt(2048);
+    g.bench_function("trace_generation_10k", |b| {
+        b.iter(|| Trace::generate(&ds, &ArrivalProcess::poisson(10.0), 10_000, 7))
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    fig1_motivation,
+    fig2_utilization,
+    fig3_placement,
+    fig5_threshold,
+    fig8_sbd,
+    fig10_end_to_end,
+    fig11_slo,
+    fig12_bottleneck,
+    fig13_ablation,
+    table1_cost_model,
+    table2_datasets
+);
+criterion_main!(benches);

@@ -1,0 +1,80 @@
+//! Criterion microbenches of the substrate crates: the hot paths a serving
+//! simulation exercises millions of times per run.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use windserve_gpu::{GpuSpec, KernelCost, StreamSharing};
+use windserve_kvcache::BlockManager;
+use windserve_model::{BatchPlan, CostModel, ModelSpec, Parallelism};
+use windserve_sim::{EventQueue, SimRng, SimTime};
+
+fn event_queue(c: &mut Criterion) {
+    let mut g = c.benchmark_group("event_queue");
+    for n in [1_000u64, 100_000] {
+        g.bench_function(BenchmarkId::new("schedule_pop", n), |b| {
+            b.iter(|| {
+                let mut q = EventQueue::new();
+                let mut rng = SimRng::seed_from_u64(1);
+                for i in 0..n {
+                    q.schedule(SimTime::from_micros(rng.next_u64_pub() % 1_000_000), i);
+                }
+                while q.pop().is_some() {}
+            })
+        });
+    }
+    g.finish();
+}
+
+fn block_manager(c: &mut Criterion) {
+    let mut g = c.benchmark_group("block_manager");
+    g.bench_function("alloc_grow_release_1k_seqs", |b| {
+        b.iter(|| {
+            let mut mgr = BlockManager::new(100_000, 16);
+            for key in 0..1_000u64 {
+                mgr.allocate(key, 700).unwrap();
+            }
+            for _ in 0..64 {
+                for key in 0..1_000u64 {
+                    mgr.append_tokens(key, 1).unwrap();
+                }
+            }
+            for key in 0..1_000u64 {
+                mgr.release(key);
+            }
+        })
+    });
+    g.finish();
+}
+
+fn cost_model(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cost_model");
+    let cost =
+        CostModel::new(ModelSpec::opt_13b(), GpuSpec::a800_80gb(), Parallelism::tp(2)).unwrap();
+    let plan = BatchPlan::decode_only(vec![900; 64]);
+    g.bench_function("decode_batch_64", |b| b.iter(|| cost.step_time(&plan)));
+    let prefill = BatchPlan::single_prefill(2048);
+    g.bench_function("prefill_2048", |b| b.iter(|| cost.step_time(&prefill)));
+    g.finish();
+}
+
+fn stream_sharing(c: &mut Criterion) {
+    let mut g = c.benchmark_group("stream_sharing");
+    let sharing = StreamSharing::default();
+    let kd = KernelCost::new(0.0015, 0.013);
+    let kp = KernelCost::new(0.060, 0.007);
+    g.bench_function("slowdown_pair", |b| b.iter(|| sharing.slowdown_pair(kd, kp)));
+    g.finish();
+}
+
+/// Expose `next_u64` for the bench without importing RngCore at call sites.
+trait NextU64Pub {
+    fn next_u64_pub(&mut self) -> u64;
+}
+impl NextU64Pub for SimRng {
+    fn next_u64_pub(&mut self) -> u64 {
+        use rand::RngCore;
+        self.next_u64()
+    }
+}
+
+criterion_group!(benches, event_queue, block_manager, cost_model, stream_sharing);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Runs every paper experiment in sequence (use --quick for a fast pass).
+use serde_json::json;
+use windserve_bench::{experiments, ExpContext};
+
+/// An experiment entry: name + runner.
+type Experiment = (&'static str, fn(&ExpContext) -> serde_json::Value);
+
+fn main() {
+    let ctx = ExpContext::from_args();
+    let runs: Vec<Experiment> = vec![
+        ("table1_cost_model", experiments::table1::run),
+        ("table2_datasets", experiments::table2::run),
+        ("fig1_motivation", experiments::fig1::run),
+        ("fig2_utilization", experiments::fig2::run),
+        ("fig3_placement", experiments::fig3::run),
+        ("fig5_threshold", experiments::fig5::run),
+        ("fig8_sbd_microbench", experiments::fig8::run),
+        ("fig10_end_to_end", experiments::e2e::run_fig10),
+        ("fig11_slo", experiments::e2e::run_fig11),
+        ("fig12_bottleneck", experiments::fig12::run),
+        ("fig13_ablation", experiments::fig13::run),
+        ("extras", experiments::extras::run),
+    ];
+    let mut all = serde_json::Map::new();
+    for (name, f) in runs {
+        println!("\n######## {name} ########");
+        let data = f(&ctx);
+        ctx.emit(name, &data);
+        all.insert(name.to_string(), data);
+    }
+    ctx.emit("all_experiments", &json!(all));
+}

@@ -1,0 +1,9 @@
+//! Extension studies: heterogeneous GPUs, multi-node, replica scaling,
+//! victim policy, bursty arrivals (paper §7 future work + design ablations).
+use windserve_bench::{experiments, ExpContext};
+
+fn main() {
+    let ctx = ExpContext::from_args();
+    let data = experiments::extras::run(&ctx);
+    ctx.emit("extras", &data);
+}

@@ -1,0 +1,8 @@
+//! Fig. 10: end-to-end TTFT/TPOT latency curves.
+use windserve_bench::{experiments, ExpContext};
+
+fn main() {
+    let ctx = ExpContext::from_args();
+    let data = experiments::e2e::run_fig10(&ctx);
+    ctx.emit("fig10_end_to_end", &data);
+}

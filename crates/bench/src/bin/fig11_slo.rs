@@ -1,0 +1,8 @@
+//! Fig. 11: SLO attainment curves.
+use windserve_bench::{experiments, ExpContext};
+
+fn main() {
+    let ctx = ExpContext::from_args();
+    let data = experiments::e2e::run_fig11(&ctx);
+    ctx.emit("fig11_slo", &data);
+}

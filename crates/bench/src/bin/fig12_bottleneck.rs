@@ -1,0 +1,8 @@
+//! Fig. 12: bottleneck-aware ability across placements.
+use windserve_bench::{experiments, ExpContext};
+
+fn main() {
+    let ctx = ExpContext::from_args();
+    let data = experiments::fig12::run(&ctx);
+    ctx.emit("fig12_bottleneck", &data);
+}

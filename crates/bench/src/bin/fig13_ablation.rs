@@ -1,0 +1,8 @@
+//! Fig. 13: ablations (no-split, no-resche).
+use windserve_bench::{experiments, ExpContext};
+
+fn main() {
+    let ctx = ExpContext::from_args();
+    let data = experiments::fig13::run(&ctx);
+    ctx.emit("fig13_ablation", &data);
+}

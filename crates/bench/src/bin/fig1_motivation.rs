@@ -1,0 +1,8 @@
+//! Fig. 1: TPOT/TTFT degradation of static systems under load.
+use windserve_bench::{experiments, ExpContext};
+
+fn main() {
+    let ctx = ExpContext::from_args();
+    let data = experiments::fig1::run(&ctx);
+    ctx.emit("fig1_motivation", &data);
+}

@@ -1,0 +1,8 @@
+//! Fig. 2: prefill vs decode instance resource utilization.
+use windserve_bench::{experiments, ExpContext};
+
+fn main() {
+    let ctx = ExpContext::from_args();
+    let data = experiments::fig2::run(&ctx);
+    ctx.emit("fig2_utilization", &data);
+}

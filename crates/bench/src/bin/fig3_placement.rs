@@ -1,0 +1,8 @@
+//! Fig. 3: queueing delays across static placements.
+use windserve_bench::{experiments, ExpContext};
+
+fn main() {
+    let ctx = ExpContext::from_args();
+    let data = experiments::fig3::run(&ctx);
+    ctx.emit("fig3_placement", &data);
+}

@@ -1,0 +1,8 @@
+//! Fig. 5: dispatch-threshold sensitivity.
+use windserve_bench::{experiments, ExpContext};
+
+fn main() {
+    let ctx = ExpContext::from_args();
+    let data = experiments::fig5::run(&ctx);
+    ctx.emit("fig5_threshold", &data);
+}

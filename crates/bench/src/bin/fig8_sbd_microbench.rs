@@ -1,0 +1,8 @@
+//! Fig. 8: Regular vs stream-based disaggregation microbench.
+use windserve_bench::{experiments, ExpContext};
+
+fn main() {
+    let ctx = ExpContext::from_args();
+    let data = experiments::fig8::run(&ctx);
+    ctx.emit("fig8_sbd_microbench", &data);
+}

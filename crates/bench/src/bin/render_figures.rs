@@ -1,0 +1,228 @@
+//! Renders the experiment JSONs under `results/` into SVG figures under
+//! `figs/` — run `all_experiments` first (or any individual experiment).
+//!
+//! ```sh
+//! cargo run -p windserve-bench --release --bin all_experiments
+//! cargo run -p windserve-bench --release --bin render_figures
+//! ```
+
+use serde_json::Value;
+use std::fs;
+use std::path::{Path, PathBuf};
+use windserve_bench::{BarChart, LineChart};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let results = dir_flag(&args, "--results", "results");
+    let out = dir_flag(&args, "--out", "figs");
+    if let Err(e) = fs::create_dir_all(&out) {
+        eprintln!("cannot create {}: {e}", out.display());
+        std::process::exit(1);
+    }
+    let mut rendered = 0;
+    rendered += fig10(&results, &out);
+    rendered += fig11(&results, &out);
+    rendered += fig13(&results, &out);
+    rendered += fig5(&results, &out);
+    rendered += fig8(&results, &out);
+    if rendered == 0 {
+        eprintln!(
+            "no figures rendered — run `cargo run -p windserve-bench --release --bin all_experiments` first"
+        );
+        std::process::exit(1);
+    }
+    println!("{rendered} figures written to {}", out.display());
+}
+
+fn dir_flag(args: &[String], flag: &str, default: &str) -> PathBuf {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from(default))
+}
+
+fn load(results: &Path, name: &str) -> Option<Value> {
+    let text = fs::read_to_string(results.join(format!("{name}.json"))).ok()?;
+    serde_json::from_str(&text).ok()
+}
+
+fn write_svg(out: &Path, name: &str, svg: &str) -> usize {
+    match fs::write(out.join(format!("{name}.svg")), svg) {
+        Ok(()) => 1,
+        Err(e) => {
+            eprintln!("cannot write {name}.svg: {e}");
+            0
+        }
+    }
+}
+
+/// Per-case, per-system line series from the e2e sweep JSON.
+fn sweep_series(case: &Value, metric: &str) -> Vec<(String, Vec<(f64, f64)>)> {
+    let mut by_system: Vec<(String, Vec<(f64, f64)>)> = Vec::new();
+    for point in case.as_array().into_iter().flatten() {
+        let system = point["system"].as_str().unwrap_or("?").to_string();
+        let x = point["rate_per_gpu"].as_f64().unwrap_or(0.0);
+        let y = point[metric].as_f64().unwrap_or(0.0);
+        match by_system.iter_mut().find(|(s, _)| *s == system) {
+            Some((_, pts)) => pts.push((x, y)),
+            None => by_system.push((system, vec![(x, y)])),
+        }
+    }
+    by_system
+}
+
+fn fig10(results: &Path, out: &Path) -> usize {
+    let Some(data) = load(results, "fig10_end_to_end") else {
+        return 0;
+    };
+    let mut n = 0;
+    for (case, values) in data.as_object().into_iter().flatten() {
+        let slug = case.to_ascii_lowercase().replace([' ', '/'], "_").replace("__", "_");
+        for (metric, label, log) in [
+            ("ttft_p50", "TTFT median (s)", true),
+            ("tpot_p99", "TPOT p99 (s)", false),
+        ] {
+            let mut chart = LineChart::new(
+                &format!("Fig 10: {case} — {label}"),
+                "req/s per GPU",
+                label,
+            );
+            if log {
+                chart.log_y();
+            }
+            for (system, points) in sweep_series(values, metric) {
+                chart.add_series(&system, points);
+            }
+            n += write_svg(out, &format!("fig10_{slug}_{metric}"), &chart.render());
+        }
+    }
+    n
+}
+
+fn fig11(results: &Path, out: &Path) -> usize {
+    let Some(data) = load(results, "fig11_slo") else {
+        return 0;
+    };
+    let mut n = 0;
+    for (case, values) in data.as_object().into_iter().flatten() {
+        let slug = case.to_ascii_lowercase().replace([' ', '/'], "_").replace("__", "_");
+        let mut chart = LineChart::new(
+            &format!("Fig 11: {case} — SLO attainment"),
+            "req/s per GPU",
+            "fraction meeting both SLOs",
+        );
+        for (system, points) in sweep_series(values, "slo_both") {
+            chart.add_series(&system, points);
+        }
+        n += write_svg(out, &format!("fig11_{slug}"), &chart.render());
+    }
+    n
+}
+
+fn fig13(results: &Path, out: &Path) -> usize {
+    let Some(data) = load(results, "fig13_ablation") else {
+        return 0;
+    };
+    let mut n = 0;
+    for (key, title) in [
+        ("no_split_longbench", "Fig 13a: TPOT p99, WindServe vs no-split"),
+        ("no_resche_sharegpt", "Fig 13b: TPOT p99, WindServe vs no-resche"),
+    ] {
+        let points = &data[key];
+        let mut categories: Vec<String> = Vec::new();
+        let mut systems: Vec<(String, Vec<f64>)> = Vec::new();
+        for p in points.as_array().into_iter().flatten() {
+            let rate = format!("{} req/s/GPU", p["rate_per_gpu"]);
+            if !categories.contains(&rate) {
+                categories.push(rate.clone());
+            }
+            let system = p["system"].as_str().unwrap_or("?").to_string();
+            let v = p["tpot_p99"].as_f64().unwrap_or(0.0);
+            match systems.iter_mut().find(|(s, _)| *s == system) {
+                Some((_, vs)) => vs.push(v),
+                None => systems.push((system, vec![v])),
+            }
+        }
+        if categories.is_empty() {
+            continue;
+        }
+        let mut chart = BarChart::new(title, "TPOT p99 (s)", categories);
+        for (system, vs) in systems {
+            chart.add_series(&system, vs);
+        }
+        n += write_svg(out, &format!("fig13_{key}"), &chart.render());
+    }
+    n
+}
+
+fn fig5(results: &Path, out: &Path) -> usize {
+    let Some(data) = load(results, "fig5_threshold") else {
+        return 0;
+    };
+    let mut n = 0;
+    for (case, values) in data.as_object().into_iter().flatten() {
+        let slug = case
+            .split('/')
+            .next()
+            .unwrap_or("case")
+            .trim()
+            .to_ascii_lowercase()
+            .replace([' ', '-'], "_");
+        let mut chart = LineChart::new(
+            &format!("Fig 5: threshold sensitivity — {case}"),
+            "thrd (s)",
+            "SLO attainment",
+        );
+        let points: Vec<(f64, f64)> = values
+            .as_array()
+            .into_iter()
+            .flatten()
+            .map(|p| {
+                (
+                    p["threshold_secs"].as_f64().unwrap_or(0.0),
+                    p["slo_both"].as_f64().unwrap_or(0.0),
+                )
+            })
+            .collect();
+        chart.add_series("WindServe", points);
+        n += write_svg(out, &format!("fig5_{slug}"), &chart.render());
+    }
+    n
+}
+
+fn fig8(results: &Path, out: &Path) -> usize {
+    let Some(data) = load(results, "fig8_sbd_microbench") else {
+        return 0;
+    };
+    let mut n = 0;
+    // One chart per model: decode iteration cost, SBD vs fused, vs prefill N.
+    /// Per-model series: (model, SBD decode points, fused-step points).
+    type ModelSeries = (String, Vec<(f64, f64)>, Vec<(f64, f64)>);
+    let mut by_model: Vec<ModelSeries> = Vec::new();
+    for p in data["points"].as_array().into_iter().flatten() {
+        let model = p["model"].as_str().unwrap_or("?").to_string();
+        let x = p["prefill_tokens"].as_f64().unwrap_or(0.0);
+        let sbd = p["sbd_decode"].as_f64().unwrap_or(0.0);
+        let fused = p["regular_step"].as_f64().unwrap_or(0.0);
+        match by_model.iter_mut().find(|(m, _, _)| *m == model) {
+            Some((_, s, f)) => {
+                s.push((x, sbd));
+                f.push((x, fused));
+            }
+            None => by_model.push((model, vec![(x, sbd)], vec![(x, fused)])),
+        }
+    }
+    for (model, sbd, fused) in by_model {
+        let slug = model.to_ascii_lowercase().replace(['-', '.'], "_");
+        let mut chart = LineChart::new(
+            &format!("Fig 8: decode iteration cost — {model}"),
+            "prefill tokens in hybrid batch",
+            "seconds per decode iteration",
+        );
+        chart.add_series("SBD", sbd);
+        chart.add_series("Regular (fused)", fused);
+        n += write_svg(out, &format!("fig8_{slug}"), &chart.render());
+    }
+    n
+}

@@ -1,0 +1,8 @@
+//! Table 1 + Eq. 1/2: cost formulas and Profiler fits.
+use windserve_bench::{experiments, ExpContext};
+
+fn main() {
+    let ctx = ExpContext::from_args();
+    let data = experiments::table1::run(&ctx);
+    ctx.emit("table1_cost_model", &data);
+}

@@ -1,0 +1,8 @@
+//! Table 2: synthetic dataset statistics vs paper.
+use windserve_bench::{experiments, ExpContext};
+
+fn main() {
+    let ctx = ExpContext::from_args();
+    let data = experiments::table2::run(&ctx);
+    ctx.emit("table2_datasets", &data);
+}

@@ -1,0 +1,419 @@
+//! A minimal, dependency-free SVG chart writer.
+//!
+//! The experiment binaries dump JSON; [`LineChart`] and [`BarChart`] turn
+//! those series into publication-style figures (`render_figures` writes
+//! one SVG per paper figure into `figs/`). Only the features the paper's
+//! plots need are implemented: linear/log y-axes, multiple series with a
+//! legend, grouped bars, and tick labeling.
+
+use std::fmt::Write as _;
+
+const WIDTH: f64 = 640.0;
+const HEIGHT: f64 = 420.0;
+const MARGIN_L: f64 = 70.0;
+const MARGIN_R: f64 = 20.0;
+const MARGIN_T: f64 = 42.0;
+const MARGIN_B: f64 = 58.0;
+
+/// A categorical palette (colorblind-friendly Okabe-Ito subset).
+const COLORS: [&str; 6] = [
+    "#0072B2", "#D55E00", "#009E73", "#CC79A7", "#E69F00", "#56B4E9",
+];
+
+fn esc(s: &str) -> String {
+    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+}
+
+/// Chooses ~5 pleasant tick values spanning `[lo, hi]`.
+fn linear_ticks(lo: f64, hi: f64) -> Vec<f64> {
+    if hi <= lo {
+        return vec![lo];
+    }
+    let raw = (hi - lo) / 4.0;
+    let mag = 10f64.powf(raw.log10().floor());
+    let step = [1.0, 2.0, 2.5, 5.0, 10.0]
+        .iter()
+        .map(|m| m * mag)
+        .find(|s| (hi - lo) / s <= 5.5)
+        .unwrap_or(mag * 10.0);
+    let first = (lo / step).ceil() * step;
+    let mut ticks = Vec::new();
+    let mut t = first;
+    while t <= hi + step * 1e-9 {
+        ticks.push(t);
+        t += step;
+    }
+    ticks
+}
+
+fn log_ticks(lo: f64, hi: f64) -> Vec<f64> {
+    let mut ticks = Vec::new();
+    let mut decade = 10f64.powf(lo.log10().floor());
+    while decade <= hi * 1.0001 {
+        if decade >= lo * 0.9999 {
+            ticks.push(decade);
+        }
+        decade *= 10.0;
+    }
+    if ticks.is_empty() {
+        ticks.push(lo);
+    }
+    ticks
+}
+
+fn fmt_tick(v: f64) -> String {
+    if v == 0.0 {
+        "0".to_string()
+    } else if v.abs() >= 100.0 {
+        format!("{v:.0}")
+    } else if v.abs() >= 1.0 {
+        format!("{v:.1}")
+    } else {
+        format!("{v:.3}")
+    }
+}
+
+/// A multi-series line chart.
+///
+/// # Examples
+///
+/// ```
+/// use windserve_bench::LineChart;
+///
+/// let mut chart = LineChart::new("TTFT vs rate", "req/s/GPU", "seconds");
+/// chart.add_series("WindServe", vec![(1.0, 0.07), (2.0, 0.09)]);
+/// let svg = chart.render();
+/// assert!(svg.contains("WindServe"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct LineChart {
+    title: String,
+    x_label: String,
+    y_label: String,
+    series: Vec<(String, Vec<(f64, f64)>)>,
+    log_y: bool,
+}
+
+impl LineChart {
+    /// Creates an empty chart.
+    pub fn new(title: &str, x_label: &str, y_label: &str) -> Self {
+        LineChart {
+            title: title.to_string(),
+            x_label: x_label.to_string(),
+            y_label: y_label.to_string(),
+            series: Vec::new(),
+            log_y: false,
+        }
+    }
+
+    /// Switches the y-axis to log scale (points must be positive).
+    pub fn log_y(&mut self) -> &mut Self {
+        self.log_y = true;
+        self
+    }
+
+    /// Adds one named series (x ascending recommended).
+    pub fn add_series(&mut self, name: &str, points: Vec<(f64, f64)>) -> &mut Self {
+        self.series.push((name.to_string(), points));
+        self
+    }
+
+    /// Renders the SVG document.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no series has any points, or if a log-scale chart receives
+    /// a non-positive value.
+    pub fn render(&self) -> String {
+        let all: Vec<(f64, f64)> = self.series.iter().flat_map(|(_, p)| p.iter().copied()).collect();
+        assert!(!all.is_empty(), "chart has no data");
+        let (x_lo, x_hi) = bounds(all.iter().map(|p| p.0));
+        let (mut y_lo, mut y_hi) = bounds(all.iter().map(|p| p.1));
+        if self.log_y {
+            assert!(y_lo > 0.0, "log scale needs positive values");
+        } else {
+            y_lo = y_lo.min(0.0);
+            if y_hi <= y_lo {
+                y_hi = y_lo + 1.0;
+            }
+        }
+        let plot_w = WIDTH - MARGIN_L - MARGIN_R;
+        let plot_h = HEIGHT - MARGIN_T - MARGIN_B;
+        let x_of = |x: f64| MARGIN_L + (x - x_lo) / (x_hi - x_lo).max(1e-12) * plot_w;
+        let y_of = |y: f64| {
+            let f = if self.log_y {
+                (y.ln() - y_lo.ln()) / (y_hi.ln() - y_lo.ln()).max(1e-12)
+            } else {
+                (y - y_lo) / (y_hi - y_lo).max(1e-12)
+            };
+            MARGIN_T + plot_h * (1.0 - f)
+        };
+
+        let mut svg = svg_header(&self.title);
+        // Axes + ticks.
+        let y_ticks = if self.log_y { log_ticks(y_lo, y_hi) } else { linear_ticks(y_lo, y_hi) };
+        for t in &y_ticks {
+            let y = y_of(*t);
+            let _ = writeln!(
+                svg,
+                r##"<line x1="{MARGIN_L}" y1="{y:.1}" x2="{:.1}" y2="{y:.1}" stroke="#ddd"/><text x="{:.1}" y="{:.1}" font-size="11" text-anchor="end" fill="#444">{}</text>"##,
+                WIDTH - MARGIN_R,
+                MARGIN_L - 6.0,
+                y + 4.0,
+                fmt_tick(*t)
+            );
+        }
+        for t in linear_ticks(x_lo, x_hi) {
+            let x = x_of(t);
+            let _ = writeln!(
+                svg,
+                r##"<line x1="{x:.1}" y1="{:.1}" x2="{x:.1}" y2="{:.1}" stroke="#eee"/><text x="{x:.1}" y="{:.1}" font-size="11" text-anchor="middle" fill="#444">{}</text>"##,
+                MARGIN_T,
+                HEIGHT - MARGIN_B,
+                HEIGHT - MARGIN_B + 16.0,
+                fmt_tick(t)
+            );
+        }
+        axes_and_labels(&mut svg, &self.x_label, &self.y_label);
+        // Series.
+        for (i, (name, points)) in self.series.iter().enumerate() {
+            let color = COLORS[i % COLORS.len()];
+            let path: Vec<String> = points
+                .iter()
+                .map(|&(x, y)| format!("{:.1},{:.1}", x_of(x), y_of(y)))
+                .collect();
+            let _ = writeln!(
+                svg,
+                r##"<polyline points="{}" fill="none" stroke="{color}" stroke-width="2"/>"##,
+                path.join(" ")
+            );
+            for &(x, y) in points {
+                let _ = writeln!(
+                    svg,
+                    r##"<circle cx="{:.1}" cy="{:.1}" r="3" fill="{color}"/>"##,
+                    x_of(x),
+                    y_of(y)
+                );
+            }
+            legend_entry(&mut svg, i, name, color);
+            let _ = name;
+        }
+        svg.push_str("</svg>\n");
+        svg
+    }
+}
+
+/// A grouped bar chart: one group per category, one bar per series.
+#[derive(Debug, Clone)]
+pub struct BarChart {
+    title: String,
+    y_label: String,
+    categories: Vec<String>,
+    series: Vec<(String, Vec<f64>)>,
+}
+
+impl BarChart {
+    /// Creates a chart over the given category labels.
+    pub fn new(title: &str, y_label: &str, categories: Vec<String>) -> Self {
+        BarChart {
+            title: title.to_string(),
+            y_label: y_label.to_string(),
+            categories,
+            series: Vec::new(),
+        }
+    }
+
+    /// Adds one series; `values` must match the category count.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a length mismatch.
+    pub fn add_series(&mut self, name: &str, values: Vec<f64>) -> &mut Self {
+        assert_eq!(values.len(), self.categories.len(), "series length mismatch");
+        self.series.push((name.to_string(), values));
+        self
+    }
+
+    /// Renders the SVG document.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no series was added.
+    pub fn render(&self) -> String {
+        assert!(!self.series.is_empty(), "chart has no data");
+        let y_hi = self
+            .series
+            .iter()
+            .flat_map(|(_, v)| v.iter().copied())
+            .fold(0.0f64, f64::max)
+            .max(1e-12);
+        let plot_w = WIDTH - MARGIN_L - MARGIN_R;
+        let plot_h = HEIGHT - MARGIN_T - MARGIN_B;
+        let groups = self.categories.len() as f64;
+        let group_w = plot_w / groups;
+        let bar_w = (group_w * 0.8) / self.series.len() as f64;
+
+        let mut svg = svg_header(&self.title);
+        for t in linear_ticks(0.0, y_hi) {
+            let y = MARGIN_T + plot_h * (1.0 - t / y_hi);
+            let _ = writeln!(
+                svg,
+                r##"<line x1="{MARGIN_L}" y1="{y:.1}" x2="{:.1}" y2="{y:.1}" stroke="#ddd"/><text x="{:.1}" y="{:.1}" font-size="11" text-anchor="end" fill="#444">{}</text>"##,
+                WIDTH - MARGIN_R,
+                MARGIN_L - 6.0,
+                y + 4.0,
+                fmt_tick(t)
+            );
+        }
+        axes_and_labels(&mut svg, "", &self.y_label);
+        for (g, cat) in self.categories.iter().enumerate() {
+            let gx = MARGIN_L + group_w * (g as f64 + 0.5);
+            let _ = writeln!(
+                svg,
+                r##"<text x="{gx:.1}" y="{:.1}" font-size="11" text-anchor="middle" fill="#444">{}</text>"##,
+                HEIGHT - MARGIN_B + 16.0,
+                esc(cat)
+            );
+            for (i, (_, values)) in self.series.iter().enumerate() {
+                let v = values[g];
+                let h = plot_h * (v / y_hi);
+                let x = gx - (self.series.len() as f64 * bar_w) / 2.0 + i as f64 * bar_w;
+                let y = MARGIN_T + plot_h - h;
+                let _ = writeln!(
+                    svg,
+                    r##"<rect x="{x:.1}" y="{y:.1}" width="{:.1}" height="{h:.1}" fill="{}"/>"##,
+                    bar_w * 0.92,
+                    COLORS[i % COLORS.len()]
+                );
+            }
+        }
+        for (i, (name, _)) in self.series.iter().enumerate() {
+            legend_entry(&mut svg, i, name, COLORS[i % COLORS.len()]);
+        }
+        svg.push_str("</svg>\n");
+        svg
+    }
+}
+
+fn bounds<I: Iterator<Item = f64>>(values: I) -> (f64, f64) {
+    let mut lo = f64::INFINITY;
+    let mut hi = f64::NEG_INFINITY;
+    for v in values {
+        lo = lo.min(v);
+        hi = hi.max(v);
+    }
+    (lo, hi)
+}
+
+fn svg_header(title: &str) -> String {
+    format!(
+        r##"<svg xmlns="http://www.w3.org/2000/svg" width="{WIDTH}" height="{HEIGHT}" viewBox="0 0 {WIDTH} {HEIGHT}" font-family="Helvetica,Arial,sans-serif">
+<rect width="{WIDTH}" height="{HEIGHT}" fill="white"/>
+<text x="{:.1}" y="24" font-size="15" text-anchor="middle" fill="#111">{}</text>
+"##,
+        WIDTH / 2.0,
+        esc(title)
+    )
+}
+
+fn axes_and_labels(svg: &mut String, x_label: &str, y_label: &str) {
+    let _ = writeln!(
+        svg,
+        r##"<line x1="{MARGIN_L}" y1="{MARGIN_T}" x2="{MARGIN_L}" y2="{:.1}" stroke="#333"/><line x1="{MARGIN_L}" y1="{:.1}" x2="{:.1}" y2="{:.1}" stroke="#333"/>"##,
+        HEIGHT - MARGIN_B,
+        HEIGHT - MARGIN_B,
+        WIDTH - MARGIN_R,
+        HEIGHT - MARGIN_B
+    );
+    if !x_label.is_empty() {
+        let _ = writeln!(
+            svg,
+            r##"<text x="{:.1}" y="{:.1}" font-size="12" text-anchor="middle" fill="#111">{}</text>"##,
+            MARGIN_L + (WIDTH - MARGIN_L - MARGIN_R) / 2.0,
+            HEIGHT - 14.0,
+            esc(x_label)
+        );
+    }
+    if !y_label.is_empty() {
+        let _ = writeln!(
+            svg,
+            r##"<text x="16" y="{:.1}" font-size="12" text-anchor="middle" fill="#111" transform="rotate(-90 16 {:.1})">{}</text>"##,
+            HEIGHT / 2.0,
+            HEIGHT / 2.0,
+            esc(y_label)
+        );
+    }
+}
+
+fn legend_entry(svg: &mut String, index: usize, name: &str, color: &str) {
+    let x = MARGIN_L + 10.0 + (index as f64) * 150.0;
+    let y = MARGIN_T - 8.0;
+    let _ = writeln!(
+        svg,
+        r##"<rect x="{x:.1}" y="{:.1}" width="12" height="12" fill="{color}"/><text x="{:.1}" y="{:.1}" font-size="12" fill="#111">{}</text>"##,
+        y - 10.0,
+        x + 16.0,
+        y,
+        esc(name)
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_chart_renders_every_series() {
+        let mut c = LineChart::new("t", "x", "y");
+        c.add_series("a", vec![(0.0, 1.0), (1.0, 2.0)]);
+        c.add_series("b", vec![(0.0, 3.0), (1.0, 4.0)]);
+        let svg = c.render();
+        assert_eq!(svg.matches("<polyline").count(), 2);
+        assert_eq!(svg.matches("<circle").count(), 4);
+        assert!(svg.contains(">a<") && svg.contains(">b<"));
+        assert!(svg.starts_with("<svg") && svg.trim_end().ends_with("</svg>"));
+    }
+
+    #[test]
+    fn log_scale_positions_decades_evenly() {
+        let mut c = LineChart::new("t", "x", "y");
+        c.log_y();
+        c.add_series("a", vec![(0.0, 0.01), (1.0, 100.0)]);
+        let svg = c.render();
+        // Decade gridlines 0.01 .. 100 = 5 ticks.
+        assert!(svg.matches("stroke=\"#ddd\"").count() >= 4);
+    }
+
+    #[test]
+    fn bar_chart_draws_groups_times_series_bars() {
+        let mut c = BarChart::new("t", "y", vec!["g1".into(), "g2".into(), "g3".into()]);
+        c.add_series("a", vec![1.0, 2.0, 3.0]);
+        c.add_series("b", vec![3.0, 2.0, 1.0]);
+        let svg = c.render();
+        // 6 bars + 2 legend swatches + background.
+        assert_eq!(svg.matches("<rect").count(), 6 + 2 + 1);
+    }
+
+    #[test]
+    fn ticks_are_sensible() {
+        let t = linear_ticks(0.0, 10.0);
+        assert!(t.len() >= 3 && t.len() <= 6);
+        assert!(t.windows(2).all(|w| w[1] > w[0]));
+        let lt = log_ticks(0.01, 50.0);
+        assert_eq!(lt, vec![0.01, 0.1, 1.0, 10.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "no data")]
+    fn empty_chart_panics() {
+        let _ = LineChart::new("t", "x", "y").render();
+    }
+
+    #[test]
+    fn labels_are_escaped() {
+        let mut c = LineChart::new("a < b & c", "x", "y");
+        c.add_series("s", vec![(0.0, 1.0)]);
+        let svg = c.render();
+        assert!(svg.contains("a &lt; b &amp; c"));
+    }
+}

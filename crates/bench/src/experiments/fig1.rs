@@ -1,0 +1,97 @@
+//! Fig. 1 (motivation): TPOT and TTFT degrade under high workloads.
+//!
+//! (a) decode queueing delay and KV swap counts for the phase-disaggregated
+//! baseline as the rate grows; (b) SLO attainment of DistServe vs the
+//! colocated vLLM baseline, showing the crossover where disaggregation
+//! without dynamic scheduling loses.
+
+use crate::harness::{print_table, run_point, Case, ExpContext};
+use serde_json::{json, Value};
+use windserve::{Parallelism, SystemKind};
+
+/// Runs the motivation experiment.
+pub fn run(ctx: &ExpContext) -> Value {
+    let case = Case::opt_13b_sharegpt();
+    let dataset = (case.dataset)();
+    let n = ctx.scale(case.requests);
+    let mut rows_a = Vec::new();
+    let mut rows_b = Vec::new();
+    let mut data = Vec::new();
+    for &rate in case.rates {
+        let dist = run_point(
+            (case.config)(SystemKind::DistServe),
+            &dataset,
+            rate,
+            n,
+            0xF1,
+        );
+        let vllm = run_point(
+            (case.config)(SystemKind::VllmColocated),
+            &dataset,
+            rate,
+            n,
+            0xF1,
+        );
+        rows_a.push(vec![
+            format!("{rate:.1}"),
+            format!("{:.4}", dist.summary.decode_queue.mean),
+            format!("{:.4}", dist.summary.decode_queue.p99),
+            format!("{}", dist.total_swap_outs()),
+        ]);
+        rows_b.push(vec![
+            format!("{rate:.1}"),
+            format!("{:.3}", dist.summary.slo.both),
+            format!("{:.3}", vllm.summary.slo.both),
+        ]);
+        data.push(json!({
+            "rate_per_gpu": rate,
+            "distserve_decode_queue_mean": dist.summary.decode_queue.mean,
+            "distserve_decode_queue_p99": dist.summary.decode_queue.p99,
+            "distserve_swaps": dist.total_swap_outs(),
+            "distserve_slo": dist.summary.slo.both,
+            "vllm_slo": vllm.summary.slo.both,
+        }));
+    }
+    print_table(
+        "Fig 1a: DistServe decode queueing & swapping (OPT-13B, ShareGPT)",
+        &["req/s/GPU", "dec-queue mean", "dec-queue p99", "swap events"],
+        &rows_a,
+    );
+    print_table(
+        "Fig 1b: SLO attainment, DistServe vs vLLM",
+        &["req/s/GPU", "DistServe", "vLLM"],
+        &rows_b,
+    );
+
+    // The paper's testbed decode engine is ~10x slower than our roofline,
+    // so its resident decode population (and hence swapping) appears at
+    // [TP-2, TP-2]; our equivalent memory-pressure regime is the
+    // single-GPU decode slice. Reproduce the swapping signal there.
+    let mut rows_c = Vec::new();
+    let mut data_c = Vec::new();
+    for &rate in &[2.0, 3.0, 4.0] {
+        let mut cfg = (case.config)(SystemKind::DistServe);
+        cfg.decode_parallelism = Parallelism::tp(1);
+        let dist = run_point(cfg, &dataset, rate, n, 0xF1);
+        rows_c.push(vec![
+            format!("{rate:.1}"),
+            format!("{:.4}", dist.summary.decode_queue.mean),
+            format!("{:.4}", dist.summary.decode_queue.p99),
+            format!("{}", dist.total_swap_outs()),
+            format!("{:.4}", dist.summary.tpot.p99),
+        ]);
+        data_c.push(json!({
+            "rate_per_gpu": rate,
+            "decode_queue_mean": dist.summary.decode_queue.mean,
+            "decode_queue_p99": dist.summary.decode_queue.p99,
+            "swaps": dist.total_swap_outs(),
+            "tpot_p99": dist.summary.tpot.p99,
+        }));
+    }
+    print_table(
+        "Fig 1a (memory-tight variant [TP-2, TP-1]): queueing + swapping",
+        &["req/s/GPU", "dec-queue mean", "dec-queue p99", "swap events", "TPOT p99"],
+        &rows_c,
+    );
+    json!({ "tp2_tp2": data, "tp2_tp1": data_c })
+}

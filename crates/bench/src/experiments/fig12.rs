@@ -1,0 +1,65 @@
+//! Fig. 12: bottleneck-aware ability.
+//!
+//! Left: `[TP-2, TP-1]` — the single-GPU decode instance is
+//! memory/bandwidth-bound, so DistServe's SLO attainment is limited by
+//! TPOT (swapping), which WindServe relieves via Dynamic Rescheduling.
+//! Right: `[TP-2, TP-2]` — the decode side is over-provisioned, TTFT is
+//! the bottleneck, and WindServe saturates the idle decode compute via
+//! Dynamic Prefill Dispatch.
+
+use crate::harness::{print_table, run_point, ExpContext};
+use serde_json::{json, Value};
+use windserve::{Parallelism, ServeConfig, SystemKind};
+use windserve_workload::Dataset;
+
+/// Runs the bottleneck-aware comparison.
+pub fn run(ctx: &ExpContext) -> Value {
+    let dataset = Dataset::sharegpt(2048);
+    let placements = [
+        ("[TP-2, TP-1]", Parallelism::tp(1), &[2.0, 3.0, 4.0][..]),
+        ("[TP-2, TP-2]", Parallelism::tp(2), &[3.0, 4.0, 5.0][..]),
+    ];
+    let mut out = serde_json::Map::new();
+    for (label, decode_par, rates) in placements {
+        let mut rows = Vec::new();
+        let mut points = Vec::new();
+        for &rate in rates {
+            let mut results = Vec::new();
+            for system in [SystemKind::WindServe, SystemKind::DistServe] {
+                let mut cfg = ServeConfig::opt_13b_sharegpt(system);
+                cfg.decode_parallelism = decode_par;
+                let report = run_point(cfg, &dataset, rate, ctx.scale(1500), 0xF12);
+                rows.push(vec![
+                    system.label().to_string(),
+                    format!("{rate:.1}"),
+                    format!("{:.3}", report.summary.slo.both),
+                    format!("{:.3}", report.summary.slo.ttft),
+                    format!("{:.3}", report.summary.slo.tpot),
+                    format!("{}", report.dispatched_prefills),
+                    format!("{}", report.migrations_started),
+                    format!("{}", report.total_swap_outs()),
+                ]);
+                results.push(json!({
+                    "system": system.label(),
+                    "rate_per_gpu": rate,
+                    "slo_both": report.summary.slo.both,
+                    "slo_ttft": report.summary.slo.ttft,
+                    "slo_tpot": report.summary.slo.tpot,
+                    "dispatched": report.dispatched_prefills,
+                    "migrations": report.migrations_started,
+                    "swaps": report.total_swap_outs(),
+                }));
+            }
+            points.extend(results);
+        }
+        print_table(
+            &format!("Fig 12: SLO attainment, {label} (OPT-13B, ShareGPT)"),
+            &[
+                "system", "req/s/GPU", "SLO both", "SLO ttft", "SLO tpot", "disp", "migr", "swaps",
+            ],
+            &rows,
+        );
+        out.insert(label.to_string(), Value::Array(points));
+    }
+    Value::Object(out)
+}

@@ -1,0 +1,49 @@
+//! Fig. 2 (motivation): mean resource utilization of prefill vs decode
+//! instances — prefill saturates tensor cores while barely touching HBM;
+//! decode is the mirror image. This asymmetry is the headroom dynamic
+//! scheduling exploits.
+
+use crate::harness::{print_table, run_point, ExpContext};
+use serde_json::{json, Value};
+use windserve::{ServeConfig, SystemKind};
+use windserve_workload::Dataset;
+
+/// Runs the utilization characterization for OPT-13B and OPT-66B.
+pub fn run(ctx: &ExpContext) -> Value {
+    let cases = [
+        ("OPT-13B", ServeConfig::opt_13b_sharegpt as fn(SystemKind) -> ServeConfig, 3.0, 1500),
+        ("OPT-66B", ServeConfig::opt_66b_sharegpt as fn(SystemKind) -> ServeConfig, 0.5, 800),
+    ];
+    let dataset = Dataset::sharegpt(2048);
+    let mut rows = Vec::new();
+    let mut data = Vec::new();
+    for (label, config, rate, n) in cases {
+        let report = run_point(config(SystemKind::DistServe), &dataset, rate, ctx.scale(n), 0xF2);
+        let prefill = &report.instances[0];
+        let decode = &report.instances[1];
+        rows.push(vec![
+            label.to_string(),
+            format!("{:.2}", prefill.utilization.compute),
+            format!("{:.2}", prefill.utilization.bandwidth),
+            format!("{:.2}", decode.utilization.compute),
+            format!("{:.2}", decode.utilization.bandwidth),
+        ]);
+        data.push(json!({
+            "model": label,
+            "rate_per_gpu": rate,
+            "tensor_core_prefill": prefill.utilization.compute,
+            "mem_bw_prefill": prefill.utilization.bandwidth,
+            "tensor_core_decode": decode.utilization.compute,
+            "mem_bw_decode": decode.utilization.bandwidth,
+        }));
+    }
+    print_table(
+        "Fig 2: mean utilization (DistServe, ShareGPT)",
+        &["model", "TensorCore(P)", "MemBW(P)", "TensorCore(D)", "MemBW(D)"],
+        &rows,
+    );
+    println!(
+        "(shape check: TensorCore(P) >> MemBW(P) and MemBW(D) >> TensorCore(D))"
+    );
+    Value::Array(data)
+}

@@ -1,0 +1,55 @@
+//! Fig. 3 (motivation): queueing delays under different static placements
+//! at 4 req/s/GPU — `[TP-2, TP-1]` starves the decode side (decode
+//! queueing/swapping) while `[TP-2, TP-2]` starves the prefill side
+//! (prefill queueing). Static GPU-granular allocation cannot win both.
+
+use crate::harness::{print_table, run_point, ExpContext};
+use serde_json::{json, Value};
+use windserve::{Parallelism, ServeConfig, SystemKind};
+use windserve_workload::Dataset;
+
+/// Runs the placement-imbalance characterization.
+pub fn run(ctx: &ExpContext) -> Value {
+    let dataset = Dataset::sharegpt(2048);
+    let placements = [
+        ("[TP-2, TP-1]", Parallelism::tp(2), Parallelism::tp(1)),
+        ("[TP-2, TP-2]", Parallelism::tp(2), Parallelism::tp(2)),
+    ];
+    let mut rows = Vec::new();
+    let mut data = Vec::new();
+    for (label, p, d) in placements {
+        let mut cfg = ServeConfig::opt_13b_sharegpt(SystemKind::DistServe);
+        cfg.prefill_parallelism = p;
+        cfg.decode_parallelism = d;
+        let report = run_point(cfg, &dataset, 4.0, ctx.scale(1500), 0xF3);
+        rows.push(vec![
+            label.to_string(),
+            format!("{:.3}", report.summary.prefill_queue.mean),
+            format!("{:.3}", report.summary.prefill_queue.p90),
+            format!("{:.3}", report.summary.decode_queue.mean),
+            format!("{:.3}", report.summary.decode_queue.p90),
+            format!("{}", report.total_swap_outs()),
+        ]);
+        data.push(json!({
+            "placement": label,
+            "prefill_queue_mean": report.summary.prefill_queue.mean,
+            "prefill_queue_p90": report.summary.prefill_queue.p90,
+            "decode_queue_mean": report.summary.decode_queue.mean,
+            "decode_queue_p90": report.summary.decode_queue.p90,
+            "swaps": report.total_swap_outs(),
+        }));
+    }
+    print_table(
+        "Fig 3: queueing delays by placement (DistServe, OPT-13B, 4 req/s/GPU)",
+        &[
+            "placement",
+            "prefill-q mean",
+            "prefill-q p90",
+            "decode-q mean",
+            "decode-q p90",
+            "swaps",
+        ],
+        &rows,
+    );
+    Value::Array(data)
+}

@@ -1,0 +1,15 @@
+//! One module per paper table/figure. Each exposes
+//! `run(ctx: &ExpContext) -> serde_json::Value`, prints its tables and
+//! returns the raw data that the binary dumps to JSON.
+
+pub mod e2e;
+pub mod extras;
+pub mod fig1;
+pub mod fig12;
+pub mod fig13;
+pub mod fig2;
+pub mod fig3;
+pub mod fig5;
+pub mod fig8;
+pub mod table1;
+pub mod table2;

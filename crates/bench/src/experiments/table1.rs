@@ -1,0 +1,86 @@
+//! Table 1 + Eq. 1/2: the per-layer cost formulas and the Profiler fit.
+//!
+//! Prints the Table 1 FLOPs/IO values for representative shapes, checks the
+//! generalized cost model reduces to them exactly for the OPT family, and
+//! reports the Eq. 1/2 regression coefficients and fit errors per model.
+
+use crate::harness::{print_table, ExpContext};
+use serde_json::{json, Value};
+use windserve::{ModelSpec, Parallelism, Profiler};
+use windserve_gpu::GpuSpec;
+use windserve_model::{flops, CostModel};
+
+/// Runs the cost-model verification.
+pub fn run(_ctx: &ExpContext) -> Value {
+    let spec = ModelSpec::opt_13b();
+    let h = u64::from(spec.hidden);
+    let mut rows = Vec::new();
+    for n in [256u64, 768, 2048] {
+        rows.push(vec![
+            format!("prefill N={n}"),
+            format!("{:.3e}", flops::exact_prefill_attn_flops(n, h) as f64),
+            format!("{:.3e}", flops::exact_prefill_ffn_flops(n, h) as f64),
+            format!("{:.3e}", flops::exact_attn_io_bytes(h) as f64),
+            format!("{:.3e}", flops::exact_ffn_io_bytes(h) as f64),
+        ]);
+    }
+    for (b, sum_l) in [(16u64, 16 * 768u64), (16, 16 * 2048)] {
+        rows.push(vec![
+            format!("decode B={b} ΣL={sum_l}"),
+            format!("{:.3e}", flops::exact_decode_attn_flops(b, sum_l, h) as f64),
+            format!("{:.3e}", flops::exact_decode_ffn_flops(b, h) as f64),
+            format!("{:.3e}", flops::exact_attn_io_bytes(h) as f64),
+            format!("{:.3e}", flops::exact_ffn_io_bytes(h) as f64),
+        ]);
+    }
+    print_table(
+        "Table 1: per-layer Attn/FFN FLOPs and IO bytes (OPT-13B, H=5120)",
+        &["shape", "Attn FLOPs", "FFN FLOPs", "Attn IO B", "FFN IO B"],
+        &rows,
+    );
+
+    // Consistency of the generalized model with Table 1 (identity check).
+    let attn_ok = (1..=2048u64)
+        .step_by(97)
+        .all(|n| flops::attn_flops(&spec, n, n) == flops::exact_prefill_attn_flops(n, h));
+    println!("\ngeneralized model == Table 1 for OPT prefill attention: {attn_ok}");
+    assert!(attn_ok);
+
+    // Eq. 1/2 fits per evaluated model.
+    let mut fit_rows = Vec::new();
+    let mut fits = Vec::new();
+    for (model, par) in [
+        (ModelSpec::opt_13b(), Parallelism::tp(2)),
+        (ModelSpec::opt_66b(), Parallelism::new(2, 2)),
+        (ModelSpec::llama2_13b(), Parallelism::tp(2)),
+        (ModelSpec::llama2_70b(), Parallelism::new(2, 2)),
+    ] {
+        let cost = CostModel::new(model.clone(), GpuSpec::a800_80gb(), par)
+            .expect("paper placements fit");
+        let profiler = Profiler::fit(&cost);
+        let [cp, ap, bp] = profiler.prefill_coefficients();
+        let [cd, ad] = profiler.decode_coefficients();
+        let (pe, de) = profiler.fit_errors();
+        fit_rows.push(vec![
+            model.name.clone(),
+            format!("{ap:.3e}"),
+            format!("{bp:.3e}"),
+            format!("{cp:.3e}"),
+            format!("{ad:.3e}"),
+            format!("{cd:.3e}"),
+            format!("{:.1}%", pe * 100.0),
+            format!("{:.1}%", de * 100.0),
+        ]);
+        fits.push(json!({
+            "model": model.name,
+            "prefill": {"a": ap, "b": bp, "c": cp, "fit_error": pe},
+            "decode": {"a": ad, "c": cd, "fit_error": de},
+        }));
+    }
+    print_table(
+        "Eq. 1/2: fitted Profiler coefficients",
+        &["model", "a_p", "b_p", "c_p", "a_d", "c_d", "err_p", "err_d"],
+        &fit_rows,
+    );
+    json!({ "profiler_fits": fits, "table1_identity": attn_ok })
+}

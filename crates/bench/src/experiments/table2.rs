@@ -1,0 +1,57 @@
+//! Table 2: dataset statistics of the synthetic ShareGPT and LongBench
+//! workload generators versus the paper's published numbers.
+
+use crate::harness::{print_table, ExpContext};
+use serde_json::{json, Value};
+use windserve_workload::{ArrivalProcess, Dataset, Trace};
+
+/// Paper targets: (label, dataset, prompt avg/med/p90, output avg/med/p90).
+type Target = (&'static str, Dataset, [f64; 3], [f64; 3]);
+
+fn targets() -> Vec<Target> {
+    vec![
+        (
+            "ShareGPT",
+            Dataset::sharegpt(2048),
+            [768.2, 695.0, 1556.0],
+            [195.9, 87.0, 518.0],
+        ),
+        (
+            "LongBench",
+            Dataset::longbench(4096),
+            [2890.4, 2887.0, 3792.0],
+            [97.4, 12.0, 369.0],
+        ),
+    ]
+}
+
+/// Runs the dataset-statistics comparison.
+pub fn run(ctx: &ExpContext) -> Value {
+    let n = if ctx.quick { 20_000 } else { 100_000 };
+    let mut rows = Vec::new();
+    let mut data = Vec::new();
+    for (label, dataset, p_target, o_target) in targets() {
+        let trace = Trace::generate(&dataset, &ArrivalProcess::poisson(10.0), n, 0x72);
+        let stats = trace.stats();
+        rows.push(vec![
+            label.to_string(),
+            format!("{:.1}/{:.1}/{:.1}", stats.prompt.mean, stats.prompt.median, stats.prompt.p90),
+            format!("{:.1}/{:.1}/{:.1}", p_target[0], p_target[1], p_target[2]),
+            format!("{:.1}/{:.1}/{:.1}", stats.output.mean, stats.output.median, stats.output.p90),
+            format!("{:.1}/{:.1}/{:.1}", o_target[0], o_target[1], o_target[2]),
+        ]);
+        data.push(json!({
+            "dataset": label,
+            "prompt_measured": [stats.prompt.mean, stats.prompt.median, stats.prompt.p90],
+            "prompt_paper": p_target,
+            "output_measured": [stats.output.mean, stats.output.median, stats.output.p90],
+            "output_paper": o_target,
+        }));
+    }
+    print_table(
+        "Table 2: dataset statistics (avg/median/P90), measured vs paper",
+        &["dataset", "prompt (ours)", "prompt (paper)", "output (ours)", "output (paper)"],
+        &rows,
+    );
+    Value::Array(data)
+}

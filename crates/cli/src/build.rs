@@ -1,0 +1,330 @@
+//! Turning CLI flags into simulator objects: model/dataset/system lookup
+//! by name and `ServeConfig` assembly.
+
+use crate::args::{ArgError, Args};
+use windserve::{ModelSpec, Parallelism, ServeConfig, SloSpec, SystemKind, VictimPolicy};
+use windserve_engine::PreemptionMode;
+use windserve_gpu::{GpuSpec, Topology};
+use windserve_sim::SimDuration;
+use windserve_workload::{ArrivalProcess, Dataset};
+
+/// Resolves a model by its CLI name.
+///
+/// # Errors
+///
+/// Lists the known names on a miss.
+pub fn model_by_name(name: &str) -> Result<ModelSpec, ArgError> {
+    match name.to_ascii_lowercase().as_str() {
+        "opt-13b" => Ok(ModelSpec::opt_13b()),
+        "opt-30b" => Ok(ModelSpec::opt_30b()),
+        "opt-66b" => Ok(ModelSpec::opt_66b()),
+        "llama2-13b" => Ok(ModelSpec::llama2_13b()),
+        "llama2-70b" => Ok(ModelSpec::llama2_70b()),
+        other => Err(ArgError(format!(
+            "unknown model {other:?}; try opt-13b, opt-30b, opt-66b, llama2-13b, llama2-70b"
+        ))),
+    }
+}
+
+/// Resolves a GPU by its CLI name.
+///
+/// # Errors
+///
+/// Lists the known names on a miss.
+pub fn gpu_by_name(name: &str) -> Result<GpuSpec, ArgError> {
+    match name.to_ascii_lowercase().as_str() {
+        "a800" | "a800-80gb" => Ok(GpuSpec::a800_80gb()),
+        "a100" | "a100-40gb" => Ok(GpuSpec::a100_40gb()),
+        "h100" | "h100-80gb" => Ok(GpuSpec::h100_80gb()),
+        "rtx4090" | "4090" => Ok(GpuSpec::rtx_4090()),
+        other => Err(ArgError(format!(
+            "unknown gpu {other:?}; try a800, a100, h100, rtx4090"
+        ))),
+    }
+}
+
+/// Resolves a system variant by its CLI name.
+///
+/// # Errors
+///
+/// Lists the known names on a miss.
+pub fn system_by_name(name: &str) -> Result<SystemKind, ArgError> {
+    match name.to_ascii_lowercase().as_str() {
+        "windserve" => Ok(SystemKind::WindServe),
+        "windserve-no-split" | "no-split" => Ok(SystemKind::WindServeNoSplit),
+        "windserve-no-resche" | "no-resche" => Ok(SystemKind::WindServeNoResche),
+        "distserve" => Ok(SystemKind::DistServe),
+        "vllm" => Ok(SystemKind::VllmColocated),
+        other => Err(ArgError(format!(
+            "unknown system {other:?}; try windserve, distserve, vllm, no-split, no-resche"
+        ))),
+    }
+}
+
+/// Resolves a dataset by its CLI name, capped to the model's window.
+///
+/// # Errors
+///
+/// Lists the known names on a miss, and rejects malformed `fixed:P:O`.
+pub fn dataset_by_name(name: &str, max_context: u32) -> Result<Dataset, ArgError> {
+    let lower = name.to_ascii_lowercase();
+    if let Some(rest) = lower.strip_prefix("fixed:") {
+        let parts: Vec<&str> = rest.split(':').collect();
+        if parts.len() != 2 {
+            return Err(ArgError("fixed dataset is fixed:<prompt>:<output>".into()));
+        }
+        let prompt: u32 = parts[0]
+            .parse()
+            .map_err(|_| ArgError(format!("bad prompt length {:?}", parts[0])))?;
+        let output: u32 = parts[1]
+            .parse()
+            .map_err(|_| ArgError(format!("bad output length {:?}", parts[1])))?;
+        if prompt == 0 || output == 0 || prompt + output > max_context {
+            return Err(ArgError(format!(
+                "fixed:{prompt}:{output} does not fit the {max_context}-token window"
+            )));
+        }
+        return Ok(Dataset::fixed(prompt, output, max_context));
+    }
+    match lower.as_str() {
+        "sharegpt" => Ok(Dataset::sharegpt(max_context)),
+        "longbench" => Ok(Dataset::longbench(max_context)),
+        other => Err(ArgError(format!(
+            "unknown dataset {other:?}; try sharegpt, longbench, fixed:<prompt>:<output>"
+        ))),
+    }
+}
+
+/// A `TP` or `TPxPP` parallelism spec, e.g. `2` or `2x2`.
+///
+/// # Errors
+///
+/// Rejects malformed or zero degrees.
+pub fn parallelism_by_name(spec: &str) -> Result<Parallelism, ArgError> {
+    let parts: Vec<&str> = spec.split(['x', 'X']).collect();
+    let parse = |s: &str| -> Result<u32, ArgError> {
+        s.parse()
+            .ok()
+            .filter(|&v| v > 0)
+            .ok_or_else(|| ArgError(format!("bad parallel degree {s:?}")))
+    };
+    match parts.as_slice() {
+        [tp] => Ok(Parallelism::tp(parse(tp)?)),
+        [tp, pp] => Ok(Parallelism::new(parse(tp)?, parse(pp)?)),
+        _ => Err(ArgError(format!("parallelism is TP or TPxPP, got {spec:?}"))),
+    }
+}
+
+/// Everything a serving run needs, assembled from flags.
+#[derive(Debug, Clone)]
+pub struct RunSpec {
+    /// The assembled configuration.
+    pub config: ServeConfig,
+    /// The workload dataset.
+    pub dataset: Dataset,
+    /// Per-GPU request rate.
+    pub rate_per_gpu: f64,
+    /// Trace size.
+    pub requests: usize,
+    /// Trace seed.
+    pub seed: u64,
+    /// Arrival process.
+    pub arrivals: ArrivalProcess,
+}
+
+impl RunSpec {
+    /// Builds a run spec from parsed arguments. Defaults mirror the
+    /// paper's OPT-13B / ShareGPT operating point.
+    ///
+    /// # Errors
+    ///
+    /// Reports the first invalid flag.
+    pub fn from_args(args: &Args) -> Result<RunSpec, ArgError> {
+        let model = model_by_name(args.get("model").unwrap_or("opt-13b"))?;
+        let system = system_by_name(args.get("system").unwrap_or("windserve"))?;
+        let slo = default_slo_for(&model.name);
+        let prefill = parallelism_by_name(args.get("prefill-par").unwrap_or_else(|| {
+            if model.param_count() > 30_000_000_000 {
+                "2x2"
+            } else {
+                "2"
+            }
+        }))?;
+        let decode = parallelism_by_name(
+            args.get("decode-par")
+                .or(args.get("prefill-par"))
+                .unwrap_or_else(|| {
+                    if model.param_count() > 30_000_000_000 {
+                        "2x2"
+                    } else {
+                        "2"
+                    }
+                }),
+        )?;
+        let mut config = ServeConfig::new(model, slo, prefill, decode, system);
+        config.gpu = gpu_by_name(args.get("gpu").unwrap_or("a800"))?;
+        if let Some(pg) = args.get("prefill-gpu") {
+            config.prefill_gpu = Some(gpu_by_name(pg)?);
+        }
+        config.prefill_replicas = args.get_or("prefill-replicas", 1usize)?;
+        config.decode_replicas = args.get_or("decode-replicas", 1usize)?;
+        if let Some(nodes) = args.get_opt::<usize>("nodes")? {
+            config.topology = Topology::a800_multi_node(nodes.max(1));
+        }
+        config.split_phases_across_nodes = args.switch("split-nodes");
+        if let Some(thrd) = args.get_opt::<f64>("thrd")? {
+            config.dispatch_threshold = Some(SimDuration::from_secs_f64(thrd));
+        }
+        if let Some(ttft) = args.get_opt::<f64>("slo-ttft")? {
+            config.slo = SloSpec::new(
+                SimDuration::from_secs_f64(ttft),
+                config.slo.tpot,
+            );
+        }
+        if let Some(tpot) = args.get_opt::<f64>("slo-tpot")? {
+            config.slo = SloSpec::new(
+                config.slo.ttft,
+                SimDuration::from_secs_f64(tpot),
+            );
+        }
+        if let Some(policy) = args.get("victims") {
+            config.victim_policy = match policy {
+                "longest" => VictimPolicy::LongestContext,
+                "shortest" => VictimPolicy::ShortestContext,
+                other => return Err(ArgError(format!("unknown victim policy {other:?}"))),
+            };
+        }
+        if let Some(mode) = args.get("preemption") {
+            config.preemption = match mode {
+                "swap" => PreemptionMode::Swap,
+                "recompute" => PreemptionMode::Recompute,
+                other => return Err(ArgError(format!("unknown preemption mode {other:?}"))),
+            };
+        }
+        if args.switch("sample") {
+            config.sample_interval = Some(SimDuration::from_millis(100));
+        }
+        if args.switch("autoscale") {
+            config.autoscale = Some(windserve::AutoscaleConfig {
+                min_prefill: args.get_or("min-prefill", 1usize)?,
+                min_decode: args.get_or("min-decode", 1usize)?,
+                ..windserve::AutoscaleConfig::default()
+            });
+        }
+        config
+            .validate()
+            .map_err(|e| ArgError(format!("invalid configuration: {e}")))?;
+
+        let dataset = dataset_by_name(
+            args.get("dataset").unwrap_or("sharegpt"),
+            config.model.max_context,
+        )?;
+        let rate_per_gpu: f64 = args.get_or("rate", 3.0)?;
+        if !(rate_per_gpu.is_finite() && rate_per_gpu > 0.0) {
+            return Err(ArgError(format!("--rate must be positive, got {rate_per_gpu}")));
+        }
+        let requests = args.get_or("requests", 1000usize)?;
+        let seed = args.get_or("seed", 0xACEu64)?;
+        let total = config.total_rate(rate_per_gpu);
+        let arrivals = match args.get("arrivals").unwrap_or("poisson") {
+            "poisson" => ArrivalProcess::poisson(total),
+            "uniform" => ArrivalProcess::uniform(total),
+            "bursty" => ArrivalProcess::Bursty {
+                base_rate: total * 0.5,
+                burst_rate: total * 1.5,
+                mean_phase_secs: 10.0,
+            },
+            other => return Err(ArgError(format!("unknown arrival process {other:?}"))),
+        };
+        Ok(RunSpec {
+            config,
+            dataset,
+            rate_per_gpu,
+            requests,
+            seed,
+            arrivals,
+        })
+    }
+}
+
+/// Table 4 SLOs matched to the model (ShareGPT row for OPT, LongBench row
+/// for LLaMA2), falling back to the OPT-13B pair.
+pub fn default_slo_for(model_name: &str) -> SloSpec {
+    match model_name {
+        "OPT-66B" => SloSpec::opt_66b_sharegpt(),
+        "LLaMA2-13B" => SloSpec::llama2_13b_longbench(),
+        "LLaMA2-70B" => SloSpec::llama2_70b_longbench(),
+        _ => SloSpec::opt_13b_sharegpt(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec(line: &str) -> Result<RunSpec, ArgError> {
+        let args = Args::parse(line.split_whitespace().map(String::from)).unwrap();
+        RunSpec::from_args(&args)
+    }
+
+    #[test]
+    fn defaults_are_the_paper_operating_point() {
+        let s = spec("run").unwrap();
+        assert_eq!(s.config.model.name, "OPT-13B");
+        assert_eq!(s.config.system, SystemKind::WindServe);
+        assert_eq!(s.config.total_gpus(), 4);
+        assert_eq!(s.rate_per_gpu, 3.0);
+    }
+
+    #[test]
+    fn large_models_default_to_pp2() {
+        let s = spec("run --model opt-66b").unwrap();
+        assert_eq!(s.config.prefill_parallelism, Parallelism::new(2, 2));
+        assert_eq!(s.config.slo, SloSpec::opt_66b_sharegpt());
+    }
+
+    #[test]
+    fn full_flag_surface_parses() {
+        let s = spec(
+            "run --model llama2-13b --dataset longbench --system distserve \
+             --prefill-par 2 --decode-par 1 --rate 1.5 --requests 50 --seed 7 \
+             --victims shortest --preemption recompute --sample --slo-ttft 5.0",
+        )
+        .unwrap();
+        assert_eq!(s.config.model.name, "LLaMA2-13B");
+        assert_eq!(s.config.decode_parallelism, Parallelism::tp(1));
+        assert_eq!(s.config.victim_policy, VictimPolicy::ShortestContext);
+        assert_eq!(s.config.preemption, PreemptionMode::Recompute);
+        assert!(s.config.sample_interval.is_some());
+        assert_eq!(s.config.slo.ttft.as_secs_f64(), 5.0);
+    }
+
+    #[test]
+    fn fixed_dataset_spec_parses_and_validates() {
+        assert!(spec("run --dataset fixed:100:10").is_ok());
+        assert!(spec("run --dataset fixed:0:10").is_err());
+        assert!(spec("run --dataset fixed:4000:10").is_err());
+        assert!(spec("run --dataset fixed:banana").is_err());
+    }
+
+    #[test]
+    fn bad_names_report_alternatives() {
+        let err = spec("run --model gpt5").unwrap_err();
+        assert!(err.0.contains("opt-13b"));
+        let err = spec("run --system orca").unwrap_err();
+        assert!(err.0.contains("distserve"));
+    }
+
+    #[test]
+    fn parallelism_spec_accepts_tp_and_tpxpp() {
+        assert_eq!(parallelism_by_name("4").unwrap(), Parallelism::tp(4));
+        assert_eq!(parallelism_by_name("2x2").unwrap(), Parallelism::new(2, 2));
+        assert!(parallelism_by_name("0").is_err());
+        assert!(parallelism_by_name("2x2x2").is_err());
+    }
+
+    #[test]
+    fn negative_rate_rejected() {
+        assert!(spec("run --rate -1").is_err());
+    }
+}

@@ -1,0 +1,68 @@
+//! # windserve-cli
+//!
+//! The `windserve` command-line tool: run, compare, and sweep serving
+//! simulations of the WindServe system and its baselines from the shell,
+//! with every knob of [`windserve::ServeConfig`] exposed as a flag.
+//!
+//! ```sh
+//! windserve run --model opt-13b --dataset sharegpt --rate 4
+//! windserve compare --systems windserve,distserve,vllm --rate 4
+//! windserve sweep --rates 1,2,3,4,5 --json
+//! windserve budget --model llama2-70b
+//! ```
+//!
+//! The library surface exists so the parser and command plumbing are unit
+//! testable; `src/main.rs` is a thin shim.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod args;
+pub mod build;
+pub mod commands;
+pub mod render;
+
+use args::Args;
+
+/// Dispatches a parsed command line; returns the text to print or an error
+/// message for stderr.
+///
+/// # Errors
+///
+/// Returns a user-facing message for unknown commands or invalid flags.
+pub fn dispatch(args: &Args) -> Result<String, args::ArgError> {
+    if args.switch("help") {
+        return Ok(commands::help());
+    }
+    match args.command.as_deref() {
+        Some("run") => commands::run(args),
+        Some("compare") => commands::compare(args),
+        Some("sweep") => commands::sweep(args),
+        Some("trace-stats") => commands::trace_stats(args),
+        Some("budget") => commands::budget(args),
+        Some("help") | None => Ok(commands::help()),
+        Some(other) => Err(args::ArgError(format!(
+            "unknown command {other:?}; try `windserve help`"
+        ))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn help_paths_work() {
+        let none = Args::parse(Vec::<String>::new()).unwrap();
+        assert!(dispatch(&none).unwrap().contains("USAGE"));
+        let help = Args::parse(vec!["help".to_string()]).unwrap();
+        assert!(dispatch(&help).unwrap().contains("COMMANDS"));
+    }
+
+    #[test]
+    fn unknown_command_is_a_friendly_error() {
+        let bad = Args::parse(vec!["frobnicate".to_string()]).unwrap();
+        let err = dispatch(&bad).unwrap_err();
+        assert!(err.0.contains("frobnicate"));
+    }
+}

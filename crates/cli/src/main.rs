@@ -1,0 +1,24 @@
+//! The `windserve` binary: parse, dispatch, print.
+
+use std::process::ExitCode;
+use windserve_cli::{args::Args, dispatch};
+
+fn main() -> ExitCode {
+    let args = match Args::from_env() {
+        Ok(args) => args,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match dispatch(&args) {
+        Ok(text) => {
+            println!("{text}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,248 @@
+//! Human- and machine-readable rendering of run reports.
+
+use crate::args::ArgError;
+use crate::build::RunSpec;
+use windserve::{Cluster, RunReport};
+use windserve_workload::Trace;
+
+/// Plain-text rendering of a single report.
+pub fn report_text(spec: &RunSpec, report: &RunReport) -> String {
+    let mut out = String::new();
+    let s = &report.summary;
+    out += &format!(
+        "{} | {} | {} on {} | {:.2} req/s/GPU | {} requests\n",
+        report.system.label(),
+        spec.config.model.name,
+        spec.dataset.name,
+        spec.config.gpu.name,
+        spec.rate_per_gpu,
+        s.completed,
+    );
+    out += &format!(
+        "  TTFT  p50 {:8.4}s   p99 {:8.4}s\n  TPOT  p90 {:8.4}s   p99 {:8.4}s\n",
+        s.ttft.p50, s.ttft.p99, s.tpot.p90, s.tpot.p99
+    );
+    out += &format!(
+        "  SLO attainment {:.1}% (ttft {:.1}%, tpot {:.1}%)\n",
+        s.slo.both * 100.0,
+        s.slo.ttft * 100.0,
+        s.slo.tpot * 100.0
+    );
+    out += &format!(
+        "  dispatched {} | migrations {}/{} | swaps {} | backups {} ({} hits) | KV moved {:.2} GiB\n",
+        report.dispatched_prefills,
+        report.migrations_completed,
+        report.migrations_started,
+        report.total_swap_outs(),
+        report.backups_created,
+        report.backup_hits,
+        report.kv_bytes_transferred as f64 / (1u64 << 30) as f64,
+    );
+    for inst in &report.instances {
+        out += &format!(
+            "  [{:12}] compute {:5.1}%  mem-bw {:5.1}%  steps p/d/h/aux {}/{}/{}/{}\n",
+            inst.name,
+            inst.utilization.compute * 100.0,
+            inst.utilization.bandwidth * 100.0,
+            inst.prefill_steps,
+            inst.decode_steps,
+            inst.hybrid_steps,
+            inst.aux_steps,
+        );
+    }
+    for series in &report.series {
+        out += &format!(
+            "  [{:12}] kv-used mean {:.2} max {:.2} | running mean {:.1} max {:.0}\n",
+            series.name,
+            series.kv_used.mean(),
+            series.kv_used.max(),
+            series.running.mean(),
+            series.running.max(),
+        );
+        out += &format!(
+            "  [{:12}] kv {} \n  [{:12}] run {}\n",
+            series.name,
+            sparkline(series.kv_used.values(), 64),
+            series.name,
+            sparkline(series.running.values(), 64),
+        );
+    }
+    out
+}
+
+/// Renders values as a unicode sparkline, downsampled to at most `width`
+/// buckets (each bucket shows its mean).
+pub fn sparkline(values: &[f64], width: usize) -> String {
+    const BARS: [char; 8] = ['\u{2581}', '\u{2582}', '\u{2583}', '\u{2584}',
+                             '\u{2585}', '\u{2586}', '\u{2587}', '\u{2588}'];
+    if values.is_empty() || width == 0 {
+        return String::new();
+    }
+    let buckets = width.min(values.len());
+    let mut compacted = Vec::with_capacity(buckets);
+    for b in 0..buckets {
+        let lo = b * values.len() / buckets;
+        let hi = ((b + 1) * values.len() / buckets).max(lo + 1);
+        let slice = &values[lo..hi.min(values.len())];
+        compacted.push(slice.iter().sum::<f64>() / slice.len() as f64);
+    }
+    let max = compacted.iter().copied().fold(f64::MIN_POSITIVE, f64::max);
+    compacted
+        .iter()
+        .map(|&v| {
+            let idx = ((v / max) * 7.0).round().clamp(0.0, 7.0) as usize;
+            BARS[idx]
+        })
+        .collect()
+}
+
+
+/// JSON rendering of a report.
+///
+/// # Errors
+///
+/// Propagates serialization failures (should not happen for these types).
+pub fn report_json(report: &RunReport) -> Result<String, ArgError> {
+    serde_json::to_string_pretty(report).map_err(|e| ArgError(format!("serialize: {e}")))
+}
+
+/// JSON rendering of several reports.
+///
+/// # Errors
+///
+/// Propagates serialization failures.
+pub fn reports_json(reports: &[RunReport]) -> Result<String, ArgError> {
+    serde_json::to_string_pretty(reports).map_err(|e| ArgError(format!("serialize: {e}")))
+}
+
+/// Comparison table across systems.
+pub fn comparison_text(spec: &RunSpec, reports: &[RunReport]) -> String {
+    let mut out = format!(
+        "{} on {} @ {:.2} req/s/GPU, {} requests\n\n",
+        spec.config.model.name, spec.dataset.name, spec.rate_per_gpu, spec.requests
+    );
+    out += &format!(
+        "{:<22} {:>10} {:>10} {:>10} {:>10} {:>9} {:>6} {:>6} {:>6}\n",
+        "system", "TTFT p50", "TTFT p99", "TPOT p90", "TPOT p99", "SLO both", "disp", "migr",
+        "swaps"
+    );
+    for r in reports {
+        out += &format!(
+            "{:<22} {:>10.4} {:>10.4} {:>10.4} {:>10.4} {:>8.1}% {:>6} {:>6} {:>6}\n",
+            r.system.label(),
+            r.summary.ttft.p50,
+            r.summary.ttft.p99,
+            r.summary.tpot.p90,
+            r.summary.tpot.p99,
+            r.summary.slo.both * 100.0,
+            r.dispatched_prefills,
+            r.migrations_started,
+            r.total_swap_outs(),
+        );
+    }
+    out
+}
+
+/// Rate-sweep table.
+pub fn sweep_text(spec: &RunSpec, rows: &[(f64, RunReport)]) -> String {
+    let mut out = format!(
+        "{} | {} on {}, {} requests per point\n\n",
+        spec.config.system.label(),
+        spec.config.model.name,
+        spec.dataset.name,
+        spec.requests
+    );
+    out += &format!(
+        "{:>9} {:>10} {:>10} {:>10} {:>10} {:>9}\n",
+        "req/s", "TTFT p50", "TTFT p99", "TPOT p90", "TPOT p99", "SLO both"
+    );
+    for (rate, r) in rows {
+        out += &format!(
+            "{rate:>6.2} req/s {:>7.4} {:>10.4} {:>10.4} {:>10.4} {:>8.1}%\n",
+            r.summary.ttft.p50,
+            r.summary.ttft.p99,
+            r.summary.tpot.p90,
+            r.summary.tpot.p99,
+            r.summary.slo.both * 100.0,
+        );
+    }
+    out
+}
+
+/// JSON rendering of a rate sweep.
+///
+/// # Errors
+///
+/// Propagates serialization failures.
+pub fn sweep_json(rows: &[(f64, RunReport)]) -> Result<String, ArgError> {
+    let values: Vec<serde_json::Value> = rows
+        .iter()
+        .map(|(rate, r)| {
+            serde_json::json!({
+                "rate_per_gpu": rate,
+                "report": r,
+            })
+        })
+        .collect();
+    serde_json::to_string_pretty(&values).map_err(|e| ArgError(format!("serialize: {e}")))
+}
+
+/// Table 2-style statistics of a generated trace.
+pub fn trace_stats_text(spec: &RunSpec, trace: &Trace) -> String {
+    let stats = trace.stats();
+    format!(
+        "{} trace: {} requests, {:.2} req/s observed\n\
+         prompt tokens: mean {:.1}  median {:.0}  p90 {:.0}\n\
+         output tokens: mean {:.1}  median {:.0}  p90 {:.0}\n",
+        spec.dataset.name,
+        trace.requests().len(),
+        stats.arrival_rate,
+        stats.prompt.mean,
+        stats.prompt.median,
+        stats.prompt.p90,
+        stats.output.mean,
+        stats.output.median,
+        stats.output.p90,
+    )
+}
+
+/// Budget/profiler summary for a configuration.
+pub fn budget_text(spec: &RunSpec, cluster: &Cluster) -> String {
+    let profiler = cluster.profiler();
+    let [cp, ap, bp] = profiler.prefill_coefficients();
+    let [cd, ad] = profiler.decode_coefficients();
+    let (pe, de) = profiler.fit_errors();
+    format!(
+        "{} | {} | thrd {:.3}s\n\
+         Algorithm 1 budget: {} guest-prefill tokens per pass\n\
+         Eq.1 prefill fit: {ap:.3e}*N + {bp:.3e}*N^2 + {cp:.3e}  (err {:.1}%)\n\
+         Eq.2 decode fit:  {ad:.3e}*SumL + {cd:.3e}  (err {:.1}%)\n",
+        spec.config.model.name,
+        spec.config.system.label(),
+        spec.config.effective_dispatch_threshold().as_secs_f64(),
+        cluster.aux_budget_tokens(),
+        pe * 100.0,
+        de * 100.0,
+    )
+}
+#[cfg(test)]
+mod tests {
+    use super::sparkline;
+
+    #[test]
+    fn sparkline_scales_and_downsamples() {
+        let ramp: Vec<f64> = (0..100).map(f64::from).collect();
+        let line = sparkline(&ramp, 10);
+        assert_eq!(line.chars().count(), 10);
+        let first = line.chars().next().unwrap();
+        let last = line.chars().last().unwrap();
+        assert!(last > first, "{line}");
+    }
+
+    #[test]
+    fn sparkline_handles_degenerate_inputs() {
+        assert_eq!(sparkline(&[], 10), "");
+        assert_eq!(sparkline(&[1.0], 0), "");
+        assert_eq!(sparkline(&[0.0, 0.0], 2).chars().count(), 2);
+    }
+}

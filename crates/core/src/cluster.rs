@@ -1,0 +1,1001 @@
+//! The cluster event loop.
+//!
+//! [`Cluster`] assembles the serving deployment described by a
+//! [`ServeConfig`] — one or more prefill and decode instances for
+//! phase-disaggregated systems (multi-replica load balancing is the paper's
+//! §7 future work, implemented here), or colocated replicas for the vLLM
+//! baseline — and replays a request [`Trace`] through it on the
+//! discrete-event simulator, applying the Global Scheduler's decisions:
+//!
+//! * arrivals route to the least-loaded prefill replica and through
+//!   Dynamic Prefill Dispatch (Algorithm 1);
+//! * prefill→decode KV handoffs ride the interconnect (overlapped with
+//!   prefill computation for WindServe, serialized after it for
+//!   DistServe), targeting the decode replica with the most free KV;
+//! * decode-side memory pressure triggers Dynamic Rescheduling with
+//!   stall-free migration (§3.3) and opportunistic KV backups;
+//! * every stage of every request is timestamped into a
+//!   [`RequestRecord`].
+
+use crate::budget::calibrate_aux_budget;
+use crate::config::ServeConfig;
+use crate::coordinator::Coordinator;
+use crate::profiler::Profiler;
+use crate::report::{InstanceReport, RunReport, TtftPrediction};
+use std::collections::HashMap;
+use windserve_engine::{
+    Instance, InstanceConfig, LaneRef, PausedSeq, SeqState, StartedStep, StepOutcome,
+};
+use windserve_gpu::{GpuId, RouteId, StreamSharing, TransferEngine};
+use windserve_kvcache::StallFreeMigration;
+use windserve_metrics::{LatencySummary, PrefillSite, RequestRecord};
+use windserve_model::CostModel;
+use windserve_sim::{EventQueue, SimTime};
+use windserve_workload::{Request, RequestId, Trace};
+
+/// Hard cap on processed events — a runaway-simulation backstop far above
+/// any legitimate run.
+const MAX_EVENTS: u64 = 200_000_000;
+
+/// Consecutive cool autoscaler ticks required before a scale-down — the
+/// hysteresis that stops activate/deactivate thrash under bursty load.
+const DRAIN_TICKS: u32 = 12;
+
+#[derive(Debug)]
+enum Event {
+    Arrival(usize),
+    StepDone { inst: usize, lane: LaneRef },
+    TransferDone(u64),
+    Sample,
+    AutoscaleTick,
+}
+
+#[derive(Debug)]
+enum TransferAction {
+    /// Prefill→decode KV handoff; on completion the request joins the
+    /// decode queue and the prefill side releases (or backs up) its copy.
+    KvHandoff {
+        state: SeqState,
+        src: usize,
+        dst: usize,
+        keep_backup: bool,
+    },
+    /// Stall-free migration phase 1 (bulk) finished: pause the request.
+    MigrationPhase1 { id: RequestId },
+    /// Migration tail flushed: resume the request at the destination.
+    MigrationPhase2 { state: SeqState },
+}
+
+#[derive(Debug)]
+struct MigrationCtl {
+    state: StallFreeMigration,
+    /// Source decode instance.
+    src: usize,
+    /// Destination prefill instance.
+    dst: usize,
+}
+
+#[derive(Debug)]
+struct PendingRecord {
+    req: Request,
+    site: PrefillSite,
+    predicted_ttft: Option<f64>,
+    prefill_start: Option<SimTime>,
+    first_token: Option<SimTime>,
+    decode_enqueue: Option<SimTime>,
+    decode_start: Option<SimTime>,
+    swap_outs: u32,
+    migrations: u32,
+}
+
+#[derive(Debug, Default)]
+struct Counters {
+    dispatched: u64,
+    migrations_started: u64,
+    migrations_completed: u64,
+    kv_bytes: u64,
+    backups_created: u64,
+    backup_hits: u64,
+}
+
+/// A fully assembled serving deployment, ready to replay traces.
+#[derive(Debug)]
+pub struct Cluster {
+    cfg: ServeConfig,
+    instances: Vec<Instance>,
+    /// Indices of prefill instances (empty for colocated systems).
+    prefill_idxs: Vec<usize>,
+    /// Indices of decode instances (empty for colocated systems).
+    decode_idxs: Vec<usize>,
+    transfers: TransferEngine,
+    /// Directed inter-instance routes, keyed by `(src, dst)` indices.
+    routes: HashMap<(usize, usize), RouteId>,
+    profiler: Profiler,
+    coordinator: Coordinator,
+    counters: Counters,
+    pending: HashMap<u64, PendingRecord>,
+    migrations: HashMap<u64, MigrationCtl>,
+    actions: HashMap<u64, TransferAction>,
+    next_transfer: u64,
+    /// Events produced inside handlers, drained into the queue by `run`.
+    deferred: Vec<(SimTime, Event)>,
+    /// Sampled per-instance state (when sampling is enabled).
+    series: Vec<windserve_metrics::InstanceSeries>,
+    /// Algorithm 1 predictions paired with eventual truth.
+    ttft_predictions: Vec<TtftPrediction>,
+    /// Per-instance activation: `Some(ready_at)` = active (warming until
+    /// `ready_at`); `None` = deactivated (GPUs released). Without
+    /// autoscaling every instance is active from t = 0.
+    active: Vec<Option<SimTime>>,
+    autoscale_events: u64,
+    gpu_seconds_active: f64,
+    last_gpu_account: SimTime,
+    /// Consecutive cool autoscaler ticks per phase (hysteresis against
+    /// activate/deactivate thrash).
+    cool_ticks_prefill: u32,
+    cool_ticks_decode: u32,
+}
+
+impl Cluster {
+    /// Builds the deployment for `cfg`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the configuration is invalid or the model does
+    /// not fit the placement.
+    pub fn new(cfg: ServeConfig) -> Result<Self, String> {
+        cfg.validate()?;
+        let sharing = StreamSharing::default();
+        let mut instances = Vec::new();
+        let mut transfers = TransferEngine::new();
+        let mut prefill_idxs = Vec::new();
+        let mut decode_idxs = Vec::new();
+        let mut routes = HashMap::new();
+        let mut calibrated_budget = 0u32;
+
+        let typical_context = cfg.model.max_context / 2;
+        let profile_cost = CostModel::new(
+            cfg.model.clone(),
+            cfg.prefill_gpu(),
+            cfg.prefill_parallelism,
+        )?;
+        let profiler = Profiler::fit(&profile_cost);
+
+        if cfg.system.colocated() {
+            // One replica per prefill-parallelism-sized GPU group.
+            let group = cfg.prefill_parallelism.n_gpus();
+            let replicas = (cfg.total_gpus() / group).max(1);
+            let per_gpu_host = cfg.topology.host_route(&[GpuId(0)]);
+            for r in 0..replicas {
+                let cost = CostModel::new(
+                    cfg.model.clone(),
+                    cfg.gpu.clone(),
+                    cfg.prefill_parallelism,
+                )?;
+                let mut icfg = InstanceConfig::colocated(format!("colocated-{r}"));
+                icfg.chunk_tokens = cfg.chunk_tokens;
+                icfg.max_prefill_tokens = cfg.model.max_context;
+                icfg.preemption = cfg.preemption;
+                instances.push(Instance::new(
+                    icfg,
+                    cost,
+                    sharing,
+                    per_gpu_host.bandwidth * group as f64,
+                )?);
+            }
+        } else {
+            // Carve GPU groups for every replica. The classic 1x1 deployment
+            // keeps the NVLink-paired placement (shard i of prefill across
+            // a bridge from shard i of decode); multi-replica deployments
+            // take sequential groups.
+            let pn = cfg.prefill_parallelism.n_gpus();
+            let dn = cfg.decode_parallelism.n_gpus();
+            let (p_groups, d_groups): (Vec<Vec<GpuId>>, Vec<Vec<GpuId>>) =
+                if cfg.prefill_replicas == 1
+                    && cfg.decode_replicas == 1
+                    && !cfg.split_phases_across_nodes
+                {
+                    let (p, d) = cfg.topology.paired_placement(pn, dn);
+                    (vec![p], vec![d])
+                } else {
+                    let node_gpus = cfg.topology.n_gpus() / cfg.topology.n_nodes().max(1);
+                    let decode_base = if cfg.split_phases_across_nodes
+                        && cfg.topology.n_nodes() > 1
+                    {
+                        node_gpus
+                    } else {
+                        pn * cfg.prefill_replicas
+                    };
+                    let p = (0..cfg.prefill_replicas)
+                        .map(|r| (r * pn..(r + 1) * pn).map(GpuId).collect())
+                        .collect();
+                    let d = (0..cfg.decode_replicas)
+                        .map(|r| {
+                            (decode_base + r * dn..decode_base + (r + 1) * dn)
+                                .map(GpuId)
+                                .collect()
+                        })
+                        .collect();
+                    (p, d)
+                };
+
+            for (r, gpus) in p_groups.iter().enumerate() {
+                let p_cost = CostModel::new(
+                    cfg.model.clone(),
+                    cfg.prefill_gpu(),
+                    cfg.prefill_parallelism,
+                )?;
+                let mut p_cfg = InstanceConfig::prefill(format!("prefill-{r}"));
+                p_cfg.chunk_tokens = cfg.chunk_tokens;
+                p_cfg.max_prefill_tokens = cfg.model.max_context;
+                p_cfg.preemption = cfg.preemption;
+                let host = cfg.topology.host_route(gpus);
+                prefill_idxs.push(instances.len());
+                instances.push(Instance::new(p_cfg, p_cost, sharing, host.bandwidth)?);
+            }
+            for (r, gpus) in d_groups.iter().enumerate() {
+                let d_cost = CostModel::new(
+                    cfg.model.clone(),
+                    cfg.gpu.clone(),
+                    cfg.decode_parallelism,
+                )?;
+                let mut d_cfg = InstanceConfig::decode(format!("decode-{r}"));
+                d_cfg.stream_disaggregation = cfg.system.sbd_enabled();
+                d_cfg.chunk_tokens = cfg.chunk_tokens;
+                d_cfg.max_prefill_tokens = cfg.model.max_context;
+                d_cfg.preemption = cfg.preemption;
+                // The budget is always calibrated under the stream-sharing
+                // model: the no-split ablation (Fig. 13a) removes only the
+                // execution-level stream separation, not the dispatch
+                // policy, which is exactly why its TPOT suffers.
+                let budget = cfg.aux_budget_override.unwrap_or_else(|| {
+                    calibrate_aux_budget(
+                        &d_cost,
+                        &sharing,
+                        true,
+                        &cfg.slo,
+                        typical_context,
+                        2 * cfg.model.max_context,
+                    )
+                });
+                d_cfg.aux_budget_tokens = budget;
+                calibrated_budget = budget;
+                let host = cfg.topology.host_route(gpus);
+                decode_idxs.push(instances.len());
+                instances.push(Instance::new(d_cfg, d_cost, sharing, host.bandwidth)?);
+            }
+            // Directed routes between every prefill/decode pair.
+            for (pi, p_gpus) in prefill_idxs.iter().zip(&p_groups) {
+                for (di, d_gpus) in decode_idxs.iter().zip(&d_groups) {
+                    routes.insert(
+                        (*pi, *di),
+                        transfers.add_route(cfg.topology.route_between(p_gpus, d_gpus)),
+                    );
+                    routes.insert(
+                        (*di, *pi),
+                        transfers.add_route(cfg.topology.route_between(d_gpus, p_gpus)),
+                    );
+                }
+            }
+        }
+
+        let coordinator = Coordinator {
+            dispatch_threshold: cfg.effective_dispatch_threshold(),
+            aux_budget_tokens: calibrated_budget,
+            kv_reserve_fraction: 0.15,
+            resched_watermark: cfg.resched_watermark,
+            long_context_tokens: cfg.long_context_tokens,
+            victim_policy: cfg.victim_policy,
+        };
+
+        Ok(Cluster {
+            cfg,
+            instances,
+            prefill_idxs,
+            decode_idxs,
+            transfers,
+            routes,
+            profiler,
+            coordinator,
+            counters: Counters::default(),
+            pending: HashMap::new(),
+            migrations: HashMap::new(),
+            actions: HashMap::new(),
+            next_transfer: 0,
+            deferred: Vec::new(),
+            series: Vec::new(),
+            ttft_predictions: Vec::new(),
+            active: Vec::new(),
+            autoscale_events: 0,
+            gpu_seconds_active: 0.0,
+            last_gpu_account: SimTime::ZERO,
+            cool_ticks_prefill: 0,
+            cool_ticks_decode: 0,
+        })
+    }
+
+    /// The fitted profiler (exposed for experiments/tests).
+    pub fn profiler(&self) -> &Profiler {
+        &self.profiler
+    }
+
+    /// The calibrated Algorithm 1 budget, in tokens.
+    pub fn aux_budget_tokens(&self) -> u32 {
+        self.coordinator.aux_budget_tokens
+    }
+
+    /// Number of serving instances in the deployment.
+    pub fn instance_count(&self) -> usize {
+        self.instances.len()
+    }
+
+    /// Replays `trace` to completion and reports.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the simulation deadlocks (requests left
+    /// incomplete with no events pending) or exceeds the event backstop.
+    pub fn run(mut self, trace: &Trace) -> Result<RunReport, String> {
+        let mut events: EventQueue<Event> = EventQueue::new();
+        for (i, req) in trace.requests().iter().enumerate() {
+            events.schedule(req.arrival, Event::Arrival(i));
+        }
+        if let Some(interval) = self.cfg.sample_interval {
+            self.series = self
+                .instances
+                .iter()
+                .map(|inst| windserve_metrics::InstanceSeries::new(inst.name(), interval))
+                .collect();
+            events.schedule(SimTime::ZERO, Event::Sample);
+        }
+        self.active = vec![Some(SimTime::ZERO); self.instances.len()];
+        if let Some(auto) = self.cfg.autoscale {
+            for (slot, &idx) in self.prefill_idxs.iter().enumerate() {
+                if slot >= auto.min_prefill {
+                    self.active[idx] = None;
+                }
+            }
+            for (slot, &idx) in self.decode_idxs.iter().enumerate() {
+                if slot >= auto.min_decode {
+                    self.active[idx] = None;
+                }
+            }
+            events.schedule(SimTime::ZERO, Event::AutoscaleTick);
+        }
+        let mut records: Vec<RequestRecord> = Vec::with_capacity(trace.requests().len());
+        let mut processed = 0u64;
+        let mut end_time = SimTime::ZERO;
+        // Periodic ticks (sampling, autoscaling) must not keep the run
+        // alive on their own: track how many *work* events remain.
+        let mut live_events = trace.requests().len() as u64;
+
+        while let Some(scheduled) = events.pop() {
+            processed += 1;
+            if !matches!(scheduled.event, Event::Sample | Event::AutoscaleTick) {
+                live_events -= 1;
+            }
+            if processed > MAX_EVENTS {
+                return Err(format!(
+                    "event backstop hit: {} pending requests",
+                    self.pending.len()
+                ));
+            }
+            let now = scheduled.at;
+            end_time = now;
+            self.account_gpu_seconds(now);
+            match scheduled.event {
+                Event::Arrival(i) => self.on_arrival(trace.requests()[i], now),
+                Event::StepDone { inst, lane } => {
+                    let outcome = self.instances[inst].complete_step(lane, now);
+                    self.on_step_outcome(inst, &outcome, now, &mut records);
+                }
+                Event::TransferDone(tid) => self.on_transfer_done(tid, now),
+                Event::AutoscaleTick => {
+                    self.autoscale_tick(now);
+                    if live_events > 0 || !self.pending.is_empty() {
+                        if let Some(auto) = self.cfg.autoscale {
+                            self.deferred.push((now + auto.check_interval, Event::AutoscaleTick));
+                        }
+                    }
+                }
+                Event::Sample => {
+                    for (inst, series) in self.instances.iter().zip(&mut self.series) {
+                        series.kv_used.push(now, 1.0 - inst.kv_free_fraction());
+                        series
+                            .waiting_prefill
+                            .push(now, inst.waiting_prefill_len() as f64);
+                        series
+                            .waiting_decode
+                            .push(now, inst.waiting_decode_len() as f64);
+                        series.running.push(now, inst.running_decode_count() as f64);
+                    }
+                    // Keep sampling while work remains in the system.
+                    if live_events > 0 || !self.pending.is_empty() {
+                        if let Some(interval) = self.cfg.sample_interval {
+                            self.deferred.push((now + interval, Event::Sample));
+                        }
+                    }
+                }
+            }
+            // State changed somewhere: give every instance a chance to
+            // launch steps (cheap — the instance count is tiny).
+            for idx in 0..self.instances.len() {
+                let started = self.instances[idx].try_start(now);
+                self.register_steps(idx, &started, now);
+            }
+            for (at, ev) in self.deferred.drain(..) {
+                if !matches!(ev, Event::Sample | Event::AutoscaleTick) {
+                    live_events += 1;
+                }
+                events.schedule(at.max(now), ev);
+            }
+        }
+
+        if !self.pending.is_empty() {
+            let mut ids: Vec<u64> = self.pending.keys().copied().collect();
+            ids.sort_unstable();
+            return Err(format!(
+                "simulation deadlocked with {} incomplete requests (first: {:?})",
+                ids.len(),
+                &ids[..ids.len().min(5)]
+            ));
+        }
+
+        records.sort_by_key(|r| r.id);
+        let duration_secs = end_time.as_secs_f64();
+        let summary = LatencySummary::of(self.cfg.slo, &records);
+        let instances = self
+            .instances
+            .iter()
+            .map(|inst| InstanceReport {
+                name: inst.name().to_string(),
+                utilization: inst
+                    .stats()
+                    .utilization(duration_secs, inst.cost_model().parallelism().lanes()),
+                swap_outs: inst.kv().swap_out_count(),
+                swap_ins: inst.kv().swap_in_count(),
+                prefill_steps: inst.stats().prefill_steps,
+                decode_steps: inst.stats().decode_steps,
+                hybrid_steps: inst.stats().hybrid_steps,
+                aux_steps: inst.stats().aux_steps,
+            })
+            .collect();
+        Ok(RunReport {
+            system: self.cfg.system,
+            summary,
+            records,
+            duration_secs,
+            instances,
+            dispatched_prefills: self.counters.dispatched,
+            migrations_started: self.counters.migrations_started,
+            migrations_completed: self.counters.migrations_completed,
+            kv_bytes_transferred: self.counters.kv_bytes,
+            backups_created: self.counters.backups_created,
+            backup_hits: self.counters.backup_hits,
+            series: self.series,
+            ttft_predictions: std::mem::take(&mut { let mut v = self.ttft_predictions; v.sort_by_key(|p| p.request); v }),
+            autoscale_events: self.autoscale_events,
+            gpu_seconds_active: self.gpu_seconds_active,
+        })
+    }
+
+    // ------------------------------------------------------------------
+    // Replica selection
+    // ------------------------------------------------------------------
+
+    /// True if instance `idx` is active and past its warmup at `now`.
+    fn is_routable(&self, idx: usize, now: SimTime) -> bool {
+        match self.active.get(idx) {
+            Some(Some(ready)) => *ready <= now,
+            Some(None) => false,
+            None => true, // before run() everything routes
+        }
+    }
+
+    /// The prefill replica with the smallest predicted TTFT for `prompt`.
+    fn pick_prefill(&self, prompt: u32, now: SimTime) -> usize {
+        *self
+            .prefill_idxs
+            .iter()
+            .filter(|&&i| self.is_routable(i, now))
+            .min_by_key(|&&i| {
+                self.coordinator
+                    .predict_ttft(&self.profiler, &self.instances[i], prompt, now)
+            })
+            .expect("at least min_prefill replicas stay active")
+    }
+
+    /// The decode replica with the most slots, if any can host `prompt`
+    /// guest-prefill tokens.
+    fn pick_decode_for_dispatch(&self, prompt: u32, now: SimTime) -> Option<usize> {
+        self.decode_idxs
+            .iter()
+            .filter(|&&i| self.is_routable(i, now))
+            .map(|&i| (self.coordinator.available_slots(&self.instances[i]), i))
+            .filter(|&(slots, _)| slots >= u64::from(prompt))
+            .max_by_key(|&(slots, i)| (slots, std::cmp::Reverse(i)))
+            .map(|(_, i)| i)
+    }
+
+    /// The decode replica with the most free KV (ties: fewest waiting).
+    fn pick_decode_for_handoff(&self, now: SimTime) -> usize {
+        *self
+            .decode_idxs
+            .iter()
+            .filter(|&&i| self.is_routable(i, now))
+            .max_by_key(|&&i| {
+                let inst = &self.instances[i];
+                (
+                    inst.kv_free_tokens(),
+                    std::cmp::Reverse(inst.waiting_decode_len()),
+                )
+            })
+            .expect("at least min_decode replicas stay active")
+    }
+
+    /// The prefill replica best able to host a migrant of `ctx` tokens.
+    fn pick_prefill_for_migration(&self, ctx: u32, now: SimTime) -> Option<usize> {
+        self.prefill_idxs
+            .iter()
+            .copied()
+            .filter(|&i| self.is_routable(i, now))
+            .filter(|&i| self.coordinator.destination_can_host(&self.instances[i], ctx))
+            .max_by_key(|&i| self.instances[i].kv_free_tokens())
+    }
+
+    fn route(&self, src: usize, dst: usize) -> RouteId {
+        *self
+            .routes
+            .get(&(src, dst))
+            .expect("route between PD instances")
+    }
+
+    // ------------------------------------------------------------------
+    // Event handlers
+    // ------------------------------------------------------------------
+
+    fn on_arrival(&mut self, req: Request, now: SimTime) {
+        let (inst, site) = self.route_arrival(&req, now);
+        // Record Algorithm 1's prediction for later accuracy analysis.
+        let predicted_ttft = (!self.cfg.system.colocated()).then(|| {
+            let p = self.pick_prefill(req.prompt_tokens, now);
+            self.coordinator
+                .predict_ttft(&self.profiler, &self.instances[p], req.prompt_tokens, now)
+                .as_secs_f64()
+        });
+        self.pending.insert(
+            req.id.0,
+            PendingRecord {
+                req,
+                site,
+                predicted_ttft,
+                prefill_start: None,
+                first_token: None,
+                decode_enqueue: None,
+                decode_start: None,
+                swap_outs: 0,
+                migrations: 0,
+            },
+        );
+        self.instances[inst].enqueue_prefill(req.id, req.prompt_tokens, req.output_tokens);
+        if site == PrefillSite::DecodeInstance {
+            self.counters.dispatched += 1;
+        }
+    }
+
+    fn route_arrival(&self, req: &Request, now: SimTime) -> (usize, PrefillSite) {
+        if self.cfg.system.colocated() {
+            // Least-outstanding-work routing across replicas.
+            let idx = (0..self.instances.len())
+                .min_by_key(|&i| {
+                    let inst = &self.instances[i];
+                    inst.waiting_prefill_len()
+                        + inst.waiting_decode_len()
+                        + inst.running_decode_count()
+                        + inst.swapped_len()
+                })
+                .expect("at least one replica");
+            return (idx, PrefillSite::Colocated);
+        }
+        let p = self.pick_prefill(req.prompt_tokens, now);
+        if self.cfg.system.dispatch_enabled() {
+            let ttft_pred = self.coordinator.predict_ttft(
+                &self.profiler,
+                &self.instances[p],
+                req.prompt_tokens,
+                now,
+            );
+            if ttft_pred.as_secs_f64() > self.coordinator.dispatch_threshold.as_secs_f64() {
+                if let Some(d) = self.pick_decode_for_dispatch(req.prompt_tokens, now) {
+                    return (d, PrefillSite::DecodeInstance);
+                }
+            }
+        }
+        (p, PrefillSite::PrefillInstance)
+    }
+
+    fn register_steps(&mut self, inst: usize, started: &[StartedStep], now: SimTime) {
+        for step in started {
+            self.deferred
+                .push((step.ends_at, Event::StepDone { inst, lane: step.lane }));
+            for id in &step.newly_prefilling {
+                if let Some(rec) = self.pending.get_mut(&id.0) {
+                    rec.prefill_start.get_or_insert(now);
+                }
+            }
+            for id in &step.newly_decoding {
+                if let Some(rec) = self.pending.get_mut(&id.0) {
+                    rec.decode_start.get_or_insert(now);
+                }
+            }
+        }
+    }
+
+    fn on_step_outcome(
+        &mut self,
+        inst: usize,
+        outcome: &StepOutcome,
+        now: SimTime,
+        records: &mut Vec<RequestRecord>,
+    ) {
+        for fp in &outcome.finished_prefills {
+            self.on_finished_prefill(inst, fp.id, now, records);
+        }
+        for id in &outcome.decoded {
+            if let Some(m) = self.migrations.get_mut(&id.0) {
+                if m.state.phase() == windserve_kvcache::MigrationPhase::Background {
+                    m.state.on_tokens_generated(1);
+                }
+            }
+        }
+        for c in &outcome.completed {
+            self.migrations.remove(&c.id.0);
+            self.finalize_record(c.id, c.swap_outs, now, records);
+        }
+        for p in &outcome.paused {
+            self.on_paused(p.clone(), now);
+        }
+        if self.decode_idxs.contains(&inst) && self.cfg.system.resched_enabled() {
+            self.maybe_reschedule(inst, now);
+        }
+    }
+
+    fn on_finished_prefill(
+        &mut self,
+        inst: usize,
+        id: RequestId,
+        now: SimTime,
+        records: &mut Vec<RequestRecord>,
+    ) {
+        let rec = self.pending.get_mut(&id.0).expect("unknown request finished prefill");
+        rec.first_token.get_or_insert(now);
+        let output_target = rec.req.output_tokens;
+        let prompt = rec.req.prompt_tokens;
+        if output_target == 1 {
+            // The prefill's token was the whole response.
+            rec.decode_enqueue.get_or_insert(now);
+            rec.decode_start.get_or_insert(now);
+            self.instances[inst].release_sequence(id);
+            self.finalize_record(id, 0, now, records);
+            return;
+        }
+        if self.prefill_idxs.contains(&inst) {
+            // KV handoff to a decode replica. WindServe overlaps the
+            // transfer with prefill computation layer-by-layer, so only the
+            // last layer's tail remains; DistServe moves the whole cache
+            // after the prefill, serialized on the link.
+            let dst = self.pick_decode_for_handoff(now);
+            let kv_per_token = self.instances[inst].kv_bytes_per_token();
+            let full_bytes = u64::from(prompt) * kv_per_token;
+            let wire_bytes = if self.cfg.system.overlapped_transfer() {
+                full_bytes / u64::from(self.cfg.model.n_layers.max(1))
+            } else {
+                full_bytes
+            };
+            self.counters.kv_bytes += full_bytes;
+            let keep_backup = self.cfg.system.resched_enabled()
+                && prompt >= self.cfg.long_context_tokens
+                && self.instances[dst].kv_free_fraction() < self.cfg.backup_trigger;
+            let state = SeqState::arriving_for_decode(id, prompt, output_target, 1, 0);
+            let route = self.route(inst, dst);
+            let done = self.transfers.submit(route, wire_bytes, now);
+            let tid = self.next_transfer;
+            self.next_transfer += 1;
+            self.actions.insert(
+                tid,
+                TransferAction::KvHandoff {
+                    state,
+                    src: inst,
+                    dst,
+                    keep_backup,
+                },
+            );
+            self.schedule_transfer_done(tid, done);
+        } else {
+            // Dispatched (decode instance) or colocated: KV already lives
+            // where decoding happens — no transfer at all.
+            rec.decode_enqueue.get_or_insert(now);
+            self.instances[inst].promote_to_decode(id);
+        }
+    }
+
+    fn on_paused(&mut self, paused: PausedSeq, now: SimTime) {
+        let id = paused.state.id;
+        let Some(migration) = self.migrations.get_mut(&id.0) else {
+            // Pause without a live migration: the request completed in the
+            // same step; nothing to do.
+            return;
+        };
+        let tail_tokens = migration.state.begin_pause();
+        let (src, dst) = (migration.src, migration.dst);
+        let kv_per_token = self.instances[src].kv_bytes_per_token();
+        let bytes = u64::from(tail_tokens) * kv_per_token;
+        self.counters.kv_bytes += bytes;
+        let mut state = paused.state;
+        state.migrations += 1;
+        if let Some(rec) = self.pending.get_mut(&id.0) {
+            rec.swap_outs += state.swap_outs;
+            rec.migrations += 1;
+        }
+        state.swap_outs = 0;
+        let route = self.route(src, dst);
+        let done = self.transfers.submit(route, bytes, now);
+        let tid = self.next_transfer;
+        self.next_transfer += 1;
+        self.actions.insert(tid, TransferAction::MigrationPhase2 { state });
+        self.schedule_transfer_done(tid, done);
+    }
+
+    fn on_transfer_done(&mut self, tid: u64, now: SimTime) {
+        let action = self.actions.remove(&tid).expect("unknown transfer");
+        match action {
+            TransferAction::KvHandoff {
+                state,
+                src,
+                dst,
+                keep_backup,
+            } => {
+                let id = state.id;
+                if keep_backup {
+                    if self.instances[src].convert_to_backup(id, self.cfg.backup_watermark) {
+                        self.counters.backups_created += 1;
+                    }
+                } else {
+                    self.instances[src].release_sequence(id);
+                }
+                if let Some(rec) = self.pending.get_mut(&id.0) {
+                    rec.decode_enqueue.get_or_insert(now);
+                }
+                self.instances[dst].enqueue_decode_arrival(state);
+            }
+            TransferAction::MigrationPhase1 { id } => {
+                if self.pending.contains_key(&id.0) {
+                    if let Some(m) = self.migrations.get(&id.0) {
+                        let src = m.src;
+                        if let Some(paused) = self.instances[src].request_pause(id) {
+                            self.on_paused(paused, now);
+                        }
+                    }
+                } else {
+                    self.migrations.remove(&id.0);
+                }
+            }
+            TransferAction::MigrationPhase2 { state } => {
+                let id = state.id;
+                let Some(m) = self.migrations.remove(&id.0) else {
+                    return;
+                };
+                self.instances[m.dst].drop_backup(id);
+                if self.pending.contains_key(&id.0) {
+                    self.instances[m.dst].enqueue_decode_arrival(state);
+                    self.counters.migrations_completed += 1;
+                }
+            }
+        }
+    }
+
+    fn maybe_reschedule(&mut self, decode_idx: usize, now: SimTime) {
+        while self.migrations.len() < self.cfg.max_concurrent_migrations
+            && self
+                .coordinator
+                .needs_rescheduling(&self.instances[decode_idx])
+        {
+            let Some((victim, ctx)) = self.coordinator.pick_victim(&self.instances[decode_idx])
+            else {
+                return;
+            };
+            let Some(dst) = self.pick_prefill_for_migration(ctx, now) else {
+                return;
+            };
+            self.start_migration(victim, ctx, decode_idx, dst, now);
+        }
+    }
+
+    fn start_migration(&mut self, id: RequestId, ctx: u32, src: usize, dst: usize, now: SimTime) {
+        self.instances[src].mark_migrating(id);
+        // Backups shrink the bulk phase: only the delta since the snapshot
+        // must move.
+        let delta = self.instances[dst].backup_delta_tokens(id, ctx);
+        if delta < ctx {
+            self.counters.backup_hits += 1;
+        }
+        let migration = StallFreeMigration::new(ctx, self.cfg.pause_threshold_tokens.min(delta));
+        let bulk_tokens = delta.saturating_sub(self.cfg.pause_threshold_tokens);
+        let kv_per_token = self.instances[src].kv_bytes_per_token();
+        let bytes = u64::from(bulk_tokens) * kv_per_token;
+        self.counters.kv_bytes += bytes;
+        self.migrations.insert(
+            id.0,
+            MigrationCtl {
+                state: migration,
+                src,
+                dst,
+            },
+        );
+        self.counters.migrations_started += 1;
+        let route = self.route(src, dst);
+        let done = self.transfers.submit(route, bytes, now);
+        let tid = self.next_transfer;
+        self.next_transfer += 1;
+        self.actions.insert(tid, TransferAction::MigrationPhase1 { id });
+        self.schedule_transfer_done(tid, done);
+    }
+
+    /// Integrates GPU-seconds held by active (incl. warming) instances.
+    fn account_gpu_seconds(&mut self, now: SimTime) {
+        let dt = now.saturating_since(self.last_gpu_account).as_secs_f64();
+        if dt > 0.0 {
+            let gpus: usize = self
+                .instances
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| self.active.get(*i).is_none_or(|a| a.is_some()))
+                .map(|(_, inst)| inst.cost_model().parallelism().n_gpus())
+                .sum();
+            self.gpu_seconds_active += dt * gpus as f64;
+        }
+        self.last_gpu_account = now;
+    }
+
+    /// One autoscaler evaluation: activate a replica when every active one
+    /// of a phase is overloaded; drain and deactivate an idle one when load
+    /// recedes. At most one action per phase per tick.
+    fn autoscale_tick(&mut self, now: SimTime) {
+        let Some(auto) = self.cfg.autoscale else {
+            return;
+        };
+        let thrd = self.coordinator.dispatch_threshold.as_secs_f64();
+
+        // --- prefill scaling ---
+        let active_p: Vec<usize> = self
+            .prefill_idxs
+            .iter()
+            .copied()
+            .filter(|&i| self.active[i].is_some())
+            .collect();
+        let pred = |cluster: &Self, i: usize| {
+            cluster
+                .coordinator
+                .predict_ttft(&cluster.profiler, &cluster.instances[i], 1, now)
+                .as_secs_f64()
+        };
+        let all_hot = active_p.iter().all(|&i| pred(self, i) > auto.up_ttft_fraction * thrd);
+        let all_cool = active_p
+            .iter()
+            .all(|&i| pred(self, i) < auto.down_ttft_fraction * thrd);
+        self.cool_ticks_prefill = if all_cool { self.cool_ticks_prefill + 1 } else { 0 };
+        if all_hot {
+            if let Some(&idle) = self.prefill_idxs.iter().find(|&&i| self.active[i].is_none()) {
+                self.active[idle] = Some(now + auto.warmup);
+                self.autoscale_events += 1;
+                self.cool_ticks_prefill = 0;
+            } else if let Some(&idle) =
+                self.decode_idxs.iter().find(|&&i| self.active[i].is_none())
+            {
+                // No prefill replica left to add: grow dispatch capacity
+                // instead — another decode replica brings another guest
+                // stream budget (and its idle tensor cores).
+                self.active[idle] = Some(now + auto.warmup);
+                self.autoscale_events += 1;
+                self.cool_ticks_prefill = 0;
+            }
+        } else if active_p.len() > auto.min_prefill && self.cool_ticks_prefill >= DRAIN_TICKS {
+            let dwelled: Vec<usize> = active_p
+                .iter()
+                .rev()
+                .copied()
+                .filter(|&i| self.past_dwell(i, now, &auto))
+                .collect();
+            if let Some(&victim) = dwelled.iter().find(|&&i| {
+                self.instances[i].is_drained() || {
+                    self.instances[i].clear_backups();
+                    self.instances[i].is_drained()
+                }
+            }) {
+                self.active[victim] = None;
+                self.autoscale_events += 1;
+                self.cool_ticks_prefill = 0;
+            }
+        }
+
+        // --- decode scaling ---
+        let active_d: Vec<usize> = self
+            .decode_idxs
+            .iter()
+            .copied()
+            .filter(|&i| self.active[i].is_some())
+            .collect();
+        let all_tight = active_d.iter().all(|&i| {
+            let inst = &self.instances[i];
+            inst.kv_free_fraction() < auto.decode_up_kv_fraction
+                || inst.waiting_decode_len() > 0
+                || inst.swapped_len() > 0
+        });
+        self.cool_ticks_decode = if all_tight { 0 } else { self.cool_ticks_decode + 1 };
+        if all_tight {
+            if let Some(&idle) = self.decode_idxs.iter().find(|&&i| self.active[i].is_none()) {
+                self.active[idle] = Some(now + auto.warmup);
+                self.autoscale_events += 1;
+            }
+        } else if active_d.len() > auto.min_decode && self.cool_ticks_decode >= DRAIN_TICKS {
+            if let Some(&victim) = active_d
+                .iter()
+                .rev()
+                .filter(|&&i| self.past_dwell(i, now, &auto))
+                .find(|&&i| self.instances[i].is_drained())
+            {
+                self.active[victim] = None;
+                self.autoscale_events += 1;
+                self.cool_ticks_decode = 0;
+            }
+        }
+    }
+
+    /// True once a replica has been ready long enough to have received
+    /// work — freshly activated replicas are immune to scale-down, or the
+    /// scaler would kill them the moment their warmup ends.
+    fn past_dwell(&self, idx: usize, now: SimTime, auto: &crate::AutoscaleConfig) -> bool {
+        match self.active[idx] {
+            Some(ready) => now >= ready + auto.check_interval * u64::from(DRAIN_TICKS),
+            None => false,
+        }
+    }
+
+    fn finalize_record(
+        &mut self,
+        id: RequestId,
+        swap_outs: u32,
+        now: SimTime,
+        records: &mut Vec<RequestRecord>,
+    ) {
+        let rec = self.pending.remove(&id.0).expect("finalizing unknown request");
+        let first_token = rec.first_token.expect("completed without first token");
+        if let Some(predicted) = rec.predicted_ttft {
+            self.ttft_predictions.push(TtftPrediction {
+                request: id.0,
+                predicted,
+                actual: first_token.saturating_since(rec.req.arrival).as_secs_f64(),
+                dispatched: rec.site == PrefillSite::DecodeInstance,
+            });
+        }
+        let decode_enqueue = rec.decode_enqueue.unwrap_or(first_token);
+        records.push(RequestRecord {
+            id,
+            prompt_tokens: rec.req.prompt_tokens,
+            output_tokens: rec.req.output_tokens,
+            arrival: rec.req.arrival,
+            prefill_start: rec.prefill_start.unwrap_or(rec.req.arrival),
+            first_token,
+            decode_enqueue,
+            decode_start: rec.decode_start.unwrap_or(decode_enqueue),
+            completion: now,
+            prefill_site: rec.site,
+            swap_outs: rec.swap_outs + swap_outs,
+            migrations: rec.migrations,
+        });
+    }
+
+    fn schedule_transfer_done(&mut self, tid: u64, at: SimTime) {
+        self.deferred.push((at, Event::TransferDone(tid)));
+    }
+}

@@ -1,0 +1,434 @@
+//! Serving-system configuration.
+//!
+//! [`ServeConfig`] assembles everything a run needs: model, hardware,
+//! placement (Table 3), SLOs (Table 4), the system variant under test
+//! (WindServe, its ablations, or a baseline) and the scheduling knobs the
+//! paper discusses (`thrd`, watermarks, pause threshold, chunk size).
+
+use serde::{Deserialize, Serialize};
+use windserve_engine::PreemptionMode;
+use windserve_gpu::{GpuSpec, Topology};
+use windserve_metrics::SloSpec;
+use windserve_model::{ModelSpec, Parallelism};
+use windserve_sim::SimDuration;
+
+/// Which request dynamic rescheduling migrates first (§3.3 contrasts
+/// WindServe's choice with Llumnix's).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum VictimPolicy {
+    /// WindServe: migrate the longest-context request — frees the most KV
+    /// blocks per migration and minimizes prefill-decode interference at
+    /// the destination.
+    #[default]
+    LongestContext,
+    /// Llumnix-style: migrate the shortest-context request — minimizes
+    /// per-migration transfer volume and fragmentation, at the cost of
+    /// needing many more migrations to relieve the same pressure.
+    ShortestContext,
+}
+
+/// Autoscaling policy (paper §7 future work): replicas beyond the minimum
+/// are activated when every active replica of a phase is overloaded and
+/// drained/deactivated when load recedes. Activation pays a warmup delay
+/// (model load + engine start).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AutoscaleConfig {
+    /// Always-active prefill replicas (>= 1).
+    pub min_prefill: usize,
+    /// Always-active decode replicas (>= 1).
+    pub min_decode: usize,
+    /// How often the scaler re-evaluates.
+    pub check_interval: SimDuration,
+    /// Scale prefill up when every active replica's predicted TTFT exceeds
+    /// this fraction of the dispatch threshold.
+    pub up_ttft_fraction: f64,
+    /// Scale prefill down when aggregate predicted TTFT falls below this
+    /// fraction of the dispatch threshold (and a replica is empty).
+    pub down_ttft_fraction: f64,
+    /// Scale decode up when every active replica's free-KV fraction drops
+    /// below this value.
+    pub decode_up_kv_fraction: f64,
+    /// Activation warmup (weights load, engine start).
+    pub warmup: SimDuration,
+}
+
+impl Default for AutoscaleConfig {
+    fn default() -> Self {
+        AutoscaleConfig {
+            min_prefill: 1,
+            min_decode: 1,
+            check_interval: SimDuration::from_millis(250),
+            up_ttft_fraction: 0.8,
+            down_ttft_fraction: 0.2,
+            decode_up_kv_fraction: 0.25,
+            warmup: SimDuration::from_secs(3),
+        }
+    }
+}
+
+impl AutoscaleConfig {
+    /// Validates parameter ranges.
+    ///
+    /// # Errors
+    ///
+    /// Describes the first invalid field.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.min_prefill == 0 || self.min_decode == 0 {
+            return Err("autoscale minimums must be at least 1".into());
+        }
+        if self.check_interval.is_zero() {
+            return Err("autoscale check interval must be positive".into());
+        }
+        for (label, v) in [
+            ("up_ttft_fraction", self.up_ttft_fraction),
+            ("down_ttft_fraction", self.down_ttft_fraction),
+            ("decode_up_kv_fraction", self.decode_up_kv_fraction),
+        ] {
+            if !(v.is_finite() && v > 0.0) {
+                return Err(format!("{label} must be positive, got {v}"));
+            }
+        }
+        if self.down_ttft_fraction >= self.up_ttft_fraction {
+            return Err("down threshold must sit below the up threshold".into());
+        }
+        Ok(())
+    }
+}
+
+/// Which serving system to run — WindServe, an ablation, or a baseline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SystemKind {
+    /// Full WindServe: dynamic prefill dispatch + dynamic rescheduling +
+    /// stall-free migration + stream-based disaggregation + overlapped KV
+    /// handoff.
+    WindServe,
+    /// WindServe without stream-based disaggregation (Fig. 13a): dispatched
+    /// prefills fuse into the decode batch.
+    WindServeNoSplit,
+    /// WindServe without dynamic rescheduling (Fig. 13b): memory pressure
+    /// falls back to vLLM-style swapping.
+    WindServeNoResche,
+    /// DistServe-like static phase disaggregation: no dispatch, no
+    /// rescheduling, KV handoff transferred after prefill completion, KV
+    /// never retained on the prefill instance.
+    DistServe,
+    /// vLLM-like colocated serving with chunked prefill, one replica per
+    /// GPU group, least-loaded routing.
+    VllmColocated,
+}
+
+impl SystemKind {
+    /// Dynamic prefill dispatch enabled (Algorithm 1)?
+    pub fn dispatch_enabled(self) -> bool {
+        matches!(
+            self,
+            SystemKind::WindServe | SystemKind::WindServeNoSplit | SystemKind::WindServeNoResche
+        )
+    }
+
+    /// Dynamic rescheduling (and KV backups) enabled?
+    pub fn resched_enabled(self) -> bool {
+        matches!(self, SystemKind::WindServe | SystemKind::WindServeNoSplit)
+    }
+
+    /// Stream-based disaggregation enabled on the decode instance?
+    pub fn sbd_enabled(self) -> bool {
+        matches!(self, SystemKind::WindServe | SystemKind::WindServeNoResche)
+    }
+
+    /// KV handoff overlapped with prefill computation?
+    pub fn overlapped_transfer(self) -> bool {
+        self.dispatch_enabled()
+    }
+
+    /// Colocated (non-disaggregated) deployment?
+    pub fn colocated(self) -> bool {
+        matches!(self, SystemKind::VllmColocated)
+    }
+
+    /// Display name used in reports and figures.
+    pub fn label(self) -> &'static str {
+        match self {
+            SystemKind::WindServe => "WindServe",
+            SystemKind::WindServeNoSplit => "WindServe-no-split",
+            SystemKind::WindServeNoResche => "WindServe-no-resche",
+            SystemKind::DistServe => "DistServe",
+            SystemKind::VllmColocated => "vLLM",
+        }
+    }
+}
+
+/// Full configuration of one serving run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServeConfig {
+    /// The served model.
+    pub model: ModelSpec,
+    /// GPU type of every device in the node.
+    pub gpu: GpuSpec,
+    /// Optional different GPU type for the prefill instance — the paper's
+    /// §7 future-work scenario (e.g. RTX-4090 prefill: high compute, low
+    /// bandwidth, no NVLink). `None` uses `gpu` everywhere.
+    pub prefill_gpu: Option<GpuSpec>,
+    /// Node interconnect topology.
+    pub topology: Topology,
+    /// Prefill-instance placement (Table 3 left column).
+    pub prefill_parallelism: Parallelism,
+    /// Decode-instance placement (Table 3 right column).
+    pub decode_parallelism: Parallelism,
+    /// Number of prefill replicas (paper §7 future work: multi-instance
+    /// load balancing). The Global Scheduler routes arrivals to the least
+    /// predicted-TTFT replica.
+    pub prefill_replicas: usize,
+    /// Number of decode replicas; KV handoffs go to the replica with the
+    /// most free KV.
+    pub decode_replicas: usize,
+    /// Latency objectives (Table 4).
+    pub slo: SloSpec,
+    /// System variant under test.
+    pub system: SystemKind,
+    /// Algorithm 1's `thrd`; `None` selects the paper's default of
+    /// "slightly below the TTFT SLO" (90% of it).
+    pub dispatch_threshold: Option<SimDuration>,
+    /// Decode-instance free-block fraction below which dynamic
+    /// rescheduling activates.
+    pub resched_watermark: f64,
+    /// Prefill-instance free-block fraction that backups must preserve.
+    pub backup_watermark: f64,
+    /// Decode-instance free-block fraction below which the prefill
+    /// instance starts retaining backups.
+    pub backup_trigger: f64,
+    /// Minimum context length for a request to be backed up / migrated
+    /// (rescheduling targets long-context requests).
+    pub long_context_tokens: u32,
+    /// Remaining-token threshold at which a migrating request pauses
+    /// (stall-free migration, §3.3).
+    pub pause_threshold_tokens: u32,
+    /// Concurrent migrations allowed.
+    pub max_concurrent_migrations: usize,
+    /// Chunk size for chunked prefill.
+    pub chunk_tokens: u32,
+    /// Override for the Algorithm 1 token budget; `None` calibrates it
+    /// from the cost model and TPOT SLO.
+    pub aux_budget_override: Option<u32>,
+    /// Victim selection for dynamic rescheduling.
+    pub victim_policy: VictimPolicy,
+    /// On multi-node topologies, place all prefill replicas on node 0 and
+    /// all decode replicas on node 1 so every KV handoff crosses the
+    /// inter-node fabric (the paper's §7 multi-node study).
+    pub split_phases_across_nodes: bool,
+    /// KV-pressure preemption mode on every instance.
+    pub preemption: PreemptionMode,
+    /// When set, sample every instance's KV usage and queue depths on this
+    /// cadence; the series land in [`crate::RunReport::series`].
+    pub sample_interval: Option<SimDuration>,
+    /// When set, replicas beyond the autoscale minimums are activated and
+    /// drained on demand; `prefill_replicas`/`decode_replicas` become the
+    /// *maximums*.
+    pub autoscale: Option<AutoscaleConfig>,
+}
+
+impl ServeConfig {
+    /// A config with the paper's defaults for the given model/SLO/placement
+    /// and system variant.
+    pub fn new(
+        model: ModelSpec,
+        slo: SloSpec,
+        prefill: Parallelism,
+        decode: Parallelism,
+        system: SystemKind,
+    ) -> Self {
+        ServeConfig {
+            model,
+            gpu: GpuSpec::a800_80gb(),
+            prefill_gpu: None,
+            topology: Topology::a800_testbed(),
+            prefill_parallelism: prefill,
+            decode_parallelism: decode,
+            prefill_replicas: 1,
+            decode_replicas: 1,
+            slo,
+            system,
+            dispatch_threshold: None,
+            resched_watermark: 0.10,
+            backup_watermark: 0.35,
+            backup_trigger: 0.50,
+            long_context_tokens: 512,
+            pause_threshold_tokens: 128,
+            max_concurrent_migrations: 2,
+            chunk_tokens: 512,
+            aux_budget_override: None,
+            victim_policy: VictimPolicy::LongestContext,
+            split_phases_across_nodes: false,
+            preemption: PreemptionMode::Swap,
+            sample_interval: None,
+            autoscale: None,
+        }
+    }
+
+    /// Table 3 + Table 4 preset: OPT-13B, ShareGPT, `[TP-2, TP-2]`.
+    pub fn opt_13b_sharegpt(system: SystemKind) -> Self {
+        ServeConfig::new(
+            ModelSpec::opt_13b(),
+            SloSpec::opt_13b_sharegpt(),
+            Parallelism::new(2, 1),
+            Parallelism::new(2, 1),
+            system,
+        )
+    }
+
+    /// Table 3 + Table 4 preset: OPT-66B, ShareGPT, `[TP-2 PP-2, TP-2 PP-2]`.
+    pub fn opt_66b_sharegpt(system: SystemKind) -> Self {
+        ServeConfig::new(
+            ModelSpec::opt_66b(),
+            SloSpec::opt_66b_sharegpt(),
+            Parallelism::new(2, 2),
+            Parallelism::new(2, 2),
+            system,
+        )
+    }
+
+    /// Table 3 + Table 4 preset: LLaMA2-13B, LongBench, `[TP-2, TP-2]`.
+    pub fn llama2_13b_longbench(system: SystemKind) -> Self {
+        ServeConfig::new(
+            ModelSpec::llama2_13b(),
+            SloSpec::llama2_13b_longbench(),
+            Parallelism::new(2, 1),
+            Parallelism::new(2, 1),
+            system,
+        )
+    }
+
+    /// Table 3 + Table 4 preset: LLaMA2-70B, LongBench, `[TP-2 PP-2, TP-2 PP-2]`.
+    pub fn llama2_70b_longbench(system: SystemKind) -> Self {
+        ServeConfig::new(
+            ModelSpec::llama2_70b(),
+            SloSpec::llama2_70b_longbench(),
+            Parallelism::new(2, 2),
+            Parallelism::new(2, 2),
+            system,
+        )
+    }
+
+    /// The effective Algorithm 1 threshold: configured value or 90% of the
+    /// TTFT SLO ("we set the threshold slightly below the TTFT SLO").
+    pub fn effective_dispatch_threshold(&self) -> SimDuration {
+        self.dispatch_threshold
+            .unwrap_or_else(|| self.slo.ttft.mul_f64(0.9))
+    }
+
+    /// The GPU type backing the prefill instance.
+    pub fn prefill_gpu(&self) -> GpuSpec {
+        self.prefill_gpu.clone().unwrap_or_else(|| self.gpu.clone())
+    }
+
+    /// GPUs consumed by the whole deployment.
+    pub fn total_gpus(&self) -> usize {
+        self.prefill_parallelism.n_gpus() * self.prefill_replicas
+            + self.decode_parallelism.n_gpus() * self.decode_replicas
+    }
+
+    /// Converts an aggregate request rate into the paper's per-GPU rate.
+    pub fn per_gpu_rate(&self, total_rate: f64) -> f64 {
+        total_rate / self.total_gpus() as f64
+    }
+
+    /// Converts a per-GPU rate (the paper's x-axis) into an aggregate rate.
+    pub fn total_rate(&self, per_gpu_rate: f64) -> f64 {
+        per_gpu_rate * self.total_gpus() as f64
+    }
+
+    /// Validates parameter ranges and placement feasibility.
+    ///
+    /// # Errors
+    ///
+    /// Describes the first invalid field.
+    pub fn validate(&self) -> Result<(), String> {
+        self.model.validate()?;
+        self.gpu.validate()?;
+        if let Some(pg) = &self.prefill_gpu {
+            pg.validate()?;
+        }
+        if self.total_gpus() > self.topology.n_gpus() {
+            return Err(format!(
+                "placement needs {} GPUs, node has {}",
+                self.total_gpus(),
+                self.topology.n_gpus()
+            ));
+        }
+        for (label, v) in [
+            ("resched_watermark", self.resched_watermark),
+            ("backup_watermark", self.backup_watermark),
+            ("backup_trigger", self.backup_trigger),
+        ] {
+            if !(0.0..=1.0).contains(&v) {
+                return Err(format!("{label} must be in [0, 1], got {v}"));
+            }
+        }
+        if self.chunk_tokens == 0 || self.max_concurrent_migrations == 0 {
+            return Err("chunk_tokens and max_concurrent_migrations must be positive".into());
+        }
+        if !self.system.colocated() && (self.prefill_replicas == 0 || self.decode_replicas == 0) {
+            return Err("PD systems need at least one replica per phase".into());
+        }
+        if let Some(auto) = &self.autoscale {
+            auto.validate()?;
+            if auto.min_prefill > self.prefill_replicas || auto.min_decode > self.decode_replicas {
+                return Err("autoscale minimums exceed the replica maximums".into());
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_validate_and_match_table3() {
+        for cfg in [
+            ServeConfig::opt_13b_sharegpt(SystemKind::WindServe),
+            ServeConfig::opt_66b_sharegpt(SystemKind::DistServe),
+            ServeConfig::llama2_13b_longbench(SystemKind::VllmColocated),
+            ServeConfig::llama2_70b_longbench(SystemKind::WindServeNoSplit),
+        ] {
+            cfg.validate().unwrap();
+        }
+        // Table 3: 13B-class models use [TP-2, TP-2]; large models add PP-2.
+        assert_eq!(ServeConfig::opt_13b_sharegpt(SystemKind::WindServe).total_gpus(), 4);
+        assert_eq!(ServeConfig::opt_66b_sharegpt(SystemKind::WindServe).total_gpus(), 8);
+    }
+
+    #[test]
+    fn system_kinds_gate_the_right_features() {
+        use SystemKind::*;
+        assert!(WindServe.dispatch_enabled() && WindServe.resched_enabled() && WindServe.sbd_enabled());
+        assert!(!WindServeNoSplit.sbd_enabled() && WindServeNoSplit.resched_enabled());
+        assert!(!WindServeNoResche.resched_enabled() && WindServeNoResche.sbd_enabled());
+        assert!(!DistServe.dispatch_enabled() && !DistServe.overlapped_transfer());
+        assert!(VllmColocated.colocated());
+    }
+
+    #[test]
+    fn default_threshold_is_slightly_below_ttft_slo() {
+        let cfg = ServeConfig::opt_13b_sharegpt(SystemKind::WindServe);
+        let thrd = cfg.effective_dispatch_threshold();
+        assert!(thrd < cfg.slo.ttft);
+        assert!(thrd.as_secs_f64() > 0.8 * cfg.slo.ttft.as_secs_f64());
+    }
+
+    #[test]
+    fn rate_conversions_are_inverse() {
+        let cfg = ServeConfig::opt_13b_sharegpt(SystemKind::WindServe);
+        let total = cfg.total_rate(4.0);
+        assert_eq!(total, 16.0);
+        assert_eq!(cfg.per_gpu_rate(total), 4.0);
+    }
+
+    #[test]
+    fn oversubscribed_placement_rejected() {
+        let mut cfg = ServeConfig::opt_66b_sharegpt(SystemKind::WindServe);
+        cfg.prefill_parallelism = Parallelism::new(4, 2);
+        assert!(cfg.validate().is_err());
+    }
+}

@@ -1,0 +1,227 @@
+//! The Global Scheduler's Coordinator (paper §3.2.2).
+//!
+//! The Coordinator collaborates with the Profiler to run the two dynamic
+//! scheduling strategies:
+//!
+//! * **Dynamic Prefill Dispatch** (Algorithm 1): on arrival, if the
+//!   predicted TTFT in the prefill instance exceeds the threshold `thrd`
+//!   and the decode instance has enough *slots* (budgeted prefill tokens +
+//!   KV blocks), the prompt is processed on the decode instance instead.
+//! * **Dynamic Rescheduling**: when the decode instance's KV blocks near
+//!   exhaustion, the longest-context running request is migrated to the
+//!   prefill instance (stall-free, §3.3).
+
+use crate::config::VictimPolicy;
+use crate::profiler::Profiler;
+use serde::{Deserialize, Serialize};
+use windserve_engine::Instance;
+use windserve_sim::{SimDuration, SimTime};
+use windserve_workload::RequestId;
+
+/// Dispatch and rescheduling policy state.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Coordinator {
+    /// Algorithm 1's `thrd`: predicted-TTFT threshold that marks the
+    /// prefill instance overloaded.
+    pub dispatch_threshold: SimDuration,
+    /// The calibrated budget: max guest-prefill tokens in flight on the
+    /// decode instance.
+    pub aux_budget_tokens: u32,
+    /// Fraction of decode KV blocks that must stay free for decode growth
+    /// before any slots are offered.
+    pub kv_reserve_fraction: f64,
+    /// Decode free-block fraction below which rescheduling activates.
+    pub resched_watermark: f64,
+    /// Minimum context for migration victims (WindServe migrates *long*
+    /// sequences, unlike Llumnix).
+    pub long_context_tokens: u32,
+    /// Which end of the context distribution to migrate first.
+    pub victim_policy: VictimPolicy,
+}
+
+impl Coordinator {
+    /// Algorithm 1, line 1: `TTFT_pred` for a new request of
+    /// `prompt_tokens`, from the waiting-queue backlog and the remaining
+    /// time of the currently prefilling batch.
+    pub fn predict_ttft(
+        &self,
+        profiler: &Profiler,
+        prefill: &Instance,
+        prompt_tokens: u32,
+        now: SimTime,
+    ) -> SimDuration {
+        profiler.predict_ttft(
+            prefill.prefill_backlog_tokens(),
+            u64::from(prompt_tokens),
+            prefill.earliest_availability(now),
+        )
+    }
+
+    /// Algorithm 1, line 3: slots the decode instance can offer, in prefill
+    /// tokens. Zero whenever the decode side shows any sign of pressure —
+    /// queued or swapped sequences, or KV below the reserve ("if the KV
+    /// blocks in the decoding instance are inadequate, the available slot
+    /// is set to 0").
+    pub fn available_slots(&self, decode: &Instance) -> u64 {
+        if decode.waiting_decode_len() > 0 || decode.swapped_len() > 0 {
+            return 0;
+        }
+        if decode.kv_free_fraction() < self.kv_reserve_fraction {
+            return 0;
+        }
+        let reserve =
+            (decode.kv().total_blocks() as f64 * self.kv_reserve_fraction) as u64
+                * u64::from(decode.kv().block_tokens());
+        let spare_kv = decode.kv_free_tokens().saturating_sub(reserve);
+        u64::from(self.aux_budget_tokens)
+            .saturating_sub(decode.guest_prefill_backlog_tokens())
+            .min(spare_kv)
+    }
+
+    /// Algorithm 1, lines 5-8: dispatch decision for a new request.
+    pub fn should_dispatch(
+        &self,
+        profiler: &Profiler,
+        prefill: &Instance,
+        decode: &Instance,
+        prompt_tokens: u32,
+        now: SimTime,
+    ) -> bool {
+        let ttft_pred = self.predict_ttft(profiler, prefill, prompt_tokens, now);
+        if ttft_pred.as_secs_f64() <= self.dispatch_threshold.as_secs_f64() {
+            return false;
+        }
+        self.available_slots(decode) >= u64::from(prompt_tokens)
+    }
+
+    /// True when the decode instance's KV blocks are nearly exhausted and
+    /// dynamic rescheduling should free space: free blocks below the
+    /// watermark, or sequences already pushed out to host memory. (A
+    /// non-empty decode waiting queue alone is *not* pressure — every KV
+    /// handoff passes through it briefly.)
+    pub fn needs_rescheduling(&self, decode: &Instance) -> bool {
+        decode.kv_free_fraction() < self.resched_watermark || decode.swapped_len() > 0
+    }
+
+    /// Picks the migration victim among running decodes at or above the
+    /// long-context bar: the longest context under WindServe's policy, the
+    /// shortest under the Llumnix-style alternative.
+    pub fn pick_victim(&self, decode: &Instance) -> Option<(RequestId, u32)> {
+        let candidates = decode
+            .running_decodes()
+            .into_iter()
+            .filter(|&(_, ctx)| ctx >= self.long_context_tokens);
+        match self.victim_policy {
+            VictimPolicy::LongestContext => {
+                candidates.max_by_key(|&(id, ctx)| (ctx, std::cmp::Reverse(id)))
+            }
+            VictimPolicy::ShortestContext => candidates.min_by_key(|&(id, ctx)| (ctx, id)),
+        }
+    }
+
+    /// True if the prefill instance has comfortable room to host a migrant
+    /// of `ctx` tokens (its own prompts take priority).
+    pub fn destination_can_host(&self, prefill: &Instance, ctx: u32) -> bool {
+        prefill.kv_free_tokens() >= 2 * u64::from(ctx)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use windserve_engine::{InstanceConfig, SeqState};
+    use windserve_gpu::{GpuSpec, StreamSharing};
+    use windserve_model::{CostModel, ModelSpec, Parallelism};
+
+    fn coordinator() -> Coordinator {
+        Coordinator {
+            dispatch_threshold: SimDuration::from_millis(225),
+            aux_budget_tokens: 2048,
+            kv_reserve_fraction: 0.15,
+            resched_watermark: 0.10,
+            long_context_tokens: 512,
+            victim_policy: VictimPolicy::LongestContext,
+        }
+    }
+
+    fn decode_instance() -> Instance {
+        let cost =
+            CostModel::new(ModelSpec::opt_13b(), GpuSpec::a800_80gb(), Parallelism::tp(2)).unwrap();
+        Instance::new(InstanceConfig::decode("d"), cost, StreamSharing::default(), 20e9).unwrap()
+    }
+
+    fn prefill_instance() -> Instance {
+        let cost =
+            CostModel::new(ModelSpec::opt_13b(), GpuSpec::a800_80gb(), Parallelism::tp(2)).unwrap();
+        Instance::new(InstanceConfig::prefill("p"), cost, StreamSharing::default(), 20e9).unwrap()
+    }
+
+    #[test]
+    fn idle_decode_instance_offers_the_full_budget() {
+        let c = coordinator();
+        let d = decode_instance();
+        assert_eq!(c.available_slots(&d), 2048);
+    }
+
+    #[test]
+    fn queued_decodes_zero_the_slots() {
+        let c = coordinator();
+        let mut d = decode_instance();
+        d.enqueue_decode_arrival(SeqState::arriving_for_decode(RequestId(1), 700, 10, 1, 0));
+        assert_eq!(c.available_slots(&d), 0);
+    }
+
+    #[test]
+    fn guest_backlog_consumes_slots() {
+        let c = coordinator();
+        let mut d = decode_instance();
+        d.enqueue_prefill(RequestId(5), 800, 10);
+        assert_eq!(c.available_slots(&d), 2048 - 800);
+    }
+
+    #[test]
+    fn dispatch_requires_overload_and_slots() {
+        let c = coordinator();
+        let mut p = prefill_instance();
+        let d = decode_instance();
+        let profiler = Profiler::fit(p.cost_model());
+        // Empty prefill instance: below threshold, no dispatch.
+        assert!(!c.should_dispatch(&profiler, &p, &d, 700, SimTime::ZERO));
+        // Deep backlog: overload, dispatch.
+        for i in 0..60 {
+            p.enqueue_prefill(RequestId(i), 1500, 10);
+        }
+        assert!(c.should_dispatch(&profiler, &p, &d, 700, SimTime::ZERO));
+        // But not if the prompt exceeds the slots.
+        assert!(!c.should_dispatch(&profiler, &p, &d, 2047, SimTime::ZERO) || 2047 <= 2048);
+    }
+
+    #[test]
+    fn victim_is_longest_context_running_decode() {
+        let c = coordinator();
+        let mut d = decode_instance();
+        for (i, ctx) in [(1u64, 600u32), (2, 1800), (3, 900)] {
+            d.enqueue_decode_arrival(SeqState::arriving_for_decode(RequestId(i), ctx, 50, 1, 0));
+        }
+        d.try_start(SimTime::ZERO);
+        let (victim, ctx) = c.pick_victim(&d).unwrap();
+        assert_eq!(victim, RequestId(2));
+        assert!(ctx >= 1800);
+    }
+
+    #[test]
+    fn short_contexts_are_not_migrated() {
+        let c = coordinator();
+        let mut d = decode_instance();
+        d.enqueue_decode_arrival(SeqState::arriving_for_decode(RequestId(1), 100, 50, 1, 0));
+        d.try_start(SimTime::ZERO);
+        assert!(c.pick_victim(&d).is_none());
+    }
+
+    #[test]
+    fn fresh_decode_instance_needs_no_rescheduling() {
+        let c = coordinator();
+        let d = decode_instance();
+        assert!(!c.needs_rescheduling(&d));
+    }
+}

@@ -1,0 +1,71 @@
+//! # windserve
+//!
+//! A full reproduction of **WindServe: Efficient Phase-Disaggregated LLM
+//! Serving with Stream-based Dynamic Scheduling** (Feng et al., ISCA 2025)
+//! as a deterministic discrete-event simulation.
+//!
+//! The crate assembles the substrate crates (`windserve-sim`, `-gpu`,
+//! `-model`, `-workload`, `-kvcache`, `-metrics`, `-engine`) into the
+//! paper's system:
+//!
+//! * [`Profiler`] — Eq. 1/2 regression for batch-time prediction (§3.2.1);
+//! * [`Coordinator`] — Dynamic Prefill Dispatch (Algorithm 1) and Dynamic
+//!   Rescheduling decisions (§3.2.2);
+//! * [`Cluster`] — the event loop wiring instances, KV handoffs,
+//!   stall-free migrations (§3.3) and stream-based disaggregation (§3.4);
+//! * [`ServeConfig`] / [`SystemKind`] — Table 3/4 presets, WindServe's
+//!   ablations (`-no-split`, `-no-resche`) and the DistServe / vLLM
+//!   baselines;
+//! * [`RunReport`] — latency percentiles, SLO attainment, utilizations and
+//!   scheduling counters for every figure in the paper.
+//!
+//! # Examples
+//!
+//! Serve a ShareGPT-like chatbot workload on OPT-13B at 4 req/s per GPU
+//! and compare WindServe with DistServe:
+//!
+//! ```
+//! use windserve::{Cluster, ServeConfig, SystemKind};
+//! use windserve_workload::{ArrivalProcess, Dataset, Trace};
+//!
+//! # fn main() -> Result<(), String> {
+//! let trace = Trace::generate(
+//!     &Dataset::sharegpt(2048),
+//!     &ArrivalProcess::poisson(16.0), // 4 req/s x 4 GPUs
+//!     200,
+//!     7,
+//! );
+//! let wind = Cluster::new(ServeConfig::opt_13b_sharegpt(SystemKind::WindServe))?
+//!     .run(&trace)?;
+//! let dist = Cluster::new(ServeConfig::opt_13b_sharegpt(SystemKind::DistServe))?
+//!     .run(&trace)?;
+//! assert!(wind.summary.ttft.p50 <= dist.summary.ttft.p50 * 1.05);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+#[cfg(test)]
+mod tests;
+
+mod budget;
+mod cluster;
+mod config;
+mod coordinator;
+mod profiler;
+mod report;
+
+pub use budget::calibrate_aux_budget;
+pub use cluster::Cluster;
+pub use config::{AutoscaleConfig, ServeConfig, SystemKind, VictimPolicy};
+pub use coordinator::Coordinator;
+pub use profiler::Profiler;
+pub use report::{InstanceReport, RunReport, TtftPrediction};
+
+// Re-export the sub-crate surfaces downstream users need most, so `use
+// windserve::...` suffices for common workflows.
+pub use windserve_metrics::{LatencySummary, Percentiles, SloAttainment, SloSpec};
+pub use windserve_model::{ModelSpec, Parallelism};
+pub use windserve_workload::{ArrivalProcess, Dataset, Request, RequestId, Trace};

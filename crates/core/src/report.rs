@@ -1,0 +1,161 @@
+//! Run reports.
+
+use crate::config::SystemKind;
+use serde::{Deserialize, Serialize};
+use windserve_metrics::{InstanceSeries, LatencySummary, RequestRecord, Utilization};
+
+/// One Algorithm 1 prediction paired with the eventual ground truth.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TtftPrediction {
+    /// The request id's raw value.
+    pub request: u64,
+    /// `TTFT_pred` at arrival time, seconds (for the replica the request
+    /// was routed to).
+    pub predicted: f64,
+    /// The realized TTFT, seconds.
+    pub actual: f64,
+    /// Whether the request was dispatched to the decode instance (its
+    /// prediction then refers to the *rejected* prefill-instance plan).
+    pub dispatched: bool,
+}
+
+/// Per-instance execution summary.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct InstanceReport {
+    /// Instance name.
+    pub name: String,
+    /// Mean resource utilization over the run (Fig. 2).
+    pub utilization: Utilization,
+    /// KV swap-out events.
+    pub swap_outs: u64,
+    /// KV swap-in events.
+    pub swap_ins: u64,
+    /// Pure prefill steps executed.
+    pub prefill_steps: u64,
+    /// Pure decode steps executed.
+    pub decode_steps: u64,
+    /// Single-stream hybrid steps executed.
+    pub hybrid_steps: u64,
+    /// Aux-stream (guest prefill) steps executed.
+    pub aux_steps: u64,
+}
+
+/// The result of one serving run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunReport {
+    /// System variant that ran.
+    pub system: SystemKind,
+    /// Latency and SLO summary over completed requests.
+    pub summary: LatencySummary,
+    /// Per-request records (sorted by request id).
+    pub records: Vec<RequestRecord>,
+    /// Wall-clock span of the run, seconds.
+    pub duration_secs: f64,
+    /// Per-instance summaries.
+    pub instances: Vec<InstanceReport>,
+    /// Requests whose prefill was dispatched to the decode instance.
+    pub dispatched_prefills: u64,
+    /// Dynamic-rescheduling migrations started.
+    pub migrations_started: u64,
+    /// Migrations that completed (request resumed at the destination).
+    pub migrations_completed: u64,
+    /// KV bytes moved across instances (handoffs + migrations).
+    pub kv_bytes_transferred: u64,
+    /// KV backups retained on the prefill instance.
+    pub backups_created: u64,
+    /// Migration transfers shrunk by a backup hit.
+    pub backup_hits: u64,
+    /// Per-instance sampled state over time (empty unless
+    /// [`crate::ServeConfig::sample_interval`] was set).
+    pub series: Vec<InstanceSeries>,
+    /// Algorithm 1's TTFT predictions vs realized TTFTs (PD systems only).
+    pub ttft_predictions: Vec<TtftPrediction>,
+    /// Replica activations + deactivations performed by the autoscaler.
+    pub autoscale_events: u64,
+    /// GPU-seconds held by active (incl. warming) replicas — the cost side
+    /// of the autoscaling trade-off.
+    pub gpu_seconds_active: f64,
+}
+
+impl RunReport {
+    /// Throughput: completed requests per second over the run.
+    pub fn throughput(&self) -> f64 {
+        if self.duration_secs > 0.0 {
+            self.summary.completed as f64 / self.duration_secs
+        } else {
+            0.0
+        }
+    }
+
+    /// Goodput (DistServe's metric): requests per second that met *both*
+    /// SLOs.
+    pub fn goodput(&self) -> f64 {
+        self.throughput() * self.summary.slo.both
+    }
+
+    /// Total swap-outs across instances (Fig. 1a's swapping signal).
+    pub fn total_swap_outs(&self) -> u64 {
+        self.instances.iter().map(|i| i.swap_outs).sum()
+    }
+
+    /// Mean absolute relative error of Algorithm 1's TTFT predictions over
+    /// requests that were *not* dispatched (their prediction describes the
+    /// path actually taken). `None` without any such prediction.
+    pub fn ttft_prediction_error(&self) -> Option<f64> {
+        let errs: Vec<f64> = self
+            .ttft_predictions
+            .iter()
+            .filter(|p| !p.dispatched && p.actual > 0.0)
+            .map(|p| ((p.predicted - p.actual) / p.actual).abs())
+            .collect();
+        if errs.is_empty() {
+            None
+        } else {
+            Some(errs.iter().sum::<f64>() / errs.len() as f64)
+        }
+    }
+
+    /// Mean GPUs held over the run (equals the static allocation when
+    /// autoscaling is off).
+    pub fn mean_active_gpus(&self) -> f64 {
+        if self.duration_secs > 0.0 {
+            self.gpu_seconds_active / self.duration_secs
+        } else {
+            0.0
+        }
+    }
+
+    /// A latency summary over the steady-state window: drops the first and
+    /// last `trim_fraction` of requests by arrival order, excluding warmup
+    /// and drain transients (standard serving-benchmark hygiene).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `trim_fraction` is not in `[0, 0.5)`.
+    pub fn windowed_summary(&self, slo: windserve_metrics::SloSpec, trim_fraction: f64) -> LatencySummary {
+        assert!(
+            (0.0..0.5).contains(&trim_fraction),
+            "trim fraction {trim_fraction} out of range"
+        );
+        let n = self.records.len();
+        let trim = (n as f64 * trim_fraction) as usize;
+        let window = &self.records[trim.min(n)..n.saturating_sub(trim)];
+        LatencySummary::of(slo, window)
+    }
+
+    /// A latency summary restricted to requests whose prefill ran at the
+    /// given site (e.g. only dispatched prefills).
+    pub fn summary_by_site(
+        &self,
+        slo: windserve_metrics::SloSpec,
+        site: windserve_metrics::PrefillSite,
+    ) -> LatencySummary {
+        let records: Vec<RequestRecord> = self
+            .records
+            .iter()
+            .filter(|r| r.prefill_site == site)
+            .copied()
+            .collect();
+        LatencySummary::of(slo, &records)
+    }
+}

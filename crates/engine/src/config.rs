@@ -1,0 +1,155 @@
+//! Instance configuration.
+
+use serde::{Deserialize, Serialize};
+
+/// How a decode instance sheds sequences under KV pressure (vLLM offers
+/// the same two modes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum PreemptionMode {
+    /// Copy the victim's KV to host DRAM over PCIe and bring it back later
+    /// (the paper's swapping pathology).
+    #[default]
+    Swap,
+    /// Drop the victim's KV and recompute it at re-admission (pays compute
+    /// instead of PCIe traffic).
+    Recompute,
+}
+
+/// What an instance is for — determines its local scheduling policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum InstanceRole {
+    /// Dedicated prompt processing; decodes appear here only via dynamic
+    /// rescheduling and run in chunked-prefill hybrid batches (§3.3).
+    Prefill,
+    /// Dedicated decoding; prefills appear here only via dynamic prefill
+    /// dispatch and run in a separate stream (§3.4) or a hybrid batch.
+    Decode,
+    /// vLLM-style colocated serving: prefill chunks and decodes share
+    /// hybrid batches on one instance.
+    Colocated,
+}
+
+/// Tunables of one serving instance's local scheduler.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct InstanceConfig {
+    /// Display name (for reports).
+    pub name: String,
+    /// Scheduling role.
+    pub role: InstanceRole,
+    /// Max sequences decoded per step.
+    pub max_batch: usize,
+    /// Max new prefill tokens packed into one prefill step.
+    pub max_prefill_tokens: u32,
+    /// Max prefill jobs packed into one step.
+    pub max_prefill_jobs: usize,
+    /// Chunk size used when prefills must share the instance with decodes
+    /// (chunked prefill, SARATHI-style).
+    pub chunk_tokens: u32,
+    /// Run guest prefills in a separate CUDA stream (stream-based
+    /// disaggregation) instead of fusing them into the decode batch.
+    pub stream_disaggregation: bool,
+    /// Tokens per KV block.
+    pub block_tokens: u32,
+    /// Max guest-prefill tokens in flight in the auxiliary stream (the
+    /// Algorithm 1 *budget*, calibrated so one forward pass stays within
+    /// the TPOT SLO).
+    pub aux_budget_tokens: u32,
+    /// How KV pressure preempts running sequences.
+    pub preemption: PreemptionMode,
+}
+
+impl InstanceConfig {
+    /// Defaults for a dedicated prefill instance.
+    pub fn prefill(name: impl Into<String>) -> Self {
+        InstanceConfig {
+            name: name.into(),
+            role: InstanceRole::Prefill,
+            max_batch: 256,
+            max_prefill_tokens: 4096,
+            max_prefill_jobs: 8,
+            chunk_tokens: 512,
+            stream_disaggregation: false,
+            block_tokens: 16,
+            aux_budget_tokens: 2048,
+            preemption: PreemptionMode::Swap,
+        }
+    }
+
+    /// Defaults for a dedicated decode instance with SBD enabled.
+    pub fn decode(name: impl Into<String>) -> Self {
+        InstanceConfig {
+            name: name.into(),
+            role: InstanceRole::Decode,
+            max_batch: 256,
+            max_prefill_tokens: 4096,
+            max_prefill_jobs: 4,
+            chunk_tokens: 512,
+            stream_disaggregation: true,
+            block_tokens: 16,
+            aux_budget_tokens: 2048,
+            preemption: PreemptionMode::Swap,
+        }
+    }
+
+    /// Defaults for a colocated (vLLM-like) instance with chunked prefill.
+    pub fn colocated(name: impl Into<String>) -> Self {
+        InstanceConfig {
+            name: name.into(),
+            role: InstanceRole::Colocated,
+            max_batch: 256,
+            max_prefill_tokens: 4096,
+            max_prefill_jobs: 8,
+            chunk_tokens: 512,
+            stream_disaggregation: false,
+            block_tokens: 16,
+            aux_budget_tokens: 2048,
+            preemption: PreemptionMode::Swap,
+        }
+    }
+
+    /// Validates the tunables.
+    ///
+    /// # Errors
+    ///
+    /// Describes the first invalid field.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.max_batch == 0 {
+            return Err(format!("{}: max_batch must be positive", self.name));
+        }
+        if self.max_prefill_tokens == 0 || self.max_prefill_jobs == 0 {
+            return Err(format!("{}: prefill budgets must be positive", self.name));
+        }
+        if self.chunk_tokens == 0 {
+            return Err(format!("{}: chunk_tokens must be positive", self.name));
+        }
+        if self.block_tokens == 0 {
+            return Err(format!("{}: block_tokens must be positive", self.name));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_validate() {
+        InstanceConfig::prefill("p").validate().unwrap();
+        InstanceConfig::decode("d").validate().unwrap();
+        InstanceConfig::colocated("c").validate().unwrap();
+    }
+
+    #[test]
+    fn decode_preset_enables_sbd() {
+        assert!(InstanceConfig::decode("d").stream_disaggregation);
+        assert!(!InstanceConfig::colocated("c").stream_disaggregation);
+    }
+
+    #[test]
+    fn validation_rejects_zero_budgets() {
+        let mut c = InstanceConfig::prefill("p");
+        c.chunk_tokens = 0;
+        assert!(c.validate().is_err());
+    }
+}

@@ -1,0 +1,484 @@
+//! The serving instance.
+//!
+//! An [`Instance`] owns one model replica (a `(model, GPU, parallelism)`
+//! placement priced by a [`CostModel`]), its paged KV cache, and a local
+//! FCFS scheduler with continuous batching — the per-instance machinery
+//! the paper's §3.1 describes. The cluster event loop drives it through a
+//! narrow API: enqueue work, `try_start` steps, deliver step-completion
+//! events, and orchestrate transfers/migrations between instances.
+//!
+//! Execution contexts: `pp` pipeline *lanes* run main-stream batches
+//! concurrently (pipeline parallelism keeps `pp` batches in flight), and a
+//! decode instance optionally runs guest prefills in an *auxiliary CUDA
+//! stream* (stream-based disaggregation, §3.4) whose interference with the
+//! main stream follows the [`StreamSharing`] contention model.
+
+use crate::config::{InstanceConfig, InstanceRole};
+use crate::outcome::StepKind;
+use crate::seq::{SeqPhase, SeqState};
+use crate::stats::InstanceStats;
+use std::collections::{HashMap, HashSet, VecDeque};
+use windserve_gpu::{KernelCost, StreamSharing};
+use windserve_kvcache::{BackupStore, BlockManager};
+use windserve_model::CostModel;
+use windserve_sim::{SimDuration, SimTime};
+use windserve_workload::RequestId;
+
+/// Key used for a request's backup copy in the KV manager — disjoint from
+/// live-sequence keys.
+pub(crate) fn backup_key(id: RequestId) -> u64 {
+    id.0 | (1 << 63)
+}
+
+#[derive(Debug, Clone)]
+pub(crate) struct RunningStep {
+    pub(crate) kind: StepKind,
+    pub(crate) started: SimTime,
+    pub(crate) ends_at: SimTime,
+    pub(crate) kernel: KernelCost,
+    pub(crate) decode_ids: Vec<RequestId>,
+    /// `(request, new prompt tokens processed this step)`.
+    pub(crate) prefill_ids: Vec<(RequestId, u32)>,
+}
+
+#[derive(Debug, Clone, Default)]
+pub(crate) struct Lane {
+    pub(crate) running: Vec<RequestId>,
+    pub(crate) step: Option<RunningStep>,
+}
+
+/// One serving instance (prefill, decode, or colocated).
+#[derive(Debug)]
+pub struct Instance {
+    pub(crate) cfg: InstanceConfig,
+    pub(crate) cost: CostModel,
+    pub(crate) sharing: StreamSharing,
+    pub(crate) kv: BlockManager,
+    pub(crate) backups: BackupStore,
+    pub(crate) seqs: HashMap<u64, SeqState>,
+    pub(crate) waiting_prefill: VecDeque<RequestId>,
+    pub(crate) waiting_decode: VecDeque<RequestId>,
+    pub(crate) swapped: VecDeque<RequestId>,
+    pub(crate) lanes: Vec<Lane>,
+    pub(crate) aux_step: Option<RunningStep>,
+    pub(crate) migrating: HashSet<u64>,
+    pub(crate) pause_requests: HashSet<u64>,
+    /// Swap-transfer time charged to the next step on this instance.
+    pub(crate) pending_delay: SimDuration,
+    pub(crate) host_bandwidth: f64,
+    pub(crate) stats: InstanceStats,
+}
+
+impl Instance {
+    /// Builds an instance; KV capacity is derived from the cost model.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the configuration is invalid or the placement
+    /// leaves no room for KV blocks.
+    pub fn new(
+        cfg: InstanceConfig,
+        cost: CostModel,
+        sharing: StreamSharing,
+        host_bandwidth: f64,
+    ) -> Result<Self, String> {
+        cfg.validate()?;
+        if !(host_bandwidth.is_finite() && host_bandwidth > 0.0) {
+            return Err(format!("{}: invalid host bandwidth", cfg.name));
+        }
+        let blocks = (cost.kv_capacity_tokens() / u64::from(cfg.block_tokens)) as usize;
+        if blocks == 0 {
+            return Err(format!("{}: no room for KV blocks", cfg.name));
+        }
+        let lanes = cost.parallelism().lanes();
+        Ok(Instance {
+            kv: BlockManager::new(blocks, cfg.block_tokens),
+            backups: BackupStore::new(),
+            seqs: HashMap::new(),
+            waiting_prefill: VecDeque::new(),
+            waiting_decode: VecDeque::new(),
+            swapped: VecDeque::new(),
+            lanes: vec![Lane::default(); lanes],
+            aux_step: None,
+            migrating: HashSet::new(),
+            pause_requests: HashSet::new(),
+            pending_delay: SimDuration::ZERO,
+            host_bandwidth,
+            stats: InstanceStats::default(),
+            cfg,
+            cost,
+            sharing,
+        })
+    }
+
+    /// The instance's display name.
+    pub fn name(&self) -> &str {
+        &self.cfg.name
+    }
+
+    /// The scheduling role.
+    pub fn role(&self) -> InstanceRole {
+        self.cfg.role
+    }
+
+    /// The cost model backing this instance.
+    pub fn cost_model(&self) -> &CostModel {
+        &self.cost
+    }
+
+    /// Immutable view of the KV manager (for swap counters etc.).
+    pub fn kv(&self) -> &BlockManager {
+        &self.kv
+    }
+
+    /// Execution statistics so far.
+    pub fn stats(&self) -> &InstanceStats {
+        &self.stats
+    }
+
+    /// Bytes of KV per token for the served model.
+    pub fn kv_bytes_per_token(&self) -> u64 {
+        self.cost.model().kv_bytes_per_token()
+    }
+
+    // ------------------------------------------------------------------
+    // Work intake
+    // ------------------------------------------------------------------
+
+    /// Accepts a fresh request for prompt processing on this instance.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the request is already known here.
+    pub fn enqueue_prefill(&mut self, id: RequestId, prompt_tokens: u32, output_target: u32) {
+        let prior = self
+            .seqs
+            .insert(id.0, SeqState::new(id, prompt_tokens, output_target));
+        assert!(prior.is_none(), "{id} enqueued twice");
+        self.waiting_prefill.push_back(id);
+    }
+
+    /// Accepts a mid-life sequence for decoding (KV handoff from a prefill
+    /// instance, or a migration). Its KV is allocated at admission time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the request is already known here.
+    pub fn enqueue_decode_arrival(&mut self, state: SeqState) {
+        let id = state.id;
+        assert_eq!(state.phase, SeqPhase::DecodeWaiting, "not a decode arrival");
+        let prior = self.seqs.insert(id.0, state);
+        assert!(prior.is_none(), "{id} enqueued twice");
+        self.waiting_decode.push_back(id);
+    }
+
+    /// Moves a locally-prefilled request (KV already resident) into the
+    /// decode queue. Used for dispatched prefills on the decode instance
+    /// and for every prefill on a colocated instance.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the request is unknown or its prompt is not fully
+    /// processed.
+    pub fn promote_to_decode(&mut self, id: RequestId) {
+        let seq = self.seqs.get_mut(&id.0).expect("unknown sequence");
+        assert_eq!(seq.prompt_remaining(), 0, "{id} prompt not fully prefilled");
+        assert!(!seq.is_done(), "{id} already complete");
+        seq.phase = SeqPhase::DecodeWaiting;
+        self.waiting_decode.push_back(id);
+    }
+
+    /// Releases a sequence's KV and forgets it (e.g. after its KV handoff
+    /// to the decode instance completed). Idempotent.
+    pub fn release_sequence(&mut self, id: RequestId) {
+        self.kv.release(id.0);
+        self.seqs.remove(&id.0);
+    }
+
+    /// Instead of releasing after handoff, retain the KV as a best-effort
+    /// backup if doing so keeps at least `free_watermark` of blocks free.
+    /// Returns true if the backup was kept.
+    pub fn convert_to_backup(&mut self, id: RequestId, free_watermark: f64) -> bool {
+        let Some(tokens) = self.kv.tokens_of(id.0) else {
+            self.seqs.remove(&id.0);
+            return false;
+        };
+        self.kv.release(id.0);
+        self.seqs.remove(&id.0);
+        let needed = self.kv.blocks_for(tokens);
+        let after = (self.kv.free_blocks() - needed.min(self.kv.free_blocks())) as f64
+            / self.kv.total_blocks() as f64;
+        if self.kv.can_fit(tokens) && after >= free_watermark {
+            self.kv
+                .allocate(backup_key(id), tokens)
+                .expect("can_fit checked");
+            self.backups.insert(id.0, tokens);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Tokens a migration of `id` (currently at `current_tokens` context)
+    /// still has to move here, after crediting any backup.
+    pub fn backup_delta_tokens(&mut self, id: RequestId, current_tokens: u32) -> u32 {
+        self.backups.delta_tokens(id.0, current_tokens)
+    }
+
+    /// Drops `id`'s backup (if any), freeing its blocks.
+    pub fn drop_backup(&mut self, id: RequestId) {
+        if self.backups.remove(id.0).is_some() {
+            self.kv.release(backup_key(id));
+        }
+    }
+
+    /// Number of live backups held.
+    pub fn backup_count(&self) -> usize {
+        self.backups.len()
+    }
+
+    /// Drops every backup and frees its blocks (e.g. when the instance is
+    /// drained for deactivation).
+    pub fn clear_backups(&mut self) {
+        while let Some(backup) = self.backups.evict_oldest() {
+            self.kv.release(backup.key | (1 << 63));
+        }
+    }
+
+    /// True if the instance holds no work at all: nothing queued, nothing
+    /// running, nothing swapped, nothing in flight.
+    pub fn is_drained(&self) -> bool {
+        self.waiting_prefill.is_empty()
+            && self.waiting_decode.is_empty()
+            && self.swapped.is_empty()
+            && self.lanes.iter().all(|l| l.running.is_empty() && l.step.is_none())
+            && self.aux_step.is_none()
+            && self.seqs.is_empty()
+    }
+
+    // ------------------------------------------------------------------
+    // Migration hooks (decode side)
+    // ------------------------------------------------------------------
+
+    /// Marks `id` as migrating: it keeps decoding but is excluded from
+    /// preemption and further victim selection.
+    pub fn mark_migrating(&mut self, id: RequestId) {
+        self.migrating.insert(id.0);
+    }
+
+    /// Asks the instance to pause `id` for migration. If the sequence is
+    /// actively decoding, the pause is deferred to the next step boundary
+    /// (it surfaces in that step's [`crate::StepOutcome::paused`] list); if
+    /// it is waiting or swapped out, it detaches immediately and is
+    /// returned here.
+    pub fn request_pause(&mut self, id: RequestId) -> Option<crate::outcome::PausedSeq> {
+        let in_lane = self.lanes.iter().any(|l| {
+            l.running.contains(&id)
+                || l.step.as_ref().is_some_and(|s| s.decode_ids.contains(&id))
+        });
+        if in_lane {
+            self.pause_requests.insert(id.0);
+            return None;
+        }
+        if !self.seqs.contains_key(&id.0) {
+            return None;
+        }
+        Some(self.detach_for_pause(id))
+    }
+
+    // ------------------------------------------------------------------
+    // Queries used by the global scheduler
+    // ------------------------------------------------------------------
+
+    /// Total prompt tokens waiting (plus still unprocessed in flight) —
+    /// the Profiler's queue-depth input for TTFT prediction.
+    pub fn prefill_backlog_tokens(&self) -> u64 {
+        let waiting: u64 = self
+            .waiting_prefill
+            .iter()
+            .filter_map(|id| self.seqs.get(&id.0))
+            .map(|s| u64::from(s.prompt_remaining()))
+            .sum();
+        waiting
+    }
+
+    /// Time until some lane frees up (zero if one is idle) — the
+    /// "anticipated remaining time of the currently prefilling batch".
+    pub fn earliest_availability(&self, now: SimTime) -> SimDuration {
+        self.lanes
+            .iter()
+            .map(|l| match &l.step {
+                Some(step) => step.ends_at.saturating_since(now),
+                None => SimDuration::ZERO,
+            })
+            .min()
+            .unwrap_or(SimDuration::ZERO)
+    }
+
+    /// Fraction of KV blocks free.
+    pub fn kv_free_fraction(&self) -> f64 {
+        self.kv.free_fraction()
+    }
+
+    /// Tokens the KV cache could still admit.
+    pub fn kv_free_tokens(&self) -> u64 {
+        self.kv.free_token_capacity()
+    }
+
+    /// Length of the decode waiting queue.
+    pub fn waiting_decode_len(&self) -> usize {
+        self.waiting_decode.len()
+    }
+
+    /// Length of the prefill waiting queue.
+    pub fn waiting_prefill_len(&self) -> usize {
+        self.waiting_prefill.len()
+    }
+
+    /// Number of sequences currently swapped out to host.
+    pub fn swapped_len(&self) -> usize {
+        self.swapped.len()
+    }
+
+    /// Actively decoding sequences and their contexts, excluding ones
+    /// already migrating (victim candidates for dynamic rescheduling).
+    pub fn running_decodes(&self) -> Vec<(RequestId, u32)> {
+        self.lanes
+            .iter()
+            .flat_map(|l| l.running.iter())
+            .filter(|id| !self.migrating.contains(&id.0))
+            .filter_map(|id| self.seqs.get(&id.0).map(|s| (s.id, s.context())))
+            .collect()
+    }
+
+    /// Number of actively decoding sequences.
+    pub fn running_decode_count(&self) -> usize {
+        self.lanes.iter().map(|l| l.running.len()).sum()
+    }
+
+    /// Guest-prefill tokens not yet processed (queued + in-flight in the
+    /// aux stream) — used for slot accounting by the Coordinator.
+    pub fn guest_prefill_backlog_tokens(&self) -> u64 {
+        let mut total = self.prefill_backlog_tokens();
+        if let Some(step) = &self.aux_step {
+            total += step.prefill_ids.iter().map(|&(_, n)| u64::from(n)).sum::<u64>();
+        }
+        total
+    }
+
+    /// The context length of sequence `id`, if it lives here.
+    pub fn context_of(&self, id: RequestId) -> Option<u32> {
+        self.seqs.get(&id.0).map(|s| s.context())
+    }
+
+    /// True if sequence `id` lives here and has produced all of its output
+    /// tokens (e.g. a one-token request fully answered by its prefill).
+    pub fn sequence_is_done(&self, id: RequestId) -> bool {
+        self.seqs.get(&id.0).map(|s| s.is_done()).unwrap_or(false)
+    }
+
+    // ------------------------------------------------------------------
+    // Internal helpers shared with the step module
+    // ------------------------------------------------------------------
+
+    /// Swap-transfer duration for `tokens` tokens over the host link.
+    pub(crate) fn swap_duration(&self, tokens: u32) -> SimDuration {
+        let bytes = u64::from(tokens) * self.kv_bytes_per_token();
+        SimDuration::from_secs_f64(bytes as f64 / self.host_bandwidth)
+    }
+
+    /// Frees KV blocks by evicting backups (oldest first) until `tokens`
+    /// more tokens fit, or no backups remain. Returns whether they now fit.
+    pub(crate) fn evict_backups_for(&mut self, tokens: u32) -> bool {
+        while !self.kv.can_fit(tokens) {
+            match self.backups.evict_oldest() {
+                Some(backup) => {
+                    self.kv.release(backup.key | (1 << 63));
+                }
+                None => return false,
+            }
+        }
+        true
+    }
+
+    /// The lane with the fewest running sequences.
+    pub(crate) fn least_loaded_lane(&self) -> usize {
+        self.lanes
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, l)| l.running.len())
+            .map(|(i, _)| i)
+            .expect("at least one lane")
+    }
+
+    /// Total running sequences across lanes.
+    pub(crate) fn total_running(&self) -> usize {
+        self.lanes.iter().map(|l| l.running.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use windserve_gpu::GpuSpec;
+    use windserve_model::{ModelSpec, Parallelism};
+
+    pub(crate) fn test_instance(role: InstanceRole) -> Instance {
+        let cfg = match role {
+            InstanceRole::Prefill => InstanceConfig::prefill("p"),
+            InstanceRole::Decode => InstanceConfig::decode("d"),
+            InstanceRole::Colocated => InstanceConfig::colocated("c"),
+        };
+        let cost =
+            CostModel::new(ModelSpec::opt_13b(), GpuSpec::a800_80gb(), Parallelism::tp(2)).unwrap();
+        Instance::new(cfg, cost, StreamSharing::default(), 20e9).unwrap()
+    }
+
+    #[test]
+    fn construction_sizes_kv_from_cost_model() {
+        let inst = test_instance(InstanceRole::Decode);
+        assert!(inst.kv.total_blocks() > 5_000);
+        assert_eq!(inst.lanes.len(), 1);
+    }
+
+    #[test]
+    fn enqueue_tracks_backlog() {
+        let mut inst = test_instance(InstanceRole::Prefill);
+        inst.enqueue_prefill(RequestId(1), 700, 10);
+        inst.enqueue_prefill(RequestId(2), 300, 10);
+        assert_eq!(inst.prefill_backlog_tokens(), 1000);
+        assert_eq!(inst.waiting_prefill_len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "enqueued twice")]
+    fn double_enqueue_panics() {
+        let mut inst = test_instance(InstanceRole::Prefill);
+        inst.enqueue_prefill(RequestId(1), 700, 10);
+        inst.enqueue_prefill(RequestId(1), 700, 10);
+    }
+
+    #[test]
+    fn backup_roundtrip_frees_and_credits() {
+        let mut inst = test_instance(InstanceRole::Prefill);
+        inst.enqueue_prefill(RequestId(1), 640, 10);
+        // Simulate a completed prefill holding KV.
+        inst.kv.allocate(1, 640).unwrap();
+        let kept = inst.convert_to_backup(RequestId(1), 0.1);
+        assert!(kept);
+        assert_eq!(inst.backup_count(), 1);
+        assert_eq!(inst.backup_delta_tokens(RequestId(1), 700), 60);
+        inst.drop_backup(RequestId(1));
+        assert_eq!(inst.backup_count(), 0);
+        inst.kv.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn swap_duration_scales_with_tokens() {
+        let inst = test_instance(InstanceRole::Decode);
+        let d1 = inst.swap_duration(100);
+        let d2 = inst.swap_duration(200);
+        assert!(d2 > d1);
+        assert!((d2.as_secs_f64() / d1.as_secs_f64() - 2.0).abs() < 0.01);
+    }
+}

@@ -1,0 +1,149 @@
+//! Property tests of the whole instance under randomized workloads: the
+//! miniature event loop feeds random mixes of prefill and decode work and
+//! asserts the global invariants after every step.
+
+use crate::config::{InstanceConfig, InstanceRole, PreemptionMode};
+use crate::instance::Instance;
+use crate::outcome::LaneRef;
+use crate::seq::SeqState;
+use proptest::prelude::*;
+use windserve_gpu::{GpuSpec, StreamSharing};
+use windserve_model::{CostModel, ModelSpec, Parallelism};
+use windserve_sim::SimTime;
+use windserve_workload::RequestId;
+
+
+#[derive(Debug, Clone)]
+enum Op {
+    Prefill { prompt: u32, output: u32 },
+    DecodeArrival { ctx: u32, output: u32 },
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (1u32..1500, 1u32..60).prop_map(|(prompt, output)| Op::Prefill { prompt, output }),
+        (1u32..1800, 1u32..60).prop_map(|(ctx, output)| Op::DecodeArrival { ctx, output }),
+    ]
+}
+
+fn cramped_instance(role: InstanceRole, kv_tokens: u64, preemption: PreemptionMode) -> Instance {
+    let mut cost =
+        CostModel::new(ModelSpec::opt_13b(), GpuSpec::a800_80gb(), Parallelism::tp(2)).unwrap();
+    let spare = cost.kv_capacity_bytes() - kv_tokens * cost.model().kv_bytes_per_token();
+    cost.activation_reserve_bytes += spare / cost.parallelism().n_gpus() as u64;
+    let mut cfg = match role {
+        InstanceRole::Prefill => InstanceConfig::prefill("p"),
+        InstanceRole::Decode => InstanceConfig::decode("d"),
+        InstanceRole::Colocated => InstanceConfig::colocated("c"),
+    };
+    cfg.preemption = preemption;
+    Instance::new(cfg, cost, StreamSharing::default(), 20e9).unwrap()
+}
+
+/// Drives to quiescence; returns (completed, finished_prefills).
+fn drive_all(inst: &mut Instance, max_events: usize) -> (usize, usize) {
+    let mut pending: Vec<(LaneRef, SimTime)> = inst
+        .try_start(SimTime::ZERO)
+        .into_iter()
+        .map(|s| (s.lane, s.ends_at))
+        .collect();
+    let mut completed = 0;
+    let mut prefills = 0;
+    for _ in 0..max_events {
+        let Some(idx) = pending
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, (_, t))| *t)
+            .map(|(i, _)| i)
+        else {
+            break;
+        };
+        let (lane, at) = pending.swap_remove(idx);
+        let out = inst.complete_step(lane, at);
+        inst.kv().check_invariants().expect("KV conservation");
+        completed += out.completed.len();
+        prefills += out.finished_prefills.len();
+        for fp in &out.finished_prefills {
+            // Emulate the cluster: promote locally-prefilled work, or
+            // finish one-token requests whose prefill was the whole answer.
+            match inst.role() {
+                InstanceRole::Prefill => inst.release_sequence(fp.id),
+                _ => {
+                    if inst.sequence_is_done(fp.id) {
+                        inst.release_sequence(fp.id);
+                        completed += 1;
+                    } else {
+                        inst.promote_to_decode(fp.id);
+                    }
+                }
+            }
+        }
+        for s in inst.try_start(at) {
+            pending.push((s.lane, s.ends_at));
+        }
+    }
+    (completed, prefills)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Any mix of work on a cramped decode instance conserves KV blocks,
+    /// loses no request, and quiesces.
+    #[test]
+    fn decode_instance_survives_random_mixes(
+        ops in proptest::collection::vec(op_strategy(), 1..40),
+        swap_mode in proptest::bool::ANY,
+    ) {
+        let mode = if swap_mode { PreemptionMode::Swap } else { PreemptionMode::Recompute };
+        let mut inst = cramped_instance(InstanceRole::Decode, 24 * 1024, mode);
+        let mut expected = 0usize;
+        for (i, op) in ops.iter().enumerate() {
+            let id = RequestId(i as u64);
+            match *op {
+                Op::Prefill { prompt, output } => {
+                    inst.enqueue_prefill(id, prompt.min(1500), output);
+                    expected += 1;
+                }
+                Op::DecodeArrival { ctx, output } => {
+                    inst.enqueue_decode_arrival(SeqState::arriving_for_decode(
+                        id, ctx.min(1800), output.max(2), 1, 0,
+                    ));
+                    expected += 1;
+                }
+            }
+        }
+        let (completed, _prefills) = drive_all(&mut inst, 400_000);
+        prop_assert_eq!(completed, expected, "every request must finish");
+        prop_assert_eq!(inst.kv().free_blocks(), inst.kv().total_blocks());
+        prop_assert_eq!(inst.running_decode_count(), 0);
+    }
+
+    /// Colocated instances (hybrid batching path) satisfy the same
+    /// invariants.
+    #[test]
+    fn colocated_instance_survives_random_mixes(
+        ops in proptest::collection::vec(op_strategy(), 1..30),
+    ) {
+        let mut inst = cramped_instance(InstanceRole::Colocated, 20 * 1024, PreemptionMode::Swap);
+        let mut expected = 0usize;
+        for (i, op) in ops.iter().enumerate() {
+            let id = RequestId(i as u64);
+            match *op {
+                Op::Prefill { prompt, output } => {
+                    inst.enqueue_prefill(id, prompt.min(1500), output);
+                    expected += 1;
+                }
+                Op::DecodeArrival { ctx, output } => {
+                    inst.enqueue_decode_arrival(SeqState::arriving_for_decode(
+                        id, ctx.min(1800), output.max(2), 1, 0,
+                    ));
+                    expected += 1;
+                }
+            }
+        }
+        let (completed, _) = drive_all(&mut inst, 400_000);
+        prop_assert_eq!(completed, expected);
+        prop_assert_eq!(inst.kv().free_blocks(), inst.kv().total_blocks());
+    }
+}

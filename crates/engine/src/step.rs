@@ -1,0 +1,614 @@
+//! Step formation and completion — the instance's local scheduler.
+//!
+//! `try_start` is called by the cluster whenever instance state changes; it
+//! admits waiting work (swap-ins first, then the FCFS decode queue), fills
+//! idle pipeline lanes and — on a decode instance with stream-based
+//! disaggregation — the auxiliary guest-prefill stream. `complete_step`
+//! applies a finished step's effects: prompt progress, token generation,
+//! KV growth (with vLLM-style swap preemption on pressure), completions,
+//! and migration pauses at the step boundary.
+//!
+//! Contention modeling: a step's duration is fixed at start time from the
+//! kernels then co-resident (main stream vs aux stream, §3.4). Overlap
+//! changes mid-step are not retroactive — steps are milliseconds long, so
+//! this quantization does not move the experiment shapes.
+
+use crate::config::InstanceRole;
+use crate::instance::{Instance, RunningStep};
+use crate::outcome::{
+    CompletedSeq, FinishedPrefill, LaneRef, PausedSeq, StartedStep, StepKind, StepOutcome,
+};
+use crate::seq::SeqPhase;
+use windserve_model::{BatchPlan, PrefillChunk};
+use windserve_sim::{SimDuration, SimTime};
+use windserve_workload::RequestId;
+
+impl Instance {
+    /// Admits waiting work and launches steps on every idle execution
+    /// context. Returns the newly started steps so the cluster can schedule
+    /// their completion events.
+    pub fn try_start(&mut self, now: SimTime) -> Vec<StartedStep> {
+        let mut started = Vec::new();
+        self.admit_decodes();
+        if self.cfg.role == InstanceRole::Decode
+            && self.cfg.stream_disaggregation
+            && self.aux_step.is_none()
+        {
+            if let Some(step) = self.form_aux_step(now) {
+                let newly_prefilling = step
+                    .prefill_ids
+                    .iter()
+                    .filter(|(id, _)| self.seqs[&id.0].prefilled == 0)
+                    .map(|&(id, _)| id)
+                    .collect();
+                started.push(StartedStep {
+                    lane: LaneRef::Aux,
+                    ends_at: step.ends_at,
+                    newly_decoding: Vec::new(),
+                    newly_prefilling,
+                });
+                self.aux_step = Some(step);
+            }
+        }
+        for lane_idx in 0..self.lanes.len() {
+            if self.lanes[lane_idx].step.is_some() {
+                continue;
+            }
+            if let Some(step) = self.form_lane_step(lane_idx, now) {
+                let newly: Vec<RequestId> = step
+                    .decode_ids
+                    .iter()
+                    .filter(|id| {
+                        self.seqs
+                            .get(&id.0)
+                            .map(|s| s.decode_start.is_none())
+                            .unwrap_or(false)
+                    })
+                    .copied()
+                    .collect();
+                for id in &newly {
+                    self.seqs
+                        .get_mut(&id.0)
+                        .expect("filtered above")
+                        .decode_start = Some(now);
+                }
+                let newly_prefilling = step
+                    .prefill_ids
+                    .iter()
+                    .filter(|(id, _)| self.seqs[&id.0].prefilled == 0)
+                    .map(|&(id, _)| id)
+                    .collect();
+                started.push(StartedStep {
+                    lane: LaneRef::Main(lane_idx),
+                    ends_at: step.ends_at,
+                    newly_decoding: newly,
+                    newly_prefilling,
+                });
+                self.lanes[lane_idx].step = Some(step);
+            }
+        }
+        started
+    }
+
+    /// Applies the effects of the step that just finished on `lane`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no step was running on `lane` — the cluster delivered a
+    /// completion event the instance never scheduled.
+    pub fn complete_step(&mut self, lane: LaneRef, now: SimTime) -> StepOutcome {
+        let step = match lane {
+            LaneRef::Main(i) => self.lanes[i].step.take(),
+            LaneRef::Aux => self.aux_step.take(),
+        }
+        .expect("completion for a lane with no running step");
+        debug_assert_eq!(step.ends_at, now, "completion delivered at the wrong time");
+        self.stats
+            .record_step(step.kind, step.ends_at - step.started, &step.kernel);
+
+        let mut outcome = StepOutcome {
+            lane,
+            kind: step.kind,
+            duration: step.ends_at - step.started,
+            finished_prefills: Vec::new(),
+            decoded: Vec::new(),
+            completed: Vec::new(),
+            paused: Vec::new(),
+        };
+
+        for (id, n) in &step.prefill_ids {
+            let seq = self.seqs.get_mut(&id.0).expect("prefilling seq vanished");
+            seq.prefilled += n;
+            if seq.prompt_remaining() == 0 {
+                // The prefill emits the request's first output token.
+                seq.generated = 1;
+                outcome.finished_prefills.push(FinishedPrefill {
+                    id: *id,
+                    prompt_tokens: seq.prompt_tokens,
+                });
+            } else {
+                // Unfinished chunked job returns to the head of the queue.
+                self.waiting_prefill.push_front(*id);
+            }
+        }
+
+        let mut appended: Vec<RequestId> = Vec::with_capacity(step.decode_ids.len());
+        for id in &step.decode_ids {
+            let seq = self.seqs.get_mut(&id.0).expect("decoding seq vanished");
+            seq.generated += 1;
+            outcome.decoded.push(*id);
+            if seq.is_done() {
+                self.finish_sequence(*id, &mut outcome);
+                continue;
+            }
+            if seq.phase == SeqPhase::Decoding {
+                self.append_one(*id, &appended);
+                appended.push(*id);
+            }
+            if self.pause_requests.contains(&id.0) {
+                self.pause_sequence(*id, &mut outcome);
+            }
+        }
+        outcome
+    }
+
+    // ------------------------------------------------------------------
+    // Admission
+    // ------------------------------------------------------------------
+
+    fn admit_decodes(&mut self) {
+        let capacity = self.cfg.max_batch * self.lanes.len();
+        // Swapped sequences re-admit first (FIFO), as in vLLM.
+        while let Some(&id) = self.swapped.front() {
+            if self.total_running() >= capacity {
+                break;
+            }
+            if self.in_flight(id) {
+                // The sequence was preempted by another lane while its own
+                // step is still executing; re-admitting it now would let it
+                // join two concurrent steps. Wait for its step to land.
+                break;
+            }
+            let ctx = self.seqs[&id.0].context();
+            if self.kv.free_blocks() < self.kv.blocks_for(ctx) {
+                break;
+            }
+            self.swapped.pop_front();
+            if self.kv.swapped_tokens(id.0).is_some() {
+                let stored = self.kv.swap_in(id.0).expect("capacity checked");
+                if ctx > stored {
+                    // Resync: tokens generated in the same step the
+                    // swap-out happened were never materialized on device.
+                    self.kv
+                        .append_tokens(id.0, ctx - stored)
+                        .expect("capacity checked");
+                }
+                self.pending_delay += self.swap_duration(stored);
+            } else {
+                // Recompute-preempted: reallocate and pay the compute cost
+                // of re-prefilling the context.
+                self.kv.allocate(id.0, ctx).expect("capacity checked");
+                self.pending_delay += self
+                    .cost
+                    .step_time(&BatchPlan::single_prefill(ctx.max(1)));
+            }
+            self.seqs.get_mut(&id.0).expect("swapped seq known").phase = SeqPhase::Decoding;
+            let lane = self.least_loaded_lane();
+            self.lanes[lane].running.push(id);
+        }
+        if !self.swapped.is_empty() {
+            // Swapped requests hold admission priority: new sequences must
+            // not starve them of the blocks they are waiting for.
+            return;
+        }
+        while let Some(&id) = self.waiting_decode.front() {
+            if self.total_running() >= capacity {
+                break;
+            }
+            let ctx = self.seqs[&id.0].context();
+            if self.kv.tokens_of(id.0).is_none() {
+                if !self.kv.can_fit(ctx) && !self.evict_backups_for(ctx) {
+                    break;
+                }
+                self.kv.allocate(id.0, ctx).expect("fit ensured");
+            }
+            self.waiting_decode.pop_front();
+            self.seqs.get_mut(&id.0).expect("waiting seq known").phase = SeqPhase::Decoding;
+            let lane = self.least_loaded_lane();
+            self.lanes[lane].running.push(id);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Batch formation
+    // ------------------------------------------------------------------
+
+    fn form_lane_step(&mut self, lane_idx: usize, now: SimTime) -> Option<RunningStep> {
+        match self.cfg.role {
+            InstanceRole::Decode => self.form_decode_step(lane_idx, now),
+            InstanceRole::Prefill => self.form_prefill_instance_step(lane_idx, now),
+            InstanceRole::Colocated => self.form_colocated_step(lane_idx, now),
+        }
+    }
+
+    fn form_decode_step(&mut self, lane_idx: usize, now: SimTime) -> Option<RunningStep> {
+        self.ensure_growth_blocks(lane_idx);
+        let decode_ids = self.lanes[lane_idx].running.clone();
+        let fused_prefills = if !self.cfg.stream_disaggregation {
+            // WindServe-no-split / regular batching: guest prefills fuse
+            // into the decode batch as whole prompts (Fig. 7 "Regular").
+            self.pack_whole_prefills(u64::from(self.cfg.max_prefill_tokens))
+        } else {
+            Vec::new()
+        };
+        if decode_ids.is_empty() && fused_prefills.is_empty() {
+            return None;
+        }
+        let plan = self.build_plan(&decode_ids, &fused_prefills);
+        let (duration, kernel) = if fused_prefills.is_empty() {
+            let kernel = self.cost.kernel_cost(&plan);
+            let mut alone = SimDuration::from_secs_f64(kernel.alone_secs());
+            if let Some(aux) = &self.aux_step {
+                let slow = self.sharing.slowdowns(&[kernel, aux.kernel])[0];
+                alone = alone.mul_f64(slow);
+            }
+            (alone, kernel)
+        } else {
+            (self.cost.hybrid_step_time(&plan), self.cost.kernel_cost(&plan))
+        };
+        Some(self.finish_step_construction(
+            if fused_prefills.is_empty() {
+                StepKind::Decode
+            } else {
+                StepKind::Hybrid
+            },
+            now,
+            duration,
+            kernel,
+            decode_ids,
+            fused_prefills,
+        ))
+    }
+
+    fn form_prefill_instance_step(&mut self, lane_idx: usize, now: SimTime) -> Option<RunningStep> {
+        if self.lanes[lane_idx].running.is_empty() {
+            // Pure prompt processing: pack whole prompts FCFS.
+            let jobs = self.pack_whole_prefills(u64::from(self.cfg.max_prefill_tokens));
+            if jobs.is_empty() {
+                return None;
+            }
+            let plan = self.build_plan(&[], &jobs);
+            let kernel = self.cost.kernel_cost(&plan);
+            let duration = SimDuration::from_secs_f64(kernel.alone_secs());
+            return Some(self.finish_step_construction(
+                StepKind::Prefill,
+                now,
+                duration,
+                kernel,
+                Vec::new(),
+                jobs,
+            ));
+        }
+        // Migrated decodes are present: bound interference with
+        // chunked prefill (§3.3).
+        self.ensure_growth_blocks(lane_idx);
+        let decode_ids = self.lanes[lane_idx].running.clone();
+        let chunk = self.pack_chunk();
+        if decode_ids.is_empty() && chunk.is_empty() {
+            return None;
+        }
+        let plan = self.build_plan(&decode_ids, &chunk);
+        let duration = self.cost.hybrid_step_time(&plan);
+        let kernel = self.cost.kernel_cost(&plan);
+        Some(self.finish_step_construction(
+            if chunk.is_empty() {
+                StepKind::Decode
+            } else {
+                StepKind::Hybrid
+            },
+            now,
+            duration,
+            kernel,
+            decode_ids,
+            chunk,
+        ))
+    }
+
+    fn form_colocated_step(&mut self, lane_idx: usize, now: SimTime) -> Option<RunningStep> {
+        if self.lanes[lane_idx].running.is_empty() {
+            let jobs = self.pack_whole_prefills(u64::from(self.cfg.max_prefill_tokens));
+            if jobs.is_empty() {
+                return None;
+            }
+            let plan = self.build_plan(&[], &jobs);
+            let kernel = self.cost.kernel_cost(&plan);
+            let duration = SimDuration::from_secs_f64(kernel.alone_secs());
+            return Some(self.finish_step_construction(
+                StepKind::Prefill,
+                now,
+                duration,
+                kernel,
+                Vec::new(),
+                jobs,
+            ));
+        }
+        self.ensure_growth_blocks(lane_idx);
+        let decode_ids = self.lanes[lane_idx].running.clone();
+        let chunk = self.pack_chunk();
+        if decode_ids.is_empty() && chunk.is_empty() {
+            return None;
+        }
+        let plan = self.build_plan(&decode_ids, &chunk);
+        let duration = self.cost.hybrid_step_time(&plan);
+        let kernel = self.cost.kernel_cost(&plan);
+        Some(self.finish_step_construction(
+            if chunk.is_empty() {
+                StepKind::Decode
+            } else {
+                StepKind::Hybrid
+            },
+            now,
+            duration,
+            kernel,
+            decode_ids,
+            chunk,
+        ))
+    }
+
+    fn form_aux_step(&mut self, now: SimTime) -> Option<RunningStep> {
+        let jobs = self.pack_whole_prefills(u64::from(self.cfg.aux_budget_tokens));
+        if jobs.is_empty() {
+            return None;
+        }
+        let plan = self.build_plan(&[], &jobs);
+        let kernel = self.cost.kernel_cost(&plan);
+        let mut duration = SimDuration::from_secs_f64(kernel.alone_secs());
+        let active_lanes: Vec<_> = self
+            .lanes
+            .iter()
+            .filter_map(|l| l.step.as_ref().map(|s| s.kernel))
+            .collect();
+        if let Some(busiest) = active_lanes
+            .iter()
+            .copied()
+            .max_by(|a, b| a.io_secs.partial_cmp(&b.io_secs).expect("finite"))
+        {
+            let slow = self.sharing.slowdowns(&[kernel, busiest])[0];
+            duration = duration.mul_f64(slow);
+        }
+        Some(self.finish_step_construction(
+            StepKind::AuxPrefill,
+            now,
+            duration,
+            kernel,
+            Vec::new(),
+            jobs,
+        ))
+    }
+
+    /// Packs whole prompts from the FCFS queue up to `budget` tokens,
+    /// allocating their KV (evicting backups if needed). Jobs are popped;
+    /// they never return to the queue.
+    fn pack_whole_prefills(&mut self, budget: u64) -> Vec<(RequestId, u32)> {
+        let mut packed = Vec::new();
+        let mut tokens = 0u64;
+        while let Some(&id) = self.waiting_prefill.front() {
+            if packed.len() >= self.cfg.max_prefill_jobs {
+                break;
+            }
+            let seq = &self.seqs[&id.0];
+            let need = seq.prompt_remaining();
+            if !packed.is_empty() && tokens + u64::from(need) > budget {
+                break;
+            }
+            if self.kv.tokens_of(id.0).is_none() {
+                let prompt = seq.prompt_tokens;
+                if !self.kv.can_fit(prompt) && !self.evict_backups_for(prompt) {
+                    break;
+                }
+                self.kv.allocate(id.0, prompt).expect("fit ensured");
+            }
+            self.waiting_prefill.pop_front();
+            tokens += u64::from(need);
+            packed.push((id, need));
+        }
+        packed
+    }
+
+    /// Takes one chunk from the head prefill job (chunked prefill). The job
+    /// is popped; `complete_step` pushes it back if unfinished.
+    fn pack_chunk(&mut self) -> Vec<(RequestId, u32)> {
+        let Some(&id) = self.waiting_prefill.front() else {
+            return Vec::new();
+        };
+        let seq = &self.seqs[&id.0];
+        let chunk = self.cfg.chunk_tokens.min(seq.prompt_remaining());
+        if self.kv.tokens_of(id.0).is_none() {
+            let prompt = seq.prompt_tokens;
+            if !self.kv.can_fit(prompt) && !self.evict_backups_for(prompt) {
+                return Vec::new();
+            }
+            self.kv.allocate(id.0, prompt).expect("fit ensured");
+        }
+        self.waiting_prefill.pop_front();
+        vec![(id, chunk)]
+    }
+
+    fn build_plan(&self, decode_ids: &[RequestId], prefills: &[(RequestId, u32)]) -> BatchPlan {
+        let mut plan = BatchPlan::new();
+        for id in decode_ids {
+            plan.add_decode(self.seqs[&id.0].context().max(1));
+        }
+        for &(id, new_tokens) in prefills {
+            plan.add_prefill(PrefillChunk {
+                new_tokens,
+                past_tokens: self.seqs[&id.0].prefilled,
+            });
+        }
+        plan
+    }
+
+    fn finish_step_construction(
+        &mut self,
+        kind: StepKind,
+        now: SimTime,
+        mut duration: SimDuration,
+        kernel: windserve_gpu::KernelCost,
+        decode_ids: Vec<RequestId>,
+        prefill_ids: Vec<(RequestId, u32)>,
+    ) -> RunningStep {
+        if !self.pending_delay.is_zero() {
+            self.stats.swap_delay_secs += self.pending_delay.as_secs_f64();
+            duration += self.pending_delay;
+            self.pending_delay = SimDuration::ZERO;
+        }
+        // Steps always make time progress.
+        duration = duration.max(SimDuration::from_micros(1));
+        RunningStep {
+            kind,
+            started: now,
+            ends_at: now + duration,
+            kernel,
+            decode_ids,
+            prefill_ids,
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Memory pressure
+    // ------------------------------------------------------------------
+
+    /// Each decode step may grow every running sequence by one token; make
+    /// sure the blocks exist, swapping out victims (newest first, skipping
+    /// migrating sequences) otherwise.
+    fn ensure_growth_blocks(&mut self, lane_idx: usize) {
+        loop {
+            let extra: usize = self.lanes[lane_idx]
+                .running
+                .iter()
+                .map(|id| self.extra_block_for(*id))
+                .sum();
+            if extra <= self.kv.free_blocks() {
+                return;
+            }
+            let victim = self.lanes[lane_idx]
+                .running
+                .iter()
+                .rev()
+                .find(|id| !self.migrating.contains(&id.0))
+                .copied();
+            match victim {
+                Some(v) => self.preempt(v),
+                None => return, // nothing evictable; appends will self-swap
+            }
+        }
+    }
+
+    /// True if `id` is a member of any lane's currently executing step.
+    fn in_flight(&self, id: RequestId) -> bool {
+        self.lanes
+            .iter()
+            .any(|l| l.step.as_ref().is_some_and(|s| s.decode_ids.contains(&id)))
+    }
+
+    fn extra_block_for(&self, id: RequestId) -> usize {
+        let ctx = self.seqs[&id.0].context();
+        usize::from(ctx.is_multiple_of(self.cfg.block_tokens))
+    }
+
+    /// Preempts a sequence under KV pressure: swap its cache to host
+    /// memory, or drop it for recomputation, per the configured mode.
+    fn preempt(&mut self, id: RequestId) {
+        for lane in &mut self.lanes {
+            lane.running.retain(|r| *r != id);
+        }
+        let seq = self.seqs.get_mut(&id.0).expect("preempting unknown seq");
+        seq.phase = SeqPhase::Swapped;
+        seq.swap_outs += 1;
+        match self.cfg.preemption {
+            crate::config::PreemptionMode::Swap => {
+                let tokens = self.kv.swap_out(id.0);
+                self.pending_delay += self.swap_duration(tokens);
+            }
+            crate::config::PreemptionMode::Recompute => {
+                self.kv.release(id.0);
+                self.stats.recomputes += 1;
+            }
+        }
+        self.swapped.push_back(id);
+    }
+
+    /// Appends one token's KV to `id`, preempting other sequences if blocks
+    /// have run out (last resort: swap `id` itself out un-appended; the
+    /// discrepancy is resynced at swap-in).
+    fn append_one(&mut self, id: RequestId, already_appended: &[RequestId]) {
+        loop {
+            if self.kv.append_tokens(id.0, 1).is_ok() {
+                return;
+            }
+            let victim = self
+                .lanes
+                .iter()
+                .flat_map(|l| l.running.iter().rev())
+                .find(|v| {
+                    v.0 != id.0
+                        && !self.migrating.contains(&v.0)
+                        && !already_appended.contains(v)
+                })
+                .copied();
+            match victim {
+                Some(v) => self.preempt(v),
+                None => {
+                    self.preempt(id);
+                    return;
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Completion helpers
+    // ------------------------------------------------------------------
+
+    fn finish_sequence(&mut self, id: RequestId, outcome: &mut StepOutcome) {
+        for lane in &mut self.lanes {
+            lane.running.retain(|r| *r != id);
+        }
+        self.swapped.retain(|r| *r != id);
+        self.kv.release(id.0);
+        self.kv.forget_swapped(id.0);
+        self.migrating.remove(&id.0);
+        self.pause_requests.remove(&id.0);
+        let seq = self.seqs.remove(&id.0).expect("finishing unknown seq");
+        outcome.completed.push(CompletedSeq {
+            id,
+            generated: seq.generated,
+            swap_outs: seq.swap_outs,
+            migrations: seq.migrations,
+            decode_start: seq.decode_start,
+        });
+    }
+
+    fn pause_sequence(&mut self, id: RequestId, outcome: &mut StepOutcome) {
+        let paused = self.detach_for_pause(id);
+        outcome.paused.push(paused);
+    }
+
+    /// Detaches a sequence from every queue and lane, releases its KV, and
+    /// returns its state for migration. Shared by boundary pauses and
+    /// immediate pauses of waiting/swapped sequences.
+    pub(crate) fn detach_for_pause(&mut self, id: RequestId) -> PausedSeq {
+        for lane in &mut self.lanes {
+            lane.running.retain(|r| *r != id);
+        }
+        self.swapped.retain(|r| *r != id);
+        self.waiting_decode.retain(|r| *r != id);
+        self.kv.release(id.0);
+        self.kv.forget_swapped(id.0);
+        self.migrating.remove(&id.0);
+        self.pause_requests.remove(&id.0);
+        let mut state = self.seqs.remove(&id.0).expect("pausing unknown seq");
+        state.phase = SeqPhase::DecodeWaiting;
+        PausedSeq { state }
+    }
+}

@@ -1,0 +1,181 @@
+//! GPU hardware descriptions.
+//!
+//! The simulator models a GPU with a small analytic "roofline" parameter
+//! set: peak FP16 compute, HBM bandwidth, memory capacity, and achievable
+//! efficiency fractions for GEMM-heavy (prefill) and bandwidth-heavy
+//! (decode) kernels. This mirrors how the paper itself reasons about kernel
+//! cost (Table 1 and Eq. 1–2).
+
+use serde::{Deserialize, Serialize};
+
+/// Bytes in one gibibyte.
+pub const GIB: u64 = 1 << 30;
+
+/// Analytic description of one GPU.
+///
+/// # Examples
+///
+/// ```
+/// use windserve_gpu::GpuSpec;
+///
+/// let gpu = GpuSpec::a800_80gb();
+/// assert!(gpu.effective_flops() > 1e14);
+/// assert!(gpu.memory_bytes > 70 * (1 << 30));
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GpuSpec {
+    /// Marketing name, e.g. `"A800-80GB"`.
+    pub name: String,
+    /// Peak dense FP16 tensor-core throughput, in FLOP/s.
+    pub peak_flops: f64,
+    /// Peak HBM bandwidth, in bytes/s.
+    pub peak_bandwidth: f64,
+    /// Global memory capacity, in bytes.
+    pub memory_bytes: u64,
+    /// Fraction of peak FLOPs achieved by large GEMMs (model FLOPs
+    /// utilization of prefill-style kernels).
+    pub compute_efficiency: f64,
+    /// Fraction of peak bandwidth achieved by streaming kernels (model
+    /// bandwidth utilization of decode-style kernels).
+    pub bandwidth_efficiency: f64,
+}
+
+impl GpuSpec {
+    /// NVIDIA A800 80 GB PCIe — the paper's testbed GPU (A100-class compute
+    /// with capped NVLink). FP16 dense 312 TFLOPS, HBM2e 2039 GB/s.
+    pub fn a800_80gb() -> Self {
+        GpuSpec {
+            name: "A800-80GB".to_string(),
+            peak_flops: 312e12,
+            peak_bandwidth: 2039e9,
+            memory_bytes: 80 * GIB,
+            compute_efficiency: 0.52,
+            bandwidth_efficiency: 0.80,
+        }
+    }
+
+    /// NVIDIA A100 40 GB SXM.
+    pub fn a100_40gb() -> Self {
+        GpuSpec {
+            name: "A100-40GB".to_string(),
+            peak_flops: 312e12,
+            peak_bandwidth: 1555e9,
+            memory_bytes: 40 * GIB,
+            compute_efficiency: 0.52,
+            bandwidth_efficiency: 0.80,
+        }
+    }
+
+    /// NVIDIA H100 80 GB SXM. FP16 dense 989 TFLOPS, HBM3 3.35 TB/s.
+    pub fn h100_80gb() -> Self {
+        GpuSpec {
+            name: "H100-80GB".to_string(),
+            peak_flops: 989e12,
+            peak_bandwidth: 3350e9,
+            memory_bytes: 80 * GIB,
+            compute_efficiency: 0.50,
+            bandwidth_efficiency: 0.78,
+        }
+    }
+
+    /// NVIDIA RTX 4090 — the heterogeneous-cluster prefill candidate the
+    /// paper's future-work section advocates (high compute, low bandwidth,
+    /// no NVLink).
+    pub fn rtx_4090() -> Self {
+        GpuSpec {
+            name: "RTX-4090".to_string(),
+            peak_flops: 165e12,
+            peak_bandwidth: 1008e9,
+            memory_bytes: 24 * GIB,
+            compute_efficiency: 0.55,
+            bandwidth_efficiency: 0.82,
+        }
+    }
+
+    /// Achievable FLOP/s for GEMM-dominated kernels.
+    pub fn effective_flops(&self) -> f64 {
+        self.peak_flops * self.compute_efficiency
+    }
+
+    /// Achievable bytes/s for bandwidth-dominated kernels.
+    pub fn effective_bandwidth(&self) -> f64 {
+        self.peak_bandwidth * self.bandwidth_efficiency
+    }
+
+    /// Validates that all parameters are physically meaningful.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first invalid field.
+    pub fn validate(&self) -> Result<(), String> {
+        if !(self.peak_flops.is_finite() && self.peak_flops > 0.0) {
+            return Err(format!("{}: peak_flops must be positive", self.name));
+        }
+        if !(self.peak_bandwidth.is_finite() && self.peak_bandwidth > 0.0) {
+            return Err(format!("{}: peak_bandwidth must be positive", self.name));
+        }
+        if self.memory_bytes == 0 {
+            return Err(format!("{}: memory_bytes must be positive", self.name));
+        }
+        for (label, v) in [
+            ("compute_efficiency", self.compute_efficiency),
+            ("bandwidth_efficiency", self.bandwidth_efficiency),
+        ] {
+            if !(v.is_finite() && v > 0.0 && v <= 1.0) {
+                return Err(format!("{}: {label} must be in (0, 1]", self.name));
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Default for GpuSpec {
+    /// Defaults to the paper's testbed GPU.
+    fn default() -> Self {
+        GpuSpec::a800_80gb()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_are_valid() {
+        for gpu in [
+            GpuSpec::a800_80gb(),
+            GpuSpec::a100_40gb(),
+            GpuSpec::h100_80gb(),
+            GpuSpec::rtx_4090(),
+        ] {
+            gpu.validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn effective_rates_are_below_peak() {
+        let gpu = GpuSpec::a800_80gb();
+        assert!(gpu.effective_flops() < gpu.peak_flops);
+        assert!(gpu.effective_bandwidth() < gpu.peak_bandwidth);
+    }
+
+    #[test]
+    fn rtx4090_is_compute_heavy_relative_to_bandwidth() {
+        // The future-work argument: 4090 has a higher compute:bandwidth ratio
+        // than the A800, making it a good prefill-only device.
+        let a800 = GpuSpec::a800_80gb();
+        let r4090 = GpuSpec::rtx_4090();
+        let ratio = |g: &GpuSpec| g.peak_flops / g.peak_bandwidth;
+        assert!(ratio(&r4090) > ratio(&a800));
+    }
+
+    #[test]
+    fn validation_rejects_nonsense() {
+        let mut gpu = GpuSpec::a800_80gb();
+        gpu.compute_efficiency = 1.5;
+        assert!(gpu.validate().is_err());
+        gpu.compute_efficiency = 0.5;
+        gpu.peak_flops = -1.0;
+        assert!(gpu.validate().is_err());
+    }
+}

@@ -1,0 +1,148 @@
+//! Percentile machinery.
+//!
+//! The paper reports TTFT P50/P99 and TPOT P90/P99 (§5.1 Metrics). We use
+//! the nearest-rank definition on a sorted copy, which is exact, simple and
+//! matches what serving benchmarks typically report.
+
+use serde::{Deserialize, Serialize};
+
+/// Computes the `q`-quantile (`0.0..=1.0`) of `values` by nearest rank.
+/// Returns `None` for an empty slice.
+///
+/// # Panics
+///
+/// Panics if `q` is outside `[0, 1]` or any value is NaN.
+///
+/// # Examples
+///
+/// ```
+/// use windserve_metrics::percentile;
+///
+/// let xs = vec![1.0, 2.0, 3.0, 4.0, 5.0];
+/// assert_eq!(percentile(&xs, 0.5), Some(3.0));
+/// assert_eq!(percentile(&xs, 1.0), Some(5.0));
+/// assert_eq!(percentile(&[], 0.5), None);
+/// ```
+pub fn percentile(values: &[f64], q: f64) -> Option<f64> {
+    assert!((0.0..=1.0).contains(&q), "quantile {q} out of range");
+    if values.is_empty() {
+        return None;
+    }
+    let mut sorted: Vec<f64> = values.to_vec();
+    assert!(sorted.iter().all(|v| !v.is_nan()), "NaN in samples");
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    Some(sorted[rank - 1])
+}
+
+/// A one-pass summary of a latency sample: mean and the percentiles the
+/// paper reports.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Percentiles {
+    /// Sample size.
+    pub count: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Median.
+    pub p50: f64,
+    /// 90th percentile.
+    pub p90: f64,
+    /// 99th percentile.
+    pub p99: f64,
+    /// Maximum.
+    pub max: f64,
+}
+
+impl Percentiles {
+    /// Summarizes `values`; returns `None` if the sample is empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any value is NaN.
+    pub fn of(values: &[f64]) -> Option<Self> {
+        if values.is_empty() {
+            return None;
+        }
+        let mut sorted: Vec<f64> = values.to_vec();
+        assert!(sorted.iter().all(|v| !v.is_nan()), "NaN in samples");
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+        let at = |q: f64| {
+            let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+            sorted[rank - 1]
+        };
+        Some(Percentiles {
+            count: sorted.len(),
+            mean: sorted.iter().sum::<f64>() / sorted.len() as f64,
+            p50: at(0.50),
+            p90: at(0.90),
+            p99: at(0.99),
+            max: *sorted.last().expect("non-empty"),
+        })
+    }
+
+    /// An all-zero summary for an empty sample (convenient in reports).
+    pub fn zero() -> Self {
+        Percentiles {
+            count: 0,
+            mean: 0.0,
+            p50: 0.0,
+            p90: 0.0,
+            p99: 0.0,
+            max: 0.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn nearest_rank_on_small_samples() {
+        let xs = [10.0, 20.0];
+        assert_eq!(percentile(&xs, 0.0), Some(10.0));
+        assert_eq!(percentile(&xs, 0.5), Some(10.0));
+        assert_eq!(percentile(&xs, 0.51), Some(20.0));
+    }
+
+    #[test]
+    fn summary_fields_are_ordered() {
+        let xs: Vec<f64> = (1..=1000).map(f64::from).collect();
+        let p = Percentiles::of(&xs).unwrap();
+        assert_eq!(p.count, 1000);
+        assert!(p.p50 <= p.p90 && p.p90 <= p.p99 && p.p99 <= p.max);
+        assert_eq!(p.p50, 500.0);
+        assert_eq!(p.p99, 990.0);
+    }
+
+    #[test]
+    fn empty_sample_yields_none() {
+        assert!(Percentiles::of(&[]).is_none());
+        assert_eq!(Percentiles::zero().count, 0);
+    }
+
+    proptest! {
+        /// Against a naive reference: percentile must equal the value at the
+        /// ceil-rank index of the sorted sample.
+        #[test]
+        fn matches_naive_reference(mut xs in proptest::collection::vec(0.0f64..1e6, 1..300),
+                                   q in 0.0f64..=1.0) {
+            let got = percentile(&xs, q).unwrap();
+            xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            let rank = ((q * xs.len() as f64).ceil() as usize).clamp(1, xs.len());
+            prop_assert_eq!(got, xs[rank - 1]);
+        }
+
+        /// Percentiles are monotone in q.
+        #[test]
+        fn monotone_in_q(xs in proptest::collection::vec(0.0f64..1e6, 1..300)) {
+            let mut last = f64::NEG_INFINITY;
+            for i in 0..=10 {
+                let v = percentile(&xs, i as f64 / 10.0).unwrap();
+                prop_assert!(v >= last);
+                last = v;
+            }
+        }
+    }
+}

@@ -1,0 +1,117 @@
+//! Run-level latency summaries.
+
+use crate::percentile::Percentiles;
+use crate::record::{PrefillSite, RequestRecord};
+use crate::slo::{SloAttainment, SloSpec};
+use serde::{Deserialize, Serialize};
+
+/// Everything the paper's end-to-end figures plot, computed from a run's
+/// completed-request records.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LatencySummary {
+    /// Completed requests.
+    pub completed: usize,
+    /// TTFT distribution, seconds.
+    pub ttft: Percentiles,
+    /// TPOT distribution, seconds (requests with ≥2 output tokens).
+    pub tpot: Percentiles,
+    /// Prefill queueing delay distribution, seconds.
+    pub prefill_queue: Percentiles,
+    /// Decode queueing delay distribution, seconds.
+    pub decode_queue: Percentiles,
+    /// SLO attainment under the supplied objectives.
+    pub slo: SloAttainment,
+    /// Requests whose prefill was dispatched to the decode instance.
+    pub dispatched_prefills: usize,
+    /// Requests migrated by dynamic rescheduling at least once.
+    pub migrated_requests: usize,
+    /// Total KV swap-out events across all requests.
+    pub total_swap_outs: u64,
+}
+
+impl LatencySummary {
+    /// Summarizes `records` against `slo`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any record fails [`RequestRecord::validate`] — a malformed
+    /// record indicates a simulator bug, not bad input.
+    pub fn of(slo: SloSpec, records: &[RequestRecord]) -> Self {
+        for r in records {
+            r.validate().expect("malformed request record");
+        }
+        let ttfts: Vec<f64> = records.iter().map(|r| r.ttft()).collect();
+        let tpots: Vec<f64> = records.iter().filter_map(|r| r.tpot()).collect();
+        let pq: Vec<f64> = records.iter().map(|r| r.prefill_queue_delay()).collect();
+        let dq: Vec<f64> = records.iter().map(|r| r.decode_queue_delay()).collect();
+        LatencySummary {
+            completed: records.len(),
+            ttft: Percentiles::of(&ttfts).unwrap_or_else(Percentiles::zero),
+            tpot: Percentiles::of(&tpots).unwrap_or_else(Percentiles::zero),
+            prefill_queue: Percentiles::of(&pq).unwrap_or_else(Percentiles::zero),
+            decode_queue: Percentiles::of(&dq).unwrap_or_else(Percentiles::zero),
+            slo: SloAttainment::of(slo, records),
+            dispatched_prefills: records
+                .iter()
+                .filter(|r| r.prefill_site == PrefillSite::DecodeInstance)
+                .count(),
+            migrated_requests: records.iter().filter(|r| r.migrations > 0).count(),
+            total_swap_outs: records.iter().map(|r| u64::from(r.swap_outs)).sum(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use windserve_sim::{SimDuration, SimTime};
+    use windserve_workload::RequestId;
+
+    fn record(i: u64, ttft_s: f64, tpot_s: f64, site: PrefillSite) -> RequestRecord {
+        let arrival = SimTime::from_secs_f64(i as f64);
+        let first = arrival + SimDuration::from_secs_f64(ttft_s);
+        RequestRecord {
+            id: RequestId(i),
+            prompt_tokens: 64,
+            output_tokens: 21,
+            arrival,
+            prefill_start: arrival,
+            first_token: first,
+            decode_enqueue: first,
+            decode_start: first,
+            completion: first + SimDuration::from_secs_f64(tpot_s * 20.0),
+            prefill_site: site,
+            swap_outs: (i % 2) as u32,
+            migrations: 0,
+        }
+    }
+
+    #[test]
+    fn summary_aggregates_everything() {
+        let slo = SloSpec::opt_13b_sharegpt();
+        let records: Vec<_> = (0..10)
+            .map(|i| {
+                let site = if i < 3 {
+                    PrefillSite::DecodeInstance
+                } else {
+                    PrefillSite::PrefillInstance
+                };
+                record(i, 0.1 + i as f64 * 0.01, 0.02, site)
+            })
+            .collect();
+        let s = LatencySummary::of(slo, &records);
+        assert_eq!(s.completed, 10);
+        assert_eq!(s.dispatched_prefills, 3);
+        assert_eq!(s.total_swap_outs, 5);
+        assert!(s.ttft.p50 >= 0.1 && s.ttft.p99 <= 0.2);
+        assert_eq!(s.slo.tpot, 1.0);
+    }
+
+    #[test]
+    fn empty_run_summarizes_to_zeroes() {
+        let s = LatencySummary::of(SloSpec::opt_13b_sharegpt(), &[]);
+        assert_eq!(s.completed, 0);
+        assert_eq!(s.ttft.count, 0);
+        assert_eq!(s.slo.both, 1.0);
+    }
+}

@@ -1,0 +1,197 @@
+//! Batch composition.
+//!
+//! A forward pass processes a mix of *prefill work* (many new tokens per
+//! job, possibly a chunk continuing an earlier context) and *decode work*
+//! (one new token per job, attending over the job's full context). The
+//! engines build [`BatchPlan`]s; the cost model prices them.
+
+use serde::{Deserialize, Serialize};
+
+/// One prefill job's contribution to a step: `new_tokens` fresh prompt
+/// tokens appended to `past_tokens` already-processed ones (past is zero
+/// for an unchunked prefill).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PrefillChunk {
+    /// Prompt tokens processed in this step.
+    pub new_tokens: u32,
+    /// Prompt tokens already processed in earlier chunks.
+    pub past_tokens: u32,
+}
+
+impl PrefillChunk {
+    /// A whole-prompt (unchunked) prefill.
+    pub fn whole(prompt_tokens: u32) -> Self {
+        PrefillChunk {
+            new_tokens: prompt_tokens,
+            past_tokens: 0,
+        }
+    }
+
+    /// Total context once this chunk completes.
+    pub fn total_context(&self) -> u32 {
+        self.new_tokens + self.past_tokens
+    }
+}
+
+/// The work content of one forward pass.
+///
+/// # Examples
+///
+/// ```
+/// use windserve_model::{BatchPlan, PrefillChunk};
+///
+/// let mut plan = BatchPlan::new();
+/// plan.add_prefill(PrefillChunk::whole(768));
+/// plan.add_decode(1024);
+/// plan.add_decode(512);
+/// assert_eq!(plan.prefill_tokens(), 768);
+/// assert_eq!(plan.decode_batch(), 2);
+/// assert_eq!(plan.decode_context_sum(), 1536);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct BatchPlan {
+    prefill: Vec<PrefillChunk>,
+    decode_contexts: Vec<u32>,
+}
+
+impl BatchPlan {
+    /// An empty plan.
+    pub fn new() -> Self {
+        BatchPlan::default()
+    }
+
+    /// A plan containing a single whole prefill of `n` tokens.
+    pub fn single_prefill(n: u32) -> Self {
+        let mut plan = BatchPlan::new();
+        plan.add_prefill(PrefillChunk::whole(n));
+        plan
+    }
+
+    /// A plan decoding one token for each context length in `contexts`.
+    pub fn decode_only<I: IntoIterator<Item = u32>>(contexts: I) -> Self {
+        BatchPlan {
+            prefill: Vec::new(),
+            decode_contexts: contexts.into_iter().collect(),
+        }
+    }
+
+    /// Adds a prefill chunk.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the chunk has no new tokens.
+    pub fn add_prefill(&mut self, chunk: PrefillChunk) {
+        assert!(chunk.new_tokens > 0, "empty prefill chunk");
+        self.prefill.push(chunk);
+    }
+
+    /// Adds a decode job with the given context length (prompt + generated
+    /// so far, at least 1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `context` is zero.
+    pub fn add_decode(&mut self, context: u32) {
+        assert!(context > 0, "decode needs a context");
+        self.decode_contexts.push(context);
+    }
+
+    /// The prefill chunks in the plan.
+    pub fn prefill_chunks(&self) -> &[PrefillChunk] {
+        &self.prefill
+    }
+
+    /// The decode jobs' context lengths.
+    pub fn decode_contexts(&self) -> &[u32] {
+        &self.decode_contexts
+    }
+
+    /// Total new prefill tokens (the `N` of Table 1 / Eq. 1).
+    pub fn prefill_tokens(&self) -> u64 {
+        self.prefill.iter().map(|c| u64::from(c.new_tokens)).sum()
+    }
+
+    /// Number of decode jobs (the `B` of Table 1).
+    pub fn decode_batch(&self) -> u64 {
+        self.decode_contexts.len() as u64
+    }
+
+    /// Sum of decode context lengths (the `ΣL` of Table 1 / Eq. 2).
+    pub fn decode_context_sum(&self) -> u64 {
+        self.decode_contexts.iter().map(|&l| u64::from(l)).sum()
+    }
+
+    /// Total new tokens produced by the step (prefill + one per decode).
+    pub fn new_tokens(&self) -> u64 {
+        self.prefill_tokens() + self.decode_batch()
+    }
+
+    /// True if the plan contains no work.
+    pub fn is_empty(&self) -> bool {
+        self.prefill.is_empty() && self.decode_contexts.is_empty()
+    }
+
+    /// Splits the plan into its prefill-only and decode-only halves (used
+    /// by stream-based disaggregation to price each stream separately).
+    pub fn split_phases(&self) -> (BatchPlan, BatchPlan) {
+        (
+            BatchPlan {
+                prefill: self.prefill.clone(),
+                decode_contexts: Vec::new(),
+            },
+            BatchPlan {
+                prefill: Vec::new(),
+                decode_contexts: self.decode_contexts.clone(),
+            },
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aggregates_match_table1_symbols() {
+        let mut plan = BatchPlan::new();
+        plan.add_prefill(PrefillChunk::whole(512));
+        plan.add_prefill(PrefillChunk {
+            new_tokens: 256,
+            past_tokens: 512,
+        });
+        plan.add_decode(100);
+        plan.add_decode(200);
+        plan.add_decode(300);
+        assert_eq!(plan.prefill_tokens(), 768);
+        assert_eq!(plan.decode_batch(), 3);
+        assert_eq!(plan.decode_context_sum(), 600);
+        assert_eq!(plan.new_tokens(), 771);
+        assert!(!plan.is_empty());
+    }
+
+    #[test]
+    fn split_phases_partitions_work() {
+        let mut plan = BatchPlan::new();
+        plan.add_prefill(PrefillChunk::whole(64));
+        plan.add_decode(10);
+        let (p, d) = plan.split_phases();
+        assert_eq!(p.prefill_tokens(), 64);
+        assert_eq!(p.decode_batch(), 0);
+        assert_eq!(d.prefill_tokens(), 0);
+        assert_eq!(d.decode_batch(), 1);
+    }
+
+    #[test]
+    fn constructors_cover_common_cases() {
+        assert_eq!(BatchPlan::single_prefill(100).prefill_tokens(), 100);
+        let d = BatchPlan::decode_only([5, 6, 7]);
+        assert_eq!(d.decode_batch(), 3);
+        assert!(BatchPlan::new().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "empty prefill")]
+    fn zero_token_chunk_rejected() {
+        BatchPlan::new().add_prefill(PrefillChunk::whole(0));
+    }
+}

@@ -1,0 +1,85 @@
+//! Epoch-based event cancellation.
+//!
+//! A discrete-event simulator cannot efficiently delete entries from the
+//! middle of its future-event list. The standard remedy — used here for
+//! rescheduling GPU steps whose duration changes when a concurrent stream
+//! starts or stops — is to version each logical activity with an *epoch*:
+//! every scheduled completion carries the epoch current at scheduling time,
+//! and deliveries whose epoch is stale are ignored.
+
+use serde::{Deserialize, Serialize};
+
+/// A generation counter for one logical activity (e.g. one GPU stream).
+///
+/// # Examples
+///
+/// ```
+/// use windserve_sim::EpochCounter;
+///
+/// let mut epochs = EpochCounter::new();
+/// let first = epochs.current();
+/// let tok = epochs.bump();          // invalidate anything scheduled earlier
+/// assert!(!epochs.is_current(first));
+/// assert!(epochs.is_current(tok));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct EpochCounter(u64);
+
+/// A token identifying the epoch during which an event was scheduled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Epoch(u64);
+
+impl EpochCounter {
+    /// Creates a counter at epoch zero.
+    pub fn new() -> Self {
+        EpochCounter(0)
+    }
+
+    /// The current epoch token.
+    pub fn current(&self) -> Epoch {
+        Epoch(self.0)
+    }
+
+    /// Invalidates all previously issued tokens and returns the new current
+    /// token.
+    pub fn bump(&mut self) -> Epoch {
+        self.0 += 1;
+        Epoch(self.0)
+    }
+
+    /// True if `token` is still the live epoch (i.e. the event carrying it
+    /// has not been cancelled).
+    pub fn is_current(&self, token: Epoch) -> bool {
+        token.0 == self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_counter_accepts_its_token() {
+        let c = EpochCounter::new();
+        assert!(c.is_current(c.current()));
+    }
+
+    #[test]
+    fn bump_invalidates_all_older_tokens() {
+        let mut c = EpochCounter::new();
+        let t0 = c.current();
+        let t1 = c.bump();
+        let t2 = c.bump();
+        assert!(!c.is_current(t0));
+        assert!(!c.is_current(t1));
+        assert!(c.is_current(t2));
+    }
+
+    #[test]
+    fn tokens_are_comparable_values() {
+        let mut c = EpochCounter::new();
+        let a = c.bump();
+        let b = c.current();
+        assert_eq!(a, b);
+    }
+}

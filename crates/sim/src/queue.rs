@@ -1,0 +1,218 @@
+//! The future-event list at the heart of the discrete-event simulator.
+//!
+//! [`EventQueue`] is a priority queue of `(SimTime, E)` pairs ordered by
+//! time, with FIFO tie-breaking so that events scheduled earlier at the same
+//! instant are delivered earlier. Cancellation uses the epoch pattern (see
+//! [`crate::epoch`]): rather than deleting entries, schedulers tag events
+//! with a generation counter and ignore stale deliveries.
+
+use crate::time::SimTime;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// A scheduled event, ready for delivery.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Scheduled<E> {
+    /// The instant at which the event fires.
+    pub at: SimTime,
+    /// Monotonically increasing insertion id; breaks ties FIFO.
+    pub seq: u64,
+    /// The event payload.
+    pub event: E,
+}
+
+struct Entry<E> {
+    at: SimTime,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest (time, seq) pops
+        // first.
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A future-event list: events pop in non-decreasing time order, FIFO within
+/// a single instant.
+///
+/// # Examples
+///
+/// ```
+/// use windserve_sim::{EventQueue, SimTime};
+///
+/// let mut q = EventQueue::new();
+/// q.schedule(SimTime::from_micros(20), "late");
+/// q.schedule(SimTime::from_micros(10), "early");
+/// assert_eq!(q.pop().unwrap().event, "early");
+/// assert_eq!(q.pop().unwrap().event, "late");
+/// assert!(q.pop().is_none());
+/// ```
+#[derive(Debug)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    next_seq: u64,
+    last_popped: SimTime,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> std::fmt::Debug for Entry<E> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Entry")
+            .field("at", &self.at)
+            .field("seq", &self.seq)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+            last_popped: SimTime::ZERO,
+        }
+    }
+
+    /// Schedules `event` to fire at `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is earlier than the last popped event: delivering into
+    /// the past would violate causality.
+    pub fn schedule(&mut self, at: SimTime, event: E) {
+        assert!(
+            at >= self.last_popped,
+            "cannot schedule at {at} before current time {}",
+            self.last_popped
+        );
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Entry { at, seq, event });
+    }
+
+    /// Removes and returns the earliest event, or `None` if the queue is
+    /// empty. Advances the queue's notion of "now".
+    pub fn pop(&mut self) -> Option<Scheduled<E>> {
+        let entry = self.heap.pop()?;
+        debug_assert!(entry.at >= self.last_popped);
+        self.last_popped = entry.at;
+        Some(Scheduled {
+            at: entry.at,
+            seq: entry.seq,
+            event: entry.event,
+        })
+    }
+
+    /// The firing time of the next event, if any, without removing it.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|e| e.at)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True if no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// The time of the most recently popped event (the simulation "now").
+    pub fn now(&self) -> SimTime {
+        self.last_popped
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn fifo_within_same_instant() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_micros(5);
+        for i in 0..10 {
+            q.schedule(t, i);
+        }
+        for i in 0..10 {
+            assert_eq!(q.pop().unwrap().event, i);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot schedule")]
+    fn scheduling_into_the_past_panics() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_micros(10), ());
+        q.pop();
+        q.schedule(SimTime::from_micros(5), ());
+    }
+
+    #[test]
+    fn peek_matches_pop() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_micros(9), 'a');
+        q.schedule(SimTime::from_micros(3), 'b');
+        assert_eq!(q.peek_time(), Some(SimTime::from_micros(3)));
+        assert_eq!(q.pop().unwrap().event, 'b');
+    }
+
+    proptest! {
+        #[test]
+        fn pops_are_time_monotone(times in proptest::collection::vec(0u64..1_000, 1..200)) {
+            let mut q = EventQueue::new();
+            for (i, &t) in times.iter().enumerate() {
+                q.schedule(SimTime::from_micros(t), i);
+            }
+            let mut last = SimTime::ZERO;
+            let mut count = 0;
+            while let Some(ev) = q.pop() {
+                prop_assert!(ev.at >= last);
+                last = ev.at;
+                count += 1;
+            }
+            prop_assert_eq!(count, times.len());
+        }
+
+        #[test]
+        fn equal_times_preserve_insertion_order(n in 1usize..100) {
+            let mut q = EventQueue::new();
+            let t = SimTime::from_micros(1);
+            for i in 0..n {
+                q.schedule(t, i);
+            }
+            let mut prev = None;
+            while let Some(ev) = q.pop() {
+                if let Some(p) = prev {
+                    prop_assert!(ev.event > p);
+                }
+                prev = Some(ev.event);
+            }
+        }
+    }
+}

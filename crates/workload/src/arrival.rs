@@ -1,0 +1,152 @@
+//! Request arrival processes.
+//!
+//! The paper's evaluation "employed a Poisson distribution to simulate the
+//! specified request rate" (§5.1). A deterministic (uniform-gap) process
+//! and a bursty two-state process are provided for sensitivity studies.
+
+use serde::{Deserialize, Serialize};
+use windserve_sim::{SimDuration, SimRng};
+
+/// An inter-arrival-time generator.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ArrivalProcess {
+    /// Poisson arrivals at `rate` requests/second (exponential gaps).
+    Poisson {
+        /// Mean arrival rate, req/s.
+        rate: f64,
+    },
+    /// Deterministic arrivals every `1/rate` seconds.
+    Uniform {
+        /// Arrival rate, req/s.
+        rate: f64,
+    },
+    /// Markov-modulated Poisson: alternates between a calm and a burst
+    /// phase, each exponentially distributed in length.
+    Bursty {
+        /// Rate during the calm phase, req/s.
+        base_rate: f64,
+        /// Rate during the burst phase, req/s.
+        burst_rate: f64,
+        /// Mean phase duration, seconds.
+        mean_phase_secs: f64,
+    },
+}
+
+impl ArrivalProcess {
+    /// Poisson arrivals at `rate` req/s.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate` is not strictly positive and finite.
+    pub fn poisson(rate: f64) -> Self {
+        assert!(rate.is_finite() && rate > 0.0, "invalid rate {rate}");
+        ArrivalProcess::Poisson { rate }
+    }
+
+    /// Deterministic arrivals at `rate` req/s.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate` is not strictly positive and finite.
+    pub fn uniform(rate: f64) -> Self {
+        assert!(rate.is_finite() && rate > 0.0, "invalid rate {rate}");
+        ArrivalProcess::Uniform { rate }
+    }
+
+    /// Long-run mean rate of the process, req/s.
+    pub fn mean_rate(&self) -> f64 {
+        match *self {
+            ArrivalProcess::Poisson { rate } | ArrivalProcess::Uniform { rate } => rate,
+            ArrivalProcess::Bursty {
+                base_rate,
+                burst_rate,
+                ..
+            } => (base_rate + burst_rate) / 2.0,
+        }
+    }
+
+    /// Generates the full arrival schedule for `n` requests (gaps from the
+    /// process, starting at time zero + first gap).
+    pub fn gaps(&self, n: usize, rng: &mut SimRng) -> Vec<SimDuration> {
+        let mut out = Vec::with_capacity(n);
+        match *self {
+            ArrivalProcess::Poisson { rate } => {
+                for _ in 0..n {
+                    out.push(SimDuration::from_secs_f64(rng.next_exp(rate)));
+                }
+            }
+            ArrivalProcess::Uniform { rate } => {
+                let gap = SimDuration::from_secs_f64(1.0 / rate);
+                out.resize(n, gap);
+            }
+            ArrivalProcess::Bursty {
+                base_rate,
+                burst_rate,
+                mean_phase_secs,
+            } => {
+                let mut in_burst = false;
+                let mut phase_left = rng.next_exp(1.0 / mean_phase_secs);
+                for _ in 0..n {
+                    let rate = if in_burst { burst_rate } else { base_rate };
+                    let gap = rng.next_exp(rate);
+                    phase_left -= gap;
+                    if phase_left <= 0.0 {
+                        in_burst = !in_burst;
+                        phase_left = rng.next_exp(1.0 / mean_phase_secs);
+                    }
+                    out.push(SimDuration::from_secs_f64(gap));
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn poisson_gaps_average_to_rate() {
+        let mut rng = SimRng::seed_from_u64(3);
+        let gaps = ArrivalProcess::poisson(8.0).gaps(50_000, &mut rng);
+        let mean: f64 = gaps.iter().map(|g| g.as_secs_f64()).sum::<f64>() / gaps.len() as f64;
+        assert!((mean - 0.125).abs() < 0.003, "mean gap {mean}");
+    }
+
+    #[test]
+    fn uniform_gaps_are_constant() {
+        let mut rng = SimRng::seed_from_u64(3);
+        let gaps = ArrivalProcess::uniform(4.0).gaps(10, &mut rng);
+        assert!(gaps.iter().all(|&g| g == SimDuration::from_millis(250)));
+    }
+
+    #[test]
+    fn bursty_has_higher_variance_than_poisson() {
+        let mut rng = SimRng::seed_from_u64(9);
+        let bursty = ArrivalProcess::Bursty {
+            base_rate: 2.0,
+            burst_rate: 20.0,
+            mean_phase_secs: 5.0,
+        };
+        let var = |gaps: &[SimDuration]| {
+            let xs: Vec<f64> = gaps.iter().map(|g| g.as_secs_f64()).collect();
+            let m = xs.iter().sum::<f64>() / xs.len() as f64;
+            xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / xs.len() as f64 / (m * m)
+        };
+        let vb = var(&bursty.gaps(20_000, &mut rng));
+        let vp = var(&ArrivalProcess::poisson(bursty.mean_rate()).gaps(20_000, &mut rng));
+        assert!(vb > vp, "squared CV bursty {vb} vs poisson {vp}");
+    }
+
+    #[test]
+    fn mean_rate_reports_configuration() {
+        assert_eq!(ArrivalProcess::poisson(5.0).mean_rate(), 5.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid rate")]
+    fn zero_rate_rejected() {
+        let _ = ArrivalProcess::poisson(0.0);
+    }
+}

@@ -1,0 +1,41 @@
+//! # windserve-workload
+//!
+//! Workload synthesis for the WindServe reproduction:
+//!
+//! * [`Request`] / [`RequestId`] — the unit of work;
+//! * [`Dataset`] / [`QuantileSampler`] — token-length distributions tuned
+//!   to the paper's Table 2 statistics for ShareGPT (chatbot) and LongBench
+//!   (summarization);
+//! * [`ArrivalProcess`] — Poisson (as in the paper), uniform and bursty
+//!   arrivals;
+//! * [`Trace`] — a deterministic, replayable request schedule with
+//!   Table 2-style statistics.
+//!
+//! # Examples
+//!
+//! ```
+//! use windserve_workload::{ArrivalProcess, Dataset, Trace};
+//!
+//! // 16 req/s aggregate over a 4-GPU placement = 4 req/s per GPU.
+//! let trace = Trace::generate(
+//!     &Dataset::sharegpt(2048),
+//!     &ArrivalProcess::poisson(16.0),
+//!     1_000,
+//!     0xC0FFEE,
+//! );
+//! let stats = trace.stats();
+//! assert!((stats.prompt.median - 695.0).abs() < 80.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod arrival;
+mod dataset;
+mod request;
+mod trace;
+
+pub use arrival::ArrivalProcess;
+pub use dataset::{Dataset, QuantileSampler};
+pub use request::{Request, RequestId};
+pub use trace::{LengthStats, Trace, TraceStats};

@@ -1,0 +1,83 @@
+//! Inference requests.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use windserve_sim::SimTime;
+
+/// Unique identifier of a request within one trace/run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct RequestId(pub u64);
+
+impl fmt::Display for RequestId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+/// One inference request: a prompt to prefill and a number of tokens to
+/// decode. Output length is used only by the simulator's oracle (the real
+/// system discovers it at EOS time); schedulers never read it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Request {
+    /// Trace-unique id.
+    pub id: RequestId,
+    /// Arrival (issue) time.
+    pub arrival: SimTime,
+    /// Prompt length in tokens.
+    pub prompt_tokens: u32,
+    /// Number of output tokens the request will generate (incl. the first
+    /// token produced by the prefill).
+    pub output_tokens: u32,
+}
+
+impl Request {
+    /// Creates a request.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the prompt is empty or no output token is generated.
+    pub fn new(id: RequestId, arrival: SimTime, prompt_tokens: u32, output_tokens: u32) -> Self {
+        assert!(prompt_tokens > 0, "empty prompt");
+        assert!(output_tokens > 0, "requests generate at least one token");
+        Request {
+            id,
+            arrival,
+            prompt_tokens,
+            output_tokens,
+        }
+    }
+
+    /// Context length once the request has fully completed.
+    pub fn final_context(&self) -> u32 {
+        self.prompt_tokens + self.output_tokens
+    }
+
+    /// Tokens decoded *after* the first token (the TPOT denominator).
+    pub fn decode_steps(&self) -> u32 {
+        self.output_tokens.saturating_sub(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derived_lengths_are_consistent() {
+        let r = Request::new(RequestId(1), SimTime::ZERO, 100, 20);
+        assert_eq!(r.final_context(), 120);
+        assert_eq!(r.decode_steps(), 19);
+    }
+
+    #[test]
+    fn single_token_output_has_no_decode_steps() {
+        let r = Request::new(RequestId(2), SimTime::ZERO, 5, 1);
+        assert_eq!(r.decode_steps(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty prompt")]
+    fn empty_prompt_rejected() {
+        let _ = Request::new(RequestId(0), SimTime::ZERO, 0, 1);
+    }
+}

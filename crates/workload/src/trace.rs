@@ -1,0 +1,299 @@
+//! Trace generation and statistics.
+//!
+//! A [`Trace`] is the fully materialized input to one simulation run: a
+//! time-ordered list of [`Request`]s. Traces are deterministic functions of
+//! `(dataset, arrival process, n, seed)` so experiments are replayable.
+
+use crate::arrival::ArrivalProcess;
+use crate::dataset::Dataset;
+use crate::request::{Request, RequestId};
+use serde::{Deserialize, Serialize};
+use windserve_sim::{SimRng, SimTime};
+
+/// A replayable request trace.
+///
+/// # Examples
+///
+/// ```
+/// use windserve_workload::{ArrivalProcess, Dataset, Trace};
+///
+/// let trace = Trace::generate(
+///     &Dataset::sharegpt(2048),
+///     &ArrivalProcess::poisson(4.0),
+///     100,
+///     42,
+/// );
+/// assert_eq!(trace.requests().len(), 100);
+/// let stats = trace.stats();
+/// assert!(stats.prompt.mean > 0.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Trace {
+    requests: Vec<Request>,
+}
+
+/// Summary statistics of one token-length column (Table 2 format).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LengthStats {
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Median (P50).
+    pub median: f64,
+    /// 90th percentile.
+    pub p90: f64,
+}
+
+/// Prompt and output statistics of a trace.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TraceStats {
+    /// Prompt-token statistics.
+    pub prompt: LengthStats,
+    /// Output-token statistics.
+    pub output: LengthStats,
+    /// Observed mean arrival rate, req/s.
+    pub arrival_rate: f64,
+}
+
+impl Trace {
+    /// Generates `n` requests from `dataset` with `arrivals`, seeded by
+    /// `seed`. Length draws and arrival draws use independent RNG streams,
+    /// so changing the arrival process does not change the sampled lengths.
+    pub fn generate(dataset: &Dataset, arrivals: &ArrivalProcess, n: usize, seed: u64) -> Self {
+        let root = SimRng::seed_from_u64(seed);
+        let mut len_rng = root.fork(1);
+        let mut gap_rng = root.fork(2);
+        let gaps = arrivals.gaps(n, &mut gap_rng);
+        let mut t = SimTime::ZERO;
+        let mut requests = Vec::with_capacity(n);
+        for (i, gap) in gaps.into_iter().enumerate() {
+            t += gap;
+            requests.push(dataset.sample_request(RequestId(i as u64), t, &mut len_rng));
+        }
+        Trace { requests }
+    }
+
+    /// Builds a trace from explicit requests (must be time-ordered).
+    ///
+    /// # Panics
+    ///
+    /// Panics if arrivals are not non-decreasing or ids are not unique and
+    /// ascending.
+    pub fn from_requests(requests: Vec<Request>) -> Self {
+        for w in requests.windows(2) {
+            assert!(w[1].arrival >= w[0].arrival, "trace must be time-ordered");
+            assert!(w[1].id > w[0].id, "request ids must ascend");
+        }
+        Trace { requests }
+    }
+
+    /// The requests, in arrival order.
+    pub fn requests(&self) -> &[Request] {
+        &self.requests
+    }
+
+    /// Time span from first to last arrival.
+    pub fn span(&self) -> f64 {
+        match (self.requests.first(), self.requests.last()) {
+            (Some(a), Some(b)) => b.arrival.saturating_since(a.arrival).as_secs_f64(),
+            _ => 0.0,
+        }
+    }
+
+    /// A sub-trace of the requests with indices in `range`, re-identified
+    /// from zero and re-based so the first request arrives at its original
+    /// offset from the slice start.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is out of bounds.
+    pub fn slice(&self, range: std::ops::Range<usize>) -> Trace {
+        let window = &self.requests[range];
+        let base = window.first().map(|r| r.arrival).unwrap_or(SimTime::ZERO);
+        let requests = window
+            .iter()
+            .enumerate()
+            .map(|(i, r)| {
+                Request::new(
+                    RequestId(i as u64),
+                    SimTime::ZERO + r.arrival.saturating_since(base),
+                    r.prompt_tokens,
+                    r.output_tokens,
+                )
+            })
+            .collect();
+        Trace { requests }
+    }
+
+    /// The same requests with all inter-arrival gaps scaled by
+    /// `1 / rate_factor`: a factor of 2 doubles the offered rate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the factor is not strictly positive and finite.
+    pub fn with_rate_scaled(&self, rate_factor: f64) -> Trace {
+        assert!(
+            rate_factor.is_finite() && rate_factor > 0.0,
+            "invalid rate factor {rate_factor}"
+        );
+        let requests = self
+            .requests
+            .iter()
+            .map(|r| {
+                Request::new(
+                    r.id,
+                    SimTime::from_secs_f64(r.arrival.as_secs_f64() / rate_factor),
+                    r.prompt_tokens,
+                    r.output_tokens,
+                )
+            })
+            .collect();
+        Trace { requests }
+    }
+
+    /// Interleaves two traces by arrival time into one (ids reassigned in
+    /// the merged order) — e.g. to mix a chatbot and a summarization
+    /// tenant on one deployment.
+    pub fn merge(&self, other: &Trace) -> Trace {
+        let mut all: Vec<&Request> = self.requests.iter().chain(&other.requests).collect();
+        all.sort_by_key(|r| r.arrival);
+        let requests = all
+            .into_iter()
+            .enumerate()
+            .map(|(i, r)| Request::new(RequestId(i as u64), r.arrival, r.prompt_tokens, r.output_tokens))
+            .collect();
+        Trace { requests }
+    }
+
+    /// Table 2-style statistics of the trace.
+    pub fn stats(&self) -> TraceStats {
+        let column = |f: fn(&Request) -> u32| {
+            let mut xs: Vec<u32> = self.requests.iter().map(f).collect();
+            xs.sort_unstable();
+            let n = xs.len().max(1);
+            LengthStats {
+                mean: xs.iter().map(|&x| f64::from(x)).sum::<f64>() / n as f64,
+                median: xs.get(n / 2).copied().map(f64::from).unwrap_or(0.0),
+                p90: xs
+                    .get(((n as f64) * 0.9) as usize)
+                    .copied()
+                    .map(f64::from)
+                    .unwrap_or(0.0),
+            }
+        };
+        let span = self.span();
+        TraceStats {
+            prompt: column(|r| r.prompt_tokens),
+            output: column(|r| r.output_tokens),
+            arrival_rate: if span > 0.0 {
+                (self.requests.len().saturating_sub(1)) as f64 / span
+            } else {
+                0.0
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic_in_seed() {
+        let d = Dataset::sharegpt(2048);
+        let a = ArrivalProcess::poisson(4.0);
+        let t1 = Trace::generate(&d, &a, 500, 7);
+        let t2 = Trace::generate(&d, &a, 500, 7);
+        let t3 = Trace::generate(&d, &a, 500, 8);
+        assert_eq!(t1, t2);
+        assert_ne!(t1, t3);
+    }
+
+    #[test]
+    fn lengths_are_independent_of_arrival_process() {
+        let d = Dataset::sharegpt(2048);
+        let t1 = Trace::generate(&d, &ArrivalProcess::poisson(4.0), 100, 7);
+        let t2 = Trace::generate(&d, &ArrivalProcess::uniform(9.0), 100, 7);
+        let lens = |t: &Trace| -> Vec<(u32, u32)> {
+            t.requests()
+                .iter()
+                .map(|r| (r.prompt_tokens, r.output_tokens))
+                .collect()
+        };
+        assert_eq!(lens(&t1), lens(&t2));
+    }
+
+    #[test]
+    fn arrivals_are_monotone_and_rate_matches() {
+        let d = Dataset::sharegpt(2048);
+        let t = Trace::generate(&d, &ArrivalProcess::poisson(10.0), 20_000, 3);
+        for w in t.requests().windows(2) {
+            assert!(w[1].arrival >= w[0].arrival);
+        }
+        let rate = t.stats().arrival_rate;
+        assert!((rate / 10.0 - 1.0).abs() < 0.05, "rate {rate}");
+    }
+
+    #[test]
+    fn stats_reproduce_table2_within_tolerance() {
+        let d = Dataset::longbench(4096);
+        let t = Trace::generate(&d, &ArrivalProcess::poisson(1.0), 50_000, 11);
+        let s = t.stats();
+        assert!((s.prompt.mean / 2890.4 - 1.0).abs() < 0.05);
+        assert!((s.output.median / 12.0 - 1.0).abs() < 0.2);
+    }
+
+    #[test]
+    #[should_panic(expected = "time-ordered")]
+    fn out_of_order_requests_rejected() {
+        let r1 = Request::new(RequestId(0), SimTime::from_micros(10), 5, 1);
+        let r2 = Request::new(RequestId(1), SimTime::from_micros(5), 5, 1);
+        let _ = Trace::from_requests(vec![r1, r2]);
+    }
+
+    #[test]
+    fn slicing_rebases_and_renumbers() {
+        let d = Dataset::sharegpt(2048);
+        let t = Trace::generate(&d, &ArrivalProcess::poisson(5.0), 100, 13);
+        let s = t.slice(20..50);
+        assert_eq!(s.requests().len(), 30);
+        assert_eq!(s.requests()[0].id, RequestId(0));
+        assert_eq!(s.requests()[0].arrival, SimTime::ZERO);
+        // Gaps are preserved.
+        let orig_gap = t.requests()[21].arrival.saturating_since(t.requests()[20].arrival);
+        let new_gap = s.requests()[1].arrival.saturating_since(s.requests()[0].arrival);
+        assert_eq!(orig_gap, new_gap);
+    }
+
+    #[test]
+    fn rate_scaling_compresses_gaps() {
+        let d = Dataset::sharegpt(2048);
+        let t = Trace::generate(&d, &ArrivalProcess::poisson(4.0), 2_000, 13);
+        let fast = t.with_rate_scaled(2.0);
+        assert!((fast.stats().arrival_rate / t.stats().arrival_rate - 2.0).abs() < 0.01);
+        // Lengths untouched.
+        assert_eq!(
+            t.requests()[7].prompt_tokens,
+            fast.requests()[7].prompt_tokens
+        );
+    }
+
+    #[test]
+    fn merged_traces_are_time_ordered_supersets() {
+        let d = Dataset::sharegpt(2048);
+        let a = Trace::generate(&d, &ArrivalProcess::poisson(3.0), 50, 1);
+        let b = Trace::generate(&Dataset::longbench(2048), &ArrivalProcess::poisson(2.0), 30, 2);
+        let m = a.merge(&b);
+        assert_eq!(m.requests().len(), 80);
+        for w in m.requests().windows(2) {
+            assert!(w[1].arrival >= w[0].arrival);
+            assert!(w[1].id > w[0].id);
+        }
+    }
+
+    #[test]
+    fn empty_trace_has_zero_stats() {
+        let t = Trace::from_requests(vec![]);
+        assert_eq!(t.span(), 0.0);
+        assert_eq!(t.stats().arrival_rate, 0.0);
+    }
+}

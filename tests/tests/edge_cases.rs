@@ -1,0 +1,128 @@
+//! Degenerate and extreme workloads that every serving system must survive.
+
+use windserve::{ServeConfig, SystemKind};
+use windserve_sim::SimTime;
+use windserve_tests::run;
+use windserve_workload::{ArrivalProcess, Dataset, Request, RequestId, Trace};
+
+fn systems() -> [SystemKind; 3] {
+    [
+        SystemKind::WindServe,
+        SystemKind::DistServe,
+        SystemKind::VllmColocated,
+    ]
+}
+
+#[test]
+fn single_request_completes() {
+    let trace = Trace::from_requests(vec![Request::new(RequestId(0), SimTime::ZERO, 700, 50)]);
+    for system in systems() {
+        let report = run(ServeConfig::opt_13b_sharegpt(system), &trace);
+        assert_eq!(report.summary.completed, 1, "{}", system.label());
+        let rec = &report.records[0];
+        assert!(rec.ttft() > 0.0);
+        assert!(rec.tpot().unwrap() > 0.0);
+    }
+}
+
+#[test]
+fn one_token_outputs_never_reach_decode() {
+    // Every request is fully answered by its prefill.
+    let trace = Trace::generate(
+        &Dataset::fixed(500, 1, 2048),
+        &ArrivalProcess::poisson(8.0),
+        100,
+        1,
+    );
+    for system in systems() {
+        let report = run(ServeConfig::opt_13b_sharegpt(system), &trace);
+        assert_eq!(report.summary.completed, 100, "{}", system.label());
+        for rec in &report.records {
+            assert!(rec.tpot().is_none(), "one-token requests have no TPOT");
+            assert_eq!(rec.completion, rec.first_token);
+        }
+        // No KV ever needed to move for PD systems.
+        if system == SystemKind::DistServe {
+            assert_eq!(report.kv_bytes_transferred, 0);
+        }
+    }
+}
+
+#[test]
+fn max_context_prompts_fit_and_finish() {
+    let trace = Trace::generate(
+        &Dataset::fixed(2040, 8, 2048),
+        &ArrivalProcess::poisson(4.0),
+        60,
+        2,
+    );
+    for system in systems() {
+        let report = run(ServeConfig::opt_13b_sharegpt(system), &trace);
+        assert_eq!(report.summary.completed, 60, "{}", system.label());
+    }
+}
+
+#[test]
+fn long_generation_requests_finish() {
+    // Few requests, each decoding nearly the whole window.
+    let trace = Trace::generate(
+        &Dataset::fixed(16, 2000, 2048),
+        &ArrivalProcess::poisson(1.0),
+        20,
+        3,
+    );
+    for system in systems() {
+        let report = run(ServeConfig::opt_13b_sharegpt(system), &trace);
+        assert_eq!(report.summary.completed, 20, "{}", system.label());
+        for rec in &report.records {
+            assert_eq!(rec.output_tokens, 2000);
+        }
+    }
+}
+
+#[test]
+fn simultaneous_arrival_burst() {
+    // 80 requests at the same instant: FCFS must drain them all.
+    let requests: Vec<Request> = (0..80)
+        .map(|i| Request::new(RequestId(i), SimTime::from_secs_f64(1.0), 600, 30))
+        .collect();
+    let trace = Trace::from_requests(requests);
+    for system in systems() {
+        let report = run(ServeConfig::opt_13b_sharegpt(system), &trace);
+        assert_eq!(report.summary.completed, 80, "{}", system.label());
+        // FCFS: first-arrived (lowest id) cannot have a later first token
+        // than the last (they arrived together and queue in id order).
+        let first = &report.records[0];
+        let last = &report.records[79];
+        assert!(first.first_token <= last.first_token);
+    }
+}
+
+#[test]
+fn extreme_overload_degrades_gracefully() {
+    // 20x beyond capacity: everything still completes, nothing panics, and
+    // latency reflects the queueing honestly.
+    let trace = windserve_tests::sharegpt_trace(300.0, 400, 4);
+    let report = run(ServeConfig::opt_13b_sharegpt(SystemKind::WindServe), &trace);
+    assert_eq!(report.summary.completed, 400);
+    assert!(report.summary.ttft.p50 > 1.0, "must show saturation");
+    for rec in &report.records {
+        rec.validate().unwrap();
+    }
+}
+
+#[test]
+fn tiny_model_on_one_gpu() {
+    use windserve::{Parallelism, SloSpec};
+    use windserve_sim::SimDuration;
+    let cfg = ServeConfig::new(
+        windserve::ModelSpec::opt_125m(),
+        SloSpec::new(SimDuration::from_millis(50), SimDuration::from_millis(10)),
+        Parallelism::tp(1),
+        Parallelism::tp(1),
+        SystemKind::WindServe,
+    );
+    let trace = windserve_tests::sharegpt_trace(20.0, 300, 5);
+    let report = run(cfg, &trace);
+    assert_eq!(report.summary.completed, 300);
+}

@@ -1,0 +1,100 @@
+//! Cross-crate integrity: conservation, determinism and record validity
+//! under randomized operating points.
+
+use proptest::prelude::*;
+use windserve::{Parallelism, ServeConfig, SystemKind};
+use windserve_tests::{run, sharegpt_trace};
+
+#[test]
+fn reports_are_identical_across_reruns() {
+    let trace = sharegpt_trace(12.0, 400, 31);
+    for system in [
+        SystemKind::WindServe,
+        SystemKind::DistServe,
+        SystemKind::VllmColocated,
+    ] {
+        let a = run(ServeConfig::opt_13b_sharegpt(system), &trace);
+        let b = run(ServeConfig::opt_13b_sharegpt(system), &trace);
+        assert_eq!(a, b, "{} must be deterministic", system.label());
+    }
+}
+
+#[test]
+fn records_cover_every_request_with_valid_chains() {
+    let trace = sharegpt_trace(14.0, 600, 32);
+    let report = run(ServeConfig::opt_13b_sharegpt(SystemKind::WindServe), &trace);
+    assert_eq!(report.records.len(), trace.requests().len());
+    for (req, rec) in trace.requests().iter().zip(&report.records) {
+        assert_eq!(req.id, rec.id);
+        assert_eq!(req.prompt_tokens, rec.prompt_tokens);
+        assert_eq!(req.output_tokens, rec.output_tokens);
+        assert_eq!(req.arrival, rec.arrival);
+        rec.validate().unwrap();
+    }
+}
+
+#[test]
+fn migrated_requests_are_marked_and_complete() {
+    let mut cfg = ServeConfig::opt_13b_sharegpt(SystemKind::WindServe);
+    cfg.decode_parallelism = Parallelism::tp(1);
+    let trace = sharegpt_trace(9.0, 800, 33);
+    let report = run(cfg, &trace);
+    assert!(report.migrations_started > 0, "point must trigger migrations");
+    let migrated = report.records.iter().filter(|r| r.migrations > 0).count() as u64;
+    assert!(migrated > 0);
+    assert!(migrated <= report.migrations_started);
+    assert_eq!(report.migrations_completed + (report.migrations_started - report.migrations_completed),
+               report.migrations_started);
+}
+
+#[test]
+fn pipeline_parallel_instances_use_both_lanes() {
+    let trace = sharegpt_trace(4.0, 400, 34);
+    let report = run(ServeConfig::opt_66b_sharegpt(SystemKind::DistServe), &trace);
+    assert_eq!(report.summary.completed, 400);
+    // PP-2 gives each instance two lanes; under load the prefill instance
+    // must run more than one step at a time on average. We check the
+    // weaker, robust property: steps happened and everything completed.
+    assert!(report.instances[0].prefill_steps > 100);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Across random seeds and rates, every request completes exactly once
+    /// and all records validate, for all three systems.
+    #[test]
+    fn completion_conservation(seed in 0u64..1000, rate in 4.0f64..20.0) {
+        let trace = sharegpt_trace(rate, 200, seed);
+        for system in [SystemKind::WindServe, SystemKind::DistServe, SystemKind::VllmColocated] {
+            let report = run(ServeConfig::opt_13b_sharegpt(system), &trace);
+            prop_assert_eq!(report.summary.completed, 200);
+            for rec in &report.records {
+                prop_assert!(rec.validate().is_ok());
+                prop_assert!(rec.ttft() >= 0.0);
+            }
+        }
+    }
+
+    /// The memory-tight placement never loses requests either, whatever
+    /// mix of swapping and migration the run ends up doing.
+    #[test]
+    fn pressure_never_loses_requests(seed in 0u64..500) {
+        let mut cfg = ServeConfig::opt_13b_sharegpt(SystemKind::WindServe);
+        cfg.decode_parallelism = Parallelism::tp(1);
+        let trace = sharegpt_trace(9.0, 150, seed);
+        let report = run(cfg, &trace);
+        prop_assert_eq!(report.summary.completed, 150);
+    }
+}
+
+/// Regression: with PP-2 (two lanes), a sequence preempted by one lane
+/// while still inside the other lane's in-flight step must not be
+/// re-admitted into a second concurrent step (this used to double-process
+/// it and crash the engine).
+#[test]
+fn pp2_preemption_readmission_race() {
+    let trace = sharegpt_trace(2.0, 1200, 0xBEEF);
+    let report = run(ServeConfig::opt_66b_sharegpt(SystemKind::WindServe), &trace);
+    assert_eq!(report.summary.completed, 1200);
+}

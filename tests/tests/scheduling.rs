@@ -1,0 +1,106 @@
+//! Behavioral tests of the dynamic scheduling policies across crates.
+
+use windserve::{Cluster, ServeConfig, SystemKind};
+use windserve_metrics::PrefillSite;
+use windserve_sim::SimDuration;
+use windserve_tests::{run, sharegpt_trace};
+
+/// Dispatch volume grows with load (Algorithm 1 reacts to the backlog).
+#[test]
+fn dispatch_volume_is_monotone_in_rate() {
+    let mut last = 0u64;
+    for (rate, n) in [(8.0, 400), (14.0, 400), (20.0, 400)] {
+        let trace = sharegpt_trace(rate, n, 41);
+        let report = run(ServeConfig::opt_13b_sharegpt(SystemKind::WindServe), &trace);
+        assert!(
+            report.dispatched_prefills + 15 >= last,
+            "dispatch should not collapse as load grows: {} then {}",
+            last,
+            report.dispatched_prefills
+        );
+        last = report.dispatched_prefills;
+    }
+    assert!(last > 50, "heavy load must dispatch substantially: {last}");
+}
+
+/// An effectively infinite threshold disables dispatch; a zero threshold
+/// dispatches whenever slots exist (Fig. 5's two extremes).
+#[test]
+fn threshold_extremes() {
+    let trace = sharegpt_trace(16.0, 500, 42);
+    let mut never = ServeConfig::opt_13b_sharegpt(SystemKind::WindServe);
+    never.dispatch_threshold = Some(SimDuration::from_secs(3600));
+    let never = run(never, &trace);
+    assert_eq!(never.dispatched_prefills, 0);
+
+    let mut always = ServeConfig::opt_13b_sharegpt(SystemKind::WindServe);
+    always.dispatch_threshold = Some(SimDuration::from_micros(1));
+    let always = run(always, &trace);
+    assert!(
+        always.dispatched_prefills > never.dispatched_prefills,
+        "zero threshold must dispatch: {}",
+        always.dispatched_prefills
+    );
+}
+
+/// Dispatched requests skip the KV handoff entirely: their first token and
+/// decode enqueue coincide.
+#[test]
+fn dispatched_requests_have_no_handoff_gap() {
+    let trace = sharegpt_trace(18.0, 600, 43);
+    let report = run(ServeConfig::opt_13b_sharegpt(SystemKind::WindServe), &trace);
+    let mut seen = 0;
+    for rec in &report.records {
+        if rec.prefill_site == PrefillSite::DecodeInstance {
+            seen += 1;
+            assert_eq!(
+                rec.decode_enqueue, rec.first_token,
+                "{}: dispatched prefill must not pay a transfer",
+                rec.id
+            );
+        }
+    }
+    assert!(seen > 0, "test point must dispatch");
+}
+
+/// DistServe requests always pay the handoff: decode enqueue strictly
+/// after the first token for multi-token requests.
+#[test]
+fn distserve_requests_pay_the_handoff() {
+    let trace = sharegpt_trace(6.0, 300, 44);
+    let report = run(ServeConfig::opt_13b_sharegpt(SystemKind::DistServe), &trace);
+    for rec in &report.records {
+        if rec.output_tokens > 1 {
+            assert!(
+                rec.decode_enqueue > rec.first_token,
+                "{}: expected transfer delay",
+                rec.id
+            );
+        }
+    }
+}
+
+/// The calibrated aux budget responds to the TPOT SLO: a tighter objective
+/// shrinks it.
+#[test]
+fn aux_budget_scales_with_tpot_slo() {
+    let loose = Cluster::new(ServeConfig::opt_13b_sharegpt(SystemKind::WindServe))
+        .unwrap()
+        .aux_budget_tokens();
+    let mut cfg = ServeConfig::opt_13b_sharegpt(SystemKind::WindServe);
+    cfg.slo = windserve::SloSpec::new(cfg.slo.ttft, SimDuration::from_millis(18));
+    let tight = Cluster::new(cfg).unwrap().aux_budget_tokens();
+    assert!(tight < loose, "tight {tight} vs loose {loose}");
+}
+
+/// Backups only appear when rescheduling is enabled and pay off as reduced
+/// migration deltas when they hit.
+#[test]
+fn backups_require_rescheduling() {
+    let mut cfg = ServeConfig::opt_13b_sharegpt(SystemKind::WindServeNoResche);
+    cfg.decode_parallelism = windserve::Parallelism::tp(1);
+    let trace = sharegpt_trace(9.0, 500, 45);
+    let report = run(cfg, &trace);
+    assert_eq!(report.backups_created, 0);
+    assert_eq!(report.backup_hits, 0);
+}
