@@ -154,9 +154,15 @@ fn fig13_ablation(c: &mut Criterion) {
 fn table1_cost_model(c: &mut Criterion) {
     let mut g = c.benchmark_group("table1_cost_model");
     g.sample_size(20);
-    let cost =
-        CostModel::new(ModelSpec::opt_13b(), GpuSpec::a800_80gb(), Parallelism::tp(2)).unwrap();
-    g.bench_function("profiler_fit", |b| b.iter(|| windserve::Profiler::fit(&cost)));
+    let cost = CostModel::new(
+        ModelSpec::opt_13b(),
+        GpuSpec::a800_80gb(),
+        Parallelism::tp(2),
+    )
+    .unwrap();
+    g.bench_function("profiler_fit", |b| {
+        b.iter(|| windserve::Profiler::fit(&cost))
+    });
     g.finish();
 }
 

@@ -47,8 +47,12 @@ fn block_manager(c: &mut Criterion) {
 
 fn cost_model(c: &mut Criterion) {
     let mut g = c.benchmark_group("cost_model");
-    let cost =
-        CostModel::new(ModelSpec::opt_13b(), GpuSpec::a800_80gb(), Parallelism::tp(2)).unwrap();
+    let cost = CostModel::new(
+        ModelSpec::opt_13b(),
+        GpuSpec::a800_80gb(),
+        Parallelism::tp(2),
+    )
+    .unwrap();
     let plan = BatchPlan::decode_only(vec![900; 64]);
     g.bench_function("decode_batch_64", |b| b.iter(|| cost.step_time(&plan)));
     let prefill = BatchPlan::single_prefill(2048);
@@ -61,7 +65,9 @@ fn stream_sharing(c: &mut Criterion) {
     let sharing = StreamSharing::default();
     let kd = KernelCost::new(0.0015, 0.013);
     let kp = KernelCost::new(0.060, 0.007);
-    g.bench_function("slowdown_pair", |b| b.iter(|| sharing.slowdown_pair(kd, kp)));
+    g.bench_function("slowdown_pair", |b| {
+        b.iter(|| sharing.slowdown_pair(kd, kp))
+    });
     g.finish();
 }
 
@@ -76,5 +82,11 @@ impl NextU64Pub for SimRng {
     }
 }
 
-criterion_group!(benches, event_queue, block_manager, cost_model, stream_sharing);
+criterion_group!(
+    benches,
+    event_queue,
+    block_manager,
+    cost_model,
+    stream_sharing
+);
 criterion_main!(benches);

@@ -78,16 +78,16 @@ fn fig10(results: &Path, out: &Path) -> usize {
     };
     let mut n = 0;
     for (case, values) in data.as_object().into_iter().flatten() {
-        let slug = case.to_ascii_lowercase().replace([' ', '/'], "_").replace("__", "_");
+        let slug = case
+            .to_ascii_lowercase()
+            .replace([' ', '/'], "_")
+            .replace("__", "_");
         for (metric, label, log) in [
             ("ttft_p50", "TTFT median (s)", true),
             ("tpot_p99", "TPOT p99 (s)", false),
         ] {
-            let mut chart = LineChart::new(
-                &format!("Fig 10: {case} — {label}"),
-                "req/s per GPU",
-                label,
-            );
+            let mut chart =
+                LineChart::new(&format!("Fig 10: {case} — {label}"), "req/s per GPU", label);
             if log {
                 chart.log_y();
             }
@@ -106,7 +106,10 @@ fn fig11(results: &Path, out: &Path) -> usize {
     };
     let mut n = 0;
     for (case, values) in data.as_object().into_iter().flatten() {
-        let slug = case.to_ascii_lowercase().replace([' ', '/'], "_").replace("__", "_");
+        let slug = case
+            .to_ascii_lowercase()
+            .replace([' ', '/'], "_")
+            .replace("__", "_");
         let mut chart = LineChart::new(
             &format!("Fig 11: {case} — SLO attainment"),
             "req/s per GPU",
@@ -126,8 +129,14 @@ fn fig13(results: &Path, out: &Path) -> usize {
     };
     let mut n = 0;
     for (key, title) in [
-        ("no_split_longbench", "Fig 13a: TPOT p99, WindServe vs no-split"),
-        ("no_resche_sharegpt", "Fig 13b: TPOT p99, WindServe vs no-resche"),
+        (
+            "no_split_longbench",
+            "Fig 13a: TPOT p99, WindServe vs no-split",
+        ),
+        (
+            "no_resche_sharegpt",
+            "Fig 13b: TPOT p99, WindServe vs no-resche",
+        ),
     ] {
         let points = &data[key];
         let mut categories: Vec<String> = Vec::new();

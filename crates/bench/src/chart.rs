@@ -21,7 +21,9 @@ const COLORS: [&str; 6] = [
 ];
 
 fn esc(s: &str) -> String {
-    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
 }
 
 /// Chooses ~5 pleasant tick values spanning `[lo, hi]`.
@@ -125,7 +127,11 @@ impl LineChart {
     /// Panics if no series has any points, or if a log-scale chart receives
     /// a non-positive value.
     pub fn render(&self) -> String {
-        let all: Vec<(f64, f64)> = self.series.iter().flat_map(|(_, p)| p.iter().copied()).collect();
+        let all: Vec<(f64, f64)> = self
+            .series
+            .iter()
+            .flat_map(|(_, p)| p.iter().copied())
+            .collect();
         assert!(!all.is_empty(), "chart has no data");
         let (x_lo, x_hi) = bounds(all.iter().map(|p| p.0));
         let (mut y_lo, mut y_hi) = bounds(all.iter().map(|p| p.1));
@@ -151,7 +157,11 @@ impl LineChart {
 
         let mut svg = svg_header(&self.title);
         // Axes + ticks.
-        let y_ticks = if self.log_y { log_ticks(y_lo, y_hi) } else { linear_ticks(y_lo, y_hi) };
+        let y_ticks = if self.log_y {
+            log_ticks(y_lo, y_hi)
+        } else {
+            linear_ticks(y_lo, y_hi)
+        };
         for t in &y_ticks {
             let y = y_of(*t);
             let _ = writeln!(
@@ -229,7 +239,11 @@ impl BarChart {
     ///
     /// Panics on a length mismatch.
     pub fn add_series(&mut self, name: &str, values: Vec<f64>) -> &mut Self {
-        assert_eq!(values.len(), self.categories.len(), "series length mismatch");
+        assert_eq!(
+            values.len(),
+            self.categories.len(),
+            "series length mismatch"
+        );
         self.series.push((name.to_string(), values));
         self
     }

@@ -82,7 +82,14 @@ pub fn print_latency_table(case_label: &str, points: &[Point]) -> Value {
     print_table(
         case_label,
         &[
-            "system", "req/s/GPU", "TTFT p50", "TTFT p99", "TPOT p90", "TPOT p99", "disp", "migr",
+            "system",
+            "req/s/GPU",
+            "TTFT p50",
+            "TTFT p99",
+            "TPOT p90",
+            "TPOT p99",
+            "disp",
+            "migr",
             "swaps",
         ],
         &rows,
@@ -147,7 +154,10 @@ pub fn run_fig10(ctx: &ExpContext) -> Value {
     let mut out = serde_json::Map::new();
     for case in Case::all() {
         let points = sweep(&case, &systems, ctx);
-        out.insert(case.label.to_string(), print_latency_table(case.label, &points));
+        out.insert(
+            case.label.to_string(),
+            print_latency_table(case.label, &points),
+        );
     }
     Value::Object(out)
 }

@@ -95,7 +95,11 @@ pub fn multi_node(ctx: &ExpContext) -> Value {
         report
             .records
             .iter()
-            .map(|r| r.decode_enqueue.saturating_since(r.first_token).as_secs_f64())
+            .map(|r| {
+                r.decode_enqueue
+                    .saturating_since(r.first_token)
+                    .as_secs_f64()
+            })
             .sum::<f64>()
             / report.records.len().max(1) as f64
     };
@@ -245,7 +249,10 @@ pub fn autoscaling(ctx: &ExpContext) -> Value {
     let mut data = Vec::new();
     // A diurnal-ish load: calm, then a burst, then calm again, emulated by
     // the bursty arrival process.
-    for (label, autoscale) in [("static 2Px2D", None), ("autoscaled 1-2Px1-2D", Some(AutoscaleConfig::default()))] {
+    for (label, autoscale) in [
+        ("static 2Px2D", None),
+        ("autoscaled 1-2Px1-2D", Some(AutoscaleConfig::default())),
+    ] {
         let mut cfg = ServeConfig::opt_13b_sharegpt(SystemKind::WindServe);
         cfg.prefill_replicas = 2;
         cfg.decode_replicas = 2;
@@ -284,7 +291,14 @@ pub fn autoscaling(ctx: &ExpContext) -> Value {
     }
     print_table(
         "Extra 6: autoscaling under a bursty diurnal load (OPT-13B, ShareGPT, 2 req/s/GPU mean)",
-        &["config", "TTFT p50", "TTFT p99", "SLO both", "mean GPUs", "scale events"],
+        &[
+            "config",
+            "TTFT p50",
+            "TTFT p99",
+            "SLO both",
+            "mean GPUs",
+            "scale events",
+        ],
         &rows,
     );
     println!("(the autoscaler trades a small SLO dip during warmups for idle GPU-seconds)");

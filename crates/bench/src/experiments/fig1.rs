@@ -54,7 +54,12 @@ pub fn run(ctx: &ExpContext) -> Value {
     }
     print_table(
         "Fig 1a: DistServe decode queueing & swapping (OPT-13B, ShareGPT)",
-        &["req/s/GPU", "dec-queue mean", "dec-queue p99", "swap events"],
+        &[
+            "req/s/GPU",
+            "dec-queue mean",
+            "dec-queue p99",
+            "swap events",
+        ],
         &rows_a,
     );
     print_table(
@@ -90,7 +95,13 @@ pub fn run(ctx: &ExpContext) -> Value {
     }
     print_table(
         "Fig 1a (memory-tight variant [TP-2, TP-1]): queueing + swapping",
-        &["req/s/GPU", "dec-queue mean", "dec-queue p99", "swap events", "TPOT p99"],
+        &[
+            "req/s/GPU",
+            "dec-queue mean",
+            "dec-queue p99",
+            "swap events",
+            "TPOT p99",
+        ],
         &rows_c,
     );
     json!({ "tp2_tp2": data, "tp2_tp1": data_c })

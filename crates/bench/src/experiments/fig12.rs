@@ -55,7 +55,14 @@ pub fn run(ctx: &ExpContext) -> Value {
         print_table(
             &format!("Fig 12: SLO attainment, {label} (OPT-13B, ShareGPT)"),
             &[
-                "system", "req/s/GPU", "SLO both", "SLO ttft", "SLO tpot", "disp", "migr", "swaps",
+                "system",
+                "req/s/GPU",
+                "SLO both",
+                "SLO ttft",
+                "SLO tpot",
+                "disp",
+                "migr",
+                "swaps",
             ],
             &rows,
         );

@@ -48,7 +48,14 @@ pub fn run(ctx: &ExpContext) -> Value {
     }
     print_table(
         "Fig 13a: WindServe vs no-split (OPT-13B, LongBench) — P99 latencies",
-        &["system", "req/s/GPU", "TTFT p99", "TPOT p99", "SLO both", "disp"],
+        &[
+            "system",
+            "req/s/GPU",
+            "TTFT p99",
+            "TPOT p99",
+            "SLO both",
+            "disp",
+        ],
         &rows,
     );
     out.insert("no_split_longbench".to_string(), Value::Array(points));
@@ -85,7 +92,13 @@ pub fn run(ctx: &ExpContext) -> Value {
     print_table(
         "Fig 13b: WindServe vs no-resche (OPT-13B, ShareGPT, [TP-2, TP-1]) — P99 latencies",
         &[
-            "system", "req/s/GPU", "TTFT p99", "TPOT p99", "SLO both", "migr", "swaps",
+            "system",
+            "req/s/GPU",
+            "TTFT p99",
+            "TPOT p99",
+            "SLO both",
+            "migr",
+            "swaps",
         ],
         &rows,
     );

@@ -11,14 +11,30 @@ use windserve_workload::Dataset;
 /// Runs the utilization characterization for OPT-13B and OPT-66B.
 pub fn run(ctx: &ExpContext) -> Value {
     let cases = [
-        ("OPT-13B", ServeConfig::opt_13b_sharegpt as fn(SystemKind) -> ServeConfig, 3.0, 1500),
-        ("OPT-66B", ServeConfig::opt_66b_sharegpt as fn(SystemKind) -> ServeConfig, 0.5, 800),
+        (
+            "OPT-13B",
+            ServeConfig::opt_13b_sharegpt as fn(SystemKind) -> ServeConfig,
+            3.0,
+            1500,
+        ),
+        (
+            "OPT-66B",
+            ServeConfig::opt_66b_sharegpt as fn(SystemKind) -> ServeConfig,
+            0.5,
+            800,
+        ),
     ];
     let dataset = Dataset::sharegpt(2048);
     let mut rows = Vec::new();
     let mut data = Vec::new();
     for (label, config, rate, n) in cases {
-        let report = run_point(config(SystemKind::DistServe), &dataset, rate, ctx.scale(n), 0xF2);
+        let report = run_point(
+            config(SystemKind::DistServe),
+            &dataset,
+            rate,
+            ctx.scale(n),
+            0xF2,
+        );
         let prefill = &report.instances[0];
         let decode = &report.instances[1];
         rows.push(vec![
@@ -39,11 +55,15 @@ pub fn run(ctx: &ExpContext) -> Value {
     }
     print_table(
         "Fig 2: mean utilization (DistServe, ShareGPT)",
-        &["model", "TensorCore(P)", "MemBW(P)", "TensorCore(D)", "MemBW(D)"],
+        &[
+            "model",
+            "TensorCore(P)",
+            "MemBW(P)",
+            "TensorCore(D)",
+            "MemBW(D)",
+        ],
         &rows,
     );
-    println!(
-        "(shape check: TensorCore(P) >> MemBW(P) and MemBW(D) >> TensorCore(D))"
-    );
+    println!("(shape check: TensorCore(P) >> MemBW(P) and MemBW(D) >> TensorCore(D))");
     Value::Array(data)
 }

@@ -71,7 +71,14 @@ pub fn run(ctx: &ExpContext) -> Value {
         }
         print_table(
             &format!("Fig 5: threshold sensitivity — {label}"),
-            &["thrd", "secs", "SLO both", "TTFT p50", "TPOT p99", "dispatched"],
+            &[
+                "thrd",
+                "secs",
+                "SLO both",
+                "TTFT p50",
+                "TPOT p99",
+                "dispatched",
+            ],
             &rows,
         );
         out.insert(label.to_string(), Value::Array(points));

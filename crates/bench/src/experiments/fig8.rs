@@ -47,8 +47,8 @@ pub fn measure() -> Vec<SbdPoint> {
     let mut points = Vec::new();
     for (model, par) in model_cases() {
         let ctx = model.max_context.min(2048);
-        let cost = CostModel::new(model.clone(), GpuSpec::a800_80gb(), par)
-            .expect("paper placements fit");
+        let cost =
+            CostModel::new(model.clone(), GpuSpec::a800_80gb(), par).expect("paper placements fit");
         let decode = BatchPlan::decode_only(vec![ctx; 16]);
         let kd = cost.kernel_cost(&decode);
         for prefill_tokens in [256u32, 512, 1024, 2048] {

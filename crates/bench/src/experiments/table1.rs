@@ -55,8 +55,8 @@ pub fn run(_ctx: &ExpContext) -> Value {
         (ModelSpec::llama2_13b(), Parallelism::tp(2)),
         (ModelSpec::llama2_70b(), Parallelism::new(2, 2)),
     ] {
-        let cost = CostModel::new(model.clone(), GpuSpec::a800_80gb(), par)
-            .expect("paper placements fit");
+        let cost =
+            CostModel::new(model.clone(), GpuSpec::a800_80gb(), par).expect("paper placements fit");
         let profiler = Profiler::fit(&cost);
         let [cp, ap, bp] = profiler.prefill_coefficients();
         let [cd, ad] = profiler.decode_coefficients();

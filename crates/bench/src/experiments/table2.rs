@@ -35,9 +35,15 @@ pub fn run(ctx: &ExpContext) -> Value {
         let stats = trace.stats();
         rows.push(vec![
             label.to_string(),
-            format!("{:.1}/{:.1}/{:.1}", stats.prompt.mean, stats.prompt.median, stats.prompt.p90),
+            format!(
+                "{:.1}/{:.1}/{:.1}",
+                stats.prompt.mean, stats.prompt.median, stats.prompt.p90
+            ),
             format!("{:.1}/{:.1}/{:.1}", p_target[0], p_target[1], p_target[2]),
-            format!("{:.1}/{:.1}/{:.1}", stats.output.mean, stats.output.median, stats.output.p90),
+            format!(
+                "{:.1}/{:.1}/{:.1}",
+                stats.output.mean, stats.output.median, stats.output.p90
+            ),
             format!("{:.1}/{:.1}/{:.1}", o_target[0], o_target[1], o_target[2]),
         ]);
         data.push(json!({
@@ -50,7 +56,13 @@ pub fn run(ctx: &ExpContext) -> Value {
     }
     print_table(
         "Table 2: dataset statistics (avg/median/P90), measured vs paper",
-        &["dataset", "prompt (ours)", "prompt (paper)", "output (ours)", "output (paper)"],
+        &[
+            "dataset",
+            "prompt (ours)",
+            "prompt (paper)",
+            "output (ours)",
+            "output (paper)",
+        ],
         &rows,
     );
     Value::Array(data)

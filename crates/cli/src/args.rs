@@ -31,7 +31,14 @@ pub struct Args {
 }
 
 /// Boolean switches that take no value.
-const SWITCHES: &[&str] = &["json", "quiet", "help", "sample", "split-nodes", "autoscale"];
+const SWITCHES: &[&str] = &[
+    "json",
+    "quiet",
+    "help",
+    "sample",
+    "split-nodes",
+    "autoscale",
+];
 
 impl Args {
     /// Parses a token stream (excluding the program name).

@@ -111,7 +111,9 @@ pub fn parallelism_by_name(spec: &str) -> Result<Parallelism, ArgError> {
     match parts.as_slice() {
         [tp] => Ok(Parallelism::tp(parse(tp)?)),
         [tp, pp] => Ok(Parallelism::new(parse(tp)?, parse(pp)?)),
-        _ => Err(ArgError(format!("parallelism is TP or TPxPP, got {spec:?}"))),
+        _ => Err(ArgError(format!(
+            "parallelism is TP or TPxPP, got {spec:?}"
+        ))),
     }
 }
 
@@ -176,16 +178,10 @@ impl RunSpec {
             config.dispatch_threshold = Some(SimDuration::from_secs_f64(thrd));
         }
         if let Some(ttft) = args.get_opt::<f64>("slo-ttft")? {
-            config.slo = SloSpec::new(
-                SimDuration::from_secs_f64(ttft),
-                config.slo.tpot,
-            );
+            config.slo = SloSpec::new(SimDuration::from_secs_f64(ttft), config.slo.tpot);
         }
         if let Some(tpot) = args.get_opt::<f64>("slo-tpot")? {
-            config.slo = SloSpec::new(
-                config.slo.ttft,
-                SimDuration::from_secs_f64(tpot),
-            );
+            config.slo = SloSpec::new(config.slo.ttft, SimDuration::from_secs_f64(tpot));
         }
         if let Some(policy) = args.get("victims") {
             config.victim_policy = match policy {
@@ -221,7 +217,9 @@ impl RunSpec {
         )?;
         let rate_per_gpu: f64 = args.get_or("rate", 3.0)?;
         if !(rate_per_gpu.is_finite() && rate_per_gpu > 0.0) {
-            return Err(ArgError(format!("--rate must be positive, got {rate_per_gpu}")));
+            return Err(ArgError(format!(
+                "--rate must be positive, got {rate_per_gpu}"
+            )));
         }
         let requests = args.get_or("requests", 1000usize)?;
         let seed = args.get_or("seed", 0xACEu64)?;
@@ -244,6 +242,37 @@ impl RunSpec {
             seed,
             arrivals,
         })
+    }
+}
+
+/// Resolves a Table 3/4 preset by its CLI name, returning the config and
+/// the name of the matching dataset.
+///
+/// # Errors
+///
+/// Lists the known names on a miss.
+pub fn preset_by_name(name: &str) -> Result<(ServeConfig, &'static str), ArgError> {
+    match name.to_ascii_lowercase().as_str() {
+        "opt13b-sharegpt" | "opt-13b-sharegpt" => Ok((
+            ServeConfig::opt_13b_sharegpt(SystemKind::WindServe),
+            "sharegpt",
+        )),
+        "opt66b-sharegpt" | "opt-66b-sharegpt" => Ok((
+            ServeConfig::opt_66b_sharegpt(SystemKind::WindServe),
+            "sharegpt",
+        )),
+        "llama2-13b-longbench" | "llama13b-longbench" => Ok((
+            ServeConfig::llama2_13b_longbench(SystemKind::WindServe),
+            "longbench",
+        )),
+        "llama2-70b-longbench" | "llama70b-longbench" => Ok((
+            ServeConfig::llama2_70b_longbench(SystemKind::WindServe),
+            "longbench",
+        )),
+        other => Err(ArgError(format!(
+            "unknown preset {other:?}; try opt13b-sharegpt, opt66b-sharegpt, \
+             llama2-13b-longbench, llama2-70b-longbench"
+        ))),
     }
 }
 

@@ -1,10 +1,10 @@
 //! CLI subcommands.
 
 use crate::args::{ArgError, Args};
-use crate::build::{system_by_name, RunSpec};
+use crate::build::{dataset_by_name, preset_by_name, system_by_name, RunSpec};
 use crate::render;
-use windserve::{Cluster, RunReport};
-use windserve_workload::Trace;
+use windserve::{Cluster, RequestId, RunReport, TraceMode};
+use windserve_workload::{ArrivalProcess, Trace};
 
 /// Runs one serving simulation and prints (or JSON-dumps) the report.
 ///
@@ -69,8 +69,7 @@ pub fn sweep(args: &Args) -> Result<String, ArgError> {
         let mut spec = base.clone();
         spec.rate_per_gpu = rate;
         // Rebuild the arrival process at the new rate.
-        spec.arrivals =
-            windserve_workload::ArrivalProcess::poisson(spec.config.total_rate(rate));
+        spec.arrivals = windserve_workload::ArrivalProcess::poisson(spec.config.total_rate(rate));
         let report = execute(&spec)?;
         rows.push((rate, report));
     }
@@ -79,6 +78,45 @@ pub fn sweep(args: &Args) -> Result<String, ArgError> {
     } else {
         Ok(render::sweep_text(&base, &rows))
     }
+}
+
+/// Runs a simulation with full scheduling-trace capture; optionally writes
+/// a Chrome `trace_event` JSON file (`--out`, loadable in Perfetto or
+/// `chrome://tracing`) and prints a per-request decision audit
+/// (`--audit <request-id>`).
+///
+/// # Errors
+///
+/// Reports invalid flags, a failed simulation, or an unwritable `--out`.
+pub fn trace(args: &Args) -> Result<String, ArgError> {
+    let mut spec = RunSpec::from_args(args)?;
+    if let Some(name) = args.get("preset") {
+        let (config, dataset) = preset_by_name(name)?;
+        spec.dataset = dataset_by_name(dataset, config.model.max_context)?;
+        spec.arrivals = ArrivalProcess::poisson(config.total_rate(spec.rate_per_gpu));
+        spec.config = config;
+    }
+    spec.config.trace = TraceMode::Full;
+    let trace = Trace::generate(&spec.dataset, &spec.arrivals, spec.requests, spec.seed);
+    let (report, log) = Cluster::new(spec.config.clone())
+        .map_err(|e| ArgError(format!("config: {e}")))?
+        .run_traced(&trace)
+        .map_err(|e| ArgError(format!("simulation: {e}")))?;
+    let mut out = String::new();
+    if let Some(path) = args.get("out") {
+        std::fs::write(path, log.to_chrome_json())
+            .map_err(|e| ArgError(format!("cannot write {path}: {e}")))?;
+        out += &format!("wrote Chrome trace ({} events) to {path}\n", log.len());
+    }
+    if let Some(id) = args.get_opt::<u64>("audit")? {
+        if log.for_request(RequestId(id)).is_empty() {
+            return Err(ArgError(format!("no trace events for request {id}")));
+        }
+        out += &log.audit(RequestId(id));
+    } else {
+        out += &render::scheduling_trace_text(&spec, &report, &log);
+    }
+    Ok(out)
 }
 
 /// Prints Table 2-style statistics of a generated trace.
@@ -115,6 +153,7 @@ COMMANDS:
     run          simulate one serving run and report latencies
     compare      run the same workload under several systems
     sweep        sweep the per-GPU request rate
+    trace        capture every scheduling decision of a run
     trace-stats  show Table 2-style statistics of a generated trace
     budget       show the calibrated Algorithm 1 budget and profiler fit
     help         this text
@@ -143,6 +182,12 @@ COMMON FLAGS (with defaults):
     --min-prefill / --min-decode always-active replicas under --autoscale
     --save-trace <path>          (run) write the generated trace as JSON
     --trace-file <path>          (run) replay a saved trace instead
+    --preset <name>              (trace) Table 3/4 operating point:
+                                 opt13b-sharegpt, opt66b-sharegpt,
+                                 llama2-13b-longbench, llama2-70b-longbench
+    --out <path>                 (trace) write Chrome trace_event JSON
+                                 (open in Perfetto / chrome://tracing)
+    --audit <request-id>         (trace) print one request's decision audit
     --systems a,b,c              (compare) systems to compare
     --rates 1,2,3                (sweep) per-GPU rates
     --json                       machine-readable output
@@ -164,8 +209,8 @@ fn execute(spec: &RunSpec) -> Result<RunReport, ArgError> {
 ///
 /// Reports I/O and parse failures with the path.
 pub fn load_trace(path: &str) -> Result<Trace, ArgError> {
-    let text = std::fs::read_to_string(path)
-        .map_err(|e| ArgError(format!("cannot read {path}: {e}")))?;
+    let text =
+        std::fs::read_to_string(path).map_err(|e| ArgError(format!("cannot read {path}: {e}")))?;
     serde_json::from_str(&text).map_err(|e| ArgError(format!("cannot parse {path}: {e}")))
 }
 
@@ -269,8 +314,16 @@ mod trace_io_tests {
         let second = run(&b).unwrap();
         // The header echoes the (unused) flag defaults; the simulation body
         // must be identical.
-        let body = |s: &str| s.split_once('\n').map(|(_, rest)| rest.to_string()).unwrap();
-        assert_eq!(body(&first), body(&second), "file-replayed trace must be identical");
+        let body = |s: &str| {
+            s.split_once('\n')
+                .map(|(_, rest)| rest.to_string())
+                .unwrap()
+        };
+        assert_eq!(
+            body(&first),
+            body(&second),
+            "file-replayed trace must be identical"
+        );
         let trace = load_trace(path).unwrap();
         assert_eq!(trace.requests().len(), 60);
     }

@@ -38,6 +38,7 @@ pub fn dispatch(args: &Args) -> Result<String, args::ArgError> {
         Some("run") => commands::run(args),
         Some("compare") => commands::compare(args),
         Some("sweep") => commands::sweep(args),
+        Some("trace") => commands::trace(args),
         Some("trace-stats") => commands::trace_stats(args),
         Some("budget") => commands::budget(args),
         Some("help") | None => Ok(commands::help()),

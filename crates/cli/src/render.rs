@@ -73,8 +73,10 @@ pub fn report_text(spec: &RunSpec, report: &RunReport) -> String {
 /// Renders values as a unicode sparkline, downsampled to at most `width`
 /// buckets (each bucket shows its mean).
 pub fn sparkline(values: &[f64], width: usize) -> String {
-    const BARS: [char; 8] = ['\u{2581}', '\u{2582}', '\u{2583}', '\u{2584}',
-                             '\u{2585}', '\u{2586}', '\u{2587}', '\u{2588}'];
+    const BARS: [char; 8] = [
+        '\u{2581}', '\u{2582}', '\u{2583}', '\u{2584}', '\u{2585}', '\u{2586}', '\u{2587}',
+        '\u{2588}',
+    ];
     if values.is_empty() || width == 0 {
         return String::new();
     }
@@ -95,7 +97,6 @@ pub fn sparkline(values: &[f64], width: usize) -> String {
         })
         .collect()
 }
-
 
 /// JSON rendering of a report.
 ///
@@ -123,7 +124,14 @@ pub fn comparison_text(spec: &RunSpec, reports: &[RunReport]) -> String {
     );
     out += &format!(
         "{:<22} {:>10} {:>10} {:>10} {:>10} {:>9} {:>6} {:>6} {:>6}\n",
-        "system", "TTFT p50", "TTFT p99", "TPOT p90", "TPOT p99", "SLO both", "disp", "migr",
+        "system",
+        "TTFT p50",
+        "TTFT p99",
+        "TPOT p90",
+        "TPOT p99",
+        "SLO both",
+        "disp",
+        "migr",
         "swaps"
     );
     for r in reports {
@@ -204,6 +212,48 @@ pub fn trace_stats_text(spec: &RunSpec, trace: &Trace) -> String {
         stats.output.median,
         stats.output.p90,
     )
+}
+
+/// Summary of a captured scheduling trace: event mix, Algorithm 1 verdict
+/// counts, and how to dig further.
+pub fn scheduling_trace_text(
+    spec: &RunSpec,
+    report: &RunReport,
+    log: &windserve::TraceLog,
+) -> String {
+    use std::collections::BTreeMap;
+    let mut kinds: BTreeMap<&'static str, usize> = BTreeMap::new();
+    for e in log.events() {
+        *kinds.entry(e.event.kind()).or_insert(0) += 1;
+    }
+    let decisions = log.dispatch_decisions();
+    let mut verdicts: BTreeMap<&'static str, usize> = BTreeMap::new();
+    for (_, d) in &decisions {
+        *verdicts.entry(d.verdict.label()).or_insert(0) += 1;
+    }
+    let mut out = format!(
+        "{} | {} | {} requests | {} trace events over {:.2}s\n",
+        report.system.label(),
+        spec.config.model.name,
+        report.summary.completed,
+        log.len(),
+        report.duration_secs,
+    );
+    out += "  events:";
+    for (kind, n) in &kinds {
+        out += &format!(" {kind} {n}");
+    }
+    out += "\n";
+    if !decisions.is_empty() {
+        out += &format!("  Algorithm 1 decisions ({}):", decisions.len());
+        for (verdict, n) in &verdicts {
+            out += &format!(" {verdict} {n}");
+        }
+        out += "\n";
+    }
+    out += "  use --audit <request-id> for one request's decisions, \
+            --out <path> for a Chrome trace\n";
+    out
 }
 
 /// Budget/profiler summary for a configuration.

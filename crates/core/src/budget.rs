@@ -86,7 +86,12 @@ mod tests {
     use windserve_model::{ModelSpec, Parallelism};
 
     fn opt13b() -> CostModel {
-        CostModel::new(ModelSpec::opt_13b(), GpuSpec::a800_80gb(), Parallelism::tp(2)).unwrap()
+        CostModel::new(
+            ModelSpec::opt_13b(),
+            GpuSpec::a800_80gb(),
+            Parallelism::tp(2),
+        )
+        .unwrap()
     }
 
     #[test]
@@ -120,7 +125,10 @@ mod tests {
         let cost = opt13b();
         let sharing = StreamSharing::default();
         let slo = SloSpec::new(SimDuration::from_millis(250), SimDuration::from_micros(100));
-        assert_eq!(calibrate_aux_budget(&cost, &sharing, true, &slo, 968, 8192), 0);
+        assert_eq!(
+            calibrate_aux_budget(&cost, &sharing, true, &slo, 968, 8192),
+            0
+        );
     }
 
     #[test]

@@ -24,14 +24,36 @@ use crate::profiler::Profiler;
 use crate::report::{InstanceReport, RunReport, TtftPrediction};
 use std::collections::HashMap;
 use windserve_engine::{
-    Instance, InstanceConfig, LaneRef, PausedSeq, SeqState, StartedStep, StepOutcome,
+    Instance, InstanceConfig, LaneRef, PausedSeq, SeqState, StartedStep, StepKind, StepOutcome,
 };
 use windserve_gpu::{GpuId, RouteId, StreamSharing, TransferEngine};
 use windserve_kvcache::StallFreeMigration;
 use windserve_metrics::{LatencySummary, PrefillSite, RequestRecord};
 use windserve_model::CostModel;
 use windserve_sim::{EventQueue, SimTime};
+use windserve_trace::{
+    DispatchDecision, DispatchVerdict, Lane, StepClass, TraceEvent, TraceLog, Tracer,
+};
 use windserve_workload::{Request, RequestId, Trace};
+
+/// Engine lane → trace lane (the trace crate mirrors the notion without
+/// depending on the engine).
+fn trace_lane(lane: LaneRef) -> Lane {
+    match lane {
+        LaneRef::Main(i) => Lane::Main(i as u32),
+        LaneRef::Aux => Lane::Aux,
+    }
+}
+
+/// Engine step kind → trace step class.
+fn trace_class(kind: StepKind) -> StepClass {
+    match kind {
+        StepKind::Prefill => StepClass::Prefill,
+        StepKind::Decode => StepClass::Decode,
+        StepKind::Hybrid => StepClass::Hybrid,
+        StepKind::AuxPrefill => StepClass::AuxPrefill,
+    }
+}
 
 /// Hard cap on processed events — a runaway-simulation backstop far above
 /// any legitimate run.
@@ -134,6 +156,8 @@ pub struct Cluster {
     /// activate/deactivate thrash).
     cool_ticks_prefill: u32,
     cool_ticks_decode: u32,
+    /// Scheduling-decision recorder; a no-op unless `cfg.trace` enables it.
+    tracer: Tracer,
 }
 
 impl Cluster {
@@ -143,8 +167,9 @@ impl Cluster {
     ///
     /// Returns an error if the configuration is invalid or the model does
     /// not fit the placement.
-    pub fn new(cfg: ServeConfig) -> Result<Self, String> {
+    pub fn new(cfg: ServeConfig) -> crate::Result<Self> {
         cfg.validate()?;
+        let tracer = Tracer::for_mode(cfg.trace);
         let sharing = StreamSharing::default();
         let mut instances = Vec::new();
         let mut transfers = TransferEngine::new();
@@ -167,11 +192,8 @@ impl Cluster {
             let replicas = (cfg.total_gpus() / group).max(1);
             let per_gpu_host = cfg.topology.host_route(&[GpuId(0)]);
             for r in 0..replicas {
-                let cost = CostModel::new(
-                    cfg.model.clone(),
-                    cfg.gpu.clone(),
-                    cfg.prefill_parallelism,
-                )?;
+                let cost =
+                    CostModel::new(cfg.model.clone(), cfg.gpu.clone(), cfg.prefill_parallelism)?;
                 let mut icfg = InstanceConfig::colocated(format!("colocated-{r}"));
                 icfg.chunk_tokens = cfg.chunk_tokens;
                 icfg.max_prefill_tokens = cfg.model.max_context;
@@ -190,34 +212,32 @@ impl Cluster {
             // take sequential groups.
             let pn = cfg.prefill_parallelism.n_gpus();
             let dn = cfg.decode_parallelism.n_gpus();
-            let (p_groups, d_groups): (Vec<Vec<GpuId>>, Vec<Vec<GpuId>>) =
-                if cfg.prefill_replicas == 1
-                    && cfg.decode_replicas == 1
-                    && !cfg.split_phases_across_nodes
-                {
-                    let (p, d) = cfg.topology.paired_placement(pn, dn);
-                    (vec![p], vec![d])
+            let (p_groups, d_groups): (Vec<Vec<GpuId>>, Vec<Vec<GpuId>>) = if cfg.prefill_replicas
+                == 1
+                && cfg.decode_replicas == 1
+                && !cfg.split_phases_across_nodes
+            {
+                let (p, d) = cfg.topology.paired_placement(pn, dn);
+                (vec![p], vec![d])
+            } else {
+                let node_gpus = cfg.topology.n_gpus() / cfg.topology.n_nodes().max(1);
+                let decode_base = if cfg.split_phases_across_nodes && cfg.topology.n_nodes() > 1 {
+                    node_gpus
                 } else {
-                    let node_gpus = cfg.topology.n_gpus() / cfg.topology.n_nodes().max(1);
-                    let decode_base = if cfg.split_phases_across_nodes
-                        && cfg.topology.n_nodes() > 1
-                    {
-                        node_gpus
-                    } else {
-                        pn * cfg.prefill_replicas
-                    };
-                    let p = (0..cfg.prefill_replicas)
-                        .map(|r| (r * pn..(r + 1) * pn).map(GpuId).collect())
-                        .collect();
-                    let d = (0..cfg.decode_replicas)
-                        .map(|r| {
-                            (decode_base + r * dn..decode_base + (r + 1) * dn)
-                                .map(GpuId)
-                                .collect()
-                        })
-                        .collect();
-                    (p, d)
+                    pn * cfg.prefill_replicas
                 };
+                let p = (0..cfg.prefill_replicas)
+                    .map(|r| (r * pn..(r + 1) * pn).map(GpuId).collect())
+                    .collect();
+                let d = (0..cfg.decode_replicas)
+                    .map(|r| {
+                        (decode_base + r * dn..decode_base + (r + 1) * dn)
+                            .map(GpuId)
+                            .collect()
+                    })
+                    .collect();
+                (p, d)
+            };
 
             for (r, gpus) in p_groups.iter().enumerate() {
                 let p_cost = CostModel::new(
@@ -234,11 +254,8 @@ impl Cluster {
                 instances.push(Instance::new(p_cfg, p_cost, sharing, host.bandwidth)?);
             }
             for (r, gpus) in d_groups.iter().enumerate() {
-                let d_cost = CostModel::new(
-                    cfg.model.clone(),
-                    cfg.gpu.clone(),
-                    cfg.decode_parallelism,
-                )?;
+                let d_cost =
+                    CostModel::new(cfg.model.clone(), cfg.gpu.clone(), cfg.decode_parallelism)?;
                 let mut d_cfg = InstanceConfig::decode(format!("decode-{r}"));
                 d_cfg.stream_disaggregation = cfg.system.sbd_enabled();
                 d_cfg.chunk_tokens = cfg.chunk_tokens;
@@ -311,6 +328,7 @@ impl Cluster {
             last_gpu_account: SimTime::ZERO,
             cool_ticks_prefill: 0,
             cool_ticks_decode: 0,
+            tracer,
         })
     }
 
@@ -335,7 +353,23 @@ impl Cluster {
     ///
     /// Returns an error if the simulation deadlocks (requests left
     /// incomplete with no events pending) or exceeds the event backstop.
-    pub fn run(mut self, trace: &Trace) -> Result<RunReport, String> {
+    pub fn run(self, trace: &Trace) -> crate::Result<RunReport> {
+        Ok(self.run_traced(trace)?.0)
+    }
+
+    /// Replays `trace` to completion, returning the report together with
+    /// the collected scheduling trace.
+    ///
+    /// With [`TraceMode::Off`](windserve_trace::TraceMode::Off) (the
+    /// default) the returned [`TraceLog`] is empty and recording costs
+    /// nothing; enable capture via
+    /// [`ServeConfig::trace`](crate::ServeConfig) or
+    /// [`ServeConfigBuilder::trace`](crate::ServeConfigBuilder::trace).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Cluster::run`].
+    pub fn run_traced(mut self, trace: &Trace) -> crate::Result<(RunReport, TraceLog)> {
         let mut events: EventQueue<Event> = EventQueue::new();
         for (i, req) in trace.requests().iter().enumerate() {
             events.schedule(req.arrival, Event::Arrival(i));
@@ -375,10 +409,9 @@ impl Cluster {
                 live_events -= 1;
             }
             if processed > MAX_EVENTS {
-                return Err(format!(
-                    "event backstop hit: {} pending requests",
-                    self.pending.len()
-                ));
+                return Err(crate::Error::EventBackstop {
+                    pending: self.pending.len(),
+                });
             }
             let now = scheduled.at;
             end_time = now;
@@ -394,7 +427,8 @@ impl Cluster {
                     self.autoscale_tick(now);
                     if live_events > 0 || !self.pending.is_empty() {
                         if let Some(auto) = self.cfg.autoscale {
-                            self.deferred.push((now + auto.check_interval, Event::AutoscaleTick));
+                            self.deferred
+                                .push((now + auto.check_interval, Event::AutoscaleTick));
                         }
                     }
                 }
@@ -434,11 +468,10 @@ impl Cluster {
         if !self.pending.is_empty() {
             let mut ids: Vec<u64> = self.pending.keys().copied().collect();
             ids.sort_unstable();
-            return Err(format!(
-                "simulation deadlocked with {} incomplete requests (first: {:?})",
-                ids.len(),
-                &ids[..ids.len().min(5)]
-            ));
+            return Err(crate::Error::Deadlock {
+                incomplete: ids.len(),
+                first: ids.iter().take(5).map(|&i| RequestId(i)).collect(),
+            });
         }
 
         records.sort_by_key(|r| r.id);
@@ -460,7 +493,8 @@ impl Cluster {
                 aux_steps: inst.stats().aux_steps,
             })
             .collect();
-        Ok(RunReport {
+        let log = std::mem::replace(&mut self.tracer, Tracer::disabled()).finish();
+        let report = RunReport {
             system: self.cfg.system,
             summary,
             records,
@@ -473,10 +507,15 @@ impl Cluster {
             backups_created: self.counters.backups_created,
             backup_hits: self.counters.backup_hits,
             series: self.series,
-            ttft_predictions: std::mem::take(&mut { let mut v = self.ttft_predictions; v.sort_by_key(|p| p.request); v }),
+            ttft_predictions: std::mem::take(&mut {
+                let mut v = self.ttft_predictions;
+                v.sort_by_key(|p| p.request);
+                v
+            }),
             autoscale_events: self.autoscale_events,
             gpu_seconds_active: self.gpu_seconds_active,
-        })
+        };
+        Ok((report, log))
     }
 
     // ------------------------------------------------------------------
@@ -539,7 +578,10 @@ impl Cluster {
             .iter()
             .copied()
             .filter(|&i| self.is_routable(i, now))
-            .filter(|&i| self.coordinator.destination_can_host(&self.instances[i], ctx))
+            .filter(|&i| {
+                self.coordinator
+                    .destination_can_host(&self.instances[i], ctx)
+            })
             .max_by_key(|&i| self.instances[i].kv_free_tokens())
     }
 
@@ -555,7 +597,17 @@ impl Cluster {
     // ------------------------------------------------------------------
 
     fn on_arrival(&mut self, req: Request, now: SimTime) {
-        let (inst, site) = self.route_arrival(&req, now);
+        let (inst, site, decision) = self.route_arrival(&req, now);
+        let (id, prompt_tokens, output_tokens) = (req.id, req.prompt_tokens, req.output_tokens);
+        self.tracer.emit(now, || TraceEvent::Queued {
+            id,
+            prompt_tokens,
+            output_tokens,
+            inst: inst as u32,
+        });
+        if let Some(d) = decision {
+            self.tracer.emit(now, || TraceEvent::Dispatch(d));
+        }
         // Record Algorithm 1's prediction for later accuracy analysis.
         let predicted_ttft = (!self.cfg.system.colocated()).then(|| {
             let p = self.pick_prefill(req.prompt_tokens, now);
@@ -577,13 +629,17 @@ impl Cluster {
                 migrations: 0,
             },
         );
-        self.instances[inst].enqueue_prefill(req.id, req.prompt_tokens, req.output_tokens);
+        self.instances[inst].enqueue_prefill(id, prompt_tokens, output_tokens);
         if site == PrefillSite::DecodeInstance {
             self.counters.dispatched += 1;
         }
     }
 
-    fn route_arrival(&self, req: &Request, now: SimTime) -> (usize, PrefillSite) {
+    fn route_arrival(
+        &self,
+        req: &Request,
+        now: SimTime,
+    ) -> (usize, PrefillSite, Option<DispatchDecision>) {
         if self.cfg.system.colocated() {
             // Least-outstanding-work routing across replicas.
             let idx = (0..self.instances.len())
@@ -595,7 +651,7 @@ impl Cluster {
                         + inst.swapped_len()
                 })
                 .expect("at least one replica");
-            return (idx, PrefillSite::Colocated);
+            return (idx, PrefillSite::Colocated, None);
         }
         let p = self.pick_prefill(req.prompt_tokens, now);
         if self.cfg.system.dispatch_enabled() {
@@ -605,28 +661,70 @@ impl Cluster {
                 req.prompt_tokens,
                 now,
             );
-            if ttft_pred.as_secs_f64() > self.coordinator.dispatch_threshold.as_secs_f64() {
+            let threshold = self.coordinator.dispatch_threshold;
+            // Best slot offer across routable decode replicas — recorded
+            // even for rejections, so an audit shows *why* Algorithm 1
+            // refused ("wanted 700 tokens, best offer was 0").
+            let slots_free = self
+                .decode_idxs
+                .iter()
+                .filter(|&&i| self.is_routable(i, now))
+                .map(|&i| self.coordinator.available_slots(&self.instances[i]))
+                .max()
+                .unwrap_or(0);
+            let mut decision = DispatchDecision {
+                request: req.id,
+                prompt_tokens: req.prompt_tokens,
+                ttft_pred_secs: ttft_pred.as_secs_f64(),
+                threshold_secs: threshold.as_secs_f64(),
+                slots_free,
+                verdict: DispatchVerdict::BelowThreshold,
+                target: p as u32,
+            };
+            if ttft_pred.as_secs_f64() > threshold.as_secs_f64() {
                 if let Some(d) = self.pick_decode_for_dispatch(req.prompt_tokens, now) {
-                    return (d, PrefillSite::DecodeInstance);
+                    decision.verdict = DispatchVerdict::Dispatched;
+                    decision.target = d as u32;
+                    return (d, PrefillSite::DecodeInstance, Some(decision));
                 }
+                decision.verdict = DispatchVerdict::NoSlots;
             }
+            return (p, PrefillSite::PrefillInstance, Some(decision));
         }
-        (p, PrefillSite::PrefillInstance)
+        (p, PrefillSite::PrefillInstance, None)
     }
 
     fn register_steps(&mut self, inst: usize, started: &[StartedStep], now: SimTime) {
         for step in started {
-            self.deferred
-                .push((step.ends_at, Event::StepDone { inst, lane: step.lane }));
+            self.deferred.push((
+                step.ends_at,
+                Event::StepDone {
+                    inst,
+                    lane: step.lane,
+                },
+            ));
+            self.tracer.emit(now, || TraceEvent::StepStarted {
+                inst: inst as u32,
+                lane: trace_lane(step.lane),
+                ends_at: step.ends_at,
+            });
             for id in &step.newly_prefilling {
                 if let Some(rec) = self.pending.get_mut(&id.0) {
                     rec.prefill_start.get_or_insert(now);
                 }
+                self.tracer.emit(now, || TraceEvent::PrefillStarted {
+                    id: *id,
+                    inst: inst as u32,
+                });
             }
             for id in &step.newly_decoding {
                 if let Some(rec) = self.pending.get_mut(&id.0) {
                     rec.decode_start.get_or_insert(now);
                 }
+                self.tracer.emit(now, || TraceEvent::DecodeStarted {
+                    id: *id,
+                    inst: inst as u32,
+                });
             }
         }
     }
@@ -638,6 +736,12 @@ impl Cluster {
         now: SimTime,
         records: &mut Vec<RequestRecord>,
     ) {
+        self.tracer.emit(now, || TraceEvent::StepFinished {
+            inst: inst as u32,
+            lane: trace_lane(outcome.lane),
+            class: trace_class(outcome.kind),
+            duration_us: outcome.duration.as_micros(),
+        });
         for fp in &outcome.finished_prefills {
             self.on_finished_prefill(inst, fp.id, now, records);
         }
@@ -667,10 +771,17 @@ impl Cluster {
         now: SimTime,
         records: &mut Vec<RequestRecord>,
     ) {
-        let rec = self.pending.get_mut(&id.0).expect("unknown request finished prefill");
+        let rec = self
+            .pending
+            .get_mut(&id.0)
+            .expect("unknown request finished prefill");
         rec.first_token.get_or_insert(now);
         let output_target = rec.req.output_tokens;
         let prompt = rec.req.prompt_tokens;
+        self.tracer.emit(now, || TraceEvent::PrefillFinished {
+            id,
+            inst: inst as u32,
+        });
         if output_target == 1 {
             // The prefill's token was the whole response.
             rec.decode_enqueue.get_or_insert(now);
@@ -696,6 +807,16 @@ impl Cluster {
             let keep_backup = self.cfg.system.resched_enabled()
                 && prompt >= self.cfg.long_context_tokens
                 && self.instances[dst].kv_free_fraction() < self.cfg.backup_trigger;
+            let overlapped = self.cfg.system.overlapped_transfer();
+            self.tracer.emit(now, || TraceEvent::KvTransferStarted {
+                id,
+                src: inst as u32,
+                dst: dst as u32,
+                wire_bytes,
+                full_bytes,
+                overlapped,
+                keep_backup,
+            });
             let state = SeqState::arriving_for_decode(id, prompt, output_target, 1, 0);
             let route = self.route(inst, dst);
             let done = self.transfers.submit(route, wire_bytes, now);
@@ -728,6 +849,8 @@ impl Cluster {
         };
         let tail_tokens = migration.state.begin_pause();
         let (src, dst) = (migration.src, migration.dst);
+        self.tracer
+            .emit(now, || TraceEvent::MigrationPaused { id, tail_tokens });
         let kv_per_token = self.instances[src].kv_bytes_per_token();
         let bytes = u64::from(tail_tokens) * kv_per_token;
         self.counters.kv_bytes += bytes;
@@ -742,7 +865,8 @@ impl Cluster {
         let done = self.transfers.submit(route, bytes, now);
         let tid = self.next_transfer;
         self.next_transfer += 1;
-        self.actions.insert(tid, TransferAction::MigrationPhase2 { state });
+        self.actions
+            .insert(tid, TransferAction::MigrationPhase2 { state });
         self.schedule_transfer_done(tid, done);
     }
 
@@ -759,6 +883,10 @@ impl Cluster {
                 if keep_backup {
                     if self.instances[src].convert_to_backup(id, self.cfg.backup_watermark) {
                         self.counters.backups_created += 1;
+                        self.tracer.emit(now, || TraceEvent::BackupCreated {
+                            id,
+                            inst: src as u32,
+                        });
                     }
                 } else {
                     self.instances[src].release_sequence(id);
@@ -766,6 +894,10 @@ impl Cluster {
                 if let Some(rec) = self.pending.get_mut(&id.0) {
                     rec.decode_enqueue.get_or_insert(now);
                 }
+                self.tracer.emit(now, || TraceEvent::KvTransferFinished {
+                    id,
+                    dst: dst as u32,
+                });
                 self.instances[dst].enqueue_decode_arrival(state);
             }
             TransferAction::MigrationPhase1 { id } => {
@@ -789,6 +921,10 @@ impl Cluster {
                 if self.pending.contains_key(&id.0) {
                     self.instances[m.dst].enqueue_decode_arrival(state);
                     self.counters.migrations_completed += 1;
+                    self.tracer.emit(now, || TraceEvent::MigrationFinished {
+                        id,
+                        dst: m.dst as u32,
+                    });
                 }
             }
         }
@@ -800,6 +936,13 @@ impl Cluster {
                 .coordinator
                 .needs_rescheduling(&self.instances[decode_idx])
         {
+            let kv_free_fraction = self.instances[decode_idx].kv_free_fraction();
+            let watermark = self.cfg.resched_watermark;
+            self.tracer.emit(now, || TraceEvent::ReschedTriggered {
+                inst: decode_idx as u32,
+                kv_free_fraction,
+                watermark,
+            });
             let Some((victim, ctx)) = self.coordinator.pick_victim(&self.instances[decode_idx])
             else {
                 return;
@@ -816,11 +959,20 @@ impl Cluster {
         // Backups shrink the bulk phase: only the delta since the snapshot
         // must move.
         let delta = self.instances[dst].backup_delta_tokens(id, ctx);
-        if delta < ctx {
+        let backup_hit = delta < ctx;
+        if backup_hit {
             self.counters.backup_hits += 1;
         }
         let migration = StallFreeMigration::new(ctx, self.cfg.pause_threshold_tokens.min(delta));
         let bulk_tokens = delta.saturating_sub(self.cfg.pause_threshold_tokens);
+        self.tracer.emit(now, || TraceEvent::MigrationStarted {
+            id,
+            src: src as u32,
+            dst: dst as u32,
+            context_tokens: ctx,
+            bulk_tokens,
+            backup_hit,
+        });
         let kv_per_token = self.instances[src].kv_bytes_per_token();
         let bytes = u64::from(bulk_tokens) * kv_per_token;
         self.counters.kv_bytes += bytes;
@@ -837,7 +989,8 @@ impl Cluster {
         let done = self.transfers.submit(route, bytes, now);
         let tid = self.next_transfer;
         self.next_transfer += 1;
-        self.actions.insert(tid, TransferAction::MigrationPhase1 { id });
+        self.actions
+            .insert(tid, TransferAction::MigrationPhase1 { id });
         self.schedule_transfer_done(tid, done);
     }
 
@@ -879,18 +1032,31 @@ impl Cluster {
                 .predict_ttft(&cluster.profiler, &cluster.instances[i], 1, now)
                 .as_secs_f64()
         };
-        let all_hot = active_p.iter().all(|&i| pred(self, i) > auto.up_ttft_fraction * thrd);
+        let all_hot = active_p
+            .iter()
+            .all(|&i| pred(self, i) > auto.up_ttft_fraction * thrd);
         let all_cool = active_p
             .iter()
             .all(|&i| pred(self, i) < auto.down_ttft_fraction * thrd);
-        self.cool_ticks_prefill = if all_cool { self.cool_ticks_prefill + 1 } else { 0 };
+        self.cool_ticks_prefill = if all_cool {
+            self.cool_ticks_prefill + 1
+        } else {
+            0
+        };
         if all_hot {
-            if let Some(&idle) = self.prefill_idxs.iter().find(|&&i| self.active[i].is_none()) {
+            if let Some(&idle) = self
+                .prefill_idxs
+                .iter()
+                .find(|&&i| self.active[i].is_none())
+            {
                 self.active[idle] = Some(now + auto.warmup);
                 self.autoscale_events += 1;
                 self.cool_ticks_prefill = 0;
-            } else if let Some(&idle) =
-                self.decode_idxs.iter().find(|&&i| self.active[i].is_none())
+                self.tracer.emit(now, || TraceEvent::Autoscale {
+                    inst: idle as u32,
+                    activated: true,
+                });
+            } else if let Some(&idle) = self.decode_idxs.iter().find(|&&i| self.active[i].is_none())
             {
                 // No prefill replica left to add: grow dispatch capacity
                 // instead — another decode replica brings another guest
@@ -898,6 +1064,10 @@ impl Cluster {
                 self.active[idle] = Some(now + auto.warmup);
                 self.autoscale_events += 1;
                 self.cool_ticks_prefill = 0;
+                self.tracer.emit(now, || TraceEvent::Autoscale {
+                    inst: idle as u32,
+                    activated: true,
+                });
             }
         } else if active_p.len() > auto.min_prefill && self.cool_ticks_prefill >= DRAIN_TICKS {
             let dwelled: Vec<usize> = active_p
@@ -915,6 +1085,10 @@ impl Cluster {
                 self.active[victim] = None;
                 self.autoscale_events += 1;
                 self.cool_ticks_prefill = 0;
+                self.tracer.emit(now, || TraceEvent::Autoscale {
+                    inst: victim as u32,
+                    activated: false,
+                });
             }
         }
 
@@ -931,11 +1105,19 @@ impl Cluster {
                 || inst.waiting_decode_len() > 0
                 || inst.swapped_len() > 0
         });
-        self.cool_ticks_decode = if all_tight { 0 } else { self.cool_ticks_decode + 1 };
+        self.cool_ticks_decode = if all_tight {
+            0
+        } else {
+            self.cool_ticks_decode + 1
+        };
         if all_tight {
             if let Some(&idle) = self.decode_idxs.iter().find(|&&i| self.active[i].is_none()) {
                 self.active[idle] = Some(now + auto.warmup);
                 self.autoscale_events += 1;
+                self.tracer.emit(now, || TraceEvent::Autoscale {
+                    inst: idle as u32,
+                    activated: true,
+                });
             }
         } else if active_d.len() > auto.min_decode && self.cool_ticks_decode >= DRAIN_TICKS {
             if let Some(&victim) = active_d
@@ -947,6 +1129,10 @@ impl Cluster {
                 self.active[victim] = None;
                 self.autoscale_events += 1;
                 self.cool_ticks_decode = 0;
+                self.tracer.emit(now, || TraceEvent::Autoscale {
+                    inst: victim as u32,
+                    activated: false,
+                });
             }
         }
     }
@@ -968,7 +1154,10 @@ impl Cluster {
         now: SimTime,
         records: &mut Vec<RequestRecord>,
     ) {
-        let rec = self.pending.remove(&id.0).expect("finalizing unknown request");
+        let rec = self
+            .pending
+            .remove(&id.0)
+            .expect("finalizing unknown request");
         let first_token = rec.first_token.expect("completed without first token");
         if let Some(predicted) = rec.predicted_ttft {
             self.ttft_predictions.push(TtftPrediction {
@@ -979,6 +1168,7 @@ impl Cluster {
             });
         }
         let decode_enqueue = rec.decode_enqueue.unwrap_or(first_token);
+        self.tracer.emit(now, || TraceEvent::Finished { id });
         records.push(RequestRecord {
             id,
             prompt_tokens: rec.req.prompt_tokens,

@@ -11,10 +11,12 @@ use windserve_gpu::{GpuSpec, Topology};
 use windserve_metrics::SloSpec;
 use windserve_model::{ModelSpec, Parallelism};
 use windserve_sim::SimDuration;
+use windserve_trace::TraceMode;
 
 /// Which request dynamic rescheduling migrates first (§3.3 contrasts
 /// WindServe's choice with Llumnix's).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[non_exhaustive]
 pub enum VictimPolicy {
     /// WindServe: migrate the longest-context request — frees the most KV
     /// blocks per migration and minimizes prefill-decode interference at
@@ -71,13 +73,15 @@ impl AutoscaleConfig {
     ///
     /// # Errors
     ///
-    /// Describes the first invalid field.
-    pub fn validate(&self) -> Result<(), String> {
+    /// Returns [`Error::Config`](crate::Error::Config) describing the first
+    /// invalid field.
+    pub fn validate(&self) -> crate::Result<()> {
+        let config = |reason: String| crate::Error::Config { reason };
         if self.min_prefill == 0 || self.min_decode == 0 {
-            return Err("autoscale minimums must be at least 1".into());
+            return Err(config("autoscale minimums must be at least 1".into()));
         }
         if self.check_interval.is_zero() {
-            return Err("autoscale check interval must be positive".into());
+            return Err(config("autoscale check interval must be positive".into()));
         }
         for (label, v) in [
             ("up_ttft_fraction", self.up_ttft_fraction),
@@ -85,11 +89,13 @@ impl AutoscaleConfig {
             ("decode_up_kv_fraction", self.decode_up_kv_fraction),
         ] {
             if !(v.is_finite() && v > 0.0) {
-                return Err(format!("{label} must be positive, got {v}"));
+                return Err(config(format!("{label} must be positive, got {v}")));
             }
         }
         if self.down_ttft_fraction >= self.up_ttft_fraction {
-            return Err("down threshold must sit below the up threshold".into());
+            return Err(config(
+                "down threshold must sit below the up threshold".into(),
+            ));
         }
         Ok(())
     }
@@ -97,6 +103,7 @@ impl AutoscaleConfig {
 
 /// Which serving system to run — WindServe, an ablation, or a baseline.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[non_exhaustive]
 pub enum SystemKind {
     /// Full WindServe: dynamic prefill dispatch + dynamic rescheduling +
     /// stall-free migration + stream-based disaggregation + overlapped KV
@@ -225,6 +232,9 @@ pub struct ServeConfig {
     /// drained on demand; `prefill_replicas`/`decode_replicas` become the
     /// *maximums*.
     pub autoscale: Option<AutoscaleConfig>,
+    /// Scheduling-decision trace capture (see [`crate::trace`]). Defaults
+    /// to [`TraceMode::Off`], which records nothing and adds no overhead.
+    pub trace: TraceMode,
 }
 
 impl ServeConfig {
@@ -262,7 +272,19 @@ impl ServeConfig {
             preemption: PreemptionMode::Swap,
             sample_interval: None,
             autoscale: None,
+            trace: TraceMode::Off,
         }
+    }
+
+    /// A fluent [`ServeConfigBuilder`](crate::ServeConfigBuilder), starting from the paper's default
+    /// operating point (OPT-13B / ShareGPT / `[TP-2, TP-2]` / WindServe).
+    pub fn builder() -> crate::ServeConfigBuilder {
+        crate::ServeConfigBuilder::new()
+    }
+
+    /// A builder seeded with this configuration, for deriving variants.
+    pub fn to_builder(&self) -> crate::ServeConfigBuilder {
+        crate::ServeConfigBuilder::from_config(self.clone())
     }
 
     /// Table 3 + Table 4 preset: OPT-13B, ShareGPT, `[TP-2, TP-2]`.
@@ -341,19 +363,21 @@ impl ServeConfig {
     ///
     /// # Errors
     ///
-    /// Describes the first invalid field.
-    pub fn validate(&self) -> Result<(), String> {
+    /// Returns [`Error::Config`](crate::Error::Config) (or a wrapped
+    /// substrate error) describing the first invalid field.
+    pub fn validate(&self) -> crate::Result<()> {
+        let config = |reason: String| crate::Error::Config { reason };
         self.model.validate()?;
         self.gpu.validate()?;
         if let Some(pg) = &self.prefill_gpu {
             pg.validate()?;
         }
         if self.total_gpus() > self.topology.n_gpus() {
-            return Err(format!(
+            return Err(config(format!(
                 "placement needs {} GPUs, node has {}",
                 self.total_gpus(),
                 self.topology.n_gpus()
-            ));
+            )));
         }
         for (label, v) in [
             ("resched_watermark", self.resched_watermark),
@@ -361,19 +385,25 @@ impl ServeConfig {
             ("backup_trigger", self.backup_trigger),
         ] {
             if !(0.0..=1.0).contains(&v) {
-                return Err(format!("{label} must be in [0, 1], got {v}"));
+                return Err(config(format!("{label} must be in [0, 1], got {v}")));
             }
         }
         if self.chunk_tokens == 0 || self.max_concurrent_migrations == 0 {
-            return Err("chunk_tokens and max_concurrent_migrations must be positive".into());
+            return Err(config(
+                "chunk_tokens and max_concurrent_migrations must be positive".into(),
+            ));
         }
         if !self.system.colocated() && (self.prefill_replicas == 0 || self.decode_replicas == 0) {
-            return Err("PD systems need at least one replica per phase".into());
+            return Err(config(
+                "PD systems need at least one replica per phase".into(),
+            ));
         }
         if let Some(auto) = &self.autoscale {
             auto.validate()?;
             if auto.min_prefill > self.prefill_replicas || auto.min_decode > self.decode_replicas {
-                return Err("autoscale minimums exceed the replica maximums".into());
+                return Err(config(
+                    "autoscale minimums exceed the replica maximums".into(),
+                ));
             }
         }
         Ok(())
@@ -395,14 +425,22 @@ mod tests {
             cfg.validate().unwrap();
         }
         // Table 3: 13B-class models use [TP-2, TP-2]; large models add PP-2.
-        assert_eq!(ServeConfig::opt_13b_sharegpt(SystemKind::WindServe).total_gpus(), 4);
-        assert_eq!(ServeConfig::opt_66b_sharegpt(SystemKind::WindServe).total_gpus(), 8);
+        assert_eq!(
+            ServeConfig::opt_13b_sharegpt(SystemKind::WindServe).total_gpus(),
+            4
+        );
+        assert_eq!(
+            ServeConfig::opt_66b_sharegpt(SystemKind::WindServe).total_gpus(),
+            8
+        );
     }
 
     #[test]
     fn system_kinds_gate_the_right_features() {
         use SystemKind::*;
-        assert!(WindServe.dispatch_enabled() && WindServe.resched_enabled() && WindServe.sbd_enabled());
+        assert!(
+            WindServe.dispatch_enabled() && WindServe.resched_enabled() && WindServe.sbd_enabled()
+        );
         assert!(!WindServeNoSplit.sbd_enabled() && WindServeNoSplit.resched_enabled());
         assert!(!WindServeNoResche.resched_enabled() && WindServeNoResche.sbd_enabled());
         assert!(!DistServe.dispatch_enabled() && !DistServe.overlapped_transfer());

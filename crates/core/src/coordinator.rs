@@ -69,9 +69,8 @@ impl Coordinator {
         if decode.kv_free_fraction() < self.kv_reserve_fraction {
             return 0;
         }
-        let reserve =
-            (decode.kv().total_blocks() as f64 * self.kv_reserve_fraction) as u64
-                * u64::from(decode.kv().block_tokens());
+        let reserve = (decode.kv().total_blocks() as f64 * self.kv_reserve_fraction) as u64
+            * u64::from(decode.kv().block_tokens());
         let spare_kv = decode.kv_free_tokens().saturating_sub(reserve);
         u64::from(self.aux_budget_tokens)
             .saturating_sub(decode.guest_prefill_backlog_tokens())
@@ -145,15 +144,35 @@ mod tests {
     }
 
     fn decode_instance() -> Instance {
-        let cost =
-            CostModel::new(ModelSpec::opt_13b(), GpuSpec::a800_80gb(), Parallelism::tp(2)).unwrap();
-        Instance::new(InstanceConfig::decode("d"), cost, StreamSharing::default(), 20e9).unwrap()
+        let cost = CostModel::new(
+            ModelSpec::opt_13b(),
+            GpuSpec::a800_80gb(),
+            Parallelism::tp(2),
+        )
+        .unwrap();
+        Instance::new(
+            InstanceConfig::decode("d"),
+            cost,
+            StreamSharing::default(),
+            20e9,
+        )
+        .unwrap()
     }
 
     fn prefill_instance() -> Instance {
-        let cost =
-            CostModel::new(ModelSpec::opt_13b(), GpuSpec::a800_80gb(), Parallelism::tp(2)).unwrap();
-        Instance::new(InstanceConfig::prefill("p"), cost, StreamSharing::default(), 20e9).unwrap()
+        let cost = CostModel::new(
+            ModelSpec::opt_13b(),
+            GpuSpec::a800_80gb(),
+            Parallelism::tp(2),
+        )
+        .unwrap();
+        Instance::new(
+            InstanceConfig::prefill("p"),
+            cost,
+            StreamSharing::default(),
+            20e9,
+        )
+        .unwrap()
     }
 
     #[test]

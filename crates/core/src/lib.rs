@@ -17,7 +17,9 @@
 //!   ablations (`-no-split`, `-no-resche`) and the DistServe / vLLM
 //!   baselines;
 //! * [`RunReport`] — latency percentiles, SLO attainment, utilizations and
-//!   scheduling counters for every figure in the paper.
+//!   scheduling counters for every figure in the paper;
+//! * [`trace`] — a zero-cost-when-disabled structured recorder of every
+//!   scheduling decision, exportable as Chrome `trace_event` JSON.
 //!
 //! # Examples
 //!
@@ -28,7 +30,7 @@
 //! use windserve::{Cluster, ServeConfig, SystemKind};
 //! use windserve_workload::{ArrivalProcess, Dataset, Trace};
 //!
-//! # fn main() -> Result<(), String> {
+//! # fn main() -> windserve::Result<()> {
 //! let trace = Trace::generate(
 //!     &Dataset::sharegpt(2048),
 //!     &ArrivalProcess::poisson(16.0), // 4 req/s x 4 GPUs
@@ -43,6 +45,24 @@
 //! # Ok(())
 //! # }
 //! ```
+//!
+//! Capture the scheduling decisions behind a run (see the README's
+//! "Tracing a run" walkthrough):
+//!
+//! ```
+//! use windserve::prelude::*;
+//!
+//! # fn main() -> windserve::Result<()> {
+//! let cfg = ServeConfig::builder().trace(TraceMode::Full).build()?;
+//! let trace = Trace::generate(
+//!     &Dataset::sharegpt(2048), &ArrivalProcess::poisson(16.0), 50, 7);
+//! let (report, log) = Cluster::new(cfg)?.run_traced(&trace)?;
+//! assert_eq!(report.summary.completed, 50);
+//! assert!(!log.dispatch_decisions().is_empty());
+//! let _json = log.to_chrome_json(); // load in Perfetto / chrome://tracing
+//! # Ok(())
+//! # }
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -51,16 +71,20 @@
 mod tests;
 
 mod budget;
+mod builder;
 mod cluster;
 mod config;
 mod coordinator;
+mod error;
 mod profiler;
 mod report;
 
 pub use budget::calibrate_aux_budget;
+pub use builder::ServeConfigBuilder;
 pub use cluster::Cluster;
 pub use config::{AutoscaleConfig, ServeConfig, SystemKind, VictimPolicy};
 pub use coordinator::Coordinator;
+pub use error::{Error, Result};
 pub use profiler::Profiler;
 pub use report::{InstanceReport, RunReport, TtftPrediction};
 
@@ -68,4 +92,22 @@ pub use report::{InstanceReport, RunReport, TtftPrediction};
 // windserve::...` suffices for common workflows.
 pub use windserve_metrics::{LatencySummary, Percentiles, SloAttainment, SloSpec};
 pub use windserve_model::{ModelSpec, Parallelism};
+pub use windserve_trace as trace;
+pub use windserve_trace::{TraceLog, TraceMode};
 pub use windserve_workload::{ArrivalProcess, Dataset, Request, RequestId, Trace};
+
+/// One-stop imports for driving a simulation end to end.
+///
+/// ```
+/// use windserve::prelude::*;
+/// ```
+pub mod prelude {
+    pub use crate::{
+        Cluster, Error, Result, RunReport, ServeConfig, ServeConfigBuilder, SystemKind,
+        VictimPolicy,
+    };
+    pub use windserve_metrics::SloSpec;
+    pub use windserve_model::{ModelSpec, Parallelism};
+    pub use windserve_trace::{TraceLog, TraceMode};
+    pub use windserve_workload::{ArrivalProcess, Dataset, Request, RequestId, Trace};
+}

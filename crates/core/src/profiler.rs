@@ -31,7 +31,7 @@ use windserve_sim::SimDuration;
 /// use windserve_gpu::GpuSpec;
 /// use windserve_model::{CostModel, ModelSpec, Parallelism};
 ///
-/// # fn main() -> Result<(), String> {
+/// # fn main() -> Result<(), windserve_model::Error> {
 /// let cost = CostModel::new(ModelSpec::opt_13b(), GpuSpec::a800_80gb(),
 ///                           Parallelism::tp(2))?;
 /// let profiler = Profiler::fit(&cost);
@@ -80,12 +80,14 @@ impl Profiler {
             let contexts = vec![ctx as u32; 16];
             let sum_l: f64 = 16.0 * ctx as f64;
             dxs.push(sum_l);
-            dys.push(cost.step_time(&BatchPlan::decode_only(contexts)).as_secs_f64());
+            dys.push(
+                cost.step_time(&BatchPlan::decode_only(contexts))
+                    .as_secs_f64(),
+            );
         }
         let decode_coeffs = fit_poly1(&dxs, &dys);
-        let decode_fit_error = mean_rel_error(&dxs, &dys, |x| {
-            decode_coeffs[0] + decode_coeffs[1] * x
-        });
+        let decode_fit_error =
+            mean_rel_error(&dxs, &dys, |x| decode_coeffs[0] + decode_coeffs[1] * x);
 
         Profiler {
             prefill_coeffs,
@@ -176,7 +178,12 @@ fn fit_poly2(xs: &[f64], ys: &[f64]) -> [f64; 3] {
 fn solve3(m: &mut [[f64; 4]; 3]) -> [f64; 3] {
     for col in 0..3 {
         let pivot = (col..3)
-            .max_by(|&a, &b| m[a][col].abs().partial_cmp(&m[b][col].abs()).expect("finite"))
+            .max_by(|&a, &b| {
+                m[a][col]
+                    .abs()
+                    .partial_cmp(&m[b][col].abs())
+                    .expect("finite")
+            })
             .expect("non-empty");
         m.swap(col, pivot);
         assert!(m[col][col].abs() > 1e-18, "singular system");
@@ -243,7 +250,10 @@ mod tests {
             let truth = cost
                 .step_time(&BatchPlan::decode_only(vec![ctx; 16]))
                 .as_secs_f64();
-            assert!((pred / truth - 1.0).abs() < 0.1, "ctx={ctx}: {pred} vs {truth}");
+            assert!(
+                (pred / truth - 1.0).abs() < 0.1,
+                "ctx={ctx}: {pred} vs {truth}"
+            );
         }
     }
 

@@ -132,7 +132,11 @@ impl RunReport {
     /// # Panics
     ///
     /// Panics if `trim_fraction` is not in `[0, 0.5)`.
-    pub fn windowed_summary(&self, slo: windserve_metrics::SloSpec, trim_fraction: f64) -> LatencySummary {
+    pub fn windowed_summary(
+        &self,
+        slo: windserve_metrics::SloSpec,
+        trim_fraction: f64,
+    ) -> LatencySummary {
         assert!(
             (0.0..0.5).contains(&trim_fraction),
             "trim fraction {trim_fraction} out of range"

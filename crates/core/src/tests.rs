@@ -6,11 +6,19 @@ use windserve_model::Parallelism;
 use windserve_workload::{ArrivalProcess, Dataset, Trace};
 
 fn sharegpt_trace(rate_total: f64, n: usize, seed: u64) -> Trace {
-    Trace::generate(&Dataset::sharegpt(2048), &ArrivalProcess::poisson(rate_total), n, seed)
+    Trace::generate(
+        &Dataset::sharegpt(2048),
+        &ArrivalProcess::poisson(rate_total),
+        n,
+        seed,
+    )
 }
 
 fn run(cfg: ServeConfig, trace: &Trace) -> crate::RunReport {
-    Cluster::new(cfg).expect("valid config").run(trace).expect("run completes")
+    Cluster::new(cfg)
+        .expect("valid config")
+        .run(trace)
+        .expect("run completes")
 }
 
 #[test]
@@ -134,14 +142,20 @@ fn no_resche_ablation_swaps_instead_of_migrating() {
 #[test]
 fn colocated_creates_replicas_and_balances() {
     let trace = sharegpt_trace(10.0, 300, 7);
-    let report = run(ServeConfig::opt_13b_sharegpt(SystemKind::VllmColocated), &trace);
+    let report = run(
+        ServeConfig::opt_13b_sharegpt(SystemKind::VllmColocated),
+        &trace,
+    );
     assert_eq!(report.instances.len(), 2, "4 GPUs / TP-2 = 2 replicas");
     let steps: Vec<u64> = report
         .instances
         .iter()
         .map(|i| i.prefill_steps + i.decode_steps + i.hybrid_steps)
         .collect();
-    assert!(steps.iter().all(|&s| s > 20), "both replicas must work: {steps:?}");
+    assert!(
+        steps.iter().all(|&s| s > 20),
+        "both replicas must work: {steps:?}"
+    );
 }
 
 #[test]
@@ -162,13 +176,22 @@ fn overlapped_handoff_beats_serialized_handoff_on_decode_enqueue() {
             .sum::<f64>()
             / r.records.len() as f64
     };
-    assert!(gap(&wind) < gap(&dist), "wind {} vs dist {}", gap(&wind), gap(&dist));
+    assert!(
+        gap(&wind) < gap(&dist),
+        "wind {} vs dist {}",
+        gap(&wind),
+        gap(&dist)
+    );
 }
 
 #[test]
 fn aux_budget_is_calibrated_positive_for_sbd() {
     let cluster = Cluster::new(ServeConfig::opt_13b_sharegpt(SystemKind::WindServe)).unwrap();
-    assert!(cluster.aux_budget_tokens() >= 1024, "{}", cluster.aux_budget_tokens());
+    assert!(
+        cluster.aux_budget_tokens() >= 1024,
+        "{}",
+        cluster.aux_budget_tokens()
+    );
 }
 
 #[test]
@@ -177,7 +200,10 @@ fn kv_bytes_accounting_is_nonzero_for_pd_systems() {
     let report = run(ServeConfig::opt_13b_sharegpt(SystemKind::DistServe), &trace);
     assert!(report.kv_bytes_transferred > 0);
     // Colocated systems never move KV between instances.
-    let colo = run(ServeConfig::opt_13b_sharegpt(SystemKind::VllmColocated), &trace);
+    let colo = run(
+        ServeConfig::opt_13b_sharegpt(SystemKind::VllmColocated),
+        &trace,
+    );
     assert_eq!(colo.kv_bytes_transferred, 0);
 }
 
@@ -218,10 +244,22 @@ fn multi_replica_pd_cluster_serves_and_balances() {
     assert_eq!(report.summary.completed, 600);
     assert_eq!(report.instances.len(), 4);
     // Both prefill replicas and both decode replicas must carry load.
-    let p_steps: Vec<u64> = report.instances[..2].iter().map(|i| i.prefill_steps).collect();
-    let d_steps: Vec<u64> = report.instances[2..].iter().map(|i| i.decode_steps).collect();
-    assert!(p_steps.iter().all(|&s| s > 50), "prefill balance: {p_steps:?}");
-    assert!(d_steps.iter().all(|&s| s > 200), "decode balance: {d_steps:?}");
+    let p_steps: Vec<u64> = report.instances[..2]
+        .iter()
+        .map(|i| i.prefill_steps)
+        .collect();
+    let d_steps: Vec<u64> = report.instances[2..]
+        .iter()
+        .map(|i| i.decode_steps)
+        .collect();
+    assert!(
+        p_steps.iter().all(|&s| s > 50),
+        "prefill balance: {p_steps:?}"
+    );
+    assert!(
+        d_steps.iter().all(|&s| s > 200),
+        "decode balance: {d_steps:?}"
+    );
 }
 
 #[test]
@@ -421,7 +459,10 @@ fn ttft_predictions_are_recorded_and_reasonable() {
     let err = report.ttft_prediction_error().expect("predictions exist");
     assert!(err < 0.6, "mean relative prediction error {err}");
     // Colocated systems make no Algorithm 1 predictions.
-    let colo = run(ServeConfig::opt_13b_sharegpt(SystemKind::VllmColocated), &trace);
+    let colo = run(
+        ServeConfig::opt_13b_sharegpt(SystemKind::VllmColocated),
+        &trace,
+    );
     assert!(colo.ttft_predictions.is_empty());
     assert!(colo.ttft_prediction_error().is_none());
 }

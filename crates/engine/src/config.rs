@@ -111,19 +111,24 @@ impl InstanceConfig {
     ///
     /// # Errors
     ///
-    /// Describes the first invalid field.
-    pub fn validate(&self) -> Result<(), String> {
+    /// Returns [`Error::InvalidConfig`](crate::Error::InvalidConfig)
+    /// describing the first invalid field.
+    pub fn validate(&self) -> crate::Result<()> {
+        let invalid = |reason: &str| crate::Error::InvalidConfig {
+            instance: self.name.clone(),
+            reason: reason.to_string(),
+        };
         if self.max_batch == 0 {
-            return Err(format!("{}: max_batch must be positive", self.name));
+            return Err(invalid("max_batch must be positive"));
         }
         if self.max_prefill_tokens == 0 || self.max_prefill_jobs == 0 {
-            return Err(format!("{}: prefill budgets must be positive", self.name));
+            return Err(invalid("prefill budgets must be positive"));
         }
         if self.chunk_tokens == 0 {
-            return Err(format!("{}: chunk_tokens must be positive", self.name));
+            return Err(invalid("chunk_tokens must be positive"));
         }
         if self.block_tokens == 0 {
-            return Err(format!("{}: block_tokens must be positive", self.name));
+            return Err(invalid("block_tokens must be positive"));
         }
         Ok(())
     }

@@ -1,0 +1,46 @@
+//! Typed errors for instance construction and configuration.
+
+use std::fmt;
+
+/// Errors produced when building or configuring an instance.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum Error {
+    /// An instance tunable is out of range, or the placement leaves no
+    /// room for KV blocks.
+    InvalidConfig {
+        /// The instance's display name.
+        instance: String,
+        /// What is wrong with it.
+        reason: String,
+    },
+    /// The underlying cost model is invalid.
+    Model(windserve_model::Error),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::InvalidConfig { instance, reason } => write!(f, "{instance}: {reason}"),
+            Error::Model(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Model(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<windserve_model::Error> for Error {
+    fn from(e: windserve_model::Error) -> Self {
+        Error::Model(e)
+    }
+}
+
+/// Crate-local result alias.
+pub type Result<T> = std::result::Result<T, Error>;

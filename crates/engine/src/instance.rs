@@ -81,14 +81,20 @@ impl Instance {
         cost: CostModel,
         sharing: StreamSharing,
         host_bandwidth: f64,
-    ) -> Result<Self, String> {
+    ) -> crate::Result<Self> {
         cfg.validate()?;
         if !(host_bandwidth.is_finite() && host_bandwidth > 0.0) {
-            return Err(format!("{}: invalid host bandwidth", cfg.name));
+            return Err(crate::Error::InvalidConfig {
+                instance: cfg.name.clone(),
+                reason: "invalid host bandwidth".to_string(),
+            });
         }
         let blocks = (cost.kv_capacity_tokens() / u64::from(cfg.block_tokens)) as usize;
         if blocks == 0 {
-            return Err(format!("{}: no room for KV blocks", cfg.name));
+            return Err(crate::Error::InvalidConfig {
+                instance: cfg.name.clone(),
+                reason: "no room for KV blocks".to_string(),
+            });
         }
         let lanes = cost.parallelism().lanes();
         Ok(Instance {
@@ -251,7 +257,10 @@ impl Instance {
         self.waiting_prefill.is_empty()
             && self.waiting_decode.is_empty()
             && self.swapped.is_empty()
-            && self.lanes.iter().all(|l| l.running.is_empty() && l.step.is_none())
+            && self
+                .lanes
+                .iter()
+                .all(|l| l.running.is_empty() && l.step.is_none())
             && self.aux_step.is_none()
             && self.seqs.is_empty()
     }
@@ -273,8 +282,7 @@ impl Instance {
     /// returned here.
     pub fn request_pause(&mut self, id: RequestId) -> Option<crate::outcome::PausedSeq> {
         let in_lane = self.lanes.iter().any(|l| {
-            l.running.contains(&id)
-                || l.step.as_ref().is_some_and(|s| s.decode_ids.contains(&id))
+            l.running.contains(&id) || l.step.as_ref().is_some_and(|s| s.decode_ids.contains(&id))
         });
         if in_lane {
             self.pause_requests.insert(id.0);
@@ -361,7 +369,11 @@ impl Instance {
     pub fn guest_prefill_backlog_tokens(&self) -> u64 {
         let mut total = self.prefill_backlog_tokens();
         if let Some(step) = &self.aux_step {
-            total += step.prefill_ids.iter().map(|&(_, n)| u64::from(n)).sum::<u64>();
+            total += step
+                .prefill_ids
+                .iter()
+                .map(|&(_, n)| u64::from(n))
+                .sum::<u64>();
         }
         total
     }
@@ -429,8 +441,12 @@ mod tests {
             InstanceRole::Decode => InstanceConfig::decode("d"),
             InstanceRole::Colocated => InstanceConfig::colocated("c"),
         };
-        let cost =
-            CostModel::new(ModelSpec::opt_13b(), GpuSpec::a800_80gb(), Parallelism::tp(2)).unwrap();
+        let cost = CostModel::new(
+            ModelSpec::opt_13b(),
+            GpuSpec::a800_80gb(),
+            Parallelism::tp(2),
+        )
+        .unwrap();
         Instance::new(cfg, cost, StreamSharing::default(), 20e9).unwrap()
     }
 

@@ -22,7 +22,7 @@
 //! use windserve_sim::SimTime;
 //! use windserve_workload::RequestId;
 //!
-//! # fn main() -> Result<(), String> {
+//! # fn main() -> windserve_engine::Result<()> {
 //! let cost = CostModel::new(ModelSpec::opt_13b(), GpuSpec::a800_80gb(),
 //!                           Parallelism::tp(2))?;
 //! let mut inst = Instance::new(InstanceConfig::prefill("prefill-0"), cost,
@@ -39,6 +39,7 @@
 #![warn(missing_docs)]
 
 mod config;
+mod error;
 mod instance;
 mod outcome;
 mod seq;
@@ -51,6 +52,7 @@ mod proptests;
 mod tests;
 
 pub use config::{InstanceConfig, InstanceRole, PreemptionMode};
+pub use error::{Error, Result};
 pub use instance::Instance;
 pub use outcome::{
     CompletedSeq, FinishedPrefill, LaneRef, PausedSeq, StartedStep, StepKind, StepOutcome,

@@ -12,7 +12,6 @@ use windserve_model::{CostModel, ModelSpec, Parallelism};
 use windserve_sim::SimTime;
 use windserve_workload::RequestId;
 
-
 #[derive(Debug, Clone)]
 enum Op {
     Prefill { prompt: u32, output: u32 },
@@ -27,8 +26,12 @@ fn op_strategy() -> impl Strategy<Value = Op> {
 }
 
 fn cramped_instance(role: InstanceRole, kv_tokens: u64, preemption: PreemptionMode) -> Instance {
-    let mut cost =
-        CostModel::new(ModelSpec::opt_13b(), GpuSpec::a800_80gb(), Parallelism::tp(2)).unwrap();
+    let mut cost = CostModel::new(
+        ModelSpec::opt_13b(),
+        GpuSpec::a800_80gb(),
+        Parallelism::tp(2),
+    )
+    .unwrap();
     let spare = cost.kv_capacity_bytes() - kv_tokens * cost.model().kv_bytes_per_token();
     cost.activation_reserve_bytes += spare / cost.parallelism().n_gpus() as u64;
     let mut cfg = match role {

@@ -45,7 +45,10 @@ pub struct SeqState {
 impl SeqState {
     /// A fresh sequence about to prefill.
     pub fn new(id: RequestId, prompt_tokens: u32, output_target: u32) -> Self {
-        assert!(prompt_tokens > 0 && output_target > 0, "degenerate sequence");
+        assert!(
+            prompt_tokens > 0 && output_target > 0,
+            "degenerate sequence"
+        );
         SeqState {
             id,
             prompt_tokens,

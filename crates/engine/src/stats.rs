@@ -69,8 +69,16 @@ mod tests {
     #[test]
     fn steps_are_counted_by_kind() {
         let mut s = InstanceStats::default();
-        s.record_step(StepKind::Decode, SimDuration::from_millis(10), &KernelCost::new(0.001, 0.009));
-        s.record_step(StepKind::Prefill, SimDuration::from_millis(60), &KernelCost::new(0.058, 0.006));
+        s.record_step(
+            StepKind::Decode,
+            SimDuration::from_millis(10),
+            &KernelCost::new(0.001, 0.009),
+        );
+        s.record_step(
+            StepKind::Prefill,
+            SimDuration::from_millis(60),
+            &KernelCost::new(0.058, 0.006),
+        );
         assert_eq!(s.decode_steps, 1);
         assert_eq!(s.prefill_steps, 1);
         assert!((s.compute_busy_secs - 0.059).abs() < 1e-12);
@@ -80,7 +88,11 @@ mod tests {
     fn utilization_reflects_regime() {
         let mut s = InstanceStats::default();
         // A prefill-heavy second: compute-saturated, I/O light.
-        s.record_step(StepKind::Prefill, SimDuration::from_secs(1), &KernelCost::new(0.95, 0.1));
+        s.record_step(
+            StepKind::Prefill,
+            SimDuration::from_secs(1),
+            &KernelCost::new(0.95, 0.1),
+        );
         let u = s.utilization(1.0, 1);
         assert!(u.compute > 0.9);
         assert!(u.bandwidth < 0.2);
@@ -89,7 +101,11 @@ mod tests {
     #[test]
     fn utilization_divides_across_lanes() {
         let mut s = InstanceStats::default();
-        s.record_step(StepKind::Decode, SimDuration::from_secs(1), &KernelCost::new(0.1, 0.9));
+        s.record_step(
+            StepKind::Decode,
+            SimDuration::from_secs(1),
+            &KernelCost::new(0.1, 0.9),
+        );
         let one = s.utilization(1.0, 1);
         let two = s.utilization(1.0, 2);
         assert!((one.bandwidth / two.bandwidth - 2.0).abs() < 1e-9);

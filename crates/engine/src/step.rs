@@ -188,9 +188,7 @@ impl Instance {
                 // Recompute-preempted: reallocate and pay the compute cost
                 // of re-prefilling the context.
                 self.kv.allocate(id.0, ctx).expect("capacity checked");
-                self.pending_delay += self
-                    .cost
-                    .step_time(&BatchPlan::single_prefill(ctx.max(1)));
+                self.pending_delay += self.cost.step_time(&BatchPlan::single_prefill(ctx.max(1)));
             }
             self.seqs.get_mut(&id.0).expect("swapped seq known").phase = SeqPhase::Decoding;
             let lane = self.least_loaded_lane();
@@ -254,7 +252,10 @@ impl Instance {
             }
             (alone, kernel)
         } else {
-            (self.cost.hybrid_step_time(&plan), self.cost.kernel_cost(&plan))
+            (
+                self.cost.hybrid_step_time(&plan),
+                self.cost.kernel_cost(&plan),
+            )
         };
         Some(self.finish_step_construction(
             if fused_prefills.is_empty() {
@@ -551,9 +552,7 @@ impl Instance {
                 .iter()
                 .flat_map(|l| l.running.iter().rev())
                 .find(|v| {
-                    v.0 != id.0
-                        && !self.migrating.contains(&v.0)
-                        && !already_appended.contains(v)
+                    v.0 != id.0 && !self.migrating.contains(&v.0) && !already_appended.contains(v)
                 })
                 .copied();
             match victim {

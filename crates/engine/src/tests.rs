@@ -12,7 +12,12 @@ use windserve_sim::{SimDuration, SimTime};
 use windserve_workload::RequestId;
 
 fn opt13b_cost() -> CostModel {
-    CostModel::new(ModelSpec::opt_13b(), GpuSpec::a800_80gb(), Parallelism::tp(2)).unwrap()
+    CostModel::new(
+        ModelSpec::opt_13b(),
+        GpuSpec::a800_80gb(),
+        Parallelism::tp(2),
+    )
+    .unwrap()
 }
 
 fn instance(role: InstanceRole) -> Instance {
@@ -28,10 +33,15 @@ fn instance(role: InstanceRole) -> Instance {
 fn cramped_decode(total_blocks_tokens: u64) -> Instance {
     let mut cost = opt13b_cost();
     // Shrink usable KV by inflating the activation reserve.
-    let spare = cost.kv_capacity_bytes()
-        - total_blocks_tokens * cost.model().kv_bytes_per_token();
+    let spare = cost.kv_capacity_bytes() - total_blocks_tokens * cost.model().kv_bytes_per_token();
     cost.activation_reserve_bytes += spare / cost.parallelism().n_gpus() as u64;
-    Instance::new(InstanceConfig::decode("tiny"), cost, StreamSharing::default(), 20e9).unwrap()
+    Instance::new(
+        InstanceConfig::decode("tiny"),
+        cost,
+        StreamSharing::default(),
+        20e9,
+    )
+    .unwrap()
 }
 
 /// Drives the instance until idle or `max_events`; `react` sees every step
@@ -128,7 +138,11 @@ fn decode_steps_batch_continuously() {
     }
     let started = inst.try_start(SimTime::ZERO);
     assert_eq!(started.len(), 1);
-    assert_eq!(started[0].newly_decoding.len(), 16, "all admitted into one batch");
+    assert_eq!(
+        started[0].newly_decoding.len(),
+        16,
+        "all admitted into one batch"
+    );
     let out = inst.complete_step(started[0].lane, started[0].ends_at);
     assert_eq!(out.decoded.len(), 16);
 }
@@ -150,7 +164,10 @@ fn sbd_runs_guest_prefill_concurrently_and_slows_decode_mildly() {
         inst.enqueue_decode_arrival(SeqState::arriving_for_decode(RequestId(i), 1000, 100, 1, 0));
     }
     let started = inst.try_start(SimTime::ZERO);
-    let aux = started.iter().find(|s| s.lane == LaneRef::Aux).expect("aux step");
+    let aux = started
+        .iter()
+        .find(|s| s.lane == LaneRef::Aux)
+        .expect("aux step");
     let main = started
         .iter()
         .find(|s| matches!(s.lane, LaneRef::Main(_)))
@@ -255,7 +272,10 @@ fn colocated_instance_interleaves_chunked_prefill_with_decodes() {
         }
     });
     assert_eq!(completed, 2);
-    assert!(hybrid_seen, "chunked prefill should have shared a step with decodes");
+    assert!(
+        hybrid_seen,
+        "chunked prefill should have shared a step with decodes"
+    );
 }
 
 #[test]
@@ -338,17 +358,34 @@ fn recompute_preemption_pays_compute_not_transfers() {
     rec_inst.cfg.preemption = PreemptionMode::Recompute;
     for inst in [&mut swap_inst, &mut rec_inst] {
         for i in 0..6 {
-            inst.enqueue_decode_arrival(SeqState::arriving_for_decode(RequestId(i), 950, 201, 1, 0));
+            inst.enqueue_decode_arrival(SeqState::arriving_for_decode(
+                RequestId(i),
+                950,
+                201,
+                1,
+                0,
+            ));
         }
     }
     let mut done_swap = 0;
-    drive(&mut swap_inst, 20_000, |_, out| done_swap += out.completed.len());
+    drive(&mut swap_inst, 20_000, |_, out| {
+        done_swap += out.completed.len()
+    });
     let mut done_rec = 0;
-    drive(&mut rec_inst, 20_000, |_, out| done_rec += out.completed.len());
+    drive(&mut rec_inst, 20_000, |_, out| {
+        done_rec += out.completed.len()
+    });
     assert_eq!(done_swap, 6);
     assert_eq!(done_rec, 6);
     assert!(swap_inst.kv().swap_out_count() > 0);
-    assert_eq!(rec_inst.kv().swap_out_count(), 0, "recompute mode never swaps");
-    assert!(rec_inst.stats().recomputes > 0, "recompute mode must recompute");
+    assert_eq!(
+        rec_inst.kv().swap_out_count(),
+        0,
+        "recompute mode never swaps"
+    );
+    assert!(
+        rec_inst.stats().recomputes > 0,
+        "recompute mode must recompute"
+    );
     rec_inst.kv().check_invariants().unwrap();
 }

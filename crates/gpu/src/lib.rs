@@ -29,11 +29,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod error;
 mod link;
 mod spec;
 mod stream;
 mod topology;
 
+pub use error::{Error, Result};
 pub use link::{LinkKind, RouteId, RouteSpec, TransferEngine};
 pub use spec::{GpuSpec, GIB};
 pub use stream::{KernelCost, StreamSharing};

@@ -189,7 +189,9 @@ mod tests {
         // §2.2: ~1.5 GB of OPT-13B KV over PCIe Gen4 x16 takes ~65 ms
         // (single stripe, P2P enabled).
         let route = RouteSpec::striped(LinkKind::PciePeer, 1);
-        let secs = route.duration((1.5 * (1u64 << 30) as f64) as u64).as_secs_f64();
+        let secs = route
+            .duration((1.5 * (1u64 << 30) as f64) as u64)
+            .as_secs_f64();
         assert!((0.055..0.080).contains(&secs), "got {secs}s");
     }
 

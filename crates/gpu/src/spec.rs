@@ -106,23 +106,28 @@ impl GpuSpec {
     ///
     /// # Errors
     ///
-    /// Returns a description of the first invalid field.
-    pub fn validate(&self) -> Result<(), String> {
+    /// Returns [`Error::InvalidSpec`](crate::Error::InvalidSpec) naming
+    /// the first invalid field.
+    pub fn validate(&self) -> crate::Result<()> {
+        let invalid = |reason: String| crate::Error::InvalidSpec {
+            name: self.name.clone(),
+            reason,
+        };
         if !(self.peak_flops.is_finite() && self.peak_flops > 0.0) {
-            return Err(format!("{}: peak_flops must be positive", self.name));
+            return Err(invalid("peak_flops must be positive".into()));
         }
         if !(self.peak_bandwidth.is_finite() && self.peak_bandwidth > 0.0) {
-            return Err(format!("{}: peak_bandwidth must be positive", self.name));
+            return Err(invalid("peak_bandwidth must be positive".into()));
         }
         if self.memory_bytes == 0 {
-            return Err(format!("{}: memory_bytes must be positive", self.name));
+            return Err(invalid("memory_bytes must be positive".into()));
         }
         for (label, v) in [
             ("compute_efficiency", self.compute_efficiency),
             ("bandwidth_efficiency", self.bandwidth_efficiency),
         ] {
             if !(v.is_finite() && v > 0.0 && v <= 1.0) {
-                return Err(format!("{}: {label} must be in (0, 1]", self.name));
+                return Err(invalid(format!("{label} must be in (0, 1]")));
             }
         }
         Ok(())

@@ -52,8 +52,14 @@ impl KernelCost {
             compute_secs.is_finite() && compute_secs >= 0.0,
             "invalid compute leg {compute_secs}"
         );
-        assert!(io_secs.is_finite() && io_secs >= 0.0, "invalid io leg {io_secs}");
-        KernelCost { compute_secs, io_secs }
+        assert!(
+            io_secs.is_finite() && io_secs >= 0.0,
+            "invalid io leg {io_secs}"
+        );
+        KernelCost {
+            compute_secs,
+            io_secs,
+        }
     }
 
     /// Runtime when the kernel has the GPU to itself.
@@ -109,7 +115,9 @@ pub struct StreamSharing {
 
 impl Default for StreamSharing {
     fn default() -> Self {
-        StreamSharing { concurrency_tax: 0.06 }
+        StreamSharing {
+            concurrency_tax: 0.06,
+        }
     }
 }
 
@@ -146,8 +154,7 @@ impl StreamSharing {
                 if alone == 0.0 {
                     return 1.0;
                 }
-                let shared =
-                    (k.compute_secs * compute_stretch).max(k.io_secs * bw_stretch) * tax;
+                let shared = (k.compute_secs * compute_stretch).max(k.io_secs * bw_stretch) * tax;
                 shared / alone
             })
             .collect()

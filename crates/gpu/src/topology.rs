@@ -82,7 +82,10 @@ impl Topology {
     ///
     /// Panics if either id is out of range or if `a == b`.
     pub fn link_kind(&self, a: GpuId, b: GpuId) -> LinkKind {
-        assert!(a.0 < self.n_gpus && b.0 < self.n_gpus, "gpu id out of range");
+        assert!(
+            a.0 < self.n_gpus && b.0 < self.n_gpus,
+            "gpu id out of range"
+        );
         assert_ne!(a, b, "no self-link");
         if a.0 / self.node_width != b.0 / self.node_width {
             return LinkKind::InterNode;
@@ -138,7 +141,10 @@ impl Topology {
                 worst = kind;
             }
         }
-        RouteSpec { kind: worst, bandwidth }
+        RouteSpec {
+            kind: worst,
+            bandwidth,
+        }
     }
 
     /// Route from an instance to host DRAM (for KV swap): every GPU swaps

@@ -1,0 +1,44 @@
+//! Typed errors for KV-cache management.
+
+use crate::manager::AllocError;
+use std::fmt;
+
+/// Errors produced by the KV-cache substrate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum Error {
+    /// An allocation or growth request could not be satisfied.
+    Alloc(AllocError),
+    /// A block-conservation invariant does not hold.
+    InvariantViolated {
+        /// Which invariant, and how it was violated.
+        reason: String,
+    },
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Alloc(e) => write!(f, "{e}"),
+            Error::InvariantViolated { reason } => write!(f, "invariant violated: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Alloc(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<AllocError> for Error {
+    fn from(e: AllocError) -> Self {
+        Error::Alloc(e)
+    }
+}
+
+/// Crate-local result alias.
+pub type Result<T> = std::result::Result<T, Error>;

@@ -25,9 +25,11 @@
 #![warn(missing_docs)]
 
 mod backup;
+mod error;
 mod manager;
 mod migrate;
 
 pub use backup::{Backup, BackupStore};
+pub use error::{Error, Result};
 pub use manager::{AllocError, BlockId, BlockManager, SeqKey};
 pub use migrate::{background_duration_secs, MigrationPhase, StallFreeMigration};

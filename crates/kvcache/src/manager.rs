@@ -154,7 +154,10 @@ impl BlockManager {
     /// Panics if `key` already has a table (double allocation is a
     /// scheduler bug).
     pub fn allocate(&mut self, key: SeqKey, tokens: u32) -> Result<(), AllocError> {
-        assert!(!self.tables.contains_key(&key), "sequence {key} already allocated");
+        assert!(
+            !self.tables.contains_key(&key),
+            "sequence {key} already allocated"
+        );
         let needed = self.blocks_for(tokens);
         if needed > self.free.len() {
             return Err(AllocError {
@@ -269,16 +272,19 @@ impl BlockManager {
     ///
     /// # Errors
     ///
-    /// Describes the violated invariant.
-    pub fn check_invariants(&self) -> Result<(), String> {
+    /// Returns
+    /// [`Error::InvariantViolated`](crate::Error::InvariantViolated)
+    /// describing the violated invariant.
+    pub fn check_invariants(&self) -> crate::Result<()> {
+        let violated = |reason: String| crate::Error::InvariantViolated { reason };
         let in_tables: usize = self.tables.values().map(|t| t.blocks.len()).sum();
         if in_tables + self.free.len() != self.total_blocks {
-            return Err(format!(
+            return Err(violated(format!(
                 "block leak: {} in tables + {} free != {} total",
                 in_tables,
                 self.free.len(),
                 self.total_blocks
-            ));
+            )));
         }
         let mut seen = std::collections::HashSet::new();
         for id in self
@@ -287,17 +293,17 @@ impl BlockManager {
             .chain(self.tables.values().flat_map(|t| t.blocks.iter()))
         {
             if !seen.insert(*id) {
-                return Err(format!("block {id:?} appears twice"));
+                return Err(violated(format!("block {id:?} appears twice")));
             }
         }
         for (key, table) in &self.tables {
             if self.blocks_for(table.tokens) != table.blocks.len() {
-                return Err(format!(
+                return Err(violated(format!(
                     "sequence {key}: {} tokens need {} blocks, has {}",
                     table.tokens,
                     self.blocks_for(table.tokens),
                     table.blocks.len()
-                ));
+                )));
             }
         }
         Ok(())

@@ -1,0 +1,32 @@
+//! Typed errors for measurement machinery.
+
+use std::fmt;
+use windserve_workload::RequestId;
+
+/// Errors produced when validating measurements.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum Error {
+    /// A request record's timestamp chain is out of order.
+    InvalidRecord {
+        /// The offending request.
+        id: RequestId,
+        /// The violated ordering constraint.
+        constraint: &'static str,
+    },
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::InvalidRecord { id, constraint } => {
+                write!(f, "{id}: violated {constraint}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Crate-local result alias.
+pub type Result<T> = std::result::Result<T, Error>;

@@ -26,16 +26,18 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod error;
 mod percentile;
-mod series;
 mod record;
+mod series;
 mod slo;
 mod summary;
 mod util;
 
+pub use error::{Error, Result};
 pub use percentile::{percentile, Percentiles};
-pub use series::{InstanceSeries, Series};
 pub use record::{PrefillSite, RequestRecord};
+pub use series::{InstanceSeries, Series};
 pub use slo::{SloAttainment, SloSpec};
 pub use summary::LatencySummary;
 pub use util::{Utilization, UtilizationMeter};

@@ -59,7 +59,9 @@ pub struct RequestRecord {
 impl RequestRecord {
     /// Time to first token, seconds.
     pub fn ttft(&self) -> f64 {
-        self.first_token.saturating_since(self.arrival).as_secs_f64()
+        self.first_token
+            .saturating_since(self.arrival)
+            .as_secs_f64()
     }
 
     /// Time per output token, seconds. `None` when only one token was
@@ -69,13 +71,18 @@ impl RequestRecord {
         if steps == 0 {
             return None;
         }
-        let span = self.completion.saturating_since(self.first_token).as_secs_f64();
+        let span = self
+            .completion
+            .saturating_since(self.first_token)
+            .as_secs_f64();
         Some(span / f64::from(steps))
     }
 
     /// Prefill queueing delay: issue → prefill start.
     pub fn prefill_queue_delay(&self) -> f64 {
-        self.prefill_start.saturating_since(self.arrival).as_secs_f64()
+        self.prefill_start
+            .saturating_since(self.arrival)
+            .as_secs_f64()
     }
 
     /// Decode queueing delay: entered decode queue → first decode step.
@@ -94,18 +101,34 @@ impl RequestRecord {
     ///
     /// # Errors
     ///
-    /// Returns which ordering constraint is violated.
-    pub fn validate(&self) -> Result<(), String> {
+    /// Returns [`Error::InvalidRecord`](crate::Error::InvalidRecord) naming
+    /// the ordering constraint that is violated.
+    pub fn validate(&self) -> crate::Result<()> {
         let chain = [
             ("arrival<=prefill_start", self.arrival <= self.prefill_start),
-            ("prefill_start<=first_token", self.prefill_start <= self.first_token),
-            ("first_token<=decode_enqueue", self.first_token <= self.decode_enqueue),
-            ("decode_enqueue<=decode_start", self.decode_enqueue <= self.decode_start),
-            ("decode_start<=completion", self.decode_start <= self.completion),
+            (
+                "prefill_start<=first_token",
+                self.prefill_start <= self.first_token,
+            ),
+            (
+                "first_token<=decode_enqueue",
+                self.first_token <= self.decode_enqueue,
+            ),
+            (
+                "decode_enqueue<=decode_start",
+                self.decode_enqueue <= self.decode_start,
+            ),
+            (
+                "decode_start<=completion",
+                self.decode_start <= self.completion,
+            ),
         ];
-        for (label, ok) in chain {
+        for (constraint, ok) in chain {
             if !ok {
-                return Err(format!("{}: violated {label}", self.id));
+                return Err(crate::Error::InvalidRecord {
+                    id: self.id,
+                    constraint,
+                });
             }
         }
         Ok(())

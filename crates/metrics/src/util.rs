@@ -61,7 +61,10 @@ impl UtilizationMeter {
     /// excursions).
     pub fn record(&mut self, dur: SimDuration, compute_frac: f64, bandwidth_frac: f64) {
         for f in [compute_frac, bandwidth_frac] {
-            assert!((-1e-9..=1.0 + 1e-9).contains(&f), "fraction {f} out of range");
+            assert!(
+                (-1e-9..=1.0 + 1e-9).contains(&f),
+                "fraction {f} out of range"
+            );
         }
         let secs = dur.as_secs_f64();
         self.busy_compute_secs += secs * compute_frac.clamp(0.0, 1.0);
@@ -79,8 +82,16 @@ impl UtilizationMeter {
     pub fn summary(&self) -> Utilization {
         let wall = self.wall_secs;
         Utilization {
-            compute: if wall > 0.0 { self.busy_compute_secs / wall } else { 0.0 },
-            bandwidth: if wall > 0.0 { self.busy_bandwidth_secs / wall } else { 0.0 },
+            compute: if wall > 0.0 {
+                self.busy_compute_secs / wall
+            } else {
+                0.0
+            },
+            bandwidth: if wall > 0.0 {
+                self.busy_bandwidth_secs / wall
+            } else {
+                0.0
+            },
             steps: self.steps,
             wall_secs: wall,
         }

@@ -48,9 +48,10 @@ impl CostModel {
     ///
     /// # Errors
     ///
-    /// Returns an error if any component fails validation or if the model's
+    /// Returns an error if any component fails validation or
+    /// [`Error::DoesNotFit`](crate::Error::DoesNotFit) if the model's
     /// weights plus reserve exceed the placement's aggregate memory.
-    pub fn new(model: ModelSpec, gpu: GpuSpec, parallelism: Parallelism) -> Result<Self, String> {
+    pub fn new(model: ModelSpec, gpu: GpuSpec, parallelism: Parallelism) -> crate::Result<Self> {
         model.validate()?;
         gpu.validate()?;
         let cm = CostModel {
@@ -61,12 +62,11 @@ impl CostModel {
             activation_reserve_bytes: 4 * windserve_gpu::GIB,
         };
         if cm.kv_capacity_bytes() == 0 {
-            return Err(format!(
-                "{} does not fit on {} x{} with reserve",
-                cm.model.name,
-                cm.gpu.name,
-                parallelism.n_gpus()
-            ));
+            return Err(crate::Error::DoesNotFit {
+                model: cm.model.name.clone(),
+                gpu: cm.gpu.name.clone(),
+                n_gpus: parallelism.n_gpus(),
+            });
         }
         Ok(cm)
     }
@@ -123,7 +123,8 @@ impl CostModel {
             per_layer += flops::ffn_flops(&self.model, 1);
         }
         // LM head over every new token.
-        let head = 2 * plan.new_tokens() * u64::from(self.model.vocab) * u64::from(self.model.hidden);
+        let head =
+            2 * plan.new_tokens() * u64::from(self.model.vocab) * u64::from(self.model.hidden);
         per_layer * layers + head
     }
 
@@ -210,7 +211,12 @@ mod tests {
     use crate::batch::PrefillChunk;
 
     fn opt13b_tp2() -> CostModel {
-        CostModel::new(ModelSpec::opt_13b(), GpuSpec::a800_80gb(), Parallelism::tp(2)).unwrap()
+        CostModel::new(
+            ModelSpec::opt_13b(),
+            GpuSpec::a800_80gb(),
+            Parallelism::tp(2),
+        )
+        .unwrap()
     }
 
     #[test]
@@ -226,14 +232,26 @@ mod tests {
         // Eq. 1: quadratic term visible at large N.
         let t1 = cm.step_time(&BatchPlan::single_prefill(1024)).as_secs_f64();
         let t2 = cm.step_time(&BatchPlan::single_prefill(2048)).as_secs_f64();
-        assert!(t2 > 1.9 * t1, "prefill should scale at least linearly: {t1} -> {t2}");
+        assert!(
+            t2 > 1.9 * t1,
+            "prefill should scale at least linearly: {t1} -> {t2}"
+        );
         // Eq. 2: decode time linear in ΣL at fixed B.
-        let d1 = cm.step_time(&BatchPlan::decode_only(vec![500; 16])).as_secs_f64();
-        let d2 = cm.step_time(&BatchPlan::decode_only(vec![1500; 16])).as_secs_f64();
-        let d3 = cm.step_time(&BatchPlan::decode_only(vec![2500; 16])).as_secs_f64();
+        let d1 = cm
+            .step_time(&BatchPlan::decode_only(vec![500; 16]))
+            .as_secs_f64();
+        let d2 = cm
+            .step_time(&BatchPlan::decode_only(vec![1500; 16]))
+            .as_secs_f64();
+        let d3 = cm
+            .step_time(&BatchPlan::decode_only(vec![2500; 16]))
+            .as_secs_f64();
         let slope1 = d2 - d1;
         let slope2 = d3 - d2;
-        assert!((slope1 / slope2 - 1.0).abs() < 0.05, "decode nonlinear: {slope1} vs {slope2}");
+        assert!(
+            (slope1 / slope2 - 1.0).abs() < 0.05,
+            "decode nonlinear: {slope1} vs {slope2}"
+        );
     }
 
     #[test]
@@ -241,7 +259,9 @@ mod tests {
         // Sanity against the roofline: OPT-13B TP-2, batch 16 x 768 ctx is
         // dominated by the ~25 GB weight read over 2x effective HBM.
         let cm = opt13b_tp2();
-        let t = cm.step_time(&BatchPlan::decode_only(vec![768; 16])).as_secs_f64();
+        let t = cm
+            .step_time(&BatchPlan::decode_only(vec![768; 16]))
+            .as_secs_f64();
         assert!((0.005..0.050).contains(&t), "decode step {t}s");
     }
 
@@ -255,8 +275,12 @@ mod tests {
     #[test]
     fn batching_amortizes_weight_reads() {
         let cm = opt13b_tp2();
-        let single = cm.step_time(&BatchPlan::decode_only(vec![768])).as_secs_f64();
-        let batch16 = cm.step_time(&BatchPlan::decode_only(vec![768; 16])).as_secs_f64();
+        let single = cm
+            .step_time(&BatchPlan::decode_only(vec![768]))
+            .as_secs_f64();
+        let batch16 = cm
+            .step_time(&BatchPlan::decode_only(vec![768; 16]))
+            .as_secs_f64();
         // 16x the work at far less than 16x the time.
         assert!(batch16 < 3.0 * single);
     }
@@ -326,7 +350,10 @@ mod tests {
         let c512 = chunked_prefill_total(&cm, 2048, 512);
         let c128 = chunked_prefill_total(&cm, 2048, 128);
         assert!(c512 > 1.15 * mono, "chunked {c512} vs mono {mono}");
-        assert!(c128 > c512, "smaller chunks must cost more: {c128} vs {c512}");
+        assert!(
+            c128 > c512,
+            "smaller chunks must cost more: {c128} vs {c512}"
+        );
     }
 
     #[test]
@@ -354,12 +381,19 @@ mod tests {
 
     #[test]
     fn tp_speeds_up_prefill() {
-        let tp1 = CostModel::new(ModelSpec::opt_13b(), GpuSpec::a800_80gb(), Parallelism::tp(1))
-            .unwrap();
+        let tp1 = CostModel::new(
+            ModelSpec::opt_13b(),
+            GpuSpec::a800_80gb(),
+            Parallelism::tp(1),
+        )
+        .unwrap();
         let tp2 = opt13b_tp2();
         let plan = BatchPlan::single_prefill(2048);
         let t1 = tp1.step_time(&plan).as_secs_f64();
         let t2 = tp2.step_time(&plan).as_secs_f64();
-        assert!(t2 < 0.65 * t1, "TP-2 should nearly halve prefill: {t1} -> {t2}");
+        assert!(
+            t2 < 0.65 * t1,
+            "TP-2 should nearly halve prefill: {t1} -> {t2}"
+        );
     }
 }

@@ -1,0 +1,58 @@
+//! Typed errors for model specification and cost modeling.
+
+use std::fmt;
+
+/// Errors produced when validating model specs or building cost models.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum Error {
+    /// A model architecture field is inconsistent.
+    InvalidSpec {
+        /// The model's display name.
+        model: String,
+        /// What is wrong with it.
+        reason: String,
+    },
+    /// The model's weights plus activation reserve exceed the placement's
+    /// aggregate memory.
+    DoesNotFit {
+        /// The model's display name.
+        model: String,
+        /// The GPU's display name.
+        gpu: String,
+        /// GPUs in the placement.
+        n_gpus: usize,
+    },
+    /// The GPU spec backing the cost model is invalid.
+    Gpu(windserve_gpu::Error),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::InvalidSpec { model, reason } => write!(f, "{model}: {reason}"),
+            Error::DoesNotFit { model, gpu, n_gpus } => {
+                write!(f, "{model} does not fit on {gpu} x{n_gpus} with reserve")
+            }
+            Error::Gpu(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Gpu(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<windserve_gpu::Error> for Error {
+    fn from(e: windserve_gpu::Error) -> Self {
+        Error::Gpu(e)
+    }
+}
+
+/// Crate-local result alias.
+pub type Result<T> = std::result::Result<T, Error>;

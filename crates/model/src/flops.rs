@@ -69,8 +69,7 @@ pub fn ffn_flops(spec: &ModelSpec, new_tokens: u64) -> u64 {
 /// Weight bytes one layer streams from HBM per forward pass (read once per
 /// step regardless of batch size).
 pub fn layer_weight_io(spec: &ModelSpec) -> u64 {
-    (spec.attn_params_per_layer() + spec.ffn_params_per_layer())
-        * u64::from(spec.dtype_bytes)
+    (spec.attn_params_per_layer() + spec.ffn_params_per_layer()) * u64::from(spec.dtype_bytes)
 }
 
 /// KV bytes one layer reads for a decode token with context length `ctx`
@@ -124,7 +123,10 @@ mod tests {
     fn weight_io_matches_table1_for_opt() {
         let spec = ModelSpec::opt_13b();
         let h = u64::from(spec.hidden);
-        assert_eq!(layer_weight_io(&spec), exact_attn_io_bytes(h) + exact_ffn_io_bytes(h));
+        assert_eq!(
+            layer_weight_io(&spec),
+            exact_attn_io_bytes(h) + exact_ffn_io_bytes(h)
+        );
     }
 
     #[test]

@@ -31,11 +31,13 @@
 
 mod batch;
 mod cost;
+mod error;
 pub mod flops;
 mod parallel;
 mod spec;
 
 pub use batch::{BatchPlan, PrefillChunk};
 pub use cost::CostModel;
+pub use error::{Error, Result};
 pub use parallel::Parallelism;
 pub use spec::{AttentionKind, FfnKind, ModelSpec};

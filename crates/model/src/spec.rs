@@ -260,8 +260,7 @@ impl ModelSpec {
     /// evaluated, so one embedding matrix is counted).
     pub fn param_count(&self) -> u64 {
         let per_layer = self.attn_params_per_layer() + self.ffn_params_per_layer();
-        per_layer * u64::from(self.n_layers)
-            + u64::from(self.vocab) * u64::from(self.hidden)
+        per_layer * u64::from(self.n_layers) + u64::from(self.vocab) * u64::from(self.hidden)
     }
 
     /// Total weight bytes.
@@ -273,21 +272,26 @@ impl ModelSpec {
     ///
     /// # Errors
     ///
-    /// Returns a description of the first inconsistent field.
-    pub fn validate(&self) -> Result<(), String> {
+    /// Returns [`Error::InvalidSpec`](crate::Error::InvalidSpec) naming
+    /// the first inconsistent field.
+    pub fn validate(&self) -> crate::Result<()> {
+        let invalid = |reason: &str| crate::Error::InvalidSpec {
+            model: self.name.clone(),
+            reason: reason.to_string(),
+        };
         if self.n_layers == 0 || self.hidden == 0 || self.n_heads == 0 {
-            return Err(format!("{}: degenerate architecture", self.name));
+            return Err(invalid("degenerate architecture"));
         }
         if !self.hidden.is_multiple_of(self.n_heads) {
-            return Err(format!("{}: hidden must divide by heads", self.name));
+            return Err(invalid("hidden must divide by heads"));
         }
         if let AttentionKind::Gqa { kv_heads } = self.attention {
             if kv_heads == 0 || !self.n_heads.is_multiple_of(kv_heads) {
-                return Err(format!("{}: query heads must divide by kv heads", self.name));
+                return Err(invalid("query heads must divide by kv heads"));
             }
         }
         if self.dtype_bytes == 0 || self.max_context == 0 {
-            return Err(format!("{}: dtype/context must be positive", self.name));
+            return Err(invalid("dtype/context must be positive"));
         }
         Ok(())
     }

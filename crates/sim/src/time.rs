@@ -20,7 +20,9 @@ use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
 /// let t = SimTime::ZERO + SimDuration::from_millis(250);
 /// assert_eq!(t.as_secs_f64(), 0.25);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct SimTime(u64);
 
 /// A span of simulated time, in microseconds.
@@ -33,7 +35,9 @@ pub struct SimTime(u64);
 /// let d = SimDuration::from_secs_f64(0.0135);
 /// assert_eq!(d.as_micros(), 13_500);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct SimDuration(u64);
 
 impl SimTime {
@@ -127,7 +131,10 @@ impl SimDuration {
     ///
     /// Panics if `factor` is negative or not finite.
     pub fn mul_f64(self, factor: f64) -> Self {
-        assert!(factor.is_finite() && factor >= 0.0, "invalid factor {factor}");
+        assert!(
+            factor.is_finite() && factor >= 0.0,
+            "invalid factor {factor}"
+        );
         SimDuration((self.0 as f64 * factor).round() as u64)
     }
 

@@ -1,0 +1,305 @@
+//! Typed scheduling-trace events.
+//!
+//! Every event carries the scheduler state that produced a decision, not
+//! just its outcome — the point of the trace layer is that a run can be
+//! audited after the fact ("why was request 42 dispatched?") without
+//! re-running the simulation under a debugger.
+
+use serde::{Deserialize, Serialize};
+use windserve_sim::SimTime;
+use windserve_workload::RequestId;
+
+/// One execution context of an instance, as seen by the trace layer.
+///
+/// Mirrors the engine's lane notion without depending on the engine crate,
+/// so the trace layer stays at the bottom of the dependency stack.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Lane {
+    /// Pipeline lane `i` (one of the `pp` in-flight batch slots).
+    Main(u32),
+    /// The guest-prefill CUDA stream on a decode instance (§3.4).
+    Aux,
+}
+
+impl Lane {
+    /// A small stable integer for exporters that need a thread id.
+    pub fn slot(self) -> u32 {
+        match self {
+            Lane::Main(i) => i,
+            Lane::Aux => 15,
+        }
+    }
+
+    /// Short display label (`lane0`, `aux`).
+    pub fn label(self) -> String {
+        match self {
+            Lane::Main(i) => format!("lane{i}"),
+            Lane::Aux => "aux".to_string(),
+        }
+    }
+}
+
+/// The work mix of a completed step, for stream-occupancy intervals.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum StepClass {
+    /// Pure prompt processing.
+    Prefill,
+    /// Pure decoding.
+    Decode,
+    /// Single-stream mixed batch.
+    Hybrid,
+    /// Guest prefill in the auxiliary stream.
+    AuxPrefill,
+}
+
+impl StepClass {
+    /// Display label used by exporters.
+    pub fn label(self) -> &'static str {
+        match self {
+            StepClass::Prefill => "prefill",
+            StepClass::Decode => "decode",
+            StepClass::Hybrid => "hybrid",
+            StepClass::AuxPrefill => "aux-prefill",
+        }
+    }
+}
+
+/// Outcome of one Algorithm 1 evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DispatchVerdict {
+    /// `TTFT_pred <= thrd`: the prefill instance is not overloaded; the
+    /// request stays on the prefill side.
+    BelowThreshold,
+    /// Overloaded and a decode replica had the slots: guest prefill.
+    Dispatched,
+    /// Overloaded but no decode replica could offer enough slots — the
+    /// dispatch was *rejected* and the request queues on the prefill side.
+    NoSlots,
+}
+
+impl DispatchVerdict {
+    /// Display label used by exporters and the CLI audit.
+    pub fn label(self) -> &'static str {
+        match self {
+            DispatchVerdict::BelowThreshold => "below-threshold",
+            DispatchVerdict::Dispatched => "dispatched",
+            DispatchVerdict::NoSlots => "no-slots",
+        }
+    }
+}
+
+/// One Algorithm 1 decision with the inputs that produced it.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DispatchDecision {
+    /// The arriving request.
+    pub request: RequestId,
+    /// Its prompt length (the slot demand).
+    pub prompt_tokens: u32,
+    /// `TTFT_pred` for the chosen prefill replica, seconds.
+    pub ttft_pred_secs: f64,
+    /// Algorithm 1's `thrd`, seconds.
+    pub threshold_secs: f64,
+    /// Best slot offer across routable decode replicas, in prefill tokens.
+    pub slots_free: u64,
+    /// The verdict.
+    pub verdict: DispatchVerdict,
+    /// Instance the request was ultimately routed to.
+    pub target: u32,
+}
+
+/// A structured trace event. All instance references are cluster-wide
+/// instance indices; timestamps live on the enclosing [`TimedEvent`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum TraceEvent {
+    /// A request arrived and joined a waiting queue.
+    Queued {
+        /// The request.
+        id: RequestId,
+        /// Prompt length.
+        prompt_tokens: u32,
+        /// Requested output length.
+        output_tokens: u32,
+        /// Instance it was routed to.
+        inst: u32,
+    },
+    /// Algorithm 1 ran for an arrival (phase-disaggregated systems only).
+    Dispatch(DispatchDecision),
+    /// Prompt processing started (first chunk launched).
+    PrefillStarted {
+        /// The request.
+        id: RequestId,
+        /// Hosting instance.
+        inst: u32,
+    },
+    /// Prompt fully processed; the first token exists.
+    PrefillFinished {
+        /// The request.
+        id: RequestId,
+        /// Hosting instance.
+        inst: u32,
+    },
+    /// Prefill→decode KV handoff submitted to the interconnect.
+    KvTransferStarted {
+        /// The request.
+        id: RequestId,
+        /// Source (prefill) instance.
+        src: u32,
+        /// Destination (decode) instance.
+        dst: u32,
+        /// Bytes still on the wire (the last layer's tail when the
+        /// transfer overlapped prefill computation).
+        wire_bytes: u64,
+        /// Full KV size of the prompt.
+        full_bytes: u64,
+        /// Whether the transfer overlapped prefill computation.
+        overlapped: bool,
+        /// Whether the source retains a backup copy for later migration.
+        keep_backup: bool,
+    },
+    /// KV handoff finished; the request joins the decode queue.
+    KvTransferFinished {
+        /// The request.
+        id: RequestId,
+        /// Destination instance.
+        dst: u32,
+    },
+    /// A KV backup was retained on the prefill instance.
+    BackupCreated {
+        /// The request.
+        id: RequestId,
+        /// Instance holding the backup.
+        inst: u32,
+    },
+    /// First decode iteration launched.
+    DecodeStarted {
+        /// The request.
+        id: RequestId,
+        /// Hosting instance.
+        inst: u32,
+    },
+    /// Decode-side KV pressure crossed the watermark; dynamic
+    /// rescheduling is looking for a victim.
+    ReschedTriggered {
+        /// The pressured decode instance.
+        inst: u32,
+        /// Its free-block fraction at the trigger.
+        kv_free_fraction: f64,
+        /// The configured watermark.
+        watermark: f64,
+    },
+    /// Stall-free migration started (background bulk phase).
+    MigrationStarted {
+        /// The victim request.
+        id: RequestId,
+        /// Source decode instance.
+        src: u32,
+        /// Destination prefill instance.
+        dst: u32,
+        /// Victim context length at selection time.
+        context_tokens: u32,
+        /// Tokens moved by the background phase.
+        bulk_tokens: u32,
+        /// Whether a KV backup shrank the transfer.
+        backup_hit: bool,
+    },
+    /// Background phase drained; the request paused for the tail flush.
+    MigrationPaused {
+        /// The migrating request.
+        id: RequestId,
+        /// Tail tokens the pause phase must flush.
+        tail_tokens: u32,
+    },
+    /// Migration complete; the request resumed at the destination.
+    MigrationFinished {
+        /// The migrated request.
+        id: RequestId,
+        /// Destination instance.
+        dst: u32,
+    },
+    /// The request produced its final token and left the system.
+    Finished {
+        /// The request.
+        id: RequestId,
+    },
+    /// A step launched on an execution context (stream busy from now).
+    StepStarted {
+        /// Hosting instance.
+        inst: u32,
+        /// Execution context.
+        lane: Lane,
+        /// Scheduled completion time.
+        ends_at: SimTime,
+    },
+    /// A step completed; `[now - duration, now]` is one occupancy
+    /// interval of the stream.
+    StepFinished {
+        /// Hosting instance.
+        inst: u32,
+        /// Execution context.
+        lane: Lane,
+        /// Work mix.
+        class: StepClass,
+        /// Step duration, microseconds.
+        duration_us: u64,
+    },
+    /// The autoscaler activated or deactivated a replica.
+    Autoscale {
+        /// The affected instance.
+        inst: u32,
+        /// `true` = activated (warming), `false` = drained + released.
+        activated: bool,
+    },
+}
+
+impl TraceEvent {
+    /// The request this event concerns, if any.
+    pub fn request_id(&self) -> Option<RequestId> {
+        match self {
+            TraceEvent::Queued { id, .. }
+            | TraceEvent::PrefillStarted { id, .. }
+            | TraceEvent::PrefillFinished { id, .. }
+            | TraceEvent::KvTransferStarted { id, .. }
+            | TraceEvent::KvTransferFinished { id, .. }
+            | TraceEvent::BackupCreated { id, .. }
+            | TraceEvent::DecodeStarted { id, .. }
+            | TraceEvent::MigrationStarted { id, .. }
+            | TraceEvent::MigrationPaused { id, .. }
+            | TraceEvent::MigrationFinished { id, .. }
+            | TraceEvent::Finished { id } => Some(*id),
+            TraceEvent::Dispatch(d) => Some(d.request),
+            _ => None,
+        }
+    }
+
+    /// Short kebab-case name of the event kind.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            TraceEvent::Queued { .. } => "queued",
+            TraceEvent::Dispatch(_) => "dispatch",
+            TraceEvent::PrefillStarted { .. } => "prefill-started",
+            TraceEvent::PrefillFinished { .. } => "prefill-finished",
+            TraceEvent::KvTransferStarted { .. } => "kv-transfer-started",
+            TraceEvent::KvTransferFinished { .. } => "kv-transfer-finished",
+            TraceEvent::BackupCreated { .. } => "backup-created",
+            TraceEvent::DecodeStarted { .. } => "decode-started",
+            TraceEvent::ReschedTriggered { .. } => "resched-triggered",
+            TraceEvent::MigrationStarted { .. } => "migration-started",
+            TraceEvent::MigrationPaused { .. } => "migration-paused",
+            TraceEvent::MigrationFinished { .. } => "migration-finished",
+            TraceEvent::Finished { .. } => "finished",
+            TraceEvent::StepStarted { .. } => "step-started",
+            TraceEvent::StepFinished { .. } => "step-finished",
+            TraceEvent::Autoscale { .. } => "autoscale",
+        }
+    }
+}
+
+/// A trace event stamped with its simulation time.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TimedEvent {
+    /// When the event happened.
+    pub at: SimTime,
+    /// What happened.
+    pub event: TraceEvent,
+}

@@ -1,0 +1,136 @@
+//! The collected trace of one run, with query and audit helpers.
+
+use crate::event::{DispatchDecision, TimedEvent, TraceEvent};
+use serde::{Deserialize, Serialize};
+use std::fmt::Write as _;
+use windserve_workload::RequestId;
+
+/// Every event recorded during one run, in simulation order.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct TraceLog {
+    events: Vec<TimedEvent>,
+}
+
+impl TraceLog {
+    /// Wraps recorded events (assumed already in recording order).
+    pub fn new(events: Vec<TimedEvent>) -> Self {
+        TraceLog { events }
+    }
+
+    /// The recorded events.
+    pub fn events(&self) -> &[TimedEvent] {
+        &self.events
+    }
+
+    /// Number of recorded events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True when nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Every event concerning `id`, in order.
+    pub fn for_request(&self, id: RequestId) -> Vec<&TimedEvent> {
+        self.events
+            .iter()
+            .filter(|e| e.event.request_id() == Some(id))
+            .collect()
+    }
+
+    /// Every Algorithm 1 decision, in order.
+    pub fn dispatch_decisions(&self) -> Vec<(&TimedEvent, &DispatchDecision)> {
+        self.events
+            .iter()
+            .filter_map(|e| match &e.event {
+                TraceEvent::Dispatch(d) => Some((e, d)),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Distinct request ids appearing in the log, ascending.
+    pub fn request_ids(&self) -> Vec<RequestId> {
+        let mut ids: Vec<RequestId> = self
+            .events
+            .iter()
+            .filter_map(|e| e.event.request_id())
+            .collect();
+        ids.sort_unstable();
+        ids.dedup();
+        ids
+    }
+
+    /// A human-readable scheduling audit: one line per event concerning
+    /// `id`, with decision inputs spelled out.
+    pub fn audit(&self, id: RequestId) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "scheduling audit for request {}", id.0);
+        for e in self.for_request(id) {
+            let t = e.at.as_secs_f64();
+            let line = match &e.event {
+                TraceEvent::Queued {
+                    prompt_tokens,
+                    output_tokens,
+                    inst,
+                    ..
+                } => format!("queued on inst {inst} (prompt {prompt_tokens}, output {output_tokens})"),
+                TraceEvent::Dispatch(d) => format!(
+                    "dispatch {}: ttft_pred {:.4}s vs thrd {:.4}s, slots {} for {} prompt tokens -> inst {}",
+                    d.verdict.label(),
+                    d.ttft_pred_secs,
+                    d.threshold_secs,
+                    d.slots_free,
+                    d.prompt_tokens,
+                    d.target,
+                ),
+                TraceEvent::PrefillStarted { inst, .. } => format!("prefill started on inst {inst}"),
+                TraceEvent::PrefillFinished { inst, .. } => {
+                    format!("prefill finished on inst {inst} (first token)")
+                }
+                TraceEvent::KvTransferStarted {
+                    src,
+                    dst,
+                    wire_bytes,
+                    full_bytes,
+                    overlapped,
+                    keep_backup,
+                    ..
+                } => format!(
+                    "kv handoff {src} -> {dst}: {wire_bytes} of {full_bytes} B on the wire \
+                     (overlapped {overlapped}, backup {keep_backup})"
+                ),
+                TraceEvent::KvTransferFinished { dst, .. } => {
+                    format!("kv handoff complete; queued for decode on inst {dst}")
+                }
+                TraceEvent::BackupCreated { inst, .. } => {
+                    format!("kv backup retained on inst {inst}")
+                }
+                TraceEvent::DecodeStarted { inst, .. } => format!("decode started on inst {inst}"),
+                TraceEvent::MigrationStarted {
+                    src,
+                    dst,
+                    context_tokens,
+                    bulk_tokens,
+                    backup_hit,
+                    ..
+                } => format!(
+                    "migration {src} -> {dst}: {context_tokens}-token context, \
+                     {bulk_tokens} bulk tokens (backup hit {backup_hit})"
+                ),
+                TraceEvent::MigrationPaused { tail_tokens, .. } => {
+                    format!("migration paused; flushing {tail_tokens}-token tail")
+                }
+                TraceEvent::MigrationFinished { dst, .. } => {
+                    format!("migration complete; resumed on inst {dst}")
+                }
+                TraceEvent::Finished { .. } => "finished".to_string(),
+                other => other.kind().to_string(),
+            };
+            let _ = writeln!(out, "  [{t:>10.6}s] {line}");
+        }
+        out
+    }
+}

@@ -1,0 +1,244 @@
+//! Trace sinks and the recorder handle threaded through the cluster.
+
+use crate::event::{TimedEvent, TraceEvent};
+use crate::log::TraceLog;
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+use windserve_sim::SimTime;
+
+/// How a run records its trace; lives in the serving configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum TraceMode {
+    /// No recording; tracing costs nothing.
+    #[default]
+    Off,
+    /// Keep only the most recent events (bounded memory) — enough for
+    /// post-mortems of the end of a long run.
+    Ring(usize),
+    /// Keep every event.
+    Full,
+}
+
+/// Destination for trace events.
+///
+/// Implementations decide retention; the [`Tracer`] guarantees that when
+/// [`TraceSink::enabled`] is `false`, event payloads are never even
+/// constructed.
+pub trait TraceSink: std::fmt::Debug {
+    /// Whether recording is on. The tracer skips payload construction
+    /// entirely when this returns `false`.
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    /// Records one event.
+    fn record(&mut self, event: TimedEvent);
+
+    /// Yields everything retained, in recording order, leaving the sink
+    /// empty.
+    fn drain(&mut self) -> Vec<TimedEvent> {
+        Vec::new()
+    }
+}
+
+/// The default sink: records nothing, costs nothing.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NullSink;
+
+impl TraceSink for NullSink {
+    fn enabled(&self) -> bool {
+        false
+    }
+
+    fn record(&mut self, _event: TimedEvent) {}
+}
+
+/// Keeps the last `capacity` events.
+#[derive(Debug, Clone, Default)]
+pub struct RingBufferSink {
+    capacity: usize,
+    events: VecDeque<TimedEvent>,
+}
+
+impl RingBufferSink {
+    /// A ring holding at most `capacity` events (zero capacity behaves
+    /// like [`NullSink`]).
+    pub fn new(capacity: usize) -> Self {
+        RingBufferSink {
+            capacity,
+            events: VecDeque::with_capacity(capacity.min(4096)),
+        }
+    }
+
+    /// Events currently retained.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True when nothing is retained.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+}
+
+impl TraceSink for RingBufferSink {
+    fn enabled(&self) -> bool {
+        self.capacity > 0
+    }
+
+    fn record(&mut self, event: TimedEvent) {
+        if self.capacity == 0 {
+            return;
+        }
+        if self.events.len() == self.capacity {
+            self.events.pop_front();
+        }
+        self.events.push_back(event);
+    }
+
+    fn drain(&mut self) -> Vec<TimedEvent> {
+        self.events.drain(..).collect()
+    }
+}
+
+/// Keeps every event.
+#[derive(Debug, Clone, Default)]
+pub struct CollectSink {
+    events: Vec<TimedEvent>,
+}
+
+impl CollectSink {
+    /// An empty collecting sink.
+    pub fn new() -> Self {
+        CollectSink::default()
+    }
+
+    /// Events recorded so far.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True when nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+}
+
+impl TraceSink for CollectSink {
+    fn record(&mut self, event: TimedEvent) {
+        self.events.push(event);
+    }
+
+    fn drain(&mut self) -> Vec<TimedEvent> {
+        std::mem::take(&mut self.events)
+    }
+}
+
+/// The recorder handle the cluster threads through its event loop.
+///
+/// [`Tracer::emit`] takes the payload as a closure so a disabled tracer
+/// costs one inlined boolean test per site — no formatting, no cloning,
+/// no allocation.
+#[derive(Debug)]
+pub struct Tracer {
+    sink: Box<dyn TraceSink>,
+}
+
+impl Default for Tracer {
+    fn default() -> Self {
+        Tracer::disabled()
+    }
+}
+
+impl Tracer {
+    /// A tracer writing into `sink`.
+    pub fn new(sink: Box<dyn TraceSink>) -> Self {
+        Tracer { sink }
+    }
+
+    /// A tracer that records nothing ([`NullSink`]).
+    pub fn disabled() -> Self {
+        Tracer::new(Box::new(NullSink))
+    }
+
+    /// A tracer retaining every event.
+    pub fn collecting() -> Self {
+        Tracer::new(Box::new(CollectSink::new()))
+    }
+
+    /// The tracer matching a [`TraceMode`].
+    pub fn for_mode(mode: TraceMode) -> Self {
+        match mode {
+            TraceMode::Off => Tracer::disabled(),
+            TraceMode::Ring(capacity) => Tracer::new(Box::new(RingBufferSink::new(capacity))),
+            TraceMode::Full => Tracer::collecting(),
+        }
+    }
+
+    /// Whether events are being recorded.
+    #[inline]
+    pub fn enabled(&self) -> bool {
+        self.sink.enabled()
+    }
+
+    /// Records the event built by `f` at time `at`; `f` never runs when
+    /// the tracer is disabled.
+    #[inline]
+    pub fn emit<F: FnOnce() -> TraceEvent>(&mut self, at: SimTime, f: F) {
+        if self.sink.enabled() {
+            self.sink.record(TimedEvent { at, event: f() });
+        }
+    }
+
+    /// Finishes recording and hands back the collected log.
+    pub fn finish(self) -> TraceLog {
+        let mut sink = self.sink;
+        TraceLog::new(sink.drain())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use windserve_workload::RequestId;
+
+    fn ev(id: u64) -> TraceEvent {
+        TraceEvent::Finished { id: RequestId(id) }
+    }
+
+    #[test]
+    fn null_sink_records_nothing_and_skips_payloads() {
+        let mut t = Tracer::disabled();
+        assert!(!t.enabled());
+        let mut built = false;
+        t.emit(SimTime::ZERO, || {
+            built = true;
+            ev(1)
+        });
+        assert!(!built, "payload closure must not run when disabled");
+        assert!(t.finish().is_empty());
+    }
+
+    #[test]
+    fn ring_keeps_only_the_tail() {
+        let mut t = Tracer::for_mode(TraceMode::Ring(2));
+        for i in 0..5 {
+            t.emit(SimTime::from_micros(i), || ev(i));
+        }
+        let log = t.finish();
+        assert_eq!(log.len(), 2);
+        assert_eq!(log.events()[0].event.request_id(), Some(RequestId(3)));
+        assert_eq!(log.events()[1].event.request_id(), Some(RequestId(4)));
+    }
+
+    #[test]
+    fn collecting_keeps_everything_in_order() {
+        let mut t = Tracer::for_mode(TraceMode::Full);
+        for i in 0..10 {
+            t.emit(SimTime::from_micros(i), || ev(i));
+        }
+        let log = t.finish();
+        assert_eq!(log.len(), 10);
+        assert!(log.events().windows(2).all(|w| w[0].at <= w[1].at));
+    }
+}

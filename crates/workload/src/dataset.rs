@@ -47,23 +47,30 @@ impl QuantileSampler {
     /// Returns an error unless the points start at quantile 0.0, end at
     /// 1.0, and are strictly increasing in quantile and non-decreasing in
     /// value, with all values ≥ 1.
-    pub fn new(points: Vec<(f64, f64)>) -> Result<Self, String> {
+    pub fn new(points: Vec<(f64, f64)>) -> crate::Result<Self> {
+        let invalid = |reason: String| crate::Error::InvalidSampler { reason };
         if points.len() < 2 {
-            return Err("need at least two control points".into());
+            return Err(invalid("need at least two control points".into()));
         }
         if points[0].0 != 0.0 || points[points.len() - 1].0 != 1.0 {
-            return Err("quantiles must span [0, 1]".into());
+            return Err(invalid("quantiles must span [0, 1]".into()));
         }
         for w in points.windows(2) {
             if w[1].0 <= w[0].0 {
-                return Err(format!("quantiles must increase: {} then {}", w[0].0, w[1].0));
+                return Err(invalid(format!(
+                    "quantiles must increase: {} then {}",
+                    w[0].0, w[1].0
+                )));
             }
             if w[1].1 < w[0].1 {
-                return Err(format!("values must not decrease: {} then {}", w[0].1, w[1].1));
+                return Err(invalid(format!(
+                    "values must not decrease: {} then {}",
+                    w[0].1, w[1].1
+                )));
             }
         }
         if points.iter().any(|&(_, v)| v < 1.0 || !v.is_finite()) {
-            return Err("token counts must be finite and >= 1".into());
+            return Err(invalid("token counts must be finite and >= 1".into()));
         }
         Ok(QuantileSampler { points })
     }

@@ -1,0 +1,27 @@
+//! Typed errors for workload synthesis.
+
+use std::fmt;
+
+/// Errors produced when constructing workload generators.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum Error {
+    /// The quantile control points do not describe a distribution.
+    InvalidSampler {
+        /// What is wrong with the control points.
+        reason: String,
+    },
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::InvalidSampler { reason } => write!(f, "invalid sampler: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Crate-local result alias.
+pub type Result<T> = std::result::Result<T, Error>;

@@ -32,10 +32,12 @@
 
 mod arrival;
 mod dataset;
+mod error;
 mod request;
 mod trace;
 
 pub use arrival::ArrivalProcess;
 pub use dataset::{Dataset, QuantileSampler};
+pub use error::{Error, Result};
 pub use request::{Request, RequestId};
 pub use trace::{LengthStats, Trace, TraceStats};

@@ -159,7 +159,14 @@ impl Trace {
         let requests = all
             .into_iter()
             .enumerate()
-            .map(|(i, r)| Request::new(RequestId(i as u64), r.arrival, r.prompt_tokens, r.output_tokens))
+            .map(|(i, r)| {
+                Request::new(
+                    RequestId(i as u64),
+                    r.arrival,
+                    r.prompt_tokens,
+                    r.output_tokens,
+                )
+            })
             .collect();
         Trace { requests }
     }
@@ -259,8 +266,12 @@ mod tests {
         assert_eq!(s.requests()[0].id, RequestId(0));
         assert_eq!(s.requests()[0].arrival, SimTime::ZERO);
         // Gaps are preserved.
-        let orig_gap = t.requests()[21].arrival.saturating_since(t.requests()[20].arrival);
-        let new_gap = s.requests()[1].arrival.saturating_since(s.requests()[0].arrival);
+        let orig_gap = t.requests()[21]
+            .arrival
+            .saturating_since(t.requests()[20].arrival);
+        let new_gap = s.requests()[1]
+            .arrival
+            .saturating_since(s.requests()[0].arrival);
         assert_eq!(orig_gap, new_gap);
     }
 
@@ -281,7 +292,12 @@ mod tests {
     fn merged_traces_are_time_ordered_supersets() {
         let d = Dataset::sharegpt(2048);
         let a = Trace::generate(&d, &ArrivalProcess::poisson(3.0), 50, 1);
-        let b = Trace::generate(&Dataset::longbench(2048), &ArrivalProcess::poisson(2.0), 30, 2);
+        let b = Trace::generate(
+            &Dataset::longbench(2048),
+            &ArrivalProcess::poisson(2.0),
+            30,
+            2,
+        );
         let m = a.merge(&b);
         assert_eq!(m.requests().len(), 80);
         for w in m.requests().windows(2) {

@@ -10,7 +10,7 @@ use windserve::{Cluster, Parallelism, ServeConfig, SystemKind};
 use windserve_examples::{parse_args, print_report};
 use windserve_workload::{ArrivalProcess, Dataset, Trace};
 
-fn main() -> Result<(), String> {
+fn main() -> windserve::Result<()> {
     let (rate, requests, seed) = parse_args(3.0, 1200);
 
     println!("### Fig 13a analogue: value of Stream-based Disaggregation ###\n");
@@ -40,7 +40,10 @@ fn main() -> Result<(), String> {
             seed,
         );
         let report = Cluster::new(cfg)?.run(&trace)?;
-        print_report(&format!("ShareGPT [TP-2, TP-1] @ {} req/s/GPU", rate + 1.0), &report);
+        print_report(
+            &format!("ShareGPT [TP-2, TP-1] @ {} req/s/GPU", rate + 1.0),
+            &report,
+        );
         println!();
     }
     Ok(())

@@ -9,7 +9,7 @@ use windserve::{Cluster, ServeConfig, SystemKind};
 use windserve_examples::{parse_args, print_report};
 use windserve_workload::{ArrivalProcess, Dataset, Trace};
 
-fn main() -> Result<(), String> {
+fn main() -> windserve::Result<()> {
     let (rate, requests, seed) = parse_args(4.0, 1500);
     let dataset = Dataset::sharegpt(2048);
     for system in [

@@ -12,7 +12,7 @@ use windserve_examples::{parse_args, print_report};
 use windserve_gpu::Topology;
 use windserve_workload::{ArrivalProcess, Dataset, Trace};
 
-fn main() -> Result<(), String> {
+fn main() -> windserve::Result<()> {
     let (rate, requests, seed) = parse_args(3.5, 1600);
     let dataset = Dataset::sharegpt(2048);
     for (label, replicas, topo) in [

@@ -12,7 +12,7 @@ use windserve::{Cluster, ServeConfig, SystemKind};
 use windserve_examples::{parse_args, print_report};
 use windserve_workload::{ArrivalProcess, Dataset, Trace};
 
-fn main() -> Result<(), String> {
+fn main() -> windserve::Result<()> {
     let (rate, requests, seed) = parse_args(2.0, 800);
     for system in [SystemKind::WindServe, SystemKind::DistServe] {
         let cfg = ServeConfig::opt_13b_sharegpt(system);

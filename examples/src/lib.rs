@@ -9,10 +9,16 @@ use windserve::RunReport;
 pub fn parse_args(default_rate: f64, default_requests: usize) -> (f64, usize, u64) {
     let args: Vec<String> = std::env::args().collect();
     let get = |flag: &str| -> Option<String> {
-        args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1).cloned())
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|i| args.get(i + 1).cloned())
     };
-    let rate = get("--rate").and_then(|v| v.parse().ok()).unwrap_or(default_rate);
-    let requests = get("--requests").and_then(|v| v.parse().ok()).unwrap_or(default_requests);
+    let rate = get("--rate")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default_rate);
+    let requests = get("--requests")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default_requests);
     let seed = get("--seed").and_then(|v| v.parse().ok()).unwrap_or(0xACE);
     (rate, requests, seed)
 }
@@ -21,17 +27,40 @@ pub fn parse_args(default_rate: f64, default_requests: usize) -> (f64, usize, u6
 pub fn print_report(label: &str, report: &RunReport) {
     println!("--- {label} [{}] ---", report.system.label());
     println!("  completed          : {}", report.summary.completed);
-    println!("  TTFT p50 / p99     : {:.3}s / {:.3}s", report.summary.ttft.p50, report.summary.ttft.p99);
-    println!("  TPOT p90 / p99     : {:.4}s / {:.4}s", report.summary.tpot.p90, report.summary.tpot.p99);
-    println!("  SLO attainment     : {:.1}% (ttft {:.1}%, tpot {:.1}%)",
-        report.summary.slo.both * 100.0, report.summary.slo.ttft * 100.0, report.summary.slo.tpot * 100.0);
+    println!(
+        "  TTFT p50 / p99     : {:.3}s / {:.3}s",
+        report.summary.ttft.p50, report.summary.ttft.p99
+    );
+    println!(
+        "  TPOT p90 / p99     : {:.4}s / {:.4}s",
+        report.summary.tpot.p90, report.summary.tpot.p99
+    );
+    println!(
+        "  SLO attainment     : {:.1}% (ttft {:.1}%, tpot {:.1}%)",
+        report.summary.slo.both * 100.0,
+        report.summary.slo.ttft * 100.0,
+        report.summary.slo.tpot * 100.0
+    );
     println!("  dispatched prefills: {}", report.dispatched_prefills);
-    println!("  migrations         : {} started, {} completed", report.migrations_started, report.migrations_completed);
+    println!(
+        "  migrations         : {} started, {} completed",
+        report.migrations_started, report.migrations_completed
+    );
     println!("  swap-outs          : {}", report.total_swap_outs());
-    println!("  KV moved           : {:.2} GiB", report.kv_bytes_transferred as f64 / (1u64 << 30) as f64);
+    println!(
+        "  KV moved           : {:.2} GiB",
+        report.kv_bytes_transferred as f64 / (1u64 << 30) as f64
+    );
     for inst in &report.instances {
-        println!("  [{}] compute {:.0}%, mem-bw {:.0}%, steps p/d/h/aux = {}/{}/{}/{}",
-            inst.name, inst.utilization.compute * 100.0, inst.utilization.bandwidth * 100.0,
-            inst.prefill_steps, inst.decode_steps, inst.hybrid_steps, inst.aux_steps);
+        println!(
+            "  [{}] compute {:.0}%, mem-bw {:.0}%, steps p/d/h/aux = {}/{}/{}/{}",
+            inst.name,
+            inst.utilization.compute * 100.0,
+            inst.utilization.bandwidth * 100.0,
+            inst.prefill_steps,
+            inst.decode_steps,
+            inst.hybrid_steps,
+            inst.aux_steps
+        );
     }
 }

@@ -10,7 +10,7 @@ use windserve::{Cluster, ServeConfig, SystemKind};
 use windserve_examples::{parse_args, print_report};
 use windserve_workload::{ArrivalProcess, Dataset, Trace};
 
-fn main() -> Result<(), String> {
+fn main() -> windserve::Result<()> {
     let (rate, requests, seed) = parse_args(1.25, 1000);
     let dataset = Dataset::longbench(4096);
     for system in [SystemKind::WindServe, SystemKind::DistServe] {

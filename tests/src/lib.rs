@@ -9,18 +9,31 @@ use windserve_workload::{ArrivalProcess, Dataset, Trace};
 
 /// Builds a ShareGPT-like trace at `total_rate` req/s.
 pub fn sharegpt_trace(total_rate: f64, n: usize, seed: u64) -> Trace {
-    Trace::generate(&Dataset::sharegpt(2048), &ArrivalProcess::poisson(total_rate), n, seed)
+    Trace::generate(
+        &Dataset::sharegpt(2048),
+        &ArrivalProcess::poisson(total_rate),
+        n,
+        seed,
+    )
 }
 
 /// Builds a LongBench-like trace at `total_rate` req/s.
 pub fn longbench_trace(total_rate: f64, n: usize, seed: u64) -> Trace {
-    Trace::generate(&Dataset::longbench(4096), &ArrivalProcess::poisson(total_rate), n, seed)
+    Trace::generate(
+        &Dataset::longbench(4096),
+        &ArrivalProcess::poisson(total_rate),
+        n,
+        seed,
+    )
 }
 
 /// Runs a config against a trace, panicking on any error (integration
 /// tests want loud failures).
 pub fn run(cfg: ServeConfig, trace: &Trace) -> RunReport {
-    Cluster::new(cfg).expect("config must be valid").run(trace).expect("run must complete")
+    Cluster::new(cfg)
+        .expect("config must be valid")
+        .run(trace)
+        .expect("run must complete")
 }
 
 /// Asserts `a <= b * factor` with a readable message.

@@ -39,12 +39,17 @@ fn migrated_requests_are_marked_and_complete() {
     cfg.decode_parallelism = Parallelism::tp(1);
     let trace = sharegpt_trace(9.0, 800, 33);
     let report = run(cfg, &trace);
-    assert!(report.migrations_started > 0, "point must trigger migrations");
+    assert!(
+        report.migrations_started > 0,
+        "point must trigger migrations"
+    );
     let migrated = report.records.iter().filter(|r| r.migrations > 0).count() as u64;
     assert!(migrated > 0);
     assert!(migrated <= report.migrations_started);
-    assert_eq!(report.migrations_completed + (report.migrations_started - report.migrations_completed),
-               report.migrations_started);
+    assert_eq!(
+        report.migrations_completed + (report.migrations_started - report.migrations_completed),
+        report.migrations_started
+    );
 }
 
 #[test]

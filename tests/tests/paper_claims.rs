@@ -31,7 +31,10 @@ fn windserve_tpot_stays_within_slo_under_dispatch() {
     let cfg = ServeConfig::opt_13b_sharegpt(SystemKind::WindServe);
     let slo_tpot = cfg.slo.tpot.as_secs_f64();
     let wind = run(cfg, &trace);
-    assert!(wind.dispatched_prefills > 0, "the test point must exercise dispatch");
+    assert!(
+        wind.dispatched_prefills > 0,
+        "the test point must exercise dispatch"
+    );
     assert!(
         wind.summary.tpot.p90 <= slo_tpot,
         "TPOT p90 {} exceeds the SLO {}",
@@ -47,7 +50,10 @@ fn slo_attainment_ordering_at_high_load() {
     let trace = sharegpt_trace(16.0, 1200, 23);
     let wind = run(ServeConfig::opt_13b_sharegpt(SystemKind::WindServe), &trace);
     let dist = run(ServeConfig::opt_13b_sharegpt(SystemKind::DistServe), &trace);
-    let vllm = run(ServeConfig::opt_13b_sharegpt(SystemKind::VllmColocated), &trace);
+    let vllm = run(
+        ServeConfig::opt_13b_sharegpt(SystemKind::VllmColocated),
+        &trace,
+    );
     assert!(
         wind.summary.slo.both > dist.summary.slo.both,
         "wind {} vs dist {}",
@@ -69,8 +75,14 @@ fn slo_attainment_ordering_at_high_load() {
 #[test]
 fn summarization_ttft_advantage() {
     let trace = longbench_trace(5.0, 700, 24); // 1.25 req/s/GPU
-    let wind = run(ServeConfig::llama2_13b_longbench(SystemKind::WindServe), &trace);
-    let dist = run(ServeConfig::llama2_13b_longbench(SystemKind::DistServe), &trace);
+    let wind = run(
+        ServeConfig::llama2_13b_longbench(SystemKind::WindServe),
+        &trace,
+    );
+    let dist = run(
+        ServeConfig::llama2_13b_longbench(SystemKind::DistServe),
+        &trace,
+    );
     // Paper: 1.65-2.1x median TTFT reduction.
     assert!(
         wind.summary.ttft.p50 * 1.65 < dist.summary.ttft.p50,
@@ -93,7 +105,10 @@ fn rescheduling_protects_tpot_p99() {
     };
     let wind = run(mk(SystemKind::WindServe), &trace);
     let dist = run(mk(SystemKind::DistServe), &trace);
-    assert!(dist.total_swap_outs() > 0, "test point must pressure memory");
+    assert!(
+        dist.total_swap_outs() > 0,
+        "test point must pressure memory"
+    );
     assert_at_most(
         "tpot p99 with rescheduling",
         wind.summary.tpot.p99 * 1.5,
@@ -109,7 +124,10 @@ fn rescheduling_protects_tpot_p99() {
 fn colocated_tpot_premium() {
     let trace = sharegpt_trace(8.0, 800, 26); // 2 req/s/GPU
     let dist = run(ServeConfig::opt_13b_sharegpt(SystemKind::DistServe), &trace);
-    let vllm = run(ServeConfig::opt_13b_sharegpt(SystemKind::VllmColocated), &trace);
+    let vllm = run(
+        ServeConfig::opt_13b_sharegpt(SystemKind::VllmColocated),
+        &trace,
+    );
     assert!(
         vllm.summary.tpot.p99 > dist.summary.tpot.p99,
         "vllm {} vs dist {}",

@@ -1,0 +1,485 @@
+//! Offline stand-in for the `serde` facade.
+//!
+//! The build environment has no access to crates.io, so this vendored crate
+//! provides the subset of serde the workspace actually uses: the
+//! [`Serialize`]/[`Deserialize`] traits (defined over an owned JSON-style
+//! [`value::Value`] tree rather than serde's visitor architecture) and the
+//! `#[derive(Serialize, Deserialize)]` macros re-exported from
+//! `serde_derive`. The API is intentionally source-compatible with the real
+//! serde for every call site in this workspace; swapping the real crates
+//! back in requires only a `Cargo.toml` change.
+//!
+//! Determinism note: map serialization sorts non-ordered map keys
+//! (`HashMap`) so that serializing the same data always yields the same
+//! bytes — a property the trace layer's golden tests rely on.
+
+pub mod value;
+
+pub mod de {
+    //! Deserialization error type.
+
+    /// Error produced when a value tree cannot be decoded into a type.
+    #[derive(Debug, Clone)]
+    pub struct Error {
+        msg: String,
+    }
+
+    impl Error {
+        /// Creates an error with a custom message.
+        pub fn custom(msg: impl std::fmt::Display) -> Self {
+            Error { msg: msg.to_string() }
+        }
+    }
+
+    impl std::fmt::Display for Error {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            write!(f, "{}", self.msg)
+        }
+    }
+
+    impl std::error::Error for Error {}
+}
+
+pub mod ser {
+    //! Serialization error type (serialization into a value tree cannot
+    //! fail, but the signature mirrors serde's for compatibility).
+
+    /// Error produced during serialization. Never constructed in practice.
+    #[derive(Debug, Clone)]
+    pub struct Error {
+        msg: String,
+    }
+
+    impl Error {
+        /// Creates an error with a custom message.
+        pub fn custom(msg: impl std::fmt::Display) -> Self {
+            Error { msg: msg.to_string() }
+        }
+    }
+
+    impl std::fmt::Display for Error {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            write!(f, "{}", self.msg)
+        }
+    }
+
+    impl std::error::Error for Error {}
+}
+
+use value::{Map, Number, Value};
+
+/// A type that can be serialized into a [`Value`] tree.
+pub trait Serialize {
+    /// Converts `self` into an owned value tree.
+    fn serialize_value(&self) -> Value;
+}
+
+/// A type that can be reconstructed from a [`Value`] tree.
+pub trait Deserialize: Sized {
+    /// Decodes a value tree into `Self`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`de::Error`] describing the first structural mismatch.
+    fn deserialize_value(v: &Value) -> Result<Self, de::Error>;
+}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+// ---------------------------------------------------------------------------
+// Serialize impls
+// ---------------------------------------------------------------------------
+
+macro_rules! ser_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize_value(&self) -> Value {
+                Value::Number(Number::from_u64(*self as u64))
+            }
+        }
+    )*};
+}
+ser_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! ser_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize_value(&self) -> Value {
+                let v = *self as i64;
+                if v >= 0 {
+                    Value::Number(Number::from_u64(v as u64))
+                } else {
+                    Value::Number(Number::from_i64(v))
+                }
+            }
+        }
+    )*};
+}
+ser_int!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn serialize_value(&self) -> Value {
+        Value::Number(Number::from_f64(*self))
+    }
+}
+
+impl Serialize for f32 {
+    fn serialize_value(&self) -> Value {
+        Value::Number(Number::from_f64(*self as f64))
+    }
+}
+
+impl Serialize for bool {
+    fn serialize_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Serialize for String {
+    fn serialize_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl Serialize for str {
+    fn serialize_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl Serialize for char {
+    fn serialize_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl Serialize for () {
+    fn serialize_value(&self) -> Value {
+        Value::Null
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize_value(&self) -> Value {
+        (**self).serialize_value()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn serialize_value(&self) -> Value {
+        (**self).serialize_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize_value(&self) -> Value {
+        match self {
+            Some(x) => x.serialize_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for std::collections::VecDeque<T> {
+    fn serialize_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize_value).collect())
+    }
+}
+
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {
+    fn serialize_value(&self) -> Value {
+        Value::Array(vec![self.0.serialize_value(), self.1.serialize_value()])
+    }
+}
+
+impl<A: Serialize, B: Serialize, C: Serialize> Serialize for (A, B, C) {
+    fn serialize_value(&self) -> Value {
+        Value::Array(vec![
+            self.0.serialize_value(),
+            self.1.serialize_value(),
+            self.2.serialize_value(),
+        ])
+    }
+}
+
+/// Map keys serialize to JSON object keys (strings).
+pub trait SerializeKey {
+    /// The string form of this key.
+    fn serialize_key(&self) -> String;
+}
+
+/// Map keys that can be parsed back from JSON object keys.
+pub trait DeserializeKey: Sized {
+    /// Parses a key from its string form.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`de::Error`] if the string is not a valid key.
+    fn deserialize_key(s: &str) -> Result<Self, de::Error>;
+}
+
+macro_rules! key_via_parse {
+    ($($t:ty),*) => {$(
+        impl SerializeKey for $t {
+            fn serialize_key(&self) -> String { self.to_string() }
+        }
+        impl DeserializeKey for $t {
+            fn deserialize_key(s: &str) -> Result<Self, de::Error> {
+                s.parse().map_err(|_| de::Error::custom(format!(
+                    "invalid {} map key: {s:?}", stringify!($t)
+                )))
+            }
+        }
+    )*};
+}
+key_via_parse!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl SerializeKey for String {
+    fn serialize_key(&self) -> String {
+        self.clone()
+    }
+}
+impl DeserializeKey for String {
+    fn deserialize_key(s: &str) -> Result<Self, de::Error> {
+        Ok(s.to_string())
+    }
+}
+
+impl<K: SerializeKey, V: Serialize, S> Serialize for std::collections::HashMap<K, V, S> {
+    fn serialize_value(&self) -> Value {
+        // Sort keys: HashMap iteration order is nondeterministic and every
+        // serialization in this workspace must be byte-reproducible.
+        let mut entries: Vec<(String, Value)> = self
+            .iter()
+            .map(|(k, v)| (k.serialize_key(), v.serialize_value()))
+            .collect();
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        let mut m = Map::new();
+        for (k, v) in entries {
+            m.insert(k, v);
+        }
+        Value::Object(m)
+    }
+}
+
+impl<K: SerializeKey, V: Serialize> Serialize for std::collections::BTreeMap<K, V> {
+    fn serialize_value(&self) -> Value {
+        let mut m = Map::new();
+        for (k, v) in self {
+            m.insert(k.serialize_key(), v.serialize_value());
+        }
+        Value::Object(m)
+    }
+}
+
+impl Serialize for Value {
+    fn serialize_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Serialize for Map {
+    fn serialize_value(&self) -> Value {
+        Value::Object(self.clone())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Deserialize impls
+// ---------------------------------------------------------------------------
+
+macro_rules! de_uint {
+    ($($t:ty),*) => {$(
+        impl Deserialize for $t {
+            fn deserialize_value(v: &Value) -> Result<Self, de::Error> {
+                let n = v.as_u64().ok_or_else(|| {
+                    de::Error::custom(format!("expected unsigned integer, got {v}"))
+                })?;
+                <$t>::try_from(n).map_err(|_| {
+                    de::Error::custom(format!("integer {n} out of range for {}", stringify!($t)))
+                })
+            }
+        }
+    )*};
+}
+de_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! de_int {
+    ($($t:ty),*) => {$(
+        impl Deserialize for $t {
+            fn deserialize_value(v: &Value) -> Result<Self, de::Error> {
+                let n = v.as_i64().ok_or_else(|| {
+                    de::Error::custom(format!("expected integer, got {v}"))
+                })?;
+                <$t>::try_from(n).map_err(|_| {
+                    de::Error::custom(format!("integer {n} out of range for {}", stringify!($t)))
+                })
+            }
+        }
+    )*};
+}
+de_int!(i8, i16, i32, i64, isize);
+
+impl Deserialize for f64 {
+    fn deserialize_value(v: &Value) -> Result<Self, de::Error> {
+        v.as_f64()
+            .ok_or_else(|| de::Error::custom(format!("expected number, got {v}")))
+    }
+}
+
+impl Deserialize for f32 {
+    fn deserialize_value(v: &Value) -> Result<Self, de::Error> {
+        f64::deserialize_value(v).map(|x| x as f32)
+    }
+}
+
+impl Deserialize for bool {
+    fn deserialize_value(v: &Value) -> Result<Self, de::Error> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            other => Err(de::Error::custom(format!("expected bool, got {other}"))),
+        }
+    }
+}
+
+impl Deserialize for String {
+    fn deserialize_value(v: &Value) -> Result<Self, de::Error> {
+        match v {
+            Value::String(s) => Ok(s.clone()),
+            other => Err(de::Error::custom(format!("expected string, got {other}"))),
+        }
+    }
+}
+
+impl Deserialize for () {
+    fn deserialize_value(_v: &Value) -> Result<Self, de::Error> {
+        Ok(())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn deserialize_value(v: &Value) -> Result<Self, de::Error> {
+        T::deserialize_value(v).map(Box::new)
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn deserialize_value(v: &Value) -> Result<Self, de::Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::deserialize_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn deserialize_value(v: &Value) -> Result<Self, de::Error> {
+        let arr = v
+            .as_array()
+            .ok_or_else(|| de::Error::custom(format!("expected array, got {v}")))?;
+        arr.iter().map(T::deserialize_value).collect()
+    }
+}
+
+impl<T: Deserialize + std::fmt::Debug, const N: usize> Deserialize for [T; N] {
+    fn deserialize_value(v: &Value) -> Result<Self, de::Error> {
+        let items = Vec::<T>::deserialize_value(v)?;
+        let n = items.len();
+        <[T; N]>::try_from(items)
+            .map_err(|_| de::Error::custom(format!("expected {N} elements, got {n}")))
+    }
+}
+
+impl<T: Deserialize> Deserialize for std::collections::VecDeque<T> {
+    fn deserialize_value(v: &Value) -> Result<Self, de::Error> {
+        Vec::<T>::deserialize_value(v).map(Into::into)
+    }
+}
+
+impl<A: Deserialize, B: Deserialize> Deserialize for (A, B) {
+    fn deserialize_value(v: &Value) -> Result<Self, de::Error> {
+        let arr = v
+            .as_array()
+            .ok_or_else(|| de::Error::custom(format!("expected 2-tuple array, got {v}")))?;
+        if arr.len() != 2 {
+            return Err(de::Error::custom(format!("expected 2 elements, got {}", arr.len())));
+        }
+        Ok((A::deserialize_value(&arr[0])?, B::deserialize_value(&arr[1])?))
+    }
+}
+
+impl<A: Deserialize, B: Deserialize, C: Deserialize> Deserialize for (A, B, C) {
+    fn deserialize_value(v: &Value) -> Result<Self, de::Error> {
+        let arr = v
+            .as_array()
+            .ok_or_else(|| de::Error::custom(format!("expected 3-tuple array, got {v}")))?;
+        if arr.len() != 3 {
+            return Err(de::Error::custom(format!("expected 3 elements, got {}", arr.len())));
+        }
+        Ok((
+            A::deserialize_value(&arr[0])?,
+            B::deserialize_value(&arr[1])?,
+            C::deserialize_value(&arr[2])?,
+        ))
+    }
+}
+
+impl<K, V, S> Deserialize for std::collections::HashMap<K, V, S>
+where
+    K: DeserializeKey + std::hash::Hash + Eq,
+    V: Deserialize,
+    S: std::hash::BuildHasher + Default,
+{
+    fn deserialize_value(v: &Value) -> Result<Self, de::Error> {
+        let obj = v
+            .as_object()
+            .ok_or_else(|| de::Error::custom(format!("expected object, got {v}")))?;
+        let mut out = Self::default();
+        for (k, val) in obj.iter() {
+            out.insert(K::deserialize_key(k)?, V::deserialize_value(val)?);
+        }
+        Ok(out)
+    }
+}
+
+impl<K, V> Deserialize for std::collections::BTreeMap<K, V>
+where
+    K: DeserializeKey + Ord,
+    V: Deserialize,
+{
+    fn deserialize_value(v: &Value) -> Result<Self, de::Error> {
+        let obj = v
+            .as_object()
+            .ok_or_else(|| de::Error::custom(format!("expected object, got {v}")))?;
+        let mut out = Self::new();
+        for (k, val) in obj.iter() {
+            out.insert(K::deserialize_key(k)?, V::deserialize_value(val)?);
+        }
+        Ok(out)
+    }
+}
+
+impl Deserialize for Value {
+    fn deserialize_value(v: &Value) -> Result<Self, de::Error> {
+        Ok(v.clone())
+    }
+}

@@ -1,0 +1,440 @@
+//! `#[derive(Serialize, Deserialize)]` for the vendored serde stand-in.
+//!
+//! Implemented directly on `proc_macro::TokenStream` (the offline build has
+//! no `syn`/`quote`). Supports the shapes this workspace uses:
+//!
+//! - named-field structs (`Option<T>` fields tolerate missing keys),
+//! - tuple structs (arity 1 serializes transparently, like serde newtypes),
+//! - unit structs,
+//! - enums with unit, tuple, and struct variants (externally tagged:
+//!   unit variants serialize as strings, data variants as one-key objects).
+//!
+//! Generics are intentionally unsupported; deriving on a generic type is a
+//! compile error naming this limitation.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+struct Field {
+    name: String,
+    is_option: bool,
+}
+
+#[derive(Debug)]
+enum Shape {
+    NamedStruct(Vec<Field>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+#[derive(Debug)]
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<Field>),
+}
+
+struct Parsed {
+    name: String,
+    shape: Shape,
+}
+
+/// Derives `serde::Serialize`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_item(input);
+    gen_serialize(&parsed).parse().expect("generated Serialize impl parses")
+}
+
+/// Derives `serde::Deserialize`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_item(input);
+    gen_deserialize(&parsed).parse().expect("generated Deserialize impl parses")
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Parsed {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attrs_and_vis(&tokens, &mut i);
+    let kind = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde derive: expected `struct` or `enum`, found {other}"),
+    };
+    i += 1;
+    let name = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde derive: expected type name, found {other}"),
+    };
+    i += 1;
+    if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde derive (vendored): generic type `{name}` is not supported");
+    }
+    let shape = match kind.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::NamedStruct(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Shape::TupleStruct(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Shape::UnitStruct,
+            other => panic!("serde derive: unexpected struct body {other:?}"),
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Enum(parse_variants(g.stream()))
+            }
+            other => panic!("serde derive: unexpected enum body {other:?}"),
+        },
+        other => panic!("serde derive: cannot derive for `{other}` items"),
+    };
+    Parsed { name, shape }
+}
+
+fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) {
+    loop {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *i += 1; // '#'
+                if matches!(tokens.get(*i), Some(TokenTree::Group(_))) {
+                    *i += 1; // the [...] group
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if matches!(
+                    tokens.get(*i),
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+                ) {
+                    *i += 1; // pub(crate) and friends
+                }
+            }
+            _ => break,
+        }
+    }
+}
+
+/// Splits a token list on commas that sit outside every `<...>` nesting
+/// level (brackets/braces/parens are already grouped by the tokenizer).
+fn split_top_level_commas(tokens: &[TokenTree]) -> Vec<Vec<TokenTree>> {
+    let mut out = Vec::new();
+    let mut cur = Vec::new();
+    let mut angle = 0i32;
+    for t in tokens {
+        if let TokenTree::Punct(p) = t {
+            match p.as_char() {
+                '<' => angle += 1,
+                '>' => angle -= 1,
+                ',' if angle == 0 => {
+                    out.push(std::mem::take(&mut cur));
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        cur.push(t.clone());
+    }
+    if !cur.is_empty() {
+        out.push(cur);
+    }
+    out
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    for part in split_top_level_commas(&tokens) {
+        let mut i = 0;
+        skip_attrs_and_vis(&part, &mut i);
+        if i >= part.len() {
+            continue; // trailing comma
+        }
+        let name = match &part[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("serde derive: expected field name, found {other}"),
+        };
+        i += 1;
+        match &part[i] {
+            TokenTree::Punct(p) if p.as_char() == ':' => i += 1,
+            other => panic!("serde derive: expected `:` after field `{name}`, found {other}"),
+        }
+        let is_option = matches!(
+            part.get(i),
+            Some(TokenTree::Ident(id)) if id.to_string() == "Option"
+        );
+        fields.push(Field { name, is_option });
+    }
+    fields
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    split_top_level_commas(&tokens)
+        .into_iter()
+        .filter(|part| {
+            let mut i = 0;
+            skip_attrs_and_vis(part, &mut i);
+            i < part.len()
+        })
+        .count()
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    for part in split_top_level_commas(&tokens) {
+        let mut i = 0;
+        skip_attrs_and_vis(&part, &mut i);
+        if i >= part.len() {
+            continue;
+        }
+        let name = match &part[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("serde derive: expected variant name, found {other}"),
+        };
+        i += 1;
+        let kind = match part.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                VariantKind::Tuple(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                VariantKind::Struct(parse_named_fields(g.stream()))
+            }
+            _ => VariantKind::Unit, // unit variant (any `= discr` tail was split off)
+        };
+        variants.push(Variant { name, kind });
+    }
+    variants
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------------
+
+fn gen_serialize(p: &Parsed) -> String {
+    let name = &p.name;
+    let body = match &p.shape {
+        Shape::UnitStruct => "::serde::value::Value::Null".to_string(),
+        Shape::TupleStruct(1) => {
+            "::serde::Serialize::serialize_value(&self.0)".to_string()
+        }
+        Shape::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::serialize_value(&self.{i})"))
+                .collect();
+            format!("::serde::value::Value::Array(vec![{}])", items.join(", "))
+        }
+        Shape::NamedStruct(fields) => {
+            let mut s = String::from("let mut m = ::serde::value::Map::new();\n");
+            for f in fields {
+                s.push_str(&format!(
+                    "m.insert(\"{0}\", ::serde::Serialize::serialize_value(&self.{0}));\n",
+                    f.name
+                ));
+            }
+            s.push_str("::serde::value::Value::Object(m)");
+            s
+        }
+        Shape::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => arms.push_str(&format!(
+                        "{name}::{vn} => ::serde::value::Value::String(\"{vn}\".to_string()),\n"
+                    )),
+                    VariantKind::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("a{i}")).collect();
+                        let payload = if *n == 1 {
+                            "::serde::Serialize::serialize_value(a0)".to_string()
+                        } else {
+                            let items: Vec<String> = binds
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::serialize_value({b})"))
+                                .collect();
+                            format!("::serde::value::Value::Array(vec![{}])", items.join(", "))
+                        };
+                        arms.push_str(&format!(
+                            "{name}::{vn}({binds}) => {{\n\
+                             let mut m = ::serde::value::Map::new();\n\
+                             m.insert(\"{vn}\", {payload});\n\
+                             ::serde::value::Value::Object(m)\n}}\n",
+                            binds = binds.join(", ")
+                        ));
+                    }
+                    VariantKind::Struct(fields) => {
+                        let binds: Vec<String> = fields.iter().map(|f| f.name.clone()).collect();
+                        let mut inner =
+                            String::from("let mut fm = ::serde::value::Map::new();\n");
+                        for f in fields {
+                            inner.push_str(&format!(
+                                "fm.insert(\"{0}\", ::serde::Serialize::serialize_value({0}));\n",
+                                f.name
+                            ));
+                        }
+                        arms.push_str(&format!(
+                            "{name}::{vn} {{ {binds} }} => {{\n{inner}\
+                             let mut m = ::serde::value::Map::new();\n\
+                             m.insert(\"{vn}\", ::serde::value::Value::Object(fm));\n\
+                             ::serde::value::Value::Object(m)\n}}\n",
+                            binds = binds.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!(
+                "#[allow(unreachable_patterns)]\nmatch self {{\n{arms}\n\
+                 _ => ::serde::value::Value::Null,\n}}"
+            )
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Serialize for {name} {{\n\
+         fn serialize_value(&self) -> ::serde::value::Value {{\n{body}\n}}\n}}\n"
+    )
+}
+
+fn gen_deserialize(p: &Parsed) -> String {
+    let name = &p.name;
+    let body = match &p.shape {
+        Shape::UnitStruct => format!("::std::result::Result::Ok({name})"),
+        Shape::TupleStruct(1) => format!(
+            "::std::result::Result::Ok({name}(::serde::Deserialize::deserialize_value(v)?))"
+        ),
+        Shape::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::deserialize_value(&arr[{i}])?"))
+                .collect();
+            format!(
+                "let arr = v.as_array().ok_or_else(|| ::serde::de::Error::custom(\
+                 \"{name}: expected array\"))?;\n\
+                 if arr.len() != {n} {{\n\
+                 return ::std::result::Result::Err(::serde::de::Error::custom(\
+                 \"{name}: expected {n} elements\"));\n}}\n\
+                 ::std::result::Result::Ok({name}({items}))",
+                items = items.join(", ")
+            )
+        }
+        Shape::NamedStruct(fields) => {
+            let mut inits = String::new();
+            for f in fields {
+                let missing = if f.is_option {
+                    "::std::option::Option::None".to_string()
+                } else {
+                    format!(
+                        "return ::std::result::Result::Err(::serde::de::Error::custom(\
+                         \"{name}: missing field `{}`\"))",
+                        f.name
+                    )
+                };
+                inits.push_str(&format!(
+                    "{0}: match obj.get(\"{0}\") {{\n\
+                     ::std::option::Option::Some(x) => ::serde::Deserialize::deserialize_value(x)?,\n\
+                     ::std::option::Option::None => {missing},\n}},\n",
+                    f.name
+                ));
+            }
+            format!(
+                "let obj = v.as_object().ok_or_else(|| ::serde::de::Error::custom(\
+                 \"{name}: expected object\"))?;\n\
+                 ::std::result::Result::Ok({name} {{\n{inits}}})"
+            )
+        }
+        Shape::Enum(variants) => {
+            let mut unit_arms = String::new();
+            let mut data_arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => unit_arms.push_str(&format!(
+                        "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}),\n"
+                    )),
+                    VariantKind::Tuple(1) => data_arms.push_str(&format!(
+                        "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}(\
+                         ::serde::Deserialize::deserialize_value(payload)?)),\n"
+                    )),
+                    VariantKind::Tuple(n) => {
+                        let items: Vec<String> = (0..*n)
+                            .map(|i| {
+                                format!("::serde::Deserialize::deserialize_value(&arr[{i}])?")
+                            })
+                            .collect();
+                        data_arms.push_str(&format!(
+                            "\"{vn}\" => {{\n\
+                             let arr = payload.as_array().ok_or_else(|| \
+                             ::serde::de::Error::custom(\"{name}::{vn}: expected array\"))?;\n\
+                             if arr.len() != {n} {{\n\
+                             return ::std::result::Result::Err(::serde::de::Error::custom(\
+                             \"{name}::{vn}: expected {n} elements\"));\n}}\n\
+                             ::std::result::Result::Ok({name}::{vn}({items}))\n}}\n",
+                            items = items.join(", ")
+                        ));
+                    }
+                    VariantKind::Struct(fields) => {
+                        let mut inits = String::new();
+                        for f in fields {
+                            let missing = if f.is_option {
+                                "::std::option::Option::None".to_string()
+                            } else {
+                                format!(
+                                    "return ::std::result::Result::Err(\
+                                     ::serde::de::Error::custom(\
+                                     \"{name}::{vn}: missing field `{}`\"))",
+                                    f.name
+                                )
+                            };
+                            inits.push_str(&format!(
+                                "{0}: match fobj.get(\"{0}\") {{\n\
+                                 ::std::option::Option::Some(x) => \
+                                 ::serde::Deserialize::deserialize_value(x)?,\n\
+                                 ::std::option::Option::None => {missing},\n}},\n",
+                                f.name
+                            ));
+                        }
+                        data_arms.push_str(&format!(
+                            "\"{vn}\" => {{\n\
+                             let fobj = payload.as_object().ok_or_else(|| \
+                             ::serde::de::Error::custom(\"{name}::{vn}: expected object\"))?;\n\
+                             ::std::result::Result::Ok({name}::{vn} {{\n{inits}}})\n}}\n"
+                        ));
+                    }
+                }
+            }
+            format!(
+                "match v {{\n\
+                 ::serde::value::Value::String(s) => match s.as_str() {{\n{unit_arms}\
+                 other => ::std::result::Result::Err(::serde::de::Error::custom(\
+                 format!(\"{name}: unknown variant {{other:?}}\"))),\n}},\n\
+                 ::serde::value::Value::Object(m) => {{\n\
+                 let (tag, payload) = m.iter().next().ok_or_else(|| \
+                 ::serde::de::Error::custom(\"{name}: empty object\"))?;\n\
+                 #[allow(unused_variables)]\n\
+                 match tag.as_str() {{\n{data_arms}\
+                 other => ::std::result::Result::Err(::serde::de::Error::custom(\
+                 format!(\"{name}: unknown variant {{other:?}}\"))),\n}}\n}},\n\
+                 other => ::std::result::Result::Err(::serde::de::Error::custom(\
+                 format!(\"{name}: expected string or object, got {{other}}\"))),\n}}"
+            )
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Deserialize for {name} {{\n\
+         fn deserialize_value(v: &::serde::value::Value) -> \
+         ::std::result::Result<Self, ::serde::de::Error> {{\n\
+         #[allow(unused_variables)]\nlet _ = v;\n{body}\n}}\n}}\n"
+    )
+}

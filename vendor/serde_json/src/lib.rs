@@ -1,0 +1,170 @@
+//! Offline stand-in for `serde_json`, backed by the vendored serde crate's
+//! value tree. Provides the workspace's used surface: [`Value`], [`Map`],
+//! [`Number`], [`json!`], [`to_value`], [`to_string`], [`to_string_pretty`]
+//! and [`from_str`].
+
+pub use serde::value::{Map, Number, Value};
+
+/// Error for JSON serialization/deserialization.
+#[derive(Debug, Clone)]
+pub struct Error {
+    msg: String,
+}
+
+impl Error {
+    fn new(msg: impl Into<String>) -> Self {
+        Error { msg: msg.into() }
+    }
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Converts any serializable value into a [`Value`] tree.
+pub fn to_value<T: serde::Serialize + ?Sized>(value: &T) -> Value {
+    value.serialize_value()
+}
+
+/// Serializes to compact JSON text.
+///
+/// # Errors
+///
+/// Never fails with the vendored value-tree backend; the `Result` mirrors
+/// serde_json's signature.
+pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(value.serialize_value().to_string())
+}
+
+/// Serializes to pretty-printed JSON text (2-space indent).
+///
+/// # Errors
+///
+/// Never fails with the vendored value-tree backend.
+pub fn to_string_pretty<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(value.serialize_value().pretty())
+}
+
+/// Parses JSON text into any deserializable type.
+///
+/// # Errors
+///
+/// Reports the first syntax error (with byte offset) or structural mismatch.
+pub fn from_str<T: serde::Deserialize>(text: &str) -> Result<T, Error> {
+    let value = serde::value::parse(text).map_err(Error::new)?;
+    T::deserialize_value(&value).map_err(|e| Error::new(e.to_string()))
+}
+
+/// Builds a [`Value`] from JSON-like syntax, interpolating expressions.
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    ([ $($tt:tt)* ]) => { $crate::json_array!([$($tt)*]) };
+    ({ $($tt:tt)* }) => { $crate::json_object!({$($tt)*}) };
+    ($other:expr) => { $crate::to_value(&$other) };
+}
+
+/// Internal: array form of [`json!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! json_array {
+    ([]) => { $crate::Value::Array(vec![]) };
+    ([ $($tt:tt)+ ]) => {{
+        let mut items: Vec<$crate::Value> = Vec::new();
+        $crate::json_array_inner!(items, () ($($tt)+));
+        $crate::Value::Array(items)
+    }};
+}
+
+/// Internal muncher for array elements: accumulates one element's tokens
+/// until a top-level comma.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! json_array_inner {
+    ($items:ident, () ()) => {};
+    ($items:ident, () ({ $($inner:tt)* } , $($rest:tt)*)) => {
+        $items.push($crate::json!({ $($inner)* }));
+        $crate::json_array_inner!($items, () ($($rest)*));
+    };
+    ($items:ident, () ({ $($inner:tt)* })) => {
+        $items.push($crate::json!({ $($inner)* }));
+    };
+    ($items:ident, () ([ $($inner:tt)* ] , $($rest:tt)*)) => {
+        $items.push($crate::json!([ $($inner)* ]));
+        $crate::json_array_inner!($items, () ($($rest)*));
+    };
+    ($items:ident, () ([ $($inner:tt)* ])) => {
+        $items.push($crate::json!([ $($inner)* ]));
+    };
+    ($items:ident, ($($acc:tt)+) (, $($rest:tt)*)) => {
+        $items.push($crate::to_value(&($($acc)+)));
+        $crate::json_array_inner!($items, () ($($rest)*));
+    };
+    ($items:ident, ($($acc:tt)+) ()) => {
+        $items.push($crate::to_value(&($($acc)+)));
+    };
+    ($items:ident, ($($acc:tt)*) ($next:tt $($rest:tt)*)) => {
+        $crate::json_array_inner!($items, ($($acc)* $next) ($($rest)*));
+    };
+}
+
+/// Internal: object form of [`json!`]. A TT muncher that accumulates the
+/// expression tokens of each value until a top-level comma.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! json_object {
+    ({}) => { $crate::Value::Object($crate::Map::new()) };
+    ({ $($tt:tt)+ }) => {{
+        let mut map = $crate::Map::new();
+        $crate::json_object_inner!(map, () ($($tt)+));
+        $crate::Value::Object(map)
+    }};
+}
+
+/// Internal muncher: `json_object_inner!(map, (value-tokens-so-far) (rest))`.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! json_object_inner {
+    // Terminal: nothing left.
+    ($map:ident, () ()) => {};
+    // Start of an entry: "key" : ...
+    ($map:ident, () ($key:literal : $($rest:tt)*)) => {
+        $crate::json_object_value!($map, $key, () ($($rest)*));
+    };
+}
+
+/// Internal muncher accumulating one value's tokens until a top-level comma.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! json_object_value {
+    // Nested object or array value followed by , or end — delegate to json!.
+    ($map:ident, $key:literal, () ({ $($inner:tt)* } , $($rest:tt)*)) => {
+        $map.insert($key, $crate::json!({ $($inner)* }));
+        $crate::json_object_inner!($map, () ($($rest)*));
+    };
+    ($map:ident, $key:literal, () ({ $($inner:tt)* })) => {
+        $map.insert($key, $crate::json!({ $($inner)* }));
+    };
+    ($map:ident, $key:literal, () ([ $($inner:tt)* ] , $($rest:tt)*)) => {
+        $map.insert($key, $crate::json!([ $($inner)* ]));
+        $crate::json_object_inner!($map, () ($($rest)*));
+    };
+    ($map:ident, $key:literal, () ([ $($inner:tt)* ])) => {
+        $map.insert($key, $crate::json!([ $($inner)* ]));
+    };
+    // General expression: accumulate tokens until a comma.
+    ($map:ident, $key:literal, ($($acc:tt)+) (, $($rest:tt)*)) => {
+        $map.insert($key, $crate::to_value(&($($acc)+)));
+        $crate::json_object_inner!($map, () ($($rest)*));
+    };
+    ($map:ident, $key:literal, ($($acc:tt)+) ()) => {
+        $map.insert($key, $crate::to_value(&($($acc)+)));
+    };
+    ($map:ident, $key:literal, ($($acc:tt)*) ($next:tt $($rest:tt)*)) => {
+        $crate::json_object_value!($map, $key, ($($acc)* $next) ($($rest)*));
+    };
+}
