@@ -20,6 +20,7 @@ fn main() {
         ("fig12_bottleneck", experiments::fig12::run),
         ("fig13_ablation", experiments::fig13::run),
         ("extras", experiments::extras::run),
+        ("faults", experiments::faults::run),
     ];
     let mut all = serde_json::Map::new();
     for (name, f) in runs {

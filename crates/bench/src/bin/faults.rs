@@ -1,0 +1,9 @@
+//! Degraded-mode study: goodput and latency tails under injected faults
+//! (replica crashes, flaky transfers, degraded links) vs the fault-free run.
+use windserve_bench::{experiments, ExpContext};
+
+fn main() {
+    let ctx = ExpContext::from_args();
+    let data = experiments::faults::run(&ctx);
+    ctx.emit("faults", &data);
+}

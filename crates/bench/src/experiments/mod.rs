@@ -4,6 +4,7 @@
 
 pub mod e2e;
 pub mod extras;
+pub mod faults;
 pub mod fig1;
 pub mod fig12;
 pub mod fig13;

@@ -3,7 +3,8 @@
 use crate::args::{ArgError, Args};
 use crate::build::{dataset_by_name, preset_by_name, system_by_name, RunSpec};
 use crate::render;
-use windserve::{Cluster, RequestId, RunReport, TraceMode};
+use windserve::{Cluster, FaultPlan, RequestId, RunReport, TraceMode};
+use windserve_sim::SimDuration;
 use windserve_workload::{ArrivalProcess, Trace};
 
 /// Runs one serving simulation and prints (or JSON-dumps) the report.
@@ -119,6 +120,95 @@ pub fn trace(args: &Args) -> Result<String, ArgError> {
     Ok(out)
 }
 
+/// Runs the same workload with and without an injected fault plan and
+/// prints the degradation: goodput, latency tails, and the recovery
+/// actions the cluster took (reschedules, retries, backup hits).
+///
+/// # Errors
+///
+/// Reports invalid flags or a failed simulation.
+pub fn faults(args: &Args) -> Result<String, ArgError> {
+    let base = RunSpec::from_args(args)?;
+    let preset = args.get("preset").unwrap_or("decode-crash");
+    let fault_seed = args.get_or("fault-seed", base.seed)?;
+    // Faults are placed relative to the expected span of the arrival
+    // schedule so crash/recover land mid-run at any --rate/--requests.
+    let horizon =
+        SimDuration::from_secs_f64(base.requests as f64 / base.arrivals.mean_rate().max(1e-9));
+    // Disaggregated deployments order instances prefill-first; the first
+    // decode replica sits right after them. Colocated replicas all serve
+    // both phases, so replica 0 stands in for either preset.
+    let first_decode = if base.config.system.colocated() {
+        0
+    } else {
+        base.config.prefill_replicas as u32
+    };
+    let plan = match preset {
+        "decode-crash" => FaultPlan::replica_crash(first_decode, horizon, fault_seed),
+        "prefill-crash" => FaultPlan::replica_crash(0, horizon, fault_seed),
+        "flaky-transfers" => FaultPlan::flaky_transfers(fault_seed),
+        "degraded-link" => FaultPlan::degraded_link(horizon, fault_seed),
+        "chaos" => FaultPlan::chaos(first_decode, horizon, fault_seed),
+        other => {
+            return Err(ArgError(format!(
+                "unknown fault preset {other:?}; try decode-crash, prefill-crash, \
+                 flaky-transfers, degraded-link, chaos"
+            )))
+        }
+    };
+    let trace = Trace::generate(&base.dataset, &base.arrivals, base.requests, base.seed);
+    let run_with = |config: windserve::ServeConfig| -> Result<RunReport, ArgError> {
+        Cluster::new(config)
+            .map_err(|e| ArgError(format!("config: {e}")))?
+            .run(&trace)
+            .map_err(|e| ArgError(format!("simulation: {e}")))
+    };
+    let baseline = run_with(base.config.clone())?;
+    let mut faulted_cfg = base.config.clone();
+    faulted_cfg.faults = Some(plan);
+    let faulted = run_with(faulted_cfg)?;
+    if args.switch("json") {
+        return serde_json::to_string_pretty(&serde_json::json!({
+            "preset": preset,
+            "fault_seed": fault_seed,
+            "baseline": baseline,
+            "faulted": faulted,
+        }))
+        .map_err(|e| ArgError(format!("serialize: {e}")));
+    }
+    let mut out = format!(
+        "fault preset {preset:?} (seed {fault_seed}) | {} | {} requests\n\n",
+        base.config.model.name, base.requests,
+    );
+    out += &format!(
+        "{:<12} {:>9} {:>10} {:>10} {:>10} {:>9}\n",
+        "", "goodput", "TTFT p50", "TTFT p99", "TPOT p99", "SLO both"
+    );
+    for (label, r) in [("fault-free", &baseline), ("faulted", &faulted)] {
+        out += &format!(
+            "{:<12} {:>9.3} {:>10.4} {:>10.4} {:>10.4} {:>8.1}%\n",
+            label,
+            r.goodput(),
+            r.summary.ttft.p50,
+            r.summary.ttft.p99,
+            r.summary.tpot.p99,
+            r.summary.slo.both * 100.0,
+        );
+    }
+    out += &format!(
+        "\nrecovery: {} faults injected | {} requests rescheduled \
+         ({} backup hits) | {} transfer retries\n\
+         completed {}/{} requests\n",
+        faulted.faults_injected,
+        faulted.requests_rescheduled,
+        faulted.backup_hits,
+        faulted.transfer_retries,
+        faulted.summary.completed,
+        base.requests,
+    );
+    Ok(out)
+}
+
 /// Prints Table 2-style statistics of a generated trace.
 ///
 /// # Errors
@@ -156,6 +246,7 @@ COMMANDS:
     trace        capture every scheduling decision of a run
     trace-stats  show Table 2-style statistics of a generated trace
     budget       show the calibrated Algorithm 1 budget and profiler fit
+    faults       inject a fault preset and compare against the fault-free run
     help         this text
 
 COMMON FLAGS (with defaults):
@@ -190,6 +281,10 @@ COMMON FLAGS (with defaults):
     --audit <request-id>         (trace) print one request's decision audit
     --systems a,b,c              (compare) systems to compare
     --rates 1,2,3                (sweep) per-GPU rates
+    --preset <name>              (faults) decode-crash, prefill-crash,
+                                 flaky-transfers, degraded-link, chaos
+                                 [decode-crash]
+    --fault-seed N               (faults) fault-plan seed [--seed]
     --json                       machine-readable output
 "#
     .to_string()
@@ -287,6 +382,47 @@ mod tests {
         let out = budget(&args("budget")).unwrap();
         assert!(out.contains("budget"));
         assert!(out.contains("tokens"));
+    }
+
+    #[test]
+    fn faults_compares_against_fault_free_baseline() {
+        let out = faults(&args(
+            "faults --preset decode-crash --requests 120 --rate 2 --seed 11",
+        ))
+        .unwrap();
+        assert!(out.contains("fault-free"));
+        assert!(out.contains("faulted"));
+        assert!(out.contains("faults injected"));
+        assert!(out.contains("completed 120/120"), "{out}");
+    }
+
+    #[test]
+    fn faults_flaky_preset_retries_and_completes() {
+        let out = faults(&args(
+            "faults --preset flaky-transfers --requests 100 --rate 2",
+        ))
+        .unwrap();
+        assert!(out.contains("transfer retries"));
+        assert!(out.contains("completed 100/100"), "{out}");
+    }
+
+    #[test]
+    fn faults_unknown_preset_is_a_clean_error() {
+        let err = faults(&args("faults --preset meteor-strike --requests 10")).unwrap_err();
+        assert!(err.0.contains("meteor-strike"));
+        assert!(err.0.contains("decode-crash"));
+    }
+
+    #[test]
+    fn faults_json_carries_both_reports() {
+        let out = faults(&args(
+            "faults --preset degraded-link --requests 60 --rate 2 --json",
+        ))
+        .unwrap();
+        let v: serde_json::Value = serde_json::from_str(&out).expect("valid json");
+        assert_eq!(v["preset"], "degraded-link");
+        assert_eq!(v["baseline"]["summary"]["completed"], 60);
+        assert_eq!(v["faulted"]["summary"]["completed"], 60);
     }
 
     #[test]

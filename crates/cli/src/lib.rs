@@ -41,6 +41,7 @@ pub fn dispatch(args: &Args) -> Result<String, args::ArgError> {
         Some("trace") => commands::trace(args),
         Some("trace-stats") => commands::trace_stats(args),
         Some("budget") => commands::budget(args),
+        Some("faults") => commands::faults(args),
         Some("help") | None => Ok(commands::help()),
         Some(other) => Err(args::ArgError(format!(
             "unknown command {other:?}; try `windserve help`"

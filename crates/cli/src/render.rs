@@ -2,8 +2,19 @@
 
 use crate::args::ArgError;
 use crate::build::RunSpec;
-use windserve::{Cluster, RunReport};
+use windserve::{Cluster, Percentiles, RunReport};
 use windserve_workload::Trace;
+
+/// Formats one statistic of a latency sample, right-aligned to `width`:
+/// "n/a" when the sample is empty (its zeros are placeholders, not
+/// measurements), the value otherwise.
+fn stat(p: &Percentiles, value: f64, width: usize) -> String {
+    if p.is_empty() {
+        format!("{:>width$}", "n/a")
+    } else {
+        format!("{value:>width$.4}")
+    }
+}
 
 /// Plain-text rendering of a single report.
 pub fn report_text(spec: &RunSpec, report: &RunReport) -> String {
@@ -19,8 +30,11 @@ pub fn report_text(spec: &RunSpec, report: &RunReport) -> String {
         s.completed,
     );
     out += &format!(
-        "  TTFT  p50 {:8.4}s   p99 {:8.4}s\n  TPOT  p90 {:8.4}s   p99 {:8.4}s\n",
-        s.ttft.p50, s.ttft.p99, s.tpot.p90, s.tpot.p99
+        "  TTFT  p50 {}s   p99 {}s\n  TPOT  p90 {}s   p99 {}s\n",
+        stat(&s.ttft, s.ttft.p50, 8),
+        stat(&s.ttft, s.ttft.p99, 8),
+        stat(&s.tpot, s.tpot.p90, 8),
+        stat(&s.tpot, s.tpot.p99, 8),
     );
     out += &format!(
         "  SLO attainment {:.1}% (ttft {:.1}%, tpot {:.1}%)\n",
@@ -136,12 +150,12 @@ pub fn comparison_text(spec: &RunSpec, reports: &[RunReport]) -> String {
     );
     for r in reports {
         out += &format!(
-            "{:<22} {:>10.4} {:>10.4} {:>10.4} {:>10.4} {:>8.1}% {:>6} {:>6} {:>6}\n",
+            "{:<22} {} {} {} {} {:>8.1}% {:>6} {:>6} {:>6}\n",
             r.system.label(),
-            r.summary.ttft.p50,
-            r.summary.ttft.p99,
-            r.summary.tpot.p90,
-            r.summary.tpot.p99,
+            stat(&r.summary.ttft, r.summary.ttft.p50, 10),
+            stat(&r.summary.ttft, r.summary.ttft.p99, 10),
+            stat(&r.summary.tpot, r.summary.tpot.p90, 10),
+            stat(&r.summary.tpot, r.summary.tpot.p99, 10),
             r.summary.slo.both * 100.0,
             r.dispatched_prefills,
             r.migrations_started,
@@ -166,11 +180,11 @@ pub fn sweep_text(spec: &RunSpec, rows: &[(f64, RunReport)]) -> String {
     );
     for (rate, r) in rows {
         out += &format!(
-            "{rate:>6.2} req/s {:>7.4} {:>10.4} {:>10.4} {:>10.4} {:>8.1}%\n",
-            r.summary.ttft.p50,
-            r.summary.ttft.p99,
-            r.summary.tpot.p90,
-            r.summary.tpot.p99,
+            "{rate:>6.2} req/s {} {} {} {} {:>8.1}%\n",
+            stat(&r.summary.ttft, r.summary.ttft.p50, 7),
+            stat(&r.summary.ttft, r.summary.ttft.p99, 10),
+            stat(&r.summary.tpot, r.summary.tpot.p90, 10),
+            stat(&r.summary.tpot, r.summary.tpot.p99, 10),
             r.summary.slo.both * 100.0,
         );
     }
@@ -277,7 +291,16 @@ pub fn budget_text(spec: &RunSpec, cluster: &Cluster) -> String {
 }
 #[cfg(test)]
 mod tests {
-    use super::sparkline;
+    use super::{sparkline, stat};
+    use windserve::Percentiles;
+
+    #[test]
+    fn empty_percentiles_render_as_na() {
+        let empty = Percentiles::zero();
+        assert_eq!(stat(&empty, empty.p99, 8), "     n/a");
+        let one = Percentiles::of(&[0.25]).unwrap();
+        assert_eq!(stat(&one, one.p50, 8), "  0.2500");
+    }
 
     #[test]
     fn sparkline_scales_and_downsamples() {

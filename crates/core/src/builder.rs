@@ -7,6 +7,7 @@
 //! simulation state is constructed.
 
 use windserve_engine::PreemptionMode;
+use windserve_faults::FaultPlan;
 use windserve_gpu::{GpuSpec, Topology};
 use windserve_metrics::SloSpec;
 use windserve_model::{ModelSpec, Parallelism};
@@ -203,6 +204,12 @@ impl ServeConfigBuilder {
     /// Scheduling-decision trace capture mode.
     pub fn trace(mut self, mode: TraceMode) -> Self {
         self.cfg.trace = mode;
+        self
+    }
+
+    /// Attaches a seeded fault-injection plan.
+    pub fn faults(mut self, plan: FaultPlan) -> Self {
+        self.cfg.faults = Some(plan);
         self
     }
 

@@ -16,6 +16,26 @@
 //!   stall-free migration (§3.3) and opportunistic KV backups;
 //! * every stage of every request is timestamped into a
 //!   [`RequestRecord`].
+//!
+//! # Fault injection and recovery
+//!
+//! When a [`FaultPlan`] is attached (see
+//! [`ServeConfigBuilder::faults`](crate::ServeConfigBuilder::faults)), its
+//! events ride the same clock as the workload:
+//!
+//! * a **replica crash** drops the instance's entire working state — queues,
+//!   running steps, KV blocks, backups — and re-places every lost request:
+//!   a surviving KV backup on another replica shrinks the recovery to a
+//!   delta re-migration, otherwise the prompt (plus tokens already
+//!   streamed) is prefilled again from scratch. With nowhere left to run,
+//!   requests park until a replica recovers.
+//! * **flaky transfers** retry with linear backoff up to the plan's bound;
+//!   an exhausted KV handoff degrades to decoding in place on the prefill
+//!   replica, an exhausted migration aborts back to its source.
+//! * **link degradation** stretches every subsequently submitted transfer.
+//!
+//! Fault verdicts are pure functions of the plan's seed, so the same plan
+//! over the same trace replays byte-identically.
 
 use crate::budget::calibrate_aux_budget;
 use crate::config::ServeConfig;
@@ -26,6 +46,7 @@ use std::collections::HashMap;
 use windserve_engine::{
     Instance, InstanceConfig, LaneRef, PausedSeq, SeqState, StartedStep, StepKind, StepOutcome,
 };
+use windserve_faults::{FaultEvent, FaultKind, FaultPlan};
 use windserve_gpu::{GpuId, RouteId, StreamSharing, TransferEngine};
 use windserve_kvcache::StallFreeMigration;
 use windserve_metrics::{LatencySummary, PrefillSite, RequestRecord};
@@ -63,11 +84,24 @@ const MAX_EVENTS: u64 = 200_000_000;
 /// hysteresis that stops activate/deactivate thrash under bursty load.
 const DRAIN_TICKS: u32 = 12;
 
+/// Sentinel "previous placement" for requests that never had one (parked at
+/// arrival because every replica was down).
+const NO_INSTANCE: usize = usize::MAX;
+
 #[derive(Debug)]
 enum Event {
     Arrival(usize),
-    StepDone { inst: usize, lane: LaneRef },
+    StepDone {
+        inst: usize,
+        lane: LaneRef,
+        /// Crash epoch of the instance when the step launched. A crash
+        /// bumps the epoch, invalidating completions for steps the crash
+        /// destroyed.
+        epoch: u64,
+    },
     TransferDone(u64),
+    /// Index into the cluster's sorted fault-plan events.
+    Fault(usize),
     Sample,
     AutoscaleTick,
 }
@@ -86,6 +120,36 @@ enum TransferAction {
     MigrationPhase1 { id: RequestId },
     /// Migration tail flushed: resume the request at the destination.
     MigrationPhase2 { state: SeqState },
+    /// Crash recovery: a surviving KV backup streams from its holder to a
+    /// decode replica, where the request resumes decoding.
+    BackupRestore {
+        state: SeqState,
+        src: usize,
+        dst: usize,
+    },
+}
+
+impl TransferAction {
+    fn request_id(&self) -> Option<RequestId> {
+        match self {
+            TransferAction::KvHandoff { state, .. }
+            | TransferAction::MigrationPhase2 { state }
+            | TransferAction::BackupRestore { state, .. } => Some(state.id),
+            TransferAction::MigrationPhase1 { id } => Some(*id),
+        }
+    }
+}
+
+/// An in-flight transfer plus everything needed to retry it after an
+/// injected failure.
+#[derive(Debug)]
+struct PendingTransfer {
+    action: TransferAction,
+    route: RouteId,
+    /// Logical payload bytes (before link-degradation scaling).
+    bytes: u64,
+    /// Zero-based delivery attempt; bumped on every injected failure.
+    attempt: u32,
 }
 
 #[derive(Debug)]
@@ -108,6 +172,10 @@ struct PendingRecord {
     decode_start: Option<SimTime>,
     swap_outs: u32,
     migrations: u32,
+    /// Tokens already streamed to the client that the engine no longer
+    /// accounts for: a recovery re-prefill folds them into the engine-side
+    /// prompt. Total delivered = `resumed` + the engine's `generated`.
+    resumed: u32,
 }
 
 #[derive(Debug, Default)]
@@ -118,6 +186,9 @@ struct Counters {
     kv_bytes: u64,
     backups_created: u64,
     backup_hits: u64,
+    faults_injected: u64,
+    requests_rescheduled: u64,
+    transfer_retries: u64,
 }
 
 /// A fully assembled serving deployment, ready to replay traces.
@@ -137,7 +208,7 @@ pub struct Cluster {
     counters: Counters,
     pending: HashMap<u64, PendingRecord>,
     migrations: HashMap<u64, MigrationCtl>,
-    actions: HashMap<u64, TransferAction>,
+    actions: HashMap<u64, PendingTransfer>,
     next_transfer: u64,
     /// Events produced inside handlers, drained into the queue by `run`.
     deferred: Vec<(SimTime, Event)>,
@@ -156,6 +227,19 @@ pub struct Cluster {
     /// activate/deactivate thrash).
     cool_ticks_prefill: u32,
     cool_ticks_decode: u32,
+    /// The fault plan's events, sorted by time; `Event::Fault` indexes here.
+    fault_events: Vec<FaultEvent>,
+    /// Per-instance crash flag (crashed replicas are unroutable and their
+    /// stale step completions are discarded).
+    crashed: Vec<bool>,
+    /// Per-instance crash epoch, stamped into every `StepDone`.
+    step_epoch: Vec<u64>,
+    /// Current link-degradation multiplier on transfer payloads (1.0 =
+    /// healthy).
+    link_factor: f64,
+    /// Requests with nowhere to run: `(id, tokens already streamed, last
+    /// placement)`. Re-placed when a replica recovers.
+    parked: Vec<(u64, u32, usize)>,
     /// Scheduling-decision recorder; a no-op unless `cfg.trace` enables it.
     tracer: Tracer,
 }
@@ -305,6 +389,7 @@ impl Cluster {
             victim_policy: cfg.victim_policy,
         };
 
+        let n_instances = instances.len();
         Ok(Cluster {
             cfg,
             instances,
@@ -328,6 +413,11 @@ impl Cluster {
             last_gpu_account: SimTime::ZERO,
             cool_ticks_prefill: 0,
             cool_ticks_decode: 0,
+            fault_events: Vec::new(),
+            crashed: vec![false; n_instances],
+            step_epoch: vec![0; n_instances],
+            link_factor: 1.0,
+            parked: Vec::new(),
             tracer,
         })
     }
@@ -374,6 +464,15 @@ impl Cluster {
         for (i, req) in trace.requests().iter().enumerate() {
             events.schedule(req.arrival, Event::Arrival(i));
         }
+        self.fault_events = self
+            .cfg
+            .faults
+            .as_ref()
+            .map(FaultPlan::sorted_events)
+            .unwrap_or_default();
+        for (i, fault) in self.fault_events.iter().enumerate() {
+            events.schedule(fault.at, Event::Fault(i));
+        }
         if let Some(interval) = self.cfg.sample_interval {
             self.series = self
                 .instances
@@ -399,13 +498,17 @@ impl Cluster {
         let mut records: Vec<RequestRecord> = Vec::with_capacity(trace.requests().len());
         let mut processed = 0u64;
         let mut end_time = SimTime::ZERO;
-        // Periodic ticks (sampling, autoscaling) must not keep the run
-        // alive on their own: track how many *work* events remain.
+        // Periodic ticks (sampling, autoscaling) and injected faults must
+        // not keep the run alive on their own: track how many *work* events
+        // remain.
         let mut live_events = trace.requests().len() as u64;
 
         while let Some(scheduled) = events.pop() {
             processed += 1;
-            if !matches!(scheduled.event, Event::Sample | Event::AutoscaleTick) {
+            if !matches!(
+                scheduled.event,
+                Event::Sample | Event::AutoscaleTick | Event::Fault(_)
+            ) {
                 live_events -= 1;
             }
             if processed > MAX_EVENTS {
@@ -414,15 +517,24 @@ impl Cluster {
                 });
             }
             let now = scheduled.at;
-            end_time = now;
+            if !matches!(scheduled.event, Event::Fault(_)) {
+                // A recovery scheduled after the last request completed
+                // must not stretch the measured run.
+                end_time = now;
+            }
             self.account_gpu_seconds(now);
             match scheduled.event {
                 Event::Arrival(i) => self.on_arrival(trace.requests()[i], now),
-                Event::StepDone { inst, lane } => {
-                    let outcome = self.instances[inst].complete_step(lane, now);
-                    self.on_step_outcome(inst, &outcome, now, &mut records);
+                Event::StepDone { inst, lane, epoch } => {
+                    // A crash bumps the epoch: completions for steps the
+                    // crash destroyed are stale and must be dropped.
+                    if epoch == self.step_epoch[inst] {
+                        let outcome = self.instances[inst].complete_step(lane, now);
+                        self.on_step_outcome(inst, &outcome, now, &mut records)?;
+                    }
                 }
-                Event::TransferDone(tid) => self.on_transfer_done(tid, now),
+                Event::TransferDone(tid) => self.on_transfer_done(tid, now)?,
+                Event::Fault(i) => self.on_fault(i, now)?,
                 Event::AutoscaleTick => {
                     self.autoscale_tick(now);
                     if live_events > 0 || !self.pending.is_empty() {
@@ -458,7 +570,7 @@ impl Cluster {
                 self.register_steps(idx, &started, now);
             }
             for (at, ev) in self.deferred.drain(..) {
-                if !matches!(ev, Event::Sample | Event::AutoscaleTick) {
+                if !matches!(ev, Event::Sample | Event::AutoscaleTick | Event::Fault(_)) {
                     live_events += 1;
                 }
                 events.schedule(at.max(now), ev);
@@ -506,6 +618,9 @@ impl Cluster {
             kv_bytes_transferred: self.counters.kv_bytes,
             backups_created: self.counters.backups_created,
             backup_hits: self.counters.backup_hits,
+            faults_injected: self.counters.faults_injected,
+            requests_rescheduled: self.counters.requests_rescheduled,
+            transfer_retries: self.counters.transfer_retries,
             series: self.series,
             ttft_predictions: std::mem::take(&mut {
                 let mut v = self.ttft_predictions;
@@ -522,8 +637,12 @@ impl Cluster {
     // Replica selection
     // ------------------------------------------------------------------
 
-    /// True if instance `idx` is active and past its warmup at `now`.
+    /// True if instance `idx` is active, not crashed and past its warmup at
+    /// `now`.
     fn is_routable(&self, idx: usize, now: SimTime) -> bool {
+        if self.crashed.get(idx).copied().unwrap_or(false) {
+            return false;
+        }
         match self.active.get(idx) {
             Some(Some(ready)) => *ready <= now,
             Some(None) => false,
@@ -531,17 +650,17 @@ impl Cluster {
         }
     }
 
-    /// The prefill replica with the smallest predicted TTFT for `prompt`.
-    fn pick_prefill(&self, prompt: u32, now: SimTime) -> usize {
-        *self
-            .prefill_idxs
+    /// The prefill replica with the smallest predicted TTFT for `prompt`,
+    /// or `None` when every prefill replica is down.
+    fn pick_prefill(&self, prompt: u32, now: SimTime) -> Option<usize> {
+        self.prefill_idxs
             .iter()
             .filter(|&&i| self.is_routable(i, now))
             .min_by_key(|&&i| {
                 self.coordinator
                     .predict_ttft(&self.profiler, &self.instances[i], prompt, now)
             })
-            .expect("at least min_prefill replicas stay active")
+            .copied()
     }
 
     /// The decode replica with the most slots, if any can host `prompt`
@@ -556,10 +675,10 @@ impl Cluster {
             .map(|(_, i)| i)
     }
 
-    /// The decode replica with the most free KV (ties: fewest waiting).
-    fn pick_decode_for_handoff(&self, now: SimTime) -> usize {
-        *self
-            .decode_idxs
+    /// The decode replica with the most free KV (ties: fewest waiting), or
+    /// `None` when every decode replica is down.
+    fn pick_decode_for_handoff(&self, now: SimTime) -> Option<usize> {
+        self.decode_idxs
             .iter()
             .filter(|&&i| self.is_routable(i, now))
             .max_by_key(|&&i| {
@@ -569,7 +688,7 @@ impl Cluster {
                     std::cmp::Reverse(inst.waiting_decode_len()),
                 )
             })
-            .expect("at least min_decode replicas stay active")
+            .copied()
     }
 
     /// The prefill replica best able to host a migrant of `ctx` tokens.
@@ -585,11 +704,44 @@ impl Cluster {
             .max_by_key(|&i| self.instances[i].kv_free_tokens())
     }
 
-    fn route(&self, src: usize, dst: usize) -> RouteId {
-        *self
-            .routes
+    fn route(&self, src: usize, dst: usize) -> crate::Result<RouteId> {
+        self.routes
             .get(&(src, dst))
-            .expect("route between PD instances")
+            .copied()
+            .ok_or(crate::Error::NoRoute { src, dst })
+    }
+
+    /// Wire bytes after applying the current link-degradation factor.
+    fn wire_scaled(&self, bytes: u64) -> u64 {
+        if self.link_factor > 1.0 {
+            (bytes as f64 * self.link_factor).ceil() as u64
+        } else {
+            bytes
+        }
+    }
+
+    /// Launches a transfer and registers its completion action. `bytes` is
+    /// the logical payload; link degradation scales the wire time.
+    fn submit_transfer(
+        &mut self,
+        action: TransferAction,
+        route: RouteId,
+        bytes: u64,
+        now: SimTime,
+    ) {
+        let done = self.transfers.submit(route, self.wire_scaled(bytes), now);
+        let tid = self.next_transfer;
+        self.next_transfer += 1;
+        self.actions.insert(
+            tid,
+            PendingTransfer {
+                action,
+                route,
+                bytes,
+                attempt: 0,
+            },
+        );
+        self.schedule_transfer_done(tid, done);
     }
 
     // ------------------------------------------------------------------
@@ -597,24 +749,25 @@ impl Cluster {
     // ------------------------------------------------------------------
 
     fn on_arrival(&mut self, req: Request, now: SimTime) {
-        let (inst, site, decision) = self.route_arrival(&req, now);
+        let placement = self.route_arrival(&req, now);
         let (id, prompt_tokens, output_tokens) = (req.id, req.prompt_tokens, req.output_tokens);
-        self.tracer.emit(now, || TraceEvent::Queued {
-            id,
-            prompt_tokens,
-            output_tokens,
-            inst: inst as u32,
-        });
-        if let Some(d) = decision {
-            self.tracer.emit(now, || TraceEvent::Dispatch(d));
-        }
         // Record Algorithm 1's prediction for later accuracy analysis.
-        let predicted_ttft = (!self.cfg.system.colocated()).then(|| {
-            let p = self.pick_prefill(req.prompt_tokens, now);
-            self.coordinator
-                .predict_ttft(&self.profiler, &self.instances[p], req.prompt_tokens, now)
-                .as_secs_f64()
-        });
+        let predicted_ttft = if self.cfg.system.colocated() {
+            None
+        } else {
+            self.pick_prefill(req.prompt_tokens, now).map(|p| {
+                self.coordinator
+                    .predict_ttft(&self.profiler, &self.instances[p], req.prompt_tokens, now)
+                    .as_secs_f64()
+            })
+        };
+        let site = placement.as_ref().map(|&(_, site, _)| site).unwrap_or(
+            if self.cfg.system.colocated() {
+                PrefillSite::Colocated
+            } else {
+                PrefillSite::PrefillInstance
+            },
+        );
         self.pending.insert(
             req.id.0,
             PendingRecord {
@@ -627,11 +780,29 @@ impl Cluster {
                 decode_start: None,
                 swap_outs: 0,
                 migrations: 0,
+                resumed: 0,
             },
         );
-        self.instances[inst].enqueue_prefill(id, prompt_tokens, output_tokens);
-        if site == PrefillSite::DecodeInstance {
-            self.counters.dispatched += 1;
+        match placement {
+            Some((inst, site, decision)) => {
+                self.tracer.emit(now, || TraceEvent::Queued {
+                    id,
+                    prompt_tokens,
+                    output_tokens,
+                    inst: inst as u32,
+                });
+                if let Some(d) = decision {
+                    self.tracer.emit(now, || TraceEvent::Dispatch(d));
+                }
+                self.instances[inst].enqueue_prefill(id, prompt_tokens, output_tokens);
+                if site == PrefillSite::DecodeInstance {
+                    self.counters.dispatched += 1;
+                }
+            }
+            None => {
+                // Every replica is down: park until a recovery.
+                self.parked.push((id.0, 0, NO_INSTANCE));
+            }
         }
     }
 
@@ -639,21 +810,31 @@ impl Cluster {
         &self,
         req: &Request,
         now: SimTime,
-    ) -> (usize, PrefillSite, Option<DispatchDecision>) {
+    ) -> Option<(usize, PrefillSite, Option<DispatchDecision>)> {
         if self.cfg.system.colocated() {
             // Least-outstanding-work routing across replicas.
             let idx = (0..self.instances.len())
+                .filter(|&i| self.is_routable(i, now))
                 .min_by_key(|&i| {
                     let inst = &self.instances[i];
                     inst.waiting_prefill_len()
                         + inst.waiting_decode_len()
                         + inst.running_decode_count()
                         + inst.swapped_len()
-                })
-                .expect("at least one replica");
-            return (idx, PrefillSite::Colocated, None);
+                })?;
+            return Some((idx, PrefillSite::Colocated, None));
         }
-        let p = self.pick_prefill(req.prompt_tokens, now);
+        let Some(p) = self.pick_prefill(req.prompt_tokens, now) else {
+            // Every prefill replica is down: a decode replica hosts the
+            // whole request (guest prefill + decode) until one recovers.
+            let d = self
+                .decode_idxs
+                .iter()
+                .copied()
+                .filter(|&i| self.is_routable(i, now))
+                .min_by_key(|&i| (self.instances[i].waiting_prefill_len(), i))?;
+            return Some((d, PrefillSite::DecodeInstance, None));
+        };
         if self.cfg.system.dispatch_enabled() {
             let ttft_pred = self.coordinator.predict_ttft(
                 &self.profiler,
@@ -685,13 +866,13 @@ impl Cluster {
                 if let Some(d) = self.pick_decode_for_dispatch(req.prompt_tokens, now) {
                     decision.verdict = DispatchVerdict::Dispatched;
                     decision.target = d as u32;
-                    return (d, PrefillSite::DecodeInstance, Some(decision));
+                    return Some((d, PrefillSite::DecodeInstance, Some(decision)));
                 }
                 decision.verdict = DispatchVerdict::NoSlots;
             }
-            return (p, PrefillSite::PrefillInstance, Some(decision));
+            return Some((p, PrefillSite::PrefillInstance, Some(decision)));
         }
-        (p, PrefillSite::PrefillInstance, None)
+        Some((p, PrefillSite::PrefillInstance, None))
     }
 
     fn register_steps(&mut self, inst: usize, started: &[StartedStep], now: SimTime) {
@@ -701,6 +882,7 @@ impl Cluster {
                 Event::StepDone {
                     inst,
                     lane: step.lane,
+                    epoch: self.step_epoch[inst],
                 },
             ));
             self.tracer.emit(now, || TraceEvent::StepStarted {
@@ -735,7 +917,7 @@ impl Cluster {
         outcome: &StepOutcome,
         now: SimTime,
         records: &mut Vec<RequestRecord>,
-    ) {
+    ) -> crate::Result<()> {
         self.tracer.emit(now, || TraceEvent::StepFinished {
             inst: inst as u32,
             lane: trace_lane(outcome.lane),
@@ -743,7 +925,7 @@ impl Cluster {
             duration_us: outcome.duration.as_micros(),
         });
         for fp in &outcome.finished_prefills {
-            self.on_finished_prefill(inst, fp.id, now, records);
+            self.on_finished_prefill(inst, fp.id, now, records)?;
         }
         for id in &outcome.decoded {
             if let Some(m) = self.migrations.get_mut(&id.0) {
@@ -757,11 +939,12 @@ impl Cluster {
             self.finalize_record(c.id, c.swap_outs, now, records);
         }
         for p in &outcome.paused {
-            self.on_paused(p.clone(), now);
+            self.on_paused(p.clone(), now)?;
         }
         if self.decode_idxs.contains(&inst) && self.cfg.system.resched_enabled() {
-            self.maybe_reschedule(inst, now);
+            self.maybe_reschedule(inst, now)?;
         }
+        Ok(())
     }
 
     fn on_finished_prefill(
@@ -770,14 +953,20 @@ impl Cluster {
         id: RequestId,
         now: SimTime,
         records: &mut Vec<RequestRecord>,
-    ) {
-        let rec = self
-            .pending
-            .get_mut(&id.0)
-            .expect("unknown request finished prefill");
+    ) -> crate::Result<()> {
+        let Some(rec) = self.pending.get_mut(&id.0) else {
+            // Stale completion for a request that was already finalized
+            // (e.g. re-placed around a crash); nothing left to record.
+            return Ok(());
+        };
         rec.first_token.get_or_insert(now);
-        let output_target = rec.req.output_tokens;
-        let prompt = rec.req.prompt_tokens;
+        // A recovery re-prefill folds already-streamed tokens into the
+        // engine-side prompt; everything below must use the engine's frame,
+        // or a recovered request whose remainder is one token would be
+        // promoted to decode after it already finished.
+        let resumed = rec.resumed;
+        let output_target = rec.req.output_tokens.saturating_sub(resumed).max(1);
+        let prompt = rec.req.prompt_tokens + resumed;
         self.tracer.emit(now, || TraceEvent::PrefillFinished {
             id,
             inst: inst as u32,
@@ -788,14 +977,22 @@ impl Cluster {
             rec.decode_start.get_or_insert(now);
             self.instances[inst].release_sequence(id);
             self.finalize_record(id, 0, now, records);
-            return;
+            return Ok(());
         }
         if self.prefill_idxs.contains(&inst) {
             // KV handoff to a decode replica. WindServe overlaps the
             // transfer with prefill computation layer-by-layer, so only the
             // last layer's tail remains; DistServe moves the whole cache
             // after the prefill, serialized on the link.
-            let dst = self.pick_decode_for_handoff(now);
+            let Some(dst) = self.pick_decode_for_handoff(now) else {
+                // No decode replica standing: decode in place until the
+                // autoscaler or a recovery restores capacity.
+                if let Some(rec) = self.pending.get_mut(&id.0) {
+                    rec.decode_enqueue.get_or_insert(now);
+                }
+                self.instances[inst].promote_to_decode(id);
+                return Ok(());
+            };
             let kv_per_token = self.instances[inst].kv_bytes_per_token();
             let full_bytes = u64::from(prompt) * kv_per_token;
             let wire_bytes = if self.cfg.system.overlapped_transfer() {
@@ -818,34 +1015,33 @@ impl Cluster {
                 keep_backup,
             });
             let state = SeqState::arriving_for_decode(id, prompt, output_target, 1, 0);
-            let route = self.route(inst, dst);
-            let done = self.transfers.submit(route, wire_bytes, now);
-            let tid = self.next_transfer;
-            self.next_transfer += 1;
-            self.actions.insert(
-                tid,
+            let route = self.route(inst, dst)?;
+            self.submit_transfer(
                 TransferAction::KvHandoff {
                     state,
                     src: inst,
                     dst,
                     keep_backup,
                 },
+                route,
+                wire_bytes,
+                now,
             );
-            self.schedule_transfer_done(tid, done);
         } else {
             // Dispatched (decode instance) or colocated: KV already lives
             // where decoding happens — no transfer at all.
             rec.decode_enqueue.get_or_insert(now);
             self.instances[inst].promote_to_decode(id);
         }
+        Ok(())
     }
 
-    fn on_paused(&mut self, paused: PausedSeq, now: SimTime) {
+    fn on_paused(&mut self, paused: PausedSeq, now: SimTime) -> crate::Result<()> {
         let id = paused.state.id;
         let Some(migration) = self.migrations.get_mut(&id.0) else {
             // Pause without a live migration: the request completed in the
             // same step; nothing to do.
-            return;
+            return Ok(());
         };
         let tail_tokens = migration.state.begin_pause();
         let (src, dst) = (migration.src, migration.dst);
@@ -861,17 +1057,52 @@ impl Cluster {
             rec.migrations += 1;
         }
         state.swap_outs = 0;
-        let route = self.route(src, dst);
-        let done = self.transfers.submit(route, bytes, now);
-        let tid = self.next_transfer;
-        self.next_transfer += 1;
-        self.actions
-            .insert(tid, TransferAction::MigrationPhase2 { state });
-        self.schedule_transfer_done(tid, done);
+        let route = self.route(src, dst)?;
+        self.submit_transfer(TransferAction::MigrationPhase2 { state }, route, bytes, now);
+        Ok(())
     }
 
-    fn on_transfer_done(&mut self, tid: u64, now: SimTime) {
-        let action = self.actions.remove(&tid).expect("unknown transfer");
+    fn on_transfer_done(&mut self, tid: u64, now: SimTime) -> crate::Result<()> {
+        let Some(pt) = self.actions.remove(&tid) else {
+            // Cancelled while the bytes were in flight (a replica crash
+            // re-placed this transfer's request).
+            return Ok(());
+        };
+        // Failure verdicts are pure in (plan seed, tid, attempt), so replays
+        // are byte-identical regardless of event interleaving. Zero-byte
+        // transfers (empty migration bulks) have nothing to lose on the
+        // wire and always succeed.
+        let failed = self
+            .cfg
+            .faults
+            .as_ref()
+            .is_some_and(|plan| pt.bytes > 0 && plan.transfer_fails(tid, pt.attempt));
+        if failed {
+            let plan = self.cfg.faults.as_ref().expect("checked above");
+            if pt.attempt < plan.max_transfer_retries {
+                let attempt = pt.attempt + 1;
+                let backoff = plan.backoff_for(attempt);
+                let id = pt.action.request_id();
+                self.counters.transfer_retries += 1;
+                self.tracer.emit(now, || TraceEvent::TransferRetried {
+                    id,
+                    attempt,
+                    backoff_us: backoff.as_micros(),
+                });
+                let done =
+                    self.transfers
+                        .submit(pt.route, self.wire_scaled(pt.bytes), now + backoff);
+                self.actions.insert(tid, PendingTransfer { attempt, ..pt });
+                self.schedule_transfer_done(tid, done);
+                return Ok(());
+            }
+            return self.on_transfer_exhausted(pt.action, now);
+        }
+        self.deliver_transfer(pt.action, now)
+    }
+
+    /// Applies a successfully delivered transfer's effects.
+    fn deliver_transfer(&mut self, action: TransferAction, now: SimTime) -> crate::Result<()> {
         match action {
             TransferAction::KvHandoff {
                 state,
@@ -905,7 +1136,7 @@ impl Cluster {
                     if let Some(m) = self.migrations.get(&id.0) {
                         let src = m.src;
                         if let Some(paused) = self.instances[src].request_pause(id) {
-                            self.on_paused(paused, now);
+                            self.on_paused(paused, now)?;
                         }
                     }
                 } else {
@@ -915,7 +1146,7 @@ impl Cluster {
             TransferAction::MigrationPhase2 { state } => {
                 let id = state.id;
                 let Some(m) = self.migrations.remove(&id.0) else {
-                    return;
+                    return Ok(());
                 };
                 self.instances[m.dst].drop_backup(id);
                 if self.pending.contains_key(&id.0) {
@@ -927,10 +1158,378 @@ impl Cluster {
                     });
                 }
             }
+            TransferAction::BackupRestore { state, src, dst } => {
+                let id = state.id;
+                self.instances[src].drop_backup(id);
+                if self.pending.contains_key(&id.0) {
+                    if let Some(rec) = self.pending.get_mut(&id.0) {
+                        rec.decode_enqueue.get_or_insert(now);
+                    }
+                    self.tracer.emit(now, || TraceEvent::KvTransferFinished {
+                        id,
+                        dst: dst as u32,
+                    });
+                    self.instances[dst].enqueue_decode_arrival(state);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// A transfer burned through every retry: fall back without the wire.
+    fn on_transfer_exhausted(&mut self, action: TransferAction, now: SimTime) -> crate::Result<()> {
+        match action {
+            TransferAction::KvHandoff {
+                state, src, dst, ..
+            } => {
+                // The KV is still resident at the prefill source: decode in
+                // place rather than lose the request.
+                let id = state.id;
+                if let Some(rec) = self.pending.get_mut(&id.0) {
+                    rec.decode_enqueue.get_or_insert(now);
+                }
+                self.counters.requests_rescheduled += 1;
+                self.tracer.emit(now, || TraceEvent::RequestRescheduled {
+                    id,
+                    from: dst as u32,
+                    to: src as u32,
+                    backup_hit: false,
+                });
+                self.instances[src].promote_to_decode(id);
+                Ok(())
+            }
+            TransferAction::MigrationPhase1 { id } => {
+                // Abort the migration; the victim keeps decoding at its
+                // source as if it was never selected.
+                if let Some(m) = self.migrations.remove(&id.0) {
+                    self.instances[m.src].unmark_migrating(id);
+                }
+                Ok(())
+            }
+            action @ TransferAction::MigrationPhase2 { .. } => {
+                // The paused sequence exists only inside this transfer;
+                // there is no source to fall back to, so the final attempt
+                // is deemed delivered.
+                self.deliver_transfer(action, now)
+            }
+            TransferAction::BackupRestore { state, src, .. } => {
+                // The backup is unreachable: drop it and recover through a
+                // full re-prefill instead.
+                let id = state.id;
+                self.instances[src].drop_backup(id);
+                self.recover_request(id, state.generated, src, now)
+            }
         }
     }
 
-    fn maybe_reschedule(&mut self, decode_idx: usize, now: SimTime) {
+    // ------------------------------------------------------------------
+    // Fault injection and recovery
+    // ------------------------------------------------------------------
+
+    fn on_fault(&mut self, idx: usize, now: SimTime) -> crate::Result<()> {
+        let kind = self.fault_events[idx].kind;
+        self.counters.faults_injected += 1;
+        let label = kind.label().to_string();
+        let target = kind.instance();
+        self.tracer.emit(now, || TraceEvent::FaultInjected {
+            fault: label,
+            inst: target,
+        });
+        match kind {
+            FaultKind::ReplicaCrash { inst } => self.crash_replica(inst as usize, now)?,
+            FaultKind::ReplicaRecover { inst } => self.recover_replica(inst as usize, now)?,
+            FaultKind::LinkDegrade { factor } => self.link_factor = factor.max(1.0),
+            FaultKind::LinkRestore => self.link_factor = 1.0,
+            FaultKind::Straggler { inst, delay } => {
+                let i = inst as usize;
+                if i < self.instances.len() && !self.crashed[i] {
+                    self.instances[i].inject_delay(delay);
+                }
+            }
+            // `FaultKind` is non-exhaustive: unknown future kinds are
+            // recorded in the trace but otherwise ignored.
+            _ => {}
+        }
+        Ok(())
+    }
+
+    /// Crashes replica `c`: every queue, running step, KV block and backup
+    /// it held is lost, and each affected request is re-placed (or parked).
+    /// Crashing an already-crashed replica is a no-op.
+    fn crash_replica(&mut self, c: usize, now: SimTime) -> crate::Result<()> {
+        if c >= self.instances.len() || self.crashed[c] {
+            return Ok(());
+        }
+        self.crashed[c] = true;
+        self.active[c] = None;
+        // Invalidate completion events for steps the crash destroyed.
+        self.step_epoch[c] += 1;
+
+        // In-flight transfers touching the crashed replica, in tid order so
+        // recovery is deterministic.
+        let mut tids: Vec<u64> = self.actions.keys().copied().collect();
+        tids.sort_unstable();
+        for tid in tids {
+            let involved = match &self.actions[&tid].action {
+                TransferAction::KvHandoff { src, dst, .. } => *src == c || *dst == c,
+                TransferAction::MigrationPhase1 { id } => self
+                    .migrations
+                    .get(&id.0)
+                    .is_some_and(|m| m.src == c || m.dst == c),
+                // A tail already on the wire survives a source crash; only
+                // a destination crash strands it.
+                TransferAction::MigrationPhase2 { state } => {
+                    self.migrations.get(&state.id.0).is_some_and(|m| m.dst == c)
+                }
+                TransferAction::BackupRestore { src, dst, .. } => *src == c || *dst == c,
+            };
+            if !involved {
+                continue;
+            }
+            let pt = self.actions.remove(&tid).expect("key just listed");
+            match pt.action {
+                TransferAction::KvHandoff {
+                    state,
+                    src,
+                    dst,
+                    keep_backup,
+                } => {
+                    if src == c {
+                        // The source's KV died with it; the drain pass
+                        // below re-places the request from scratch.
+                        continue;
+                    }
+                    // Destination crashed: the KV is still resident at the
+                    // source — re-target the handoff, or decode in place.
+                    let id = state.id;
+                    if let Some(nd) = self.pick_decode_for_handoff(now) {
+                        if let Ok(route) = self.route(src, nd) {
+                            self.counters.requests_rescheduled += 1;
+                            self.tracer.emit(now, || TraceEvent::RequestRescheduled {
+                                id,
+                                from: dst as u32,
+                                to: nd as u32,
+                                backup_hit: false,
+                            });
+                            self.submit_transfer(
+                                TransferAction::KvHandoff {
+                                    state,
+                                    src,
+                                    dst: nd,
+                                    keep_backup,
+                                },
+                                route,
+                                pt.bytes,
+                                now,
+                            );
+                            continue;
+                        }
+                    }
+                    if let Some(rec) = self.pending.get_mut(&id.0) {
+                        rec.decode_enqueue.get_or_insert(now);
+                    }
+                    self.counters.requests_rescheduled += 1;
+                    self.tracer.emit(now, || TraceEvent::RequestRescheduled {
+                        id,
+                        from: dst as u32,
+                        to: src as u32,
+                        backup_hit: false,
+                    });
+                    self.instances[src].promote_to_decode(id);
+                }
+                TransferAction::MigrationPhase1 { id } => {
+                    if let Some(m) = self.migrations.remove(&id.0) {
+                        if m.src != c {
+                            // The destination died; the victim keeps
+                            // decoding where it is.
+                            self.instances[m.src].unmark_migrating(id);
+                        }
+                        // src == c: the drain pass recovers the victim.
+                    }
+                }
+                TransferAction::MigrationPhase2 { state } => {
+                    // The paused sequence was headed to the crashed
+                    // destination; it lives only in this transfer.
+                    let id = state.id;
+                    self.migrations.remove(&id.0);
+                    self.recover_request(id, state.generated, c, now)?;
+                }
+                TransferAction::BackupRestore { state, .. } => {
+                    self.recover_request(state.id, state.generated, c, now)?;
+                }
+            }
+        }
+
+        // Migrations between transfers (bulk delivered, pause not yet
+        // consumed at a step boundary).
+        let mut mids: Vec<u64> = self.migrations.keys().copied().collect();
+        mids.sort_unstable();
+        for mid in mids {
+            let (src, dst) = {
+                let m = &self.migrations[&mid];
+                (m.src, m.dst)
+            };
+            if src != c && dst != c {
+                continue;
+            }
+            self.migrations.remove(&mid);
+            if src != c {
+                // The destination is gone; withdraw the pause before the
+                // next step boundary detaches the victim into the void.
+                let id = RequestId(mid);
+                self.instances[src].unmark_migrating(id);
+                self.instances[src].cancel_pause(id);
+            }
+            // src == c: the drain pass recovers the victim itself.
+        }
+
+        // Everything resident on the replica is lost; re-place each
+        // request (sorted by id inside fail_and_drain).
+        let lost = self.instances[c].fail_and_drain();
+        for state in lost {
+            self.migrations.remove(&state.id.0);
+            self.recover_request(state.id, state.generated, c, now)?;
+        }
+        Ok(())
+    }
+
+    /// Brings a crashed replica back (empty, immediately routable) and
+    /// re-places any parked requests. A no-op unless `c` is crashed.
+    fn recover_replica(&mut self, c: usize, now: SimTime) -> crate::Result<()> {
+        if c >= self.instances.len() || !self.crashed[c] {
+            return Ok(());
+        }
+        self.crashed[c] = false;
+        self.active[c] = Some(now);
+        let parked = std::mem::take(&mut self.parked);
+        for (id, generated, from) in parked {
+            if self.pending.contains_key(&id) {
+                self.recover_request(RequestId(id), generated, from, now)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Re-places a request whose working state was lost (replica crash or
+    /// unrecoverable transfer). A surviving KV backup shrinks the recovery
+    /// to a delta re-migration; otherwise the prompt — plus the tokens
+    /// already streamed to the client — is prefilled again from scratch.
+    /// With nowhere to run, the request parks until a replica recovers.
+    fn recover_request(
+        &mut self,
+        id: RequestId,
+        generated: u32,
+        from: usize,
+        now: SimTime,
+    ) -> crate::Result<()> {
+        let Some(rec) = self.pending.get(&id.0) else {
+            return Ok(());
+        };
+        let prompt = rec.req.prompt_tokens;
+        let output_target = rec.req.output_tokens;
+        // `generated` is in the engine's (possibly folded) frame; add any
+        // tokens a previous recovery already folded into the prompt.
+        let generated = rec.resumed + generated;
+
+        if !self.cfg.system.colocated() {
+            let holder = (0..self.instances.len()).find(|&i| {
+                self.is_routable(i, now) && self.instances[i].backup_tokens_of(id).is_some()
+            });
+            if let Some(src) = holder {
+                if let Some(dst) = self.pick_decode_for_handoff(now) {
+                    if let Ok(route) = self.route(src, dst) {
+                        let tokens = self.instances[src].backup_tokens_of(id).unwrap_or(prompt);
+                        // Tokens generated after the snapshot died with the
+                        // replica; decoding resumes from the backup's
+                        // frontier.
+                        let resumed = tokens
+                            .saturating_sub(prompt)
+                            .min(output_target.saturating_sub(1));
+                        let kv_per_token = self.instances[src].kv_bytes_per_token();
+                        let bytes = u64::from(tokens) * kv_per_token;
+                        self.counters.kv_bytes += bytes;
+                        self.counters.backup_hits += 1;
+                        self.counters.requests_rescheduled += 1;
+                        self.tracer.emit(now, || TraceEvent::RequestRescheduled {
+                            id,
+                            from: from as u32,
+                            to: dst as u32,
+                            backup_hit: true,
+                        });
+                        let state =
+                            SeqState::arriving_for_decode(id, prompt, output_target, resumed, 0);
+                        self.submit_transfer(
+                            TransferAction::BackupRestore { state, src, dst },
+                            route,
+                            bytes,
+                            now,
+                        );
+                        // The restored state is back in the request's
+                        // original frame: nothing stays folded away.
+                        if let Some(rec) = self.pending.get_mut(&id.0) {
+                            rec.resumed = 0;
+                        }
+                        return Ok(());
+                    }
+                }
+            }
+        }
+
+        // No backup to restore from: full re-prefill of the lost context.
+        let target = if self.cfg.system.colocated() {
+            (0..self.instances.len())
+                .filter(|&i| self.is_routable(i, now))
+                .min_by_key(|&i| {
+                    let inst = &self.instances[i];
+                    inst.waiting_prefill_len()
+                        + inst.waiting_decode_len()
+                        + inst.running_decode_count()
+                        + inst.swapped_len()
+                })
+        } else if let Some(p) = self.pick_prefill(prompt, now) {
+            Some(p)
+        } else {
+            self.decode_idxs
+                .iter()
+                .copied()
+                .filter(|&i| self.is_routable(i, now))
+                .min_by_key(|&i| (self.instances[i].waiting_prefill_len(), i))
+        };
+        let Some(t) = target else {
+            // The parked tuple carries the full delivered count; no engine
+            // state exists while parked.
+            if let Some(rec) = self.pending.get_mut(&id.0) {
+                rec.resumed = 0;
+            }
+            self.parked.push((id.0, generated, from));
+            return Ok(());
+        };
+        // A stale backup of this request would collide with a fresh one
+        // created after the re-prefilled handoff.
+        self.instances[t].drop_backup(id);
+        self.counters.requests_rescheduled += 1;
+        self.tracer.emit(now, || TraceEvent::RequestRescheduled {
+            id,
+            from: from as u32,
+            to: t as u32,
+            backup_hit: false,
+        });
+        // Tokens already streamed to the client become part of the context
+        // to re-prefill; only the remainder is generated again. Remember
+        // how many were folded so later accounting (prefill completion,
+        // another crash) can translate back to the request's frame.
+        if let Some(rec) = self.pending.get_mut(&id.0) {
+            rec.resumed = generated;
+        }
+        self.instances[t].enqueue_prefill(
+            id,
+            prompt + generated,
+            output_target.saturating_sub(generated).max(1),
+        );
+        Ok(())
+    }
+
+    fn maybe_reschedule(&mut self, decode_idx: usize, now: SimTime) -> crate::Result<()> {
         while self.migrations.len() < self.cfg.max_concurrent_migrations
             && self
                 .coordinator
@@ -945,16 +1544,24 @@ impl Cluster {
             });
             let Some((victim, ctx)) = self.coordinator.pick_victim(&self.instances[decode_idx])
             else {
-                return;
+                return Ok(());
             };
             let Some(dst) = self.pick_prefill_for_migration(ctx, now) else {
-                return;
+                return Ok(());
             };
-            self.start_migration(victim, ctx, decode_idx, dst, now);
+            self.start_migration(victim, ctx, decode_idx, dst, now)?;
         }
+        Ok(())
     }
 
-    fn start_migration(&mut self, id: RequestId, ctx: u32, src: usize, dst: usize, now: SimTime) {
+    fn start_migration(
+        &mut self,
+        id: RequestId,
+        ctx: u32,
+        src: usize,
+        dst: usize,
+        now: SimTime,
+    ) -> crate::Result<()> {
         self.instances[src].mark_migrating(id);
         // Backups shrink the bulk phase: only the delta since the snapshot
         // must move.
@@ -985,13 +1592,9 @@ impl Cluster {
             },
         );
         self.counters.migrations_started += 1;
-        let route = self.route(src, dst);
-        let done = self.transfers.submit(route, bytes, now);
-        let tid = self.next_transfer;
-        self.next_transfer += 1;
-        self.actions
-            .insert(tid, TransferAction::MigrationPhase1 { id });
-        self.schedule_transfer_done(tid, done);
+        let route = self.route(src, dst)?;
+        self.submit_transfer(TransferAction::MigrationPhase1 { id }, route, bytes, now);
+        Ok(())
     }
 
     /// Integrates GPU-seconds held by active (incl. warming) instances.
@@ -1012,7 +1615,9 @@ impl Cluster {
 
     /// One autoscaler evaluation: activate a replica when every active one
     /// of a phase is overloaded; drain and deactivate an idle one when load
-    /// recedes. At most one action per phase per tick.
+    /// recedes. At most one action per phase per tick. Crashed replicas
+    /// are invisible to the scaler: lost capacity flows through the same
+    /// policy as organic load shifts (graceful degradation).
     fn autoscale_tick(&mut self, now: SimTime) {
         let Some(auto) = self.cfg.autoscale else {
             return;
@@ -1047,7 +1652,7 @@ impl Cluster {
             if let Some(&idle) = self
                 .prefill_idxs
                 .iter()
-                .find(|&&i| self.active[i].is_none())
+                .find(|&&i| self.active[i].is_none() && !self.crashed[i])
             {
                 self.active[idle] = Some(now + auto.warmup);
                 self.autoscale_events += 1;
@@ -1056,7 +1661,10 @@ impl Cluster {
                     inst: idle as u32,
                     activated: true,
                 });
-            } else if let Some(&idle) = self.decode_idxs.iter().find(|&&i| self.active[i].is_none())
+            } else if let Some(&idle) = self
+                .decode_idxs
+                .iter()
+                .find(|&&i| self.active[i].is_none() && !self.crashed[i])
             {
                 // No prefill replica left to add: grow dispatch capacity
                 // instead — another decode replica brings another guest
@@ -1111,7 +1719,11 @@ impl Cluster {
             self.cool_ticks_decode + 1
         };
         if all_tight {
-            if let Some(&idle) = self.decode_idxs.iter().find(|&&i| self.active[i].is_none()) {
+            if let Some(&idle) = self
+                .decode_idxs
+                .iter()
+                .find(|&&i| self.active[i].is_none() && !self.crashed[i])
+            {
                 self.active[idle] = Some(now + auto.warmup);
                 self.autoscale_events += 1;
                 self.tracer.emit(now, || TraceEvent::Autoscale {
@@ -1154,11 +1766,15 @@ impl Cluster {
         now: SimTime,
         records: &mut Vec<RequestRecord>,
     ) {
-        let rec = self
-            .pending
-            .remove(&id.0)
-            .expect("finalizing unknown request");
-        let first_token = rec.first_token.expect("completed without first token");
+        let Some(rec) = self.pending.remove(&id.0) else {
+            // Already finalized (stale completion after a recovery race).
+            return;
+        };
+        // A request can complete without a surviving first-token stamp only
+        // through a recovery corner (e.g. its prefill finished on a replica
+        // that crashed in the same instant); degrade its TTFT to the
+        // completion time instead of tearing the run down.
+        let first_token = rec.first_token.unwrap_or(now);
         if let Some(predicted) = rec.predicted_ttft {
             self.ttft_predictions.push(TtftPrediction {
                 request: id.0,

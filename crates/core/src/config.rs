@@ -7,6 +7,7 @@
 
 use serde::{Deserialize, Serialize};
 use windserve_engine::PreemptionMode;
+use windserve_faults::FaultPlan;
 use windserve_gpu::{GpuSpec, Topology};
 use windserve_metrics::SloSpec;
 use windserve_model::{ModelSpec, Parallelism};
@@ -235,6 +236,9 @@ pub struct ServeConfig {
     /// Scheduling-decision trace capture (see [`crate::trace`]). Defaults
     /// to [`TraceMode::Off`], which records nothing and adds no overhead.
     pub trace: TraceMode,
+    /// Seeded fault-injection plan (replica crashes, flaky/degraded
+    /// transfers, stragglers). `None` runs fault-free.
+    pub faults: Option<FaultPlan>,
 }
 
 impl ServeConfig {
@@ -273,6 +277,7 @@ impl ServeConfig {
             sample_interval: None,
             autoscale: None,
             trace: TraceMode::Off,
+            faults: None,
         }
     }
 
@@ -404,6 +409,25 @@ impl ServeConfig {
                 return Err(config(
                     "autoscale minimums exceed the replica maximums".into(),
                 ));
+            }
+        }
+        if let Some(faults) = &self.faults {
+            faults
+                .validate()
+                .map_err(|reason| config(format!("fault plan: {reason}")))?;
+            let n_instances = if self.system.colocated() {
+                (self.total_gpus() / self.prefill_parallelism.n_gpus()).max(1)
+            } else {
+                self.prefill_replicas + self.decode_replicas
+            };
+            for event in &faults.events {
+                if let Some(inst) = event.kind.instance() {
+                    if inst as usize >= n_instances {
+                        return Err(config(format!(
+                            "fault plan targets instance {inst}, cluster has {n_instances}"
+                        )));
+                    }
+                }
             }
         }
         Ok(())

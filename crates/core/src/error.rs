@@ -43,6 +43,14 @@ pub enum Error {
         /// The first few incomplete request ids, for the report.
         first: Vec<RequestId>,
     },
+    /// No interconnect route exists between two instances — the topology
+    /// does not connect them (a wiring bug, not a transient fault).
+    NoRoute {
+        /// Source instance index.
+        src: usize,
+        /// Destination instance index.
+        dst: usize,
+    },
 }
 
 impl std::fmt::Display for Error {
@@ -63,6 +71,9 @@ impl std::fmt::Display for Error {
                 f,
                 "simulation deadlock: {incomplete} requests incomplete (first: {first:?})"
             ),
+            Error::NoRoute { src, dst } => {
+                write!(f, "no interconnect route from instance {src} to {dst}")
+            }
         }
     }
 }

@@ -90,6 +90,7 @@ pub use report::{InstanceReport, RunReport, TtftPrediction};
 
 // Re-export the sub-crate surfaces downstream users need most, so `use
 // windserve::...` suffices for common workflows.
+pub use windserve_faults::{FaultEvent, FaultKind, FaultPlan};
 pub use windserve_metrics::{LatencySummary, Percentiles, SloAttainment, SloSpec};
 pub use windserve_model::{ModelSpec, Parallelism};
 pub use windserve_trace as trace;
@@ -103,8 +104,8 @@ pub use windserve_workload::{ArrivalProcess, Dataset, Request, RequestId, Trace}
 /// ```
 pub mod prelude {
     pub use crate::{
-        Cluster, Error, Result, RunReport, ServeConfig, ServeConfigBuilder, SystemKind,
-        VictimPolicy,
+        Cluster, Error, FaultKind, FaultPlan, Result, RunReport, ServeConfig, ServeConfigBuilder,
+        SystemKind, VictimPolicy,
     };
     pub use windserve_metrics::SloSpec;
     pub use windserve_model::{ModelSpec, Parallelism};

@@ -65,6 +65,13 @@ pub struct RunReport {
     pub backups_created: u64,
     /// Migration transfers shrunk by a backup hit.
     pub backup_hits: u64,
+    /// Fault-plan events injected (crashes, recoveries, link degradations,
+    /// stragglers). Zero on fault-free runs.
+    pub faults_injected: u64,
+    /// Requests re-placed after a replica crash or an exhausted transfer.
+    pub requests_rescheduled: u64,
+    /// KV transfers retried after an injected failure.
+    pub transfer_retries: u64,
     /// Per-instance sampled state over time (empty unless
     /// [`crate::ServeConfig::sample_interval`] was set).
     pub series: Vec<InstanceSeries>,

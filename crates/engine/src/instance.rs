@@ -251,6 +251,62 @@ impl Instance {
         }
     }
 
+    /// Tokens held in `id`'s backup here, if one exists. Unlike
+    /// [`Instance::backup_delta_tokens`] this is a pure query: it does not
+    /// touch the store's hit/miss statistics or refresh eviction order.
+    pub fn backup_tokens_of(&self, id: RequestId) -> Option<u32> {
+        self.backups.tokens_of(id.0)
+    }
+
+    /// Clears the migrating mark from `id` (the migration was abandoned,
+    /// e.g. because its destination crashed).
+    pub fn unmark_migrating(&mut self, id: RequestId) {
+        self.migrating.remove(&id.0);
+    }
+
+    /// Injects a one-off straggler delay: the next step launched on this
+    /// instance is stretched by `delay` on top of its modeled cost.
+    pub fn inject_delay(&mut self, delay: SimDuration) {
+        self.pending_delay += delay;
+    }
+
+    /// Withdraws a deferred pause request for `id` (its migration was
+    /// cancelled before the step boundary consumed the request). Without
+    /// this, the sequence would detach at the next boundary with nobody
+    /// left to receive it.
+    pub fn cancel_pause(&mut self, id: RequestId) {
+        self.pause_requests.remove(&id.0);
+    }
+
+    /// Crashes the instance: every resident sequence, queue entry, running
+    /// step, swap and KV block (backups included) is lost, and the empty
+    /// shell is left ready for a later recovery.
+    ///
+    /// Returns the sequences that were alive here, sorted by request id so
+    /// the caller's recovery pass is deterministic regardless of hash-map
+    /// iteration order.
+    pub fn fail_and_drain(&mut self) -> Vec<SeqState> {
+        let mut lost: Vec<SeqState> = self.seqs.drain().map(|(_, state)| state).collect();
+        lost.sort_by_key(|s| s.id.0);
+        self.waiting_prefill.clear();
+        self.waiting_decode.clear();
+        self.swapped.clear();
+        for lane in &mut self.lanes {
+            lane.running.clear();
+            lane.step = None;
+        }
+        self.aux_step = None;
+        self.migrating.clear();
+        self.pause_requests.clear();
+        self.pending_delay = SimDuration::ZERO;
+        while self.backups.evict_oldest().is_some() {}
+        // HBM contents do not survive the crash; start from a fresh block
+        // map rather than unwinding allocations one key at a time.
+        self.kv = BlockManager::new(self.kv.total_blocks(), self.cfg.block_tokens);
+        self.stats.crashes += 1;
+        lost
+    }
+
     /// True if the instance holds no work at all: nothing queued, nothing
     /// running, nothing swapped, nothing in flight.
     pub fn is_drained(&self) -> bool {

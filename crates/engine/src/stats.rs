@@ -32,6 +32,8 @@ pub struct InstanceStats {
     pub swap_delay_secs: f64,
     /// Recompute preemptions performed.
     pub recomputes: u64,
+    /// Injected crashes survived (fault injection).
+    pub crashes: u64,
 }
 
 impl InstanceStats {

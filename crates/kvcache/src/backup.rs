@@ -187,5 +187,55 @@ mod proptests {
                 prop_assert_eq!(seen.len(), store.len());
             }
         }
+
+        /// Under arbitrary interleavings of inserts, crashes (a replica
+        /// failure clears every backup it held) and restores, the store
+        /// always agrees with a naive map oracle — no phantom hit ever
+        /// survives a crash, and migrate deltas stay exact.
+        #[test]
+        fn crash_restore_interleavings_match_oracle(
+            ops in proptest::collection::vec((0u8..5, 0u64..6, 1u32..5000), 1..200)
+        ) {
+            let mut store = BackupStore::new();
+            let mut oracle: std::collections::HashMap<SeqKey, u32> =
+                std::collections::HashMap::new();
+            for (op, key, tokens) in ops {
+                match op {
+                    0 => {
+                        store.insert(key, tokens);
+                        oracle.insert(key, tokens);
+                    }
+                    1 => {
+                        store.remove(key);
+                        oracle.remove(&key);
+                    }
+                    2 => {
+                        // Crash: the holding replica loses every snapshot.
+                        while let Some(b) = store.evict_oldest() {
+                            oracle.remove(&b.key);
+                        }
+                        prop_assert!(oracle.is_empty());
+                    }
+                    3 => {
+                        // Restore re-snapshots at the current frontier.
+                        store.insert(key, tokens);
+                        oracle.insert(key, tokens);
+                    }
+                    _ => {
+                        let delta = store.delta_tokens(key, tokens);
+                        let expect = match oracle.get(&key) {
+                            Some(&backed) => tokens.saturating_sub(backed),
+                            None => tokens,
+                        };
+                        prop_assert_eq!(delta, expect);
+                        prop_assert!(delta <= tokens, "delta exceeds the context");
+                    }
+                }
+                prop_assert_eq!(store.len(), oracle.len());
+                for (&k, &v) in &oracle {
+                    prop_assert_eq!(store.tokens_of(k), Some(v));
+                }
+            }
+        }
     }
 }

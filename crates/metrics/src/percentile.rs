@@ -80,6 +80,13 @@ impl Percentiles {
         })
     }
 
+    /// True when the summary covers no samples — the statistic fields are
+    /// then placeholders (zeros), not measurements, and renderers should
+    /// show "n/a" rather than a misleading `0.0000`.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
     /// An all-zero summary for an empty sample (convenient in reports).
     pub fn zero() -> Self {
         Percentiles {
@@ -120,6 +127,8 @@ mod tests {
     fn empty_sample_yields_none() {
         assert!(Percentiles::of(&[]).is_none());
         assert_eq!(Percentiles::zero().count, 0);
+        assert!(Percentiles::zero().is_empty());
+        assert!(!Percentiles::of(&[1.0]).unwrap().is_empty());
     }
 
     proptest! {

@@ -199,6 +199,49 @@ impl TraceLog {
                     us,
                     json!({"inst": *inst}),
                 )),
+                TraceEvent::FaultInjected { fault, inst } => body.push(instant(
+                    "fault-injected",
+                    SCHEDULER_PID,
+                    0,
+                    us,
+                    json!({"fault": fault, "inst": inst}),
+                )),
+                TraceEvent::RequestRescheduled {
+                    id,
+                    from,
+                    to,
+                    backup_hit,
+                } => {
+                    // The crash tore down whatever phase the request was
+                    // in; close its open spans and let the replacement
+                    // phases reopen as the re-placed request progresses.
+                    close(&mut open, &mut body, id.0, Phase::Decode, us);
+                    close(&mut open, &mut body, id.0, Phase::KvTransfer, us);
+                    close(&mut open, &mut body, id.0, Phase::Prefill, us);
+                    close(&mut open, &mut body, id.0, Phase::Migrating, us);
+                    body.push(instant(
+                        "request-rescheduled",
+                        REQUESTS_PID,
+                        id.0,
+                        us,
+                        json!({"from": *from, "to": *to, "backup_hit": *backup_hit}),
+                    ));
+                }
+                TraceEvent::TransferRetried {
+                    id,
+                    attempt,
+                    backoff_us,
+                } => body.push(instant(
+                    "transfer-retried",
+                    SCHEDULER_PID,
+                    0,
+                    us,
+                    json!({
+                        "request": id.map(|r| r.0),
+                        "attempt": *attempt,
+                        "backoff_us": *backoff_us,
+                    }),
+                )),
             }
         }
         // Close anything still open at the end of the run (sorted ids and

@@ -250,6 +250,34 @@ pub enum TraceEvent {
         /// `true` = activated (warming), `false` = drained + released.
         activated: bool,
     },
+    /// A planned fault fired (crash, recovery, link change, straggler).
+    FaultInjected {
+        /// The fault's stable label (`replica_crash`, `link_degrade`, ...).
+        fault: String,
+        /// The targeted instance, when the fault targets one.
+        inst: Option<u32>,
+    },
+    /// A request displaced by a fault was re-placed on a healthy replica.
+    RequestRescheduled {
+        /// The displaced request.
+        id: RequestId,
+        /// The crashed (or unreachable) instance it was displaced from.
+        from: u32,
+        /// The healthy instance it now targets.
+        to: u32,
+        /// `true` when a KV backup allowed a delta-only re-migration;
+        /// `false` means a full re-prefill from the prompt.
+        backup_hit: bool,
+    },
+    /// A failed KV transfer was resubmitted after backoff.
+    TransferRetried {
+        /// The affected request, when the transfer carries one.
+        id: Option<RequestId>,
+        /// Retry attempt number (1-based).
+        attempt: u32,
+        /// Backoff waited before this attempt, microseconds.
+        backoff_us: u64,
+    },
 }
 
 impl TraceEvent {
@@ -266,8 +294,10 @@ impl TraceEvent {
             | TraceEvent::MigrationStarted { id, .. }
             | TraceEvent::MigrationPaused { id, .. }
             | TraceEvent::MigrationFinished { id, .. }
+            | TraceEvent::RequestRescheduled { id, .. }
             | TraceEvent::Finished { id } => Some(*id),
             TraceEvent::Dispatch(d) => Some(d.request),
+            TraceEvent::TransferRetried { id, .. } => *id,
             _ => None,
         }
     }
@@ -291,6 +321,9 @@ impl TraceEvent {
             TraceEvent::StepStarted { .. } => "step-started",
             TraceEvent::StepFinished { .. } => "step-finished",
             TraceEvent::Autoscale { .. } => "autoscale",
+            TraceEvent::FaultInjected { .. } => "fault-injected",
+            TraceEvent::RequestRescheduled { .. } => "request-rescheduled",
+            TraceEvent::TransferRetried { .. } => "transfer-retried",
         }
     }
 }

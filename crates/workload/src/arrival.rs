@@ -87,10 +87,21 @@ impl ArrivalProcess {
                 let mut in_burst = false;
                 let mut phase_left = rng.next_exp(1.0 / mean_phase_secs);
                 for _ in 0..n {
-                    let rate = if in_burst { burst_rate } else { base_rate };
-                    let gap = rng.next_exp(rate);
-                    phase_left -= gap;
-                    if phase_left <= 0.0 {
+                    let mut gap = 0.0;
+                    loop {
+                        let rate = if in_burst { burst_rate } else { base_rate };
+                        let draw = rng.next_exp(rate);
+                        if draw < phase_left {
+                            phase_left -= draw;
+                            gap += draw;
+                            break;
+                        }
+                        // The draw straddles the phase boundary: only the
+                        // part inside the phase elapsed at this rate. The
+                        // exponential is memoryless, so consuming the
+                        // remainder of the phase and redrawing at the next
+                        // phase's rate is exact, not an approximation.
+                        gap += phase_left;
                         in_burst = !in_burst;
                         phase_left = rng.next_exp(1.0 / mean_phase_secs);
                     }
@@ -136,7 +147,50 @@ mod tests {
         };
         let vb = var(&bursty.gaps(20_000, &mut rng));
         let vp = var(&ArrivalProcess::poisson(bursty.mean_rate()).gaps(20_000, &mut rng));
-        assert!(vb > vp, "squared CV bursty {vb} vs poisson {vp}");
+        // A two-state MMPP with a 10x rate ratio is overdispersed well past
+        // Poisson's squared CV of 1 — not just "a bit above" it.
+        assert!(vb > 1.5 * vp, "squared CV bursty {vb} vs poisson {vp}");
+        assert!((vp - 1.0).abs() < 0.1, "poisson squared CV {vp}");
+    }
+
+    #[test]
+    fn bursty_realizes_configured_mean_rate() {
+        // With correct phase accounting the realized long-run rate matches
+        // mean_rate(); the pre-fix code overshot phase boundaries at the
+        // old phase's rate, biasing the realized rate toward base_rate.
+        let mut rng = SimRng::seed_from_u64(17);
+        let bursty = ArrivalProcess::Bursty {
+            base_rate: 2.0,
+            burst_rate: 20.0,
+            mean_phase_secs: 5.0,
+        };
+        let gaps = bursty.gaps(100_000, &mut rng);
+        let total: f64 = gaps.iter().map(|g| g.as_secs_f64()).sum();
+        let realized = gaps.len() as f64 / total;
+        let expected = bursty.mean_rate();
+        assert!(
+            (realized - expected).abs() / expected < 0.05,
+            "realized {realized} req/s vs configured {expected}"
+        );
+    }
+
+    #[test]
+    fn bursty_with_equal_rates_degenerates_to_poisson() {
+        // base == burst: phase flips change nothing; the process is plain
+        // Poisson (memorylessness makes the split-at-boundary draws exact).
+        let mut rng = SimRng::seed_from_u64(23);
+        let bursty = ArrivalProcess::Bursty {
+            base_rate: 6.0,
+            burst_rate: 6.0,
+            mean_phase_secs: 2.0,
+        };
+        let gaps = bursty.gaps(50_000, &mut rng);
+        let xs: Vec<f64> = gaps.iter().map(|g| g.as_secs_f64()).collect();
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / xs.len() as f64;
+        let cv2 = var / (mean * mean);
+        assert!((mean - 1.0 / 6.0).abs() < 0.005, "mean gap {mean}");
+        assert!((cv2 - 1.0).abs() < 0.1, "squared CV {cv2}");
     }
 
     #[test]

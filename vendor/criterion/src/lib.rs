@@ -16,6 +16,11 @@ impl BenchmarkId {
     pub fn new(name: impl std::fmt::Display, parameter: impl std::fmt::Display) -> Self {
         BenchmarkId { label: format!("{name}/{parameter}") }
     }
+
+    /// An id rendered as the parameter alone (for single-function groups).
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId { label: parameter.to_string() }
+    }
 }
 
 impl From<&str> for BenchmarkId {
