@@ -57,6 +57,67 @@ fn cost_model(c: &mut Criterion) {
     g.bench_function("decode_batch_64", |b| b.iter(|| cost.step_time(&plan)));
     let prefill = BatchPlan::single_prefill(2048);
     g.bench_function("prefill_2048", |b| b.iter(|| cost.step_time(&prefill)));
+
+    // The step cache's target shape: a steady decode batch whose contexts
+    // grow by one token per step (same PlanSig, new ΣL every step). The
+    // uncached variant reprices all 64 contexts from first principles.
+    let uncached = cost.clone();
+    uncached.set_step_cache_enabled(false);
+    for (label, model) in [
+        ("steady_decode_cached", &cost),
+        ("steady_decode_uncached", &uncached),
+    ] {
+        g.bench_function(label, |b| {
+            b.iter(|| {
+                let mut contexts = vec![700u32; 64];
+                let mut total = windserve_sim::SimDuration::ZERO;
+                for _ in 0..100 {
+                    for ctx in &mut contexts {
+                        *ctx += 1;
+                    }
+                    total += model.step_time(&BatchPlan::decode_only(contexts.clone()));
+                }
+                total
+            })
+        });
+    }
+    g.finish();
+}
+
+fn fx_hash(c: &mut Criterion) {
+    use std::collections::HashMap;
+    use windserve_sim::hash::FxHashMap;
+
+    let mut g = c.benchmark_group("hash");
+    // The cluster's hot maps are small (pending transfers, in-flight
+    // migrations, per-instance sequences) and keyed by integers — exactly
+    // where SipHash overhead dominates and FxHash pays off.
+    g.bench_function("fxhash_insert_get_1k_u64", |b| {
+        b.iter(|| {
+            let mut m: FxHashMap<u64, u64> = FxHashMap::default();
+            for k in 0..1_000u64 {
+                m.insert(k.wrapping_mul(0x9E3779B97F4A7C15), k);
+            }
+            let mut sum = 0u64;
+            for k in 0..1_000u64 {
+                sum += m[&k.wrapping_mul(0x9E3779B97F4A7C15)];
+            }
+            sum
+        })
+    });
+    g.bench_function("siphash_insert_get_1k_u64", |b| {
+        b.iter(|| {
+            let mut m: HashMap<u64, u64> = HashMap::new();
+            for k in 0..1_000u64 {
+                m.insert(k.wrapping_mul(0x9E3779B97F4A7C15), k);
+            }
+            let mut sum = 0u64;
+            for k in 0..1_000u64 {
+                sum += m[&k.wrapping_mul(0x9E3779B97F4A7C15)];
+            }
+            sum
+        })
+    });
     g.finish();
 }
 
@@ -87,6 +148,7 @@ criterion_group!(
     event_queue,
     block_manager,
     cost_model,
+    fx_hash,
     stream_sharing
 );
 criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! `windserve-bench perf`: the tracked simulator-performance benchmark.
+//!
+//! Measures simulated-steps/sec, events/sec and wall-clock over the
+//! standard sweep, reports the cost-model step-cache hit rate, and proves
+//! the cache exact by comparing a cached vs uncached run. Writes
+//! `results/BENCH_perf.json`.
+//!
+//! ```text
+//! cargo run -p windserve-bench --release --bin perf -- [--quick] [--jobs N]
+//! ```
+
+fn main() {
+    let ctx = windserve_bench::ExpContext::from_args();
+    println!(
+        "windserve perf benchmark ({} mode, {} jobs)",
+        if ctx.quick { "quick" } else { "full" },
+        ctx.jobs
+    );
+    let value = windserve_bench::perf::run(&ctx);
+    println!(
+        "\n  wall          {:>10.2} s",
+        value["wall_secs"].as_f64().unwrap_or(0.0)
+    );
+    println!(
+        "  steps/sec     {:>10.0}",
+        value["steps_per_sec"].as_f64().unwrap_or(0.0)
+    );
+    println!(
+        "  events/sec    {:>10.0}",
+        value["events_per_sec"].as_f64().unwrap_or(0.0)
+    );
+    println!(
+        "  cache hit     {:>10.1}%",
+        value["cost_cache"]["hit_rate"].as_f64().unwrap_or(0.0) * 100.0
+    );
+    println!(
+        "  cache exact   {:>10}",
+        value["cache_identity"]["identical"]
+            .as_bool()
+            .unwrap_or(false)
+    );
+    ctx.emit("BENCH_perf", &value);
+}

@@ -1,7 +1,7 @@
 //! End-to-end sweeps shared by Fig. 10 (latency curves) and Fig. 11 (SLO
 //! attainment).
 
-use crate::harness::{print_table, run_point, Case, ExpContext};
+use crate::harness::{parallel_map, print_table, run_point, Case, ExpContext};
 use serde_json::{json, Value};
 use windserve::SystemKind;
 
@@ -35,30 +35,36 @@ pub struct Point {
 }
 
 /// Sweeps `case` over its rate axis for every system in `systems`.
+///
+/// The grid points run across [`parallel_map`]'s worker pool (`ctx.jobs`
+/// threads); each point is an independent seeded simulation, and results
+/// come back in canonical `(rate, system)` order, so the sweep's output is
+/// byte-identical whatever the worker count.
 pub fn sweep(case: &Case, systems: &[SystemKind], ctx: &ExpContext) -> Vec<Point> {
     let dataset = (case.dataset)();
     let n = ctx.scale(case.requests);
-    let mut points = Vec::new();
-    for &rate in case.rates {
-        for &system in systems {
-            let report = run_point((case.config)(system), &dataset, rate, n, 0xBEEF);
-            points.push(Point {
-                system,
-                rate,
-                ttft_p50: report.summary.ttft.p50,
-                ttft_p99: report.summary.ttft.p99,
-                tpot_p90: report.summary.tpot.p90,
-                tpot_p99: report.summary.tpot.p99,
-                slo_both: report.summary.slo.both,
-                slo_ttft: report.summary.slo.ttft,
-                slo_tpot: report.summary.slo.tpot,
-                dispatched: report.dispatched_prefills,
-                migrations: report.migrations_started,
-                swaps: report.total_swap_outs(),
-            });
+    let grid: Vec<(f64, SystemKind)> = case
+        .rates
+        .iter()
+        .flat_map(|&rate| systems.iter().map(move |&system| (rate, system)))
+        .collect();
+    parallel_map(ctx.jobs, grid, |(rate, system)| {
+        let report = run_point((case.config)(system), &dataset, rate, n, 0xBEEF);
+        Point {
+            system,
+            rate,
+            ttft_p50: report.summary.ttft.p50,
+            ttft_p99: report.summary.ttft.p99,
+            tpot_p90: report.summary.tpot.p90,
+            tpot_p99: report.summary.tpot.p99,
+            slo_both: report.summary.slo.both,
+            slo_ttft: report.summary.slo.ttft,
+            slo_tpot: report.summary.slo.tpot,
+            dispatched: report.dispatched_prefills,
+            migrations: report.migrations_started,
+            swaps: report.total_swap_outs(),
         }
-    }
-    points
+    })
 }
 
 /// Prints the Fig. 10-style latency table for a case and returns its JSON.

@@ -7,7 +7,7 @@
 //! the bottleneck, and WindServe saturates the idle decode compute via
 //! Dynamic Prefill Dispatch.
 
-use crate::harness::{print_table, run_point, ExpContext};
+use crate::harness::{parallel_map, print_table, run_point, ExpContext};
 use serde_json::{json, Value};
 use windserve::{Parallelism, ServeConfig, SystemKind};
 use windserve_workload::Dataset;
@@ -21,36 +21,46 @@ pub fn run(ctx: &ExpContext) -> Value {
     ];
     let mut out = serde_json::Map::new();
     for (label, decode_par, rates) in placements {
+        let grid: Vec<(f64, SystemKind)> = rates
+            .iter()
+            .flat_map(|&rate| {
+                [SystemKind::WindServe, SystemKind::DistServe]
+                    .into_iter()
+                    .map(move |system| (rate, system))
+            })
+            .collect();
+        let reports = parallel_map(ctx.jobs, grid, |(rate, system)| {
+            let mut cfg = ServeConfig::opt_13b_sharegpt(system);
+            cfg.decode_parallelism = decode_par;
+            (
+                rate,
+                system,
+                run_point(cfg, &dataset, rate, ctx.scale(1500), 0xF12),
+            )
+        });
         let mut rows = Vec::new();
         let mut points = Vec::new();
-        for &rate in rates {
-            let mut results = Vec::new();
-            for system in [SystemKind::WindServe, SystemKind::DistServe] {
-                let mut cfg = ServeConfig::opt_13b_sharegpt(system);
-                cfg.decode_parallelism = decode_par;
-                let report = run_point(cfg, &dataset, rate, ctx.scale(1500), 0xF12);
-                rows.push(vec![
-                    system.label().to_string(),
-                    format!("{rate:.1}"),
-                    format!("{:.3}", report.summary.slo.both),
-                    format!("{:.3}", report.summary.slo.ttft),
-                    format!("{:.3}", report.summary.slo.tpot),
-                    format!("{}", report.dispatched_prefills),
-                    format!("{}", report.migrations_started),
-                    format!("{}", report.total_swap_outs()),
-                ]);
-                results.push(json!({
-                    "system": system.label(),
-                    "rate_per_gpu": rate,
-                    "slo_both": report.summary.slo.both,
-                    "slo_ttft": report.summary.slo.ttft,
-                    "slo_tpot": report.summary.slo.tpot,
-                    "dispatched": report.dispatched_prefills,
-                    "migrations": report.migrations_started,
-                    "swaps": report.total_swap_outs(),
-                }));
-            }
-            points.extend(results);
+        for (rate, system, report) in reports {
+            rows.push(vec![
+                system.label().to_string(),
+                format!("{rate:.1}"),
+                format!("{:.3}", report.summary.slo.both),
+                format!("{:.3}", report.summary.slo.ttft),
+                format!("{:.3}", report.summary.slo.tpot),
+                format!("{}", report.dispatched_prefills),
+                format!("{}", report.migrations_started),
+                format!("{}", report.total_swap_outs()),
+            ]);
+            points.push(json!({
+                "system": system.label(),
+                "rate_per_gpu": rate,
+                "slo_both": report.summary.slo.both,
+                "slo_ttft": report.summary.slo.ttft,
+                "slo_tpot": report.summary.slo.tpot,
+                "dispatched": report.dispatched_prefills,
+                "migrations": report.migrations_started,
+                "swaps": report.total_swap_outs(),
+            }));
         }
         print_table(
             &format!("Fig 12: SLO attainment, {label} (OPT-13B, ShareGPT)"),

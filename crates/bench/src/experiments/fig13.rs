@@ -11,7 +11,7 @@
 //! placement (`[TP-2, TP-1]`, the Fig. 12-left configuration); this
 //! substitution is recorded in EXPERIMENTS.md.
 
-use crate::harness::{print_table, run_point, ExpContext};
+use crate::harness::{parallel_map, print_table, run_point, ExpContext};
 use serde_json::{json, Value};
 use windserve::{Parallelism, ServeConfig, SystemKind};
 use windserve_workload::Dataset;
@@ -22,29 +22,41 @@ pub fn run(ctx: &ExpContext) -> Value {
 
     // (a) no-split on LongBench (clipped to OPT's 2K window).
     let longbench = Dataset::longbench(2048);
+    let grid_a: Vec<(f64, SystemKind)> = [2.0, 3.0, 4.0]
+        .into_iter()
+        .flat_map(|rate| {
+            [SystemKind::WindServe, SystemKind::WindServeNoSplit]
+                .into_iter()
+                .map(move |system| (rate, system))
+        })
+        .collect();
+    let reports = parallel_map(ctx.jobs, grid_a, |(rate, system)| {
+        let cfg = ServeConfig::opt_13b_sharegpt(system);
+        (
+            rate,
+            system,
+            run_point(cfg, &longbench, rate, ctx.scale(1200), 0xF13),
+        )
+    });
     let mut rows = Vec::new();
     let mut points = Vec::new();
-    for rate in [2.0, 3.0, 4.0] {
-        for system in [SystemKind::WindServe, SystemKind::WindServeNoSplit] {
-            let cfg = ServeConfig::opt_13b_sharegpt(system);
-            let report = run_point(cfg, &longbench, rate, ctx.scale(1200), 0xF13);
-            rows.push(vec![
-                system.label().to_string(),
-                format!("{rate:.1}"),
-                format!("{:.3}", report.summary.ttft.p99),
-                format!("{:.4}", report.summary.tpot.p99),
-                format!("{:.3}", report.summary.slo.both),
-                format!("{}", report.dispatched_prefills),
-            ]);
-            points.push(json!({
-                "system": system.label(),
-                "rate_per_gpu": rate,
-                "ttft_p99": report.summary.ttft.p99,
-                "tpot_p99": report.summary.tpot.p99,
-                "slo_both": report.summary.slo.both,
-                "dispatched": report.dispatched_prefills,
-            }));
-        }
+    for (rate, system, report) in reports {
+        rows.push(vec![
+            system.label().to_string(),
+            format!("{rate:.1}"),
+            format!("{:.3}", report.summary.ttft.p99),
+            format!("{:.4}", report.summary.tpot.p99),
+            format!("{:.3}", report.summary.slo.both),
+            format!("{}", report.dispatched_prefills),
+        ]);
+        points.push(json!({
+            "system": system.label(),
+            "rate_per_gpu": rate,
+            "ttft_p99": report.summary.ttft.p99,
+            "tpot_p99": report.summary.tpot.p99,
+            "slo_both": report.summary.slo.both,
+            "dispatched": report.dispatched_prefills,
+        }));
     }
     print_table(
         "Fig 13a: WindServe vs no-split (OPT-13B, LongBench) — P99 latencies",
@@ -62,32 +74,44 @@ pub fn run(ctx: &ExpContext) -> Value {
 
     // (b) no-resche on ShareGPT with the memory-tight decode placement.
     let sharegpt = Dataset::sharegpt(2048);
+    let grid_b: Vec<(f64, SystemKind)> = [3.0, 4.0, 5.0]
+        .into_iter()
+        .flat_map(|rate| {
+            [SystemKind::WindServe, SystemKind::WindServeNoResche]
+                .into_iter()
+                .map(move |system| (rate, system))
+        })
+        .collect();
+    let reports = parallel_map(ctx.jobs, grid_b, |(rate, system)| {
+        let mut cfg = ServeConfig::opt_13b_sharegpt(system);
+        cfg.decode_parallelism = Parallelism::tp(1);
+        (
+            rate,
+            system,
+            run_point(cfg, &sharegpt, rate, ctx.scale(1200), 0xF13B),
+        )
+    });
     let mut rows = Vec::new();
     let mut points = Vec::new();
-    for rate in [3.0, 4.0, 5.0] {
-        for system in [SystemKind::WindServe, SystemKind::WindServeNoResche] {
-            let mut cfg = ServeConfig::opt_13b_sharegpt(system);
-            cfg.decode_parallelism = Parallelism::tp(1);
-            let report = run_point(cfg, &sharegpt, rate, ctx.scale(1200), 0xF13B);
-            rows.push(vec![
-                system.label().to_string(),
-                format!("{rate:.1}"),
-                format!("{:.3}", report.summary.ttft.p99),
-                format!("{:.4}", report.summary.tpot.p99),
-                format!("{:.3}", report.summary.slo.both),
-                format!("{}", report.migrations_started),
-                format!("{}", report.total_swap_outs()),
-            ]);
-            points.push(json!({
-                "system": system.label(),
-                "rate_per_gpu": rate,
-                "ttft_p99": report.summary.ttft.p99,
-                "tpot_p99": report.summary.tpot.p99,
-                "slo_both": report.summary.slo.both,
-                "migrations": report.migrations_started,
-                "swaps": report.total_swap_outs(),
-            }));
-        }
+    for (rate, system, report) in reports {
+        rows.push(vec![
+            system.label().to_string(),
+            format!("{rate:.1}"),
+            format!("{:.3}", report.summary.ttft.p99),
+            format!("{:.4}", report.summary.tpot.p99),
+            format!("{:.3}", report.summary.slo.both),
+            format!("{}", report.migrations_started),
+            format!("{}", report.total_swap_outs()),
+        ]);
+        points.push(json!({
+            "system": system.label(),
+            "rate_per_gpu": rate,
+            "ttft_p99": report.summary.ttft.p99,
+            "tpot_p99": report.summary.tpot.p99,
+            "slo_both": report.summary.slo.both,
+            "migrations": report.migrations_started,
+            "swaps": report.total_swap_outs(),
+        }));
     }
     print_table(
         "Fig 13b: WindServe vs no-resche (OPT-13B, ShareGPT, [TP-2, TP-1]) — P99 latencies",

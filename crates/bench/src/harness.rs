@@ -1,8 +1,10 @@
 //! Shared experiment plumbing.
 
 use serde_json::Value;
+use std::collections::VecDeque;
 use std::fs;
 use std::path::PathBuf;
+use std::sync::Mutex;
 use windserve::{Cluster, RunReport, ServeConfig, SystemKind};
 use windserve_workload::{ArrivalProcess, Dataset, Trace};
 
@@ -100,18 +102,83 @@ pub fn run_point(
         .expect("experiment run must complete")
 }
 
-/// Experiment execution context: quick mode and output directory, parsed
-/// from the process arguments (`--quick`, `--out <dir>`).
+/// Worker count to use when none is requested: `WINDSERVE_JOBS` if set to
+/// a positive integer, else the machine's available parallelism.
+pub fn default_jobs() -> usize {
+    if let Ok(v) = std::env::var("WINDSERVE_JOBS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+        eprintln!("warning: ignoring invalid WINDSERVE_JOBS={v:?}");
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Maps `f` over `items` on a scoped pool of `jobs` worker threads,
+/// returning results in the items' original order.
+///
+/// Every experiment point is an independent deterministic simulation, so
+/// the only thing parallelism could perturb is ordering — and this
+/// preserves it: each item carries its index, and results land in an
+/// index-addressed slot. The output (and hence any JSON derived from it)
+/// is byte-identical regardless of `jobs`.
+///
+/// # Panics
+///
+/// Propagates the first worker panic after the scope joins (an experiment
+/// must fail loudly, not report a partial grid).
+pub fn parallel_map<T, R, F>(jobs: usize, items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let n = items.len();
+    if jobs <= 1 || n <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let queue: Mutex<VecDeque<(usize, T)>> = Mutex::new(items.into_iter().enumerate().collect());
+    let slots: Mutex<Vec<Option<R>>> = Mutex::new((0..n).map(|_| None).collect());
+    std::thread::scope(|scope| {
+        for _ in 0..jobs.min(n) {
+            scope.spawn(|| loop {
+                let next = queue.lock().expect("queue poisoned").pop_front();
+                let Some((idx, item)) = next else { break };
+                let result = f(item);
+                slots.lock().expect("slots poisoned")[idx] = Some(result);
+            });
+        }
+    });
+    slots
+        .into_inner()
+        .expect("slots poisoned")
+        .into_iter()
+        .map(|r| r.expect("scope joined every worker"))
+        .collect()
+}
+
+/// Experiment execution context: quick mode, output directory and worker
+/// count, parsed from the process arguments (`--quick`, `--out <dir>`,
+/// `--jobs <n>`).
 #[derive(Debug, Clone)]
 pub struct ExpContext {
     /// Shrinks trace sizes for CI-speed runs.
     pub quick: bool,
     /// Where JSON results land.
     pub out_dir: PathBuf,
+    /// Worker threads for [`parallel_map`] sweeps (never changes results,
+    /// only wall-clock).
+    pub jobs: usize,
 }
 
 impl ExpContext {
-    /// Parses `--quick` and `--out <dir>` from `std::env::args`.
+    /// Parses `--quick`, `--out <dir>` and `--jobs <n>` from
+    /// `std::env::args`; `--jobs` falls back to `WINDSERVE_JOBS`, then to
+    /// the machine's available parallelism.
     pub fn from_args() -> Self {
         let args: Vec<String> = std::env::args().collect();
         let quick = args.iter().any(|a| a == "--quick");
@@ -121,14 +188,27 @@ impl ExpContext {
             .and_then(|i| args.get(i + 1))
             .map(PathBuf::from)
             .unwrap_or_else(|| PathBuf::from("results"));
-        ExpContext { quick, out_dir }
+        let jobs = args
+            .iter()
+            .position(|a| a == "--jobs")
+            .and_then(|i| args.get(i + 1))
+            .and_then(|v| v.parse::<usize>().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or_else(default_jobs);
+        ExpContext {
+            quick,
+            out_dir,
+            jobs,
+        }
     }
 
-    /// A context for tests/benches: quick, writing to a temp directory.
+    /// A context for tests/benches: quick, single-worker, writing to a
+    /// temp directory.
     pub fn quiet() -> Self {
         ExpContext {
             quick: true,
             out_dir: std::env::temp_dir().join("windserve-results"),
+            jobs: 1,
         }
     }
 

@@ -16,6 +16,7 @@
 mod chart;
 pub mod experiments;
 mod harness;
+pub mod perf;
 
 pub use chart::{BarChart, LineChart};
-pub use harness::{print_table, run_point, Case, ExpContext};
+pub use harness::{default_jobs, parallel_map, print_table, run_point, Case, ExpContext};

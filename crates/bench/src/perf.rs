@@ -1,0 +1,162 @@
+//! The tracked performance benchmark (`windserve-bench perf`).
+//!
+//! Measures the simulator itself, not the paper's serving metrics: how many
+//! simulated steps and events per wall-clock second the standard sweep
+//! sustains, what the cost-model step-cache hit rate is on the Fig. 10
+//! decode-heavy workload, and — crucially — that the cache changes *no*
+//! reported number (cached and uncached runs are compared field by field).
+//! The output lands in `results/BENCH_perf.json` so the perf trajectory is
+//! tracked across PRs.
+
+use crate::harness::{parallel_map, run_point, Case, ExpContext};
+use serde_json::{json, Value};
+use std::time::Instant;
+use windserve::SystemKind;
+
+/// One measured point of the perf sweep.
+struct PerfPoint {
+    case: &'static str,
+    system: SystemKind,
+    rate: f64,
+    wall_secs: f64,
+    steps: u64,
+    events: u64,
+    cache_hits: u64,
+    cache_misses: u64,
+}
+
+/// Runs the standard perf sweep and returns the `BENCH_perf` JSON document.
+///
+/// The sweep covers every paper case under the three headline systems at
+/// each case's middle rate — the same decode-heavy shapes as Fig. 10, small
+/// enough to run in CI with `--quick` yet exercising prefill, decode,
+/// hybrid and aux-stream steps.
+pub fn run(ctx: &ExpContext) -> Value {
+    let systems = [
+        SystemKind::WindServe,
+        SystemKind::DistServe,
+        SystemKind::VllmColocated,
+    ];
+    let grid: Vec<(Case, SystemKind)> = Case::all()
+        .into_iter()
+        .flat_map(|case| {
+            systems
+                .into_iter()
+                .map(move |system| (case.clone(), system))
+        })
+        .collect();
+    let sweep_start = Instant::now();
+    let points = parallel_map(ctx.jobs, grid, |(case, system)| {
+        let dataset = (case.dataset)();
+        let rate = case.rates[case.rates.len() / 2];
+        let n = ctx.scale(case.requests);
+        let start = Instant::now();
+        let report = run_point((case.config)(system), &dataset, rate, n, 0xBEEF);
+        PerfPoint {
+            case: case.label,
+            system,
+            rate,
+            wall_secs: start.elapsed().as_secs_f64(),
+            steps: report.total_steps(),
+            events: report.events_processed,
+            cache_hits: report.cost_cache_hits,
+            cache_misses: report.cost_cache_misses,
+        }
+    });
+    let sweep_wall = sweep_start.elapsed().as_secs_f64();
+
+    let total_steps: u64 = points.iter().map(|p| p.steps).sum();
+    let total_events: u64 = points.iter().map(|p| p.events).sum();
+    let hits: u64 = points.iter().map(|p| p.cache_hits).sum();
+    let misses: u64 = points.iter().map(|p| p.cache_misses).sum();
+    let hit_rate = if hits + misses > 0 {
+        hits as f64 / (hits + misses) as f64
+    } else {
+        0.0
+    };
+
+    let identity = cache_identity_check(ctx);
+
+    let per_point: Vec<Value> = points
+        .iter()
+        .map(|p| {
+            json!({
+                "case": p.case,
+                "system": p.system.label(),
+                "rate_per_gpu": p.rate,
+                "wall_secs": p.wall_secs,
+                "steps": p.steps,
+                "events": p.events,
+            })
+        })
+        .collect();
+
+    json!({
+        "schema": "windserve-bench-perf/1",
+        "mode": if ctx.quick { "quick" } else { "full" },
+        "jobs": ctx.jobs,
+        "points": points.len(),
+        "wall_secs": sweep_wall,
+        "total_steps": total_steps,
+        "total_events": total_events,
+        "steps_per_sec": total_steps as f64 / sweep_wall.max(1e-9),
+        "events_per_sec": total_events as f64 / sweep_wall.max(1e-9),
+        "cost_cache": {
+            "hits": hits,
+            "misses": misses,
+            "hit_rate": hit_rate,
+        },
+        "cache_identity": identity,
+        "per_point": per_point,
+    })
+}
+
+/// Runs one decode-heavy Fig. 10 point twice — step cache on and off — and
+/// verifies the reports agree on everything the paper reads: latency
+/// percentiles, per-request records, step counts and scheduler counters.
+///
+/// # Panics
+///
+/// Panics if the cached run reports different numbers than the uncached
+/// run — that would mean the "exact" cache is not exact, which must fail
+/// the benchmark loudly rather than be recorded as a perf number.
+fn cache_identity_check(ctx: &ExpContext) -> Value {
+    let case = Case::opt_13b_sharegpt();
+    let dataset = (case.dataset)();
+    let rate = case.rates[case.rates.len() / 2];
+    let n = ctx.scale(case.requests);
+
+    let cached_start = Instant::now();
+    let cached = run_point(
+        (case.config)(SystemKind::WindServe),
+        &dataset,
+        rate,
+        n,
+        0xBEEF,
+    );
+    let cached_wall = cached_start.elapsed().as_secs_f64();
+
+    let mut cfg = (case.config)(SystemKind::WindServe);
+    cfg.cost_cache = false;
+    let uncached_start = Instant::now();
+    let uncached = run_point(cfg, &dataset, rate, n, 0xBEEF);
+    let uncached_wall = uncached_start.elapsed().as_secs_f64();
+
+    // Compare everything except the cache counters themselves (which the
+    // uncached run legitimately reports as zero).
+    let mut cached_scrubbed = cached.clone();
+    cached_scrubbed.cost_cache_hits = 0;
+    cached_scrubbed.cost_cache_misses = 0;
+    assert_eq!(
+        cached_scrubbed, uncached,
+        "step cache changed reported results — it must be exact"
+    );
+
+    json!({
+        "identical": true,
+        "requests": n,
+        "cached_wall_secs": cached_wall,
+        "uncached_wall_secs": uncached_wall,
+        "cached_hit_rate": cached.cost_cache_hit_rate(),
+    })
+}

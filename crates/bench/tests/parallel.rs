@@ -1,0 +1,82 @@
+//! The parallel sweep harness must never change results — only wall-clock.
+//! Same seed, different `--jobs`: byte-identical experiment JSON.
+
+use windserve::SystemKind;
+use windserve_bench::experiments::e2e;
+use windserve_bench::{parallel_map, run_point, Case, ExpContext};
+
+fn ctx_with_jobs(jobs: usize) -> ExpContext {
+    let mut ctx = ExpContext::quiet();
+    ctx.jobs = jobs;
+    ctx
+}
+
+#[test]
+fn sweep_json_is_byte_identical_across_worker_counts() {
+    let case = Case {
+        label: "determinism probe",
+        config: windserve::ServeConfig::opt_13b_sharegpt,
+        dataset: || windserve_workload::Dataset::sharegpt(2048),
+        rates: &[2.0, 4.0],
+        requests: 300,
+    };
+    let systems = [SystemKind::WindServe, SystemKind::DistServe];
+    let serial = e2e::sweep(&case, &systems, &ctx_with_jobs(1));
+    let parallel = e2e::sweep(&case, &systems, &ctx_with_jobs(4));
+    let js = serde_json::to_string(&e2e::to_json(&serial)).unwrap();
+    let jp = serde_json::to_string(&e2e::to_json(&parallel)).unwrap();
+    assert_eq!(js, jp, "jobs=4 must reproduce jobs=1 byte-for-byte");
+}
+
+#[test]
+fn run_reports_are_identical_serial_vs_parallel() {
+    // Drive run_point itself through parallel_map and compare full
+    // RunReports (not just the derived table rows) against serial calls.
+    let case = Case::opt_13b_sharegpt();
+    let dataset = (case.dataset)();
+    let grid: Vec<f64> = vec![2.0, 3.0, 4.0];
+    let serial: Vec<_> = grid
+        .iter()
+        .map(|&rate| {
+            run_point(
+                (case.config)(SystemKind::WindServe),
+                &dataset,
+                rate,
+                250,
+                0xBEEF,
+            )
+        })
+        .collect();
+    let parallel = parallel_map(4, grid, |rate| {
+        run_point(
+            (case.config)(SystemKind::WindServe),
+            &dataset,
+            rate,
+            250,
+            0xBEEF,
+        )
+    });
+    assert_eq!(serial, parallel);
+}
+
+#[test]
+fn parallel_map_preserves_order_and_survives_uneven_work() {
+    let items: Vec<u64> = (0..97).collect();
+    let out = parallel_map(8, items.clone(), |x| {
+        // Uneven busy-work so completion order scrambles.
+        let mut acc = x;
+        for _ in 0..(x % 7) * 1000 {
+            acc = acc.wrapping_mul(6364136223846793005).wrapping_add(1);
+        }
+        let _ = acc;
+        x * 2
+    });
+    let expected: Vec<u64> = items.iter().map(|x| x * 2).collect();
+    assert_eq!(out, expected);
+}
+
+#[test]
+fn parallel_map_with_one_job_is_serial() {
+    let out = parallel_map(1, vec![1, 2, 3], |x| x + 1);
+    assert_eq!(out, vec![2, 3, 4]);
+}

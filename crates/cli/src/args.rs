@@ -38,6 +38,7 @@ const SWITCHES: &[&str] = &[
     "sample",
     "split-nodes",
     "autoscale",
+    "check-cache",
 ];
 
 impl Args {

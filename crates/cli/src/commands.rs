@@ -209,6 +209,91 @@ pub fn faults(args: &Args) -> Result<String, ArgError> {
     Ok(out)
 }
 
+/// Benchmarks the simulator itself on one operating point: wall-clock,
+/// simulated-steps/sec, events/sec and the cost-model step-cache hit rate.
+/// With `--check-cache` the run is repeated with the cache disabled and the
+/// two reports are compared — any divergence is an error, because the cache
+/// is exact by design.
+///
+/// # Errors
+///
+/// Reports invalid flags, a failed simulation, or (under `--check-cache`) a
+/// cached run that differs from the uncached one.
+pub fn perf(args: &Args) -> Result<String, ArgError> {
+    let spec = RunSpec::from_args(args)?;
+    let trace = Trace::generate(&spec.dataset, &spec.arrivals, spec.requests, spec.seed);
+    let start = std::time::Instant::now();
+    let report = Cluster::new(spec.config.clone())
+        .map_err(|e| ArgError(format!("config: {e}")))?
+        .run(&trace)
+        .map_err(|e| ArgError(format!("simulation: {e}")))?;
+    let wall = start.elapsed().as_secs_f64();
+    let steps = report.total_steps();
+    let events = report.events_processed;
+
+    let check = if args.switch("check-cache") {
+        let mut uncached_cfg = spec.config.clone();
+        uncached_cfg.cost_cache = false;
+        let uncached_start = std::time::Instant::now();
+        let uncached = Cluster::new(uncached_cfg)
+            .map_err(|e| ArgError(format!("config: {e}")))?
+            .run(&trace)
+            .map_err(|e| ArgError(format!("simulation: {e}")))?;
+        let uncached_wall = uncached_start.elapsed().as_secs_f64();
+        let mut scrubbed = report.clone();
+        scrubbed.cost_cache_hits = 0;
+        scrubbed.cost_cache_misses = 0;
+        if scrubbed != uncached {
+            return Err(ArgError(
+                "cost cache changed reported results — it must be exact".to_string(),
+            ));
+        }
+        Some(uncached_wall)
+    } else {
+        None
+    };
+
+    if args.switch("json") {
+        let mut value = serde_json::json!({
+            "wall_secs": wall,
+            "total_steps": steps,
+            "total_events": events,
+            "steps_per_sec": steps as f64 / wall.max(1e-9),
+            "events_per_sec": events as f64 / wall.max(1e-9),
+            "cost_cache_hits": report.cost_cache_hits,
+            "cost_cache_misses": report.cost_cache_misses,
+            "cost_cache_hit_rate": report.cost_cache_hit_rate(),
+        });
+        if let Some(uncached_wall) = check {
+            value["cache_identity"] = serde_json::json!({
+                "identical": true,
+                "uncached_wall_secs": uncached_wall,
+            });
+        }
+        serde_json::to_string_pretty(&value).map_err(|e| ArgError(format!("serialize: {e}")))
+    } else {
+        let mut out = format!(
+            "perf: {} requests in {:.3} s wall\n\
+             steps      {:>12}  ({:.0}/s)\n\
+             events     {:>12}  ({:.0}/s)\n\
+             cost cache {:>11.1}%  hit rate ({} hits / {} misses)\n",
+            spec.requests,
+            wall,
+            steps,
+            steps as f64 / wall.max(1e-9),
+            events,
+            events as f64 / wall.max(1e-9),
+            report.cost_cache_hit_rate() * 100.0,
+            report.cost_cache_hits,
+            report.cost_cache_misses,
+        );
+        if let Some(uncached_wall) = check {
+            out += &format!("cache check: identical results; uncached wall {uncached_wall:.3} s\n");
+        }
+        Ok(out)
+    }
+}
+
 /// Prints Table 2-style statistics of a generated trace.
 ///
 /// # Errors
@@ -247,6 +332,8 @@ COMMANDS:
     trace-stats  show Table 2-style statistics of a generated trace
     budget       show the calibrated Algorithm 1 budget and profiler fit
     faults       inject a fault preset and compare against the fault-free run
+    perf         benchmark the simulator itself (steps/sec, events/sec,
+                 cost-cache hit rate; --check-cache proves the cache exact)
     help         this text
 
 COMMON FLAGS (with defaults):
@@ -285,6 +372,8 @@ COMMON FLAGS (with defaults):
                                  flaky-transfers, degraded-link, chaos
                                  [decode-crash]
     --fault-seed N               (faults) fault-plan seed [--seed]
+    --check-cache                (perf) rerun with the cost cache disabled
+                                 and verify bit-identical results
     --json                       machine-readable output
 "#
     .to_string()
@@ -423,6 +512,25 @@ mod tests {
         assert_eq!(v["preset"], "degraded-link");
         assert_eq!(v["baseline"]["summary"]["completed"], 60);
         assert_eq!(v["faulted"]["summary"]["completed"], 60);
+    }
+
+    #[test]
+    fn perf_reports_rates_and_cache_stats() {
+        let out = perf(&args("perf --requests 120 --rate 2 --check-cache")).unwrap();
+        assert!(out.contains("steps"));
+        assert!(out.contains("events"));
+        assert!(out.contains("hit rate"));
+        assert!(out.contains("cache check: identical results"), "{out}");
+    }
+
+    #[test]
+    fn perf_json_carries_throughput_fields() {
+        let out = perf(&args("perf --requests 80 --rate 2 --json")).unwrap();
+        let v: serde_json::Value = serde_json::from_str(&out).expect("valid json");
+        assert!(v["steps_per_sec"].as_f64().unwrap() > 0.0);
+        assert!(v["events_per_sec"].as_f64().unwrap() > 0.0);
+        assert!(v["total_steps"].as_u64().unwrap() > 0);
+        assert!(v["cost_cache_hit_rate"].as_f64().unwrap() > 0.5);
     }
 
     #[test]

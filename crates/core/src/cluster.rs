@@ -42,7 +42,6 @@ use crate::config::ServeConfig;
 use crate::coordinator::Coordinator;
 use crate::profiler::Profiler;
 use crate::report::{InstanceReport, RunReport, TtftPrediction};
-use std::collections::HashMap;
 use windserve_engine::{
     Instance, InstanceConfig, LaneRef, PausedSeq, SeqState, StartedStep, StepKind, StepOutcome,
 };
@@ -51,6 +50,7 @@ use windserve_gpu::{GpuId, RouteId, StreamSharing, TransferEngine};
 use windserve_kvcache::StallFreeMigration;
 use windserve_metrics::{LatencySummary, PrefillSite, RequestRecord};
 use windserve_model::CostModel;
+use windserve_sim::hash::FxHashMap;
 use windserve_sim::{EventQueue, SimTime};
 use windserve_trace::{
     DispatchDecision, DispatchVerdict, Lane, StepClass, TraceEvent, TraceLog, Tracer,
@@ -202,13 +202,13 @@ pub struct Cluster {
     decode_idxs: Vec<usize>,
     transfers: TransferEngine,
     /// Directed inter-instance routes, keyed by `(src, dst)` indices.
-    routes: HashMap<(usize, usize), RouteId>,
+    routes: FxHashMap<(usize, usize), RouteId>,
     profiler: Profiler,
     coordinator: Coordinator,
     counters: Counters,
-    pending: HashMap<u64, PendingRecord>,
-    migrations: HashMap<u64, MigrationCtl>,
-    actions: HashMap<u64, PendingTransfer>,
+    pending: FxHashMap<u64, PendingRecord>,
+    migrations: FxHashMap<u64, MigrationCtl>,
+    actions: FxHashMap<u64, PendingTransfer>,
     next_transfer: u64,
     /// Events produced inside handlers, drained into the queue by `run`.
     deferred: Vec<(SimTime, Event)>,
@@ -259,7 +259,7 @@ impl Cluster {
         let mut transfers = TransferEngine::new();
         let mut prefill_idxs = Vec::new();
         let mut decode_idxs = Vec::new();
-        let mut routes = HashMap::new();
+        let mut routes = FxHashMap::default();
         let mut calibrated_budget = 0u32;
 
         let typical_context = cfg.model.max_context / 2;
@@ -380,6 +380,12 @@ impl Cluster {
             }
         }
 
+        if !cfg.cost_cache {
+            for inst in &instances {
+                inst.cost_model().set_step_cache_enabled(false);
+            }
+        }
+
         let coordinator = Coordinator {
             dispatch_threshold: cfg.effective_dispatch_threshold(),
             aux_budget_tokens: calibrated_budget,
@@ -400,9 +406,9 @@ impl Cluster {
             profiler,
             coordinator,
             counters: Counters::default(),
-            pending: HashMap::new(),
-            migrations: HashMap::new(),
-            actions: HashMap::new(),
+            pending: FxHashMap::default(),
+            migrations: FxHashMap::default(),
+            actions: FxHashMap::default(),
             next_transfer: 0,
             deferred: Vec::new(),
             series: Vec::new(),
@@ -496,6 +502,9 @@ impl Cluster {
             events.schedule(SimTime::ZERO, Event::AutoscaleTick);
         }
         let mut records: Vec<RequestRecord> = Vec::with_capacity(trace.requests().len());
+        // Reused across the per-event instance sweep so the hot loop does
+        // not allocate a fresh Vec per (event, instance) pair.
+        let mut started_scratch: Vec<StartedStep> = Vec::new();
         let mut processed = 0u64;
         let mut end_time = SimTime::ZERO;
         // Periodic ticks (sampling, autoscaling) and injected faults must
@@ -566,8 +575,9 @@ impl Cluster {
             // State changed somewhere: give every instance a chance to
             // launch steps (cheap — the instance count is tiny).
             for idx in 0..self.instances.len() {
-                let started = self.instances[idx].try_start(now);
-                self.register_steps(idx, &started, now);
+                started_scratch.clear();
+                self.instances[idx].try_start_into(now, &mut started_scratch);
+                self.register_steps(idx, &started_scratch, now);
             }
             for (at, ev) in self.deferred.drain(..) {
                 if !matches!(ev, Event::Sample | Event::AutoscaleTick | Event::Fault(_)) {
@@ -606,6 +616,11 @@ impl Cluster {
             })
             .collect();
         let log = std::mem::replace(&mut self.tracer, Tracer::disabled()).finish();
+        let cache_stats = self
+            .instances
+            .iter()
+            .map(|inst| inst.cost_model().step_cache_stats())
+            .fold((0u64, 0u64), |(h, m), s| (h + s.hits, m + s.misses));
         let report = RunReport {
             system: self.cfg.system,
             summary,
@@ -629,6 +644,9 @@ impl Cluster {
             }),
             autoscale_events: self.autoscale_events,
             gpu_seconds_active: self.gpu_seconds_active,
+            events_processed: processed,
+            cost_cache_hits: cache_stats.0,
+            cost_cache_misses: cache_stats.1,
         };
         Ok((report, log))
     }

@@ -239,6 +239,10 @@ pub struct ServeConfig {
     /// Seeded fault-injection plan (replica crashes, flaky/degraded
     /// transfers, stragglers). `None` runs fault-free.
     pub faults: Option<FaultPlan>,
+    /// Enables the cost model's step-time cache (the default). The cache
+    /// reconstructs exact step times — disabling it changes nothing but
+    /// speed, and exists so perf tooling can prove that equivalence.
+    pub cost_cache: bool,
 }
 
 impl ServeConfig {
@@ -278,6 +282,7 @@ impl ServeConfig {
             autoscale: None,
             trace: TraceMode::Off,
             faults: None,
+            cost_cache: true,
         }
     }
 

@@ -82,6 +82,13 @@ pub struct RunReport {
     /// GPU-seconds held by active (incl. warming) replicas — the cost side
     /// of the autoscaling trade-off.
     pub gpu_seconds_active: f64,
+    /// Simulator events processed by the run's event loop (perf telemetry;
+    /// together with wall-clock this yields events/sec).
+    pub events_processed: u64,
+    /// Cost-model step-cache hits summed across instances.
+    pub cost_cache_hits: u64,
+    /// Cost-model step-cache misses summed across instances.
+    pub cost_cache_misses: u64,
 }
 
 impl RunReport {
@@ -103,6 +110,24 @@ impl RunReport {
     /// Total swap-outs across instances (Fig. 1a's swapping signal).
     pub fn total_swap_outs(&self) -> u64 {
         self.instances.iter().map(|i| i.swap_outs).sum()
+    }
+
+    /// Simulation steps executed across all instances and streams.
+    pub fn total_steps(&self) -> u64 {
+        self.instances
+            .iter()
+            .map(|i| i.prefill_steps + i.decode_steps + i.hybrid_steps + i.aux_steps)
+            .sum()
+    }
+
+    /// Cost-model step-cache hit rate across instances (0 with no lookups).
+    pub fn cost_cache_hit_rate(&self) -> f64 {
+        let total = self.cost_cache_hits + self.cost_cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.cost_cache_hits as f64 / total as f64
+        }
     }
 
     /// Mean absolute relative error of Algorithm 1's TTFT predictions over

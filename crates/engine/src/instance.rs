@@ -17,10 +17,11 @@ use crate::config::{InstanceConfig, InstanceRole};
 use crate::outcome::StepKind;
 use crate::seq::{SeqPhase, SeqState};
 use crate::stats::InstanceStats;
-use std::collections::{HashMap, HashSet, VecDeque};
+use std::collections::VecDeque;
 use windserve_gpu::{KernelCost, StreamSharing};
 use windserve_kvcache::{BackupStore, BlockManager};
-use windserve_model::CostModel;
+use windserve_model::{BatchPlan, CostModel};
+use windserve_sim::hash::{FxHashMap, FxHashSet};
 use windserve_sim::{SimDuration, SimTime};
 use windserve_workload::RequestId;
 
@@ -55,18 +56,23 @@ pub struct Instance {
     pub(crate) sharing: StreamSharing,
     pub(crate) kv: BlockManager,
     pub(crate) backups: BackupStore,
-    pub(crate) seqs: HashMap<u64, SeqState>,
+    pub(crate) seqs: FxHashMap<u64, SeqState>,
     pub(crate) waiting_prefill: VecDeque<RequestId>,
     pub(crate) waiting_decode: VecDeque<RequestId>,
     pub(crate) swapped: VecDeque<RequestId>,
     pub(crate) lanes: Vec<Lane>,
     pub(crate) aux_step: Option<RunningStep>,
-    pub(crate) migrating: HashSet<u64>,
-    pub(crate) pause_requests: HashSet<u64>,
+    pub(crate) migrating: FxHashSet<u64>,
+    pub(crate) pause_requests: FxHashSet<u64>,
     /// Swap-transfer time charged to the next step on this instance.
     pub(crate) pending_delay: SimDuration,
     pub(crate) host_bandwidth: f64,
     pub(crate) stats: InstanceStats,
+    /// Per-step scratch [`BatchPlan`], cleared and refilled by batch
+    /// formation so the hot loop allocates no fresh `Vec`s.
+    pub(crate) plan_scratch: BatchPlan,
+    /// Per-step scratch for `complete_step`'s appended-sequence tracking.
+    pub(crate) appended_scratch: Vec<RequestId>,
 }
 
 impl Instance {
@@ -100,20 +106,22 @@ impl Instance {
         Ok(Instance {
             kv: BlockManager::new(blocks, cfg.block_tokens),
             backups: BackupStore::new(),
-            seqs: HashMap::new(),
+            seqs: FxHashMap::default(),
             waiting_prefill: VecDeque::new(),
             waiting_decode: VecDeque::new(),
             swapped: VecDeque::new(),
             lanes: vec![Lane::default(); lanes],
             aux_step: None,
-            migrating: HashSet::new(),
-            pause_requests: HashSet::new(),
+            migrating: FxHashSet::default(),
+            pause_requests: FxHashSet::default(),
             pending_delay: SimDuration::ZERO,
             host_bandwidth,
             stats: InstanceStats::default(),
             cfg,
             cost,
             sharing,
+            plan_scratch: BatchPlan::new(),
+            appended_scratch: Vec::new(),
         })
     }
 

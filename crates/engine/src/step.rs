@@ -29,6 +29,14 @@ impl Instance {
     /// their completion events.
     pub fn try_start(&mut self, now: SimTime) -> Vec<StartedStep> {
         let mut started = Vec::new();
+        self.try_start_into(now, &mut started);
+        started
+    }
+
+    /// Allocation-free variant of [`Instance::try_start`]: appends newly
+    /// started steps to `started` (not cleared first), letting the cluster
+    /// event loop reuse one buffer across its per-event instance sweep.
+    pub fn try_start_into(&mut self, now: SimTime, started: &mut Vec<StartedStep>) {
         self.admit_decodes();
         if self.cfg.role == InstanceRole::Decode
             && self.cfg.stream_disaggregation
@@ -87,7 +95,6 @@ impl Instance {
                 self.lanes[lane_idx].step = Some(step);
             }
         }
-        started
     }
 
     /// Applies the effects of the step that just finished on `lane`.
@@ -132,7 +139,8 @@ impl Instance {
             }
         }
 
-        let mut appended: Vec<RequestId> = Vec::with_capacity(step.decode_ids.len());
+        let mut appended = std::mem::take(&mut self.appended_scratch);
+        appended.clear();
         for id in &step.decode_ids {
             let seq = self.seqs.get_mut(&id.0).expect("decoding seq vanished");
             seq.generated += 1;
@@ -149,6 +157,7 @@ impl Instance {
                 self.pause_sequence(*id, &mut outcome);
             }
         }
+        self.appended_scratch = appended;
         outcome
     }
 
@@ -242,9 +251,9 @@ impl Instance {
         if decode_ids.is_empty() && fused_prefills.is_empty() {
             return None;
         }
-        let plan = self.build_plan(&decode_ids, &fused_prefills);
+        self.rebuild_plan(&decode_ids, &fused_prefills);
         let (duration, kernel) = if fused_prefills.is_empty() {
-            let kernel = self.cost.kernel_cost(&plan);
+            let kernel = self.cost.kernel_cost(&self.plan_scratch);
             let mut alone = SimDuration::from_secs_f64(kernel.alone_secs());
             if let Some(aux) = &self.aux_step {
                 let slow = self.sharing.slowdowns(&[kernel, aux.kernel])[0];
@@ -253,8 +262,8 @@ impl Instance {
             (alone, kernel)
         } else {
             (
-                self.cost.hybrid_step_time(&plan),
-                self.cost.kernel_cost(&plan),
+                self.cost.hybrid_step_time(&self.plan_scratch),
+                self.cost.kernel_cost(&self.plan_scratch),
             )
         };
         Some(self.finish_step_construction(
@@ -278,8 +287,8 @@ impl Instance {
             if jobs.is_empty() {
                 return None;
             }
-            let plan = self.build_plan(&[], &jobs);
-            let kernel = self.cost.kernel_cost(&plan);
+            self.rebuild_plan(&[], &jobs);
+            let kernel = self.cost.kernel_cost(&self.plan_scratch);
             let duration = SimDuration::from_secs_f64(kernel.alone_secs());
             return Some(self.finish_step_construction(
                 StepKind::Prefill,
@@ -298,9 +307,9 @@ impl Instance {
         if decode_ids.is_empty() && chunk.is_empty() {
             return None;
         }
-        let plan = self.build_plan(&decode_ids, &chunk);
-        let duration = self.cost.hybrid_step_time(&plan);
-        let kernel = self.cost.kernel_cost(&plan);
+        self.rebuild_plan(&decode_ids, &chunk);
+        let duration = self.cost.hybrid_step_time(&self.plan_scratch);
+        let kernel = self.cost.kernel_cost(&self.plan_scratch);
         Some(self.finish_step_construction(
             if chunk.is_empty() {
                 StepKind::Decode
@@ -321,8 +330,8 @@ impl Instance {
             if jobs.is_empty() {
                 return None;
             }
-            let plan = self.build_plan(&[], &jobs);
-            let kernel = self.cost.kernel_cost(&plan);
+            self.rebuild_plan(&[], &jobs);
+            let kernel = self.cost.kernel_cost(&self.plan_scratch);
             let duration = SimDuration::from_secs_f64(kernel.alone_secs());
             return Some(self.finish_step_construction(
                 StepKind::Prefill,
@@ -339,9 +348,9 @@ impl Instance {
         if decode_ids.is_empty() && chunk.is_empty() {
             return None;
         }
-        let plan = self.build_plan(&decode_ids, &chunk);
-        let duration = self.cost.hybrid_step_time(&plan);
-        let kernel = self.cost.kernel_cost(&plan);
+        self.rebuild_plan(&decode_ids, &chunk);
+        let duration = self.cost.hybrid_step_time(&self.plan_scratch);
+        let kernel = self.cost.kernel_cost(&self.plan_scratch);
         Some(self.finish_step_construction(
             if chunk.is_empty() {
                 StepKind::Decode
@@ -361,17 +370,13 @@ impl Instance {
         if jobs.is_empty() {
             return None;
         }
-        let plan = self.build_plan(&[], &jobs);
-        let kernel = self.cost.kernel_cost(&plan);
+        self.rebuild_plan(&[], &jobs);
+        let kernel = self.cost.kernel_cost(&self.plan_scratch);
         let mut duration = SimDuration::from_secs_f64(kernel.alone_secs());
-        let active_lanes: Vec<_> = self
+        if let Some(busiest) = self
             .lanes
             .iter()
             .filter_map(|l| l.step.as_ref().map(|s| s.kernel))
-            .collect();
-        if let Some(busiest) = active_lanes
-            .iter()
-            .copied()
             .max_by(|a, b| a.io_secs.partial_cmp(&b.io_secs).expect("finite"))
         {
             let slow = self.sharing.slowdowns(&[kernel, busiest])[0];
@@ -435,8 +440,13 @@ impl Instance {
         vec![(id, chunk)]
     }
 
-    fn build_plan(&self, decode_ids: &[RequestId], prefills: &[(RequestId, u32)]) -> BatchPlan {
-        let mut plan = BatchPlan::new();
+    /// Refills the instance's scratch [`BatchPlan`] for the given step
+    /// members. Reusing one plan (and its heap capacity) keeps batch
+    /// pricing allocation-free; the plan is consumed before the next step
+    /// forms, so a single scratch suffices.
+    fn rebuild_plan(&mut self, decode_ids: &[RequestId], prefills: &[(RequestId, u32)]) {
+        let mut plan = std::mem::take(&mut self.plan_scratch);
+        plan.clear();
         for id in decode_ids {
             plan.add_decode(self.seqs[&id.0].context().max(1));
         }
@@ -446,7 +456,7 @@ impl Instance {
                 past_tokens: self.seqs[&id.0].prefilled,
             });
         }
-        plan
+        self.plan_scratch = plan;
     }
 
     fn finish_step_construction(

@@ -28,11 +28,18 @@ pub fn percentile(values: &[f64], q: f64) -> Option<f64> {
     if values.is_empty() {
         return None;
     }
+    // Validate before cloning: rejecting bad input should not first pay for
+    // an allocation proportional to the sample.
+    assert!(values.iter().all(|v| !v.is_nan()), "NaN in samples");
     let mut sorted: Vec<f64> = values.to_vec();
-    assert!(sorted.iter().all(|v| !v.is_nan()), "NaN in samples");
     sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
-    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
-    Some(sorted[rank - 1])
+    Some(sorted[nearest_rank(sorted.len(), q) - 1])
+}
+
+/// Nearest-rank index (1-based) of quantile `q` in a sample of `len`
+/// elements; `len` must be non-zero.
+fn nearest_rank(len: usize, q: f64) -> usize {
+    ((q * len as f64).ceil() as usize).clamp(1, len)
 }
 
 /// A one-pass summary of a latency sample: mean and the percentiles the
@@ -63,21 +70,35 @@ impl Percentiles {
         if values.is_empty() {
             return None;
         }
+        Some(Self::summarize(values))
+    }
+
+    /// Summarizes `values` with one sort shared by every quantile, taking
+    /// each statistic by nearest rank from the single sorted copy. Unlike
+    /// [`Percentiles::of`] this never panics on sample *size*: an empty
+    /// sample returns the [`Percentiles::zero`] sentinel (reported via
+    /// [`Percentiles::is_empty`]) and a single-element sample yields that
+    /// element for every quantile, including `q = 0.5`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any value is NaN (checked before allocating).
+    pub fn summarize(values: &[f64]) -> Self {
+        if values.is_empty() {
+            return Self::zero();
+        }
+        assert!(values.iter().all(|v| !v.is_nan()), "NaN in samples");
         let mut sorted: Vec<f64> = values.to_vec();
-        assert!(sorted.iter().all(|v| !v.is_nan()), "NaN in samples");
         sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
-        let at = |q: f64| {
-            let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
-            sorted[rank - 1]
-        };
-        Some(Percentiles {
+        let at = |q: f64| sorted[nearest_rank(sorted.len(), q) - 1];
+        Percentiles {
             count: sorted.len(),
             mean: sorted.iter().sum::<f64>() / sorted.len() as f64,
             p50: at(0.50),
             p90: at(0.90),
             p99: at(0.99),
             max: *sorted.last().expect("non-empty"),
-        })
+        }
     }
 
     /// True when the summary covers no samples — the statistic fields are
@@ -131,6 +152,36 @@ mod tests {
         assert!(!Percentiles::of(&[1.0]).unwrap().is_empty());
     }
 
+    #[test]
+    fn summarize_returns_sentinel_for_empty_and_handles_singletons() {
+        let empty = Percentiles::summarize(&[]);
+        assert!(empty.is_empty());
+        assert_eq!(empty, Percentiles::zero());
+        // A single sample must answer every quantile with itself — no panic
+        // at q = 0.5.
+        let one = Percentiles::summarize(&[7.5]);
+        assert_eq!(one.count, 1);
+        assert_eq!((one.p50, one.p90, one.p99, one.max), (7.5, 7.5, 7.5, 7.5));
+        assert_eq!(one.mean, 7.5);
+    }
+
+    #[test]
+    fn summarize_agrees_with_reference_percentile() {
+        let samples: [&[f64]; 4] = [
+            &[3.0],
+            &[10.0, 20.0],
+            &[5.0, 1.0, 4.0, 2.0, 3.0],
+            &[0.25; 100],
+        ];
+        for xs in samples {
+            let p = Percentiles::summarize(xs);
+            assert_eq!(Some(p.p50), percentile(xs, 0.50));
+            assert_eq!(Some(p.p90), percentile(xs, 0.90));
+            assert_eq!(Some(p.p99), percentile(xs, 0.99));
+            assert_eq!(Some(p.max), percentile(xs, 1.0));
+        }
+    }
+
     proptest! {
         /// Against a naive reference: percentile must equal the value at the
         /// ceil-rank index of the sorted sample.
@@ -141,6 +192,17 @@ mod tests {
             xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
             let rank = ((q * xs.len() as f64).ceil() as usize).clamp(1, xs.len());
             prop_assert_eq!(got, xs[rank - 1]);
+        }
+
+        /// Summarize and the doc-tested reference agree on arbitrary input.
+        #[test]
+        fn summarize_matches_percentile(xs in proptest::collection::vec(0.0f64..1e6, 1..300)) {
+            let p = Percentiles::summarize(&xs);
+            prop_assert_eq!(Some(p.p50), percentile(&xs, 0.50));
+            prop_assert_eq!(Some(p.p90), percentile(&xs, 0.90));
+            prop_assert_eq!(Some(p.p99), percentile(&xs, 0.99));
+            prop_assert_eq!(Some(p.max), percentile(&xs, 1.0));
+            prop_assert_eq!(Percentiles::of(&xs), Some(p));
         }
 
         /// Percentiles are monotone in q.

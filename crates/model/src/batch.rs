@@ -131,6 +131,14 @@ impl BatchPlan {
         self.prefill.is_empty() && self.decode_contexts.is_empty()
     }
 
+    /// Empties the plan while keeping its allocations, so engines can reuse
+    /// one plan as a per-step scratch buffer instead of allocating fresh
+    /// `Vec`s every step.
+    pub fn clear(&mut self) {
+        self.prefill.clear();
+        self.decode_contexts.clear();
+    }
+
     /// Splits the plan into its prefill-only and decode-only halves (used
     /// by stream-based disaggregation to price each stream separately).
     pub fn split_phases(&self) -> (BatchPlan, BatchPlan) {

@@ -12,9 +12,88 @@ use crate::batch::BatchPlan;
 use crate::flops;
 use crate::parallel::Parallelism;
 use crate::spec::ModelSpec;
-use serde::{Deserialize, Serialize};
+use std::cell::RefCell;
 use windserve_gpu::{GpuSpec, KernelCost};
+use windserve_sim::hash::FxHashMap;
 use windserve_sim::SimDuration;
+
+/// Compact signature of everything in a [`BatchPlan`] that the roofline
+/// totals depend on *besides* the decode context-length sum ΣL.
+///
+/// Both totals are exactly affine in ΣL once these four numbers are fixed
+/// (Table 1 / Eq. 2: the only ΣL terms are `4·ΣL·H` FLOPs and
+/// `kv_dim·ΣL·dtype` KV bytes per layer), so the cache stores the affine
+/// *base* (the totals evaluated at ΣL = 0) and reconstructs exact totals
+/// as `base + slope·ΣL` in integer arithmetic. No quantization is
+/// involved: a cache hit returns bit-identical totals to the uncached
+/// loops, so cached and uncached runs report identical latencies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct PlanSig {
+    /// Σ over prefill chunks of `new_tokens`.
+    prefill_new: u64,
+    /// Σ over prefill chunks of `new_tokens · total_context` (the N²-ish
+    /// attention-score term; distinguishes chunkings with equal Σnew).
+    prefill_cross: u64,
+    /// Σ over prefill chunks of `total_context` (KV read+write volume).
+    prefill_ctx: u64,
+    /// Decode batch size B.
+    decode_batch: u64,
+}
+
+impl PlanSig {
+    fn of(plan: &BatchPlan) -> Self {
+        let mut prefill_new = 0u64;
+        let mut prefill_cross = 0u64;
+        let mut prefill_ctx = 0u64;
+        for chunk in plan.prefill_chunks() {
+            let new = u64::from(chunk.new_tokens);
+            let ctx = u64::from(chunk.total_context());
+            prefill_new += new;
+            prefill_cross += new * ctx;
+            prefill_ctx += ctx;
+        }
+        PlanSig {
+            prefill_new,
+            prefill_cross,
+            prefill_ctx,
+            decode_batch: plan.decode_batch(),
+        }
+    }
+}
+
+/// Hit/miss counters of a [`CostModel`]'s step-time cache.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StepCacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that priced the plan from first principles.
+    pub misses: u64,
+}
+
+impl StepCacheStats {
+    /// Hits as a fraction of all lookups (0 when there were none).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// Bound on distinct plan signatures retained; decode-heavy workloads use
+/// a handful, so this is a backstop against pathological prefill mixes.
+/// Overflow clears the map — only a perf event, never a semantic one.
+const STEP_CACHE_CAP: usize = 4096;
+
+#[derive(Debug, Default)]
+struct StepCache {
+    /// `PlanSig` → (FLOPs, IO bytes) evaluated at ΣL = 0.
+    base: FxHashMap<PlanSig, (u64, u64)>,
+    stats: StepCacheStats,
+    disabled: bool,
+}
 
 /// Prices batches for one serving instance.
 ///
@@ -30,7 +109,7 @@ use windserve_sim::SimDuration;
 /// let decode = cost.step_time(&BatchPlan::decode_only(vec![768; 16]));
 /// assert!(prefill > decode); // prefill dominates a single decode step
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug)]
 pub struct CostModel {
     model: ModelSpec,
     gpu: GpuSpec,
@@ -40,6 +119,38 @@ pub struct CostModel {
     /// Per-GPU bytes reserved for activations and scratch buffers; the
     /// paper's §4 notes WindServe pre-allocates these at engine init.
     pub activation_reserve_bytes: u64,
+    /// Memoized affine bases keyed by [`PlanSig`]; interior-mutable so
+    /// pricing stays `&self`. Excluded from `Clone`/`PartialEq` — it is
+    /// derived state, never semantics.
+    cache: RefCell<StepCache>,
+}
+
+impl Clone for CostModel {
+    fn clone(&self) -> Self {
+        CostModel {
+            model: self.model.clone(),
+            gpu: self.gpu.clone(),
+            parallelism: self.parallelism,
+            step_overhead: self.step_overhead,
+            activation_reserve_bytes: self.activation_reserve_bytes,
+            // Fresh cache: clones price identically, but each instance
+            // accounts its own hits/misses.
+            cache: RefCell::new(StepCache {
+                disabled: self.cache.borrow().disabled,
+                ..StepCache::default()
+            }),
+        }
+    }
+}
+
+impl PartialEq for CostModel {
+    fn eq(&self, other: &Self) -> bool {
+        self.model == other.model
+            && self.gpu == other.gpu
+            && self.parallelism == other.parallelism
+            && self.step_overhead == other.step_overhead
+            && self.activation_reserve_bytes == other.activation_reserve_bytes
+    }
 }
 
 impl CostModel {
@@ -60,6 +171,7 @@ impl CostModel {
             parallelism,
             step_overhead: SimDuration::from_micros(500),
             activation_reserve_bytes: 4 * windserve_gpu::GIB,
+            cache: RefCell::new(StepCache::default()),
         };
         if cm.kv_capacity_bytes() == 0 {
             return Err(crate::Error::DoesNotFit {
@@ -157,6 +269,67 @@ impl CostModel {
         weights + kv_and_act + head
     }
 
+    /// Per-layer ΣL slopes of the two totals: each decode context token
+    /// adds `4H` attention-score FLOPs and one KV-cache read of
+    /// `kv_dim · dtype` bytes per layer (Table 1's only ΣL terms).
+    fn sum_l_slopes(&self) -> (u64, u64) {
+        let layers = u64::from(self.model.n_layers);
+        let flops_slope = 4 * u64::from(self.model.hidden) * layers;
+        let io_slope = self.model.kv_dim() * u64::from(self.model.dtype_bytes) * layers;
+        (flops_slope, io_slope)
+    }
+
+    /// `(total_flops, total_io_bytes)` of `plan`, memoized on [`PlanSig`].
+    ///
+    /// The cache stores the totals with the ΣL terms subtracted out; hits
+    /// add them back with the same integer arithmetic, so the result is
+    /// bit-identical to [`Self::total_flops`] / [`Self::total_io_bytes`]
+    /// whether or not the lookup hit.
+    fn plan_totals(&self, plan: &BatchPlan) -> (u64, u64) {
+        let mut cache = self.cache.borrow_mut();
+        if cache.disabled {
+            return (self.total_flops(plan), self.total_io_bytes(plan));
+        }
+        let sig = PlanSig::of(plan);
+        let sum_l = plan.decode_context_sum();
+        let (flops_slope, io_slope) = self.sum_l_slopes();
+        if let Some(&(flops_base, io_base)) = cache.base.get(&sig) {
+            cache.stats.hits += 1;
+            return (flops_base + flops_slope * sum_l, io_base + io_slope * sum_l);
+        }
+        cache.stats.misses += 1;
+        let flops = self.total_flops(plan);
+        let io = self.total_io_bytes(plan);
+        if cache.base.len() >= STEP_CACHE_CAP {
+            cache.base.clear();
+        }
+        cache
+            .base
+            .insert(sig, (flops - flops_slope * sum_l, io - io_slope * sum_l));
+        (flops, io)
+    }
+
+    /// Hit/miss counters of the step-time cache since construction (or the
+    /// last clone, which starts fresh).
+    pub fn step_cache_stats(&self) -> StepCacheStats {
+        self.cache.borrow().stats
+    }
+
+    /// Enables or disables the step-time cache. Disabling exists so perf
+    /// tooling can demonstrate that cached and uncached runs price every
+    /// step identically; it never changes results.
+    pub fn set_step_cache_enabled(&self, enabled: bool) {
+        let mut cache = self.cache.borrow_mut();
+        cache.disabled = !enabled;
+        if !enabled {
+            // Forget both the entries and any lookups already accounted
+            // (e.g. during construction-time budget calibration), so an
+            // uncached run reports zero cache activity.
+            cache.base.clear();
+            cache.stats = StepCacheStats::default();
+        }
+    }
+
     /// The two roofline legs of executing `plan`, after dividing work across
     /// the tensor-parallel group. Pipeline parallelism does not shorten a
     /// single pass (stages are sequential); it adds concurrent lanes, which
@@ -165,10 +338,11 @@ impl CostModel {
         if plan.is_empty() {
             return KernelCost::ZERO;
         }
+        let (flops, io_bytes) = self.plan_totals(plan);
         let tp = f64::from(self.parallelism.tp);
-        let compute = self.total_flops(plan) as f64
-            / (self.gpu.effective_flops() * tp * self.parallelism.tp_efficiency());
-        let io = self.total_io_bytes(plan) as f64 / (self.gpu.effective_bandwidth() * tp);
+        let compute =
+            flops as f64 / (self.gpu.effective_flops() * tp * self.parallelism.tp_efficiency());
+        let io = io_bytes as f64 / (self.gpu.effective_bandwidth() * tp);
         let overhead = self.step_overhead.as_secs_f64();
         KernelCost::new(compute + overhead, io + overhead)
     }
@@ -377,6 +551,84 @@ mod tests {
         let cm = opt13b_tp2();
         assert_eq!(cm.kernel_cost(&BatchPlan::new()), KernelCost::ZERO);
         assert_eq!(cm.step_time(&BatchPlan::new()), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn step_cache_hits_are_bit_identical_to_cold_pricing() {
+        let cached = opt13b_tp2();
+        let reference = opt13b_tp2();
+        reference.set_step_cache_enabled(false);
+        // Decode batches of the same size but very different ΣL share one
+        // signature; prefill mixes exercise the cross/ctx terms.
+        let mut plans: Vec<BatchPlan> = vec![
+            BatchPlan::decode_only(vec![100; 16]),
+            BatchPlan::decode_only(vec![3000; 16]),
+            BatchPlan::decode_only((1..=16).map(|i| i * 37).collect::<Vec<_>>()),
+            BatchPlan::single_prefill(768),
+            BatchPlan::single_prefill(768),
+        ];
+        let mut mixed = BatchPlan::new();
+        mixed.add_prefill(PrefillChunk {
+            new_tokens: 256,
+            past_tokens: 512,
+        });
+        for ctx in [64, 900, 2048] {
+            mixed.add_decode(ctx);
+        }
+        plans.push(mixed.clone());
+        plans.push(mixed);
+        for plan in &plans {
+            assert_eq!(cached.kernel_cost(plan), reference.kernel_cost(plan));
+            assert_eq!(cached.step_time(plan), reference.step_time(plan));
+        }
+        let stats = cached.step_cache_stats();
+        assert!(stats.hits >= 3, "expected repeats to hit: {stats:?}");
+        assert_eq!(reference.step_cache_stats(), StepCacheStats::default());
+    }
+
+    #[test]
+    fn step_cache_distinguishes_chunkings_with_equal_new_tokens() {
+        let cm = opt13b_tp2();
+        // Same Σnew (512) but different past context → different price.
+        let fresh = BatchPlan::single_prefill(512);
+        let mut continued = BatchPlan::new();
+        continued.add_prefill(PrefillChunk {
+            new_tokens: 512,
+            past_tokens: 1536,
+        });
+        let a = cm.step_time(&fresh);
+        let b = cm.step_time(&continued);
+        assert!(b > a, "continuation reads more KV: {a:?} vs {b:?}");
+        // And neither poisoned the other: repeat lookups still agree.
+        assert_eq!(cm.step_time(&fresh), a);
+        assert_eq!(cm.step_time(&continued), b);
+    }
+
+    #[test]
+    fn clone_prices_identically_with_fresh_stats() {
+        let cm = opt13b_tp2();
+        let plan = BatchPlan::decode_only(vec![768; 16]);
+        let t = cm.step_time(&plan);
+        let cloned = cm.clone();
+        assert_eq!(cloned.step_cache_stats(), StepCacheStats::default());
+        assert_eq!(cloned.step_time(&plan), t);
+        assert_eq!(cloned, cm);
+    }
+
+    #[test]
+    fn decode_heavy_workload_hit_rate_is_high() {
+        let cm = opt13b_tp2();
+        // A decode instance stepping a stable batch whose contexts grow by
+        // one each step — the dominant steady-state shape.
+        let mut contexts = vec![700u32; 32];
+        for _ in 0..500 {
+            for c in &mut contexts {
+                *c += 1;
+            }
+            cm.step_time(&BatchPlan::decode_only(contexts.clone()));
+        }
+        let stats = cm.step_cache_stats();
+        assert!(stats.hit_rate() > 0.95, "hit rate {:?}", stats.hit_rate());
     }
 
     #[test]

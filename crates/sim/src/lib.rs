@@ -8,7 +8,9 @@
 //! * [`EventQueue`] — the future-event list (time-ordered, FIFO ties);
 //! * [`EpochCounter`] — cancellation tokens for rescheduled activities;
 //! * [`SimRng`] — a stable, seedable RNG (xoshiro256++) so every simulation
-//!   is reproducible from one `u64`.
+//!   is reproducible from one `u64`;
+//! * [`FxHashMap`] / [`FxHashSet`] — deterministic, fast hashing for the
+//!   hot maps of the layers above (no per-process SipHash seed).
 //!
 //! The actual serving semantics (instances, batches, KV caches, the global
 //! scheduler) live in the higher-level crates; this crate knows nothing
@@ -51,11 +53,13 @@
 #![warn(missing_docs)]
 
 mod epoch;
+pub mod hash;
 mod queue;
 mod rng;
 mod time;
 
 pub use epoch::{Epoch, EpochCounter};
+pub use hash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use queue::{EventQueue, Scheduled};
 pub use rng::SimRng;
 pub use time::{SimDuration, SimTime};

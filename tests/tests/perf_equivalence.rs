@@ -1,0 +1,78 @@
+//! Guards for the simulation hot-path optimizations: the cost-model step
+//! cache must be *exact* (bit-identical reported results with the cache on
+//! or off) and the FxHash map swap must leave every run — including fault
+//! recovery — byte-for-byte deterministic.
+
+use windserve::{FaultPlan, ServeConfig, SystemKind};
+use windserve_sim::SimDuration;
+use windserve_tests::{run, sharegpt_trace};
+
+/// The headline acceptance check: a decode-heavy end-to-end run with the
+/// step cache enabled reports exactly the same latency percentiles,
+/// per-request records and scheduler counters as the uncached run, while
+/// answering the overwhelming majority of pricing lookups from the cache.
+#[test]
+fn cost_cache_is_exact_end_to_end() {
+    let trace = sharegpt_trace(8.0, 400, 2766);
+    let cfg = ServeConfig::opt_13b_sharegpt(SystemKind::WindServe);
+    let cached = run(cfg.clone(), &trace);
+    let mut uncached_cfg = cfg;
+    uncached_cfg.cost_cache = false;
+    let uncached = run(uncached_cfg, &trace);
+
+    assert_eq!(uncached.cost_cache_hits, 0, "uncached run must not cache");
+    assert_eq!(uncached.cost_cache_misses, 0);
+    assert!(
+        cached.cost_cache_hit_rate() > 0.8,
+        "decode-heavy hit rate {:.3} should exceed 0.8",
+        cached.cost_cache_hit_rate()
+    );
+
+    // Everything the paper reads must be identical; only the cache's own
+    // counters may differ.
+    let mut scrubbed = cached.clone();
+    scrubbed.cost_cache_hits = 0;
+    scrubbed.cost_cache_misses = 0;
+    assert_eq!(scrubbed, uncached, "step cache must be exact");
+}
+
+/// The cache stays exact under the ablation systems too (hybrid batching
+/// exercises `hybrid_step_time`'s split-phase pricing).
+#[test]
+fn cost_cache_is_exact_for_colocated_hybrid_batching() {
+    let trace = sharegpt_trace(6.0, 250, 99);
+    let cfg = ServeConfig::opt_13b_sharegpt(SystemKind::VllmColocated);
+    let cached = run(cfg.clone(), &trace);
+    let mut uncached_cfg = cfg;
+    uncached_cfg.cost_cache = false;
+    let uncached = run(uncached_cfg, &trace);
+    let mut scrubbed = cached.clone();
+    scrubbed.cost_cache_hits = 0;
+    scrubbed.cost_cache_misses = 0;
+    assert_eq!(scrubbed, uncached);
+}
+
+/// Fault recovery walks every hot map (pending transfers, migrations,
+/// per-sequence state) on the panic-recovery paths; with the
+/// deterministic FxHash maps two identical seeded runs must serialize to
+/// byte-identical reports.
+#[test]
+fn fault_recovery_is_byte_deterministic() {
+    let trace = sharegpt_trace(10.0, 300, 41);
+    let mk = || {
+        let mut cfg = ServeConfig::opt_13b_sharegpt(SystemKind::WindServe);
+        cfg.faults = Some(FaultPlan::replica_crash(
+            1,
+            SimDuration::from_secs_f64(30.0),
+            41,
+        ));
+        cfg
+    };
+    let a = run(mk(), &trace);
+    let b = run(mk(), &trace);
+    assert!(a.faults_injected >= 2, "fault plan must actually fire");
+    assert_eq!(a, b);
+    let ja = serde_json::to_string(&a).unwrap();
+    let jb = serde_json::to_string(&b).unwrap();
+    assert_eq!(ja, jb, "serialized fault-recovery reports must match");
+}
