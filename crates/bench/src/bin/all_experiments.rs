@@ -21,6 +21,7 @@ fn main() {
         ("fig13_ablation", experiments::fig13::run),
         ("extras", experiments::extras::run),
         ("faults", experiments::faults::run),
+        ("overload", experiments::overload::run),
     ];
     let mut all = serde_json::Map::new();
     for (name, f) in runs {

@@ -1,0 +1,10 @@
+//! Overload study: goodput and typed degradation (admission rejects, SLO
+//! sheds, KV-pressure preemptions, watchdog aborts) past the saturation
+//! point, with and without overload control.
+use windserve_bench::{experiments, ExpContext};
+
+fn main() {
+    let ctx = ExpContext::from_args();
+    let data = experiments::overload::run(&ctx);
+    ctx.emit("overload", &data);
+}

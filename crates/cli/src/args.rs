@@ -39,6 +39,7 @@ const SWITCHES: &[&str] = &[
     "split-nodes",
     "autoscale",
     "check-cache",
+    "overload",
 ];
 
 impl Args {

@@ -207,6 +207,51 @@ impl RunSpec {
                 ..windserve::AutoscaleConfig::default()
             });
         }
+        // Overload control: the --overload switch enables the defaults;
+        // any specific overload knob implies it.
+        let overload_requested = args.switch("overload")
+            || args.get("max-queue").is_some()
+            || args.get("max-queued-tokens").is_some()
+            || args.get("shed-factor").is_some()
+            || args.get("preempt-watermark").is_some()
+            || args.get("deadline").is_some()
+            || args.get("audit-every").is_some();
+        if overload_requested {
+            // `--overload` arms the default policy bundle; naming specific
+            // flags arms only those layers (e.g. `--audit-every` alone runs
+            // the auditor without shedding or caps).
+            let mut overload = if args.switch("overload") {
+                windserve::OverloadConfig::default()
+            } else {
+                windserve::OverloadConfig {
+                    max_queued_requests: None,
+                    shedding: false,
+                    ..Default::default()
+                }
+            };
+            if args.get("shed-factor").is_some() {
+                overload.shedding = true;
+            }
+            if let Some(cap) = args.get_opt::<usize>("max-queue")? {
+                overload.max_queued_requests = Some(cap);
+            }
+            if let Some(budget) = args.get_opt::<u64>("max-queued-tokens")? {
+                overload.max_queued_tokens = Some(budget);
+            }
+            if let Some(factor) = args.get_opt::<f64>("shed-factor")? {
+                overload.shed_ttft_factor = factor;
+            }
+            if let Some(w) = args.get_opt::<f64>("preempt-watermark")? {
+                overload.preempt_kv_watermark = Some(w);
+            }
+            if let Some(secs) = args.get_opt::<f64>("deadline")? {
+                overload.deadline = Some(SimDuration::from_secs_f64(secs));
+            }
+            if let Some(n) = args.get_opt::<u64>("audit-every")? {
+                overload.audit_interval_events = Some(n);
+            }
+            config.overload = Some(overload);
+        }
         config
             .validate()
             .map_err(|e| ArgError(format!("invalid configuration: {e}")))?;

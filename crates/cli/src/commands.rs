@@ -209,6 +209,61 @@ pub fn faults(args: &Args) -> Result<String, ArgError> {
     Ok(out)
 }
 
+/// Drives the same workload at an overload rate (default 2x) with and
+/// without overload control and prints the comparison: goodput, latency
+/// tails, peak queue depth, and the typed outcomes of every request that
+/// did not complete (rejected, shed, preempted, watchdog-aborted).
+///
+/// # Errors
+///
+/// Reports invalid flags or a failed simulation.
+pub fn overload(args: &Args) -> Result<String, ArgError> {
+    let base = RunSpec::from_args(args)?;
+    let factor: f64 = args.get_or("overload-factor", 2.0)?;
+    if !(factor.is_finite() && factor > 0.0) {
+        return Err(ArgError(format!(
+            "--overload-factor must be positive, got {factor}"
+        )));
+    }
+    let tiers: u8 = args.get_or("tiers", 3u8)?;
+    if tiers == 0 {
+        return Err(ArgError("--tiers must be at least 1".into()));
+    }
+    let trace = Trace::generate(&base.dataset, &base.arrivals, base.requests, base.seed)
+        .with_rate_scaled(factor)
+        .with_tiers(tiers, base.seed);
+    let mut controlled_cfg = base.config.clone();
+    if controlled_cfg.overload.is_none() {
+        // No overload flags given: defaults plus pressure preemption and a
+        // periodic audit, so every subsystem participates in the demo.
+        controlled_cfg.overload = Some(windserve::OverloadConfig {
+            preempt_kv_watermark: Some(0.05),
+            audit_interval_events: Some(10_000),
+            ..Default::default()
+        });
+    }
+    let mut baseline_cfg = base.config.clone();
+    baseline_cfg.overload = None;
+    let run_with = |config: windserve::ServeConfig| -> Result<RunReport, ArgError> {
+        Cluster::new(config)
+            .map_err(|e| ArgError(format!("config: {e}")))?
+            .run(&trace)
+            .map_err(|e| ArgError(format!("simulation: {e}")))
+    };
+    let baseline = run_with(baseline_cfg)?;
+    let controlled = run_with(controlled_cfg)?;
+    if args.switch("json") {
+        return serde_json::to_string_pretty(&serde_json::json!({
+            "overload_factor": factor,
+            "tiers": tiers,
+            "baseline": baseline,
+            "controlled": controlled,
+        }))
+        .map_err(|e| ArgError(format!("serialize: {e}")));
+    }
+    Ok(render::overload_text(&base, factor, &baseline, &controlled))
+}
+
 /// Benchmarks the simulator itself on one operating point: wall-clock,
 /// simulated-steps/sec, events/sec and the cost-model step-cache hit rate.
 /// With `--check-cache` the run is repeated with the cache disabled and the
@@ -332,6 +387,8 @@ COMMANDS:
     trace-stats  show Table 2-style statistics of a generated trace
     budget       show the calibrated Algorithm 1 budget and profiler fit
     faults       inject a fault preset and compare against the fault-free run
+    overload     drive the workload past capacity and compare overload
+                 control (admit/shed/preempt/watchdog) against no control
     perf         benchmark the simulator itself (steps/sec, events/sec,
                  cost-cache hit rate; --check-cache proves the cache exact)
     help         this text
@@ -372,6 +429,16 @@ COMMON FLAGS (with defaults):
                                  flaky-transfers, degraded-link, chaos
                                  [decode-crash]
     --fault-seed N               (faults) fault-plan seed [--seed]
+    --overload                   enable overload control with defaults
+    --max-queue N                cap resident (admitted, unfinished) requests
+    --max-queued-tokens N        cap queued prefill tokens at admission
+    --shed-factor F              shed when predicted TTFT > F x TTFT SLO
+    --preempt-watermark F        preempt decodes when KV free fraction < F
+    --deadline <secs>            watchdog aborts requests older than this
+    --audit-every N              run the cluster invariant auditor every N
+                                 events (always once more at drain)
+    --overload-factor F          (overload) arrival-rate multiplier [2.0]
+    --tiers N                    (overload) priority tiers to assign [3]
     --check-cache                (perf) rerun with the cost cache disabled
                                  and verify bit-identical results
     --json                       machine-readable output
@@ -512,6 +579,45 @@ mod tests {
         assert_eq!(v["preset"], "degraded-link");
         assert_eq!(v["baseline"]["summary"]["completed"], 60);
         assert_eq!(v["faulted"]["summary"]["completed"], 60);
+    }
+
+    #[test]
+    fn overload_compares_against_uncontrolled_baseline() {
+        let out = overload(&args("overload --requests 150 --rate 4 --seed 7")).unwrap();
+        assert!(out.contains("uncontrolled"));
+        assert!(out.contains("controlled"));
+        assert!(out.contains("invariant auditor"));
+        assert!(out.contains("typed outcomes"));
+    }
+
+    #[test]
+    fn overload_json_carries_both_reports() {
+        let out = overload(&args("overload --requests 100 --rate 4 --json")).unwrap();
+        let v: serde_json::Value = serde_json::from_str(&out).expect("valid json");
+        assert!(v["overload_factor"].as_f64().unwrap() > 1.9);
+        assert!(v["baseline"]["summary"].as_object().is_some());
+        assert!(v["controlled"]["summary"].as_object().is_some());
+    }
+
+    #[test]
+    fn overload_rejects_bad_factor_and_tiers() {
+        let err = overload(&args("overload --overload-factor -2")).unwrap_err();
+        assert!(err.0.contains("--overload-factor"));
+        let err = overload(&args("overload --tiers 0")).unwrap_err();
+        assert!(err.0.contains("--tiers"));
+    }
+
+    #[test]
+    fn overload_flags_flow_into_the_controlled_config() {
+        // A hard queue cap must bound the peak queue depth reported.
+        let out = overload(&args(
+            "overload --requests 120 --rate 4 --max-queue 24 --json",
+        ))
+        .unwrap();
+        let v: serde_json::Value = serde_json::from_str(&out).expect("valid json");
+        let peak = v["controlled"]["peak_pending"].as_u64().unwrap();
+        assert!(peak <= 24, "peak_pending {peak} exceeds --max-queue 24");
+        assert!(v["controlled"]["requests_rejected"].as_u64().unwrap() > 0);
     }
 
     #[test]

@@ -42,6 +42,7 @@ pub fn dispatch(args: &Args) -> Result<String, args::ArgError> {
         Some("trace-stats") => commands::trace_stats(args),
         Some("budget") => commands::budget(args),
         Some("faults") => commands::faults(args),
+        Some("overload") => commands::overload(args),
         Some("perf") => commands::perf(args),
         Some("help") | None => Ok(commands::help()),
         Some(other) => Err(args::ArgError(format!(

@@ -165,6 +165,59 @@ pub fn comparison_text(spec: &RunSpec, reports: &[RunReport]) -> String {
     out
 }
 
+/// Overload A/B comparison: an uncontrolled baseline against the same
+/// workload under overload control. Latency columns go through [`stat`],
+/// so a run that completes nothing prints "n/a" instead of placeholder
+/// zeros.
+pub fn overload_text(
+    spec: &RunSpec,
+    factor: f64,
+    baseline: &RunReport,
+    controlled: &RunReport,
+) -> String {
+    use windserve::DropReason;
+    let mut out = format!(
+        "overload: {factor:.1}x arrival rate ({:.2} req/s/GPU) | {} | {} requests\n\n",
+        spec.rate_per_gpu * factor,
+        spec.config.model.name,
+        spec.requests,
+    );
+    out += &format!(
+        "{:<13} {:>9} {:>10} {:>10} {:>10} {:>9} {:>7} {:>7}\n",
+        "", "goodput", "TTFT p50", "TTFT p99", "TPOT p99", "SLO both", "done", "peak-q"
+    );
+    for (label, r) in [("uncontrolled", baseline), ("controlled", controlled)] {
+        out += &format!(
+            "{:<13} {:>9.3} {} {} {} {:>8.1}% {:>7} {:>7}\n",
+            label,
+            r.goodput(),
+            stat(&r.summary.ttft, r.summary.ttft.p50, 10),
+            stat(&r.summary.ttft, r.summary.ttft.p99, 10),
+            stat(&r.summary.tpot, r.summary.tpot.p99, 10),
+            r.summary.slo.both * 100.0,
+            r.summary.completed,
+            r.peak_pending,
+        );
+    }
+    out += &format!(
+        "\noverload control: {} rejected ({} queue-full, {} token-budget) | \
+         {} shed | {} preempted | {} watchdog aborts\n\
+         accounting: {} completed + {} dropped with typed outcomes = {} requests\n\
+         invariant auditor: {} passes, zero violations\n",
+        controlled.requests_rejected,
+        controlled.dropped_with(DropReason::QueueFull),
+        controlled.dropped_with(DropReason::TokenBudget),
+        controlled.requests_shed,
+        controlled.requests_preempted,
+        controlled.watchdog_aborts,
+        controlled.summary.completed,
+        controlled.dropped.len(),
+        controlled.summary.completed + controlled.dropped.len(),
+        controlled.invariant_checks,
+    );
+    out
+}
+
 /// Rate-sweep table.
 pub fn sweep_text(spec: &RunSpec, rows: &[(f64, RunReport)]) -> String {
     let mut out = format!(
@@ -260,6 +313,18 @@ pub fn scheduling_trace_text(
     out += "\n";
     if !decisions.is_empty() {
         out += &format!("  Algorithm 1 decisions ({}):", decisions.len());
+        for (verdict, n) in &verdicts {
+            out += &format!(" {verdict} {n}");
+        }
+        out += "\n";
+    }
+    let admissions = log.admission_decisions();
+    if !admissions.is_empty() {
+        let mut verdicts: BTreeMap<&'static str, usize> = BTreeMap::new();
+        for (_, a) in &admissions {
+            *verdicts.entry(a.verdict.label()).or_insert(0) += 1;
+        }
+        out += &format!("  admission decisions ({}):", admissions.len());
         for (verdict, n) in &verdicts {
             out += &format!(" {verdict} {n}");
         }

@@ -14,7 +14,7 @@ use windserve_model::{ModelSpec, Parallelism};
 use windserve_sim::SimDuration;
 use windserve_trace::TraceMode;
 
-use crate::config::{AutoscaleConfig, ServeConfig, SystemKind, VictimPolicy};
+use crate::config::{AutoscaleConfig, OverloadConfig, ServeConfig, SystemKind, VictimPolicy};
 
 /// Builder for [`ServeConfig`].
 ///
@@ -210,6 +210,13 @@ impl ServeConfigBuilder {
     /// Attaches a seeded fault-injection plan.
     pub fn faults(mut self, plan: FaultPlan) -> Self {
         self.cfg.faults = Some(plan);
+        self
+    }
+
+    /// Enables overload control (admission caps, SLO-aware shedding,
+    /// KV-pressure preemption, deadline watchdog, invariant auditor).
+    pub fn overload(mut self, overload: OverloadConfig) -> Self {
+        self.cfg.overload = Some(overload);
         self
     }
 

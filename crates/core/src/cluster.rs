@@ -48,12 +48,13 @@ use windserve_engine::{
 use windserve_faults::{FaultEvent, FaultKind, FaultPlan};
 use windserve_gpu::{GpuId, RouteId, StreamSharing, TransferEngine};
 use windserve_kvcache::StallFreeMigration;
-use windserve_metrics::{LatencySummary, PrefillSite, RequestRecord};
+use windserve_metrics::{DropReason, DroppedRequest, LatencySummary, PrefillSite, RequestRecord};
 use windserve_model::CostModel;
 use windserve_sim::hash::FxHashMap;
-use windserve_sim::{EventQueue, SimTime};
+use windserve_sim::{EventQueue, SimDuration, SimTime};
 use windserve_trace::{
-    DispatchDecision, DispatchVerdict, Lane, StepClass, TraceEvent, TraceLog, Tracer,
+    AdmissionDecision, AdmissionVerdict, DispatchDecision, DispatchVerdict, Lane, StepClass,
+    TraceEvent, TraceLog, Tracer,
 };
 use windserve_workload::{Request, RequestId, Trace};
 
@@ -104,6 +105,8 @@ enum Event {
     Fault(usize),
     Sample,
     AutoscaleTick,
+    /// Deadline-watchdog sweep (overload control only).
+    WatchdogTick,
 }
 
 #[derive(Debug)]
@@ -189,6 +192,11 @@ struct Counters {
     faults_injected: u64,
     requests_rescheduled: u64,
     transfer_retries: u64,
+    requests_rejected: u64,
+    requests_shed: u64,
+    requests_preempted: u64,
+    watchdog_aborts: u64,
+    invariant_checks: u64,
 }
 
 /// A fully assembled serving deployment, ready to replay traces.
@@ -240,6 +248,11 @@ pub struct Cluster {
     /// Requests with nowhere to run: `(id, tokens already streamed, last
     /// placement)`. Re-placed when a replica recovers.
     parked: Vec<(u64, u32, usize)>,
+    /// Typed terminal outcomes for requests that never completed
+    /// (admission rejection, shedding, watchdog abort).
+    dropped: Vec<DroppedRequest>,
+    /// Peak resident (queued or running) request count observed.
+    peak_pending: usize,
     /// Scheduling-decision recorder; a no-op unless `cfg.trace` enables it.
     tracer: Tracer,
 }
@@ -424,6 +437,8 @@ impl Cluster {
             step_epoch: vec![0; n_instances],
             link_factor: 1.0,
             parked: Vec::new(),
+            dropped: Vec::new(),
+            peak_pending: 0,
             tracer,
         })
     }
@@ -501,6 +516,12 @@ impl Cluster {
             }
             events.schedule(SimTime::ZERO, Event::AutoscaleTick);
         }
+        if let Some(deadline) = self.cfg.overload.and_then(|o| o.deadline) {
+            // Sweep at a quarter of the budget: a stuck request is caught
+            // at most 1.25x its deadline after arrival.
+            events.schedule(SimTime::ZERO + deadline.mul_f64(0.25), Event::WatchdogTick);
+        }
+        let audit_every = self.cfg.overload.and_then(|o| o.audit_interval_events);
         let mut records: Vec<RequestRecord> = Vec::with_capacity(trace.requests().len());
         // Reused across the per-event instance sweep so the hot loop does
         // not allocate a fresh Vec per (event, instance) pair.
@@ -516,7 +537,7 @@ impl Cluster {
             processed += 1;
             if !matches!(
                 scheduled.event,
-                Event::Sample | Event::AutoscaleTick | Event::Fault(_)
+                Event::Sample | Event::AutoscaleTick | Event::Fault(_) | Event::WatchdogTick
             ) {
                 live_events -= 1;
             }
@@ -526,9 +547,10 @@ impl Cluster {
                 });
             }
             let now = scheduled.at;
-            if !matches!(scheduled.event, Event::Fault(_)) {
-                // A recovery scheduled after the last request completed
-                // must not stretch the measured run.
+            if !matches!(scheduled.event, Event::Fault(_) | Event::WatchdogTick) {
+                // A recovery scheduled after the last request completed, or
+                // a coarse watchdog sweep outliving the workload, must not
+                // stretch the measured run.
                 end_time = now;
             }
             self.account_gpu_seconds(now);
@@ -571,6 +593,17 @@ impl Cluster {
                         }
                     }
                 }
+                Event::WatchdogTick => {
+                    if let Some(deadline) = self.cfg.overload.and_then(|o| o.deadline) {
+                        self.watchdog_sweep(deadline, now);
+                        // The sweep may have aborted the last resident
+                        // requests; only keep ticking while work remains.
+                        if live_events > 0 || !self.pending.is_empty() {
+                            self.deferred
+                                .push((now + deadline.mul_f64(0.25), Event::WatchdogTick));
+                        }
+                    }
+                }
             }
             // State changed somewhere: give every instance a chance to
             // launch steps (cheap — the instance count is tiny).
@@ -580,11 +613,24 @@ impl Cluster {
                 self.register_steps(idx, &started_scratch, now);
             }
             for (at, ev) in self.deferred.drain(..) {
-                if !matches!(ev, Event::Sample | Event::AutoscaleTick | Event::Fault(_)) {
+                if !matches!(
+                    ev,
+                    Event::Sample | Event::AutoscaleTick | Event::Fault(_) | Event::WatchdogTick
+                ) {
                     live_events += 1;
                 }
                 events.schedule(at.max(now), ev);
             }
+            if let Some(n) = audit_every {
+                if processed.is_multiple_of(n) {
+                    self.audit_invariants()?;
+                }
+            }
+        }
+
+        if audit_every.is_some() {
+            // One final audit over the drained cluster.
+            self.audit_invariants()?;
         }
 
         if !self.pending.is_empty() {
@@ -647,6 +693,17 @@ impl Cluster {
             events_processed: processed,
             cost_cache_hits: cache_stats.0,
             cost_cache_misses: cache_stats.1,
+            dropped: {
+                let mut d = std::mem::take(&mut self.dropped);
+                d.sort_by_key(|x| x.id);
+                d
+            },
+            requests_rejected: self.counters.requests_rejected,
+            requests_shed: self.counters.requests_shed,
+            requests_preempted: self.counters.requests_preempted,
+            watchdog_aborts: self.counters.watchdog_aborts,
+            invariant_checks: self.counters.invariant_checks,
+            peak_pending: self.peak_pending,
         };
         Ok((report, log))
     }
@@ -779,6 +836,11 @@ impl Cluster {
                     .as_secs_f64()
             })
         };
+        if self.cfg.overload.is_some() && !self.admit(&req, &placement, predicted_ttft, now) {
+            // Rejected or shed: the typed outcome is already recorded and
+            // the request never becomes resident.
+            return;
+        }
         let site = placement.as_ref().map(|&(_, site, _)| site).unwrap_or(
             if self.cfg.system.colocated() {
                 PrefillSite::Colocated
@@ -801,6 +863,7 @@ impl Cluster {
                 resumed: 0,
             },
         );
+        self.peak_pending = self.peak_pending.max(self.pending.len());
         match placement {
             Some((inst, site, decision)) => {
                 self.tracer.emit(now, || TraceEvent::Queued {
@@ -893,6 +956,303 @@ impl Cluster {
         Some((p, PrefillSite::PrefillInstance, None))
     }
 
+    // ------------------------------------------------------------------
+    // Overload control
+    // ------------------------------------------------------------------
+
+    /// Admission + SLO-aware shedding gate for one arrival. `true` means
+    /// the arrival proceeds to enqueue (possibly after shedding a queued
+    /// lower-tier victim to make room); `false` means it was rejected or
+    /// shed, with the typed outcome already recorded.
+    fn admit(
+        &mut self,
+        req: &Request,
+        placement: &Option<(usize, PrefillSite, Option<DispatchDecision>)>,
+        predicted_ttft: Option<f64>,
+        now: SimTime,
+    ) -> bool {
+        let overload = self.cfg.overload.expect("caller checked");
+        let queued_requests = self.pending.len();
+        let queued_tokens: u64 = (0..self.instances.len())
+            .filter(|&i| self.is_routable(i, now))
+            .map(|i| self.instances[i].prefill_backlog_tokens())
+            .sum();
+        let shed_threshold_secs = overload
+            .shedding
+            .then(|| overload.shed_threshold(self.cfg.slo).as_secs_f64());
+        let mut decision = AdmissionDecision {
+            request: req.id,
+            tier: req.tier,
+            queued_requests,
+            queued_tokens,
+            ttft_pred_secs: predicted_ttft,
+            shed_threshold_secs,
+            verdict: AdmissionVerdict::Admitted,
+            victim: None,
+        };
+
+        if overload
+            .max_queued_requests
+            .is_some_and(|cap| queued_requests >= cap)
+        {
+            decision.verdict = AdmissionVerdict::RejectedQueueFull;
+            self.counters.requests_rejected += 1;
+            self.dropped.push(DroppedRequest {
+                id: req.id,
+                tier: req.tier,
+                at: now,
+                reason: DropReason::QueueFull,
+            });
+            self.tracer.emit(now, || TraceEvent::Admission(decision));
+            return false;
+        }
+        if overload
+            .max_queued_tokens
+            .is_some_and(|budget| queued_tokens + u64::from(req.prompt_tokens) > budget)
+        {
+            decision.verdict = AdmissionVerdict::RejectedTokenBudget;
+            self.counters.requests_rejected += 1;
+            self.dropped.push(DroppedRequest {
+                id: req.id,
+                tier: req.tier,
+                at: now,
+                reason: DropReason::TokenBudget,
+            });
+            self.tracer.emit(now, || TraceEvent::Admission(decision));
+            return false;
+        }
+
+        // SLO-aware shedding. Only prefill-instance placements shed: their
+        // Algorithm 1 prediction describes the path actually taken, while
+        // dispatched work already escaped the hot replica and colocated
+        // systems have no predictor.
+        if let (Some(threshold), Some(pred)) = (shed_threshold_secs, predicted_ttft) {
+            if let Some(&(inst, PrefillSite::PrefillInstance, _)) = placement.as_ref() {
+                if pred > threshold {
+                    // Candidates: every not-yet-started queued prefill on
+                    // the target replica, plus the arrival itself. Shed
+                    // the lowest tier; the newest id among equals, so the
+                    // arrival loses ties.
+                    let mut victim = (req.tier, std::cmp::Reverse(req.id.0), None::<RequestId>);
+                    for qid in self.instances[inst].queued_prefill_ids() {
+                        let Some(rec) = self.pending.get(&qid.0) else {
+                            continue;
+                        };
+                        let key = (rec.req.tier, std::cmp::Reverse(qid.0));
+                        if key < (victim.0, victim.1) {
+                            victim = (key.0, key.1, Some(qid));
+                        }
+                    }
+                    match victim.2 {
+                        None => {
+                            decision.verdict = AdmissionVerdict::ShedArrival;
+                            self.counters.requests_shed += 1;
+                            self.dropped.push(DroppedRequest {
+                                id: req.id,
+                                tier: req.tier,
+                                at: now,
+                                reason: DropReason::Shed,
+                            });
+                            self.tracer.emit(now, || TraceEvent::Admission(decision));
+                            return false;
+                        }
+                        Some(qid) => {
+                            if self.instances[inst].cancel_queued_prefill(qid) {
+                                self.pending.remove(&qid.0);
+                                self.counters.requests_shed += 1;
+                                self.dropped.push(DroppedRequest {
+                                    id: qid,
+                                    tier: victim.0,
+                                    at: now,
+                                    reason: DropReason::Shed,
+                                });
+                                decision.verdict = AdmissionVerdict::ShedVictim;
+                                decision.victim = Some(qid);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        self.tracer.emit(now, || TraceEvent::Admission(decision));
+        true
+    }
+
+    /// KV-pressure preemption: while the decode replica's free-block
+    /// fraction sits below the watermark, preempt the lowest-value running
+    /// decode (lowest tier, then least progress, then id) until pressure
+    /// clears or no eligible victim remains. Victims re-enter through the
+    /// engine's swapped queue when blocks free up.
+    fn preempt_under_pressure(&mut self, inst: usize, watermark: f64, now: SimTime) {
+        loop {
+            let kv_free_fraction = self.instances[inst].kv_free_fraction();
+            if kv_free_fraction >= watermark {
+                return;
+            }
+            let mut candidates: Vec<(u8, u32, u64)> = self.instances[inst]
+                .running_decodes()
+                .into_iter()
+                .filter_map(|(id, ctx)| {
+                    let rec = self.pending.get(&id.0)?;
+                    let progress = ctx.saturating_sub(rec.req.prompt_tokens);
+                    Some((rec.req.tier, progress, id.0))
+                })
+                .collect();
+            candidates.sort_unstable();
+            let mut preempted = None;
+            for &(tier, _, raw) in &candidates {
+                if self.instances[inst].preempt_for_pressure(RequestId(raw)) {
+                    preempted = Some((tier, RequestId(raw)));
+                    break;
+                }
+            }
+            let Some((tier, id)) = preempted else {
+                // Every running decode is migrating or pausing: nothing
+                // safe to preempt this round.
+                return;
+            };
+            self.counters.requests_preempted += 1;
+            self.tracer.emit(now, || TraceEvent::RequestPreempted {
+                id,
+                inst: inst as u32,
+                tier,
+                kv_free_fraction,
+                watermark,
+            });
+        }
+    }
+
+    /// One deadline-watchdog sweep: aborts every resident request stuck
+    /// past the wall-clock budget that is not actively executing a step
+    /// anywhere. Parked requests (every replica down with no recovery in
+    /// the fault plan) are the canonical case — without the watchdog they
+    /// turn into a drain-time deadlock.
+    fn watchdog_sweep(&mut self, deadline: SimDuration, now: SimTime) {
+        let mut stuck: Vec<u64> = self
+            .pending
+            .iter()
+            .filter(|(_, rec)| now.saturating_since(rec.req.arrival) > deadline)
+            .map(|(&id, _)| id)
+            .collect();
+        stuck.sort_unstable();
+        for raw in stuck {
+            let id = RequestId(raw);
+            // A request making forward progress on a GPU is not stuck;
+            // aborting mid-step would corrupt the lane.
+            if (0..self.instances.len()).any(|i| self.instances[i].in_running_step(id)) {
+                continue;
+            }
+            self.abort_request(id, deadline, now);
+        }
+    }
+
+    /// Tears down every trace of `id` across the cluster — in-flight
+    /// transfers, migration control, engine state, backups, the parked
+    /// list — and records the typed terminal outcome.
+    fn abort_request(&mut self, id: RequestId, deadline: SimDuration, now: SimTime) {
+        let mut tids: Vec<u64> = self
+            .actions
+            .iter()
+            .filter(|(_, pt)| pt.action.request_id() == Some(id))
+            .map(|(&tid, _)| tid)
+            .collect();
+        tids.sort_unstable();
+        for tid in tids {
+            // The bytes stay on the wire; delivery finds no action and
+            // becomes a no-op.
+            self.actions.remove(&tid);
+        }
+        if let Some(m) = self.migrations.remove(&id.0) {
+            self.instances[m.src].unmark_migrating(id);
+            self.instances[m.src].cancel_pause(id);
+        }
+        for i in 0..self.instances.len() {
+            self.instances[i].abort_sequence(id);
+        }
+        self.parked.retain(|&(pid, _, _)| pid != id.0);
+        let Some(rec) = self.pending.remove(&id.0) else {
+            return;
+        };
+        self.counters.watchdog_aborts += 1;
+        let waited_secs = now.saturating_since(rec.req.arrival).as_secs_f64();
+        let deadline_secs = deadline.as_secs_f64();
+        self.dropped.push(DroppedRequest {
+            id,
+            tier: rec.req.tier,
+            at: now,
+            reason: DropReason::DeadlineExceeded,
+        });
+        self.tracer.emit(now, || TraceEvent::WatchdogAborted {
+            id,
+            waited_secs,
+            deadline_secs,
+        });
+    }
+
+    /// Cluster-wide invariant audit: per-instance engine/KV consistency
+    /// (block conservation, no dual queue membership, phase/location
+    /// agreement), residency of every pending request (nothing silently
+    /// lost, nothing duplicated across replicas), and per-request
+    /// timestamp monotonicity.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Invariant`](crate::Error::Invariant) describing
+    /// the first violated invariant.
+    fn audit_invariants(&mut self) -> crate::Result<()> {
+        self.counters.invariant_checks += 1;
+        let violated = |reason: String| crate::Error::Invariant { reason };
+        for inst in &self.instances {
+            inst.check_invariants()
+                .map_err(|reason| violated(format!("{}: {reason}", inst.name())))?;
+        }
+        let mut ids: Vec<u64> = self.pending.keys().copied().collect();
+        ids.sort_unstable();
+        for raw in ids {
+            let id = RequestId(raw);
+            let holders = (0..self.instances.len())
+                .filter(|&i| self.instances[i].has_sequence(id))
+                .count();
+            if holders > 1 {
+                return Err(violated(format!(
+                    "request {raw} resident on {holders} instances"
+                )));
+            }
+            // MigrationPhase1 carries no sequence state (the victim still
+            // lives at its source), so it does not count as residency.
+            let in_transfer = self.actions.values().any(|pt| match &pt.action {
+                TransferAction::KvHandoff { state, .. }
+                | TransferAction::MigrationPhase2 { state }
+                | TransferAction::BackupRestore { state, .. } => state.id == id,
+                TransferAction::MigrationPhase1 { .. } => false,
+            });
+            let is_parked = self.parked.iter().any(|&(pid, _, _)| pid == raw);
+            if holders == 0 && !in_transfer && !is_parked {
+                return Err(violated(format!(
+                    "request {raw} is pending but resident nowhere"
+                )));
+            }
+            let rec = &self.pending[&raw];
+            let mut last = rec.req.arrival;
+            for (label, stamp) in [
+                ("prefill_start", rec.prefill_start),
+                ("first_token", rec.first_token),
+                ("decode_enqueue", rec.decode_enqueue),
+                ("decode_start", rec.decode_start),
+            ] {
+                if let Some(t) = stamp {
+                    if t < last {
+                        return Err(violated(format!(
+                            "request {raw}: {label} precedes an earlier stage"
+                        )));
+                    }
+                    last = t;
+                }
+            }
+        }
+        Ok(())
+    }
+
     fn register_steps(&mut self, inst: usize, started: &[StartedStep], now: SimTime) {
         for step in started {
             self.deferred.push((
@@ -961,6 +1321,11 @@ impl Cluster {
         }
         if self.decode_idxs.contains(&inst) && self.cfg.system.resched_enabled() {
             self.maybe_reschedule(inst, now)?;
+        }
+        if let Some(watermark) = self.cfg.overload.and_then(|o| o.preempt_kv_watermark) {
+            if self.decode_idxs.contains(&inst) || self.cfg.system.colocated() {
+                self.preempt_under_pressure(inst, watermark, now);
+            }
         }
         Ok(())
     }

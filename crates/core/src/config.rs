@@ -102,6 +102,98 @@ impl AutoscaleConfig {
     }
 }
 
+/// Overload control: admission caps, SLO-aware shedding, KV-pressure
+/// preemption, a deadline watchdog, and the cluster-wide invariant
+/// auditor. `None` on [`ServeConfig::overload`] keeps the legacy
+/// accept-everything behaviour bit-for-bit.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OverloadConfig {
+    /// Cap on resident (queued or running) requests; an arrival past the
+    /// cap is rejected with a typed outcome. `None` = unbounded (legacy).
+    pub max_queued_requests: Option<usize>,
+    /// Cap on queued prefill tokens summed across routable instances; an
+    /// arrival finding the budget exhausted is rejected. `None` = no
+    /// token budget.
+    pub max_queued_tokens: Option<u64>,
+    /// SLO-aware load shedding: when an arrival's predicted TTFT exceeds
+    /// `shed_ttft_factor ×` the TTFT SLO, the lowest-tier not-yet-started
+    /// queued prefill (or the arrival itself) is shed. Phase-disaggregated
+    /// systems only — colocated deployments have no TTFT predictor.
+    pub shedding: bool,
+    /// Shed threshold as a multiple of the TTFT SLO. The Algorithm 1
+    /// dispatch threshold sits at 0.9× the SLO, so factors ≥ 1.0 shed only
+    /// work that dispatch could not save.
+    pub shed_ttft_factor: f64,
+    /// Decode-replica free-KV fraction below which running decodes are
+    /// preempted (lowest tier, then shortest progress first) until
+    /// pressure clears. `None` disables pressure preemption.
+    pub preempt_kv_watermark: Option<f64>,
+    /// Wall-clock budget after which a resident request that is not
+    /// actively executing is aborted by the watchdog. `None` disables the
+    /// watchdog.
+    pub deadline: Option<SimDuration>,
+    /// Run the cluster-wide invariant auditor every N processed events
+    /// (and once at drain). `None` disables auditing.
+    pub audit_interval_events: Option<u64>,
+}
+
+impl Default for OverloadConfig {
+    fn default() -> Self {
+        OverloadConfig {
+            max_queued_requests: Some(512),
+            max_queued_tokens: None,
+            shedding: true,
+            shed_ttft_factor: 1.5,
+            preempt_kv_watermark: None,
+            deadline: None,
+            audit_interval_events: None,
+        }
+    }
+}
+
+impl OverloadConfig {
+    /// Validates parameter ranges.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Config`](crate::Error::Config) describing the first
+    /// invalid field.
+    pub fn validate(&self) -> crate::Result<()> {
+        let config = |reason: String| crate::Error::Config { reason };
+        if self.max_queued_requests == Some(0) {
+            return Err(config("max_queued_requests must be at least 1".into()));
+        }
+        if self.max_queued_tokens == Some(0) {
+            return Err(config("max_queued_tokens must be at least 1".into()));
+        }
+        if !(self.shed_ttft_factor.is_finite() && self.shed_ttft_factor > 0.0) {
+            return Err(config(format!(
+                "shed_ttft_factor must be positive, got {}",
+                self.shed_ttft_factor
+            )));
+        }
+        if let Some(w) = self.preempt_kv_watermark {
+            if !(0.0..=1.0).contains(&w) {
+                return Err(config(format!(
+                    "preempt_kv_watermark must be in [0, 1], got {w}"
+                )));
+            }
+        }
+        if self.deadline.is_some_and(|d| d.is_zero()) {
+            return Err(config("watchdog deadline must be positive".into()));
+        }
+        if self.audit_interval_events == Some(0) {
+            return Err(config("audit_interval_events must be at least 1".into()));
+        }
+        Ok(())
+    }
+
+    /// The shed threshold in seconds for a given TTFT SLO.
+    pub fn shed_threshold(&self, slo: SloSpec) -> SimDuration {
+        slo.ttft.mul_f64(self.shed_ttft_factor)
+    }
+}
+
 /// Which serving system to run — WindServe, an ablation, or a baseline.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 #[non_exhaustive]
@@ -239,6 +331,10 @@ pub struct ServeConfig {
     /// Seeded fault-injection plan (replica crashes, flaky/degraded
     /// transfers, stragglers). `None` runs fault-free.
     pub faults: Option<FaultPlan>,
+    /// Overload control (admission caps, shedding, KV-pressure preemption,
+    /// deadline watchdog, invariant auditor). `None` keeps the legacy
+    /// accept-everything behaviour.
+    pub overload: Option<OverloadConfig>,
     /// Enables the cost model's step-time cache (the default). The cache
     /// reconstructs exact step times — disabling it changes nothing but
     /// speed, and exists so perf tooling can prove that equivalence.
@@ -282,6 +378,7 @@ impl ServeConfig {
             autoscale: None,
             trace: TraceMode::Off,
             faults: None,
+            overload: None,
             cost_cache: true,
         }
     }
@@ -416,6 +513,9 @@ impl ServeConfig {
                 ));
             }
         }
+        if let Some(overload) = &self.overload {
+            overload.validate()?;
+        }
         if let Some(faults) = &self.faults {
             faults
                 .validate()
@@ -490,6 +590,46 @@ mod tests {
         let total = cfg.total_rate(4.0);
         assert_eq!(total, 16.0);
         assert_eq!(cfg.per_gpu_rate(total), 4.0);
+    }
+
+    #[test]
+    fn overload_config_validates_ranges() {
+        OverloadConfig::default().validate().unwrap();
+        let bad = OverloadConfig {
+            max_queued_requests: Some(0),
+            ..Default::default()
+        };
+        assert!(bad.validate().is_err());
+        let bad = OverloadConfig {
+            shed_ttft_factor: -1.0,
+            ..Default::default()
+        };
+        assert!(bad.validate().is_err());
+        let bad = OverloadConfig {
+            preempt_kv_watermark: Some(1.5),
+            ..Default::default()
+        };
+        assert!(bad.validate().is_err());
+        let bad = OverloadConfig {
+            deadline: Some(SimDuration::ZERO),
+            ..Default::default()
+        };
+        assert!(bad.validate().is_err());
+        let bad = OverloadConfig {
+            audit_interval_events: Some(0),
+            ..Default::default()
+        };
+        assert!(bad.validate().is_err());
+        // The overload sub-config is checked by ServeConfig::validate.
+        let mut cfg = ServeConfig::opt_13b_sharegpt(SystemKind::WindServe);
+        cfg.overload = Some(bad);
+        assert!(cfg.validate().is_err());
+        cfg.overload = Some(OverloadConfig::default());
+        cfg.validate().unwrap();
+        // Shed threshold scales the TTFT SLO.
+        let slo = SloSpec::opt_13b_sharegpt();
+        let thrd = OverloadConfig::default().shed_threshold(slo);
+        assert!((thrd.as_secs_f64() - 0.375).abs() < 1e-9);
     }
 
     #[test]

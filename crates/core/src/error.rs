@@ -51,6 +51,13 @@ pub enum Error {
         /// Destination instance index.
         dst: usize,
     },
+    /// The cluster-wide invariant auditor found an inconsistency (block
+    /// conservation, dual queue membership, non-monotone phase
+    /// timestamps) — a simulator bug, not bad input.
+    Invariant {
+        /// What the auditor found.
+        reason: String,
+    },
 }
 
 impl std::fmt::Display for Error {
@@ -74,6 +81,7 @@ impl std::fmt::Display for Error {
             Error::NoRoute { src, dst } => {
                 write!(f, "no interconnect route from instance {src} to {dst}")
             }
+            Error::Invariant { reason } => write!(f, "invariant violated: {reason}"),
         }
     }
 }

@@ -82,7 +82,7 @@ mod report;
 pub use budget::calibrate_aux_budget;
 pub use builder::ServeConfigBuilder;
 pub use cluster::Cluster;
-pub use config::{AutoscaleConfig, ServeConfig, SystemKind, VictimPolicy};
+pub use config::{AutoscaleConfig, OverloadConfig, ServeConfig, SystemKind, VictimPolicy};
 pub use coordinator::Coordinator;
 pub use error::{Error, Result};
 pub use profiler::Profiler;
@@ -91,7 +91,9 @@ pub use report::{InstanceReport, RunReport, TtftPrediction};
 // Re-export the sub-crate surfaces downstream users need most, so `use
 // windserve::...` suffices for common workflows.
 pub use windserve_faults::{FaultEvent, FaultKind, FaultPlan};
-pub use windserve_metrics::{LatencySummary, Percentiles, SloAttainment, SloSpec};
+pub use windserve_metrics::{
+    DropReason, DroppedRequest, LatencySummary, Percentiles, SloAttainment, SloSpec,
+};
 pub use windserve_model::{ModelSpec, Parallelism};
 pub use windserve_trace as trace;
 pub use windserve_trace::{TraceLog, TraceMode};
@@ -104,8 +106,8 @@ pub use windserve_workload::{ArrivalProcess, Dataset, Request, RequestId, Trace}
 /// ```
 pub mod prelude {
     pub use crate::{
-        Cluster, Error, FaultKind, FaultPlan, Result, RunReport, ServeConfig, ServeConfigBuilder,
-        SystemKind, VictimPolicy,
+        Cluster, Error, FaultKind, FaultPlan, OverloadConfig, Result, RunReport, ServeConfig,
+        ServeConfigBuilder, SystemKind, VictimPolicy,
     };
     pub use windserve_metrics::SloSpec;
     pub use windserve_model::{ModelSpec, Parallelism};

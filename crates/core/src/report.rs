@@ -2,7 +2,9 @@
 
 use crate::config::SystemKind;
 use serde::{Deserialize, Serialize};
-use windserve_metrics::{InstanceSeries, LatencySummary, RequestRecord, Utilization};
+use windserve_metrics::{
+    DroppedRequest, InstanceSeries, LatencySummary, RequestRecord, Utilization,
+};
 
 /// One Algorithm 1 prediction paired with the eventual ground truth.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -89,6 +91,24 @@ pub struct RunReport {
     pub cost_cache_hits: u64,
     /// Cost-model step-cache misses summed across instances.
     pub cost_cache_misses: u64,
+    /// Requests that terminated without completing (admission rejection,
+    /// shedding, watchdog abort), each with its typed reason. Sorted by
+    /// request id. Empty without overload control.
+    pub dropped: Vec<DroppedRequest>,
+    /// Arrivals rejected at admission (queue cap or token budget).
+    pub requests_rejected: u64,
+    /// Requests shed by SLO-aware load shedding.
+    pub requests_shed: u64,
+    /// Running decodes preempted by KV-pressure preemption.
+    pub requests_preempted: u64,
+    /// Requests aborted by the deadline watchdog.
+    pub watchdog_aborts: u64,
+    /// Cluster-wide invariant audits executed (all passed — a failed audit
+    /// aborts the run with [`crate::Error::Invariant`]).
+    pub invariant_checks: u64,
+    /// Peak number of resident (queued or running) requests observed — the
+    /// p100 queue-depth bound the admission cap enforces.
+    pub peak_pending: usize,
 }
 
 impl RunReport {
@@ -104,7 +124,16 @@ impl RunReport {
     /// Goodput (DistServe's metric): requests per second that met *both*
     /// SLOs.
     pub fn goodput(&self) -> f64 {
-        self.throughput() * self.summary.slo.both
+        if self.duration_secs > 0.0 {
+            self.summary.slo_attaining as f64 / self.duration_secs
+        } else {
+            0.0
+        }
+    }
+
+    /// Requests dropped with the given typed reason.
+    pub fn dropped_with(&self, reason: windserve_metrics::DropReason) -> usize {
+        self.dropped.iter().filter(|d| d.reason == reason).count()
     }
 
     /// Total swap-outs across instances (Fig. 1a's swapping signal).

@@ -454,6 +454,167 @@ impl Instance {
     }
 
     // ------------------------------------------------------------------
+    // Overload-control hooks
+    // ------------------------------------------------------------------
+
+    /// True if sequence `id` lives on this instance in any state.
+    pub fn has_sequence(&self, id: RequestId) -> bool {
+        self.seqs.contains_key(&id.0)
+    }
+
+    /// True if `id` is a member of a currently *executing* step (main lane
+    /// or aux stream) — such a sequence is actively making progress and
+    /// must not be aborted out from under its completion event.
+    pub fn in_running_step(&self, id: RequestId) -> bool {
+        let in_step = |s: &RunningStep| {
+            s.decode_ids.contains(&id) || s.prefill_ids.iter().any(|&(p, _)| p == id)
+        };
+        self.lanes
+            .iter()
+            .any(|l| l.step.as_ref().is_some_and(in_step))
+            || self.aux_step.as_ref().is_some_and(in_step)
+    }
+
+    /// Queued prefills that have not processed a single prompt token yet —
+    /// the shed candidates (cancelling them wastes no work). In queue
+    /// order.
+    pub fn queued_prefill_ids(&self) -> Vec<RequestId> {
+        self.waiting_prefill
+            .iter()
+            .filter(|id| {
+                self.seqs
+                    .get(&id.0)
+                    .map(|s| s.prefilled == 0)
+                    .unwrap_or(false)
+            })
+            .copied()
+            .collect()
+    }
+
+    /// Cancels a queued prefill that has not started processing. Returns
+    /// `false` (and changes nothing) if the request is unknown, already
+    /// progressing, or not in the prefill queue.
+    pub fn cancel_queued_prefill(&mut self, id: RequestId) -> bool {
+        let untouched = self
+            .seqs
+            .get(&id.0)
+            .map(|s| s.phase == SeqPhase::Prefilling && s.prefilled == 0)
+            .unwrap_or(false);
+        if !untouched || !self.waiting_prefill.contains(&id) {
+            return false;
+        }
+        self.waiting_prefill.retain(|r| *r != id);
+        // Unstarted jobs have no KV allocation; release defensively anyway.
+        self.kv.release(id.0);
+        self.seqs.remove(&id.0);
+        true
+    }
+
+    /// Forcibly removes `id` from this instance: queues, lanes, swap
+    /// space, KV table and backup. Refuses (returns `false`, leaving the
+    /// sequence untouched) when `id` is inside a currently executing step;
+    /// the caller should retry after that step lands. Any backup copy is
+    /// dropped regardless.
+    pub fn abort_sequence(&mut self, id: RequestId) -> bool {
+        self.drop_backup(id);
+        if self.in_running_step(id) {
+            return false;
+        }
+        let known = self.seqs.remove(&id.0).is_some();
+        if !known {
+            return false;
+        }
+        for lane in &mut self.lanes {
+            lane.running.retain(|r| *r != id);
+        }
+        self.swapped.retain(|r| *r != id);
+        self.waiting_decode.retain(|r| *r != id);
+        self.waiting_prefill.retain(|r| *r != id);
+        self.kv.release(id.0);
+        self.kv.forget_swapped(id.0);
+        self.migrating.remove(&id.0);
+        self.pause_requests.remove(&id.0);
+        true
+    }
+
+    /// Instance-local structural invariants, checked by the cluster-wide
+    /// auditor:
+    ///
+    /// 1. block conservation in the KV manager;
+    /// 2. no sequence is in two scheduling locations at once (prefill
+    ///    queue, decode queue, swap queue, lane membership);
+    /// 3. every queued/running id has a live [`SeqState`], with a phase
+    ///    consistent with its location and sane token counters;
+    /// 4. every resident KV table belongs to a live sequence or a live
+    ///    backup.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated invariant.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        let name = self.name();
+        self.kv
+            .check_invariants()
+            .map_err(|e| format!("{name}: {e}"))?;
+        let mut seen: FxHashSet<u64> = FxHashSet::default();
+        let mut check = |id: RequestId, place: &str| -> Result<(), String> {
+            if !seen.insert(id.0) {
+                return Err(format!("{name}: {id} appears twice (last seen in {place})"));
+            }
+            let Some(seq) = self.seqs.get(&id.0) else {
+                return Err(format!("{name}: {id} in {place} has no sequence state"));
+            };
+            if seq.prefilled > seq.prompt_tokens {
+                return Err(format!(
+                    "{name}: {id} prefilled {} of a {}-token prompt",
+                    seq.prefilled, seq.prompt_tokens
+                ));
+            }
+            if seq.generated > seq.output_target {
+                return Err(format!(
+                    "{name}: {id} generated {} of {} output tokens",
+                    seq.generated, seq.output_target
+                ));
+            }
+            let phase_ok = match place {
+                "waiting_prefill" => seq.phase == SeqPhase::Prefilling,
+                "waiting_decode" => seq.phase == SeqPhase::DecodeWaiting,
+                "swapped" => seq.phase == SeqPhase::Swapped,
+                _ => seq.phase == SeqPhase::Decoding,
+            };
+            if !phase_ok {
+                return Err(format!("{name}: {id} in {place} has phase {:?}", seq.phase));
+            }
+            Ok(())
+        };
+        for &id in &self.waiting_prefill {
+            check(id, "waiting_prefill")?;
+        }
+        for &id in &self.waiting_decode {
+            check(id, "waiting_decode")?;
+        }
+        for &id in &self.swapped {
+            check(id, "swapped")?;
+        }
+        for lane in &self.lanes {
+            for &id in &lane.running {
+                check(id, "lane")?;
+            }
+        }
+        for key in self.kv.resident_keys() {
+            if key & (1 << 63) != 0 {
+                let raw = key & !(1 << 63);
+                if self.backups.tokens_of(raw).is_none() {
+                    return Err(format!("{name}: KV backup table {raw} has no backup entry"));
+                }
+            } else if !self.seqs.contains_key(&key) {
+                return Err(format!("{name}: KV table {key} has no live sequence"));
+            }
+        }
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
     // Internal helpers shared with the step module
     // ------------------------------------------------------------------
 

@@ -549,6 +549,21 @@ impl Instance {
         self.swapped.push_back(id);
     }
 
+    /// Preempts a *running* decode because cluster-level KV pressure
+    /// crossed the overload watermark: the victim is swapped out (or
+    /// dropped for recompute, per the configured mode) and re-admits FIFO
+    /// from the swap queue once blocks free up. Returns `false` (and does
+    /// nothing) when `id` is not an eligible victim — not running,
+    /// migrating, or already marked for a migration pause.
+    pub fn preempt_for_pressure(&mut self, id: RequestId) -> bool {
+        let running = self.lanes.iter().any(|l| l.running.contains(&id));
+        if !running || self.migrating.contains(&id.0) || self.pause_requests.contains(&id.0) {
+            return false;
+        }
+        self.preempt(id);
+        true
+    }
+
     /// Appends one token's KV to `id`, preempting other sequences if blocks
     /// have run out (last resort: swap `id` itself out un-appended; the
     /// discrepancy is resynced at swap-in).

@@ -27,6 +27,7 @@
 #![warn(missing_docs)]
 
 mod error;
+mod outcome;
 mod percentile;
 mod record;
 mod series;
@@ -35,6 +36,7 @@ mod summary;
 mod util;
 
 pub use error::{Error, Result};
+pub use outcome::{DropReason, DroppedRequest};
 pub use percentile::{percentile, Percentiles};
 pub use record::{PrefillSite, RequestRecord};
 pub use series::{InstanceSeries, Series};

@@ -1,0 +1,79 @@
+//! Typed terminal outcomes for requests that never complete.
+//!
+//! Under overload control a request can leave the system without
+//! producing its output: rejected at admission, shed to protect the SLO
+//! of higher-tier work, or aborted by the deadline watchdog. Each such
+//! exit is recorded as a [`DroppedRequest`] with a typed [`DropReason`],
+//! so a run report accounts for every request — completed or not — and
+//! "silently vanished" is not a reachable state.
+
+use serde::{Deserialize, Serialize};
+use windserve_sim::SimTime;
+use windserve_workload::RequestId;
+
+/// Why a request was dropped instead of completing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum DropReason {
+    /// Rejected at admission: the resident-request cap was full.
+    QueueFull,
+    /// Rejected at admission: the queued-prefill token budget was
+    /// exhausted.
+    TokenBudget,
+    /// Shed by SLO-aware load shedding (predicted TTFT past the shed
+    /// threshold; this request was the lowest-value candidate).
+    Shed,
+    /// Aborted by the deadline watchdog after exceeding its wall-clock
+    /// budget.
+    DeadlineExceeded,
+}
+
+impl DropReason {
+    /// Short kebab-case label used by reports and exporters.
+    pub fn label(self) -> &'static str {
+        match self {
+            DropReason::QueueFull => "queue-full",
+            DropReason::TokenBudget => "token-budget",
+            DropReason::Shed => "shed",
+            DropReason::DeadlineExceeded => "deadline-exceeded",
+        }
+    }
+}
+
+/// A request that terminated without completing, with its typed reason.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DroppedRequest {
+    /// The request.
+    pub id: RequestId,
+    /// Its priority tier.
+    pub tier: u8,
+    /// When it was dropped.
+    pub at: SimTime,
+    /// Why.
+    pub reason: DropReason,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_are_stable() {
+        assert_eq!(DropReason::QueueFull.label(), "queue-full");
+        assert_eq!(DropReason::TokenBudget.label(), "token-budget");
+        assert_eq!(DropReason::Shed.label(), "shed");
+        assert_eq!(DropReason::DeadlineExceeded.label(), "deadline-exceeded");
+    }
+
+    #[test]
+    fn dropped_request_is_plain_data() {
+        let d = DroppedRequest {
+            id: RequestId(4),
+            tier: 1,
+            at: SimTime::from_micros(250_000),
+            reason: DropReason::Shed,
+        };
+        assert_eq!(d, d);
+        assert_eq!(d.reason.label(), "shed");
+    }
+}

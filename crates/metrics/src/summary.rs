@@ -21,6 +21,9 @@ pub struct LatencySummary {
     pub decode_queue: Percentiles,
     /// SLO attainment under the supplied objectives.
     pub slo: SloAttainment,
+    /// Completed requests meeting *both* objectives — the goodput
+    /// numerator (goodput = `slo_attaining / duration`).
+    pub slo_attaining: usize,
     /// Requests whose prefill was dispatched to the decode instance.
     pub dispatched_prefills: usize,
     /// Requests migrated by dynamic rescheduling at least once.
@@ -51,6 +54,7 @@ impl LatencySummary {
             prefill_queue: Percentiles::of(&pq).unwrap_or_else(Percentiles::zero),
             decode_queue: Percentiles::of(&dq).unwrap_or_else(Percentiles::zero),
             slo: SloAttainment::of(slo, records),
+            slo_attaining: records.iter().filter(|r| slo.meets_both(r)).count(),
             dispatched_prefills: records
                 .iter()
                 .filter(|r| r.prefill_site == PrefillSite::DecodeInstance)
@@ -105,6 +109,10 @@ mod tests {
         assert_eq!(s.total_swap_outs, 5);
         assert!(s.ttft.p50 >= 0.1 && s.ttft.p99 <= 0.2);
         assert_eq!(s.slo.tpot, 1.0);
+        // The goodput numerator counts exactly the both-SLO records.
+        let slo2 = SloSpec::opt_13b_sharegpt();
+        let expect = records.iter().filter(|r| slo2.meets_both(r)).count();
+        assert_eq!(s.slo_attaining, expect);
     }
 
     #[test]

@@ -242,6 +242,59 @@ impl TraceLog {
                         "backoff_us": *backoff_us,
                     }),
                 )),
+                TraceEvent::Admission(a) => body.push(instant(
+                    "admission",
+                    SCHEDULER_PID,
+                    0,
+                    us,
+                    json!({
+                        "request": a.request.0,
+                        "tier": a.tier,
+                        "verdict": a.verdict.label(),
+                        "queued_requests": a.queued_requests,
+                        "queued_tokens": a.queued_tokens,
+                        "ttft_pred_secs": a.ttft_pred_secs,
+                        "shed_threshold_secs": a.shed_threshold_secs,
+                        "victim": a.victim.map(|v| v.0),
+                    }),
+                )),
+                TraceEvent::RequestPreempted {
+                    id,
+                    inst,
+                    tier,
+                    kv_free_fraction,
+                    watermark,
+                } => {
+                    // The victim leaves its decode span; it re-enters via a
+                    // fresh decode-started when re-admitted.
+                    close(&mut open, &mut body, id.0, Phase::Decode, us);
+                    body.push(instant(
+                        "request-preempted",
+                        REQUESTS_PID,
+                        id.0,
+                        us,
+                        json!({
+                            "inst": *inst,
+                            "tier": *tier,
+                            "kv_free_fraction": *kv_free_fraction,
+                            "watermark": *watermark,
+                        }),
+                    ));
+                }
+                TraceEvent::WatchdogAborted {
+                    id,
+                    waited_secs,
+                    deadline_secs,
+                } => body.push(instant(
+                    "watchdog-aborted",
+                    REQUESTS_PID,
+                    id.0,
+                    us,
+                    json!({
+                        "waited_secs": *waited_secs,
+                        "deadline_secs": *deadline_secs,
+                    }),
+                )),
             }
         }
         // Close anything still open at the end of the run (sorted ids and

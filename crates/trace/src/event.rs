@@ -107,6 +107,59 @@ pub struct DispatchDecision {
     pub target: u32,
 }
 
+/// Outcome of the overload admission/shedding check for one arrival.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AdmissionVerdict {
+    /// Admitted without displacing anything.
+    Admitted,
+    /// Rejected at the door: the resident-request cap was full.
+    RejectedQueueFull,
+    /// Rejected at the door: the queued-prefill token budget was exhausted.
+    RejectedTokenBudget,
+    /// Predicted TTFT exceeded the shed threshold and the arrival itself
+    /// was the lowest-value candidate: it was dropped.
+    ShedArrival,
+    /// Predicted TTFT exceeded the shed threshold; a lower-tier queued
+    /// request was shed to make room for this arrival.
+    ShedVictim,
+}
+
+impl AdmissionVerdict {
+    /// Display label used by exporters and the CLI audit.
+    pub fn label(self) -> &'static str {
+        match self {
+            AdmissionVerdict::Admitted => "admitted",
+            AdmissionVerdict::RejectedQueueFull => "rejected-queue-full",
+            AdmissionVerdict::RejectedTokenBudget => "rejected-token-budget",
+            AdmissionVerdict::ShedArrival => "shed-arrival",
+            AdmissionVerdict::ShedVictim => "shed-victim",
+        }
+    }
+}
+
+/// One overload admission decision with the state that produced it.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AdmissionDecision {
+    /// The arriving request.
+    pub request: RequestId,
+    /// Its priority tier.
+    pub tier: u8,
+    /// Resident (queued or running) requests at decision time.
+    pub queued_requests: usize,
+    /// Queued prefill tokens across routable instances at decision time.
+    pub queued_tokens: u64,
+    /// Predicted TTFT for the arrival, seconds (`None` for colocated
+    /// deployments, where Algorithm 1 does not run).
+    pub ttft_pred_secs: Option<f64>,
+    /// The shed threshold in effect, seconds (`None` when shedding is off).
+    pub shed_threshold_secs: Option<f64>,
+    /// The verdict.
+    pub verdict: AdmissionVerdict,
+    /// The queued request shed to admit this arrival (verdict
+    /// [`AdmissionVerdict::ShedVictim`] only).
+    pub victim: Option<RequestId>,
+}
+
 /// A structured trace event. All instance references are cluster-wide
 /// instance indices; timestamps live on the enclosing [`TimedEvent`].
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -278,6 +331,34 @@ pub enum TraceEvent {
         /// Backoff waited before this attempt, microseconds.
         backoff_us: u64,
     },
+    /// The overload admission controller ruled on an arrival. Emitted only
+    /// when overload control is configured.
+    Admission(AdmissionDecision),
+    /// A running decode was preempted because its replica's KV pressure
+    /// crossed the high-water mark; the victim's KV was swapped to host
+    /// memory (or marked for recompute) and it re-queues for admission.
+    RequestPreempted {
+        /// The preempted request.
+        id: RequestId,
+        /// The pressured decode instance.
+        inst: u32,
+        /// Victim priority tier.
+        tier: u8,
+        /// Free-block fraction at the trigger.
+        kv_free_fraction: f64,
+        /// The configured preemption watermark.
+        watermark: f64,
+    },
+    /// The deadline watchdog aborted a request stuck past its wall-clock
+    /// budget (stranded transfer, starved re-queue).
+    WatchdogAborted {
+        /// The aborted request.
+        id: RequestId,
+        /// How long the request had been resident, seconds.
+        waited_secs: f64,
+        /// The configured deadline, seconds.
+        deadline_secs: f64,
+    },
 }
 
 impl TraceEvent {
@@ -295,8 +376,11 @@ impl TraceEvent {
             | TraceEvent::MigrationPaused { id, .. }
             | TraceEvent::MigrationFinished { id, .. }
             | TraceEvent::RequestRescheduled { id, .. }
+            | TraceEvent::RequestPreempted { id, .. }
+            | TraceEvent::WatchdogAborted { id, .. }
             | TraceEvent::Finished { id } => Some(*id),
             TraceEvent::Dispatch(d) => Some(d.request),
+            TraceEvent::Admission(a) => Some(a.request),
             TraceEvent::TransferRetried { id, .. } => *id,
             _ => None,
         }
@@ -324,6 +408,9 @@ impl TraceEvent {
             TraceEvent::FaultInjected { .. } => "fault-injected",
             TraceEvent::RequestRescheduled { .. } => "request-rescheduled",
             TraceEvent::TransferRetried { .. } => "transfer-retried",
+            TraceEvent::Admission(_) => "admission",
+            TraceEvent::RequestPreempted { .. } => "request-preempted",
+            TraceEvent::WatchdogAborted { .. } => "watchdog-aborted",
         }
     }
 }

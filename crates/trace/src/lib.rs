@@ -53,6 +53,9 @@ mod event;
 mod log;
 mod sink;
 
-pub use event::{DispatchDecision, DispatchVerdict, Lane, StepClass, TimedEvent, TraceEvent};
+pub use event::{
+    AdmissionDecision, AdmissionVerdict, DispatchDecision, DispatchVerdict, Lane, StepClass,
+    TimedEvent, TraceEvent,
+};
 pub use log::TraceLog;
 pub use sink::{CollectSink, NullSink, RingBufferSink, TraceMode, TraceSink, Tracer};

@@ -1,6 +1,6 @@
 //! The collected trace of one run, with query and audit helpers.
 
-use crate::event::{DispatchDecision, TimedEvent, TraceEvent};
+use crate::event::{AdmissionDecision, DispatchDecision, TimedEvent, TraceEvent};
 use serde::{Deserialize, Serialize};
 use std::fmt::Write as _;
 use windserve_workload::RequestId;
@@ -46,6 +46,17 @@ impl TraceLog {
             .iter()
             .filter_map(|e| match &e.event {
                 TraceEvent::Dispatch(d) => Some((e, d)),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Every overload admission decision, in order.
+    pub fn admission_decisions(&self) -> Vec<(&TimedEvent, &AdmissionDecision)> {
+        self.events
+            .iter()
+            .filter_map(|e| match &e.event {
+                TraceEvent::Admission(a) => Some((e, a)),
                 _ => None,
             })
             .collect()
@@ -127,6 +138,46 @@ impl TraceLog {
                     format!("migration complete; resumed on inst {dst}")
                 }
                 TraceEvent::Finished { .. } => "finished".to_string(),
+                TraceEvent::Admission(a) => {
+                    let pred = a
+                        .ttft_pred_secs
+                        .map(|p| format!("{p:.4}s"))
+                        .unwrap_or_else(|| "n/a".to_string());
+                    let thrd = a
+                        .shed_threshold_secs
+                        .map(|p| format!("{p:.4}s"))
+                        .unwrap_or_else(|| "off".to_string());
+                    let victim = a
+                        .victim
+                        .map(|v| format!(", shed r{}", v.0))
+                        .unwrap_or_default();
+                    format!(
+                        "admission {} (tier {}): {} resident, {} queued tokens, \
+                         ttft_pred {pred} vs shed thrd {thrd}{victim}",
+                        a.verdict.label(),
+                        a.tier,
+                        a.queued_requests,
+                        a.queued_tokens,
+                    )
+                }
+                TraceEvent::RequestPreempted {
+                    inst,
+                    tier,
+                    kv_free_fraction,
+                    watermark,
+                    ..
+                } => format!(
+                    "preempted on inst {inst} (tier {tier}): kv free {:.3} \
+                     below watermark {:.3}",
+                    kv_free_fraction, watermark
+                ),
+                TraceEvent::WatchdogAborted {
+                    waited_secs,
+                    deadline_secs,
+                    ..
+                } => format!(
+                    "watchdog aborted after {waited_secs:.3}s (deadline {deadline_secs:.3}s)"
+                ),
                 other => other.kind().to_string(),
             };
             let _ = writeln!(out, "  [{t:>10.6}s] {line}");

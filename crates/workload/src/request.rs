@@ -28,6 +28,10 @@ pub struct Request {
     /// Number of output tokens the request will generate (incl. the first
     /// token produced by the prefill).
     pub output_tokens: u32,
+    /// Priority tier for overload control: `0` is the lowest tier (shed
+    /// first); higher tiers are more important. [`Request::new`] defaults
+    /// it to `0`, so untiered workloads behave exactly as before.
+    pub tier: u8,
 }
 
 impl Request {
@@ -44,7 +48,14 @@ impl Request {
             arrival,
             prompt_tokens,
             output_tokens,
+            tier: 0,
         }
+    }
+
+    /// The same request with its priority tier set.
+    pub fn with_tier(mut self, tier: u8) -> Self {
+        self.tier = tier;
+        self
     }
 
     /// Context length once the request has fully completed.
@@ -79,5 +90,17 @@ mod tests {
     #[should_panic(expected = "empty prompt")]
     fn empty_prompt_rejected() {
         let _ = Request::new(RequestId(0), SimTime::ZERO, 0, 1);
+    }
+
+    #[test]
+    fn tier_defaults_to_lowest() {
+        let r = Request::new(RequestId(3), SimTime::ZERO, 10, 5);
+        assert_eq!(r.tier, 0);
+        let hi = r.with_tier(2);
+        assert_eq!(hi.tier, 2);
+        // Everything else is untouched by the tier.
+        assert_eq!(hi.id, r.id);
+        assert_eq!(hi.prompt_tokens, r.prompt_tokens);
+        assert_eq!(hi.output_tokens, r.output_tokens);
     }
 }

@@ -119,6 +119,7 @@ impl Trace {
                     r.prompt_tokens,
                     r.output_tokens,
                 )
+                .with_tier(r.tier)
             })
             .collect();
         Trace { requests }
@@ -145,6 +146,7 @@ impl Trace {
                     r.prompt_tokens,
                     r.output_tokens,
                 )
+                .with_tier(r.tier)
             })
             .collect();
         Trace { requests }
@@ -166,6 +168,37 @@ impl Trace {
                     r.prompt_tokens,
                     r.output_tokens,
                 )
+                .with_tier(r.tier)
+            })
+            .collect();
+        Trace { requests }
+    }
+
+    /// Assigns each request a priority tier in `0..n_tiers`, deterministic
+    /// in `(seed, request id)`. Tiers come from a pure hash rather than an
+    /// RNG stream, so the sampled lengths and arrival times of the trace
+    /// are byte-identical to the untier-ed trace.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_tiers` is zero.
+    pub fn with_tiers(&self, n_tiers: u8, seed: u64) -> Trace {
+        assert!(n_tiers > 0, "need at least one tier");
+        let requests = self
+            .requests
+            .iter()
+            .map(|r| {
+                // SplitMix64-style finalizer over (seed, id): uniform enough
+                // for tier assignment, no RNG state consumed.
+                let mut x = seed
+                    .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                    .wrapping_add(r.id.0.wrapping_mul(0xBF58_476D_1CE4_E5B9));
+                x ^= x >> 30;
+                x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                x ^= x >> 27;
+                x = x.wrapping_mul(0x94D0_49BB_1331_11EB);
+                x ^= x >> 31;
+                r.with_tier((x % u64::from(n_tiers)) as u8)
             })
             .collect();
         Trace { requests }
@@ -304,6 +337,38 @@ mod tests {
             assert!(w[1].arrival >= w[0].arrival);
             assert!(w[1].id > w[0].id);
         }
+    }
+
+    #[test]
+    fn tier_assignment_is_pure_and_preserves_the_trace() {
+        let d = Dataset::sharegpt(2048);
+        let t = Trace::generate(&d, &ArrivalProcess::poisson(4.0), 400, 21);
+        let tiered = t.with_tiers(3, 99);
+        let again = t.with_tiers(3, 99);
+        assert_eq!(tiered, again);
+        // Lengths and arrivals are byte-identical to the source trace.
+        for (a, b) in t.requests().iter().zip(tiered.requests()) {
+            assert_eq!(a.id, b.id);
+            assert_eq!(a.arrival, b.arrival);
+            assert_eq!(a.prompt_tokens, b.prompt_tokens);
+            assert_eq!(a.output_tokens, b.output_tokens);
+            assert!(b.tier < 3);
+        }
+        // All tiers are actually populated.
+        for tier in 0..3u8 {
+            assert!(tiered.requests().iter().any(|r| r.tier == tier));
+        }
+        // Tiers survive slicing, rate scaling and merging.
+        let sliced = tiered.slice(10..60);
+        assert!(sliced.requests().iter().any(|r| r.tier > 0));
+        let fast = tiered.with_rate_scaled(2.0);
+        assert_eq!(
+            tiered.requests()[7].tier,
+            fast.requests()[7].tier,
+            "rate scaling must not touch tiers"
+        );
+        let merged = tiered.slice(0..10).merge(&tiered.slice(10..20));
+        assert!(merged.requests().iter().any(|r| r.tier > 0));
     }
 
     #[test]
