@@ -1,0 +1,10 @@
+//! Fleet study: per-tenant SLO attainment and per-deployment GPU-seconds
+//! for multi-deployment serving over one shared GPU pool, under static
+//! partition / round-robin expansion / fair-share arbitration.
+use windserve_bench::{experiments, ExpContext};
+
+fn main() {
+    let ctx = ExpContext::from_args();
+    let data = experiments::fleet::run(&ctx);
+    ctx.emit("fleet", &data);
+}

@@ -253,10 +253,14 @@ pub fn autoscaling(ctx: &ExpContext) -> Value {
         ("static 2Px2D", None),
         ("autoscaled 1-2Px1-2D", Some(AutoscaleConfig::default())),
     ] {
-        let mut cfg = ServeConfig::opt_13b_sharegpt(SystemKind::WindServe);
-        cfg.prefill_replicas = 2;
-        cfg.decode_replicas = 2;
-        cfg.autoscale = autoscale;
+        let mut builder = ServeConfig::opt_13b_sharegpt(SystemKind::WindServe)
+            .to_builder()
+            .prefill_replicas(2)
+            .decode_replicas(2);
+        if let Some(auto) = autoscale {
+            builder = builder.with_autoscale(auto);
+        }
+        let cfg = builder.build().expect("valid config");
         let total = cfg.total_rate(2.0);
         let trace = Trace::generate(
             &dataset,

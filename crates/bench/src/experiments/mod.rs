@@ -12,6 +12,7 @@ pub mod fig2;
 pub mod fig3;
 pub mod fig5;
 pub mod fig8;
+pub mod fleet;
 pub mod overload;
 pub mod table1;
 pub mod table2;

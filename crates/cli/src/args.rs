@@ -31,7 +31,7 @@ pub struct Args {
 }
 
 /// Boolean switches that take no value.
-const SWITCHES: &[&str] = &[
+pub const SWITCHES: &[&str] = &[
     "json",
     "quiet",
     "help",
@@ -40,6 +40,53 @@ const SWITCHES: &[&str] = &[
     "autoscale",
     "check-cache",
     "overload",
+    "emit-config",
+];
+
+/// Every flag that takes a value. `Args::parse` rejects flags outside
+/// this registry (and [`SWITCHES`]), so a typo'd flag fails loudly
+/// instead of silently swallowing the next token; the help-drift test in
+/// `commands.rs` keeps both registries in sync with the help text.
+pub const VALUE_FLAGS: &[&str] = &[
+    "model",
+    "dataset",
+    "system",
+    "gpu",
+    "prefill-gpu",
+    "prefill-par",
+    "decode-par",
+    "prefill-replicas",
+    "decode-replicas",
+    "nodes",
+    "rate",
+    "requests",
+    "seed",
+    "arrivals",
+    "thrd",
+    "slo-ttft",
+    "slo-tpot",
+    "victims",
+    "preemption",
+    "min-prefill",
+    "min-decode",
+    "save-trace",
+    "trace-file",
+    "config",
+    "preset",
+    "out",
+    "audit",
+    "systems",
+    "rates",
+    "fault-seed",
+    "max-queue",
+    "max-queued-tokens",
+    "shed-factor",
+    "preempt-watermark",
+    "deadline",
+    "audit-every",
+    "overload-factor",
+    "tiers",
+    "jobs",
 ];
 
 impl Args {
@@ -57,6 +104,11 @@ impl Args {
                 if SWITCHES.contains(&name) {
                     args.flags.insert(name.to_string(), None);
                     continue;
+                }
+                if !VALUE_FLAGS.contains(&name) {
+                    return Err(ArgError(format!(
+                        "unknown flag --{name}; see `windserve help`"
+                    )));
                 }
                 match iter.next() {
                     Some(value) => {
@@ -160,5 +212,18 @@ mod tests {
     fn dangling_flag_errors() {
         let err = Args::parse(["--model".to_string()]).unwrap_err();
         assert!(err.0.contains("--model"));
+    }
+
+    #[test]
+    fn unknown_flags_fail_loudly() {
+        let err = Args::parse(["--modle".to_string(), "opt-13b".to_string()]).unwrap_err();
+        assert!(err.0.contains("--modle"), "{err}");
+    }
+
+    #[test]
+    fn registries_do_not_overlap() {
+        for s in SWITCHES {
+            assert!(!VALUE_FLAGS.contains(s), "--{s} in both registries");
+        }
     }
 }

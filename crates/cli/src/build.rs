@@ -142,38 +142,73 @@ impl RunSpec {
     ///
     /// Reports the first invalid flag.
     pub fn from_args(args: &Args) -> Result<RunSpec, ArgError> {
-        let model = model_by_name(args.get("model").unwrap_or("opt-13b"))?;
-        let system = system_by_name(args.get("system").unwrap_or("windserve"))?;
-        let slo = default_slo_for(&model.name);
-        let prefill = parallelism_by_name(args.get("prefill-par").unwrap_or_else(|| {
-            if model.param_count() > 30_000_000_000 {
-                "2x2"
-            } else {
-                "2"
+        // `--config <file.toml>` supplies the baseline; explicit flags
+        // override the file's values. Without a file, the baseline is the
+        // paper's defaults and every flag falls back to them.
+        let mut config = match args.get("config") {
+            Some(path) => {
+                let mut cfg = load_config_file(path)?;
+                if let Some(name) = args.get("model") {
+                    cfg.model = model_by_name(name)?;
+                }
+                if let Some(name) = args.get("system") {
+                    cfg.system = system_by_name(name)?;
+                }
+                if let Some(spec) = args.get("prefill-par") {
+                    cfg.prefill_parallelism = parallelism_by_name(spec)?;
+                }
+                if let Some(spec) = args.get("decode-par") {
+                    cfg.decode_parallelism = parallelism_by_name(spec)?;
+                }
+                if let Some(name) = args.get("gpu") {
+                    cfg.gpu = gpu_by_name(name)?;
+                }
+                if let Some(n) = args.get_opt::<usize>("prefill-replicas")? {
+                    cfg.prefill_replicas = n;
+                }
+                if let Some(n) = args.get_opt::<usize>("decode-replicas")? {
+                    cfg.decode_replicas = n;
+                }
+                cfg
             }
-        }))?;
-        let decode = parallelism_by_name(
-            args.get("decode-par")
-                .or(args.get("prefill-par"))
-                .unwrap_or_else(|| {
+            None => {
+                let model = model_by_name(args.get("model").unwrap_or("opt-13b"))?;
+                let system = system_by_name(args.get("system").unwrap_or("windserve"))?;
+                let slo = default_slo_for(&model.name);
+                let prefill = parallelism_by_name(args.get("prefill-par").unwrap_or_else(|| {
                     if model.param_count() > 30_000_000_000 {
                         "2x2"
                     } else {
                         "2"
                     }
-                }),
-        )?;
-        let mut config = ServeConfig::new(model, slo, prefill, decode, system);
-        config.gpu = gpu_by_name(args.get("gpu").unwrap_or("a800"))?;
+                }))?;
+                let decode = parallelism_by_name(
+                    args.get("decode-par")
+                        .or(args.get("prefill-par"))
+                        .unwrap_or_else(|| {
+                            if model.param_count() > 30_000_000_000 {
+                                "2x2"
+                            } else {
+                                "2"
+                            }
+                        }),
+                )?;
+                let mut cfg = ServeConfig::new(model, slo, prefill, decode, system);
+                cfg.gpu = gpu_by_name(args.get("gpu").unwrap_or("a800"))?;
+                cfg.prefill_replicas = args.get_or("prefill-replicas", 1usize)?;
+                cfg.decode_replicas = args.get_or("decode-replicas", 1usize)?;
+                cfg
+            }
+        };
         if let Some(pg) = args.get("prefill-gpu") {
             config.prefill_gpu = Some(gpu_by_name(pg)?);
         }
-        config.prefill_replicas = args.get_or("prefill-replicas", 1usize)?;
-        config.decode_replicas = args.get_or("decode-replicas", 1usize)?;
         if let Some(nodes) = args.get_opt::<usize>("nodes")? {
             config.topology = Topology::a800_multi_node(nodes.max(1));
         }
-        config.split_phases_across_nodes = args.switch("split-nodes");
+        if args.switch("split-nodes") {
+            config.split_phases_across_nodes = true;
+        }
         if let Some(thrd) = args.get_opt::<f64>("thrd")? {
             config.dispatch_threshold = Some(SimDuration::from_secs_f64(thrd));
         }
@@ -290,6 +325,18 @@ impl RunSpec {
     }
 }
 
+/// Reads a [`ServeConfig`] from a TOML file. Omitted fields inherit the
+/// paper's default operating point (see `windserve::configfile`).
+///
+/// # Errors
+///
+/// Reports I/O, parse, and validation failures with the path.
+pub fn load_config_file(path: &str) -> Result<ServeConfig, ArgError> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| ArgError(format!("cannot read {path}: {e}")))?;
+    ServeConfig::from_toml(&text).map_err(|e| ArgError(format!("{path}: {e}")))
+}
+
 /// Resolves a Table 3/4 preset by its CLI name, returning the config and
 /// the name of the matching dataset.
 ///
@@ -400,5 +447,30 @@ mod tests {
     #[test]
     fn negative_rate_rejected() {
         assert!(spec("run --rate -1").is_err());
+    }
+
+    #[test]
+    fn config_file_is_the_baseline_and_flags_override() {
+        let dir = std::env::temp_dir().join("windserve-cli-config-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("serve.toml");
+        std::fs::write(&path, "system = \"DistServe\"\ndecode_replicas = 2\n").unwrap();
+        let path = path.to_str().unwrap();
+
+        // File values apply where no flag is given...
+        let s = spec(&format!("run --config {path}")).unwrap();
+        assert_eq!(s.config.system, SystemKind::DistServe);
+        assert_eq!(s.config.decode_replicas, 2);
+
+        // ...and explicit flags beat the file.
+        let s = spec(&format!(
+            "run --config {path} --decode-replicas 1 --system vllm"
+        ))
+        .unwrap();
+        assert_eq!(s.config.system, SystemKind::VllmColocated);
+        assert_eq!(s.config.decode_replicas, 1);
+
+        let err = spec("run --config /nonexistent/serve.toml").unwrap_err();
+        assert!(err.0.contains("/nonexistent/serve.toml"));
     }
 }

@@ -27,9 +27,55 @@ pub fn run(args: &Args) -> Result<String, ArgError> {
         .map_err(|e| ArgError(format!("simulation: {e}")))?;
     if args.switch("json") {
         render::report_json(&report)
+    } else if args.switch("quiet") {
+        Ok(render::report_brief(&spec, &report))
     } else {
         Ok(render::report_text(&spec, &report))
     }
+}
+
+/// Runs a multi-deployment fleet over one shared GPU pool and prints
+/// per-tenant SLO attainment plus per-deployment lease/GPU-seconds
+/// accounting. Without `--config` the built-in two-deployment example
+/// runs; `--emit-config` prints that example as TOML to start from.
+///
+/// # Errors
+///
+/// Reports invalid flags, an invalid fleet config file, or a failed run.
+pub fn fleet(args: &Args) -> Result<String, ArgError> {
+    use windserve::fleet::FleetConfig;
+    if args.switch("emit-config") {
+        return Ok(FleetConfig::example().config().to_toml());
+    }
+    let mut cfg = match args.get("config") {
+        Some(path) => {
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| ArgError(format!("cannot read {path}: {e}")))?;
+            FleetConfig::from_toml(&text).map_err(|e| ArgError(format!("{path}: {e}")))?
+        }
+        None => FleetConfig::example().config(),
+    };
+    if let Some(seed) = args.get_opt::<u64>("seed")? {
+        cfg.seed = seed;
+    }
+    let jobs = args.get_or("jobs", 1usize)?.max(1);
+    let fleet = cfg
+        .build()
+        .map_err(|e| ArgError(format!("fleet config: {e}")))?;
+    let (report, log) = fleet
+        .run_traced(jobs)
+        .map_err(|e| ArgError(format!("fleet: {e}")))?;
+    let mut out = String::new();
+    if let Some(path) = args.get("out") {
+        std::fs::write(path, log.to_chrome_json())
+            .map_err(|e| ArgError(format!("cannot write {path}: {e}")))?;
+        out += &format!("wrote Chrome trace ({} events) to {path}\n", log.len());
+    }
+    if args.switch("json") {
+        return render::fleet_json(&report);
+    }
+    out += &render::fleet_text(fleet.config(), &report, &log);
+    Ok(out)
 }
 
 /// Runs the same workload under several systems and prints a comparison.
@@ -381,6 +427,8 @@ USAGE:
 
 COMMANDS:
     run          simulate one serving run and report latencies
+    fleet        run several deployments over one shared GPU pool and
+                 report per-tenant SLO attainment and lease accounting
     compare      run the same workload under several systems
     sweep        sweep the per-GPU request rate
     trace        capture every scheduling decision of a run
@@ -417,6 +465,11 @@ COMMON FLAGS (with defaults):
     --min-prefill / --min-decode always-active replicas under --autoscale
     --save-trace <path>          (run) write the generated trace as JSON
     --trace-file <path>          (run) replay a saved trace instead
+    --config <file.toml>         (run, fleet) read the configuration from a
+                                 TOML file; explicit flags override it
+    --jobs N                     (fleet) deployments simulated in parallel;
+                                 results are identical for any N [1]
+    --emit-config                (fleet) print the example fleet TOML
     --preset <name>              (trace) Table 3/4 operating point:
                                  opt13b-sharegpt, opt66b-sharegpt,
                                  llama2-13b-longbench, llama2-70b-longbench
@@ -442,6 +495,8 @@ COMMON FLAGS (with defaults):
     --check-cache                (perf) rerun with the cost cache disabled
                                  and verify bit-identical results
     --json                       machine-readable output
+    --quiet                      (run) one-line summary
+    --help                       this text
 "#
     .to_string()
 }
@@ -637,6 +692,97 @@ mod tests {
         assert!(v["events_per_sec"].as_f64().unwrap() > 0.0);
         assert!(v["total_steps"].as_u64().unwrap() > 0);
         assert!(v["cost_cache_hit_rate"].as_f64().unwrap() > 0.5);
+    }
+
+    #[test]
+    fn help_text_and_flag_registries_stay_in_sync() {
+        let help = help();
+        for name in crate::args::SWITCHES.iter().chain(crate::args::VALUE_FLAGS) {
+            assert!(
+                help.contains(&format!("--{name}")),
+                "--{name} is registered in args.rs but missing from the help text"
+            );
+        }
+        for token in help.split(|c: char| !(c.is_ascii_alphanumeric() || c == '-')) {
+            if let Some(name) = token.strip_prefix("--") {
+                if name.is_empty() {
+                    continue;
+                }
+                assert!(
+                    crate::args::SWITCHES.contains(&name)
+                        || crate::args::VALUE_FLAGS.contains(&name),
+                    "help text mentions --{name}, which is not registered in args.rs"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn quiet_run_is_one_line() {
+        let out = run(&args("run --requests 60 --rate 2 --quiet")).unwrap();
+        assert_eq!(out.trim_end().lines().count(), 1, "{out}");
+        assert!(out.contains("SLO"));
+    }
+
+    fn small_fleet_toml() -> String {
+        let dir = std::env::temp_dir().join("windserve-cli-fleet-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("fleet.toml");
+        std::fs::write(
+            &path,
+            r#"
+seed = 5
+[[deployments]]
+name = "a"
+expansion_units = 0
+[[deployments.tenants]]
+name = "t-a"
+dataset = "fixed:64:8"
+rate = 6.0
+requests = 30
+tier = 0
+[[deployments]]
+name = "b"
+expansion_units = 0
+[[deployments.tenants]]
+name = "t-b"
+dataset = "fixed:64:8"
+rate = 3.0
+requests = 20
+tier = 1
+"#,
+        )
+        .unwrap();
+        path.to_str().unwrap().to_string()
+    }
+
+    #[test]
+    fn fleet_emit_config_prints_the_example_toml() {
+        let out = fleet(&args("fleet --emit-config")).unwrap();
+        assert!(out.contains("[[deployments]]"), "{out}");
+        assert!(out.contains("chatbot"));
+        assert!(out.contains("[[deployments.tenants]]"));
+    }
+
+    #[test]
+    fn fleet_reports_per_tenant_slo_attainment() {
+        let path = small_fleet_toml();
+        let out = fleet(&args(&format!("fleet --config {path}"))).unwrap();
+        assert!(out.contains("SLO both"), "{out}");
+        assert!(out.contains("t-a"));
+        assert!(out.contains("t-b"));
+        assert!(out.contains("balanced"));
+    }
+
+    #[test]
+    fn fleet_json_is_identical_across_job_counts() {
+        let path = small_fleet_toml();
+        let seq = fleet(&args(&format!("fleet --config {path} --jobs 1 --json"))).unwrap();
+        let par = fleet(&args(&format!("fleet --config {path} --jobs 4 --json"))).unwrap();
+        assert_eq!(seq, par, "fleet report must not depend on --jobs");
+        let v: serde_json::Value = serde_json::from_str(&seq).expect("valid json");
+        assert_eq!(v["tenants"].as_array().unwrap().len(), 2);
+        assert_eq!(v["pool"]["balanced"], true);
     }
 
     #[test]

@@ -36,6 +36,7 @@ pub fn dispatch(args: &Args) -> Result<String, args::ArgError> {
     }
     match args.command.as_deref() {
         Some("run") => commands::run(args),
+        Some("fleet") => commands::fleet(args),
         Some("compare") => commands::compare(args),
         Some("sweep") => commands::sweep(args),
         Some("trace") => commands::trace(args),

@@ -2,7 +2,9 @@
 
 use crate::args::ArgError;
 use crate::build::RunSpec;
-use windserve::{Cluster, Percentiles, RunReport};
+use windserve::fleet::{FleetConfig, FleetReport};
+use windserve::trace::LeaseAction;
+use windserve::{Cluster, Percentiles, RunReport, TraceLog};
 use windserve_workload::Trace;
 
 /// Formats one statistic of a latency sample, right-aligned to `width`:
@@ -82,6 +84,100 @@ pub fn report_text(spec: &RunSpec, report: &RunReport) -> String {
         );
     }
     out
+}
+
+/// One-line summary of a run (the `--quiet` rendering).
+pub fn report_brief(spec: &RunSpec, report: &RunReport) -> String {
+    let s = &report.summary;
+    format!(
+        "{} | {} | {} completed | goodput {:.3} req/s | SLO {:.1}% (ttft {:.1}%, tpot {:.1}%)\n",
+        report.system.label(),
+        spec.config.model.name,
+        s.completed,
+        report.goodput(),
+        s.slo.both * 100.0,
+        s.slo.ttft * 100.0,
+        s.slo.tpot * 100.0,
+    )
+}
+
+/// Plain-text rendering of a fleet run: shared-pool accounting, one row
+/// per deployment, and per-tenant SLO attainment.
+pub fn fleet_text(cfg: &FleetConfig, report: &FleetReport, log: &TraceLog) -> String {
+    let lease_moves = log.lease_events();
+    let count = |want: LeaseAction| {
+        lease_moves
+            .iter()
+            .filter(|(_, _, action, _)| *action == want)
+            .count()
+    };
+    let mut out = format!(
+        "fleet: {} deployments, {} tenants on {} shared GPUs (seed {})\n",
+        report.deployments.len(),
+        report.tenants.len(),
+        cfg.topology.n_gpus(),
+        cfg.seed,
+    );
+    out += &format!(
+        "pool: {} GPU-grants, {} returned, {} | leases: {} granted, {} reclaimed, {} returned\n\n",
+        report.pool.granted_gpus,
+        report.pool.returned_gpus,
+        if report.pool.balanced {
+            "balanced"
+        } else {
+            "UNBALANCED"
+        },
+        count(LeaseAction::Granted),
+        count(LeaseAction::Reclaimed),
+        count(LeaseAction::Returned),
+    );
+    out += &format!(
+        "{:<14} {:>5} {:>6} {:>7} {:>12} {:>10} {:>9}\n",
+        "deployment", "base", "units", "leased", "pressure", "GPU-s", "goodput"
+    );
+    for d in &report.deployments {
+        out += &format!(
+            "{:<14} {:>5} {:>6} {:>7} {:>12.0} {:>10.1} {:>9.3}\n",
+            d.name,
+            d.base_gpus,
+            format!("+{}", d.granted_units),
+            d.leased_gpus,
+            d.pressure,
+            d.gpu_seconds,
+            d.report.goodput(),
+        );
+    }
+    out += &format!(
+        "\n{:<12} {:<14} {:>9} {:>10} {:>10} {:>9} {:>9}\n",
+        "tenant", "deployment", "completed", "TTFT p50", "TTFT p99", "SLO both", "goodput"
+    );
+    for t in &report.tenants {
+        out += &format!(
+            "{:<12} {:<14} {:>9} {:>10} {:>10} {:>8.1}% {:>9.3}\n",
+            t.name,
+            t.deployment,
+            t.summary.completed,
+            stat(&t.summary.ttft, t.summary.ttft.p50, 10),
+            stat(&t.summary.ttft, t.summary.ttft.p99, 10),
+            t.slo_attainment * 100.0,
+            t.goodput,
+        );
+    }
+    out += &format!(
+        "\nfleet goodput {:.3} req/s over {:.1} GPU-seconds\n",
+        report.total_goodput(),
+        report.total_gpu_seconds(),
+    );
+    out
+}
+
+/// JSON rendering of a fleet report.
+///
+/// # Errors
+///
+/// Propagates serialization failures (should not happen for these types).
+pub fn fleet_json(report: &FleetReport) -> Result<String, ArgError> {
+    serde_json::to_string_pretty(report).map_err(|e| ArgError(format!("serialize: {e}")))
 }
 
 /// Renders values as a unicode sparkline, downsampled to at most `width`
@@ -166,7 +262,7 @@ pub fn comparison_text(spec: &RunSpec, reports: &[RunReport]) -> String {
 }
 
 /// Overload A/B comparison: an uncontrolled baseline against the same
-/// workload under overload control. Latency columns go through [`stat`],
+/// workload under overload control. Latency columns go through `stat`,
 /// so a run that completes nothing prints "n/a" instead of placeholder
 /// zeros.
 pub fn overload_text(

@@ -26,7 +26,7 @@ use crate::config::{AutoscaleConfig, OverloadConfig, ServeConfig, SystemKind, Vi
 /// let cfg = ServeConfig::builder()
 ///     .system(SystemKind::WindServe)
 ///     .decode_replicas(2)
-///     .trace(TraceMode::Full)
+///     .with_trace(TraceMode::Full)
 ///     .build()?;
 /// assert_eq!(cfg.decode_replicas, 2);
 /// # Ok::<(), windserve::Error>(())
@@ -196,28 +196,100 @@ impl ServeConfigBuilder {
     }
 
     /// Enables autoscaling with the given policy.
-    pub fn autoscale(mut self, auto: AutoscaleConfig) -> Self {
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use windserve::{AutoscaleConfig, ServeConfig};
+    ///
+    /// let cfg = ServeConfig::builder()
+    ///     .with_autoscale(AutoscaleConfig::default())
+    ///     .build()?;
+    /// assert!(cfg.autoscale.is_some());
+    /// # Ok::<(), windserve::Error>(())
+    /// ```
+    pub fn with_autoscale(mut self, auto: AutoscaleConfig) -> Self {
         self.cfg.autoscale = Some(auto);
         self
     }
 
     /// Scheduling-decision trace capture mode.
-    pub fn trace(mut self, mode: TraceMode) -> Self {
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use windserve::{ServeConfig, TraceMode};
+    ///
+    /// let cfg = ServeConfig::builder()
+    ///     .with_trace(TraceMode::Full)
+    ///     .build()?;
+    /// assert_eq!(cfg.trace, TraceMode::Full);
+    /// # Ok::<(), windserve::Error>(())
+    /// ```
+    pub fn with_trace(mut self, mode: TraceMode) -> Self {
         self.cfg.trace = mode;
         self
     }
 
     /// Attaches a seeded fault-injection plan.
-    pub fn faults(mut self, plan: FaultPlan) -> Self {
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use windserve::{FaultPlan, ServeConfig};
+    ///
+    /// let cfg = ServeConfig::builder()
+    ///     .with_faults(FaultPlan::flaky_transfers(7))
+    ///     .build()?;
+    /// assert!(cfg.faults.is_some());
+    /// # Ok::<(), windserve::Error>(())
+    /// ```
+    pub fn with_faults(mut self, plan: FaultPlan) -> Self {
         self.cfg.faults = Some(plan);
         self
     }
 
     /// Enables overload control (admission caps, SLO-aware shedding,
     /// KV-pressure preemption, deadline watchdog, invariant auditor).
-    pub fn overload(mut self, overload: OverloadConfig) -> Self {
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use windserve::{OverloadConfig, ServeConfig};
+    ///
+    /// let cfg = ServeConfig::builder()
+    ///     .with_overload(OverloadConfig::default())
+    ///     .build()?;
+    /// assert!(cfg.overload.is_some());
+    /// # Ok::<(), windserve::Error>(())
+    /// ```
+    pub fn with_overload(mut self, overload: OverloadConfig) -> Self {
         self.cfg.overload = Some(overload);
         self
+    }
+
+    /// Deprecated spelling of [`with_autoscale`](Self::with_autoscale).
+    #[deprecated(since = "0.1.0", note = "renamed to `with_autoscale`")]
+    pub fn autoscale(self, auto: AutoscaleConfig) -> Self {
+        self.with_autoscale(auto)
+    }
+
+    /// Deprecated spelling of [`with_trace`](Self::with_trace).
+    #[deprecated(since = "0.1.0", note = "renamed to `with_trace`")]
+    pub fn trace(self, mode: TraceMode) -> Self {
+        self.with_trace(mode)
+    }
+
+    /// Deprecated spelling of [`with_faults`](Self::with_faults).
+    #[deprecated(since = "0.1.0", note = "renamed to `with_faults`")]
+    pub fn faults(self, plan: FaultPlan) -> Self {
+        self.with_faults(plan)
+    }
+
+    /// Deprecated spelling of [`with_overload`](Self::with_overload).
+    #[deprecated(since = "0.1.0", note = "renamed to `with_overload`")]
+    pub fn overload(self, overload: OverloadConfig) -> Self {
+        self.with_overload(overload)
     }
 
     /// Enables or disables the cost model's (exact) step-time cache.
@@ -256,7 +328,7 @@ mod tests {
             .system(SystemKind::DistServe)
             .decode_replicas(2)
             .chunk_tokens(256)
-            .trace(TraceMode::Ring(1024))
+            .with_trace(TraceMode::Ring(1024))
             .build()
             .unwrap();
         assert_eq!(cfg.system, SystemKind::DistServe);
@@ -269,6 +341,26 @@ mod tests {
     fn builder_rejects_invalid_at_build() {
         let err = ServeConfig::builder().chunk_tokens(0).build().unwrap_err();
         assert!(matches!(err, crate::Error::Config { .. }));
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_spellings_delegate_to_with_variants() {
+        let old = ServeConfig::builder()
+            .autoscale(AutoscaleConfig::default())
+            .overload(OverloadConfig::default())
+            .trace(TraceMode::Full)
+            .faults(FaultPlan::flaky_transfers(7))
+            .build()
+            .unwrap();
+        let new = ServeConfig::builder()
+            .with_autoscale(AutoscaleConfig::default())
+            .with_overload(OverloadConfig::default())
+            .with_trace(TraceMode::Full)
+            .with_faults(FaultPlan::flaky_transfers(7))
+            .build()
+            .unwrap();
+        assert_eq!(old, new);
     }
 
     #[test]

@@ -58,6 +58,13 @@ pub enum Error {
         /// What the auditor found.
         reason: String,
     },
+    /// A fleet-level failure: an infeasible placement plan, a lease the
+    /// shared pool cannot honour, or a deployment run gone wrong (the
+    /// deployment's name prefixes the reason).
+    Fleet {
+        /// What went wrong at the fleet layer.
+        reason: String,
+    },
 }
 
 impl std::fmt::Display for Error {
@@ -82,6 +89,7 @@ impl std::fmt::Display for Error {
                 write!(f, "no interconnect route from instance {src} to {dst}")
             }
             Error::Invariant { reason } => write!(f, "invariant violated: {reason}"),
+            Error::Fleet { reason } => write!(f, "fleet: {reason}"),
         }
     }
 }

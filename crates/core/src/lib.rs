@@ -53,7 +53,7 @@
 //! use windserve::prelude::*;
 //!
 //! # fn main() -> windserve::Result<()> {
-//! let cfg = ServeConfig::builder().trace(TraceMode::Full).build()?;
+//! let cfg = ServeConfig::builder().with_trace(TraceMode::Full).build()?;
 //! let trace = Trace::generate(
 //!     &Dataset::sharegpt(2048), &ArrivalProcess::poisson(16.0), 50, 7);
 //! let (report, log) = Cluster::new(cfg)?.run_traced(&trace)?;
@@ -74,8 +74,10 @@ mod budget;
 mod builder;
 mod cluster;
 mod config;
+pub mod configfile;
 mod coordinator;
 mod error;
+pub mod fleet;
 mod profiler;
 mod report;
 
@@ -85,6 +87,10 @@ pub use cluster::Cluster;
 pub use config::{AutoscaleConfig, OverloadConfig, ServeConfig, SystemKind, VictimPolicy};
 pub use coordinator::Coordinator;
 pub use error::{Error, Result};
+pub use fleet::{
+    ArbiterConfig, DeploymentConfig, DeploymentReport, Fleet, FleetConfig, FleetConfigBuilder,
+    FleetReport, PoolReport, TenantReport, TenantRoute, TenantSpec,
+};
 pub use profiler::Profiler;
 pub use report::{InstanceReport, RunReport, TtftPrediction};
 
@@ -106,8 +112,9 @@ pub use windserve_workload::{ArrivalProcess, Dataset, Request, RequestId, Trace}
 /// ```
 pub mod prelude {
     pub use crate::{
-        Cluster, Error, FaultKind, FaultPlan, OverloadConfig, Result, RunReport, ServeConfig,
-        ServeConfigBuilder, SystemKind, VictimPolicy,
+        ArbiterConfig, Cluster, DeploymentConfig, Error, FaultKind, FaultPlan, Fleet, FleetConfig,
+        FleetReport, OverloadConfig, Result, RunReport, ServeConfig, ServeConfigBuilder,
+        SystemKind, TenantSpec, VictimPolicy,
     };
     pub use windserve_metrics::SloSpec;
     pub use windserve_model::{ModelSpec, Parallelism};

@@ -109,7 +109,7 @@ pub struct FaultEvent {
 /// Build one with [`FaultPlan::new`] plus the `with_*` methods, or use a
 /// preset ([`FaultPlan::replica_crash`], [`FaultPlan::flaky_transfers`],
 /// ...). Attach it to a serving configuration via
-/// `ServeConfig::builder().faults(plan)`.
+/// `ServeConfig::builder().with_faults(plan)`.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct FaultPlan {
     /// Timed faults, fired in chronological order.

@@ -13,12 +13,19 @@ pub enum Error {
         /// What is wrong with it.
         reason: String,
     },
+    /// A lease or release against the shared pool could not be honoured
+    /// (see [`GpuInventory`](crate::GpuInventory)).
+    Inventory {
+        /// What is wrong with the request.
+        reason: String,
+    },
 }
 
 impl fmt::Display for Error {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             Error::InvalidSpec { name, reason } => write!(f, "{name}: {reason}"),
+            Error::Inventory { reason } => write!(f, "inventory: {reason}"),
         }
     }
 }

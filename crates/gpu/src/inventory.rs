@@ -1,0 +1,199 @@
+//! A shared GPU inventory with deterministic leasing.
+//!
+//! The fleet layer runs several model deployments over one physical GPU
+//! pool. Each deployment holds a *lease* on a subset of the pool; the
+//! fair-share arbiter grows and shrinks leases by moving GPUs between
+//! deployments. [`GpuInventory`] is the ledger behind that: it hands out
+//! the lowest-numbered free GPUs (so the same sequence of requests always
+//! produces the same placement), refuses double-grants and double-returns,
+//! and keeps lifetime grant/return counters that a conservation audit can
+//! check against (`granted_total == returned_total` once every deployment
+//! has wound down).
+
+use crate::error::{Error, Result};
+use crate::topology::{GpuId, Topology};
+use std::collections::BTreeSet;
+
+/// The ledger of free and leased GPUs in one shared pool.
+///
+/// # Examples
+///
+/// ```
+/// use windserve_gpu::{GpuInventory, Topology};
+///
+/// let mut inv = GpuInventory::new(&Topology::a800_testbed());
+/// let a = inv.lease(4).unwrap();
+/// let b = inv.lease(2).unwrap();
+/// assert_eq!(inv.free(), 2);
+/// inv.release(&b).unwrap();
+/// inv.release(&a).unwrap();
+/// assert_eq!(inv.granted_total(), inv.returned_total());
+/// ```
+#[derive(Debug, Clone)]
+pub struct GpuInventory {
+    capacity: usize,
+    free: BTreeSet<GpuId>,
+    granted_total: u64,
+    returned_total: u64,
+}
+
+impl GpuInventory {
+    /// An inventory covering every GPU of `topology`, all initially free.
+    pub fn new(topology: &Topology) -> Self {
+        GpuInventory {
+            capacity: topology.n_gpus(),
+            free: (0..topology.n_gpus()).map(GpuId).collect(),
+            granted_total: 0,
+            returned_total: 0,
+        }
+    }
+
+    /// Leases `n` GPUs, always the lowest-numbered free ones, so identical
+    /// call sequences yield identical placements.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Inventory`] if `n` is zero or exceeds the free count; the
+    /// inventory is left unchanged on error.
+    pub fn lease(&mut self, n: usize) -> Result<Vec<GpuId>> {
+        if n == 0 {
+            return Err(Error::Inventory {
+                reason: "cannot lease zero GPUs".into(),
+            });
+        }
+        if n > self.free.len() {
+            return Err(Error::Inventory {
+                reason: format!("requested {n} GPUs but only {} are free", self.free.len()),
+            });
+        }
+        let grant: Vec<GpuId> = self.free.iter().take(n).copied().collect();
+        for g in &grant {
+            self.free.remove(g);
+        }
+        self.granted_total += n as u64;
+        Ok(grant)
+    }
+
+    /// Returns previously leased GPUs to the pool.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Inventory`] if any id is out of range, already free
+    /// (double return) or duplicated in `gpus`; nothing is released on
+    /// error.
+    pub fn release(&mut self, gpus: &[GpuId]) -> Result<()> {
+        let mut seen = BTreeSet::new();
+        for g in gpus {
+            if g.0 >= self.capacity {
+                return Err(Error::Inventory {
+                    reason: format!("gpu {} is outside the {}-GPU pool", g.0, self.capacity),
+                });
+            }
+            if self.free.contains(g) || !seen.insert(*g) {
+                return Err(Error::Inventory {
+                    reason: format!("gpu {} returned twice", g.0),
+                });
+            }
+        }
+        for g in gpus {
+            self.free.insert(*g);
+        }
+        self.returned_total += gpus.len() as u64;
+        Ok(())
+    }
+
+    /// Number of GPUs currently free.
+    pub fn free(&self) -> usize {
+        self.free.len()
+    }
+
+    /// Number of GPUs currently out on lease.
+    pub fn leased(&self) -> usize {
+        self.capacity - self.free.len()
+    }
+
+    /// Total pool size.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Lifetime count of GPU-grants (units, not calls).
+    pub fn granted_total(&self) -> u64 {
+        self.granted_total
+    }
+
+    /// Lifetime count of GPU-returns (units, not calls).
+    pub fn returned_total(&self) -> u64 {
+        self.returned_total
+    }
+
+    /// `true` when every grant has been matched by a return and the pool is
+    /// whole again — the invariant a fleet run must restore on shutdown.
+    pub fn is_balanced(&self) -> bool {
+        self.free.len() == self.capacity && self.granted_total == self.returned_total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn leases_lowest_free_ids_first() {
+        let mut inv = GpuInventory::new(&Topology::a800_testbed());
+        let a = inv.lease(2).unwrap();
+        assert_eq!(a, vec![GpuId(0), GpuId(1)]);
+        let b = inv.lease(3).unwrap();
+        assert_eq!(b, vec![GpuId(2), GpuId(3), GpuId(4)]);
+        inv.release(&a).unwrap();
+        // Freed low ids are reused before the untouched tail.
+        let c = inv.lease(3).unwrap();
+        assert_eq!(c, vec![GpuId(0), GpuId(1), GpuId(5)]);
+    }
+
+    #[test]
+    fn over_subscription_is_refused_without_side_effects() {
+        let mut inv = GpuInventory::new(&Topology::a800_testbed());
+        let _held = inv.lease(6).unwrap();
+        assert!(inv.lease(3).is_err());
+        assert_eq!(inv.free(), 2);
+        assert_eq!(inv.granted_total(), 6);
+    }
+
+    #[test]
+    fn double_return_is_refused_atomically() {
+        let mut inv = GpuInventory::new(&Topology::a800_testbed());
+        let a = inv.lease(2).unwrap();
+        inv.release(&a).unwrap();
+        assert!(inv.release(&a).is_err());
+        // A mixed batch with one bad id releases nothing.
+        let b = inv.lease(2).unwrap();
+        let mut batch = b.clone();
+        batch.push(GpuId(7)); // free, so "returned twice"
+        assert!(inv.release(&batch).is_err());
+        assert_eq!(inv.leased(), 2);
+        inv.release(&b).unwrap();
+        assert!(inv.is_balanced());
+    }
+
+    #[test]
+    fn accounting_balances_over_a_full_cycle() {
+        let mut inv = GpuInventory::new(&Topology::a800_multi_node(2));
+        let mut held = Vec::new();
+        for n in [4, 2, 6, 1] {
+            held.push(inv.lease(n).unwrap());
+        }
+        assert_eq!(inv.granted_total(), 13);
+        for lease in held {
+            inv.release(&lease).unwrap();
+        }
+        assert!(inv.is_balanced());
+        assert_eq!(inv.returned_total(), 13);
+    }
+
+    #[test]
+    fn zero_lease_rejected() {
+        let mut inv = GpuInventory::new(&Topology::a800_testbed());
+        assert!(inv.lease(0).is_err());
+    }
+}

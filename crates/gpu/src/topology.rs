@@ -158,6 +158,26 @@ impl Topology {
         RouteSpec::striped(LinkKind::PcieHost, gpus.len())
     }
 
+    /// A topology describing the first `n` GPUs of this one — the view a
+    /// fleet deployment gets of its lease. Link structure (NVLink pairing,
+    /// NUMA and node widths) is inherited, so placements computed inside
+    /// the subset have the same interconnect costs as the corresponding
+    /// prefix of the parent pool.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero or exceeds this topology's size.
+    pub fn subset(&self, n: usize) -> Topology {
+        assert!(n > 0, "degenerate topology");
+        assert!(n <= self.n_gpus, "subset exceeds pool");
+        Topology {
+            n_gpus: n,
+            nvlink_pairs: self.nvlink_pairs,
+            numa_width: self.numa_width,
+            node_width: self.node_width,
+        }
+    }
+
     /// A placement of `n` GPUs for the prefill instance followed by `m` for
     /// the decode instance, chosen so that corresponding shards sit on
     /// NVLink-bridged pairs when possible (this is how DistServe and the

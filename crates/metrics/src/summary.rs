@@ -4,6 +4,7 @@ use crate::percentile::Percentiles;
 use crate::record::{PrefillSite, RequestRecord};
 use crate::slo::{SloAttainment, SloSpec};
 use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
 
 /// Everything the paper's end-to-end figures plot, computed from a run's
 /// completed-request records.
@@ -63,6 +64,33 @@ impl LatencySummary {
             total_swap_outs: records.iter().map(|r| u64::from(r.swap_outs)).sum(),
         }
     }
+
+    /// Summarizes `records` partitioned by `key` — e.g. per tenant, per
+    /// priority tier, or per prefill site. Groups come back in key order;
+    /// every record lands in exactly one group, so the groups' `completed`
+    /// counts sum to `records.len()`.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`LatencySummary::of`].
+    pub fn grouped_by<K, F>(
+        slo: SloSpec,
+        records: &[RequestRecord],
+        key: F,
+    ) -> BTreeMap<K, LatencySummary>
+    where
+        K: Ord,
+        F: Fn(&RequestRecord) -> K,
+    {
+        let mut groups: BTreeMap<K, Vec<RequestRecord>> = BTreeMap::new();
+        for r in records {
+            groups.entry(key(r)).or_default().push(*r);
+        }
+        groups
+            .into_iter()
+            .map(|(k, rs)| (k, LatencySummary::of(slo, &rs)))
+            .collect()
+    }
 }
 
 #[cfg(test)]
@@ -113,6 +141,20 @@ mod tests {
         let slo2 = SloSpec::opt_13b_sharegpt();
         let expect = records.iter().filter(|r| slo2.meets_both(r)).count();
         assert_eq!(s.slo_attaining, expect);
+    }
+
+    #[test]
+    fn grouped_summaries_partition_the_records() {
+        let slo = SloSpec::opt_13b_sharegpt();
+        let records: Vec<_> = (0..9)
+            .map(|i| record(i, 0.1, 0.02, PrefillSite::PrefillInstance))
+            .collect();
+        // Key by id modulo 3 — three groups of three.
+        let groups = LatencySummary::grouped_by(slo, &records, |r| r.id.0 % 3);
+        assert_eq!(groups.len(), 3);
+        assert!(groups.values().all(|s| s.completed == 3));
+        let total: usize = groups.values().map(|s| s.completed).sum();
+        assert_eq!(total, records.len());
     }
 
     #[test]

@@ -281,6 +281,25 @@ impl TraceLog {
                         }),
                     ));
                 }
+                TraceEvent::FleetLease {
+                    deployment,
+                    action,
+                    gpus,
+                    lease_after,
+                    pool_free,
+                } => body.push(instant(
+                    "fleet-lease",
+                    SCHEDULER_PID,
+                    0,
+                    us,
+                    json!({
+                        "deployment": *deployment,
+                        "action": action.label(),
+                        "gpus": *gpus,
+                        "lease_after": *lease_after,
+                        "pool_free": *pool_free,
+                    }),
+                )),
                 TraceEvent::WatchdogAborted {
                     id,
                     waited_secs,

@@ -160,6 +160,28 @@ pub struct AdmissionDecision {
     pub victim: Option<RequestId>,
 }
 
+/// What the fleet arbiter did with a block of leased GPUs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum LeaseAction {
+    /// GPUs moved from the shared pool to a deployment.
+    Granted,
+    /// GPUs reclaimed from an underloaded deployment back to the pool.
+    Reclaimed,
+    /// GPUs handed back to the pool at deployment wind-down.
+    Returned,
+}
+
+impl LeaseAction {
+    /// Display label used by exporters and the CLI audit.
+    pub fn label(self) -> &'static str {
+        match self {
+            LeaseAction::Granted => "granted",
+            LeaseAction::Reclaimed => "reclaimed",
+            LeaseAction::Returned => "returned",
+        }
+    }
+}
+
 /// A structured trace event. All instance references are cluster-wide
 /// instance indices; timestamps live on the enclosing [`TimedEvent`].
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -349,6 +371,20 @@ pub enum TraceEvent {
         /// The configured preemption watermark.
         watermark: f64,
     },
+    /// The fleet placement planner or fair-share arbiter moved GPUs
+    /// between the shared pool and a deployment's lease.
+    FleetLease {
+        /// The affected deployment's index within the fleet.
+        deployment: u32,
+        /// What happened to the lease.
+        action: LeaseAction,
+        /// Number of GPUs moved.
+        gpus: u32,
+        /// The deployment's lease size after the move.
+        lease_after: u32,
+        /// Free GPUs left in the shared pool after the move.
+        pool_free: u32,
+    },
     /// The deadline watchdog aborted a request stuck past its wall-clock
     /// budget (stranded transfer, starved re-queue).
     WatchdogAborted {
@@ -410,6 +446,7 @@ impl TraceEvent {
             TraceEvent::TransferRetried { .. } => "transfer-retried",
             TraceEvent::Admission(_) => "admission",
             TraceEvent::RequestPreempted { .. } => "request-preempted",
+            TraceEvent::FleetLease { .. } => "fleet-lease",
             TraceEvent::WatchdogAborted { .. } => "watchdog-aborted",
         }
     }

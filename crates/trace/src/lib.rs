@@ -54,8 +54,8 @@ mod log;
 mod sink;
 
 pub use event::{
-    AdmissionDecision, AdmissionVerdict, DispatchDecision, DispatchVerdict, Lane, StepClass,
-    TimedEvent, TraceEvent,
+    AdmissionDecision, AdmissionVerdict, DispatchDecision, DispatchVerdict, Lane, LeaseAction,
+    StepClass, TimedEvent, TraceEvent,
 };
 pub use log::TraceLog;
 pub use sink::{CollectSink, NullSink, RingBufferSink, TraceMode, TraceSink, Tracer};

@@ -62,6 +62,25 @@ impl TraceLog {
             .collect()
     }
 
+    /// Every fleet lease movement, in order, as
+    /// `(event, deployment, action, gpus)` — the raw material for a lease
+    /// conservation audit (grants must equal reclaims plus returns per
+    /// deployment once the fleet has wound down).
+    pub fn lease_events(&self) -> Vec<(&TimedEvent, u32, crate::event::LeaseAction, u32)> {
+        self.events
+            .iter()
+            .filter_map(|e| match &e.event {
+                TraceEvent::FleetLease {
+                    deployment,
+                    action,
+                    gpus,
+                    ..
+                } => Some((e, *deployment, *action, *gpus)),
+                _ => None,
+            })
+            .collect()
+    }
+
     /// Distinct request ids appearing in the log, ascending.
     pub fn request_ids(&self) -> Vec<RequestId> {
         let mut ids: Vec<RequestId> = self

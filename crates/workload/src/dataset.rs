@@ -206,6 +206,56 @@ impl Dataset {
         }
     }
 
+    /// Resolves a dataset by its textual name — the single source of truth
+    /// for every name-driven surface (CLI flags, fleet config files).
+    /// Accepts `sharegpt`, `longbench` and `fixed:<prompt>:<output>`
+    /// (case-insensitive), capping lengths to `max_context`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::UnknownDataset`] listing the accepted names, or
+    /// describing a malformed / out-of-window `fixed` spec.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use windserve_workload::Dataset;
+    ///
+    /// let d = Dataset::by_name("sharegpt", 2048).unwrap();
+    /// assert_eq!(d.name, "ShareGPT");
+    /// let f = Dataset::by_name("fixed:100:10", 2048).unwrap();
+    /// assert_eq!(f.max_context, 2048);
+    /// assert!(Dataset::by_name("imagenet", 2048).is_err());
+    /// ```
+    pub fn by_name(spec: &str, max_context: u32) -> crate::Result<Dataset> {
+        let unknown = |reason: String| crate::Error::UnknownDataset { reason };
+        let lower = spec.to_ascii_lowercase();
+        if let Some(rest) = lower.strip_prefix("fixed:") {
+            let parts: Vec<&str> = rest.split(':').collect();
+            if parts.len() != 2 {
+                return Err(unknown("fixed dataset is fixed:<prompt>:<output>".into()));
+            }
+            let parse = |s: &str| -> crate::Result<u32> {
+                s.parse()
+                    .map_err(|_| unknown(format!("bad token length {s:?}")))
+            };
+            let (prompt, output) = (parse(parts[0])?, parse(parts[1])?);
+            if prompt == 0 || output == 0 || prompt + output > max_context {
+                return Err(unknown(format!(
+                    "fixed:{prompt}:{output} does not fit the {max_context}-token window"
+                )));
+            }
+            return Ok(Dataset::fixed(prompt, output, max_context));
+        }
+        match lower.as_str() {
+            "sharegpt" => Ok(Dataset::sharegpt(max_context)),
+            "longbench" => Ok(Dataset::longbench(max_context)),
+            other => Err(unknown(format!(
+                "unknown dataset {other:?}; try sharegpt, longbench, fixed:<prompt>:<output>"
+            ))),
+        }
+    }
+
     /// Samples one request with the given id and arrival time, clamping
     /// lengths so that `prompt + output <= max_context` (prompts are capped
     /// at `max_context - 1`; outputs fill what remains).

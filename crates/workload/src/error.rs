@@ -11,12 +11,19 @@ pub enum Error {
         /// What is wrong with the control points.
         reason: String,
     },
+    /// A dataset name did not resolve (see
+    /// [`Dataset::by_name`](crate::Dataset::by_name)).
+    UnknownDataset {
+        /// What is wrong with the name or spec.
+        reason: String,
+    },
 }
 
 impl fmt::Display for Error {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             Error::InvalidSampler { reason } => write!(f, "invalid sampler: {reason}"),
+            Error::UnknownDataset { reason } => write!(f, "{reason}"),
         }
     }
 }

@@ -39,5 +39,5 @@ mod trace;
 pub use arrival::ArrivalProcess;
 pub use dataset::{Dataset, QuantileSampler};
 pub use error::{Error, Result};
-pub use request::{Request, RequestId};
+pub use request::{Request, RequestId, TenantId};
 pub use trace::{LengthStats, Trace, TraceStats};

@@ -14,6 +14,21 @@ impl fmt::Display for RequestId {
     }
 }
 
+/// Identifier of the tenant a request belongs to. Tenants are workload
+/// sources multiplexed onto one deployment (and, at the fleet level, onto
+/// one shared GPU pool); reports break latency and SLO attainment down per
+/// tenant. Tenant `0` is the default for untagged single-tenant traces.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct TenantId(pub u16);
+
+impl fmt::Display for TenantId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
 /// One inference request: a prompt to prefill and a number of tokens to
 /// decode. Output length is used only by the simulator's oracle (the real
 /// system discovers it at EOS time); schedulers never read it.
@@ -32,6 +47,10 @@ pub struct Request {
     /// first); higher tiers are more important. [`Request::new`] defaults
     /// it to `0`, so untiered workloads behave exactly as before.
     pub tier: u8,
+    /// The tenant (workload source) this request belongs to.
+    /// [`Request::new`] defaults it to tenant `0`, so untagged traces
+    /// behave exactly as before.
+    pub tenant: TenantId,
 }
 
 impl Request {
@@ -49,12 +68,19 @@ impl Request {
             prompt_tokens,
             output_tokens,
             tier: 0,
+            tenant: TenantId(0),
         }
     }
 
     /// The same request with its priority tier set.
     pub fn with_tier(mut self, tier: u8) -> Self {
         self.tier = tier;
+        self
+    }
+
+    /// The same request tagged with a tenant.
+    pub fn with_tenant(mut self, tenant: TenantId) -> Self {
+        self.tenant = tenant;
         self
     }
 
@@ -102,5 +128,17 @@ mod tests {
         assert_eq!(hi.id, r.id);
         assert_eq!(hi.prompt_tokens, r.prompt_tokens);
         assert_eq!(hi.output_tokens, r.output_tokens);
+    }
+
+    #[test]
+    fn tenant_defaults_to_zero_and_tags_cleanly() {
+        let r = Request::new(RequestId(4), SimTime::ZERO, 10, 5);
+        assert_eq!(r.tenant, TenantId(0));
+        let tagged = r.with_tenant(TenantId(3));
+        assert_eq!(tagged.tenant, TenantId(3));
+        // Tier and lengths are untouched by tenant tagging.
+        assert_eq!(tagged.tier, r.tier);
+        assert_eq!(tagged.prompt_tokens, r.prompt_tokens);
+        assert_eq!(format!("{}", tagged.tenant), "t3");
     }
 }

@@ -6,7 +6,7 @@
 
 use crate::arrival::ArrivalProcess;
 use crate::dataset::Dataset;
-use crate::request::{Request, RequestId};
+use crate::request::{Request, RequestId, TenantId};
 use serde::{Deserialize, Serialize};
 use windserve_sim::{SimRng, SimTime};
 
@@ -120,6 +120,7 @@ impl Trace {
                     r.output_tokens,
                 )
                 .with_tier(r.tier)
+                .with_tenant(r.tenant)
             })
             .collect();
         Trace { requests }
@@ -147,6 +148,7 @@ impl Trace {
                     r.output_tokens,
                 )
                 .with_tier(r.tier)
+                .with_tenant(r.tenant)
             })
             .collect();
         Trace { requests }
@@ -154,7 +156,9 @@ impl Trace {
 
     /// Interleaves two traces by arrival time into one (ids reassigned in
     /// the merged order) — e.g. to mix a chatbot and a summarization
-    /// tenant on one deployment.
+    /// tenant on one deployment. Tenant tags and tiers are preserved; ties
+    /// in arrival time keep `self` before `other` (the sort is stable), so
+    /// merging is deterministic.
     pub fn merge(&self, other: &Trace) -> Trace {
         let mut all: Vec<&Request> = self.requests.iter().chain(&other.requests).collect();
         all.sort_by_key(|r| r.arrival);
@@ -169,9 +173,56 @@ impl Trace {
                     r.output_tokens,
                 )
                 .with_tier(r.tier)
+                .with_tenant(r.tenant)
             })
             .collect();
         Trace { requests }
+    }
+
+    /// Interleaves any number of tenant traces into one deployment trace:
+    /// each source trace is tagged with its [`TenantId`] and the union is
+    /// merged by arrival time with ids reassigned in the merged order.
+    /// Arrival-time ties resolve in slice order, so the merge is a
+    /// deterministic function of its inputs.
+    pub fn merge_tagged(sources: &[(TenantId, Trace)]) -> Trace {
+        let mut all: Vec<Request> = Vec::new();
+        for (tenant, trace) in sources {
+            all.extend(trace.requests.iter().map(|r| r.with_tenant(*tenant)));
+        }
+        all.sort_by_key(|r| r.arrival);
+        let requests = all
+            .into_iter()
+            .enumerate()
+            .map(|(i, r)| {
+                Request::new(
+                    RequestId(i as u64),
+                    r.arrival,
+                    r.prompt_tokens,
+                    r.output_tokens,
+                )
+                .with_tier(r.tier)
+                .with_tenant(r.tenant)
+            })
+            .collect();
+        Trace { requests }
+    }
+
+    /// The same trace with every request tagged as belonging to `tenant`.
+    pub fn with_tenant(&self, tenant: TenantId) -> Trace {
+        let requests = self
+            .requests
+            .iter()
+            .map(|r| r.with_tenant(tenant))
+            .collect();
+        Trace { requests }
+    }
+
+    /// The tenants present in this trace, ascending and deduplicated.
+    pub fn tenants(&self) -> Vec<TenantId> {
+        let mut tenants: Vec<TenantId> = self.requests.iter().map(|r| r.tenant).collect();
+        tenants.sort_unstable();
+        tenants.dedup();
+        tenants
     }
 
     /// Assigns each request a priority tier in `0..n_tiers`, deterministic
@@ -198,6 +249,7 @@ impl Trace {
                 x ^= x >> 27;
                 x = x.wrapping_mul(0x94D0_49BB_1331_11EB);
                 x ^= x >> 31;
+                // `r` already carries its tenant; with_tier keeps it.
                 r.with_tier((x % u64::from(n_tiers)) as u8)
             })
             .collect();
@@ -369,6 +421,43 @@ mod tests {
         );
         let merged = tiered.slice(0..10).merge(&tiered.slice(10..20));
         assert!(merged.requests().iter().any(|r| r.tier > 0));
+    }
+
+    #[test]
+    fn tagged_merge_preserves_tenants_and_orders_by_arrival() {
+        let d = Dataset::sharegpt(2048);
+        let chat = Trace::generate(&d, &ArrivalProcess::poisson(3.0), 40, 1);
+        let summ = Trace::generate(
+            &Dataset::longbench(2048),
+            &ArrivalProcess::poisson(2.0),
+            25,
+            2,
+        );
+        let merged =
+            Trace::merge_tagged(&[(TenantId(0), chat.clone()), (TenantId(1), summ.clone())]);
+        assert_eq!(merged.requests().len(), 65);
+        assert_eq!(merged.tenants(), vec![TenantId(0), TenantId(1)]);
+        for w in merged.requests().windows(2) {
+            assert!(w[1].arrival >= w[0].arrival);
+            assert!(w[1].id > w[0].id);
+        }
+        // Per-tenant counts survive the merge.
+        let count = |t: u16| {
+            merged
+                .requests()
+                .iter()
+                .filter(|r| r.tenant == TenantId(t))
+                .count()
+        };
+        assert_eq!(count(0), 40);
+        assert_eq!(count(1), 25);
+        // Tagging a whole trace is equivalent to tagging its requests.
+        let tagged = chat.with_tenant(TenantId(7));
+        assert!(tagged.requests().iter().all(|r| r.tenant == TenantId(7)));
+        assert_eq!(tagged.tenants(), vec![TenantId(7)]);
+        // Determinism: same inputs, same merge.
+        let again = Trace::merge_tagged(&[(TenantId(0), chat), (TenantId(1), summ)]);
+        assert_eq!(merged, again);
     }
 
     #[test]

@@ -31,8 +31,10 @@ fn main() -> windserve::Result<()> {
     println!("### Fig 13b analogue: value of Dynamic Rescheduling ###\n");
     let sharegpt = Dataset::sharegpt(2048);
     for system in [SystemKind::WindServe, SystemKind::WindServeNoResche] {
-        let mut cfg = ServeConfig::opt_13b_sharegpt(system);
-        cfg.decode_parallelism = Parallelism::tp(1); // memory-tight decode
+        let cfg = ServeConfig::opt_13b_sharegpt(system)
+            .to_builder()
+            .decode_parallelism(Parallelism::tp(1)) // memory-tight decode
+            .build()?;
         let trace = Trace::generate(
             &sharegpt,
             &ArrivalProcess::poisson(cfg.total_rate(rate + 1.0)),

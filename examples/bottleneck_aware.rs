@@ -20,8 +20,10 @@ fn main() -> windserve::Result<()> {
         ("[TP-2, TP-2] (prefill-bound)", Parallelism::tp(2)),
     ] {
         for system in [SystemKind::WindServe, SystemKind::DistServe] {
-            let mut cfg = ServeConfig::opt_13b_sharegpt(system);
-            cfg.decode_parallelism = decode_par;
+            let cfg = ServeConfig::opt_13b_sharegpt(system)
+                .to_builder()
+                .decode_parallelism(decode_par)
+                .build()?;
             let trace = Trace::generate(
                 &dataset,
                 &ArrivalProcess::poisson(cfg.total_rate(rate)),

@@ -20,10 +20,12 @@ fn main() -> windserve::Result<()> {
         ("2 prefill x 2 decode", 2, Topology::a800_testbed()),
         ("4 prefill x 4 decode", 4, Topology::a800_multi_node(2)),
     ] {
-        let mut cfg = ServeConfig::opt_13b_sharegpt(SystemKind::WindServe);
-        cfg.prefill_replicas = replicas;
-        cfg.decode_replicas = replicas;
-        cfg.topology = topo;
+        let cfg = ServeConfig::opt_13b_sharegpt(SystemKind::WindServe)
+            .to_builder()
+            .prefill_replicas(replicas)
+            .decode_replicas(replicas)
+            .topology(topo)
+            .build()?;
         let trace = Trace::generate(
             &dataset,
             &ArrivalProcess::poisson(cfg.total_rate(rate)),

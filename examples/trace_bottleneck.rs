@@ -15,7 +15,7 @@ fn main() -> windserve::Result<()> {
     let requests = 800;
     let cfg = ServeConfig::builder()
         .decode_parallelism(windserve::Parallelism::tp(1))
-        .trace(TraceMode::Full)
+        .with_trace(TraceMode::Full)
         .build()?;
     let trace = Trace::generate(
         &Dataset::sharegpt(2048),

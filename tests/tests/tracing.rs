@@ -26,7 +26,7 @@ fn run_traced(cfg: ServeConfig, trace: &Trace) -> (RunReport, TraceLog) {
 #[test]
 fn same_seed_runs_export_byte_identical_traces() {
     let cfg = ServeConfig::builder()
-        .trace(TraceMode::Full)
+        .with_trace(TraceMode::Full)
         .build()
         .unwrap();
     let trace = sharegpt_trace(200, 3.0, &cfg, 77);
@@ -69,13 +69,17 @@ fn null_sink_records_nothing() {
 #[test]
 fn ring_buffer_keeps_only_the_tail() {
     let cfg = ServeConfig::builder()
-        .trace(TraceMode::Ring(64))
+        .with_trace(TraceMode::Ring(64))
         .build()
         .unwrap();
     let trace = sharegpt_trace(150, 3.0, &cfg, 21);
     let (_, ring_log) = run_traced(cfg.clone(), &trace);
 
-    let full_cfg = cfg.to_builder().trace(TraceMode::Full).build().unwrap();
+    let full_cfg = cfg
+        .to_builder()
+        .with_trace(TraceMode::Full)
+        .build()
+        .unwrap();
     let (_, full_log) = run_traced(full_cfg, &trace);
 
     assert_eq!(ring_log.len(), 64);
@@ -95,7 +99,7 @@ fn dispatch_rejections_are_audited_with_ttft_pred_inputs() {
     let cfg = ServeConfig::builder()
         .dispatch_threshold(SimDuration::from_millis(1))
         .aux_budget_override(1)
-        .trace(TraceMode::Full)
+        .with_trace(TraceMode::Full)
         .build()
         .unwrap();
     let trace = sharegpt_trace(120, 3.0, &cfg, 99);
@@ -134,7 +138,7 @@ fn dispatch_rejections_are_audited_with_ttft_pred_inputs() {
 #[test]
 fn chrome_export_has_lifecycle_spans_and_decision_instants() {
     let cfg = ServeConfig::builder()
-        .trace(TraceMode::Full)
+        .with_trace(TraceMode::Full)
         .build()
         .unwrap();
     let trace = sharegpt_trace(80, 3.0, &cfg, 5);
@@ -186,7 +190,7 @@ fn chrome_export_has_lifecycle_spans_and_decision_instants() {
 #[test]
 fn event_kind_labels_are_stable() {
     let cfg = ServeConfig::builder()
-        .trace(TraceMode::Full)
+        .with_trace(TraceMode::Full)
         .build()
         .unwrap();
     let trace = sharegpt_trace(60, 3.0, &cfg, 11);
