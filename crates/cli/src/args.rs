@@ -87,6 +87,12 @@ pub const VALUE_FLAGS: &[&str] = &[
     "overload-factor",
     "tiers",
     "jobs",
+    "port",
+    "time-scale",
+    "workers",
+    "duration",
+    "prompt-tokens",
+    "output-tokens",
 ];
 
 impl Args {

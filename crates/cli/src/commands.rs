@@ -214,13 +214,15 @@ pub fn faults(args: &Args) -> Result<String, ArgError> {
     faulted_cfg.faults = Some(plan);
     let faulted = run_with(faulted_cfg)?;
     if args.switch("json") {
-        return serde_json::to_string_pretty(&serde_json::json!({
-            "preset": preset,
-            "fault_seed": fault_seed,
-            "baseline": baseline,
-            "faulted": faulted,
-        }))
-        .map_err(|e| ArgError(format!("serialize: {e}")));
+        return render::json_envelope(
+            "faults",
+            serde_json::json!({
+                "preset": preset,
+                "fault_seed": fault_seed,
+                "baseline": baseline,
+                "faulted": faulted,
+            }),
+        );
     }
     let mut out = format!(
         "fault preset {preset:?} (seed {fault_seed}) | {} | {} requests\n\n",
@@ -299,13 +301,15 @@ pub fn overload(args: &Args) -> Result<String, ArgError> {
     let baseline = run_with(baseline_cfg)?;
     let controlled = run_with(controlled_cfg)?;
     if args.switch("json") {
-        return serde_json::to_string_pretty(&serde_json::json!({
-            "overload_factor": factor,
-            "tiers": tiers,
-            "baseline": baseline,
-            "controlled": controlled,
-        }))
-        .map_err(|e| ArgError(format!("serialize: {e}")));
+        return render::json_envelope(
+            "overload",
+            serde_json::json!({
+                "overload_factor": factor,
+                "tiers": tiers,
+                "baseline": baseline,
+                "controlled": controlled,
+            }),
+        );
     }
     Ok(render::overload_text(&base, factor, &baseline, &controlled))
 }
@@ -371,7 +375,7 @@ pub fn perf(args: &Args) -> Result<String, ArgError> {
                 "uncached_wall_secs": uncached_wall,
             });
         }
-        serde_json::to_string_pretty(&value).map_err(|e| ArgError(format!("serialize: {e}")))
+        render::json_envelope("perf", value)
     } else {
         let mut out = format!(
             "perf: {} requests in {:.3} s wall\n\
@@ -393,6 +397,145 @@ pub fn perf(args: &Args) -> Result<String, ArgError> {
         }
         Ok(out)
     }
+}
+
+/// Serves the simulated cluster over live HTTP/SSE: `POST
+/// /v1/completions` (streamed or unary), `GET /v1/cluster/status`, and
+/// `GET /healthz` on `--port` (0 picks an ephemeral port). The simulated
+/// clock runs `--time-scale` times faster than real time. With
+/// `--duration` the gateway stops after that long and prints its final
+/// accounting (useful for smoke tests); without it, it serves until the
+/// process is killed.
+///
+/// # Errors
+///
+/// Reports invalid flags, an unbindable port, or an invalid config.
+pub fn serve(args: &Args) -> Result<String, ArgError> {
+    use windserve_gateway::server::{Gateway, GatewayConfig};
+    let spec = RunSpec::from_args(args)?;
+    let port: u16 = args.get_or("port", 8080u16)?;
+    let workers = args.get_or("workers", 4usize)?.max(1);
+    let time_scale: f64 = args.get_or("time-scale", 100.0)?;
+    if !(time_scale.is_finite() && time_scale > 0.0) {
+        return Err(ArgError(format!(
+            "--time-scale must be positive, got {time_scale}"
+        )));
+    }
+    let duration = match args.get("duration") {
+        Some(raw) => Some(parse_duration_secs(raw)?),
+        None => None,
+    };
+    let gateway = Gateway::start(GatewayConfig {
+        cfg: spec.config,
+        addr: "127.0.0.1".to_string(),
+        port,
+        workers,
+        time_scale,
+    })
+    .map_err(|e| ArgError(format!("{e}")))?;
+    // The final report goes to stdout on exit; announce liveness on
+    // stderr so scripts can wait for the listener.
+    eprintln!(
+        "windserve gateway listening on http://{} (time-scale {time_scale}x, {workers} workers)",
+        gateway.addr()
+    );
+    match duration {
+        Some(secs) => std::thread::sleep(std::time::Duration::from_secs_f64(secs)),
+        None => loop {
+            std::thread::sleep(std::time::Duration::from_secs(3600));
+        },
+    }
+    let report = gateway.shutdown();
+    let value = serde_json::json!({
+        "submitted": report.submitted,
+        "completed": report.completed,
+        "rejected": report.rejected,
+        "aborted": report.aborted,
+        "error": report.error,
+    });
+    if args.switch("json") {
+        render::json_envelope("serve", value)
+    } else {
+        Ok(format!(
+            "gateway served {} requests: {} completed, {} rejected, {} aborted\n",
+            report.submitted, report.completed, report.rejected, report.aborted,
+        ))
+    }
+}
+
+/// Fires an open-loop Poisson request stream at a running gateway
+/// (`--port`, `--rate` req/s for `--duration`) and reports client-side
+/// TTFT/TBT percentiles, typed rejections, and goodput.
+///
+/// # Errors
+///
+/// Reports invalid flags; per-connection failures are counted in the
+/// report instead.
+pub fn loadgen(args: &Args) -> Result<String, ArgError> {
+    use windserve_gateway::loadgen::LoadgenConfig;
+    let port: u16 = args.get_or("port", 8080u16)?;
+    let cfg = LoadgenConfig {
+        addr: format!("127.0.0.1:{port}"),
+        rate: args.get_or("rate", 20.0)?,
+        duration_secs: match args.get("duration") {
+            Some(raw) => parse_duration_secs(raw)?,
+            None => 5.0,
+        },
+        prompt_tokens: args.get_or("prompt-tokens", 256u32)?,
+        output_tokens: args.get_or("output-tokens", 32u32)?,
+        seed: args.get_or("seed", 2766u64)?,
+    };
+    let report = windserve_gateway::loadgen::run(&cfg).map_err(|e| ArgError(format!("{e}")))?;
+    if args.switch("json") {
+        return render::json_envelope("loadgen", serde_json::to_value(&report));
+    }
+    let stat = |p: &windserve::Percentiles, v: f64| {
+        if p.is_empty() {
+            "n/a".to_string()
+        } else {
+            format!("{v:.4}s")
+        }
+    };
+    Ok(format!(
+        "loadgen: {} submitted @ {:.1} req/s over {:.1}s wall | peak {} concurrent streams\n\
+         completed {} | 429 {} | 503 {} | aborted {} | transport errors {}\n\
+         TTFT p50 {} p99 {} | TBT p50 {} p99 {}\n\
+         goodput {:.3} completions/s\n",
+        report.submitted,
+        cfg.rate,
+        report.wall_secs,
+        report.peak_concurrent,
+        report.completed,
+        report.rejected_429,
+        report.rejected_503,
+        report.aborted,
+        report.transport_errors,
+        stat(&report.ttft, report.ttft.p50),
+        stat(&report.ttft, report.ttft.p99),
+        stat(&report.tbt, report.tbt.p50),
+        stat(&report.tbt, report.tbt.p99),
+        report.goodput_rps,
+    ))
+}
+
+/// Parses a duration like `500ms`, `5s`, `2m`, or a bare number of
+/// seconds.
+fn parse_duration_secs(raw: &str) -> Result<f64, ArgError> {
+    let (number, scale) = if let Some(n) = raw.strip_suffix("ms") {
+        (n, 1e-3)
+    } else if let Some(n) = raw.strip_suffix('s') {
+        (n, 1.0)
+    } else if let Some(n) = raw.strip_suffix('m') {
+        (n, 60.0)
+    } else {
+        (raw, 1.0)
+    };
+    number
+        .parse::<f64>()
+        .ok()
+        .filter(|v| v.is_finite() && *v > 0.0)
+        .map(|v| v * scale)
+        .ok_or_else(|| ArgError(format!("bad duration {raw:?}; try 500ms, 5s, or 2m")))
 }
 
 /// Prints Table 2-style statistics of a generated trace.
@@ -439,6 +582,10 @@ COMMANDS:
                  control (admit/shed/preempt/watchdog) against no control
     perf         benchmark the simulator itself (steps/sec, events/sec,
                  cost-cache hit rate; --check-cache proves the cache exact)
+    serve        expose the simulated cluster as a live HTTP/SSE gateway
+                 (POST /v1/completions, GET /v1/cluster/status, /healthz)
+    loadgen      fire an open-loop request stream at a running gateway and
+                 report client-side TTFT/TBT percentiles and goodput
     help         this text
 
 COMMON FLAGS (with defaults):
@@ -494,6 +641,14 @@ COMMON FLAGS (with defaults):
     --tiers N                    (overload) priority tiers to assign [3]
     --check-cache                (perf) rerun with the cost cache disabled
                                  and verify bit-identical results
+    --port N                     (serve, loadgen) gateway TCP port; 0 picks
+                                 an ephemeral port [8080]
+    --time-scale F               (serve) virtual seconds per wall second [100]
+    --workers N                  (serve) HTTP worker threads [4]
+    --duration 5s|500ms|2m       (serve) stop after this long and report;
+                                 (loadgen) injection window [5s]
+    --prompt-tokens N            (loadgen) prompt length per request [256]
+    --output-tokens N            (loadgen) tokens streamed per request [32]
     --json                       machine-readable output
     --quiet                      (run) one-line summary
     --help                       this text
@@ -550,6 +705,19 @@ mod tests {
         Args::parse(line.split_whitespace().map(String::from)).unwrap()
     }
 
+    /// Parses `--json` output, asserts the shared envelope, and returns
+    /// the `report` payload.
+    fn envelope(out: &str, command: &str) -> serde_json::Value {
+        let v: serde_json::Value = serde_json::from_str(out).expect("valid json");
+        assert_eq!(
+            v["schema_version"].as_u64(),
+            Some(windserve_gateway::ENVELOPE_SCHEMA_VERSION),
+            "every --json output shares one envelope"
+        );
+        assert_eq!(v["command"].as_str(), Some(command));
+        v["report"].clone()
+    }
+
     #[test]
     fn run_produces_a_report() {
         let out = run(&args("run --requests 120 --rate 2")).unwrap();
@@ -560,8 +728,8 @@ mod tests {
     #[test]
     fn run_json_is_valid_json() {
         let out = run(&args("run --requests 80 --rate 2 --json")).unwrap();
-        let v: serde_json::Value = serde_json::from_str(&out).expect("valid json");
-        assert_eq!(v["summary"]["completed"], 80);
+        let report = envelope(&out, "run");
+        assert_eq!(report["summary"]["completed"], 80);
     }
 
     #[test]
@@ -630,7 +798,7 @@ mod tests {
             "faults --preset degraded-link --requests 60 --rate 2 --json",
         ))
         .unwrap();
-        let v: serde_json::Value = serde_json::from_str(&out).expect("valid json");
+        let v = envelope(&out, "faults");
         assert_eq!(v["preset"], "degraded-link");
         assert_eq!(v["baseline"]["summary"]["completed"], 60);
         assert_eq!(v["faulted"]["summary"]["completed"], 60);
@@ -648,7 +816,7 @@ mod tests {
     #[test]
     fn overload_json_carries_both_reports() {
         let out = overload(&args("overload --requests 100 --rate 4 --json")).unwrap();
-        let v: serde_json::Value = serde_json::from_str(&out).expect("valid json");
+        let v = envelope(&out, "overload");
         assert!(v["overload_factor"].as_f64().unwrap() > 1.9);
         assert!(v["baseline"]["summary"].as_object().is_some());
         assert!(v["controlled"]["summary"].as_object().is_some());
@@ -669,7 +837,7 @@ mod tests {
             "overload --requests 120 --rate 4 --max-queue 24 --json",
         ))
         .unwrap();
-        let v: serde_json::Value = serde_json::from_str(&out).expect("valid json");
+        let v = envelope(&out, "overload");
         let peak = v["controlled"]["peak_pending"].as_u64().unwrap();
         assert!(peak <= 24, "peak_pending {peak} exceeds --max-queue 24");
         assert!(v["controlled"]["requests_rejected"].as_u64().unwrap() > 0);
@@ -687,7 +855,7 @@ mod tests {
     #[test]
     fn perf_json_carries_throughput_fields() {
         let out = perf(&args("perf --requests 80 --rate 2 --json")).unwrap();
-        let v: serde_json::Value = serde_json::from_str(&out).expect("valid json");
+        let v = envelope(&out, "perf");
         assert!(v["steps_per_sec"].as_f64().unwrap() > 0.0);
         assert!(v["events_per_sec"].as_f64().unwrap() > 0.0);
         assert!(v["total_steps"].as_u64().unwrap() > 0);
@@ -780,7 +948,7 @@ tier = 1
         let seq = fleet(&args(&format!("fleet --config {path} --jobs 1 --json"))).unwrap();
         let par = fleet(&args(&format!("fleet --config {path} --jobs 4 --json"))).unwrap();
         assert_eq!(seq, par, "fleet report must not depend on --jobs");
-        let v: serde_json::Value = serde_json::from_str(&seq).expect("valid json");
+        let v = envelope(&seq, "fleet");
         assert_eq!(v["tenants"].as_array().unwrap().len(), 2);
         assert_eq!(v["pool"]["balanced"], true);
     }
@@ -790,6 +958,73 @@ tier = 1
         assert!(parse_rates("1,2,x").is_err());
         assert!(parse_rates("-1").is_err());
         assert_eq!(parse_rates("1, 2.5").unwrap(), vec![1.0, 2.5]);
+    }
+
+    #[test]
+    fn durations_parse_with_units() {
+        assert_eq!(parse_duration_secs("500ms").unwrap(), 0.5);
+        assert_eq!(parse_duration_secs("5s").unwrap(), 5.0);
+        assert_eq!(parse_duration_secs("2m").unwrap(), 120.0);
+        assert_eq!(parse_duration_secs("1.5").unwrap(), 1.5);
+        assert!(parse_duration_secs("fast").is_err());
+        assert!(parse_duration_secs("-3s").is_err());
+        assert!(parse_duration_secs("0s").is_err());
+    }
+
+    #[test]
+    fn serve_with_a_duration_runs_and_reports_the_envelope() {
+        // Port 0 → ephemeral, so the test never collides with a real server.
+        let out = serve(&args("serve --port 0 --duration 200ms --json")).unwrap();
+        let v = envelope(&out, "serve");
+        assert_eq!(v["submitted"].as_u64(), Some(0));
+        assert!(v["error"].is_null(), "{v:?}");
+    }
+
+    #[test]
+    fn serve_rejects_a_nonpositive_time_scale() {
+        let err = serve(&args("serve --port 0 --duration 1s --time-scale -4")).unwrap_err();
+        assert!(err.0.contains("--time-scale"), "{err}");
+    }
+
+    #[test]
+    fn loadgen_command_measures_a_live_gateway() {
+        let mut gc = windserve_gateway::server::GatewayConfig::local(
+            windserve::ServeConfig::opt_13b_sharegpt(windserve::SystemKind::WindServe),
+        );
+        gc.time_scale = 1000.0;
+        let gw = windserve_gateway::server::Gateway::start(gc).unwrap();
+        let port = gw.addr().port();
+        let out = loadgen(&args(&format!(
+            "loadgen --port {port} --rate 40 --duration 500ms \
+             --prompt-tokens 48 --output-tokens 4 --json"
+        )))
+        .unwrap();
+        let v = envelope(&out, "loadgen");
+        assert!(v["submitted"].as_u64().unwrap() > 0);
+        assert!(v["completed"].as_u64().unwrap() > 0, "{v:?}");
+        assert_eq!(v["transport_errors"].as_u64(), Some(0), "{v:?}");
+        let text = loadgen(&args(&format!(
+            "loadgen --port {port} --rate 20 --duration 200ms \
+             --prompt-tokens 48 --output-tokens 4"
+        )))
+        .unwrap();
+        assert!(text.contains("goodput"), "{text}");
+        gw.shutdown();
+    }
+
+    #[test]
+    fn loadgen_against_a_dead_port_counts_transport_errors() {
+        // Bind-then-drop guarantees the port is closed, not filtered.
+        let dead = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let port = dead.local_addr().unwrap().port();
+        drop(dead);
+        let out = loadgen(&args(&format!(
+            "loadgen --port {port} --rate 50 --duration 200ms --json"
+        )))
+        .unwrap();
+        let v = envelope(&out, "loadgen");
+        assert_eq!(v["completed"].as_u64(), Some(0));
+        assert!(v["transport_errors"].as_u64().unwrap() > 0, "{v:?}");
     }
 }
 

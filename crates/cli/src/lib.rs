@@ -45,6 +45,8 @@ pub fn dispatch(args: &Args) -> Result<String, args::ArgError> {
         Some("faults") => commands::faults(args),
         Some("overload") => commands::overload(args),
         Some("perf") => commands::perf(args),
+        Some("serve") => commands::serve(args),
+        Some("loadgen") => commands::loadgen(args),
         Some("help") | None => Ok(commands::help()),
         Some(other) => Err(args::ArgError(format!(
             "unknown command {other:?}; try `windserve help`"

@@ -7,6 +7,19 @@ use windserve::trace::LeaseAction;
 use windserve::{Cluster, Percentiles, RunReport, TraceLog};
 use windserve_workload::Trace;
 
+/// Serializes a report inside the shared machine-readable envelope
+/// (`{"schema_version": 1, "command": ..., "report": ...}`) — the same
+/// wrapper the gateway's control-plane responses use, so one parser
+/// handles every `--json` output and `GET /v1/cluster/status` alike.
+///
+/// # Errors
+///
+/// Propagates serialization failures (should not happen for these types).
+pub fn json_envelope(command: &str, report: serde_json::Value) -> Result<String, ArgError> {
+    serde_json::to_string_pretty(&windserve_gateway::json_envelope(command, report))
+        .map_err(|e| ArgError(format!("serialize: {e}")))
+}
+
 /// Formats one statistic of a latency sample, right-aligned to `width`:
 /// "n/a" when the sample is empty (its zeros are placeholders, not
 /// measurements), the value otherwise.
@@ -177,7 +190,7 @@ pub fn fleet_text(cfg: &FleetConfig, report: &FleetReport, log: &TraceLog) -> St
 ///
 /// Propagates serialization failures (should not happen for these types).
 pub fn fleet_json(report: &FleetReport) -> Result<String, ArgError> {
-    serde_json::to_string_pretty(report).map_err(|e| ArgError(format!("serialize: {e}")))
+    json_envelope("fleet", serde_json::to_value(report))
 }
 
 /// Renders values as a unicode sparkline, downsampled to at most `width`
@@ -214,7 +227,7 @@ pub fn sparkline(values: &[f64], width: usize) -> String {
 ///
 /// Propagates serialization failures (should not happen for these types).
 pub fn report_json(report: &RunReport) -> Result<String, ArgError> {
-    serde_json::to_string_pretty(report).map_err(|e| ArgError(format!("serialize: {e}")))
+    json_envelope("run", serde_json::to_value(report))
 }
 
 /// JSON rendering of several reports.
@@ -223,7 +236,7 @@ pub fn report_json(report: &RunReport) -> Result<String, ArgError> {
 ///
 /// Propagates serialization failures.
 pub fn reports_json(reports: &[RunReport]) -> Result<String, ArgError> {
-    serde_json::to_string_pretty(reports).map_err(|e| ArgError(format!("serialize: {e}")))
+    json_envelope("compare", serde_json::to_value(reports))
 }
 
 /// Comparison table across systems.
@@ -355,7 +368,7 @@ pub fn sweep_json(rows: &[(f64, RunReport)]) -> Result<String, ArgError> {
             })
         })
         .collect();
-    serde_json::to_string_pretty(&values).map_err(|e| ArgError(format!("serialize: {e}")))
+    json_envelope("sweep", serde_json::Value::Array(values))
 }
 
 /// Table 2-style statistics of a generated trace.

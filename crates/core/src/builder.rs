@@ -268,30 +268,6 @@ impl ServeConfigBuilder {
         self
     }
 
-    /// Deprecated spelling of [`with_autoscale`](Self::with_autoscale).
-    #[deprecated(since = "0.1.0", note = "renamed to `with_autoscale`")]
-    pub fn autoscale(self, auto: AutoscaleConfig) -> Self {
-        self.with_autoscale(auto)
-    }
-
-    /// Deprecated spelling of [`with_trace`](Self::with_trace).
-    #[deprecated(since = "0.1.0", note = "renamed to `with_trace`")]
-    pub fn trace(self, mode: TraceMode) -> Self {
-        self.with_trace(mode)
-    }
-
-    /// Deprecated spelling of [`with_faults`](Self::with_faults).
-    #[deprecated(since = "0.1.0", note = "renamed to `with_faults`")]
-    pub fn faults(self, plan: FaultPlan) -> Self {
-        self.with_faults(plan)
-    }
-
-    /// Deprecated spelling of [`with_overload`](Self::with_overload).
-    #[deprecated(since = "0.1.0", note = "renamed to `with_overload`")]
-    pub fn overload(self, overload: OverloadConfig) -> Self {
-        self.with_overload(overload)
-    }
-
     /// Enables or disables the cost model's (exact) step-time cache.
     pub fn cost_cache(mut self, enabled: bool) -> Self {
         self.cfg.cost_cache = enabled;
@@ -344,23 +320,18 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_spellings_delegate_to_with_variants() {
-        let old = ServeConfig::builder()
-            .autoscale(AutoscaleConfig::default())
-            .overload(OverloadConfig::default())
-            .trace(TraceMode::Full)
-            .faults(FaultPlan::flaky_transfers(7))
-            .build()
-            .unwrap();
-        let new = ServeConfig::builder()
+    fn with_spellings_apply_optional_subsystems() {
+        let cfg = ServeConfig::builder()
             .with_autoscale(AutoscaleConfig::default())
             .with_overload(OverloadConfig::default())
             .with_trace(TraceMode::Full)
             .with_faults(FaultPlan::flaky_transfers(7))
             .build()
             .unwrap();
-        assert_eq!(old, new);
+        assert!(cfg.autoscale.is_some());
+        assert!(cfg.overload.is_some());
+        assert_eq!(cfg.trace, TraceMode::Full);
+        assert!(cfg.faults.is_some());
     }
 
     #[test]

@@ -51,7 +51,7 @@ use windserve_kvcache::StallFreeMigration;
 use windserve_metrics::{DropReason, DroppedRequest, LatencySummary, PrefillSite, RequestRecord};
 use windserve_model::CostModel;
 use windserve_sim::hash::FxHashMap;
-use windserve_sim::{EventQueue, SimDuration, SimTime};
+use windserve_sim::{EventQueue, Scheduled, SimDuration, SimTime};
 use windserve_trace::{
     AdmissionDecision, AdmissionVerdict, DispatchDecision, DispatchVerdict, Lane, StepClass,
     TraceEvent, TraceLog, Tracer,
@@ -181,6 +181,76 @@ struct PendingRecord {
     resumed: u32,
 }
 
+/// One token-level milestone in a request's life, emitted by a
+/// [`ClusterSession`] with live events enabled. Front-ends (the serving
+/// gateway) translate these into per-stream deliveries; batch replays never
+/// allocate them.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum LiveEvent {
+    /// The request's first output token was produced (its prefill finished).
+    FirstToken {
+        /// The request.
+        id: RequestId,
+        /// Virtual time of the milestone.
+        at: SimTime,
+    },
+    /// One additional output token was decoded.
+    Token {
+        /// The request.
+        id: RequestId,
+        /// Virtual time of the milestone.
+        at: SimTime,
+    },
+    /// The request finished its full output.
+    Finished {
+        /// The request.
+        id: RequestId,
+        /// Virtual time of the milestone.
+        at: SimTime,
+    },
+    /// The request was dropped with a typed terminal reason (admission
+    /// rejection, shedding, or a watchdog abort).
+    Dropped {
+        /// The request.
+        id: RequestId,
+        /// Why it was dropped.
+        reason: DropReason,
+        /// Virtual time of the drop.
+        at: SimTime,
+    },
+}
+
+impl LiveEvent {
+    /// The request this event belongs to.
+    pub fn request_id(&self) -> RequestId {
+        match self {
+            LiveEvent::FirstToken { id, .. }
+            | LiveEvent::Token { id, .. }
+            | LiveEvent::Finished { id, .. }
+            | LiveEvent::Dropped { id, .. } => *id,
+        }
+    }
+
+    /// Virtual time of the milestone.
+    pub fn at(&self) -> SimTime {
+        match self {
+            LiveEvent::FirstToken { at, .. }
+            | LiveEvent::Token { at, .. }
+            | LiveEvent::Finished { at, .. }
+            | LiveEvent::Dropped { at, .. } => *at,
+        }
+    }
+}
+
+/// Appends to the live-event buffer when (and only when) a session enabled
+/// it. A free function over the field so call sites inside `Cluster`
+/// methods do not take a whole-`self` borrow.
+fn push_live(live: &mut Option<Vec<LiveEvent>>, ev: LiveEvent) {
+    if let Some(buf) = live.as_mut() {
+        buf.push(ev);
+    }
+}
+
 #[derive(Debug, Default)]
 struct Counters {
     dispatched: u64,
@@ -255,6 +325,9 @@ pub struct Cluster {
     peak_pending: usize,
     /// Scheduling-decision recorder; a no-op unless `cfg.trace` enables it.
     tracer: Tracer,
+    /// Token-level milestone buffer; `None` (the batch default) makes
+    /// emission free. [`ClusterSession::enable_live_events`] turns it on.
+    live: Option<Vec<LiveEvent>>,
 }
 
 impl Cluster {
@@ -440,6 +513,7 @@ impl Cluster {
             dropped: Vec::new(),
             peak_pending: 0,
             tracer,
+            live: None,
         })
     }
 
@@ -475,237 +549,43 @@ impl Cluster {
     /// default) the returned [`TraceLog`] is empty and recording costs
     /// nothing; enable capture via
     /// [`ServeConfig::trace`](crate::ServeConfig) or
-    /// [`ServeConfigBuilder::trace`](crate::ServeConfigBuilder::trace).
+    /// [`ServeConfigBuilder::with_trace`](crate::ServeConfigBuilder::with_trace).
     ///
     /// # Errors
     ///
     /// Same conditions as [`Cluster::run`].
-    pub fn run_traced(mut self, trace: &Trace) -> crate::Result<(RunReport, TraceLog)> {
-        let mut events: EventQueue<Event> = EventQueue::new();
-        for (i, req) in trace.requests().iter().enumerate() {
-            events.schedule(req.arrival, Event::Arrival(i));
+    pub fn run_traced(self, trace: &Trace) -> crate::Result<(RunReport, TraceLog)> {
+        let mut session = self.into_session();
+        session.records.reserve(trace.requests().len());
+        for req in trace.requests() {
+            session.inject(*req);
         }
-        self.fault_events = self
-            .cfg
-            .faults
-            .as_ref()
-            .map(FaultPlan::sorted_events)
-            .unwrap_or_default();
-        for (i, fault) in self.fault_events.iter().enumerate() {
-            events.schedule(fault.at, Event::Fault(i));
-        }
-        if let Some(interval) = self.cfg.sample_interval {
-            self.series = self
-                .instances
-                .iter()
-                .map(|inst| windserve_metrics::InstanceSeries::new(inst.name(), interval))
-                .collect();
-            events.schedule(SimTime::ZERO, Event::Sample);
-        }
-        self.active = vec![Some(SimTime::ZERO); self.instances.len()];
-        if let Some(auto) = self.cfg.autoscale {
-            for (slot, &idx) in self.prefill_idxs.iter().enumerate() {
-                if slot >= auto.min_prefill {
-                    self.active[idx] = None;
-                }
-            }
-            for (slot, &idx) in self.decode_idxs.iter().enumerate() {
-                if slot >= auto.min_decode {
-                    self.active[idx] = None;
-                }
-            }
-            events.schedule(SimTime::ZERO, Event::AutoscaleTick);
-        }
-        if let Some(deadline) = self.cfg.overload.and_then(|o| o.deadline) {
-            // Sweep at a quarter of the budget: a stuck request is caught
-            // at most 1.25x its deadline after arrival.
-            events.schedule(SimTime::ZERO + deadline.mul_f64(0.25), Event::WatchdogTick);
-        }
+        session.pump_to_drain()?;
+        session.finish()
+    }
+
+    /// Converts the assembled deployment into an incrementally driven
+    /// [`ClusterSession`]: the same event loop as [`Cluster::run_traced`],
+    /// but with arrivals injected over time and virtual time advanced in
+    /// bounded slices. Replaying a whole trace through a session is
+    /// byte-identical to `run_traced`.
+    pub fn into_session(self) -> ClusterSession {
         let audit_every = self.cfg.overload.and_then(|o| o.audit_interval_events);
-        let mut records: Vec<RequestRecord> = Vec::with_capacity(trace.requests().len());
-        // Reused across the per-event instance sweep so the hot loop does
-        // not allocate a fresh Vec per (event, instance) pair.
-        let mut started_scratch: Vec<StartedStep> = Vec::new();
-        let mut processed = 0u64;
-        let mut end_time = SimTime::ZERO;
-        // Periodic ticks (sampling, autoscaling) and injected faults must
-        // not keep the run alive on their own: track how many *work* events
-        // remain.
-        let mut live_events = trace.requests().len() as u64;
-
-        while let Some(scheduled) = events.pop() {
-            processed += 1;
-            if !matches!(
-                scheduled.event,
-                Event::Sample | Event::AutoscaleTick | Event::Fault(_) | Event::WatchdogTick
-            ) {
-                live_events -= 1;
-            }
-            if processed > MAX_EVENTS {
-                return Err(crate::Error::EventBackstop {
-                    pending: self.pending.len(),
-                });
-            }
-            let now = scheduled.at;
-            if !matches!(scheduled.event, Event::Fault(_) | Event::WatchdogTick) {
-                // A recovery scheduled after the last request completed, or
-                // a coarse watchdog sweep outliving the workload, must not
-                // stretch the measured run.
-                end_time = now;
-            }
-            self.account_gpu_seconds(now);
-            match scheduled.event {
-                Event::Arrival(i) => self.on_arrival(trace.requests()[i], now),
-                Event::StepDone { inst, lane, epoch } => {
-                    // A crash bumps the epoch: completions for steps the
-                    // crash destroyed are stale and must be dropped.
-                    if epoch == self.step_epoch[inst] {
-                        let outcome = self.instances[inst].complete_step(lane, now);
-                        self.on_step_outcome(inst, &outcome, now, &mut records)?;
-                    }
-                }
-                Event::TransferDone(tid) => self.on_transfer_done(tid, now)?,
-                Event::Fault(i) => self.on_fault(i, now)?,
-                Event::AutoscaleTick => {
-                    self.autoscale_tick(now);
-                    if live_events > 0 || !self.pending.is_empty() {
-                        if let Some(auto) = self.cfg.autoscale {
-                            self.deferred
-                                .push((now + auto.check_interval, Event::AutoscaleTick));
-                        }
-                    }
-                }
-                Event::Sample => {
-                    for (inst, series) in self.instances.iter().zip(&mut self.series) {
-                        series.kv_used.push(now, 1.0 - inst.kv_free_fraction());
-                        series
-                            .waiting_prefill
-                            .push(now, inst.waiting_prefill_len() as f64);
-                        series
-                            .waiting_decode
-                            .push(now, inst.waiting_decode_len() as f64);
-                        series.running.push(now, inst.running_decode_count() as f64);
-                    }
-                    // Keep sampling while work remains in the system.
-                    if live_events > 0 || !self.pending.is_empty() {
-                        if let Some(interval) = self.cfg.sample_interval {
-                            self.deferred.push((now + interval, Event::Sample));
-                        }
-                    }
-                }
-                Event::WatchdogTick => {
-                    if let Some(deadline) = self.cfg.overload.and_then(|o| o.deadline) {
-                        self.watchdog_sweep(deadline, now);
-                        // The sweep may have aborted the last resident
-                        // requests; only keep ticking while work remains.
-                        if live_events > 0 || !self.pending.is_empty() {
-                            self.deferred
-                                .push((now + deadline.mul_f64(0.25), Event::WatchdogTick));
-                        }
-                    }
-                }
-            }
-            // State changed somewhere: give every instance a chance to
-            // launch steps (cheap — the instance count is tiny).
-            for idx in 0..self.instances.len() {
-                started_scratch.clear();
-                self.instances[idx].try_start_into(now, &mut started_scratch);
-                self.register_steps(idx, &started_scratch, now);
-            }
-            for (at, ev) in self.deferred.drain(..) {
-                if !matches!(
-                    ev,
-                    Event::Sample | Event::AutoscaleTick | Event::Fault(_) | Event::WatchdogTick
-                ) {
-                    live_events += 1;
-                }
-                events.schedule(at.max(now), ev);
-            }
-            if let Some(n) = audit_every {
-                if processed.is_multiple_of(n) {
-                    self.audit_invariants()?;
-                }
-            }
+        ClusterSession {
+            cluster: self,
+            events: EventQueue::new(),
+            requests: Vec::new(),
+            records: Vec::new(),
+            started_scratch: Vec::new(),
+            processed: 0,
+            end_time: SimTime::ZERO,
+            live_work: 0,
+            audit_every,
+            started: false,
+            sample_armed: false,
+            autoscale_armed: false,
+            watchdog_armed: false,
         }
-
-        if audit_every.is_some() {
-            // One final audit over the drained cluster.
-            self.audit_invariants()?;
-        }
-
-        if !self.pending.is_empty() {
-            let mut ids: Vec<u64> = self.pending.keys().copied().collect();
-            ids.sort_unstable();
-            return Err(crate::Error::Deadlock {
-                incomplete: ids.len(),
-                first: ids.iter().take(5).map(|&i| RequestId(i)).collect(),
-            });
-        }
-
-        records.sort_by_key(|r| r.id);
-        let duration_secs = end_time.as_secs_f64();
-        let summary = LatencySummary::of(self.cfg.slo, &records);
-        let instances = self
-            .instances
-            .iter()
-            .map(|inst| InstanceReport {
-                name: inst.name().to_string(),
-                utilization: inst
-                    .stats()
-                    .utilization(duration_secs, inst.cost_model().parallelism().lanes()),
-                swap_outs: inst.kv().swap_out_count(),
-                swap_ins: inst.kv().swap_in_count(),
-                prefill_steps: inst.stats().prefill_steps,
-                decode_steps: inst.stats().decode_steps,
-                hybrid_steps: inst.stats().hybrid_steps,
-                aux_steps: inst.stats().aux_steps,
-            })
-            .collect();
-        let log = std::mem::replace(&mut self.tracer, Tracer::disabled()).finish();
-        let cache_stats = self
-            .instances
-            .iter()
-            .map(|inst| inst.cost_model().step_cache_stats())
-            .fold((0u64, 0u64), |(h, m), s| (h + s.hits, m + s.misses));
-        let report = RunReport {
-            system: self.cfg.system,
-            summary,
-            records,
-            duration_secs,
-            instances,
-            dispatched_prefills: self.counters.dispatched,
-            migrations_started: self.counters.migrations_started,
-            migrations_completed: self.counters.migrations_completed,
-            kv_bytes_transferred: self.counters.kv_bytes,
-            backups_created: self.counters.backups_created,
-            backup_hits: self.counters.backup_hits,
-            faults_injected: self.counters.faults_injected,
-            requests_rescheduled: self.counters.requests_rescheduled,
-            transfer_retries: self.counters.transfer_retries,
-            series: self.series,
-            ttft_predictions: std::mem::take(&mut {
-                let mut v = self.ttft_predictions;
-                v.sort_by_key(|p| p.request);
-                v
-            }),
-            autoscale_events: self.autoscale_events,
-            gpu_seconds_active: self.gpu_seconds_active,
-            events_processed: processed,
-            cost_cache_hits: cache_stats.0,
-            cost_cache_misses: cache_stats.1,
-            dropped: {
-                let mut d = std::mem::take(&mut self.dropped);
-                d.sort_by_key(|x| x.id);
-                d
-            },
-            requests_rejected: self.counters.requests_rejected,
-            requests_shed: self.counters.requests_shed,
-            requests_preempted: self.counters.requests_preempted,
-            watchdog_aborts: self.counters.watchdog_aborts,
-            invariant_checks: self.counters.invariant_checks,
-            peak_pending: self.peak_pending,
-        };
-        Ok((report, log))
     }
 
     // ------------------------------------------------------------------
@@ -1003,6 +883,14 @@ impl Cluster {
                 at: now,
                 reason: DropReason::QueueFull,
             });
+            push_live(
+                &mut self.live,
+                LiveEvent::Dropped {
+                    id: req.id,
+                    reason: DropReason::QueueFull,
+                    at: now,
+                },
+            );
             self.tracer.emit(now, || TraceEvent::Admission(decision));
             return false;
         }
@@ -1018,6 +906,14 @@ impl Cluster {
                 at: now,
                 reason: DropReason::TokenBudget,
             });
+            push_live(
+                &mut self.live,
+                LiveEvent::Dropped {
+                    id: req.id,
+                    reason: DropReason::TokenBudget,
+                    at: now,
+                },
+            );
             self.tracer.emit(now, || TraceEvent::Admission(decision));
             return false;
         }
@@ -1053,6 +949,14 @@ impl Cluster {
                                 at: now,
                                 reason: DropReason::Shed,
                             });
+                            push_live(
+                                &mut self.live,
+                                LiveEvent::Dropped {
+                                    id: req.id,
+                                    reason: DropReason::Shed,
+                                    at: now,
+                                },
+                            );
                             self.tracer.emit(now, || TraceEvent::Admission(decision));
                             return false;
                         }
@@ -1066,6 +970,14 @@ impl Cluster {
                                     at: now,
                                     reason: DropReason::Shed,
                                 });
+                                push_live(
+                                    &mut self.live,
+                                    LiveEvent::Dropped {
+                                        id: qid,
+                                        reason: DropReason::Shed,
+                                        at: now,
+                                    },
+                                );
                                 decision.verdict = AdmissionVerdict::ShedVictim;
                                 decision.victim = Some(qid);
                             }
@@ -1182,6 +1094,14 @@ impl Cluster {
             at: now,
             reason: DropReason::DeadlineExceeded,
         });
+        push_live(
+            &mut self.live,
+            LiveEvent::Dropped {
+                id,
+                reason: DropReason::DeadlineExceeded,
+                at: now,
+            },
+        );
         self.tracer.emit(now, || TraceEvent::WatchdogAborted {
             id,
             waited_secs,
@@ -1306,6 +1226,7 @@ impl Cluster {
             self.on_finished_prefill(inst, fp.id, now, records)?;
         }
         for id in &outcome.decoded {
+            push_live(&mut self.live, LiveEvent::Token { id: *id, at: now });
             if let Some(m) = self.migrations.get_mut(&id.0) {
                 if m.state.phase() == windserve_kvcache::MigrationPhase::Background {
                     m.state.on_tokens_generated(1);
@@ -1342,6 +1263,7 @@ impl Cluster {
             // (e.g. re-placed around a crash); nothing left to record.
             return Ok(());
         };
+        let newly_first = rec.first_token.is_none();
         rec.first_token.get_or_insert(now);
         // A recovery re-prefill folds already-streamed tokens into the
         // engine-side prompt; everything below must use the engine's frame,
@@ -1354,6 +1276,11 @@ impl Cluster {
             id,
             inst: inst as u32,
         });
+        if newly_first {
+            // A recovery re-prefill regenerates a first token the client
+            // already has; only the first delivery is a milestone.
+            push_live(&mut self.live, LiveEvent::FirstToken { id, at: now });
+        }
         if output_target == 1 {
             // The prefill's token was the whole response.
             rec.decode_enqueue.get_or_insert(now);
@@ -2168,6 +2095,7 @@ impl Cluster {
         }
         let decode_enqueue = rec.decode_enqueue.unwrap_or(first_token);
         self.tracer.emit(now, || TraceEvent::Finished { id });
+        push_live(&mut self.live, LiveEvent::Finished { id, at: now });
         records.push(RequestRecord {
             id,
             prompt_tokens: rec.req.prompt_tokens,
@@ -2186,5 +2114,502 @@ impl Cluster {
 
     fn schedule_transfer_done(&mut self, tid: u64, at: SimTime) {
         self.deferred.push((at, Event::TransferDone(tid)));
+    }
+}
+
+/// Point-in-time view of one serving instance inside a live session.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct InstanceSnapshot {
+    /// Instance name (`prefill-0`, `decode-1`, `colocated-0`, ...).
+    pub name: String,
+    /// Active (not autoscaled away) at the snapshot instant.
+    pub active: bool,
+    /// Crashed by an injected fault and not yet recovered.
+    pub crashed: bool,
+    /// Fraction of KV blocks in use (1.0 = under full memory pressure).
+    pub kv_used_fraction: f64,
+    /// Requests queued for prefill.
+    pub waiting_prefill: usize,
+    /// Requests queued for decode.
+    pub waiting_decode: usize,
+    /// Requests actively decoding.
+    pub running_decodes: usize,
+}
+
+/// Point-in-time view of a live [`ClusterSession`], the payload behind the
+/// gateway's `/v1/cluster/status` control-plane endpoint.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct SessionSnapshot {
+    /// Virtual (simulated) time, seconds.
+    pub virtual_now_secs: f64,
+    /// Requests resident (queued or running) right now.
+    pub pending_requests: usize,
+    /// Requests completed so far.
+    pub completed_requests: usize,
+    /// Completed requests that met both SLOs.
+    pub slo_attaining: usize,
+    /// SLO-attaining completions per virtual second.
+    pub goodput_rps: f64,
+    /// Requests dropped with a typed terminal reason.
+    pub dropped_requests: usize,
+    /// Arrivals rejected at admission (queue cap or token budget).
+    pub requests_rejected: u64,
+    /// Requests shed by SLO-aware load shedding.
+    pub requests_shed: u64,
+    /// Requests aborted by the deadline watchdog.
+    pub watchdog_aborts: u64,
+    /// Simulator events processed so far.
+    pub events_processed: u64,
+    /// Peak resident request count observed.
+    pub peak_pending: usize,
+    /// Per-instance state.
+    pub instances: Vec<InstanceSnapshot>,
+}
+
+/// An incrementally driven serving deployment: the exact event loop of
+/// [`Cluster::run_traced`], re-cut into inject / pump / drain phases so a
+/// front-end (the HTTP gateway's `SimDriver`) can feed arrivals in as they
+/// happen and advance virtual time faster than real time.
+///
+/// Lifecycle: [`Cluster::into_session`] → any interleaving of
+/// [`inject`](ClusterSession::inject) and
+/// [`pump_until`](ClusterSession::pump_until) (collecting
+/// [`drain_live_events`](ClusterSession::drain_live_events) between slices)
+/// → [`finish`](ClusterSession::finish) for the final [`RunReport`].
+#[derive(Debug)]
+pub struct ClusterSession {
+    cluster: Cluster,
+    events: EventQueue<Event>,
+    /// Session-owned arrivals; `Event::Arrival` indexes here.
+    requests: Vec<Request>,
+    records: Vec<RequestRecord>,
+    /// Reused across the per-event instance sweep so the hot loop does not
+    /// allocate a fresh Vec per (event, instance) pair.
+    started_scratch: Vec<StartedStep>,
+    processed: u64,
+    end_time: SimTime,
+    /// Periodic ticks (sampling, autoscaling) and injected faults must not
+    /// keep the run alive on their own: count the *work* events remaining.
+    live_work: u64,
+    audit_every: Option<u64>,
+    /// Whether the one-time start events (faults, periodic ticks) have been
+    /// armed. Deferred to the first pump so a whole-trace replay schedules
+    /// them *after* every arrival, exactly like the original closed loop
+    /// (event order within an instant is FIFO by insertion).
+    started: bool,
+    sample_armed: bool,
+    autoscale_armed: bool,
+    watchdog_armed: bool,
+}
+
+impl ClusterSession {
+    /// Turns on token-level [`LiveEvent`] collection. Off by default so
+    /// batch replays never pay for it.
+    pub fn enable_live_events(&mut self) {
+        self.cluster.live.get_or_insert_with(Vec::new);
+    }
+
+    /// Takes every [`LiveEvent`] emitted since the last drain, in emission
+    /// order. Empty unless [`enable_live_events`] was called.
+    ///
+    /// [`enable_live_events`]: ClusterSession::enable_live_events
+    pub fn drain_live_events(&mut self) -> Vec<LiveEvent> {
+        match self.cluster.live.as_mut() {
+            Some(buf) => std::mem::take(buf),
+            None => Vec::new(),
+        }
+    }
+
+    /// Current virtual time (the timestamp of the last processed event).
+    pub fn now(&self) -> SimTime {
+        self.events.now()
+    }
+
+    /// Firing time of the next pending event, if any.
+    pub fn next_event_at(&self) -> Option<SimTime> {
+        self.events.peek_time()
+    }
+
+    /// Requests currently resident (queued or running).
+    pub fn pending_requests(&self) -> usize {
+        self.cluster.pending.len()
+    }
+
+    /// Records a front-end event (e.g. a gateway submission) into the
+    /// session's scheduling trace at the current virtual time. A no-op
+    /// unless the config enabled tracing.
+    pub fn emit_trace(&mut self, event: TraceEvent) {
+        let now = self.events.now();
+        self.cluster.tracer.emit(now, || event);
+    }
+
+    /// Adds one arrival to the session. The request is scheduled at its
+    /// own `arrival` stamp, clamped forward to the session's current
+    /// virtual time (events cannot fire in the past).
+    pub fn inject(&mut self, req: Request) -> RequestId {
+        let at = req.arrival.max(self.events.now());
+        let idx = self.requests.len();
+        self.requests.push(req);
+        self.events.schedule(at, Event::Arrival(idx));
+        self.live_work += 1;
+        if self.started {
+            self.rearm_ticks();
+        }
+        req.id
+    }
+
+    /// Periodic ticks stop self-rescheduling once the system drains; a
+    /// live session that goes idle and then receives new work must bring
+    /// them back.
+    fn rearm_ticks(&mut self) {
+        let now = self.events.now();
+        if self.cluster.cfg.sample_interval.is_some() && !self.sample_armed {
+            self.events.schedule(now, Event::Sample);
+            self.sample_armed = true;
+        }
+        if self.cluster.cfg.autoscale.is_some() && !self.autoscale_armed {
+            self.events.schedule(now, Event::AutoscaleTick);
+            self.autoscale_armed = true;
+        }
+        if let Some(deadline) = self.cluster.cfg.overload.and_then(|o| o.deadline) {
+            if !self.watchdog_armed {
+                self.events
+                    .schedule(now + deadline.mul_f64(0.25), Event::WatchdogTick);
+                self.watchdog_armed = true;
+            }
+        }
+    }
+
+    /// One-time start: sorts and schedules fault-plan events, initializes
+    /// sampling series and instance activation, and arms the periodic
+    /// ticks. Runs on the first pump so that a whole-trace replay inserts
+    /// these *after* all arrivals (FIFO tie-break parity with the original
+    /// closed loop).
+    fn arm(&mut self) {
+        if self.started {
+            return;
+        }
+        self.started = true;
+        let now = self.events.now();
+        self.cluster.fault_events = self
+            .cluster
+            .cfg
+            .faults
+            .as_ref()
+            .map(FaultPlan::sorted_events)
+            .unwrap_or_default();
+        let fault_times: Vec<SimTime> = self.cluster.fault_events.iter().map(|f| f.at).collect();
+        for (i, at) in fault_times.into_iter().enumerate() {
+            self.events.schedule(at.max(now), Event::Fault(i));
+        }
+        if let Some(interval) = self.cluster.cfg.sample_interval {
+            self.cluster.series = self
+                .cluster
+                .instances
+                .iter()
+                .map(|inst| windserve_metrics::InstanceSeries::new(inst.name(), interval))
+                .collect();
+            self.events.schedule(now, Event::Sample);
+            self.sample_armed = true;
+        }
+        self.cluster.active = vec![Some(SimTime::ZERO); self.cluster.instances.len()];
+        if let Some(auto) = self.cluster.cfg.autoscale {
+            for (slot, &idx) in self.cluster.prefill_idxs.iter().enumerate() {
+                if slot >= auto.min_prefill {
+                    self.cluster.active[idx] = None;
+                }
+            }
+            for (slot, &idx) in self.cluster.decode_idxs.iter().enumerate() {
+                if slot >= auto.min_decode {
+                    self.cluster.active[idx] = None;
+                }
+            }
+            self.events.schedule(now, Event::AutoscaleTick);
+            self.autoscale_armed = true;
+        }
+        if let Some(deadline) = self.cluster.cfg.overload.and_then(|o| o.deadline) {
+            // Sweep at a quarter of the budget: a stuck request is caught
+            // at most 1.25x its deadline after arrival.
+            self.events
+                .schedule(now + deadline.mul_f64(0.25), Event::WatchdogTick);
+            self.watchdog_armed = true;
+        }
+    }
+
+    /// Processes every event scheduled at or before `horizon`, advancing
+    /// virtual time exactly as far as the horizon allows.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Cluster::run`]: an invariant-audit failure or
+    /// the event backstop.
+    pub fn pump_until(&mut self, horizon: SimTime) -> crate::Result<()> {
+        self.arm();
+        while self.events.peek_time().is_some_and(|t| t <= horizon) {
+            let scheduled = self.events.pop().expect("peeked event");
+            self.step(scheduled)?;
+        }
+        Ok(())
+    }
+
+    /// Processes every pending event until the queue drains (all injected
+    /// work complete).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`ClusterSession::pump_until`].
+    pub fn pump_to_drain(&mut self) -> crate::Result<()> {
+        self.arm();
+        while let Some(scheduled) = self.events.pop() {
+            self.step(scheduled)?;
+        }
+        Ok(())
+    }
+
+    /// Delivers one scheduled event — the body of the original run loop.
+    fn step(&mut self, scheduled: Scheduled<Event>) -> crate::Result<()> {
+        self.processed += 1;
+        if !matches!(
+            scheduled.event,
+            Event::Sample | Event::AutoscaleTick | Event::Fault(_) | Event::WatchdogTick
+        ) {
+            self.live_work -= 1;
+        }
+        if self.processed > MAX_EVENTS {
+            return Err(crate::Error::EventBackstop {
+                pending: self.cluster.pending.len(),
+            });
+        }
+        let now = scheduled.at;
+        if !matches!(scheduled.event, Event::Fault(_) | Event::WatchdogTick) {
+            // A recovery scheduled after the last request completed, or
+            // a coarse watchdog sweep outliving the workload, must not
+            // stretch the measured run.
+            self.end_time = now;
+        }
+        self.cluster.account_gpu_seconds(now);
+        match scheduled.event {
+            Event::Arrival(i) => self.cluster.on_arrival(self.requests[i], now),
+            Event::StepDone { inst, lane, epoch } => {
+                // A crash bumps the epoch: completions for steps the
+                // crash destroyed are stale and must be dropped.
+                if epoch == self.cluster.step_epoch[inst] {
+                    let outcome = self.cluster.instances[inst].complete_step(lane, now);
+                    self.cluster
+                        .on_step_outcome(inst, &outcome, now, &mut self.records)?;
+                }
+            }
+            Event::TransferDone(tid) => self.cluster.on_transfer_done(tid, now)?,
+            Event::Fault(i) => self.cluster.on_fault(i, now)?,
+            Event::AutoscaleTick => {
+                self.autoscale_armed = false;
+                self.cluster.autoscale_tick(now);
+                if self.live_work > 0 || !self.cluster.pending.is_empty() {
+                    if let Some(auto) = self.cluster.cfg.autoscale {
+                        self.cluster
+                            .deferred
+                            .push((now + auto.check_interval, Event::AutoscaleTick));
+                        self.autoscale_armed = true;
+                    }
+                }
+            }
+            Event::Sample => {
+                self.sample_armed = false;
+                for (inst, series) in self.cluster.instances.iter().zip(&mut self.cluster.series) {
+                    series.kv_used.push(now, 1.0 - inst.kv_free_fraction());
+                    series
+                        .waiting_prefill
+                        .push(now, inst.waiting_prefill_len() as f64);
+                    series
+                        .waiting_decode
+                        .push(now, inst.waiting_decode_len() as f64);
+                    series.running.push(now, inst.running_decode_count() as f64);
+                }
+                // Keep sampling while work remains in the system.
+                if self.live_work > 0 || !self.cluster.pending.is_empty() {
+                    if let Some(interval) = self.cluster.cfg.sample_interval {
+                        self.cluster.deferred.push((now + interval, Event::Sample));
+                        self.sample_armed = true;
+                    }
+                }
+            }
+            Event::WatchdogTick => {
+                self.watchdog_armed = false;
+                if let Some(deadline) = self.cluster.cfg.overload.and_then(|o| o.deadline) {
+                    self.cluster.watchdog_sweep(deadline, now);
+                    // The sweep may have aborted the last resident
+                    // requests; only keep ticking while work remains.
+                    if self.live_work > 0 || !self.cluster.pending.is_empty() {
+                        self.cluster
+                            .deferred
+                            .push((now + deadline.mul_f64(0.25), Event::WatchdogTick));
+                        self.watchdog_armed = true;
+                    }
+                }
+            }
+        }
+        // State changed somewhere: give every instance a chance to
+        // launch steps (cheap — the instance count is tiny).
+        for idx in 0..self.cluster.instances.len() {
+            self.started_scratch.clear();
+            self.cluster.instances[idx].try_start_into(now, &mut self.started_scratch);
+            self.cluster.register_steps(idx, &self.started_scratch, now);
+        }
+        let mut deferred = std::mem::take(&mut self.cluster.deferred);
+        for (at, ev) in deferred.drain(..) {
+            if !matches!(
+                ev,
+                Event::Sample | Event::AutoscaleTick | Event::Fault(_) | Event::WatchdogTick
+            ) {
+                self.live_work += 1;
+            }
+            self.events.schedule(at.max(now), ev);
+        }
+        // Hand the (now empty) buffer back so its capacity is reused.
+        std::mem::swap(&mut self.cluster.deferred, &mut deferred);
+        if let Some(n) = self.audit_every {
+            if self.processed.is_multiple_of(n) {
+                self.cluster.audit_invariants()?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Point-in-time view of the live deployment for the control plane.
+    pub fn snapshot(&self) -> SessionSnapshot {
+        let summary = LatencySummary::of(self.cluster.cfg.slo, &self.records);
+        let virtual_now_secs = self.events.now().as_secs_f64();
+        let goodput_rps = if virtual_now_secs > 0.0 {
+            summary.slo_attaining as f64 / virtual_now_secs
+        } else {
+            0.0
+        };
+        let instances = self
+            .cluster
+            .instances
+            .iter()
+            .enumerate()
+            .map(|(i, inst)| InstanceSnapshot {
+                name: inst.name().to_string(),
+                active: self.cluster.active.get(i).is_none_or(|a| a.is_some()),
+                crashed: self.cluster.crashed.get(i).copied().unwrap_or(false),
+                kv_used_fraction: 1.0 - inst.kv_free_fraction(),
+                waiting_prefill: inst.waiting_prefill_len(),
+                waiting_decode: inst.waiting_decode_len(),
+                running_decodes: inst.running_decode_count(),
+            })
+            .collect();
+        SessionSnapshot {
+            virtual_now_secs,
+            pending_requests: self.cluster.pending.len(),
+            completed_requests: self.records.len(),
+            slo_attaining: summary.slo_attaining,
+            goodput_rps,
+            dropped_requests: self.cluster.dropped.len(),
+            requests_rejected: self.cluster.counters.requests_rejected,
+            requests_shed: self.cluster.counters.requests_shed,
+            watchdog_aborts: self.cluster.counters.watchdog_aborts,
+            events_processed: self.processed,
+            peak_pending: self.cluster.peak_pending,
+            instances,
+        }
+    }
+
+    /// Finalizes the session: audits, checks for deadlock, and assembles
+    /// the [`RunReport`] and [`TraceLog`] exactly as a closed-loop
+    /// [`Cluster::run_traced`] would.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if resident requests remain (the simulation
+    /// deadlocked or the session was finished before draining) or a final
+    /// invariant audit fails.
+    pub fn finish(self) -> crate::Result<(RunReport, TraceLog)> {
+        let ClusterSession {
+            mut cluster,
+            mut records,
+            processed,
+            end_time,
+            audit_every,
+            ..
+        } = self;
+        if audit_every.is_some() {
+            // One final audit over the drained cluster.
+            cluster.audit_invariants()?;
+        }
+
+        if !cluster.pending.is_empty() {
+            let mut ids: Vec<u64> = cluster.pending.keys().copied().collect();
+            ids.sort_unstable();
+            return Err(crate::Error::Deadlock {
+                incomplete: ids.len(),
+                first: ids.iter().take(5).map(|&i| RequestId(i)).collect(),
+            });
+        }
+
+        records.sort_by_key(|r| r.id);
+        let duration_secs = end_time.as_secs_f64();
+        let summary = LatencySummary::of(cluster.cfg.slo, &records);
+        let instances = cluster
+            .instances
+            .iter()
+            .map(|inst| InstanceReport {
+                name: inst.name().to_string(),
+                utilization: inst
+                    .stats()
+                    .utilization(duration_secs, inst.cost_model().parallelism().lanes()),
+                swap_outs: inst.kv().swap_out_count(),
+                swap_ins: inst.kv().swap_in_count(),
+                prefill_steps: inst.stats().prefill_steps,
+                decode_steps: inst.stats().decode_steps,
+                hybrid_steps: inst.stats().hybrid_steps,
+                aux_steps: inst.stats().aux_steps,
+            })
+            .collect();
+        let log = std::mem::replace(&mut cluster.tracer, Tracer::disabled()).finish();
+        let cache_stats = cluster
+            .instances
+            .iter()
+            .map(|inst| inst.cost_model().step_cache_stats())
+            .fold((0u64, 0u64), |(h, m), s| (h + s.hits, m + s.misses));
+        let report = RunReport {
+            system: cluster.cfg.system,
+            summary,
+            records,
+            duration_secs,
+            instances,
+            dispatched_prefills: cluster.counters.dispatched,
+            migrations_started: cluster.counters.migrations_started,
+            migrations_completed: cluster.counters.migrations_completed,
+            kv_bytes_transferred: cluster.counters.kv_bytes,
+            backups_created: cluster.counters.backups_created,
+            backup_hits: cluster.counters.backup_hits,
+            faults_injected: cluster.counters.faults_injected,
+            requests_rescheduled: cluster.counters.requests_rescheduled,
+            transfer_retries: cluster.counters.transfer_retries,
+            series: cluster.series,
+            ttft_predictions: {
+                let mut v = cluster.ttft_predictions;
+                v.sort_by_key(|p| p.request);
+                v
+            },
+            autoscale_events: cluster.autoscale_events,
+            gpu_seconds_active: cluster.gpu_seconds_active,
+            events_processed: processed,
+            cost_cache_hits: cache_stats.0,
+            cost_cache_misses: cache_stats.1,
+            dropped: {
+                let mut d = cluster.dropped;
+                d.sort_by_key(|x| x.id);
+                d
+            },
+            requests_rejected: cluster.counters.requests_rejected,
+            requests_shed: cluster.counters.requests_shed,
+            requests_preempted: cluster.counters.requests_preempted,
+            watchdog_aborts: cluster.counters.watchdog_aborts,
+            invariant_checks: cluster.counters.invariant_checks,
+            peak_pending: cluster.peak_pending,
+        };
+        Ok((report, log))
     }
 }

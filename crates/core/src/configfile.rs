@@ -26,6 +26,12 @@ use crate::error::{Error, Result};
 use serde::value::{Map, Number, Value};
 use serde::{Deserialize, Serialize};
 
+/// Version of the config-file schema this build reads and writes. Emitted
+/// as the first line of every rendered config; files declaring a newer
+/// version are rejected, files declaring none (or an older one) load
+/// normally.
+pub const CONFIG_SCHEMA_VERSION: u64 = 1;
+
 // ---------------------------------------------------------------------------
 // Emission
 // ---------------------------------------------------------------------------
@@ -628,6 +634,48 @@ pub fn from_toml<T: Deserialize>(text: &str) -> Result<T> {
     })
 }
 
+/// Validates a parsed config file's top level before merging: the declared
+/// `schema_version` (if any) must be an integer no newer than
+/// [`CONFIG_SCHEMA_VERSION`], and top-level keys the schema does not know
+/// are dropped with a warning on stderr — never a hard error — so configs
+/// written against older schemas stay loadable.
+fn screen_top_level(overlay: &Value, base: &Value) -> Result<Value> {
+    let (Value::Object(map), Value::Object(known)) = (overlay, base) else {
+        return Ok(overlay.clone());
+    };
+    if let Some(v) = map.get("schema_version") {
+        match v.as_u64() {
+            Some(n) if n <= CONFIG_SCHEMA_VERSION => {}
+            Some(n) => {
+                return Err(Error::Config {
+                    reason: format!(
+                        "config file: schema_version {n} is newer than the supported \
+                         {CONFIG_SCHEMA_VERSION}"
+                    ),
+                })
+            }
+            None => {
+                return Err(Error::Config {
+                    reason: "config file: schema_version must be a non-negative integer"
+                        .to_string(),
+                })
+            }
+        }
+    }
+    let mut out = Map::new();
+    for (k, v) in map.iter() {
+        if k.as_str() == "schema_version" {
+            continue;
+        }
+        if known.get(k).is_none() {
+            eprintln!("warning: config file: ignoring unknown top-level key `{k}`");
+            continue;
+        }
+        out.insert(k.clone(), v.clone());
+    }
+    Ok(Value::Object(out))
+}
+
 impl ServeConfig {
     /// Renders this config as a TOML document that [`ServeConfig::from_toml`]
     /// reads back bit-for-bit. `None` fields are omitted.
@@ -642,7 +690,8 @@ impl ServeConfig {
     /// assert_eq!(ServeConfig::from_toml(&text).unwrap(), cfg);
     /// ```
     pub fn to_toml(&self) -> String {
-        to_toml(self).expect("a ServeConfig always serializes to a table")
+        let body = to_toml(self).expect("a ServeConfig always serializes to a table");
+        format!("schema_version = {CONFIG_SCHEMA_VERSION}\n{body}")
     }
 
     /// Reads a (possibly partial) TOML config. Fields the file omits keep
@@ -665,6 +714,7 @@ impl ServeConfig {
     pub fn from_toml(text: &str) -> Result<ServeConfig> {
         let overlay = parse_toml(text)?;
         let base = ServeConfig::opt_13b_sharegpt(SystemKind::WindServe).serialize_value();
+        let overlay = screen_top_level(&overlay, &base)?;
         let merged = merge_values(&base, &overlay);
         let cfg = ServeConfig::deserialize_value(&merged).map_err(|e| Error::Config {
             reason: format!("config file: {e}"),
@@ -708,6 +758,39 @@ mod tests {
         let text = cfg.to_toml();
         let back = ServeConfig::from_toml(&text).unwrap();
         assert_eq!(back, cfg, "round-trip changed the config:\n{text}");
+    }
+
+    #[test]
+    fn emitted_config_declares_the_schema_version() {
+        let text = ServeConfig::opt_13b_sharegpt(SystemKind::WindServe).to_toml();
+        let first = text.lines().next().unwrap();
+        assert_eq!(first, format!("schema_version = {CONFIG_SCHEMA_VERSION}"));
+    }
+
+    #[test]
+    fn newer_schema_version_is_rejected() {
+        let err = ServeConfig::from_toml("schema_version = 999\n").unwrap_err();
+        assert!(err.to_string().contains("schema_version 999"));
+        let err = ServeConfig::from_toml("schema_version = \"one\"\n").unwrap_err();
+        assert!(err.to_string().contains("non-negative integer"));
+    }
+
+    #[test]
+    fn missing_and_older_schema_versions_load() {
+        // Files written before versioning declare nothing.
+        assert!(ServeConfig::from_toml("chunk_tokens = 256\n").is_ok());
+        // The current version loads, trivially.
+        let text = format!("schema_version = {CONFIG_SCHEMA_VERSION}\nchunk_tokens = 256\n");
+        assert_eq!(ServeConfig::from_toml(&text).unwrap().chunk_tokens, 256);
+    }
+
+    #[test]
+    fn unknown_top_level_keys_warn_but_load() {
+        let cfg = ServeConfig::from_toml("retired_knob = 7\nchunk_tokens = 128\n").unwrap();
+        assert_eq!(cfg.chunk_tokens, 128);
+        // Unknown keys nested in known tables still merge (and are caught
+        // by deserialization if structurally wrong) — only the top level
+        // is screened.
     }
 
     #[test]

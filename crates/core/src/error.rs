@@ -65,6 +65,12 @@ pub enum Error {
         /// What went wrong at the fleet layer.
         reason: String,
     },
+    /// A serving-gateway failure: a malformed live request, a driver
+    /// channel torn down mid-stream, or a listener that could not bind.
+    Gateway {
+        /// What went wrong at the gateway layer.
+        reason: String,
+    },
 }
 
 impl std::fmt::Display for Error {
@@ -90,6 +96,7 @@ impl std::fmt::Display for Error {
             }
             Error::Invariant { reason } => write!(f, "invariant violated: {reason}"),
             Error::Fleet { reason } => write!(f, "fleet: {reason}"),
+            Error::Gateway { reason } => write!(f, "gateway: {reason}"),
         }
     }
 }

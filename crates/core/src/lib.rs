@@ -83,7 +83,7 @@ mod report;
 
 pub use budget::calibrate_aux_budget;
 pub use builder::ServeConfigBuilder;
-pub use cluster::Cluster;
+pub use cluster::{Cluster, ClusterSession, InstanceSnapshot, LiveEvent, SessionSnapshot};
 pub use config::{AutoscaleConfig, OverloadConfig, ServeConfig, SystemKind, VictimPolicy};
 pub use coordinator::Coordinator;
 pub use error::{Error, Result};

@@ -1,0 +1,579 @@
+//! The `SimDriver`: the adapter that turns the deterministic simulator
+//! into a live engine.
+//!
+//! One thread owns a [`ClusterSession`] and maps wall-clock time onto
+//! virtual time as `virtual_now = real_elapsed * time_scale` — with a
+//! scale above 1 the simulated cluster runs *faster* than real time, so
+//! a localhost client sees millisecond TTFTs for what the paper measures
+//! in seconds. Live HTTP requests become sim arrivals stamped at the
+//! mapped instant; admission verdicts come back synchronously (the
+//! driver pumps the session past the arrival before replying, so a
+//! rejection surfaces as a real `429`/`503` before any stream bytes are
+//! written); per-token completions route back to the submitting
+//! connection through a [`Sink`].
+
+use std::collections::HashMap;
+use std::sync::mpsc::{self, Receiver, RecvTimeoutError, Sender};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use windserve::{Cluster, ClusterSession, LiveEvent, RunReport, ServeConfig, SessionSnapshot};
+use windserve_metrics::DropReason;
+use windserve_sim::SimTime;
+use windserve_trace::TraceEvent;
+use windserve_workload::{Request, RequestId};
+
+use crate::api;
+use crate::http::{encode_chunk, LAST_CHUNK};
+use crate::pump::{Frame, PumpHandle};
+use crate::sse::SseEvent;
+
+/// Where a request's live updates go.
+#[derive(Debug, Clone)]
+pub enum Sink {
+    /// Deliver typed updates over a channel (non-streamed responses,
+    /// tests).
+    Channel(Sender<StreamUpdate>),
+    /// Frame updates as SSE chunks and push them to the stream pump
+    /// under this stream id.
+    Pump {
+        /// Handle to the pump thread.
+        pump: PumpHandle,
+        /// The pump stream the bytes belong to.
+        stream: u64,
+    },
+}
+
+/// A live update for one submitted request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StreamUpdate {
+    /// A token was produced (`index` 0 is the first token).
+    Token {
+        /// Zero-based token index.
+        index: u32,
+        /// Virtual time of the token.
+        virtual_secs: f64,
+    },
+    /// The request completed.
+    Done {
+        /// Tokens delivered.
+        tokens: u32,
+        /// Virtual seconds from submission to first token.
+        ttft_virtual_secs: f64,
+        /// Virtual seconds from submission to completion.
+        latency_virtual_secs: f64,
+    },
+    /// The request was dropped after admission (shed or deadline).
+    Aborted {
+        /// The typed reason.
+        reason: DropReason,
+    },
+}
+
+/// Why a submission failed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SubmitError {
+    /// Overload control dropped the request at admission; answer with
+    /// [`DropReason::http_status`].
+    Dropped(DropReason),
+    /// The driver is gone (shutting down).
+    Unavailable,
+}
+
+/// Final accounting from a driver that has shut down.
+#[derive(Debug)]
+pub struct DriverReport {
+    /// Requests submitted over the gateway.
+    pub submitted: u64,
+    /// Requests that completed and streamed every token.
+    pub completed: u64,
+    /// Requests rejected at admission (`429`/`503` responses).
+    pub rejected: u64,
+    /// Requests dropped after admission (mid-stream aborts).
+    pub aborted: u64,
+    /// The simulator's own run report, if the session finished cleanly.
+    pub run_report: Option<RunReport>,
+    /// A session error, if the event loop failed.
+    pub error: Option<String>,
+}
+
+enum Msg {
+    Submit {
+        prompt_tokens: u32,
+        output_tokens: u32,
+        tier: u8,
+        verdict: Sender<Result<RequestId, DropReason>>,
+        sink: Sink,
+    },
+    Snapshot {
+        reply: Sender<SessionSnapshot>,
+    },
+    Shutdown {
+        reply: Sender<DriverReport>,
+    },
+}
+
+/// Cloneable submission/status handle to the driver thread.
+#[derive(Clone)]
+pub struct DriverHandle {
+    tx: Sender<Msg>,
+}
+
+impl std::fmt::Debug for DriverHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DriverHandle").finish()
+    }
+}
+
+impl DriverHandle {
+    /// Submits a live request and blocks until the admission verdict.
+    ///
+    /// # Errors
+    ///
+    /// [`SubmitError::Dropped`] when overload control rejected the
+    /// request, [`SubmitError::Unavailable`] when the driver is gone.
+    pub fn submit(
+        &self,
+        prompt_tokens: u32,
+        output_tokens: u32,
+        tier: u8,
+        sink: Sink,
+    ) -> Result<RequestId, SubmitError> {
+        let (verdict_tx, verdict_rx) = mpsc::channel();
+        self.tx
+            .send(Msg::Submit {
+                prompt_tokens,
+                output_tokens,
+                tier,
+                verdict: verdict_tx,
+                sink,
+            })
+            .map_err(|_| SubmitError::Unavailable)?;
+        match verdict_rx.recv() {
+            Ok(Ok(id)) => Ok(id),
+            Ok(Err(reason)) => Err(SubmitError::Dropped(reason)),
+            Err(_) => Err(SubmitError::Unavailable),
+        }
+    }
+
+    /// A point-in-time snapshot of the live session, or `None` if the
+    /// driver is gone.
+    pub fn snapshot(&self) -> Option<SessionSnapshot> {
+        let (tx, rx) = mpsc::channel();
+        self.tx.send(Msg::Snapshot { reply: tx }).ok()?;
+        rx.recv().ok()
+    }
+}
+
+/// The driver thread plus its shutdown path.
+#[derive(Debug)]
+pub struct SimDriver {
+    tx: Sender<Msg>,
+    thread: Option<JoinHandle<()>>,
+}
+
+impl SimDriver {
+    /// Builds the cluster and spawns the driver thread. `time_scale` is
+    /// the virtual-seconds-per-real-second factor (clamped to a small
+    /// positive minimum).
+    ///
+    /// # Errors
+    ///
+    /// Propagates cluster construction failures (invalid config).
+    pub fn spawn(cfg: ServeConfig, time_scale: f64) -> windserve::Result<SimDriver> {
+        let cluster = Cluster::new(cfg)?;
+        let mut session = cluster.into_session();
+        session.enable_live_events();
+        let scale = if time_scale.is_finite() && time_scale > 0.0 {
+            time_scale
+        } else {
+            1.0
+        };
+        let (tx, rx) = mpsc::channel();
+        let thread = std::thread::Builder::new()
+            .name("gw-driver".to_string())
+            .spawn(move || driver_loop(session, &rx, scale))
+            .expect("spawn driver");
+        Ok(SimDriver {
+            tx,
+            thread: Some(thread),
+        })
+    }
+
+    /// A cloneable handle for submissions and snapshots.
+    pub fn handle(&self) -> DriverHandle {
+        DriverHandle {
+            tx: self.tx.clone(),
+        }
+    }
+
+    /// Drains in-flight work, finishes the session, and returns the
+    /// final accounting.
+    pub fn shutdown(mut self) -> DriverReport {
+        let (tx, rx) = mpsc::channel();
+        let report = if self.tx.send(Msg::Shutdown { reply: tx }).is_ok() {
+            rx.recv().ok()
+        } else {
+            None
+        };
+        if let Some(thread) = self.thread.take() {
+            let _ = thread.join();
+        }
+        report.unwrap_or(DriverReport {
+            submitted: 0,
+            completed: 0,
+            rejected: 0,
+            aborted: 0,
+            run_report: None,
+            error: Some("driver thread unavailable".to_string()),
+        })
+    }
+}
+
+/// Per-request live routing state.
+struct StreamState {
+    sink: Sink,
+    submitted_at: SimTime,
+    first_token_at: Option<SimTime>,
+    tokens: u32,
+}
+
+struct Driver {
+    session: ClusterSession,
+    streams: HashMap<RequestId, StreamState>,
+    next_id: u64,
+    submitted: u64,
+    completed: u64,
+    rejected: u64,
+    aborted: u64,
+    /// First session failure; once set the driver stops pumping and
+    /// reports the error on shutdown.
+    error: Option<String>,
+}
+
+fn driver_loop(session: ClusterSession, rx: &Receiver<Msg>, scale: f64) {
+    let epoch = Instant::now();
+    let virtual_now = move || SimTime::from_secs_f64(epoch.elapsed().as_secs_f64() * scale);
+    let mut driver = Driver {
+        session,
+        streams: HashMap::new(),
+        next_id: 0,
+        submitted: 0,
+        completed: 0,
+        rejected: 0,
+        aborted: 0,
+        error: None,
+    };
+    let shutdown_reply = loop {
+        let vnow = virtual_now();
+        driver.advance(vnow);
+        // Sleep until the next scheduled event lands (in real time) or a
+        // message arrives, bounded so time keeps advancing smoothly.
+        let timeout = driver
+            .session
+            .next_event_at()
+            .map(|t| t.saturating_since(vnow).as_secs_f64() / scale)
+            .map(|secs| Duration::from_secs_f64(secs.clamp(0.0, 0.005)))
+            .unwrap_or(Duration::from_millis(5));
+        match rx.recv_timeout(timeout) {
+            Ok(Msg::Shutdown { reply }) => break Some(reply),
+            Ok(msg) => driver.handle(msg, virtual_now()),
+            Err(RecvTimeoutError::Timeout) => {}
+            Err(RecvTimeoutError::Disconnected) => break None,
+        }
+    };
+    // Drain in-flight work so every admitted request reaches a terminal
+    // state (tokens stream out at full simulation speed, untied from the
+    // wall clock now that the gateway is closing).
+    if driver.error.is_none() {
+        if let Err(e) = driver.session.pump_to_drain() {
+            driver.error = Some(e.to_string());
+        }
+        driver.route_live_events();
+    }
+    let Driver {
+        session,
+        submitted,
+        completed,
+        rejected,
+        aborted,
+        error,
+        ..
+    } = driver;
+    let (run_report, error) = match (error, session.finish()) {
+        (None, Ok((report, _log))) => (Some(report), None),
+        (None, Err(e)) => (None, Some(e.to_string())),
+        (Some(e), _) => (None, Some(e)),
+    };
+    if let Some(reply) = shutdown_reply {
+        let _ = reply.send(DriverReport {
+            submitted,
+            completed,
+            rejected,
+            aborted,
+            run_report,
+            error,
+        });
+    }
+}
+
+impl Driver {
+    /// Pumps the session to the mapped virtual instant and routes every
+    /// live event produced.
+    fn advance(&mut self, vnow: SimTime) {
+        if self.error.is_some() {
+            return;
+        }
+        if let Err(e) = self.session.pump_until(vnow) {
+            self.error = Some(e.to_string());
+        }
+        self.route_live_events();
+    }
+
+    fn handle(&mut self, msg: Msg, vnow: SimTime) {
+        match msg {
+            Msg::Submit {
+                prompt_tokens,
+                output_tokens,
+                tier,
+                verdict,
+                sink,
+            } => {
+                if self.error.is_some() {
+                    // A failed session admits nothing; surface as shed.
+                    let _ = verdict.send(Err(DropReason::Shed));
+                    return;
+                }
+                let id = RequestId(self.next_id);
+                self.next_id += 1;
+                self.submitted += 1;
+                let req = Request::new(id, vnow, prompt_tokens, output_tokens).with_tier(tier);
+                self.session.inject(req);
+                self.session.emit_trace(TraceEvent::GatewaySubmitted {
+                    id,
+                    prompt_tokens,
+                    output_tokens,
+                    streamed: matches!(sink, Sink::Pump { .. }),
+                });
+                // Pump past the arrival instant: an admission rejection
+                // (queue cap, token budget, shed-on-admit) shows up as a
+                // Dropped event for this id before any token can.
+                if let Err(e) = self.session.pump_until(vnow) {
+                    self.error = Some(e.to_string());
+                    let _ = verdict.send(Err(DropReason::Shed));
+                    return;
+                }
+                let mut admission = Ok(id);
+                for ev in self.session.drain_live_events() {
+                    match ev {
+                        LiveEvent::Dropped {
+                            id: dropped,
+                            reason,
+                            ..
+                        } if dropped == id => {
+                            admission = Err(reason);
+                        }
+                        other => self.route_one(other),
+                    }
+                }
+                match admission {
+                    Ok(id) => {
+                        self.streams.insert(
+                            id,
+                            StreamState {
+                                sink,
+                                submitted_at: vnow,
+                                first_token_at: None,
+                                tokens: 0,
+                            },
+                        );
+                        let _ = verdict.send(Ok(id));
+                    }
+                    Err(reason) => {
+                        self.rejected += 1;
+                        let _ = verdict.send(Err(reason));
+                    }
+                }
+            }
+            Msg::Snapshot { reply } => {
+                let _ = reply.send(self.session.snapshot());
+            }
+            // Shutdown is intercepted by the loop.
+            Msg::Shutdown { .. } => {}
+        }
+    }
+
+    fn route_live_events(&mut self) {
+        for ev in self.session.drain_live_events() {
+            self.route_one(ev);
+        }
+    }
+
+    /// Delivers one live event to its request's sink.
+    fn route_one(&mut self, ev: LiveEvent) {
+        let id = ev.request_id();
+        let Some(state) = self.streams.get_mut(&id) else {
+            // Rejected at submission (already answered) or unknown.
+            return;
+        };
+        match ev {
+            LiveEvent::FirstToken { at, .. } | LiveEvent::Token { at, .. } => {
+                let index = state.tokens;
+                state.tokens += 1;
+                state.first_token_at.get_or_insert(at);
+                match &state.sink {
+                    Sink::Channel(tx) => {
+                        let _ = tx.send(StreamUpdate::Token {
+                            index,
+                            virtual_secs: at.as_secs_f64(),
+                        });
+                    }
+                    Sink::Pump { pump, stream } => {
+                        let payload =
+                            SseEvent::data(api::token_event_json(id, index, at.as_secs_f64()));
+                        pump.push(*stream, Frame::Data(encode_chunk(&payload.encode())));
+                    }
+                }
+            }
+            LiveEvent::Finished { at, .. } => {
+                let state = self.streams.remove(&id).expect("checked above");
+                self.completed += 1;
+                self.session.emit_trace(TraceEvent::GatewayStreamClosed {
+                    id,
+                    delivered_tokens: state.tokens,
+                });
+                let ttft = state
+                    .first_token_at
+                    .unwrap_or(at)
+                    .saturating_since(state.submitted_at)
+                    .as_secs_f64();
+                let latency = at.saturating_since(state.submitted_at).as_secs_f64();
+                match &state.sink {
+                    Sink::Channel(tx) => {
+                        let _ = tx.send(StreamUpdate::Done {
+                            tokens: state.tokens,
+                            ttft_virtual_secs: ttft,
+                            latency_virtual_secs: latency,
+                        });
+                    }
+                    Sink::Pump { pump, stream } => {
+                        let done = SseEvent::data(api::DONE_SENTINEL);
+                        let mut bytes = encode_chunk(&done.encode());
+                        bytes.extend_from_slice(LAST_CHUNK);
+                        pump.push(*stream, Frame::Data(bytes));
+                        pump.push(*stream, Frame::Close);
+                    }
+                }
+            }
+            LiveEvent::Dropped { reason, .. } => {
+                let state = self.streams.remove(&id).expect("checked above");
+                self.aborted += 1;
+                self.session.emit_trace(TraceEvent::GatewayStreamClosed {
+                    id,
+                    delivered_tokens: state.tokens,
+                });
+                match &state.sink {
+                    Sink::Channel(tx) => {
+                        let _ = tx.send(StreamUpdate::Aborted { reason });
+                    }
+                    Sink::Pump { pump, stream } => {
+                        let body = String::from_utf8(api::drop_body(reason)).unwrap_or_default();
+                        let ev = SseEvent::named("error", body);
+                        let mut bytes = encode_chunk(&ev.encode());
+                        bytes.extend_from_slice(LAST_CHUNK);
+                        pump.push(*stream, Frame::Data(bytes));
+                        pump.push(*stream, Frame::Close);
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use windserve::SystemKind;
+
+    fn test_config() -> ServeConfig {
+        let mut cfg = ServeConfig::opt_13b_sharegpt(SystemKind::WindServe);
+        cfg.trace = windserve_trace::TraceMode::Ring(4096);
+        cfg
+    }
+
+    #[test]
+    fn a_live_request_streams_tokens_then_done() {
+        let driver = SimDriver::spawn(test_config(), 1000.0).unwrap();
+        let handle = driver.handle();
+        let (tx, rx) = mpsc::channel();
+        let id = handle.submit(64, 4, 0, Sink::Channel(tx)).unwrap();
+        assert_eq!(id, RequestId(0));
+        let mut tokens = 0u32;
+        let done = loop {
+            match rx.recv_timeout(Duration::from_secs(30)).unwrap() {
+                StreamUpdate::Token { index, .. } => {
+                    assert_eq!(index, tokens, "token order");
+                    tokens += 1;
+                }
+                StreamUpdate::Done { tokens: n, .. } => break n,
+                StreamUpdate::Aborted { reason } => panic!("aborted: {reason:?}"),
+            }
+        };
+        assert_eq!(done, 4);
+        assert_eq!(tokens, 4);
+        let report = driver.shutdown();
+        assert_eq!(report.submitted, 1);
+        assert_eq!(report.completed, 1);
+        assert!(report.error.is_none(), "{:?}", report.error);
+        assert!(report.run_report.is_some());
+    }
+
+    #[test]
+    fn snapshot_reflects_live_state() {
+        let driver = SimDriver::spawn(test_config(), 1000.0).unwrap();
+        let handle = driver.handle();
+        let snap = handle.snapshot().unwrap();
+        assert_eq!(snap.completed_requests, 0);
+        assert!(!snap.instances.is_empty());
+        let (tx, rx) = mpsc::channel();
+        handle.submit(64, 2, 0, Sink::Channel(tx)).unwrap();
+        // Wait for completion, then the snapshot must count it.
+        loop {
+            if matches!(
+                rx.recv_timeout(Duration::from_secs(30)).unwrap(),
+                StreamUpdate::Done { .. }
+            ) {
+                break;
+            }
+        }
+        let snap = handle.snapshot().unwrap();
+        assert_eq!(snap.completed_requests, 1);
+        driver.shutdown();
+    }
+
+    #[test]
+    fn admission_rejections_surface_synchronously() {
+        let mut cfg = test_config();
+        cfg.overload = Some(windserve::OverloadConfig {
+            max_queued_requests: Some(1),
+            shedding: false,
+            ..Default::default()
+        });
+        // Freeze virtual time (tiny scale): nothing completes while we
+        // overfill the admission cap.
+        let driver = SimDriver::spawn(cfg, 1e-6).unwrap();
+        let handle = driver.handle();
+        let (tx, _rx) = mpsc::channel();
+        assert!(handle.submit(64, 4, 0, Sink::Channel(tx.clone())).is_ok());
+        let err = handle
+            .submit(64, 4, 0, Sink::Channel(tx))
+            .expect_err("cap of 1 must reject the second live request");
+        match err {
+            SubmitError::Dropped(reason) => assert_eq!(reason.http_status(), 429),
+            SubmitError::Unavailable => panic!("driver died"),
+        }
+        let report = driver.shutdown();
+        assert_eq!(report.rejected, 1);
+        assert_eq!(report.completed, 1);
+    }
+}

@@ -1,0 +1,36 @@
+//! The shared machine-readable envelope.
+//!
+//! Every `--json` CLI report and the gateway's control-plane responses
+//! wrap their payload the same way, so one parser handles both:
+//!
+//! ```json
+//! { "schema_version": 1, "command": "<name>", "report": { ... } }
+//! ```
+
+use serde_json::Value;
+
+/// Version of the envelope schema. Bump when the wrapper shape (not the
+/// per-command report inside it) changes incompatibly.
+pub const ENVELOPE_SCHEMA_VERSION: u64 = 1;
+
+/// Wraps a report in the shared envelope.
+pub fn json_envelope(command: &str, report: Value) -> Value {
+    serde_json::json!({
+        "schema_version": ENVELOPE_SCHEMA_VERSION,
+        "command": command,
+        "report": report,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn envelope_has_the_three_fields() {
+        let v = json_envelope("run", serde_json::json!({"completed": 3}));
+        assert_eq!(v["schema_version"].as_u64(), Some(ENVELOPE_SCHEMA_VERSION));
+        assert_eq!(v["command"].as_str(), Some("run"));
+        assert_eq!(v["report"]["completed"].as_u64(), Some(3));
+    }
+}

@@ -1,0 +1,342 @@
+//! An open-loop load generator for the gateway.
+//!
+//! Arrivals follow a Poisson process at the configured *real-time* rate,
+//! independent of how fast responses come back (open loop — a slow
+//! server faces a growing backlog, exactly the overload regime the
+//! simulator's admission control is built for). One thread holds every
+//! in-flight stream: sockets are non-blocking and swept in a loop, so
+//! thousands of concurrent SSE streams cost file descriptors, not
+//! threads.
+
+use std::collections::VecDeque;
+use std::io::{ErrorKind, Read, Write};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+use serde::Serialize;
+use windserve::Error;
+use windserve_metrics::Percentiles;
+use windserve_sim::SimRng;
+use windserve_workload::ArrivalProcess;
+
+use crate::api;
+use crate::http::{HttpRequest, ResponseParser};
+use crate::sse::SseParser;
+
+/// What to throw at the server.
+#[derive(Debug, Clone)]
+pub struct LoadgenConfig {
+    /// Target `host:port`.
+    pub addr: String,
+    /// Offered load, requests per *real* second.
+    pub rate: f64,
+    /// Injection window, real seconds (in-flight streams drain after).
+    pub duration_secs: f64,
+    /// Prompt length of every request, tokens.
+    pub prompt_tokens: u32,
+    /// Output budget of every request, tokens.
+    pub output_tokens: u32,
+    /// Arrival-process RNG seed.
+    pub seed: u64,
+}
+
+impl Default for LoadgenConfig {
+    fn default() -> Self {
+        LoadgenConfig {
+            addr: "127.0.0.1:8080".to_string(),
+            rate: 20.0,
+            duration_secs: 5.0,
+            prompt_tokens: 256,
+            output_tokens: 32,
+            seed: 0,
+        }
+    }
+}
+
+/// The load generator's client-side measurement report.
+#[derive(Debug, Clone, Serialize)]
+pub struct LoadReport {
+    /// Connections opened (arrivals injected).
+    pub submitted: u64,
+    /// Streams that delivered every token and the `[DONE]` sentinel.
+    pub completed: u64,
+    /// Requests answered `429` (admission rejection / shed).
+    pub rejected_429: u64,
+    /// Requests answered `503` (unavailable / deadline give-up).
+    pub rejected_503: u64,
+    /// Streams aborted mid-flight by a typed SSE `error` event.
+    pub aborted: u64,
+    /// Connect/read/write/parse failures.
+    pub transport_errors: u64,
+    /// Wall-clock time to first token per completed stream, seconds.
+    pub ttft: Percentiles,
+    /// Wall-clock time between successive tokens, seconds.
+    pub tbt: Percentiles,
+    /// Completions per wall-clock second over the whole run.
+    pub goodput_rps: f64,
+    /// Total wall-clock time including the drain tail, seconds.
+    pub wall_secs: f64,
+    /// Most streams simultaneously in flight.
+    pub peak_concurrent: usize,
+}
+
+/// One in-flight request/stream.
+struct Conn {
+    sock: TcpStream,
+    /// Request bytes not yet written.
+    out: Vec<u8>,
+    written: usize,
+    parser: ResponseParser,
+    sse: SseParser,
+    started: Instant,
+    last_token: Option<Instant>,
+    ttft_secs: Option<f64>,
+    tbt_samples: Vec<f64>,
+    /// Terminal SSE state already recorded (done or error).
+    finished: Option<Outcome>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Outcome {
+    Completed,
+    Rejected(u16),
+    Aborted,
+    TransportError,
+}
+
+/// Runs the load and reports client-side latency and goodput.
+///
+/// # Errors
+///
+/// [`Error::Gateway`] for nonsensical parameters; individual connection
+/// failures are counted in the report, not raised.
+pub fn run(cfg: &LoadgenConfig) -> windserve::Result<LoadReport> {
+    if !(cfg.rate.is_finite() && cfg.rate > 0.0) {
+        return Err(Error::Gateway {
+            reason: format!("loadgen rate must be positive, got {}", cfg.rate),
+        });
+    }
+    if !(cfg.duration_secs.is_finite() && cfg.duration_secs > 0.0) {
+        return Err(Error::Gateway {
+            reason: format!(
+                "loadgen duration must be positive, got {}",
+                cfg.duration_secs
+            ),
+        });
+    }
+    let body = format!(
+        r#"{{"prompt_tokens": {}, "max_tokens": {}, "stream": true}}"#,
+        cfg.prompt_tokens.max(1),
+        cfg.output_tokens.max(1)
+    );
+    let request = HttpRequest::new("POST", "/v1/completions", body.into_bytes()).encode();
+    let process = ArrivalProcess::poisson(cfg.rate);
+    let mut rng = SimRng::seed_from_u64(cfg.seed);
+    // Pre-draw more gaps than the window can consume; top up if a hot
+    // server actually drains them all.
+    let mut gaps: VecDeque<f64> = process
+        .gaps((cfg.rate * cfg.duration_secs * 2.0) as usize + 64, &mut rng)
+        .into_iter()
+        .map(|g| g.as_secs_f64())
+        .collect();
+
+    let epoch = Instant::now();
+    let deadline = epoch + Duration::from_secs_f64(cfg.duration_secs);
+    // Streams alive at the deadline get a generous drain grace before the
+    // run is called off.
+    let drain_deadline = deadline + Duration::from_secs_f64(cfg.duration_secs.max(5.0) * 6.0);
+    let mut next_arrival = epoch + Duration::from_secs_f64(gaps.pop_front().unwrap_or(0.0));
+
+    let mut conns: Vec<Conn> = Vec::new();
+    let mut submitted = 0u64;
+    let mut counts = [0u64; 4]; // completed, 429, 503, aborted
+    let mut transport_errors = 0u64;
+    let mut ttfts: Vec<f64> = Vec::new();
+    let mut tbts: Vec<f64> = Vec::new();
+    let mut peak_concurrent = 0usize;
+    let mut buf = [0u8; 16 * 1024];
+
+    loop {
+        let now = Instant::now();
+        // Open-loop injection: fire every arrival whose time has come,
+        // regardless of backlog.
+        while now >= next_arrival && now < deadline {
+            submitted += 1;
+            match TcpStream::connect(&cfg.addr) {
+                Ok(sock) => {
+                    let _ = sock.set_nodelay(true);
+                    let _ = sock.set_nonblocking(true);
+                    conns.push(Conn {
+                        sock,
+                        out: request.clone(),
+                        written: 0,
+                        parser: ResponseParser::new(),
+                        sse: SseParser::new(),
+                        started: Instant::now(),
+                        last_token: None,
+                        ttft_secs: None,
+                        tbt_samples: Vec::new(),
+                        finished: None,
+                    });
+                }
+                Err(_) => transport_errors += 1,
+            }
+            let gap = gaps.pop_front().unwrap_or_else(|| {
+                gaps.extend(
+                    process
+                        .gaps(64, &mut rng)
+                        .into_iter()
+                        .map(|g| g.as_secs_f64()),
+                );
+                gaps.pop_front().unwrap_or(0.05)
+            });
+            next_arrival += Duration::from_secs_f64(gap);
+        }
+        peak_concurrent = peak_concurrent.max(conns.len());
+
+        let mut progressed = false;
+        conns.retain_mut(|conn| match sweep(conn, &mut buf) {
+            Sweep::KeepIdle => true,
+            Sweep::KeepProgress => {
+                progressed = true;
+                true
+            }
+            Sweep::Finish(outcome) => {
+                progressed = true;
+                match outcome {
+                    Outcome::Completed => {
+                        counts[0] += 1;
+                        if let Some(t) = conn.ttft_secs {
+                            ttfts.push(t);
+                        }
+                        tbts.append(&mut conn.tbt_samples);
+                    }
+                    Outcome::Rejected(429) => counts[1] += 1,
+                    Outcome::Rejected(_) => counts[2] += 1,
+                    Outcome::Aborted => counts[3] += 1,
+                    Outcome::TransportError => transport_errors += 1,
+                }
+                false
+            }
+        });
+
+        let now = Instant::now();
+        if now >= deadline && conns.is_empty() {
+            break;
+        }
+        if now >= drain_deadline {
+            transport_errors += conns.len() as u64;
+            conns.clear();
+            break;
+        }
+        if !progressed {
+            std::thread::sleep(Duration::from_micros(300));
+        }
+    }
+
+    let wall_secs = epoch.elapsed().as_secs_f64();
+    Ok(LoadReport {
+        submitted,
+        completed: counts[0],
+        rejected_429: counts[1],
+        rejected_503: counts[2],
+        aborted: counts[3],
+        transport_errors,
+        ttft: Percentiles::summarize(&ttfts),
+        tbt: Percentiles::summarize(&tbts),
+        goodput_rps: if wall_secs > 0.0 {
+            counts[0] as f64 / wall_secs
+        } else {
+            0.0
+        },
+        wall_secs,
+        peak_concurrent,
+    })
+}
+
+enum Sweep {
+    KeepIdle,
+    KeepProgress,
+    Finish(Outcome),
+}
+
+/// Advances one connection: flush pending request bytes, read whatever
+/// arrived, decode SSE events, decide whether the stream is over.
+fn sweep(conn: &mut Conn, buf: &mut [u8]) -> Sweep {
+    let mut progressed = false;
+    // Write the request (usually completes in one call on localhost).
+    while conn.written < conn.out.len() {
+        match conn.sock.write(&conn.out[conn.written..]) {
+            Ok(0) => return Sweep::Finish(Outcome::TransportError),
+            Ok(n) => {
+                conn.written += n;
+                progressed = true;
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+            Err(_) => return Sweep::Finish(Outcome::TransportError),
+        }
+    }
+    // Read whatever the server has produced.
+    loop {
+        match conn.sock.read(buf) {
+            Ok(0) => {
+                // Server closed: terminal state must already be known.
+                return Sweep::Finish(conn.finished.unwrap_or(Outcome::TransportError));
+            }
+            Ok(n) => {
+                progressed = true;
+                if conn.parser.feed(&buf[..n]).is_err() {
+                    return Sweep::Finish(Outcome::TransportError);
+                }
+                match conn.parser.status() {
+                    None => {}
+                    Some(200) => {
+                        let body = conn.parser.take_body();
+                        for ev in conn.sse.feed(&body) {
+                            if ev.event.as_deref() == Some("error") {
+                                conn.finished = Some(Outcome::Aborted);
+                            } else if ev.data == api::DONE_SENTINEL {
+                                conn.finished = Some(Outcome::Completed);
+                            } else {
+                                let now = Instant::now();
+                                if let Some(prev) = conn.last_token {
+                                    conn.tbt_samples
+                                        .push(now.duration_since(prev).as_secs_f64());
+                                } else {
+                                    conn.ttft_secs =
+                                        Some(now.duration_since(conn.started).as_secs_f64());
+                                }
+                                conn.last_token = Some(now);
+                            }
+                        }
+                    }
+                    // Non-200: drain to the end of the body, then record
+                    // the rejection (429/503 are the typed overload
+                    // answers; anything else is a transport error).
+                    Some(status) if conn.parser.is_done() => {
+                        let outcome = match status {
+                            429 | 503 => Outcome::Rejected(status),
+                            _ => Outcome::TransportError,
+                        };
+                        return Sweep::Finish(outcome);
+                    }
+                    Some(_) => {}
+                }
+                if conn.parser.is_done() {
+                    if let Some(outcome) = conn.finished {
+                        return Sweep::Finish(outcome);
+                    }
+                }
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+            Err(_) => return Sweep::Finish(Outcome::TransportError),
+        }
+    }
+    if progressed {
+        Sweep::KeepProgress
+    } else {
+        Sweep::KeepIdle
+    }
+}

@@ -1,0 +1,146 @@
+//! A bounded worker pool for connection handling.
+//!
+//! The acceptor hands each connection to the pool; when every worker is
+//! busy and the backlog is full, [`WorkerPool::try_execute`] refuses the
+//! job so the acceptor can answer `503` immediately instead of queueing
+//! unboundedly — overload at the transport layer stays visible, exactly
+//! like overload inside the simulated cluster.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+struct State {
+    jobs: VecDeque<Job>,
+    shutdown: bool,
+}
+
+struct Inner {
+    state: Mutex<State>,
+    wake: Condvar,
+    capacity: usize,
+}
+
+/// A fixed set of worker threads draining a bounded job queue.
+pub struct WorkerPool {
+    inner: Arc<Inner>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for WorkerPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkerPool")
+            .field("workers", &self.workers.len())
+            .field("capacity", &self.inner.capacity)
+            .finish()
+    }
+}
+
+impl WorkerPool {
+    /// Spawns `workers` threads sharing a queue of at most `capacity`
+    /// waiting jobs (both clamped to at least 1).
+    pub fn new(workers: usize, capacity: usize) -> Self {
+        let inner = Arc::new(Inner {
+            state: Mutex::new(State {
+                jobs: VecDeque::new(),
+                shutdown: false,
+            }),
+            wake: Condvar::new(),
+            capacity: capacity.max(1),
+        });
+        let workers = (0..workers.max(1))
+            .map(|i| {
+                let inner = Arc::clone(&inner);
+                std::thread::Builder::new()
+                    .name(format!("gw-worker-{i}"))
+                    .spawn(move || worker_loop(&inner))
+                    .expect("spawn worker")
+            })
+            .collect();
+        WorkerPool { inner, workers }
+    }
+
+    /// Queues a job, or returns `false` when the backlog is full (or the
+    /// pool is shutting down) — the caller decides how to shed.
+    pub fn try_execute(&self, job: impl FnOnce() + Send + 'static) -> bool {
+        let mut state = self.inner.state.lock().expect("pool lock");
+        if state.shutdown || state.jobs.len() >= self.inner.capacity {
+            return false;
+        }
+        state.jobs.push_back(Box::new(job));
+        drop(state);
+        self.inner.wake.notify_one();
+        true
+    }
+
+    /// Stops accepting work, drains queued jobs, and joins every worker.
+    pub fn shutdown(mut self) {
+        {
+            let mut state = self.inner.state.lock().expect("pool lock");
+            state.shutdown = true;
+        }
+        self.inner.wake.notify_all();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn worker_loop(inner: &Inner) {
+    loop {
+        let job = {
+            let mut state = inner.state.lock().expect("pool lock");
+            loop {
+                if let Some(job) = state.jobs.pop_front() {
+                    break job;
+                }
+                if state.shutdown {
+                    return;
+                }
+                state = inner.wake.wait(state).expect("pool lock");
+            }
+        };
+        job();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::mpsc;
+
+    #[test]
+    fn jobs_run_and_shutdown_joins() {
+        let pool = WorkerPool::new(4, 64);
+        let counter = Arc::new(AtomicUsize::new(0));
+        for _ in 0..50 {
+            let counter = Arc::clone(&counter);
+            assert!(pool.try_execute(move || {
+                counter.fetch_add(1, Ordering::SeqCst);
+            }));
+        }
+        pool.shutdown();
+        assert_eq!(counter.load(Ordering::SeqCst), 50);
+    }
+
+    #[test]
+    fn full_backlog_refuses_rather_than_queues() {
+        // One worker blocked on a channel; capacity 1 means the second
+        // queued job fills the backlog and the third is refused.
+        let pool = WorkerPool::new(1, 1);
+        let (block_tx, block_rx) = mpsc::channel::<()>();
+        let (entered_tx, entered_rx) = mpsc::channel::<()>();
+        assert!(pool.try_execute(move || {
+            entered_tx.send(()).unwrap();
+            block_rx.recv().unwrap();
+        }));
+        entered_rx.recv().unwrap();
+        assert!(pool.try_execute(|| {}));
+        assert!(!pool.try_execute(|| {}), "backlog must be bounded");
+        block_tx.send(()).unwrap();
+        pool.shutdown();
+    }
+}

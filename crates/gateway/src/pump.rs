@@ -1,0 +1,245 @@
+//! The stream pump: one thread that owns every open SSE socket.
+//!
+//! Worker threads hand streaming sockets off here after writing the
+//! response head, so a thousand idle streams cost one thread, not a
+//! thousand. The driver pushes ready-framed bytes by stream id; the pump
+//! writes them with non-blocking sockets, buffering what the kernel
+//! won't take yet.
+//!
+//! Backpressure: a stream whose client reads too slowly accumulates
+//! buffered frames; past [`MAX_BUFFERED_BYTES`] the pump drops the whole
+//! stream (closing the socket) rather than letting one slow consumer
+//! grow the process without bound. Frames pushed before the socket is
+//! registered are buffered the same way, so the driver may start
+//! streaming tokens the instant a request is admitted.
+
+use std::collections::HashMap;
+use std::io::Write;
+use std::net::TcpStream;
+use std::sync::mpsc::{self, Receiver, RecvTimeoutError, Sender};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Per-stream cap on bytes buffered for a slow client.
+pub const MAX_BUFFERED_BYTES: usize = 256 * 1024;
+
+/// One unit of work for a stream.
+#[derive(Debug)]
+pub enum Frame {
+    /// Raw response bytes (already HTTP-chunk framed).
+    Data(Vec<u8>),
+    /// Flush whatever is buffered, then close the socket.
+    Close,
+}
+
+#[derive(Debug)]
+enum Msg {
+    Register(u64, TcpStream),
+    Push(u64, Frame),
+    Shutdown,
+}
+
+#[derive(Debug, Default)]
+struct StreamState {
+    sock: Option<TcpStream>,
+    /// Bytes accepted but not yet written to the socket.
+    buf: Vec<u8>,
+    /// How many leading bytes of `buf` are already written.
+    written: usize,
+    /// A `Close` frame has been received: tear down once drained.
+    closing: bool,
+    /// The stream was dropped (overflow or socket error) — discard
+    /// further frames silently.
+    dead: bool,
+}
+
+/// Cloneable sender half used by the driver and the HTTP workers.
+#[derive(Debug, Clone)]
+pub struct PumpHandle {
+    tx: Sender<Msg>,
+}
+
+impl PumpHandle {
+    /// Attaches the socket for `stream`; buffered frames flush to it.
+    pub fn register(&self, stream: u64, sock: TcpStream) {
+        let _ = self.tx.send(Msg::Register(stream, sock));
+    }
+
+    /// Queues a frame for `stream` (before or after registration).
+    pub fn push(&self, stream: u64, frame: Frame) {
+        let _ = self.tx.send(Msg::Push(stream, frame));
+    }
+}
+
+/// The pump thread and its handle factory.
+#[derive(Debug)]
+pub struct StreamPump {
+    tx: Sender<Msg>,
+    thread: Option<JoinHandle<()>>,
+}
+
+impl StreamPump {
+    /// Spawns the pump thread.
+    pub fn new() -> Self {
+        let (tx, rx) = mpsc::channel();
+        let thread = std::thread::Builder::new()
+            .name("gw-pump".to_string())
+            .spawn(move || pump_loop(&rx))
+            .expect("spawn pump");
+        StreamPump {
+            tx,
+            thread: Some(thread),
+        }
+    }
+
+    /// A cloneable handle for pushing frames and registering sockets.
+    pub fn handle(&self) -> PumpHandle {
+        PumpHandle {
+            tx: self.tx.clone(),
+        }
+    }
+
+    /// Flushes what can be flushed promptly and joins the thread.
+    pub fn shutdown(mut self) {
+        let _ = self.tx.send(Msg::Shutdown);
+        if let Some(thread) = self.thread.take() {
+            let _ = thread.join();
+        }
+    }
+}
+
+impl Default for StreamPump {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+fn pump_loop(rx: &Receiver<Msg>) {
+    let mut streams: HashMap<u64, StreamState> = HashMap::new();
+    loop {
+        // Take one message (with a small poll interval so pending writes
+        // retry), then drain everything else that is already queued.
+        let first = rx.recv_timeout(Duration::from_millis(1));
+        let mut shutdown = false;
+        let apply = |msg: Msg, streams: &mut HashMap<u64, StreamState>| match msg {
+            Msg::Register(id, sock) => {
+                let _ = sock.set_nonblocking(true);
+                let state = streams.entry(id).or_default();
+                if state.dead {
+                    return;
+                }
+                state.sock = Some(sock);
+            }
+            Msg::Push(id, frame) => {
+                let state = streams.entry(id).or_default();
+                if state.dead {
+                    return;
+                }
+                match frame {
+                    Frame::Data(bytes) => {
+                        if state.buf.len() - state.written + bytes.len() > MAX_BUFFERED_BYTES {
+                            // Slow consumer: drop the stream, not the heap.
+                            state.dead = true;
+                            state.sock = None;
+                            state.buf.clear();
+                        } else {
+                            state.buf.extend_from_slice(&bytes);
+                        }
+                    }
+                    Frame::Close => state.closing = true,
+                }
+            }
+            Msg::Shutdown => {}
+        };
+        match first {
+            Ok(Msg::Shutdown) => shutdown = true,
+            Ok(msg) => apply(msg, &mut streams),
+            Err(RecvTimeoutError::Timeout) => {}
+            Err(RecvTimeoutError::Disconnected) => shutdown = true,
+        }
+        if !shutdown {
+            while let Ok(msg) = rx.try_recv() {
+                if matches!(msg, Msg::Shutdown) {
+                    shutdown = true;
+                    break;
+                }
+                apply(msg, &mut streams);
+            }
+        }
+        // Write what the kernel will take.
+        streams.retain(|_, state| flush_stream(state));
+        if shutdown {
+            // Best-effort final flush for streams that are already
+            // drainable, then stop.
+            streams.retain(|_, state| flush_stream(state));
+            return;
+        }
+    }
+}
+
+/// Attempts to write a stream's pending bytes. Returns `false` when the
+/// stream is finished (drained + closing, dead, or the socket failed)
+/// and should be dropped from the table.
+fn flush_stream(state: &mut StreamState) -> bool {
+    if state.dead {
+        return false;
+    }
+    let Some(sock) = state.sock.as_mut() else {
+        // Not registered yet; keep buffering.
+        return true;
+    };
+    while state.written < state.buf.len() {
+        match sock.write(&state.buf[state.written..]) {
+            Ok(0) => {
+                state.dead = true;
+                return false;
+            }
+            Ok(n) => state.written += n,
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(_) => {
+                state.dead = true;
+                return false;
+            }
+        }
+    }
+    if state.written == state.buf.len() {
+        state.buf.clear();
+        state.written = 0;
+        if state.closing {
+            let _ = sock.shutdown(std::net::Shutdown::Write);
+            return false;
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Read;
+    use std::net::TcpListener;
+
+    #[test]
+    fn frames_buffered_before_registration_arrive_in_order() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let pump = StreamPump::new();
+        let handle = pump.handle();
+        // Push before the socket exists: pre-registration buffering.
+        handle.push(7, Frame::Data(b"first ".to_vec()));
+        handle.push(7, Frame::Data(b"second".to_vec()));
+        let client = TcpStream::connect(addr).unwrap();
+        let (server_side, _) = listener.accept().unwrap();
+        handle.register(7, server_side);
+        handle.push(7, Frame::Close);
+        let mut got = String::new();
+        let mut reader = client;
+        reader
+            .set_read_timeout(Some(Duration::from_secs(5)))
+            .unwrap();
+        reader.read_to_string(&mut got).unwrap();
+        pump.shutdown();
+        assert_eq!(got, "first second");
+    }
+}

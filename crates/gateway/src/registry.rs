@@ -1,0 +1,216 @@
+//! Control-plane registry: nodes, endpoints, and the versioned placement
+//! plan behind `GET /v1/cluster/status`.
+//!
+//! These are the static half of the control plane (derived from the
+//! [`ServeConfig`] at startup); the live half — KV pressure, queue
+//! depths, goodput — comes from the driver's
+//! [`SessionSnapshot`](windserve::SessionSnapshot) and is merged into the
+//! same response by the server.
+
+use serde::{Deserialize, Serialize};
+use windserve::ServeConfig;
+use windserve_gpu::GpuId;
+
+/// One GPU of a node, with its memory accounting in MiB.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GpuStatus {
+    /// GPU index within the cluster.
+    pub index: usize,
+    /// Total device memory, MiB.
+    pub memory_total_mb: u64,
+}
+
+/// One node of the serving cluster.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NodeStatus {
+    /// Node identifier (`node-0`, ...).
+    pub node_id: String,
+    /// The GPUs on this node.
+    pub gpus: Vec<GpuStatus>,
+}
+
+/// One serving endpoint (an engine instance) in the registry.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EndpointInfo {
+    /// Endpoint identifier — the instance name (`prefill-0`, ...).
+    pub endpoint_id: String,
+    /// Replica index within its phase.
+    pub replica_id: usize,
+    /// Phase served: `prefill`, `decode`, or `colocated`.
+    pub phase: String,
+    /// The node hosting the replica's first GPU.
+    pub node_id: String,
+    /// Wire API the endpoint speaks.
+    pub api_flavor: String,
+    /// The placement-plan version that created this endpoint.
+    pub plan_version: u64,
+}
+
+/// One replica's placement within the plan.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PlacementAssignment {
+    /// Endpoint this assignment realizes.
+    pub endpoint_id: String,
+    /// The node hosting the replica's first GPU.
+    pub node_id: String,
+    /// Cluster GPU indices assigned to the replica.
+    pub gpu_indices: Vec<usize>,
+}
+
+/// A versioned placement of every replica onto the GPU pool.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PlacementPlan {
+    /// The served model.
+    pub model_uid: String,
+    /// Monotone plan version; bumped whenever placement changes.
+    pub version: u64,
+    /// Per-replica assignments.
+    pub assignments: Vec<PlacementAssignment>,
+}
+
+/// The static control-plane view of one deployment.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Registry {
+    /// Cluster nodes and their GPUs.
+    pub nodes: Vec<NodeStatus>,
+    /// Registered serving endpoints.
+    pub endpoints: Vec<EndpointInfo>,
+    /// The current placement plan.
+    pub placement: PlacementPlan,
+}
+
+impl Registry {
+    /// Derives the registry from a validated [`ServeConfig`], mirroring
+    /// the instance layout the [`Cluster`](windserve::Cluster) builds:
+    /// prefill replicas first, then decode replicas (or `colocated-i`
+    /// replicas for colocated systems), GPUs assigned contiguously.
+    pub fn from_config(cfg: &ServeConfig) -> Self {
+        let topo = &cfg.topology;
+        let mut nodes: Vec<NodeStatus> = (0..topo.n_nodes())
+            .map(|n| NodeStatus {
+                node_id: format!("node-{n}"),
+                gpus: Vec::new(),
+            })
+            .collect();
+        for g in 0..topo.n_gpus() {
+            let node = topo.node_of(GpuId(g));
+            // Prefill replicas may run a different GPU type; memory below
+            // reflects the default pool, which is what capacity planning
+            // reads.
+            nodes[node].gpus.push(GpuStatus {
+                index: g,
+                memory_total_mb: cfg.gpu.memory_bytes / (1 << 20),
+            });
+        }
+        let version = 1;
+        let mut endpoints = Vec::new();
+        let mut assignments = Vec::new();
+        let mut next_gpu = 0usize;
+        let mut place = |name: String, replica_id: usize, phase: &str, n_gpus: usize| {
+            let gpu_indices: Vec<usize> = (next_gpu..next_gpu + n_gpus)
+                .map(|g| g % topo.n_gpus().max(1))
+                .collect();
+            next_gpu += n_gpus;
+            let node_id = format!(
+                "node-{}",
+                topo.node_of(GpuId(
+                    *gpu_indices.first().unwrap_or(&0) % topo.n_gpus().max(1)
+                ))
+            );
+            endpoints.push(EndpointInfo {
+                endpoint_id: name.clone(),
+                replica_id,
+                phase: phase.to_string(),
+                node_id: node_id.clone(),
+                api_flavor: "openai-completions".to_string(),
+                plan_version: version,
+            });
+            assignments.push(PlacementAssignment {
+                endpoint_id: name,
+                node_id,
+                gpu_indices,
+            });
+        };
+        if cfg.system.colocated() {
+            let n = cfg.prefill_replicas.max(cfg.decode_replicas).max(1);
+            for i in 0..n {
+                place(
+                    format!("colocated-{i}"),
+                    i,
+                    "colocated",
+                    cfg.decode_parallelism.n_gpus(),
+                );
+            }
+        } else {
+            for i in 0..cfg.prefill_replicas {
+                place(
+                    format!("prefill-{i}"),
+                    i,
+                    "prefill",
+                    cfg.prefill_parallelism.n_gpus(),
+                );
+            }
+            for i in 0..cfg.decode_replicas {
+                place(
+                    format!("decode-{i}"),
+                    i,
+                    "decode",
+                    cfg.decode_parallelism.n_gpus(),
+                );
+            }
+        }
+        Registry {
+            nodes,
+            endpoints,
+            placement: PlacementPlan {
+                model_uid: cfg.model.name.clone(),
+                version,
+                assignments,
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use windserve::SystemKind;
+
+    #[test]
+    fn registry_mirrors_the_paper_default_layout() {
+        let cfg = ServeConfig::opt_13b_sharegpt(SystemKind::WindServe);
+        let reg = Registry::from_config(&cfg);
+        assert!(!reg.nodes.is_empty());
+        let total_gpus: usize = reg.nodes.iter().map(|n| n.gpus.len()).sum();
+        assert_eq!(total_gpus, cfg.topology.n_gpus());
+        assert_eq!(
+            reg.endpoints.len(),
+            cfg.prefill_replicas + cfg.decode_replicas
+        );
+        assert_eq!(reg.endpoints[0].endpoint_id, "prefill-0");
+        assert_eq!(reg.placement.version, 1);
+        assert_eq!(reg.placement.assignments.len(), reg.endpoints.len());
+        // Every assignment consumes the replica's full parallel degree.
+        assert_eq!(
+            reg.placement.assignments[0].gpu_indices.len(),
+            cfg.prefill_parallelism.n_gpus()
+        );
+    }
+
+    #[test]
+    fn colocated_systems_register_colocated_endpoints() {
+        let cfg = ServeConfig::opt_13b_sharegpt(SystemKind::VllmColocated);
+        let reg = Registry::from_config(&cfg);
+        assert!(reg.endpoints.iter().all(|e| e.phase == "colocated"));
+        assert!(reg.endpoints[0].endpoint_id.starts_with("colocated-"));
+    }
+
+    #[test]
+    fn registry_serializes_to_json() {
+        let cfg = ServeConfig::opt_13b_sharegpt(SystemKind::WindServe);
+        let reg = Registry::from_config(&cfg);
+        let v = serde_json::to_value(&reg);
+        assert!(v["nodes"].as_array().is_some());
+        assert_eq!(v["placement"]["version"].as_u64(), Some(1));
+    }
+}

@@ -1,0 +1,371 @@
+//! The gateway server: listener, routing, and the data-plane glue
+//! between HTTP connections and the [`SimDriver`].
+//!
+//! Threading model: one acceptor thread, a bounded [`WorkerPool`] that
+//! parses requests and writes response heads, one [`StreamPump`] thread
+//! that owns every open SSE socket, and one driver thread that owns the
+//! simulation. A worker is occupied only for the life of a request's
+//! *head* — a streaming response parks its socket on the pump and frees
+//! the worker immediately, which is how a small pool sustains thousands
+//! of concurrent streams.
+
+use std::io::{BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc};
+use std::thread::JoinHandle;
+
+use serde_json::Value;
+use windserve::{Error, ServeConfig};
+
+use crate::api::{self, CompletionRequest};
+use crate::driver::{DriverHandle, DriverReport, SimDriver, Sink, StreamUpdate, SubmitError};
+use crate::envelope::json_envelope;
+use crate::http::{self, HttpRequest};
+use crate::pool::WorkerPool;
+use crate::pump::{PumpHandle, StreamPump};
+use crate::registry::Registry;
+
+/// How the gateway is stood up.
+#[derive(Debug, Clone)]
+pub struct GatewayConfig {
+    /// The simulated deployment to serve.
+    pub cfg: ServeConfig,
+    /// Bind address (`127.0.0.1` unless exposing deliberately).
+    pub addr: String,
+    /// Bind port; `0` picks an ephemeral port (read it back via
+    /// [`Gateway::addr`]).
+    pub port: u16,
+    /// Worker threads parsing requests and writing response heads.
+    pub workers: usize,
+    /// Virtual seconds simulated per real second.
+    pub time_scale: f64,
+}
+
+impl GatewayConfig {
+    /// A localhost gateway over `cfg` with an ephemeral port, four
+    /// workers, and a 100× time scale.
+    pub fn local(cfg: ServeConfig) -> Self {
+        GatewayConfig {
+            cfg,
+            addr: "127.0.0.1".to_string(),
+            port: 0,
+            workers: 4,
+            time_scale: 100.0,
+        }
+    }
+}
+
+/// Everything a worker needs to answer a request.
+struct Ctx {
+    handle: DriverHandle,
+    pump: PumpHandle,
+    /// Static control-plane registry, serialized once at startup.
+    registry: Value,
+    /// The served model's context limit; requests that cannot fit are
+    /// rejected with `400` (an unschedulable request would never finish).
+    max_context: u32,
+    /// Pump stream ids (decoupled from request ids, which the driver
+    /// assigns after submission).
+    next_stream: AtomicU64,
+}
+
+/// A running gateway: listener + workers + pump + driver.
+pub struct Gateway {
+    local_addr: std::net::SocketAddr,
+    stop: Arc<AtomicBool>,
+    acceptor: Option<JoinHandle<WorkerPool>>,
+    pump: StreamPump,
+    driver: SimDriver,
+}
+
+impl std::fmt::Debug for Gateway {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Gateway")
+            .field("local_addr", &self.local_addr)
+            .finish()
+    }
+}
+
+impl Gateway {
+    /// Builds the cluster, binds the listener, and starts serving.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Gateway`] when the listener cannot bind; cluster
+    /// construction errors pass through.
+    pub fn start(gw: GatewayConfig) -> windserve::Result<Gateway> {
+        let registry = serde_json::to_value(&Registry::from_config(&gw.cfg));
+        let max_context = gw.cfg.model.max_context;
+        let driver = SimDriver::spawn(gw.cfg, gw.time_scale)?;
+        let pump = StreamPump::new();
+        let listener =
+            TcpListener::bind((gw.addr.as_str(), gw.port)).map_err(|e| Error::Gateway {
+                reason: format!("bind {}:{}: {e}", gw.addr, gw.port),
+            })?;
+        let local_addr = listener.local_addr().map_err(|e| Error::Gateway {
+            reason: format!("local_addr: {e}"),
+        })?;
+        let ctx = Arc::new(Ctx {
+            handle: driver.handle(),
+            pump: pump.handle(),
+            registry,
+            max_context,
+            next_stream: AtomicU64::new(0),
+        });
+        let stop = Arc::new(AtomicBool::new(false));
+        let pool = WorkerPool::new(gw.workers, gw.workers.saturating_mul(64).max(64));
+        let acceptor = {
+            let stop = Arc::clone(&stop);
+            std::thread::Builder::new()
+                .name("gw-accept".to_string())
+                .spawn(move || accept_loop(&listener, &stop, pool, &ctx))
+                .map_err(|e| Error::Gateway {
+                    reason: format!("spawn acceptor: {e}"),
+                })?
+        };
+        Ok(Gateway {
+            local_addr,
+            stop,
+            acceptor: Some(acceptor),
+            pump,
+            driver,
+        })
+    }
+
+    /// The bound address (resolves port `0`).
+    pub fn addr(&self) -> std::net::SocketAddr {
+        self.local_addr
+    }
+
+    /// A submission/status handle to the underlying driver (used by
+    /// in-process clients and tests).
+    pub fn driver_handle(&self) -> DriverHandle {
+        self.driver.handle()
+    }
+
+    /// Stops accepting, drains workers and in-flight simulation work,
+    /// and returns the driver's final accounting.
+    pub fn shutdown(mut self) -> DriverReport {
+        self.stop.store(true, Ordering::SeqCst);
+        // Unblock the acceptor's `accept()` with a throwaway connection.
+        let _ = TcpStream::connect(self.local_addr);
+        if let Some(acceptor) = self.acceptor.take() {
+            if let Ok(pool) = acceptor.join() {
+                pool.shutdown();
+            }
+        }
+        let report = self.driver.shutdown();
+        self.pump.shutdown();
+        report
+    }
+}
+
+fn accept_loop(
+    listener: &TcpListener,
+    stop: &AtomicBool,
+    pool: WorkerPool,
+    ctx: &Arc<Ctx>,
+) -> WorkerPool {
+    for conn in listener.incoming() {
+        if stop.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(mut sock) = conn else { continue };
+        let Ok(job_sock) = sock.try_clone() else {
+            continue;
+        };
+        let ctx = Arc::clone(ctx);
+        let accepted = pool.try_execute(Box::new(move || handle_connection(job_sock, &ctx)));
+        if !accepted {
+            // The worker backlog is full: overload of the *gateway*
+            // itself, answered inline so the client is not left hanging.
+            let _ = sock.write_all(&http::simple_response(
+                503,
+                "application/json",
+                &api::error_body(503, "overloaded", "gateway worker backlog is full"),
+            ));
+        }
+    }
+    pool
+}
+
+/// Serves one connection: one request, one response, close.
+fn handle_connection(sock: TcpStream, ctx: &Ctx) {
+    let Ok(read_half) = sock.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(read_half);
+    let mut sock = sock;
+    let req = match http::read_request(&mut reader) {
+        Ok(Some(req)) => req,
+        Ok(None) => return,
+        Err(e) => {
+            let _ = sock.write_all(&http::simple_response(
+                400,
+                "application/json",
+                &api::error_body(400, "bad-request", &e.0),
+            ));
+            return;
+        }
+    };
+    match (req.method.as_str(), req.path()) {
+        ("GET", "/healthz") => {
+            let _ = sock.write_all(&http::simple_response(
+                200,
+                "application/json",
+                br#"{"status":"ok"}"#,
+            ));
+        }
+        ("GET", "/v1/cluster/status") => handle_status(&mut sock, ctx),
+        ("POST", "/v1/completions") => handle_completion(sock, &req, ctx),
+        (_, "/healthz" | "/v1/cluster/status" | "/v1/completions") => {
+            let _ = sock.write_all(&http::simple_response(
+                405,
+                "application/json",
+                &api::error_body(405, "method-not-allowed", "wrong method for this path"),
+            ));
+        }
+        _ => {
+            let _ = sock.write_all(&http::simple_response(
+                404,
+                "application/json",
+                &api::error_body(404, "not-found", "unknown path"),
+            ));
+        }
+    }
+}
+
+/// `GET /v1/cluster/status`: live snapshot + static registry, wrapped in
+/// the shared envelope.
+fn handle_status(sock: &mut TcpStream, ctx: &Ctx) {
+    let Some(snapshot) = ctx.handle.snapshot() else {
+        let _ = sock.write_all(&http::simple_response(
+            503,
+            "application/json",
+            &api::error_body(503, "unavailable", "the simulation driver is gone"),
+        ));
+        return;
+    };
+    let report = serde_json::json!({
+        "snapshot": serde_json::to_value(&snapshot),
+        "nodes": ctx.registry["nodes"].clone(),
+        "endpoints": ctx.registry["endpoints"].clone(),
+        "placement": ctx.registry["placement"].clone(),
+    });
+    let body = serde_json::to_string(&json_envelope("cluster-status", report)).unwrap_or_default();
+    let _ = sock.write_all(&http::simple_response(
+        200,
+        "application/json",
+        body.as_bytes(),
+    ));
+}
+
+/// `POST /v1/completions`: admission, then either a parked SSE stream or
+/// a blocking unary response.
+fn handle_completion(mut sock: TcpStream, req: &HttpRequest, ctx: &Ctx) {
+    let creq = match CompletionRequest::from_json(&req.body) {
+        Ok(creq) => creq,
+        Err(reason) => {
+            let _ = sock.write_all(&http::simple_response(
+                400,
+                "application/json",
+                &api::error_body(400, "bad-request", &reason),
+            ));
+            return;
+        }
+    };
+    if creq.prompt_tokens.saturating_add(creq.max_tokens) > ctx.max_context {
+        let _ = sock.write_all(&http::simple_response(
+            400,
+            "application/json",
+            &api::error_body(
+                400,
+                "context-overflow",
+                &format!(
+                    "prompt_tokens + max_tokens exceeds the model context of {}",
+                    ctx.max_context
+                ),
+            ),
+        ));
+        return;
+    }
+    if creq.stream {
+        let stream = ctx.next_stream.fetch_add(1, Ordering::Relaxed);
+        let sink = Sink::Pump {
+            pump: ctx.pump.clone(),
+            stream,
+        };
+        match ctx
+            .handle
+            .submit(creq.prompt_tokens, creq.max_tokens, creq.tier, sink)
+        {
+            Ok(_) => {
+                if sock.write_all(&http::sse_response_head()).is_ok() {
+                    ctx.pump.register(stream, sock);
+                }
+                // Token frames queued before registration are buffered by
+                // the pump; the worker is free as soon as the head is out.
+            }
+            Err(e) => write_submit_error(&mut sock, &e),
+        }
+    } else {
+        let (tx, rx) = mpsc::channel();
+        match ctx.handle.submit(
+            creq.prompt_tokens,
+            creq.max_tokens,
+            creq.tier,
+            Sink::Channel(tx),
+        ) {
+            Ok(id) => loop {
+                match rx.recv() {
+                    Ok(StreamUpdate::Token { .. }) => {}
+                    Ok(StreamUpdate::Done {
+                        tokens,
+                        ttft_virtual_secs,
+                        latency_virtual_secs,
+                    }) => {
+                        let body = api::completion_body(
+                            id,
+                            creq.prompt_tokens,
+                            tokens,
+                            ttft_virtual_secs,
+                            latency_virtual_secs,
+                        );
+                        let _ =
+                            sock.write_all(&http::simple_response(200, "application/json", &body));
+                        return;
+                    }
+                    Ok(StreamUpdate::Aborted { reason }) => {
+                        let _ = sock.write_all(&http::simple_response(
+                            reason.http_status(),
+                            "application/json",
+                            &api::drop_body(reason),
+                        ));
+                        return;
+                    }
+                    Err(_) => {
+                        let _ = sock.write_all(&http::simple_response(
+                            503,
+                            "application/json",
+                            &api::error_body(503, "unavailable", "driver went away"),
+                        ));
+                        return;
+                    }
+                }
+            },
+            Err(e) => write_submit_error(&mut sock, &e),
+        }
+    }
+}
+
+fn write_submit_error(sock: &mut TcpStream, err: &SubmitError) {
+    let (status, body) = match err {
+        SubmitError::Dropped(reason) => (reason.http_status(), api::drop_body(*reason)),
+        SubmitError::Unavailable => (
+            503u16,
+            api::error_body(503, "unavailable", "the gateway is shutting down"),
+        ),
+    };
+    let _ = sock.write_all(&http::simple_response(status, "application/json", &body));
+}

@@ -1,0 +1,177 @@
+//! Server-Sent Events framing: encoding for the gateway's token streams
+//! and an incremental parser for the load generator and tests.
+
+/// One server-sent event: an optional event name and a data payload.
+/// Multi-line data round-trips as multiple `data:` lines, per the spec.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SseEvent {
+    /// The `event:` field, if any.
+    pub event: Option<String>,
+    /// The `data:` payload (lines joined with `\n`).
+    pub data: String,
+}
+
+impl SseEvent {
+    /// A plain data-only event.
+    pub fn data(data: impl Into<String>) -> Self {
+        SseEvent {
+            event: None,
+            data: data.into(),
+        }
+    }
+
+    /// A named event.
+    pub fn named(event: impl Into<String>, data: impl Into<String>) -> Self {
+        SseEvent {
+            event: Some(event.into()),
+            data: data.into(),
+        }
+    }
+
+    /// Wire encoding, terminated by the blank line that ends an event.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = String::new();
+        if let Some(name) = &self.event {
+            out.push_str("event: ");
+            out.push_str(name);
+            out.push('\n');
+        }
+        for line in self.data.split('\n') {
+            out.push_str("data: ");
+            out.push_str(line);
+            out.push('\n');
+        }
+        out.push('\n');
+        out.into_bytes()
+    }
+}
+
+/// Incremental SSE stream parser: feed decoded body bytes as they arrive
+/// and take complete events out. Partial events stay buffered until the
+/// terminating blank line shows up.
+#[derive(Debug, Default)]
+pub struct SseParser {
+    buf: String,
+}
+
+impl SseParser {
+    /// An empty parser.
+    pub fn new() -> Self {
+        SseParser::default()
+    }
+
+    /// Feeds bytes (lossily decoded as UTF-8) and returns every event
+    /// completed by them, in stream order.
+    pub fn feed(&mut self, bytes: &[u8]) -> Vec<SseEvent> {
+        self.buf.push_str(&String::from_utf8_lossy(bytes));
+        let mut events = Vec::new();
+        // An event ends at a blank line; tolerate \r\n line endings.
+        while let Some(pos) = find_blank_line(&self.buf) {
+            let (block, rest_at) = pos;
+            let block_text = self.buf[..block].to_string();
+            self.buf.drain(..rest_at);
+            if let Some(ev) = parse_block(&block_text) {
+                events.push(ev);
+            }
+        }
+        events
+    }
+}
+
+/// Finds the first blank-line event boundary; returns (end of block,
+/// start of the remainder).
+fn find_blank_line(buf: &str) -> Option<(usize, usize)> {
+    let bytes = buf.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i] == b'\n' {
+            // "\n\n"
+            if bytes.get(i + 1) == Some(&b'\n') {
+                return Some((i + 1, i + 2));
+            }
+            // "\n\r\n"
+            if bytes.get(i + 1) == Some(&b'\r') && bytes.get(i + 2) == Some(&b'\n') {
+                return Some((i + 1, i + 3));
+            }
+        }
+        i += 1;
+    }
+    None
+}
+
+/// Parses one event block (no trailing blank line). Comment-only blocks
+/// (lines starting with `:`) yield `None`.
+fn parse_block(block: &str) -> Option<SseEvent> {
+    let mut event = None;
+    let mut data_lines: Vec<&str> = Vec::new();
+    let mut saw_field = false;
+    for raw in block.split('\n') {
+        let line = raw.strip_suffix('\r').unwrap_or(raw);
+        if line.is_empty() || line.starts_with(':') {
+            continue;
+        }
+        let (field, value) = match line.split_once(':') {
+            Some((f, v)) => (f, v.strip_prefix(' ').unwrap_or(v)),
+            None => (line, ""),
+        };
+        match field {
+            "event" => {
+                event = Some(value.to_string());
+                saw_field = true;
+            }
+            "data" => {
+                data_lines.push(value);
+                saw_field = true;
+            }
+            _ => {}
+        }
+    }
+    if !saw_field {
+        return None;
+    }
+    Some(SseEvent {
+        event,
+        data: data_lines.join("\n"),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_round_trip() {
+        let events = vec![
+            SseEvent::data("{\"token\":1}"),
+            SseEvent::named("error", "deadline-exceeded"),
+            SseEvent::data("line1\nline2"),
+            SseEvent::data("[DONE]"),
+        ];
+        let mut wire = Vec::new();
+        for ev in &events {
+            wire.extend_from_slice(&ev.encode());
+        }
+        let mut parser = SseParser::new();
+        // Byte-at-a-time feeding must reassemble the identical events.
+        let mut parsed = Vec::new();
+        for b in &wire {
+            parsed.extend(parser.feed(std::slice::from_ref(b)));
+        }
+        assert_eq!(parsed, events);
+    }
+
+    #[test]
+    fn comments_and_unknown_fields_are_skipped() {
+        let mut parser = SseParser::new();
+        let got = parser.feed(b": keepalive\n\nid: 7\ndata: x\n\n");
+        assert_eq!(got, vec![SseEvent::data("x")]);
+    }
+
+    #[test]
+    fn partial_events_wait_for_the_blank_line() {
+        let mut parser = SseParser::new();
+        assert!(parser.feed(b"data: half").is_empty());
+        let got = parser.feed(b"-done\n\n");
+        assert_eq!(got, vec![SseEvent::data("half-done")]);
+    }
+}

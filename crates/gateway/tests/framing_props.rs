@@ -1,0 +1,128 @@
+//! Property tests for the hand-rolled wire framing: HTTP requests must
+//! survive an encode → parse round trip, and SSE event streams must
+//! survive SSE-encode → chunk-encode → incremental-decode → SSE-parse
+//! under arbitrary packetization.
+
+use std::io::BufReader;
+
+use proptest::prelude::*;
+use windserve_gateway::http::{
+    encode_chunk, read_request, HttpRequest, ResponseParser, LAST_CHUNK,
+};
+use windserve_gateway::sse::{SseEvent, SseParser};
+
+/// A string drawn from `alphabet` with length in `len`.
+fn string_of(
+    alphabet: &'static [u8],
+    len: std::ops::Range<usize>,
+) -> impl Strategy<Value = String> {
+    proptest::collection::vec(0usize..alphabet.len(), len)
+        .prop_map(move |idx| idx.into_iter().map(|i| alphabet[i] as char).collect())
+}
+
+fn header_name() -> impl Strategy<Value = String> {
+    string_of(
+        b"abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ-0123456789",
+        1..16,
+    )
+}
+
+/// Header values: printable ASCII minus `:`; parsing trims surrounding
+/// whitespace, so values are generated without edge spaces.
+fn header_value() -> impl Strategy<Value = String> {
+    string_of(
+        b"abcdefghijklmnopqrstuvwxyz0123456789 _./=,;()[]{}!#$%&'*+^`|~\"",
+        0..24,
+    )
+    .prop_map(|s| s.trim().to_string())
+}
+
+fn method() -> impl Strategy<Value = String> {
+    prop_oneof![
+        Just("GET".to_string()),
+        Just("POST".to_string()),
+        Just("PUT".to_string()),
+        Just("DELETE".to_string()),
+    ]
+}
+
+fn target() -> impl Strategy<Value = String> {
+    string_of(b"abcdefghijklmnopqrstuvwxyz0123456789/._-?=&", 0..32).prop_map(|s| format!("/{s}"))
+}
+
+/// SSE payloads: printable ASCII (multi-line payloads are covered by the
+/// unit tests; the property here is framing survival, not escaping).
+fn payload() -> impl Strategy<Value = String> {
+    string_of(
+        b"abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789 {}:\",._-[]",
+        1..40,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn http_requests_round_trip_through_wire_bytes(
+        method in method(),
+        target in target(),
+        headers in proptest::collection::vec((header_name(), header_value()), 0..8),
+        body in proptest::collection::vec(0u8..=255, 0..512),
+    ) {
+        let mut req = HttpRequest::new(&method, &target, body);
+        // `Content-Length` is appended by encode(), and header lookup is
+        // first-match, so keep one value per (case-insensitive) name.
+        let mut seen = std::collections::HashSet::new();
+        req.headers = headers
+            .into_iter()
+            .filter(|(k, _)| {
+                !k.eq_ignore_ascii_case("content-length") && seen.insert(k.to_ascii_lowercase())
+            })
+            .collect();
+        let wire = req.encode();
+        let parsed = read_request(&mut BufReader::new(&wire[..]))
+            .expect("encoded requests parse")
+            .expect("non-empty");
+        prop_assert_eq!(&parsed.method, &req.method);
+        prop_assert_eq!(&parsed.target, &req.target);
+        prop_assert_eq!(&parsed.body, &req.body);
+        for (k, v) in &req.headers {
+            prop_assert_eq!(parsed.header(k), Some(v.as_str()));
+        }
+    }
+
+    #[test]
+    fn sse_streams_survive_chunked_framing_and_arbitrary_splits(
+        payloads in proptest::collection::vec((payload(), 0u8..2), 1..20),
+        split in 1usize..17,
+    ) {
+        // Build the event stream: each payload as a plain or named event.
+        let events: Vec<SseEvent> = payloads
+            .iter()
+            .map(|(p, kind)| {
+                if *kind == 1 {
+                    SseEvent::named("error", p.clone())
+                } else {
+                    SseEvent::data(p.clone())
+                }
+            })
+            .collect();
+        // Server side: SSE-encode each event, frame it as one HTTP chunk.
+        let mut wire = b"HTTP/1.1 200 OK\r\nTransfer-Encoding: chunked\r\n\r\n".to_vec();
+        for ev in &events {
+            wire.extend_from_slice(&encode_chunk(&ev.encode()));
+        }
+        wire.extend_from_slice(LAST_CHUNK);
+        // Client side: feed arbitrary-size pieces through both parsers.
+        let mut http = ResponseParser::new();
+        let mut sse = SseParser::new();
+        let mut decoded = Vec::new();
+        for piece in wire.chunks(split) {
+            http.feed(piece).expect("valid chunked framing");
+            decoded.extend(sse.feed(&http.take_body()));
+        }
+        prop_assert_eq!(http.status(), Some(200));
+        prop_assert!(http.is_done());
+        prop_assert_eq!(decoded, events);
+    }
+}

@@ -38,6 +38,17 @@ impl DropReason {
             DropReason::DeadlineExceeded => "deadline-exceeded",
         }
     }
+
+    /// The HTTP status a serving front-end surfaces for this reason:
+    /// `429 Too Many Requests` for load-induced admission rejections and
+    /// shedding (the client may retry, ideally elsewhere), `503 Service
+    /// Unavailable` when an accepted request was later given up on.
+    pub fn http_status(self) -> u16 {
+        match self {
+            DropReason::QueueFull | DropReason::TokenBudget | DropReason::Shed => 429,
+            DropReason::DeadlineExceeded => 503,
+        }
+    }
 }
 
 /// A request that terminated without completing, with its typed reason.
@@ -63,6 +74,14 @@ mod tests {
         assert_eq!(DropReason::TokenBudget.label(), "token-budget");
         assert_eq!(DropReason::Shed.label(), "shed");
         assert_eq!(DropReason::DeadlineExceeded.label(), "deadline-exceeded");
+    }
+
+    #[test]
+    fn http_statuses_split_retryable_from_unavailable() {
+        assert_eq!(DropReason::QueueFull.http_status(), 429);
+        assert_eq!(DropReason::TokenBudget.http_status(), 429);
+        assert_eq!(DropReason::Shed.http_status(), 429);
+        assert_eq!(DropReason::DeadlineExceeded.http_status(), 503);
     }
 
     #[test]

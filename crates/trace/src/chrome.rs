@@ -314,6 +314,32 @@ impl TraceLog {
                         "deadline_secs": *deadline_secs,
                     }),
                 )),
+                TraceEvent::GatewaySubmitted {
+                    id,
+                    prompt_tokens,
+                    output_tokens,
+                    streamed,
+                } => body.push(instant(
+                    "gateway-submitted",
+                    REQUESTS_PID,
+                    id.0,
+                    us,
+                    json!({
+                        "prompt_tokens": *prompt_tokens,
+                        "output_tokens": *output_tokens,
+                        "streamed": *streamed,
+                    }),
+                )),
+                TraceEvent::GatewayStreamClosed {
+                    id,
+                    delivered_tokens,
+                } => body.push(instant(
+                    "gateway-stream-closed",
+                    REQUESTS_PID,
+                    id.0,
+                    us,
+                    json!({"delivered_tokens": *delivered_tokens}),
+                )),
             }
         }
         // Close anything still open at the end of the run (sorted ids and

@@ -395,6 +395,26 @@ pub enum TraceEvent {
         /// The configured deadline, seconds.
         deadline_secs: f64,
     },
+    /// The serving gateway turned a live HTTP completion into a sim
+    /// arrival.
+    GatewaySubmitted {
+        /// The request id the gateway assigned.
+        id: RequestId,
+        /// Prompt length, tokens.
+        prompt_tokens: u32,
+        /// Requested output length, tokens.
+        output_tokens: u32,
+        /// `true` for SSE streaming responses, `false` for unary ones.
+        streamed: bool,
+    },
+    /// The gateway closed a live response stream (all tokens delivered,
+    /// the request was dropped, or the client went away).
+    GatewayStreamClosed {
+        /// The request whose stream closed.
+        id: RequestId,
+        /// Output tokens actually delivered to the client.
+        delivered_tokens: u32,
+    },
 }
 
 impl TraceEvent {
@@ -414,6 +434,8 @@ impl TraceEvent {
             | TraceEvent::RequestRescheduled { id, .. }
             | TraceEvent::RequestPreempted { id, .. }
             | TraceEvent::WatchdogAborted { id, .. }
+            | TraceEvent::GatewaySubmitted { id, .. }
+            | TraceEvent::GatewayStreamClosed { id, .. }
             | TraceEvent::Finished { id } => Some(*id),
             TraceEvent::Dispatch(d) => Some(d.request),
             TraceEvent::Admission(a) => Some(a.request),
@@ -448,6 +470,8 @@ impl TraceEvent {
             TraceEvent::RequestPreempted { .. } => "request-preempted",
             TraceEvent::FleetLease { .. } => "fleet-lease",
             TraceEvent::WatchdogAborted { .. } => "watchdog-aborted",
+            TraceEvent::GatewaySubmitted { .. } => "gateway-submitted",
+            TraceEvent::GatewayStreamClosed { .. } => "gateway-stream-closed",
         }
     }
 }

@@ -23,8 +23,10 @@ pub enum TraceMode {
 ///
 /// Implementations decide retention; the [`Tracer`] guarantees that when
 /// [`TraceSink::enabled`] is `false`, event payloads are never even
-/// constructed.
-pub trait TraceSink: std::fmt::Debug {
+/// constructed. Sinks must be [`Send`] so a live session (and its tracer)
+/// can run on a dedicated thread — the gateway's `SimDriver` does exactly
+/// that.
+pub trait TraceSink: std::fmt::Debug + Send {
     /// Whether recording is on. The tracer skips payload construction
     /// entirely when this returns `false`.
     fn enabled(&self) -> bool {

@@ -213,7 +213,8 @@ impl Dataset {
     ///
     /// # Errors
     ///
-    /// Returns [`Error::UnknownDataset`] listing the accepted names, or
+    /// Returns [`Error::UnknownDataset`](crate::Error::UnknownDataset)
+    /// listing the accepted names, or
     /// describing a malformed / out-of-window `fixed` spec.
     ///
     /// # Examples
