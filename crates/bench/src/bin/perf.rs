@@ -39,5 +39,11 @@ fn main() {
             .as_bool()
             .unwrap_or(false)
     );
+    println!(
+        "  drain exact   {:>10}",
+        value["drain_identity"]["identical"]
+            .as_bool()
+            .unwrap_or(false)
+    );
     ctx.emit("BENCH_perf", &value);
 }

@@ -8,10 +8,10 @@
 //! The output lands in `results/BENCH_perf.json` so the perf trajectory is
 //! tracked across PRs.
 
-use crate::harness::{parallel_map, run_point, Case, ExpContext};
+use crate::harness::{parallel_map, run_point, run_point_with_drain, Case, ExpContext};
 use serde_json::{json, Value};
 use std::time::Instant;
-use windserve::SystemKind;
+use windserve::{DrainMode, SystemKind};
 
 /// One measured point of the perf sweep.
 struct PerfPoint {
@@ -76,6 +76,7 @@ pub fn run(ctx: &ExpContext) -> Value {
     };
 
     let identity = cache_identity_check(ctx);
+    let drain_identity = drain_identity_check(ctx);
 
     let per_point: Vec<Value> = points
         .iter()
@@ -107,6 +108,7 @@ pub fn run(ctx: &ExpContext) -> Value {
             "hit_rate": hit_rate,
         },
         "cache_identity": identity,
+        "drain_identity": drain_identity,
         "per_point": per_point,
     })
 }
@@ -158,5 +160,62 @@ fn cache_identity_check(ctx: &ExpContext) -> Value {
         "cached_wall_secs": cached_wall,
         "uncached_wall_secs": uncached_wall,
         "cached_hit_rate": cached.cost_cache_hit_rate(),
+    })
+}
+
+/// Replays the Fig. 10 point under all three headline systems twice —
+/// batched event draining (the production path) and one-event-at-a-time
+/// sequential draining (the reference path) — and verifies the reports
+/// are byte-identical, with no scrubbing at all.
+///
+/// # Panics
+///
+/// Panics if any system's batched replay differs from its sequential
+/// replay — that would mean the batched fast path changed scheduling
+/// decisions, which must fail the benchmark loudly rather than be
+/// recorded as a perf number.
+fn drain_identity_check(ctx: &ExpContext) -> Value {
+    let case = Case::opt_13b_sharegpt();
+    let dataset = (case.dataset)();
+    let rate = case.rates[case.rates.len() / 2];
+    let n = ctx.scale(case.requests);
+    let systems = [
+        SystemKind::WindServe,
+        SystemKind::DistServe,
+        SystemKind::VllmColocated,
+    ];
+
+    let mut batched_wall = 0.0;
+    let mut sequential_wall = 0.0;
+    for system in systems {
+        let start = Instant::now();
+        let batched = run_point((case.config)(system), &dataset, rate, n, 0xBEEF);
+        batched_wall += start.elapsed().as_secs_f64();
+
+        let start = Instant::now();
+        let sequential = run_point_with_drain(
+            (case.config)(system),
+            &dataset,
+            rate,
+            n,
+            0xBEEF,
+            DrainMode::Sequential,
+        );
+        sequential_wall += start.elapsed().as_secs_f64();
+
+        assert_eq!(
+            batched,
+            sequential,
+            "batched event draining changed reported results under {} — it must be exact",
+            system.label()
+        );
+    }
+
+    json!({
+        "identical": true,
+        "systems": systems.len(),
+        "requests": n,
+        "batched_wall_secs": batched_wall,
+        "sequential_wall_secs": sequential_wall,
     })
 }

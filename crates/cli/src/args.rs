@@ -39,6 +39,7 @@ pub const SWITCHES: &[&str] = &[
     "split-nodes",
     "autoscale",
     "check-cache",
+    "check-drain",
     "overload",
     "emit-config",
 ];

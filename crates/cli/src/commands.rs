@@ -318,12 +318,16 @@ pub fn overload(args: &Args) -> Result<String, ArgError> {
 /// simulated-steps/sec, events/sec and the cost-model step-cache hit rate.
 /// With `--check-cache` the run is repeated with the cache disabled and the
 /// two reports are compared — any divergence is an error, because the cache
-/// is exact by design.
+/// is exact by design. With `--check-drain` the run is repeated with
+/// sequential (one-event-at-a-time) draining instead of the batched
+/// cohort drain and the reports must be byte-identical, because batching
+/// is a pure mechanical optimization.
 ///
 /// # Errors
 ///
-/// Reports invalid flags, a failed simulation, or (under `--check-cache`) a
-/// cached run that differs from the uncached one.
+/// Reports invalid flags, a failed simulation, a cached run that differs
+/// from the uncached one (`--check-cache`), or a batched run that differs
+/// from the sequential one (`--check-drain`).
 pub fn perf(args: &Args) -> Result<String, ArgError> {
     let spec = RunSpec::from_args(args)?;
     let trace = Trace::generate(&spec.dataset, &spec.arrivals, spec.requests, spec.seed);
@@ -358,6 +362,23 @@ pub fn perf(args: &Args) -> Result<String, ArgError> {
         None
     };
 
+    let drain_check = if args.switch("check-drain") {
+        let sequential_start = std::time::Instant::now();
+        let sequential = Cluster::new(spec.config.clone())
+            .map_err(|e| ArgError(format!("config: {e}")))?
+            .run_with_drain(&trace, windserve::DrainMode::Sequential)
+            .map_err(|e| ArgError(format!("simulation: {e}")))?;
+        let sequential_wall = sequential_start.elapsed().as_secs_f64();
+        if report != sequential {
+            return Err(ArgError(
+                "batched event draining changed reported results — it must be exact".to_string(),
+            ));
+        }
+        Some(sequential_wall)
+    } else {
+        None
+    };
+
     if args.switch("json") {
         let mut value = serde_json::json!({
             "wall_secs": wall,
@@ -373,6 +394,12 @@ pub fn perf(args: &Args) -> Result<String, ArgError> {
             value["cache_identity"] = serde_json::json!({
                 "identical": true,
                 "uncached_wall_secs": uncached_wall,
+            });
+        }
+        if let Some(sequential_wall) = drain_check {
+            value["drain_identity"] = serde_json::json!({
+                "identical": true,
+                "sequential_wall_secs": sequential_wall,
             });
         }
         render::json_envelope("perf", value)
@@ -394,6 +421,11 @@ pub fn perf(args: &Args) -> Result<String, ArgError> {
         );
         if let Some(uncached_wall) = check {
             out += &format!("cache check: identical results; uncached wall {uncached_wall:.3} s\n");
+        }
+        if let Some(sequential_wall) = drain_check {
+            out += &format!(
+                "drain check: identical results; sequential wall {sequential_wall:.3} s\n"
+            );
         }
         Ok(out)
     }
@@ -581,7 +613,8 @@ COMMANDS:
     overload     drive the workload past capacity and compare overload
                  control (admit/shed/preempt/watchdog) against no control
     perf         benchmark the simulator itself (steps/sec, events/sec,
-                 cost-cache hit rate; --check-cache proves the cache exact)
+                 cost-cache hit rate; --check-cache proves the cache exact,
+                 --check-drain proves batched draining exact)
     serve        expose the simulated cluster as a live HTTP/SSE gateway
                  (POST /v1/completions, GET /v1/cluster/status, /healthz)
     loadgen      fire an open-loop request stream at a running gateway and
@@ -641,6 +674,8 @@ COMMON FLAGS (with defaults):
     --tiers N                    (overload) priority tiers to assign [3]
     --check-cache                (perf) rerun with the cost cache disabled
                                  and verify bit-identical results
+    --check-drain                (perf) rerun with sequential event
+                                 draining and verify bit-identical results
     --port N                     (serve, loadgen) gateway TCP port; 0 picks
                                  an ephemeral port [8080]
     --time-scale F               (serve) virtual seconds per wall second [100]
@@ -850,6 +885,21 @@ mod tests {
         assert!(out.contains("events"));
         assert!(out.contains("hit rate"));
         assert!(out.contains("cache check: identical results"), "{out}");
+    }
+
+    #[test]
+    fn perf_check_drain_proves_batched_draining_exact() {
+        let out = perf(&args("perf --requests 120 --rate 2 --check-drain")).unwrap();
+        assert!(out.contains("drain check: identical results"), "{out}");
+        let out = perf(&args("perf --requests 80 --rate 2 --check-drain --json")).unwrap();
+        let v = envelope(&out, "perf");
+        assert_eq!(v["drain_identity"]["identical"].as_bool(), Some(true));
+        assert!(
+            v["drain_identity"]["sequential_wall_secs"]
+                .as_f64()
+                .unwrap()
+                > 0.0
+        );
     }
 
     #[test]

@@ -40,6 +40,7 @@
 use crate::budget::calibrate_aux_budget;
 use crate::config::ServeConfig;
 use crate::coordinator::Coordinator;
+use crate::pending::PendingTable;
 use crate::profiler::Profiler;
 use crate::report::{InstanceReport, RunReport, TtftPrediction};
 use windserve_engine::{
@@ -89,7 +90,7 @@ const DRAIN_TICKS: u32 = 12;
 /// arrival because every replica was down).
 const NO_INSTANCE: usize = usize::MAX;
 
-#[derive(Debug)]
+#[derive(Debug, Clone, Copy)]
 enum Event {
     Arrival(usize),
     StepDone {
@@ -164,21 +165,22 @@ struct MigrationCtl {
     dst: usize,
 }
 
-#[derive(Debug)]
-struct PendingRecord {
-    req: Request,
-    site: PrefillSite,
-    predicted_ttft: Option<f64>,
-    prefill_start: Option<SimTime>,
-    first_token: Option<SimTime>,
-    decode_enqueue: Option<SimTime>,
-    decode_start: Option<SimTime>,
-    swap_outs: u32,
-    migrations: u32,
-    /// Tokens already streamed to the client that the engine no longer
-    /// accounts for: a recovery re-prefill folds them into the engine-side
-    /// prompt. Total delivered = `resumed` + the engine's `generated`.
-    resumed: u32,
+/// How a [`ClusterSession`] takes events off the future-event list.
+///
+/// Both modes deliver the exact same `(time, seq)` event stream —
+/// [`Batched`](DrainMode::Batched) removes every event sharing the earliest
+/// timestamp in one heap pass before dispatching, while
+/// [`Sequential`](DrainMode::Sequential) pops one event at a time. Replays
+/// are byte-identical across modes (the perf bench's `--check-drain`
+/// identity check and the equivalence test suite enforce this), so
+/// `Sequential` exists as the reference implementation for those checks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DrainMode {
+    /// Drain the whole earliest-instant cohort per heap pass (default).
+    #[default]
+    Batched,
+    /// Pop events one at a time (reference mode for equivalence checks).
+    Sequential,
 }
 
 /// One token-level milestone in a request's life, emitted by a
@@ -284,7 +286,7 @@ pub struct Cluster {
     profiler: Profiler,
     coordinator: Coordinator,
     counters: Counters,
-    pending: FxHashMap<u64, PendingRecord>,
+    pending: PendingTable,
     migrations: FxHashMap<u64, MigrationCtl>,
     actions: FxHashMap<u64, PendingTransfer>,
     next_transfer: u64,
@@ -298,6 +300,9 @@ pub struct Cluster {
     /// `ready_at`); `None` = deactivated (GPUs released). Without
     /// autoscaling every instance is active from t = 0.
     active: Vec<Option<SimTime>>,
+    /// Cached GPU count across active instances; recomputed on activation
+    /// changes so per-event accounting is O(1).
+    active_gpus: usize,
     autoscale_events: u64,
     gpu_seconds_active: f64,
     last_gpu_account: SimTime,
@@ -482,6 +487,10 @@ impl Cluster {
         };
 
         let n_instances = instances.len();
+        let all_gpus = instances
+            .iter()
+            .map(|inst| inst.cost_model().parallelism().n_gpus())
+            .sum();
         Ok(Cluster {
             cfg,
             instances,
@@ -492,7 +501,7 @@ impl Cluster {
             profiler,
             coordinator,
             counters: Counters::default(),
-            pending: FxHashMap::default(),
+            pending: PendingTable::default(),
             migrations: FxHashMap::default(),
             actions: FxHashMap::default(),
             next_transfer: 0,
@@ -500,6 +509,7 @@ impl Cluster {
             series: Vec::new(),
             ttft_predictions: Vec::new(),
             active: Vec::new(),
+            active_gpus: all_gpus,
             autoscale_events: 0,
             gpu_seconds_active: 0.0,
             last_gpu_account: SimTime::ZERO,
@@ -555,7 +565,37 @@ impl Cluster {
     ///
     /// Same conditions as [`Cluster::run`].
     pub fn run_traced(self, trace: &Trace) -> crate::Result<(RunReport, TraceLog)> {
+        self.run_traced_with_drain(trace, DrainMode::default())
+    }
+
+    /// [`Cluster::run`] with an explicit event-drain mode.
+    ///
+    /// [`DrainMode::Batched`] (the default everywhere) pops whole
+    /// same-instant event cohorts per loop iteration; `Sequential` pops one
+    /// event at a time. The two are byte-identical by construction — this
+    /// entry point exists so benchmarks and the equivalence test suite can
+    /// *prove* it on real configurations rather than assume it.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Cluster::run`].
+    pub fn run_with_drain(self, trace: &Trace, mode: DrainMode) -> crate::Result<RunReport> {
+        Ok(self.run_traced_with_drain(trace, mode)?.0)
+    }
+
+    /// [`Cluster::run_traced`] with an explicit event-drain mode; see
+    /// [`Cluster::run_with_drain`].
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Cluster::run`].
+    pub fn run_traced_with_drain(
+        self,
+        trace: &Trace,
+        mode: DrainMode,
+    ) -> crate::Result<(RunReport, TraceLog)> {
         let mut session = self.into_session();
+        session.set_drain_mode(mode);
         session.records.reserve(trace.requests().len());
         for req in trace.requests() {
             session.inject(*req);
@@ -577,6 +617,9 @@ impl Cluster {
             requests: Vec::new(),
             records: Vec::new(),
             started_scratch: Vec::new(),
+            batch_scratch: Vec::new(),
+            outcome_scratch: StepOutcome::default(),
+            drain_mode: DrainMode::default(),
             processed: 0,
             end_time: SimTime::ZERO,
             live_work: 0,
@@ -728,21 +771,7 @@ impl Cluster {
                 PrefillSite::PrefillInstance
             },
         );
-        self.pending.insert(
-            req.id.0,
-            PendingRecord {
-                req,
-                site,
-                predicted_ttft,
-                prefill_start: None,
-                first_token: None,
-                decode_enqueue: None,
-                decode_start: None,
-                swap_outs: 0,
-                migrations: 0,
-                resumed: 0,
-            },
-        );
+        self.pending.insert(req, site, predicted_ttft);
         self.peak_pending = self.peak_pending.max(self.pending.len());
         match placement {
             Some((inst, site, decision)) => {
@@ -931,10 +960,10 @@ impl Cluster {
                     // arrival loses ties.
                     let mut victim = (req.tier, std::cmp::Reverse(req.id.0), None::<RequestId>);
                     for qid in self.instances[inst].queued_prefill_ids() {
-                        let Some(rec) = self.pending.get(&qid.0) else {
+                        let Some(qreq) = self.pending.req(qid.0) else {
                             continue;
                         };
-                        let key = (rec.req.tier, std::cmp::Reverse(qid.0));
+                        let key = (qreq.tier, std::cmp::Reverse(qid.0));
                         if key < (victim.0, victim.1) {
                             victim = (key.0, key.1, Some(qid));
                         }
@@ -962,7 +991,7 @@ impl Cluster {
                         }
                         Some(qid) => {
                             if self.instances[inst].cancel_queued_prefill(qid) {
-                                self.pending.remove(&qid.0);
+                                self.pending.remove(qid.0);
                                 self.counters.requests_shed += 1;
                                 self.dropped.push(DroppedRequest {
                                     id: qid,
@@ -1005,9 +1034,9 @@ impl Cluster {
                 .running_decodes()
                 .into_iter()
                 .filter_map(|(id, ctx)| {
-                    let rec = self.pending.get(&id.0)?;
-                    let progress = ctx.saturating_sub(rec.req.prompt_tokens);
-                    Some((rec.req.tier, progress, id.0))
+                    let req = self.pending.req(id.0)?;
+                    let progress = ctx.saturating_sub(req.prompt_tokens);
+                    Some((req.tier, progress, id.0))
                 })
                 .collect();
             candidates.sort_unstable();
@@ -1042,9 +1071,9 @@ impl Cluster {
     fn watchdog_sweep(&mut self, deadline: SimDuration, now: SimTime) {
         let mut stuck: Vec<u64> = self
             .pending
-            .iter()
-            .filter(|(_, rec)| now.saturating_since(rec.req.arrival) > deadline)
-            .map(|(&id, _)| id)
+            .iter_req()
+            .filter(|(_, req)| now.saturating_since(req.arrival) > deadline)
+            .map(|(id, _)| id)
             .collect();
         stuck.sort_unstable();
         for raw in stuck {
@@ -1082,7 +1111,7 @@ impl Cluster {
             self.instances[i].abort_sequence(id);
         }
         self.parked.retain(|&(pid, _, _)| pid != id.0);
-        let Some(rec) = self.pending.remove(&id.0) else {
+        let Some(rec) = self.pending.remove(id.0) else {
             return;
         };
         self.counters.watchdog_aborts += 1;
@@ -1126,8 +1155,7 @@ impl Cluster {
             inst.check_invariants()
                 .map_err(|reason| violated(format!("{}: {reason}", inst.name())))?;
         }
-        let mut ids: Vec<u64> = self.pending.keys().copied().collect();
-        ids.sort_unstable();
+        let ids = self.pending.sorted_ids();
         for raw in ids {
             let id = RequestId(raw);
             let holders = (0..self.instances.len())
@@ -1152,7 +1180,7 @@ impl Cluster {
                     "request {raw} is pending but resident nowhere"
                 )));
             }
-            let rec = &self.pending[&raw];
+            let rec = self.pending.get(raw).expect("id just listed");
             let mut last = rec.req.arrival;
             for (label, stamp) in [
                 ("prefill_start", rec.prefill_start),
@@ -1189,18 +1217,14 @@ impl Cluster {
                 ends_at: step.ends_at,
             });
             for id in &step.newly_prefilling {
-                if let Some(rec) = self.pending.get_mut(&id.0) {
-                    rec.prefill_start.get_or_insert(now);
-                }
+                self.pending.stamp_prefill_start(id.0, now);
                 self.tracer.emit(now, || TraceEvent::PrefillStarted {
                     id: *id,
                     inst: inst as u32,
                 });
             }
             for id in &step.newly_decoding {
-                if let Some(rec) = self.pending.get_mut(&id.0) {
-                    rec.decode_start.get_or_insert(now);
-                }
+                self.pending.stamp_decode_start(id.0, now);
                 self.tracer.emit(now, || TraceEvent::DecodeStarted {
                     id: *id,
                     inst: inst as u32,
@@ -1225,11 +1249,15 @@ impl Cluster {
         for fp in &outcome.finished_prefills {
             self.on_finished_prefill(inst, fp.id, now, records)?;
         }
-        for id in &outcome.decoded {
-            push_live(&mut self.live, LiveEvent::Token { id: *id, at: now });
-            if let Some(m) = self.migrations.get_mut(&id.0) {
-                if m.state.phase() == windserve_kvcache::MigrationPhase::Background {
-                    m.state.on_tokens_generated(1);
+        // The common case has no live listeners and no migration in flight;
+        // skip the per-token loop (and its hash probes) entirely then.
+        if self.live.is_some() || !self.migrations.is_empty() {
+            for id in &outcome.decoded {
+                push_live(&mut self.live, LiveEvent::Token { id: *id, at: now });
+                if let Some(m) = self.migrations.get_mut(&id.0) {
+                    if m.state.phase() == windserve_kvcache::MigrationPhase::Background {
+                        m.state.on_tokens_generated(1);
+                    }
                 }
             }
         }
@@ -1258,20 +1286,19 @@ impl Cluster {
         now: SimTime,
         records: &mut Vec<RequestRecord>,
     ) -> crate::Result<()> {
-        let Some(rec) = self.pending.get_mut(&id.0) else {
+        let Some(req) = self.pending.req(id.0).copied() else {
             // Stale completion for a request that was already finalized
             // (e.g. re-placed around a crash); nothing left to record.
             return Ok(());
         };
-        let newly_first = rec.first_token.is_none();
-        rec.first_token.get_or_insert(now);
+        let newly_first = self.pending.stamp_first_token(id.0, now);
         // A recovery re-prefill folds already-streamed tokens into the
         // engine-side prompt; everything below must use the engine's frame,
         // or a recovered request whose remainder is one token would be
         // promoted to decode after it already finished.
-        let resumed = rec.resumed;
-        let output_target = rec.req.output_tokens.saturating_sub(resumed).max(1);
-        let prompt = rec.req.prompt_tokens + resumed;
+        let resumed = self.pending.resumed(id.0);
+        let output_target = req.output_tokens.saturating_sub(resumed).max(1);
+        let prompt = req.prompt_tokens + resumed;
         self.tracer.emit(now, || TraceEvent::PrefillFinished {
             id,
             inst: inst as u32,
@@ -1283,8 +1310,8 @@ impl Cluster {
         }
         if output_target == 1 {
             // The prefill's token was the whole response.
-            rec.decode_enqueue.get_or_insert(now);
-            rec.decode_start.get_or_insert(now);
+            self.pending.stamp_decode_enqueue(id.0, now);
+            self.pending.stamp_decode_start(id.0, now);
             self.instances[inst].release_sequence(id);
             self.finalize_record(id, 0, now, records);
             return Ok(());
@@ -1297,9 +1324,7 @@ impl Cluster {
             let Some(dst) = self.pick_decode_for_handoff(now) else {
                 // No decode replica standing: decode in place until the
                 // autoscaler or a recovery restores capacity.
-                if let Some(rec) = self.pending.get_mut(&id.0) {
-                    rec.decode_enqueue.get_or_insert(now);
-                }
+                self.pending.stamp_decode_enqueue(id.0, now);
                 self.instances[inst].promote_to_decode(id);
                 return Ok(());
             };
@@ -1340,7 +1365,7 @@ impl Cluster {
         } else {
             // Dispatched (decode instance) or colocated: KV already lives
             // where decoding happens — no transfer at all.
-            rec.decode_enqueue.get_or_insert(now);
+            self.pending.stamp_decode_enqueue(id.0, now);
             self.instances[inst].promote_to_decode(id);
         }
         Ok(())
@@ -1362,10 +1387,8 @@ impl Cluster {
         self.counters.kv_bytes += bytes;
         let mut state = paused.state;
         state.migrations += 1;
-        if let Some(rec) = self.pending.get_mut(&id.0) {
-            rec.swap_outs += state.swap_outs;
-            rec.migrations += 1;
-        }
+        self.pending.add_swap_outs(id.0, state.swap_outs);
+        self.pending.bump_migrations(id.0);
         state.swap_outs = 0;
         let route = self.route(src, dst)?;
         self.submit_transfer(TransferAction::MigrationPhase2 { state }, route, bytes, now);
@@ -1432,9 +1455,7 @@ impl Cluster {
                 } else {
                     self.instances[src].release_sequence(id);
                 }
-                if let Some(rec) = self.pending.get_mut(&id.0) {
-                    rec.decode_enqueue.get_or_insert(now);
-                }
+                self.pending.stamp_decode_enqueue(id.0, now);
                 self.tracer.emit(now, || TraceEvent::KvTransferFinished {
                     id,
                     dst: dst as u32,
@@ -1442,7 +1463,7 @@ impl Cluster {
                 self.instances[dst].enqueue_decode_arrival(state);
             }
             TransferAction::MigrationPhase1 { id } => {
-                if self.pending.contains_key(&id.0) {
+                if self.pending.contains(id.0) {
                     if let Some(m) = self.migrations.get(&id.0) {
                         let src = m.src;
                         if let Some(paused) = self.instances[src].request_pause(id) {
@@ -1459,7 +1480,7 @@ impl Cluster {
                     return Ok(());
                 };
                 self.instances[m.dst].drop_backup(id);
-                if self.pending.contains_key(&id.0) {
+                if self.pending.contains(id.0) {
                     self.instances[m.dst].enqueue_decode_arrival(state);
                     self.counters.migrations_completed += 1;
                     self.tracer.emit(now, || TraceEvent::MigrationFinished {
@@ -1471,10 +1492,8 @@ impl Cluster {
             TransferAction::BackupRestore { state, src, dst } => {
                 let id = state.id;
                 self.instances[src].drop_backup(id);
-                if self.pending.contains_key(&id.0) {
-                    if let Some(rec) = self.pending.get_mut(&id.0) {
-                        rec.decode_enqueue.get_or_insert(now);
-                    }
+                if self.pending.contains(id.0) {
+                    self.pending.stamp_decode_enqueue(id.0, now);
                     self.tracer.emit(now, || TraceEvent::KvTransferFinished {
                         id,
                         dst: dst as u32,
@@ -1495,9 +1514,7 @@ impl Cluster {
                 // The KV is still resident at the prefill source: decode in
                 // place rather than lose the request.
                 let id = state.id;
-                if let Some(rec) = self.pending.get_mut(&id.0) {
-                    rec.decode_enqueue.get_or_insert(now);
-                }
+                self.pending.stamp_decode_enqueue(id.0, now);
                 self.counters.requests_rescheduled += 1;
                 self.tracer.emit(now, || TraceEvent::RequestRescheduled {
                     id,
@@ -1572,6 +1589,7 @@ impl Cluster {
         }
         self.crashed[c] = true;
         self.active[c] = None;
+        self.recount_active_gpus();
         // Invalidate completion events for steps the crash destroyed.
         self.step_epoch[c] += 1;
 
@@ -1635,9 +1653,7 @@ impl Cluster {
                             continue;
                         }
                     }
-                    if let Some(rec) = self.pending.get_mut(&id.0) {
-                        rec.decode_enqueue.get_or_insert(now);
-                    }
+                    self.pending.stamp_decode_enqueue(id.0, now);
                     self.counters.requests_rescheduled += 1;
                     self.tracer.emit(now, || TraceEvent::RequestRescheduled {
                         id,
@@ -1711,9 +1727,10 @@ impl Cluster {
         }
         self.crashed[c] = false;
         self.active[c] = Some(now);
+        self.recount_active_gpus();
         let parked = std::mem::take(&mut self.parked);
         for (id, generated, from) in parked {
-            if self.pending.contains_key(&id) {
+            if self.pending.contains(id) {
                 self.recover_request(RequestId(id), generated, from, now)?;
             }
         }
@@ -1732,14 +1749,14 @@ impl Cluster {
         from: usize,
         now: SimTime,
     ) -> crate::Result<()> {
-        let Some(rec) = self.pending.get(&id.0) else {
+        let Some(req) = self.pending.req(id.0) else {
             return Ok(());
         };
-        let prompt = rec.req.prompt_tokens;
-        let output_target = rec.req.output_tokens;
+        let prompt = req.prompt_tokens;
+        let output_target = req.output_tokens;
         // `generated` is in the engine's (possibly folded) frame; add any
         // tokens a previous recovery already folded into the prompt.
-        let generated = rec.resumed + generated;
+        let generated = self.pending.resumed(id.0) + generated;
 
         if !self.cfg.system.colocated() {
             let holder = (0..self.instances.len()).find(|&i| {
@@ -1776,9 +1793,7 @@ impl Cluster {
                         );
                         // The restored state is back in the request's
                         // original frame: nothing stays folded away.
-                        if let Some(rec) = self.pending.get_mut(&id.0) {
-                            rec.resumed = 0;
-                        }
+                        self.pending.set_resumed(id.0, 0);
                         return Ok(());
                     }
                 }
@@ -1808,9 +1823,7 @@ impl Cluster {
         let Some(t) = target else {
             // The parked tuple carries the full delivered count; no engine
             // state exists while parked.
-            if let Some(rec) = self.pending.get_mut(&id.0) {
-                rec.resumed = 0;
-            }
+            self.pending.set_resumed(id.0, 0);
             self.parked.push((id.0, generated, from));
             return Ok(());
         };
@@ -1828,9 +1841,7 @@ impl Cluster {
         // to re-prefill; only the remainder is generated again. Remember
         // how many were folded so later accounting (prefill completion,
         // another crash) can translate back to the request's frame.
-        if let Some(rec) = self.pending.get_mut(&id.0) {
-            rec.resumed = generated;
-        }
+        self.pending.set_resumed(id.0, generated);
         self.instances[t].enqueue_prefill(
             id,
             prompt + generated,
@@ -1908,19 +1919,27 @@ impl Cluster {
     }
 
     /// Integrates GPU-seconds held by active (incl. warming) instances.
+    /// The active-GPU count is cached ([`Cluster::recount_active_gpus`])
+    /// because this runs on every event and activation changes only on
+    /// rare autoscale/crash/recover transitions.
     fn account_gpu_seconds(&mut self, now: SimTime) {
         let dt = now.saturating_since(self.last_gpu_account).as_secs_f64();
         if dt > 0.0 {
-            let gpus: usize = self
-                .instances
-                .iter()
-                .enumerate()
-                .filter(|(i, _)| self.active.get(*i).is_none_or(|a| a.is_some()))
-                .map(|(_, inst)| inst.cost_model().parallelism().n_gpus())
-                .sum();
-            self.gpu_seconds_active += dt * gpus as f64;
+            self.gpu_seconds_active += dt * self.active_gpus as f64;
         }
         self.last_gpu_account = now;
+    }
+
+    /// Recomputes the cached active-GPU count after an activation change
+    /// (autoscale, crash, recovery, or session arm).
+    fn recount_active_gpus(&mut self) {
+        self.active_gpus = self
+            .instances
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| self.active.get(*i).is_none_or(|a| a.is_some()))
+            .map(|(_, inst)| inst.cost_model().parallelism().n_gpus())
+            .sum();
     }
 
     /// One autoscaler evaluation: activate a replica when every active one
@@ -1932,6 +1951,7 @@ impl Cluster {
         let Some(auto) = self.cfg.autoscale else {
             return;
         };
+        let events_before = self.autoscale_events;
         let thrd = self.coordinator.dispatch_threshold.as_secs_f64();
 
         // --- prefill scaling ---
@@ -2057,6 +2077,9 @@ impl Cluster {
                 });
             }
         }
+        if self.autoscale_events != events_before {
+            self.recount_active_gpus();
+        }
     }
 
     /// True once a replica has been ready long enough to have received
@@ -2076,7 +2099,7 @@ impl Cluster {
         now: SimTime,
         records: &mut Vec<RequestRecord>,
     ) {
-        let Some(rec) = self.pending.remove(&id.0) else {
+        let Some(rec) = self.pending.remove(id.0) else {
             // Already finalized (stale completion after a recovery race).
             return;
         };
@@ -2186,6 +2209,11 @@ pub struct ClusterSession {
     /// Reused across the per-event instance sweep so the hot loop does not
     /// allocate a fresh Vec per (event, instance) pair.
     started_scratch: Vec<StartedStep>,
+    /// Reused cohort buffer for batched draining.
+    batch_scratch: Vec<Scheduled<Event>>,
+    /// Reused step-outcome buffers; refilled in place on every completion.
+    outcome_scratch: StepOutcome,
+    drain_mode: DrainMode,
     processed: u64,
     end_time: SimTime,
     /// Periodic ticks (sampling, autoscaling) and injected faults must not
@@ -2218,6 +2246,19 @@ impl ClusterSession {
             Some(buf) => std::mem::take(buf),
             None => Vec::new(),
         }
+    }
+
+    /// Selects how the session takes events off the future-event list.
+    /// [`DrainMode::Batched`] (the default) and [`DrainMode::Sequential`]
+    /// produce byte-identical replays; the switch exists so equivalence
+    /// checks can compare the two paths.
+    pub fn set_drain_mode(&mut self, mode: DrainMode) {
+        self.drain_mode = mode;
+    }
+
+    /// The session's current drain mode.
+    pub fn drain_mode(&self) -> DrainMode {
+        self.drain_mode
     }
 
     /// Current virtual time (the timestamp of the last processed event).
@@ -2327,6 +2368,7 @@ impl ClusterSession {
             self.events.schedule(now, Event::AutoscaleTick);
             self.autoscale_armed = true;
         }
+        self.cluster.recount_active_gpus();
         if let Some(deadline) = self.cluster.cfg.overload.and_then(|o| o.deadline) {
             // Sweep at a quarter of the budget: a stuck request is caught
             // at most 1.25x its deadline after arrival.
@@ -2345,11 +2387,16 @@ impl ClusterSession {
     /// the event backstop.
     pub fn pump_until(&mut self, horizon: SimTime) -> crate::Result<()> {
         self.arm();
-        while self.events.peek_time().is_some_and(|t| t <= horizon) {
-            let scheduled = self.events.pop().expect("peeked event");
-            self.step(scheduled)?;
+        match self.drain_mode {
+            DrainMode::Batched => self.pump_batched(Some(horizon)),
+            DrainMode::Sequential => {
+                while self.events.peek_time().is_some_and(|t| t <= horizon) {
+                    let scheduled = self.events.pop().expect("peeked event");
+                    self.step(scheduled)?;
+                }
+                Ok(())
+            }
         }
-        Ok(())
     }
 
     /// Processes every pending event until the queue drains (all injected
@@ -2360,10 +2407,41 @@ impl ClusterSession {
     /// Same conditions as [`ClusterSession::pump_until`].
     pub fn pump_to_drain(&mut self) -> crate::Result<()> {
         self.arm();
-        while let Some(scheduled) = self.events.pop() {
-            self.step(scheduled)?;
+        match self.drain_mode {
+            DrainMode::Batched => self.pump_batched(None),
+            DrainMode::Sequential => {
+                while let Some(scheduled) = self.events.pop() {
+                    self.step(scheduled)?;
+                }
+                Ok(())
+            }
         }
-        Ok(())
+    }
+
+    /// The batched event loop: drain the earliest-instant cohort in one
+    /// heap pass, then dispatch its events in `(time, seq)` order. Events
+    /// an event defers for the *same* instant land in the heap (with later
+    /// seqs) and form the next cohort, so the delivered stream is
+    /// byte-identical to sequential popping.
+    fn pump_batched(&mut self, horizon: Option<SimTime>) -> crate::Result<()> {
+        let mut batch = std::mem::take(&mut self.batch_scratch);
+        let mut result = Ok(());
+        'drain: while let Some(t) = self.events.peek_time() {
+            if horizon.is_some_and(|h| t > h) {
+                break;
+            }
+            batch.clear();
+            self.events.drain_at(t, &mut batch);
+            for &scheduled in &batch {
+                if let Err(e) = self.step(scheduled) {
+                    result = Err(e);
+                    break 'drain;
+                }
+            }
+        }
+        batch.clear();
+        self.batch_scratch = batch;
+        result
     }
 
     /// Delivers one scheduled event — the body of the original run loop.
@@ -2373,7 +2451,19 @@ impl ClusterSession {
             scheduled.event,
             Event::Sample | Event::AutoscaleTick | Event::Fault(_) | Event::WatchdogTick
         ) {
-            self.live_work -= 1;
+            // Every work event was credited exactly once (inject or the
+            // deferred flush); an uncredited debit means the event
+            // classification drifted, and letting it wrap would wedge the
+            // idle-detection checks below instead of failing loudly.
+            self.live_work =
+                self.live_work
+                    .checked_sub(1)
+                    .ok_or_else(|| crate::Error::Invariant {
+                        reason: format!(
+                            "live_work underflow: {:?} at {} debited with no matching credit",
+                            scheduled.event, scheduled.at
+                        ),
+                    })?;
         }
         if self.processed > MAX_EVENTS {
             return Err(crate::Error::EventBackstop {
@@ -2394,9 +2484,13 @@ impl ClusterSession {
                 // A crash bumps the epoch: completions for steps the
                 // crash destroyed are stale and must be dropped.
                 if epoch == self.cluster.step_epoch[inst] {
-                    let outcome = self.cluster.instances[inst].complete_step(lane, now);
-                    self.cluster
-                        .on_step_outcome(inst, &outcome, now, &mut self.records)?;
+                    let mut outcome = std::mem::take(&mut self.outcome_scratch);
+                    self.cluster.instances[inst].complete_step_into(lane, now, &mut outcome);
+                    let applied =
+                        self.cluster
+                            .on_step_outcome(inst, &outcome, now, &mut self.records);
+                    self.outcome_scratch = outcome;
+                    applied?;
                 }
             }
             Event::TransferDone(tid) => self.cluster.on_transfer_done(tid, now)?,
@@ -2539,8 +2633,7 @@ impl ClusterSession {
         }
 
         if !cluster.pending.is_empty() {
-            let mut ids: Vec<u64> = cluster.pending.keys().copied().collect();
-            ids.sort_unstable();
+            let ids = cluster.pending.sorted_ids();
             return Err(crate::Error::Deadlock {
                 incomplete: ids.len(),
                 first: ids.iter().take(5).map(|&i| RequestId(i)).collect(),

@@ -45,7 +45,7 @@
 //! # Ok::<(), windserve::Error>(())
 //! ```
 
-use crate::cluster::Cluster;
+use crate::cluster::{Cluster, DrainMode};
 use crate::config::{ServeConfig, SystemKind};
 use crate::configfile;
 use crate::error::{Error, Result};
@@ -613,6 +613,19 @@ impl Fleet {
         self.run_traced(jobs).map(|(report, _)| report)
     }
 
+    /// [`Fleet::run`] with an explicit per-deployment event-drain mode
+    /// (see [`crate::Cluster::run_with_drain`]). Exists so the
+    /// equivalence suite can prove batched and sequential draining
+    /// byte-identical through the fleet layer too.
+    ///
+    /// # Errors
+    ///
+    /// See [`Fleet::run`].
+    pub fn run_with_drain(&self, jobs: usize, mode: DrainMode) -> Result<FleetReport> {
+        self.run_traced_with_drain(jobs, mode)
+            .map(|(report, _)| report)
+    }
+
     /// Like [`Fleet::run`], also returning a fleet-level trace log of every
     /// lease movement ([`TraceEvent::FleetLease`]).
     ///
@@ -620,6 +633,20 @@ impl Fleet {
     ///
     /// See [`Fleet::run`].
     pub fn run_traced(&self, jobs: usize) -> Result<(FleetReport, TraceLog)> {
+        self.run_traced_with_drain(jobs, DrainMode::default())
+    }
+
+    /// [`Fleet::run_traced`] with an explicit event-drain mode; see
+    /// [`Fleet::run_with_drain`].
+    ///
+    /// # Errors
+    ///
+    /// See [`Fleet::run`].
+    pub fn run_traced_with_drain(
+        &self,
+        jobs: usize,
+        mode: DrainMode,
+    ) -> Result<(FleetReport, TraceLog)> {
         let mut inventory = GpuInventory::new(&self.cfg.topology);
         let mut events: Vec<TimedEvent> = Vec::new();
         let plans = self.plan(&mut inventory, &mut events)?;
@@ -649,7 +676,7 @@ impl Fleet {
 
         let slos: Vec<_> = runs.iter().map(|(serve, _)| serve.slo).collect();
         let reports = parallel_indexed(jobs, runs, |(serve, trace)| {
-            Cluster::new(serve)?.run(&trace)
+            Cluster::new(serve)?.run_with_drain(&trace, mode)
         });
 
         let mut deployments = Vec::new();

@@ -78,12 +78,15 @@ pub mod configfile;
 mod coordinator;
 mod error;
 pub mod fleet;
+mod pending;
 mod profiler;
 mod report;
 
 pub use budget::calibrate_aux_budget;
 pub use builder::ServeConfigBuilder;
-pub use cluster::{Cluster, ClusterSession, InstanceSnapshot, LiveEvent, SessionSnapshot};
+pub use cluster::{
+    Cluster, ClusterSession, DrainMode, InstanceSnapshot, LiveEvent, SessionSnapshot,
+};
 pub use config::{AutoscaleConfig, OverloadConfig, ServeConfig, SystemKind, VictimPolicy};
 pub use coordinator::Coordinator;
 pub use error::{Error, Result};

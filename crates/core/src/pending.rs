@@ -1,0 +1,272 @@
+//! Slab-backed store for resident (pending) request state.
+//!
+//! [`PendingTable`] replaces the per-request `PendingRecord` hash map the
+//! cluster event loop used to consult on every step outcome. Request state
+//! lives in an index-addressed slab of parallel columns (struct-of-arrays):
+//! a request's fields stay at one stable `u32` slot from admission to
+//! finalization, slots are recycled through a free-list, and the
+//! `RequestId → slot` mapping is the only hashed structure — each hot-path
+//! access resolves the slot once and then touches plain `Vec` cells.
+//!
+//! Determinism: the table never exposes slab order. Every iteration surface
+//! ([`PendingTable::sorted_ids`], [`PendingTable::iter_req`] + caller-side
+//! sort) is keyed by request id, so replays are independent of insertion
+//! history and free-list state.
+
+use windserve_metrics::PrefillSite;
+use windserve_sim::hash::FxHashMap;
+use windserve_sim::SimTime;
+use windserve_workload::Request;
+
+/// Owned snapshot of one request's pending state, produced when the request
+/// leaves the table (completion, shed, abort).
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct PendingEntry {
+    pub req: Request,
+    pub site: PrefillSite,
+    pub predicted_ttft: Option<f64>,
+    pub prefill_start: Option<SimTime>,
+    pub first_token: Option<SimTime>,
+    pub decode_enqueue: Option<SimTime>,
+    pub decode_start: Option<SimTime>,
+    pub swap_outs: u32,
+    pub migrations: u32,
+}
+
+/// Struct-of-arrays slab of pending-request state with a free-list.
+#[derive(Debug, Default)]
+pub(crate) struct PendingTable {
+    /// Stable `RequestId → slot` mapping for the request's residency.
+    index: FxHashMap<u64, u32>,
+    // Parallel per-slot columns. `req` doubles as the occupancy record:
+    // every column has the same length and free slots hold stale values
+    // that are fully overwritten on reuse.
+    req: Vec<Request>,
+    site: Vec<PrefillSite>,
+    predicted_ttft: Vec<Option<f64>>,
+    prefill_start: Vec<Option<SimTime>>,
+    first_token: Vec<Option<SimTime>>,
+    decode_enqueue: Vec<Option<SimTime>>,
+    decode_start: Vec<Option<SimTime>>,
+    swap_outs: Vec<u32>,
+    migrations: Vec<u32>,
+    resumed: Vec<u32>,
+    /// Recycled slots, LIFO.
+    free: Vec<u32>,
+}
+
+impl PendingTable {
+    /// Number of resident requests.
+    pub fn len(&self) -> usize {
+        self.index.len()
+    }
+
+    /// True if no requests are resident.
+    pub fn is_empty(&self) -> bool {
+        self.index.is_empty()
+    }
+
+    /// True if `id` is resident.
+    pub fn contains(&self, id: u64) -> bool {
+        self.index.contains_key(&id)
+    }
+
+    /// Admits `req`, claiming a slot (recycled if available).
+    pub fn insert(&mut self, req: Request, site: PrefillSite, predicted_ttft: Option<f64>) {
+        let slot = match self.free.pop() {
+            Some(s) => {
+                let i = s as usize;
+                self.req[i] = req;
+                self.site[i] = site;
+                self.predicted_ttft[i] = predicted_ttft;
+                self.prefill_start[i] = None;
+                self.first_token[i] = None;
+                self.decode_enqueue[i] = None;
+                self.decode_start[i] = None;
+                self.swap_outs[i] = 0;
+                self.migrations[i] = 0;
+                self.resumed[i] = 0;
+                s
+            }
+            None => {
+                let s = self.req.len() as u32;
+                self.req.push(req);
+                self.site.push(site);
+                self.predicted_ttft.push(predicted_ttft);
+                self.prefill_start.push(None);
+                self.first_token.push(None);
+                self.decode_enqueue.push(None);
+                self.decode_start.push(None);
+                self.swap_outs.push(0);
+                self.migrations.push(0);
+                self.resumed.push(0);
+                s
+            }
+        };
+        debug_assert!(!self.index.contains_key(&req.id.0), "duplicate admission");
+        self.index.insert(req.id.0, slot);
+    }
+
+    /// Removes `id`, releasing its slot to the free-list.
+    pub fn remove(&mut self, id: u64) -> Option<PendingEntry> {
+        let slot = self.index.remove(&id)?;
+        let i = slot as usize;
+        self.free.push(slot);
+        Some(PendingEntry {
+            req: self.req[i],
+            site: self.site[i],
+            predicted_ttft: self.predicted_ttft[i],
+            prefill_start: self.prefill_start[i],
+            first_token: self.first_token[i],
+            decode_enqueue: self.decode_enqueue[i],
+            decode_start: self.decode_start[i],
+            swap_outs: self.swap_outs[i],
+            migrations: self.migrations[i],
+        })
+    }
+
+    /// The request's immutable admission record, if resident.
+    pub fn req(&self, id: u64) -> Option<&Request> {
+        self.index.get(&id).map(|&s| &self.req[s as usize])
+    }
+
+    /// Owned snapshot of `id`'s full state without removing it (audit path).
+    pub fn get(&self, id: u64) -> Option<PendingEntry> {
+        let &slot = self.index.get(&id)?;
+        let i = slot as usize;
+        Some(PendingEntry {
+            req: self.req[i],
+            site: self.site[i],
+            predicted_ttft: self.predicted_ttft[i],
+            prefill_start: self.prefill_start[i],
+            first_token: self.first_token[i],
+            decode_enqueue: self.decode_enqueue[i],
+            decode_start: self.decode_start[i],
+            swap_outs: self.swap_outs[i],
+            migrations: self.migrations[i],
+        })
+    }
+
+    /// Stamps the prefill-start time if not already stamped.
+    pub fn stamp_prefill_start(&mut self, id: u64, now: SimTime) {
+        if let Some(&s) = self.index.get(&id) {
+            self.prefill_start[s as usize].get_or_insert(now);
+        }
+    }
+
+    /// Stamps the first-token time if not already stamped. Returns `true`
+    /// when this call set it (the milestone is new).
+    pub fn stamp_first_token(&mut self, id: u64, now: SimTime) -> bool {
+        match self.index.get(&id) {
+            Some(&s) => {
+                let cell = &mut self.first_token[s as usize];
+                let newly = cell.is_none();
+                cell.get_or_insert(now);
+                newly
+            }
+            None => false,
+        }
+    }
+
+    /// Stamps the decode-enqueue time if not already stamped.
+    pub fn stamp_decode_enqueue(&mut self, id: u64, now: SimTime) {
+        if let Some(&s) = self.index.get(&id) {
+            self.decode_enqueue[s as usize].get_or_insert(now);
+        }
+    }
+
+    /// Stamps the decode-start time if not already stamped.
+    pub fn stamp_decode_start(&mut self, id: u64, now: SimTime) {
+        if let Some(&s) = self.index.get(&id) {
+            self.decode_start[s as usize].get_or_insert(now);
+        }
+    }
+
+    /// Adds swap-outs surfaced by a migration pause.
+    pub fn add_swap_outs(&mut self, id: u64, n: u32) {
+        if let Some(&s) = self.index.get(&id) {
+            self.swap_outs[s as usize] += n;
+        }
+    }
+
+    /// Counts one completed migration pause.
+    pub fn bump_migrations(&mut self, id: u64) {
+        if let Some(&s) = self.index.get(&id) {
+            self.migrations[s as usize] += 1;
+        }
+    }
+
+    /// Tokens folded into the engine-side prompt by recoveries.
+    pub fn resumed(&self, id: u64) -> u32 {
+        self.index
+            .get(&id)
+            .map(|&s| self.resumed[s as usize])
+            .unwrap_or(0)
+    }
+
+    /// Overwrites the folded-token count (recovery bookkeeping).
+    pub fn set_resumed(&mut self, id: u64, resumed: u32) {
+        if let Some(&s) = self.index.get(&id) {
+            self.resumed[s as usize] = resumed;
+        }
+    }
+
+    /// Resident request ids, sorted ascending (deterministic iteration).
+    pub fn sorted_ids(&self) -> Vec<u64> {
+        let mut ids: Vec<u64> = self.index.keys().copied().collect();
+        ids.sort_unstable();
+        ids
+    }
+
+    /// Iterates `(id, &request)` pairs in unspecified order; callers that
+    /// act on the result must sort by id first.
+    pub fn iter_req(&self) -> impl Iterator<Item = (u64, &Request)> {
+        self.index
+            .iter()
+            .map(|(&id, &s)| (id, &self.req[s as usize]))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use windserve_workload::RequestId;
+
+    fn req(id: u64) -> Request {
+        Request::new(RequestId(id), SimTime::from_micros(id), 10, 4)
+    }
+
+    #[test]
+    fn slots_recycle_through_the_free_list() {
+        let mut t = PendingTable::default();
+        t.insert(req(1), PrefillSite::Colocated, None);
+        t.insert(req(2), PrefillSite::Colocated, None);
+        assert_eq!(t.len(), 2);
+        let e = t.remove(1).expect("resident");
+        assert_eq!(e.req.id.0, 1);
+        // The freed slot is reused and its columns fully reset.
+        t.insert(req(3), PrefillSite::PrefillInstance, Some(0.5));
+        assert_eq!(t.len(), 2);
+        let e3 = t.get(3).expect("resident");
+        assert_eq!(e3.predicted_ttft, Some(0.5));
+        assert_eq!(e3.swap_outs, 0);
+        assert!(e3.first_token.is_none());
+        assert_eq!(t.sorted_ids(), vec![2, 3]);
+    }
+
+    #[test]
+    fn stamps_are_first_write_wins() {
+        let mut t = PendingTable::default();
+        t.insert(req(7), PrefillSite::PrefillInstance, None);
+        assert!(t.stamp_first_token(7, SimTime::from_micros(10)));
+        assert!(!t.stamp_first_token(7, SimTime::from_micros(20)));
+        t.stamp_decode_start(7, SimTime::from_micros(30));
+        t.stamp_decode_start(7, SimTime::from_micros(40));
+        let e = t.get(7).expect("resident");
+        assert_eq!(e.first_token, Some(SimTime::from_micros(10)));
+        assert_eq!(e.decode_start, Some(SimTime::from_micros(30)));
+        // Stamping a non-resident id is a no-op, not a panic.
+        t.stamp_decode_enqueue(99, SimTime::from_micros(1));
+        assert!(!t.contains(99));
+    }
+}

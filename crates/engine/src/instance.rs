@@ -73,6 +73,18 @@ pub struct Instance {
     pub(crate) plan_scratch: BatchPlan,
     /// Per-step scratch for `complete_step`'s appended-sequence tracking.
     pub(crate) appended_scratch: Vec<RequestId>,
+    /// Recycled `decode_ids` buffers: step formation takes one, step
+    /// completion returns it, so steady-state stepping allocates no fresh
+    /// membership `Vec`s. Bounded by the number of concurrent steps.
+    pub(crate) idvec_pool: Vec<Vec<RequestId>>,
+    /// Recycled `prefill_ids` buffers, same lifecycle as `idvec_pool`.
+    pub(crate) jobvec_pool: Vec<Vec<(RequestId, u32)>>,
+    /// Per-formation scratch of lane-member context lengths, filled by the
+    /// single prefetch pass so batch pricing re-reads no hash maps.
+    pub(crate) ctx_scratch: Vec<u32>,
+    /// Members of the forming step whose first decode iteration this is,
+    /// collected during the same prefetch pass.
+    pub(crate) newly_scratch: Vec<RequestId>,
 }
 
 impl Instance {
@@ -122,6 +134,10 @@ impl Instance {
             sharing,
             plan_scratch: BatchPlan::new(),
             appended_scratch: Vec::new(),
+            idvec_pool: Vec::new(),
+            jobvec_pool: Vec::new(),
+            ctx_scratch: Vec::new(),
+            newly_scratch: Vec::new(),
         })
     }
 

@@ -79,6 +79,12 @@ pub struct PausedSeq {
 }
 
 /// Everything that happened in one completed step.
+///
+/// The `Default` value (an empty aux-lane decode outcome) exists so callers
+/// can hold a reusable scratch for [`Instance::complete_step_into`]; every
+/// field is overwritten before the outcome is read.
+///
+/// [`Instance::complete_step_into`]: crate::Instance::complete_step_into
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct StepOutcome {
     /// Which execution context completed.
@@ -95,4 +101,18 @@ pub struct StepOutcome {
     pub completed: Vec<CompletedSeq>,
     /// Sequences paused for migration at this boundary.
     pub paused: Vec<PausedSeq>,
+}
+
+impl Default for StepOutcome {
+    fn default() -> Self {
+        StepOutcome {
+            lane: LaneRef::Aux,
+            kind: StepKind::Decode,
+            duration: SimDuration::ZERO,
+            finished_prefills: Vec::new(),
+            decoded: Vec::new(),
+            completed: Vec::new(),
+            paused: Vec::new(),
+        }
+    }
 }

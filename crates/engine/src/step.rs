@@ -37,6 +37,9 @@ impl Instance {
     /// started steps to `started` (not cleared first), letting the cluster
     /// event loop reuse one buffer across its per-event instance sweep.
     pub fn try_start_into(&mut self, now: SimTime, started: &mut Vec<StartedStep>) {
+        if self.is_start_quiescent() {
+            return;
+        }
         self.admit_decodes();
         if self.cfg.role == InstanceRole::Decode
             && self.cfg.stream_disaggregation
@@ -63,21 +66,13 @@ impl Instance {
                 continue;
             }
             if let Some(step) = self.form_lane_step(lane_idx, now) {
-                let newly: Vec<RequestId> = step
-                    .decode_ids
-                    .iter()
-                    .filter(|id| {
-                        self.seqs
-                            .get(&id.0)
-                            .map(|s| s.decode_start.is_none())
-                            .unwrap_or(false)
-                    })
-                    .copied()
-                    .collect();
+                // Never-decoded members were flagged during the formation's
+                // prefetch pass; no second scan over the step is needed.
+                let newly = std::mem::take(&mut self.newly_scratch);
                 for id in &newly {
                     self.seqs
                         .get_mut(&id.0)
-                        .expect("filtered above")
+                        .expect("flagged during formation")
                         .decode_start = Some(now);
                 }
                 let newly_prefilling = step
@@ -97,6 +92,20 @@ impl Instance {
         }
     }
 
+    /// True when `try_start` would provably do nothing: no admissible work
+    /// waits anywhere, and every idle execution context has no members to
+    /// step. The cluster sweeps all instances after every event; this makes
+    /// the sweep O(1) per untouched instance.
+    fn is_start_quiescent(&self) -> bool {
+        self.swapped.is_empty()
+            && self.waiting_decode.is_empty()
+            && self.waiting_prefill.is_empty()
+            && self
+                .lanes
+                .iter()
+                .all(|l| l.step.is_some() || l.running.is_empty())
+    }
+
     /// Applies the effects of the step that just finished on `lane`.
     ///
     /// # Panics
@@ -104,6 +113,20 @@ impl Instance {
     /// Panics if no step was running on `lane` — the cluster delivered a
     /// completion event the instance never scheduled.
     pub fn complete_step(&mut self, lane: LaneRef, now: SimTime) -> StepOutcome {
+        let mut outcome = StepOutcome::default();
+        self.complete_step_into(lane, now, &mut outcome);
+        outcome
+    }
+
+    /// Allocation-free variant of [`Instance::complete_step`]: clears and
+    /// refills `outcome` in place, so a caller-held scratch outcome makes
+    /// steady-state completion allocation-free (the finished step's member
+    /// buffers are recycled into the instance's pools).
+    ///
+    /// # Panics
+    ///
+    /// Panics if no step was running on `lane`.
+    pub fn complete_step_into(&mut self, lane: LaneRef, now: SimTime, outcome: &mut StepOutcome) {
         let step = match lane {
             LaneRef::Main(i) => self.lanes[i].step.take(),
             LaneRef::Aux => self.aux_step.take(),
@@ -113,15 +136,13 @@ impl Instance {
         self.stats
             .record_step(step.kind, step.ends_at - step.started, &step.kernel);
 
-        let mut outcome = StepOutcome {
-            lane,
-            kind: step.kind,
-            duration: step.ends_at - step.started,
-            finished_prefills: Vec::new(),
-            decoded: Vec::new(),
-            completed: Vec::new(),
-            paused: Vec::new(),
-        };
+        outcome.lane = lane;
+        outcome.kind = step.kind;
+        outcome.duration = step.ends_at - step.started;
+        outcome.finished_prefills.clear();
+        outcome.decoded.clear();
+        outcome.completed.clear();
+        outcome.paused.clear();
 
         for (id, n) in &step.prefill_ids {
             let seq = self.seqs.get_mut(&id.0).expect("prefilling seq vanished");
@@ -146,7 +167,7 @@ impl Instance {
             seq.generated += 1;
             outcome.decoded.push(*id);
             if seq.is_done() {
-                self.finish_sequence(*id, &mut outcome);
+                self.finish_sequence(*id, outcome);
                 continue;
             }
             if seq.phase == SeqPhase::Decoding {
@@ -154,11 +175,34 @@ impl Instance {
                 appended.push(*id);
             }
             if self.pause_requests.contains(&id.0) {
-                self.pause_sequence(*id, &mut outcome);
+                self.pause_sequence(*id, outcome);
             }
         }
         self.appended_scratch = appended;
-        outcome
+        self.recycle_idvec(step.decode_ids);
+        self.recycle_jobvec(step.prefill_ids);
+    }
+
+    // ------------------------------------------------------------------
+    // Step-member buffer pools
+    // ------------------------------------------------------------------
+
+    fn take_idvec(&mut self) -> Vec<RequestId> {
+        self.idvec_pool.pop().unwrap_or_default()
+    }
+
+    fn take_jobvec(&mut self) -> Vec<(RequestId, u32)> {
+        self.jobvec_pool.pop().unwrap_or_default()
+    }
+
+    fn recycle_idvec(&mut self, mut v: Vec<RequestId>) {
+        v.clear();
+        self.idvec_pool.push(v);
+    }
+
+    fn recycle_jobvec(&mut self, mut v: Vec<(RequestId, u32)>) {
+        v.clear();
+        self.jobvec_pool.push(v);
     }
 
     // ------------------------------------------------------------------
@@ -231,6 +275,9 @@ impl Instance {
     // ------------------------------------------------------------------
 
     fn form_lane_step(&mut self, lane_idx: usize, now: SimTime) -> Option<RunningStep> {
+        // Prefill-only formations never refill the scratch; clear it so a
+        // previous formation's flags cannot leak into this step.
+        self.newly_scratch.clear();
         match self.cfg.role {
             InstanceRole::Decode => self.form_decode_step(lane_idx, now),
             InstanceRole::Prefill => self.form_prefill_instance_step(lane_idx, now),
@@ -238,20 +285,59 @@ impl Instance {
         }
     }
 
+    /// One pass over the lane's members: fetches each sequence's context
+    /// into `ctxs`, flags never-decoded members into `newly_scratch`, and
+    /// ensures growth blocks exist — preempting victims (and re-fetching
+    /// the surviving membership) only under KV pressure. Replaces three
+    /// separate hash-map sweeps with one.
+    fn prefetch_lane(&mut self, lane_idx: usize, ctxs: &mut Vec<u32>) {
+        let bt = self.cfg.block_tokens;
+        ctxs.clear();
+        self.newly_scratch.clear();
+        let mut extra = 0usize;
+        for id in &self.lanes[lane_idx].running {
+            let seq = &self.seqs[&id.0];
+            let ctx = seq.context();
+            extra += usize::from(ctx.is_multiple_of(bt));
+            if seq.decode_start.is_none() {
+                self.newly_scratch.push(*id);
+            }
+            ctxs.push(ctx);
+        }
+        if extra > self.kv.free_blocks() {
+            self.ensure_growth_blocks(lane_idx);
+            ctxs.clear();
+            self.newly_scratch.clear();
+            for id in &self.lanes[lane_idx].running {
+                let seq = &self.seqs[&id.0];
+                if seq.decode_start.is_none() {
+                    self.newly_scratch.push(*id);
+                }
+                ctxs.push(seq.context());
+            }
+        }
+    }
+
     fn form_decode_step(&mut self, lane_idx: usize, now: SimTime) -> Option<RunningStep> {
-        self.ensure_growth_blocks(lane_idx);
-        let decode_ids = self.lanes[lane_idx].running.clone();
+        let mut ctxs = std::mem::take(&mut self.ctx_scratch);
+        self.prefetch_lane(lane_idx, &mut ctxs);
+        let mut decode_ids = self.take_idvec();
+        decode_ids.extend_from_slice(&self.lanes[lane_idx].running);
         let fused_prefills = if !self.cfg.stream_disaggregation {
             // WindServe-no-split / regular batching: guest prefills fuse
             // into the decode batch as whole prompts (Fig. 7 "Regular").
             self.pack_whole_prefills(u64::from(self.cfg.max_prefill_tokens))
         } else {
-            Vec::new()
+            self.take_jobvec()
         };
         if decode_ids.is_empty() && fused_prefills.is_empty() {
+            self.ctx_scratch = ctxs;
+            self.recycle_idvec(decode_ids);
+            self.recycle_jobvec(fused_prefills);
             return None;
         }
-        self.rebuild_plan(&decode_ids, &fused_prefills);
+        self.rebuild_plan_decode(&ctxs, &fused_prefills);
+        self.ctx_scratch = ctxs;
         let (duration, kernel) = if fused_prefills.is_empty() {
             let kernel = self.cost.kernel_cost(&self.plan_scratch);
             let mut alone = SimDuration::from_secs_f64(kernel.alone_secs());
@@ -285,29 +371,37 @@ impl Instance {
             // Pure prompt processing: pack whole prompts FCFS.
             let jobs = self.pack_whole_prefills(u64::from(self.cfg.max_prefill_tokens));
             if jobs.is_empty() {
+                self.recycle_jobvec(jobs);
                 return None;
             }
             self.rebuild_plan(&[], &jobs);
             let kernel = self.cost.kernel_cost(&self.plan_scratch);
             let duration = SimDuration::from_secs_f64(kernel.alone_secs());
+            let decode_ids = self.take_idvec();
             return Some(self.finish_step_construction(
                 StepKind::Prefill,
                 now,
                 duration,
                 kernel,
-                Vec::new(),
+                decode_ids,
                 jobs,
             ));
         }
         // Migrated decodes are present: bound interference with
         // chunked prefill (§3.3).
-        self.ensure_growth_blocks(lane_idx);
-        let decode_ids = self.lanes[lane_idx].running.clone();
+        let mut ctxs = std::mem::take(&mut self.ctx_scratch);
+        self.prefetch_lane(lane_idx, &mut ctxs);
+        let mut decode_ids = self.take_idvec();
+        decode_ids.extend_from_slice(&self.lanes[lane_idx].running);
         let chunk = self.pack_chunk();
         if decode_ids.is_empty() && chunk.is_empty() {
+            self.ctx_scratch = ctxs;
+            self.recycle_idvec(decode_ids);
+            self.recycle_jobvec(chunk);
             return None;
         }
-        self.rebuild_plan(&decode_ids, &chunk);
+        self.rebuild_plan_decode(&ctxs, &chunk);
+        self.ctx_scratch = ctxs;
         let duration = self.cost.hybrid_step_time(&self.plan_scratch);
         let kernel = self.cost.kernel_cost(&self.plan_scratch);
         Some(self.finish_step_construction(
@@ -328,27 +422,35 @@ impl Instance {
         if self.lanes[lane_idx].running.is_empty() {
             let jobs = self.pack_whole_prefills(u64::from(self.cfg.max_prefill_tokens));
             if jobs.is_empty() {
+                self.recycle_jobvec(jobs);
                 return None;
             }
             self.rebuild_plan(&[], &jobs);
             let kernel = self.cost.kernel_cost(&self.plan_scratch);
             let duration = SimDuration::from_secs_f64(kernel.alone_secs());
+            let decode_ids = self.take_idvec();
             return Some(self.finish_step_construction(
                 StepKind::Prefill,
                 now,
                 duration,
                 kernel,
-                Vec::new(),
+                decode_ids,
                 jobs,
             ));
         }
-        self.ensure_growth_blocks(lane_idx);
-        let decode_ids = self.lanes[lane_idx].running.clone();
+        let mut ctxs = std::mem::take(&mut self.ctx_scratch);
+        self.prefetch_lane(lane_idx, &mut ctxs);
+        let mut decode_ids = self.take_idvec();
+        decode_ids.extend_from_slice(&self.lanes[lane_idx].running);
         let chunk = self.pack_chunk();
         if decode_ids.is_empty() && chunk.is_empty() {
+            self.ctx_scratch = ctxs;
+            self.recycle_idvec(decode_ids);
+            self.recycle_jobvec(chunk);
             return None;
         }
-        self.rebuild_plan(&decode_ids, &chunk);
+        self.rebuild_plan_decode(&ctxs, &chunk);
+        self.ctx_scratch = ctxs;
         let duration = self.cost.hybrid_step_time(&self.plan_scratch);
         let kernel = self.cost.kernel_cost(&self.plan_scratch);
         Some(self.finish_step_construction(
@@ -368,6 +470,7 @@ impl Instance {
     fn form_aux_step(&mut self, now: SimTime) -> Option<RunningStep> {
         let jobs = self.pack_whole_prefills(u64::from(self.cfg.aux_budget_tokens));
         if jobs.is_empty() {
+            self.recycle_jobvec(jobs);
             return None;
         }
         self.rebuild_plan(&[], &jobs);
@@ -382,12 +485,13 @@ impl Instance {
             let slow = self.sharing.slowdowns(&[kernel, busiest])[0];
             duration = duration.mul_f64(slow);
         }
+        let decode_ids = self.take_idvec();
         Some(self.finish_step_construction(
             StepKind::AuxPrefill,
             now,
             duration,
             kernel,
-            Vec::new(),
+            decode_ids,
             jobs,
         ))
     }
@@ -396,7 +500,7 @@ impl Instance {
     /// allocating their KV (evicting backups if needed). Jobs are popped;
     /// they never return to the queue.
     fn pack_whole_prefills(&mut self, budget: u64) -> Vec<(RequestId, u32)> {
-        let mut packed = Vec::new();
+        let mut packed = self.take_jobvec();
         let mut tokens = 0u64;
         while let Some(&id) = self.waiting_prefill.front() {
             if packed.len() >= self.cfg.max_prefill_jobs {
@@ -424,20 +528,22 @@ impl Instance {
     /// Takes one chunk from the head prefill job (chunked prefill). The job
     /// is popped; `complete_step` pushes it back if unfinished.
     fn pack_chunk(&mut self) -> Vec<(RequestId, u32)> {
+        let mut out = self.take_jobvec();
         let Some(&id) = self.waiting_prefill.front() else {
-            return Vec::new();
+            return out;
         };
         let seq = &self.seqs[&id.0];
         let chunk = self.cfg.chunk_tokens.min(seq.prompt_remaining());
         if self.kv.tokens_of(id.0).is_none() {
             let prompt = seq.prompt_tokens;
             if !self.kv.can_fit(prompt) && !self.evict_backups_for(prompt) {
-                return Vec::new();
+                return out;
             }
             self.kv.allocate(id.0, prompt).expect("fit ensured");
         }
         self.waiting_prefill.pop_front();
-        vec![(id, chunk)]
+        out.push((id, chunk));
+        out
     }
 
     /// Refills the instance's scratch [`BatchPlan`] for the given step
@@ -449,6 +555,24 @@ impl Instance {
         plan.clear();
         for id in decode_ids {
             plan.add_decode(self.seqs[&id.0].context().max(1));
+        }
+        for &(id, new_tokens) in prefills {
+            plan.add_prefill(PrefillChunk {
+                new_tokens,
+                past_tokens: self.seqs[&id.0].prefilled,
+            });
+        }
+        self.plan_scratch = plan;
+    }
+
+    /// [`Instance::rebuild_plan`] with decode contexts already fetched by
+    /// [`Instance::prefetch_lane`], so the decode side of the plan costs no
+    /// map lookups.
+    fn rebuild_plan_decode(&mut self, ctxs: &[u32], prefills: &[(RequestId, u32)]) {
+        let mut plan = std::mem::take(&mut self.plan_scratch);
+        plan.clear();
+        for &ctx in ctxs {
+            plan.add_decode(ctx.max(1));
         }
         for &(id, new_tokens) in prefills {
             plan.add_prefill(PrefillChunk {

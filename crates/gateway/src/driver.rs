@@ -193,7 +193,9 @@ impl SimDriver {
         let thread = std::thread::Builder::new()
             .name("gw-driver".to_string())
             .spawn(move || driver_loop(session, &rx, scale))
-            .expect("spawn driver");
+            .map_err(|e| windserve::Error::Gateway {
+                reason: format!("cannot spawn driver thread: {e}"),
+            })?;
         Ok(SimDriver {
             tx,
             thread: Some(thread),
@@ -251,9 +253,52 @@ struct Driver {
     error: Option<String>,
 }
 
+/// The wall-to-virtual clock mapping, in pure integer arithmetic.
+///
+/// Real elapsed nanoseconds (`u128`, exact) are scaled by the time-scale
+/// held in 32.32 fixed point, so precision does not degrade as uptime
+/// grows — the previous `f64`-seconds path lost sub-microsecond
+/// resolution once `elapsed * scale` crossed 2^53. A monotonic clamp
+/// guards the result: virtual time can never tick backwards even across
+/// a rounding boundary, because the simulator treats time as strictly
+/// non-decreasing.
+struct VirtualClock {
+    epoch: Instant,
+    /// `time_scale` in 32.32 fixed point (virtual nanos per real nano).
+    scale_fp: u128,
+    /// High-water mark enforcing monotonicity.
+    last_us: u64,
+}
+
+impl VirtualClock {
+    fn new(scale: f64) -> Self {
+        // `GatewayConfig` validates the scale is finite and positive; the
+        // `max(1)` keeps a pathologically tiny scale from freezing time.
+        let scale_fp = ((scale * (1u64 << 32) as f64).round() as u128).max(1);
+        VirtualClock {
+            epoch: Instant::now(),
+            scale_fp,
+            last_us: 0,
+        }
+    }
+
+    fn now(&mut self) -> SimTime {
+        let us = scaled_virtual_micros(self.epoch.elapsed().as_nanos(), self.scale_fp);
+        self.last_us = self.last_us.max(us);
+        SimTime::from_micros(self.last_us)
+    }
+}
+
+/// Maps exact real nanoseconds through the 32.32 fixed-point scale to
+/// virtual microseconds. Monotone in `nanos` by construction (integer
+/// multiply, shift, divide), saturating at the representable maximum.
+fn scaled_virtual_micros(nanos: u128, scale_fp: u128) -> u64 {
+    let us = (nanos.saturating_mul(scale_fp) >> 32) / 1_000;
+    u64::try_from(us).unwrap_or(u64::MAX)
+}
+
 fn driver_loop(session: ClusterSession, rx: &Receiver<Msg>, scale: f64) {
-    let epoch = Instant::now();
-    let virtual_now = move || SimTime::from_secs_f64(epoch.elapsed().as_secs_f64() * scale);
+    let mut clock = VirtualClock::new(scale);
     let mut driver = Driver {
         session,
         streams: HashMap::new(),
@@ -265,7 +310,7 @@ fn driver_loop(session: ClusterSession, rx: &Receiver<Msg>, scale: f64) {
         error: None,
     };
     let shutdown_reply = loop {
-        let vnow = virtual_now();
+        let vnow = clock.now();
         driver.advance(vnow);
         // Sleep until the next scheduled event lands (in real time) or a
         // message arrives, bounded so time keeps advancing smoothly.
@@ -277,7 +322,7 @@ fn driver_loop(session: ClusterSession, rx: &Receiver<Msg>, scale: f64) {
             .unwrap_or(Duration::from_millis(5));
         match rx.recv_timeout(timeout) {
             Ok(Msg::Shutdown { reply }) => break Some(reply),
-            Ok(msg) => driver.handle(msg, virtual_now()),
+            Ok(msg) => driver.handle(msg, clock.now()),
             Err(RecvTimeoutError::Timeout) => {}
             Err(RecvTimeoutError::Disconnected) => break None,
         }
@@ -436,7 +481,12 @@ impl Driver {
                 }
             }
             LiveEvent::Finished { at, .. } => {
-                let state = self.streams.remove(&id).expect("checked above");
+                // Presence was checked above; a vanished entry means a
+                // duplicate terminal event — drop it rather than kill the
+                // driver thread (and with it every live stream).
+                let Some(state) = self.streams.remove(&id) else {
+                    return;
+                };
                 self.completed += 1;
                 self.session.emit_trace(TraceEvent::GatewayStreamClosed {
                     id,
@@ -466,7 +516,9 @@ impl Driver {
                 }
             }
             LiveEvent::Dropped { reason, .. } => {
-                let state = self.streams.remove(&id).expect("checked above");
+                let Some(state) = self.streams.remove(&id) else {
+                    return;
+                };
                 self.aborted += 1;
                 self.session.emit_trace(TraceEvent::GatewayStreamClosed {
                     id,
@@ -499,6 +551,43 @@ mod tests {
         let mut cfg = ServeConfig::opt_13b_sharegpt(SystemKind::WindServe);
         cfg.trace = windserve_trace::TraceMode::Ring(4096);
         cfg
+    }
+
+    /// Regression: the wall-to-virtual mapping must stay exact and
+    /// monotone far past the 2^53-nanosecond uptime where the old
+    /// `f64`-seconds path started collapsing distinct instants, and a
+    /// live clock must never report time running backwards.
+    #[test]
+    fn virtual_clock_is_monotonic_and_precise_at_large_uptimes() {
+        // Integer mapping sanity: 1 real second at 100x = 100 virtual
+        // seconds = 1e8 virtual microseconds.
+        let scale_fp = (100u128) << 32;
+        assert_eq!(scaled_virtual_micros(1_000_000_000, scale_fp), 100_000_000);
+
+        // Strict monotonicity across microsecond-scale increments in a
+        // window around 2^53 ns (~104 days of uptime), where f64 loses
+        // nanosecond resolution entirely.
+        let base: u128 = 1 << 53;
+        let mut prev = scaled_virtual_micros(base, scale_fp);
+        for k in 1..=1_000u128 {
+            let cur = scaled_virtual_micros(base + k * 1_000, scale_fp);
+            assert!(cur > prev, "clock stalled at +{k}us past 2^53ns");
+            prev = cur;
+        }
+
+        // Saturation instead of overflow at absurd uptimes.
+        assert_eq!(scaled_virtual_micros(u128::MAX, scale_fp), u64::MAX);
+
+        // A live clock never ticks backwards, whatever the scale.
+        for scale in [1e-6, 1.0, 100.0, 1e6] {
+            let mut clock = VirtualClock::new(scale);
+            let mut prev = SimTime::ZERO;
+            for _ in 0..10_000 {
+                let now = clock.now();
+                assert!(now >= prev, "virtual time went backwards");
+                prev = now;
+            }
+        }
     }
 
     #[test]

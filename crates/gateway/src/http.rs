@@ -381,7 +381,13 @@ impl ResponseParser {
 
     fn feed_body(&mut self, mut bytes: &[u8]) -> Result<(), HttpError> {
         while !bytes.is_empty() {
-            match self.framing.as_mut().expect("head parsed") {
+            // `feed` only routes here once the head is parsed; a peer
+            // that somehow lands body bytes earlier gets a parse error,
+            // not a panic in the connection handler.
+            let Some(framing) = self.framing.as_mut() else {
+                return err("body bytes before response head");
+            };
+            match framing {
                 BodyFraming::Length(remaining) => {
                     let take = bytes.len().min(*remaining);
                     self.body.extend_from_slice(&bytes[..take]);

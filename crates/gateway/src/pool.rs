@@ -7,7 +7,7 @@
 //! like overload inside the simulated cluster.
 
 use std::collections::VecDeque;
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
 use std::thread::JoinHandle;
 
 type Job = Box<dyn FnOnce() + Send + 'static>;
@@ -17,6 +17,11 @@ struct State {
     shutdown: bool,
 }
 
+/// Lock-poisoning note: every lock site recovers the guard with
+/// [`PoisonError::into_inner`] instead of panicking — the queue stays
+/// structurally valid across a panic (jobs are pushed/popped atomically),
+/// and taking the acceptor down over one panicked connection handler
+/// would turn a single bad request into a full outage.
 struct Inner {
     state: Mutex<State>,
     wake: Condvar,
@@ -65,7 +70,11 @@ impl WorkerPool {
     /// Queues a job, or returns `false` when the backlog is full (or the
     /// pool is shutting down) — the caller decides how to shed.
     pub fn try_execute(&self, job: impl FnOnce() + Send + 'static) -> bool {
-        let mut state = self.inner.state.lock().expect("pool lock");
+        let mut state = self
+            .inner
+            .state
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
         if state.shutdown || state.jobs.len() >= self.inner.capacity {
             return false;
         }
@@ -78,7 +87,11 @@ impl WorkerPool {
     /// Stops accepting work, drains queued jobs, and joins every worker.
     pub fn shutdown(mut self) {
         {
-            let mut state = self.inner.state.lock().expect("pool lock");
+            let mut state = self
+                .inner
+                .state
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner);
             state.shutdown = true;
         }
         self.inner.wake.notify_all();
@@ -91,7 +104,7 @@ impl WorkerPool {
 fn worker_loop(inner: &Inner) {
     loop {
         let job = {
-            let mut state = inner.state.lock().expect("pool lock");
+            let mut state = inner.state.lock().unwrap_or_else(PoisonError::into_inner);
             loop {
                 if let Some(job) = state.jobs.pop_front() {
                     break job;
@@ -99,10 +112,17 @@ fn worker_loop(inner: &Inner) {
                 if state.shutdown {
                     return;
                 }
-                state = inner.wake.wait(state).expect("pool lock");
+                state = inner
+                    .wake
+                    .wait(state)
+                    .unwrap_or_else(PoisonError::into_inner);
             }
         };
-        job();
+        // A panicking handler must cost only its own connection, never
+        // the worker: catch it so the pool keeps its full capacity.
+        if std::panic::catch_unwind(std::panic::AssertUnwindSafe(job)).is_err() {
+            eprintln!("gateway: connection handler panicked; worker continues");
+        }
     }
 }
 

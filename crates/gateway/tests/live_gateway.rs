@@ -244,3 +244,51 @@ fn loadgen_measures_nonzero_goodput_against_a_live_gateway() {
     let server = gw.shutdown();
     assert_eq!(server.completed, report.completed);
 }
+
+/// A hostile client must cost exactly one `400` (or a closed socket) —
+/// never a worker thread, never the driver. Every class of malformed
+/// input lands, then a well-formed request must still stream normally.
+#[test]
+fn malformed_requests_get_typed_errors_and_service_continues() {
+    let gw = start_gateway(ServeConfig::opt_13b_sharegpt(SystemKind::WindServe));
+    let addr = gw.addr();
+
+    // Invalid JSON body on a valid HTTP request.
+    let mut parser = exchange(addr, &completion_request("{this is not json"));
+    assert_eq!(parser.status(), Some(400));
+    let body: Value =
+        serde_json::from_str(std::str::from_utf8(&parser.take_body()).unwrap()).unwrap();
+    assert_eq!(body["error"]["type"].as_str(), Some("bad-request"));
+
+    // Valid JSON, unschedulable values (prompt + output past the context).
+    let parser = exchange(
+        addr,
+        &completion_request(r#"{"prompt_tokens": 900000, "max_tokens": 900000}"#),
+    );
+    assert_eq!(parser.status(), Some(400));
+
+    // Raw garbage that is not HTTP at all: the server answers 400 or
+    // just closes the socket; either way it must not hang or die.
+    let mut sock = TcpStream::connect(addr).expect("connect");
+    sock.set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    sock.write_all(b"\x00\x01\x02 utter garbage\r\n\r\n")
+        .expect("write garbage");
+    let mut buf = Vec::new();
+    let _ = sock.read_to_end(&mut buf);
+    drop(sock);
+
+    // The gateway must keep serving: a clean request still completes.
+    let mut parser = exchange(
+        addr,
+        &completion_request(r#"{"prompt_tokens": 32, "max_tokens": 2, "stream": true}"#),
+    );
+    assert_eq!(parser.status(), Some(200));
+    let mut sse = SseParser::new();
+    let events = sse.feed(&parser.take_body());
+    assert_eq!(events.last().map(|e| e.data.as_str()), Some("[DONE]"));
+
+    let report = gw.shutdown();
+    assert_eq!(report.completed, 1);
+    assert!(report.error.is_none(), "{:?}", report.error);
+}

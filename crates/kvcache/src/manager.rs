@@ -8,9 +8,9 @@
 //! and §2.2 blame exactly this swapping for degraded TPOT under load.
 
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
 use std::error::Error;
 use std::fmt;
+use windserve_sim::hash::FxHashMap;
 
 /// Identifier of one physical KV block within an instance.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -66,8 +66,10 @@ pub struct BlockManager {
     block_tokens: u32,
     total_blocks: usize,
     free: Vec<BlockId>,
-    tables: HashMap<SeqKey, SeqTable>,
-    swapped: HashMap<SeqKey, u32>,
+    // Deterministic first-party hashing (see `windserve_sim::hash`): these
+    // maps sit on the one-lookup-per-generated-token hot path.
+    tables: FxHashMap<SeqKey, SeqTable>,
+    swapped: FxHashMap<SeqKey, u32>,
     swap_outs: u64,
     swap_ins: u64,
 }
@@ -86,8 +88,8 @@ impl BlockManager {
             block_tokens,
             total_blocks,
             free: (0..total_blocks as u32).rev().map(BlockId).collect(),
-            tables: HashMap::new(),
-            swapped: HashMap::new(),
+            tables: FxHashMap::default(),
+            swapped: FxHashMap::default(),
             swap_outs: 0,
             swap_ins: 0,
         }
@@ -181,20 +183,25 @@ impl BlockManager {
     ///
     /// Panics if `key` has no table.
     pub fn append_tokens(&mut self, key: SeqKey, n: u32) -> Result<(), AllocError> {
-        let table = self.tables.get(&key).expect("sequence not allocated");
+        // Single map lookup: this runs once per generated token across the
+        // whole simulation, so the table is resolved exactly once and the
+        // common no-new-block case touches nothing else.
+        let block_tokens = self.block_tokens as usize;
+        let free_len = self.free.len();
+        let table = self.tables.get_mut(&key).expect("sequence not allocated");
         let new_tokens = table.tokens + n;
-        let have = table.blocks.len();
-        let need = self.blocks_for(new_tokens);
-        let extra = need.saturating_sub(have);
-        if extra > self.free.len() {
+        let need = (new_tokens as usize).div_ceil(block_tokens);
+        let extra = need.saturating_sub(table.blocks.len());
+        if extra > free_len {
             return Err(AllocError {
                 needed: extra,
-                available: self.free.len(),
+                available: free_len,
             });
         }
-        let fresh = self.free.split_off(self.free.len() - extra);
-        let table = self.tables.get_mut(&key).expect("checked above");
-        table.blocks.extend(fresh);
+        if extra > 0 {
+            let fresh = self.free.split_off(free_len - extra);
+            table.blocks.extend(fresh);
+        }
         table.tokens = new_tokens;
         Ok(())
     }

@@ -1,0 +1,103 @@
+#!/usr/bin/env python3
+"""CI perf gate: fail the build on a real simulator-throughput regression.
+
+Usage:
+    perf_gate.py <current BENCH_perf.json> <baseline BENCH_perf.json>
+
+Compares the freshly measured ``steps_per_sec`` against the committed
+baseline and exits nonzero when:
+
+* the baseline is missing or unparseable (a silent skip would let the
+  gate rot — regenerate and commit it instead), or
+* ``steps_per_sec`` regressed by more than the tolerance (15% by
+  default; override with ``PERF_GATE_TOLERANCE=0.20`` style env), or
+* either exactness proof (``cache_identity``, ``drain_identity``) is
+  missing or false in the current results.
+
+Regenerate the baseline after an intentional perf change or a runner
+hardware change:
+
+    cargo run --release -p windserve-bench --bin perf -- --quick --out results
+    git add results/BENCH_perf.json
+
+Secondary signals (``events_per_sec``, cost-cache hit rate) only warn:
+they track the same work as ``steps_per_sec`` and double-gating one
+regression adds noise, not safety.
+"""
+
+import json
+import os
+import sys
+
+
+def fail(msg: str) -> None:
+    print(f"::error title=perf gate::{msg}")
+    sys.exit(1)
+
+
+def load(path: str, what: str, hint: str = "") -> dict:
+    try:
+        with open(path, encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, ValueError) as e:
+        fail(f"{what} {path} is missing or unparseable ({e}){hint}")
+    if not isinstance(doc, dict):
+        fail(f"{what} {path} is not a JSON object{hint}")
+    return doc
+
+
+def rate(doc: dict, path: str, key: str) -> float:
+    v = doc.get(key)
+    if not isinstance(v, (int, float)) or v <= 0:
+        fail(f"{path} has no positive {key!r} field")
+    return float(v)
+
+
+def main() -> None:
+    if len(sys.argv) != 3:
+        fail("usage: perf_gate.py <current.json> <baseline.json>")
+    cur_path, base_path = sys.argv[1], sys.argv[2]
+    regen = (
+        "; regenerate with `cargo run --release -p windserve-bench "
+        "--bin perf -- --quick --out results` and commit "
+        "results/BENCH_perf.json"
+    )
+    cur = load(cur_path, "current results")
+    base = load(base_path, "committed baseline", regen)
+
+    tolerance = float(os.environ.get("PERF_GATE_TOLERANCE", "0.15"))
+    if not 0.0 < tolerance < 1.0:
+        fail(f"PERF_GATE_TOLERANCE must be in (0, 1), got {tolerance}")
+
+    for ident in ("cache_identity", "drain_identity"):
+        got = cur.get(ident)
+        if not (isinstance(got, dict) and got.get("identical") is True):
+            fail(f"{ident} missing or not identical in {cur_path}")
+
+    b = rate(base, base_path, "steps_per_sec")
+    c = rate(cur, cur_path, "steps_per_sec")
+    ratio = c / b
+    print(f"steps_per_sec: {c:,.0f}/s vs baseline {b:,.0f}/s ({ratio:.0%})")
+    if ratio < 1.0 - tolerance:
+        fail(
+            f"steps_per_sec regressed {1.0 - ratio:.0%} "
+            f"(tolerance {tolerance:.0%}): {c:,.0f}/s vs {b:,.0f}/s{regen}"
+        )
+
+    eb, ec = base.get("events_per_sec", 0), cur.get("events_per_sec", 0)
+    if eb and ec < (1.0 - tolerance) * eb:
+        print(
+            f"::warning title=events/sec::{ec:,.0f}/s vs "
+            f"baseline {eb:,.0f}/s ({ec / eb:.0%})"
+        )
+    else:
+        print(f"events_per_sec: {ec:,.0f}/s (baseline {eb:,.0f}/s)")
+    hr = cur.get("cost_cache", {}).get("hit_rate", 0.0)
+    print(f"cost-cache hit rate: {hr:.1%}")
+    if hr < 0.8:
+        print(f"::warning title=cache hit rate::{hr:.1%} < 80%")
+    print("perf gate: OK")
+
+
+if __name__ == "__main__":
+    main()
