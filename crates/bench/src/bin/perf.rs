@@ -45,5 +45,19 @@ fn main() {
             .as_bool()
             .unwrap_or(false)
     );
+    println!(
+        "  shard exact   {:>10}",
+        value["shard_identity"]["identical"]
+            .as_bool()
+            .unwrap_or(false)
+    );
+    println!(
+        "  host cores    {:>10}",
+        value["host_cores"].as_u64().unwrap_or(0)
+    );
+    println!(
+        "  shard scaling {:>9.2}x (1 -> 8 shards)",
+        value["sharded"]["scaling_x"].as_f64().unwrap_or(0.0)
+    );
     ctx.emit("BENCH_perf", &value);
 }

@@ -127,6 +127,31 @@ pub fn run_point_with_drain(
         .expect("experiment run must complete")
 }
 
+/// [`run_point_with_drain`] on the sharded executor: the same trace and
+/// drain mode, executed by `shards` worker threads. Sharding must never
+/// change the report, so callers compare this against the single-threaded
+/// path byte for byte.
+///
+/// # Panics
+///
+/// Same conditions as [`run_point`].
+pub fn run_point_sharded(
+    cfg: ServeConfig,
+    dataset: &Dataset,
+    per_gpu_rate: f64,
+    requests: usize,
+    seed: u64,
+    shards: usize,
+    mode: DrainMode,
+) -> RunReport {
+    let total = cfg.total_rate(per_gpu_rate);
+    let trace = Trace::generate(dataset, &ArrivalProcess::poisson(total), requests, seed);
+    Cluster::new(cfg)
+        .expect("experiment config must be valid")
+        .run_sharded_with_drain(&trace, shards, mode)
+        .expect("experiment run must complete")
+}
+
 /// Worker count to use when none is requested: `WINDSERVE_JOBS` if set to
 /// a positive integer, else the machine's available parallelism.
 pub fn default_jobs() -> usize {

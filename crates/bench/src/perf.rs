@@ -8,10 +8,16 @@
 //! The output lands in `results/BENCH_perf.json` so the perf trajectory is
 //! tracked across PRs.
 
-use crate::harness::{parallel_map, run_point, run_point_with_drain, Case, ExpContext};
+use crate::harness::{
+    parallel_map, run_point, run_point_sharded, run_point_with_drain, Case, ExpContext,
+};
 use serde_json::{json, Value};
 use std::time::Instant;
-use windserve::{DrainMode, SystemKind};
+use windserve::{
+    DeploymentConfig, DrainMode, Fleet, FleetConfig, FleetReport, ServeConfig, SystemKind,
+    TenantSpec,
+};
+use windserve_gpu::Topology;
 
 /// One measured point of the perf sweep.
 struct PerfPoint {
@@ -77,6 +83,8 @@ pub fn run(ctx: &ExpContext) -> Value {
 
     let identity = cache_identity_check(ctx);
     let drain_identity = drain_identity_check(ctx);
+    let sharded = sharded_scaling(ctx);
+    let shard_identity = shard_identity_check(ctx);
 
     let per_point: Vec<Value> = points
         .iter()
@@ -93,9 +101,10 @@ pub fn run(ctx: &ExpContext) -> Value {
         .collect();
 
     json!({
-        "schema": "windserve-bench-perf/1",
+        "schema": "windserve-bench-perf/2",
         "mode": if ctx.quick { "quick" } else { "full" },
         "jobs": ctx.jobs,
+        "host_cores": host_cores(),
         "points": points.len(),
         "wall_secs": sweep_wall,
         "total_steps": total_steps,
@@ -109,7 +118,181 @@ pub fn run(ctx: &ExpContext) -> Value {
         },
         "cache_identity": identity,
         "drain_identity": drain_identity,
+        "sharded": sharded,
+        "shard_identity": shard_identity,
         "per_point": per_point,
+    })
+}
+
+/// The host's CPU budget. Recorded in the output so the perf gate can
+/// tell whether a sharded-scaling number was measured on hardware that
+/// could possibly show scaling (a 1-core CI runner cannot).
+fn host_cores() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// The sharded-scaling workload: eight independent OPT-13B deployments on
+/// a four-node A800 pool, one fixed-shape tenant each. Deployments are
+/// the sharding unit, so eight of them saturate an eight-shard run.
+fn scaling_fleet(ctx: &ExpContext) -> Fleet {
+    let mut builder = FleetConfig::builder()
+        .topology(Topology::a800_multi_node(4))
+        .seed(0xBEEF);
+    for i in 0..8 {
+        builder = builder.with_deployment(DeploymentConfig {
+            name: format!("deploy-{i}"),
+            serve: ServeConfig::opt_13b_sharegpt(SystemKind::WindServe),
+            expansion_units: 0,
+            tenants: vec![TenantSpec::new(
+                format!("tenant-{i}"),
+                "fixed:512:128",
+                4.0,
+                ctx.scale(600),
+            )],
+        });
+    }
+    builder.build().expect("scaling fleet must be valid")
+}
+
+/// Measures the sharded executor's wall-clock scaling on the eight-
+/// deployment fleet at 1/2/4/8 shards, asserting along the way that every
+/// shard count reports byte-identical results.
+///
+/// `scaling_x` is the 1-shard wall divided by the 8-shard wall. The perf
+/// gate only enforces a floor on it when `host_cores` shows the machine
+/// had the cores to scale — the number is still recorded on small runners
+/// so the trajectory is visible.
+///
+/// # Panics
+///
+/// Panics if any shard count changes the fleet report — sharding must be
+/// exact, and a speedup obtained by changing results must fail loudly
+/// rather than be recorded as a perf number.
+fn sharded_scaling(ctx: &ExpContext) -> Value {
+    let fleet = scaling_fleet(ctx);
+    let shard_counts = [1usize, 2, 4, 8];
+    let mut rows = Vec::new();
+    let mut walls = Vec::new();
+    let mut reference: Option<FleetReport> = None;
+    for shards in shard_counts {
+        let start = Instant::now();
+        let report = fleet
+            .run_sharded(shards)
+            .expect("scaling fleet run must complete");
+        let wall = start.elapsed().as_secs_f64();
+        let steps: u64 = report
+            .deployments
+            .iter()
+            .map(|d| d.report.total_steps())
+            .sum();
+        match &reference {
+            None => reference = Some(report),
+            Some(r) => assert_eq!(
+                r, &report,
+                "sharded execution changed fleet results at {shards} shards — it must be exact"
+            ),
+        }
+        rows.push(json!({
+            "shards": shards,
+            "wall_secs": wall,
+            "steps": steps,
+            "steps_per_sec": steps as f64 / wall.max(1e-9),
+        }));
+        walls.push(wall);
+    }
+    let scaling_x = walls[0] / walls[walls.len() - 1].max(1e-9);
+    json!({
+        "deployments": 8,
+        "requests_per_tenant": ctx.scale(600),
+        "identical": true,
+        "scaling_x": scaling_x,
+        "rows": rows,
+    })
+}
+
+/// Replays the Fig. 10 point under all three headline systems on the
+/// sharded executor at 1/2/4/8 shards — plus the example fleet — and
+/// verifies every run is byte-identical to the single-threaded
+/// sequential-drain reference, with no scrubbing at all.
+///
+/// # Panics
+///
+/// Panics if any sharded replay differs from its reference — that would
+/// mean the parallel executor perturbed event order, which must fail the
+/// benchmark loudly rather than be recorded as a perf number.
+fn shard_identity_check(ctx: &ExpContext) -> Value {
+    let case = Case::opt_13b_sharegpt();
+    let dataset = (case.dataset)();
+    let rate = case.rates[case.rates.len() / 2];
+    let n = ctx.scale(case.requests);
+    let systems = [
+        SystemKind::WindServe,
+        SystemKind::DistServe,
+        SystemKind::VllmColocated,
+    ];
+    let shard_counts = [1usize, 2, 4, 8];
+
+    let mut sequential_wall = 0.0;
+    let mut sharded_wall = 0.0;
+    for system in systems {
+        let start = Instant::now();
+        let sequential = run_point_with_drain(
+            (case.config)(system),
+            &dataset,
+            rate,
+            n,
+            0xBEEF,
+            DrainMode::Sequential,
+        );
+        sequential_wall += start.elapsed().as_secs_f64();
+
+        for shards in shard_counts {
+            let start = Instant::now();
+            let sharded = run_point_sharded(
+                (case.config)(system),
+                &dataset,
+                rate,
+                n,
+                0xBEEF,
+                shards,
+                DrainMode::Sequential,
+            );
+            sharded_wall += start.elapsed().as_secs_f64();
+            assert_eq!(
+                sharded,
+                sequential,
+                "sharded execution changed reported results under {} at {shards} shards — it must be exact",
+                system.label()
+            );
+        }
+    }
+
+    let fleet = FleetConfig::example()
+        .build()
+        .expect("example fleet must be valid");
+    let reference = fleet
+        .run_with_drain(1, DrainMode::Sequential)
+        .expect("example fleet run must complete");
+    for shards in shard_counts {
+        let sharded = fleet
+            .run_sharded_with_drain(shards, DrainMode::Sequential)
+            .expect("example fleet run must complete");
+        assert_eq!(
+            sharded, reference,
+            "sharded execution changed fleet results at {shards} shards — it must be exact"
+        );
+    }
+
+    json!({
+        "identical": true,
+        "systems": systems.len(),
+        "shard_counts": shard_counts,
+        "fleet": true,
+        "requests": n,
+        "sequential_wall_secs": sequential_wall,
+        "sharded_wall_secs": sharded_wall,
     })
 }
 

@@ -40,6 +40,7 @@ pub const SWITCHES: &[&str] = &[
     "autoscale",
     "check-cache",
     "check-drain",
+    "check-shards",
     "overload",
     "emit-config",
 ];
@@ -88,6 +89,7 @@ pub const VALUE_FLAGS: &[&str] = &[
     "overload-factor",
     "tiers",
     "jobs",
+    "shards",
     "port",
     "time-scale",
     "workers",

@@ -287,6 +287,9 @@ impl RunSpec {
             }
             config.overload = Some(overload);
         }
+        if let Some(shards) = args.get_opt::<usize>("shards")? {
+            config.shards = shards;
+        }
         config
             .validate()
             .map_err(|e| ArgError(format!("invalid configuration: {e}")))?;

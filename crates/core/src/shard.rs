@@ -1,0 +1,78 @@
+//! Adapters running [`ClusterSession`]s on the sharded parallel executor
+//! ([`windserve_sim::shard`]).
+//!
+//! The sharding unit is a whole deployment. Inside one cluster every
+//! arrival consults *all* instances (the global scheduler's
+//! least-predicted-TTFT and most-free-KV routing), so the
+//! intra-deployment lookahead is zero and no finer partition is safe.
+//! Deployments, by contrast, never exchange simulation events at run
+//! time — fleet arbitration happens entirely before and after execution
+//! — so each session declares [`Lookahead::Infinite`] and the executor
+//! collapses the run into a single embarrassingly parallel window with
+//! work stealing balancing uneven deployments.
+
+use crate::cluster::ClusterSession;
+use windserve_sim::shard::{run_sharded, Envelope, Lookahead, Outgoing, ShardOptions, ShardTask};
+use windserve_sim::SimTime;
+
+/// One deployment session as a shard task.
+struct SessionTask {
+    session: ClusterSession,
+}
+
+impl ShardTask for SessionTask {
+    type Msg = ();
+    type Error = crate::Error;
+
+    fn next_event_at(&self) -> Option<SimTime> {
+        self.session.next_event_at()
+    }
+
+    fn lookahead(&self) -> Lookahead {
+        Lookahead::Infinite
+    }
+
+    fn advance(
+        &mut self,
+        until: Option<SimTime>,
+        _outbox: &mut Vec<Outgoing<()>>,
+    ) -> Result<(), Self::Error> {
+        match until {
+            None => self.session.pump_to_drain(),
+            Some(horizon) => self.session.pump_until(horizon),
+        }
+    }
+
+    fn deliver(&mut self, _env: Envelope<()>) -> Result<(), Self::Error> {
+        Err(crate::Error::Sharded {
+            reason: "deployment sessions exchange no cross-shard messages".into(),
+        })
+    }
+}
+
+/// Pumps every session to drain on `shards` worker threads and hands the
+/// drained sessions back (in their original order) for `finish()`-ing.
+///
+/// # Errors
+///
+/// The first failing session's own error (lowest index, deterministic),
+/// or [`crate::Error::Sharded`] for executor-level failures.
+pub(crate) fn run_sessions_sharded(
+    sessions: Vec<ClusterSession>,
+    shards: usize,
+) -> crate::Result<Vec<ClusterSession>> {
+    let mut tasks: Vec<SessionTask> = sessions
+        .into_iter()
+        .map(|session| SessionTask { session })
+        .collect();
+    run_sharded(&mut tasks, &ShardOptions::new(shards))?;
+    Ok(tasks.into_iter().map(|t| t.session).collect())
+}
+
+// The executor moves sessions across threads; this holds (and must keep
+// holding) because every layer below — instances, KV trackers, RNGs,
+// tracer — owns its state outright.
+const _: fn() = || {
+    fn assert_send<T: Send>() {}
+    assert_send::<ClusterSession>();
+};

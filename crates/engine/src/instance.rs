@@ -49,6 +49,10 @@ pub(crate) struct Lane {
 }
 
 /// One serving instance (prefill, decode, or colocated).
+///
+/// `Instance` must stay [`Send`]: the sharded executor in the layers
+/// above moves whole deployments — instances included — onto worker
+/// threads (see the compile-time assertion at the bottom of this file).
 #[derive(Debug)]
 pub struct Instance {
     pub(crate) cfg: InstanceConfig,
@@ -669,6 +673,15 @@ impl Instance {
         self.lanes.iter().map(|l| l.running.len()).sum()
     }
 }
+
+// The sharded executor ships deployments (and their instances) across
+// worker threads. Keep this assertion: adding an `Rc`, `RefCell`-of-Rc,
+// or raw pointer anywhere inside `Instance` would break the parallel
+// engine, and this surfaces that at compile time with a readable error.
+const _: fn() = || {
+    fn assert_send<T: Send>() {}
+    assert_send::<Instance>();
+};
 
 #[cfg(test)]
 mod tests {

@@ -146,10 +146,13 @@ impl<E> EventQueue<E> {
     /// events would break causality.
     pub fn drain_at(&mut self, at: SimTime, out: &mut Vec<Scheduled<E>>) -> usize {
         let mut drained = 0;
-        while self.heap.peek().is_some_and(|e| e.at == at) {
+        loop {
             // Only the earliest instant may drain; an `at` in the future
             // would skip over earlier entries.
-            let entry = self.heap.pop().expect("peeked entry exists");
+            if self.heap.peek().is_none_or(|e| e.at != at) {
+                break;
+            }
+            let Some(entry) = self.heap.pop() else { break };
             debug_assert!(entry.at >= self.last_popped);
             self.last_popped = entry.at;
             out.push(Scheduled {

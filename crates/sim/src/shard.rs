@@ -1,0 +1,1127 @@
+//! Sharded parallel execution of independent DES tasks under conservative
+//! time-window synchronization.
+//!
+//! The sequential kernel in [`EventQueue`](crate::EventQueue) advances one future-event
+//! list. This module runs *many* such lists — one per [`ShardTask`] — on a
+//! pool of OS threads while preserving the sequential engine's results bit
+//! for bit:
+//!
+//! * **Conservative windows.** Each round derives a safe horizon from the
+//!   global minimum next-event time `T` and the minimum declared
+//!   [`lookahead`](ShardTask::lookahead) `L` — a lower bound on the latency
+//!   of any cross-task message. Every task may process its local events in
+//!   `[T, T + L)` without synchronization, because no message emitted in
+//!   the window can arrive before `T + L`. Tasks that never message each
+//!   other declare [`Lookahead::Infinite`] and the whole run collapses to
+//!   a single embarrassingly parallel window.
+//! * **Barrier + canonical mailbox.** At the window edge every outbox is
+//!   collected into index-addressed slots, stamped `(timestamp, source,
+//!   seq)` and delivered in exactly that order — so delivery order never
+//!   depends on thread interleaving.
+//! * **Work stealing.** Tasks are dealt round-robin onto per-shard deques;
+//!   a worker whose deque runs dry steals whole tasks from a victim picked
+//!   by a [`SelectionStrategy`] within [`ShardOptions::max_steal_attempts`]
+//!   probes (the `ExecutorScheduler` state machine: steal only from a
+//!   non-empty victim, never execute a task twice). Stealing moves *which
+//!   thread* runs a task, never *what* the task computes, so it cannot
+//!   perturb results.
+//!
+//! Determinism is therefore structural: per-task state is only ever
+//! touched by one worker per window, outboxes are keyed by task index, and
+//! the mailbox drain is totally ordered. Running at 1, 2, 4 or 8 shards
+//! produces byte-identical task states.
+
+use crate::time::{SimDuration, SimTime};
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+/// Index of a task in the executor's task list.
+pub type TaskId = usize;
+
+/// Index of a shard (and its worker thread).
+pub type ShardId = usize;
+
+/// A lower bound on the delay of any cross-task message a task can send.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Lookahead {
+    /// The task never sends cross-task messages; it imposes no window
+    /// bound at all.
+    Infinite,
+    /// Any message sent from local time `t` arrives no earlier than
+    /// `t + delay`. Must be positive — zero lookahead would make the safe
+    /// window empty and serialize the run, which the executor rejects as
+    /// an error rather than silently degrading.
+    Finite(SimDuration),
+}
+
+impl Lookahead {
+    /// The tighter (more conservative) of two bounds.
+    #[must_use]
+    pub fn min(self, other: Lookahead) -> Lookahead {
+        match (self, other) {
+            (Lookahead::Infinite, b) => b,
+            (a, Lookahead::Infinite) => a,
+            (Lookahead::Finite(a), Lookahead::Finite(b)) => Lookahead::Finite(a.min(b)),
+        }
+    }
+}
+
+/// A cross-task message emitted by [`ShardTask::advance`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Outgoing<M> {
+    /// Destination task.
+    pub to: TaskId,
+    /// Arrival time at the destination. Must lie strictly beyond the
+    /// window the message was emitted in (the lookahead contract).
+    pub at: SimTime,
+    /// Payload.
+    pub msg: M,
+}
+
+/// A cross-task message as delivered at a barrier, stamped with its
+/// canonical ordering key.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Envelope<M> {
+    /// Arrival time at the destination.
+    pub at: SimTime,
+    /// Index of the sending task (part of the canonical order). The task
+    /// index — not the shard id — keys the order because it is invariant
+    /// under the shard count; a shard-based key would reorder
+    /// same-instant deliveries between, say, 2 and 4 shards.
+    pub src: TaskId,
+    /// Emission sequence within the sender's window (ties within
+    /// `(at, src)`).
+    pub seq: u64,
+    /// Payload.
+    pub msg: M,
+}
+
+/// One independently advancing simulation partition.
+///
+/// The executor owns the clock protocol; the task owns its local event
+/// queue and state. `advance` must process *every* local event with
+/// timestamp `<= until` (or all events when `until` is `None`) and nothing
+/// later, appending any cross-task messages to `outbox`.
+pub trait ShardTask: Send {
+    /// Cross-task message payload. Use `()` for tasks that never interact.
+    type Msg: Send;
+    /// Task-level failure type, surfaced as [`ShardError::Task`].
+    type Error: Send;
+
+    /// Firing time of the task's next local event, if any.
+    fn next_event_at(&self) -> Option<SimTime>;
+
+    /// This task's message-latency lower bound (see [`Lookahead`]).
+    fn lookahead(&self) -> Lookahead;
+
+    /// Processes local events up to and including `until` (all remaining
+    /// events when `None`), pushing emitted messages onto `outbox`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the task's own error type; the executor wraps it in
+    /// [`ShardError::Task`] and aborts the run.
+    fn advance(
+        &mut self,
+        until: Option<SimTime>,
+        outbox: &mut Vec<Outgoing<Self::Msg>>,
+    ) -> Result<(), Self::Error>;
+
+    /// Accepts a message from another task. `env.at` is always strictly
+    /// beyond every event this task has processed, so scheduling it as a
+    /// future local event cannot violate causality.
+    ///
+    /// # Errors
+    ///
+    /// Returns the task's own error type; the executor wraps it in
+    /// [`ShardError::Task`] and aborts the run.
+    fn deliver(&mut self, env: Envelope<Self::Msg>) -> Result<(), Self::Error>;
+}
+
+/// How a dry worker picks a victim shard to steal from (the
+/// `SelectionStrategy` constant of the `ExecutorScheduler` spec).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SelectionStrategy {
+    /// Probe victims cyclically starting after the thief's own shard.
+    #[default]
+    RoundRobin,
+    /// Probe the currently longest deque first.
+    LeastLoaded,
+    /// Probe pseudo-randomly (seeded deterministically per window/shard;
+    /// which *thread* wins a steal never affects results).
+    Random,
+}
+
+/// Tuning knobs for [`run_sharded`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardOptions {
+    /// Number of shards (worker threads). Tasks are dealt onto shards
+    /// round-robin by index.
+    pub shards: usize,
+    /// Victim selection for work stealing.
+    pub strategy: SelectionStrategy,
+    /// Max victim probes per steal attempt (the `MaxStealAttempts`
+    /// constant). A probe of an empty victim counts; a hit ends the
+    /// attempt.
+    pub max_steal_attempts: usize,
+    /// Disable to pin every task to its dealt shard (the `EnableStealing`
+    /// constant).
+    pub stealing: bool,
+    /// Abort with [`ShardError::WindowBackstop`] after this many windows —
+    /// a guard against tasks that report pending events but never consume
+    /// them. `None` disables the backstop.
+    pub max_windows: Option<u64>,
+}
+
+impl ShardOptions {
+    /// Defaults for `shards` shards: round-robin stealing, 4 probes.
+    pub fn new(shards: usize) -> Self {
+        ShardOptions {
+            shards,
+            strategy: SelectionStrategy::RoundRobin,
+            max_steal_attempts: 4,
+            stealing: true,
+            max_windows: None,
+        }
+    }
+}
+
+/// Counters describing one [`run_sharded`] execution. Purely
+/// observational: none of these feed back into task state.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ShardStats {
+    /// Synchronization windows executed.
+    pub windows: u64,
+    /// Task advances across all windows.
+    pub advances: u64,
+    /// Cross-task messages delivered at barriers.
+    pub messages: u64,
+    /// Successful steals (a task executed off its dealt shard).
+    pub steals: u64,
+}
+
+/// A failure of the sharded executor itself or of one of its tasks.
+#[derive(Debug)]
+pub enum ShardError<E> {
+    /// `ShardOptions::shards` was zero.
+    NoShards,
+    /// A task declared `Lookahead::Finite(0)`: the safe window would be
+    /// empty and no parallel progress is possible.
+    ZeroLookahead {
+        /// The offending task.
+        task: TaskId,
+    },
+    /// A task emitted a message arriving at or before the window edge it
+    /// was emitted in, violating its declared lookahead.
+    LookaheadViolated {
+        /// The sending task.
+        task: TaskId,
+        /// The message's arrival time.
+        at: SimTime,
+        /// The window edge the message had to clear.
+        edge: SimTime,
+    },
+    /// A task with `Lookahead::Infinite` (no declared message latency)
+    /// emitted a message.
+    UnexpectedMessage {
+        /// The sending task.
+        task: TaskId,
+    },
+    /// The window backstop fired (see [`ShardOptions::max_windows`]).
+    WindowBackstop {
+        /// Windows executed when the backstop fired.
+        windows: u64,
+    },
+    /// A worker thread panicked while advancing tasks.
+    WorkerPanic {
+        /// The panicking worker's shard.
+        shard: ShardId,
+    },
+    /// An executor lock was poisoned by an earlier panic.
+    Poisoned,
+    /// A task's own `advance`/`deliver` failed.
+    Task {
+        /// The failing task.
+        task: TaskId,
+        /// The task's error.
+        source: E,
+    },
+}
+
+impl<E: std::fmt::Display> std::fmt::Display for ShardError<E> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ShardError::NoShards => write!(f, "shard count must be at least 1"),
+            ShardError::ZeroLookahead { task } => {
+                write!(
+                    f,
+                    "task {task} declared zero lookahead; the safe window is empty"
+                )
+            }
+            ShardError::LookaheadViolated { task, at, edge } => write!(
+                f,
+                "task {task} sent a message arriving at {at}, inside its window (edge {edge})"
+            ),
+            ShardError::UnexpectedMessage { task } => write!(
+                f,
+                "task {task} declared infinite lookahead but emitted a message"
+            ),
+            ShardError::WindowBackstop { windows } => {
+                write!(
+                    f,
+                    "window backstop fired after {windows} windows (stalled task?)"
+                )
+            }
+            ShardError::WorkerPanic { shard } => write!(f, "shard {shard} worker panicked"),
+            ShardError::Poisoned => write!(f, "executor lock poisoned"),
+            ShardError::Task { task, source } => write!(f, "task {task}: {source}"),
+        }
+    }
+}
+
+impl<E: std::fmt::Display + std::fmt::Debug> std::error::Error for ShardError<E> {}
+
+/// Marker for a poisoned deque lock (a worker panicked while holding it).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LockPoisoned;
+
+/// One observed victim probe, for invariant checking in tests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StealProbe {
+    /// The probed shard.
+    pub victim: ShardId,
+    /// The victim's deque length observed under its lock.
+    pub victim_len: usize,
+    /// The task taken, if the victim was non-empty.
+    pub stolen: Option<TaskId>,
+}
+
+/// Per-shard task deques with lock-based stealing.
+///
+/// The executor deals each window's ready tasks onto these queues; every
+/// pop — local or stolen — removes the task, so a task id can be claimed
+/// at most once per window (the spec's "no task executed twice" safety
+/// invariant). The structure is lock-based rather than a lock-free
+/// Chase-Lev deque because this crate forbids `unsafe`; per-window task
+/// granularity keeps the lock traffic negligible.
+#[derive(Debug)]
+pub struct StealDeque {
+    queues: Vec<Mutex<VecDeque<TaskId>>>,
+}
+
+impl StealDeque {
+    /// An empty deque set for `shards` shards.
+    pub fn new(shards: usize) -> Self {
+        StealDeque {
+            queues: (0..shards).map(|_| Mutex::new(VecDeque::new())).collect(),
+        }
+    }
+
+    /// Number of shards.
+    pub fn shards(&self) -> usize {
+        self.queues.len()
+    }
+
+    /// Enqueues `task` on `shard`'s local deque.
+    ///
+    /// # Errors
+    ///
+    /// [`LockPoisoned`] if a worker panicked while holding the lock.
+    pub fn push(&self, shard: ShardId, task: TaskId) -> Result<(), LockPoisoned> {
+        self.queues[shard]
+            .lock()
+            .map_err(|_| LockPoisoned)?
+            .push_back(task);
+        Ok(())
+    }
+
+    /// Pops the next task from `shard`'s own deque (FIFO end).
+    ///
+    /// # Errors
+    ///
+    /// [`LockPoisoned`] if a worker panicked while holding the lock.
+    pub fn pop_local(&self, shard: ShardId) -> Result<Option<TaskId>, LockPoisoned> {
+        Ok(self.queues[shard]
+            .lock()
+            .map_err(|_| LockPoisoned)?
+            .pop_front())
+    }
+
+    /// Current length of `shard`'s deque.
+    ///
+    /// # Errors
+    ///
+    /// [`LockPoisoned`] if a worker panicked while holding the lock.
+    pub fn len(&self, shard: ShardId) -> Result<usize, LockPoisoned> {
+        Ok(self.queues[shard].lock().map_err(|_| LockPoisoned)?.len())
+    }
+
+    /// True when every shard's deque is empty.
+    ///
+    /// # Errors
+    ///
+    /// [`LockPoisoned`] if a worker panicked while holding the lock.
+    pub fn is_empty(&self) -> Result<bool, LockPoisoned> {
+        for shard in 0..self.shards() {
+            if self.len(shard)? > 0 {
+                return Ok(false);
+            }
+        }
+        Ok(true)
+    }
+
+    /// Attempts to steal one task for `thief`, probing victims chosen by
+    /// `strategy` with at most `max_attempts` probes. A task is only ever
+    /// taken from a victim observed non-empty under its own lock; each
+    /// probe is appended to `log` when one is supplied (tests use this to
+    /// check the spec invariants).
+    ///
+    /// # Errors
+    ///
+    /// [`LockPoisoned`] if a worker panicked while holding a lock.
+    pub fn steal(
+        &self,
+        thief: ShardId,
+        strategy: SelectionStrategy,
+        max_attempts: usize,
+        rng_state: &mut u64,
+        mut log: Option<&mut Vec<StealProbe>>,
+    ) -> Result<Option<TaskId>, LockPoisoned> {
+        let shards = self.shards();
+        if shards <= 1 || max_attempts == 0 {
+            return Ok(None);
+        }
+        for attempt in 0..max_attempts {
+            let victim = match strategy {
+                SelectionStrategy::RoundRobin => (thief + 1 + attempt) % shards,
+                SelectionStrategy::LeastLoaded => {
+                    // "Least loaded" from the thief's perspective is the
+                    // *most* loaded victim: it has the most spare work.
+                    let mut best = None;
+                    for v in (0..shards).filter(|&v| v != thief) {
+                        let len = self.len(v)?;
+                        if best.is_none_or(|(blen, _)| len > blen) {
+                            best = Some((len, v));
+                        }
+                    }
+                    match best {
+                        Some((_, v)) => v,
+                        None => return Ok(None),
+                    }
+                }
+                SelectionStrategy::Random => {
+                    // xorshift64*: deterministic given the caller's seed.
+                    let mut x = *rng_state;
+                    x ^= x << 13;
+                    x ^= x >> 7;
+                    x ^= x << 17;
+                    *rng_state = x;
+                    let pick = (x % (shards as u64 - 1)) as usize;
+                    (thief + 1 + pick) % shards
+                }
+            };
+            if victim == thief {
+                continue;
+            }
+            let mut queue = self.queues[victim].lock().map_err(|_| LockPoisoned)?;
+            let victim_len = queue.len();
+            // Steal from the opposite end to the victim's own pops.
+            let stolen = if victim_len > 0 {
+                queue.pop_back()
+            } else {
+                None
+            };
+            drop(queue);
+            if let Some(log) = log.as_deref_mut() {
+                log.push(StealProbe {
+                    victim,
+                    victim_len,
+                    stolen,
+                });
+            }
+            if stolen.is_some() {
+                return Ok(stolen);
+            }
+        }
+        Ok(None)
+    }
+}
+
+/// SplitMix64 — seeds the per-(window, shard) steal RNG deterministically.
+fn splitmix64(seed: u64) -> u64 {
+    let mut z = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// What one worker reports back from a window.
+#[derive(Default)]
+struct WorkerTally {
+    advances: u64,
+    steals: u64,
+    poisoned: bool,
+}
+
+/// Runs `tasks` to completion under conservative time-window sync on
+/// `opts.shards` worker threads. On success every task has drained its
+/// local events and all cross-task messages have been delivered; task
+/// states are byte-identical for any shard count.
+///
+/// # Errors
+///
+/// See [`ShardError`]: a zero shard count, a zero or violated lookahead,
+/// a message from an `Infinite`-lookahead task, the window backstop, a
+/// worker panic, a poisoned lock, or the first failing task's own error
+/// (lowest task index wins, deterministically).
+pub fn run_sharded<T: ShardTask>(
+    tasks: &mut [T],
+    opts: &ShardOptions,
+) -> Result<ShardStats, ShardError<T::Error>> {
+    if opts.shards == 0 {
+        return Err(ShardError::NoShards);
+    }
+    let mut stats = ShardStats::default();
+    let n = tasks.len();
+    if n == 0 {
+        return Ok(stats);
+    }
+    // Each task sits behind its own lock; within a window a task index is
+    // claimed by exactly one worker (it is popped from exactly one deque),
+    // so locks never contend on the hot path — they exist to move `&mut T`
+    // across threads without `unsafe`.
+    let slots: Vec<Mutex<&mut T>> = tasks.iter_mut().map(Mutex::new).collect();
+    macro_rules! lock {
+        ($slot:expr) => {
+            $slot.lock().map_err(|_| ShardError::Poisoned)
+        };
+    }
+
+    loop {
+        // -- 1. Window derivation (single-threaded between barriers) -----
+        let mut horizon: Option<SimTime> = None;
+        let mut lookahead = Lookahead::Infinite;
+        for (ix, slot) in slots.iter().enumerate() {
+            let task = lock!(slot)?;
+            if let Some(t) = task.next_event_at() {
+                horizon = Some(horizon.map_or(t, |h: SimTime| h.min(t)));
+            }
+            let la = task.lookahead();
+            if la == Lookahead::Finite(SimDuration::ZERO) {
+                return Err(ShardError::ZeroLookahead { task: ix });
+            }
+            lookahead = lookahead.min(la);
+        }
+        let Some(t0) = horizon else { break };
+        if let Some(max) = opts.max_windows {
+            if stats.windows >= max {
+                return Err(ShardError::WindowBackstop {
+                    windows: stats.windows,
+                });
+            }
+        }
+        // The window is [t0, t0 + L): events strictly before the edge are
+        // safe because no message emitted at >= t0 can arrive before
+        // t0 + L. With microsecond resolution that is "<= edge - 1us".
+        let until: Option<SimTime> = match lookahead {
+            Lookahead::Infinite => None,
+            Lookahead::Finite(d) => Some(t0 + d - SimDuration::from_micros(1)),
+        };
+
+        // -- 2. Deal ready tasks round-robin onto the shard deques -------
+        let deque = StealDeque::new(opts.shards);
+        for (ix, slot) in slots.iter().enumerate() {
+            let ready = lock!(slot)?
+                .next_event_at()
+                .is_some_and(|t| until.is_none_or(|u| t <= u));
+            if ready {
+                deque
+                    .push(ix % opts.shards, ix)
+                    .map_err(|_| ShardError::Poisoned)?;
+            }
+        }
+
+        // -- 3. Advance the window on the worker pool --------------------
+        let outboxes: Vec<Mutex<Vec<Outgoing<T::Msg>>>> =
+            (0..n).map(|_| Mutex::new(Vec::new())).collect();
+        let task_errors: Mutex<Vec<(TaskId, T::Error)>> = Mutex::new(Vec::new());
+        let window = stats.windows;
+        let mut panicked: Option<ShardId> = None;
+        let mut tallies: Vec<WorkerTally> = Vec::with_capacity(opts.shards);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..opts.shards)
+                .map(|shard| {
+                    let deque = &deque;
+                    let slots = &slots;
+                    let outboxes = &outboxes;
+                    let task_errors = &task_errors;
+                    scope.spawn(move || {
+                        let mut tally = WorkerTally::default();
+                        let mut rng = splitmix64(window ^ ((shard as u64) << 32));
+                        loop {
+                            let claimed = match deque.pop_local(shard) {
+                                Ok(Some(ix)) => Some((ix, false)),
+                                Ok(None) if opts.stealing => {
+                                    match deque.steal(
+                                        shard,
+                                        opts.strategy,
+                                        opts.max_steal_attempts,
+                                        &mut rng,
+                                        None,
+                                    ) {
+                                        Ok(ix) => ix.map(|ix| (ix, true)),
+                                        Err(LockPoisoned) => {
+                                            tally.poisoned = true;
+                                            None
+                                        }
+                                    }
+                                }
+                                Ok(None) => None,
+                                Err(LockPoisoned) => {
+                                    tally.poisoned = true;
+                                    None
+                                }
+                            };
+                            let Some((ix, was_steal)) = claimed else {
+                                break;
+                            };
+                            let Ok(mut task) = slots[ix].lock() else {
+                                tally.poisoned = true;
+                                break;
+                            };
+                            let mut out = Vec::new();
+                            match task.advance(until, &mut out) {
+                                Ok(()) => {
+                                    tally.advances += 1;
+                                    if was_steal {
+                                        tally.steals += 1;
+                                    }
+                                }
+                                Err(e) => {
+                                    if let Ok(mut errs) = task_errors.lock() {
+                                        errs.push((ix, e));
+                                    }
+                                    break;
+                                }
+                            }
+                            drop(task);
+                            if !out.is_empty() {
+                                match outboxes[ix].lock() {
+                                    Ok(mut slot) => *slot = out,
+                                    Err(_) => {
+                                        tally.poisoned = true;
+                                        break;
+                                    }
+                                }
+                            }
+                        }
+                        tally
+                    })
+                })
+                .collect();
+            for (shard, handle) in handles.into_iter().enumerate() {
+                match handle.join() {
+                    Ok(tally) => tallies.push(tally),
+                    Err(_) => panicked = panicked.or(Some(shard)),
+                }
+            }
+        });
+        if let Some(shard) = panicked {
+            return Err(ShardError::WorkerPanic { shard });
+        }
+        // The lowest failing task index wins so the reported error does
+        // not depend on thread interleaving.
+        let mut errors = task_errors.into_inner().map_err(|_| ShardError::Poisoned)?;
+        if !errors.is_empty() {
+            errors.sort_by_key(|(ix, _)| *ix);
+            let (task, source) = errors.remove(0);
+            return Err(ShardError::Task { task, source });
+        }
+        for tally in &tallies {
+            if tally.poisoned {
+                return Err(ShardError::Poisoned);
+            }
+            stats.advances += tally.advances;
+            stats.steals += tally.steals;
+        }
+
+        // -- 4. Barrier: canonical (timestamp, source, seq) mailbox drain
+        let mut mail: Vec<(TaskId, Envelope<T::Msg>)> = Vec::new();
+        for (ix, outbox) in outboxes.into_iter().enumerate() {
+            let out = outbox.into_inner().map_err(|_| ShardError::Poisoned)?;
+            for (seq, msg) in out.into_iter().enumerate() {
+                match until {
+                    None => return Err(ShardError::UnexpectedMessage { task: ix }),
+                    Some(edge) if msg.at <= edge => {
+                        return Err(ShardError::LookaheadViolated {
+                            task: ix,
+                            at: msg.at,
+                            edge,
+                        })
+                    }
+                    Some(_) => {}
+                }
+                mail.push((
+                    msg.to,
+                    Envelope {
+                        at: msg.at,
+                        src: ix,
+                        seq: seq as u64,
+                        msg: msg.msg,
+                    },
+                ));
+            }
+        }
+        mail.sort_by_key(|(_, env)| (env.at, env.src, env.seq));
+        stats.messages += mail.len() as u64;
+        for (to, env) in mail {
+            lock!(&slots[to])?
+                .deliver(env)
+                .map_err(|source| ShardError::Task { task: to, source })?;
+        }
+        stats.windows += 1;
+    }
+    Ok(stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::queue::EventQueue;
+    use proptest::prelude::*;
+
+    // ------------------------------------------------------------------
+    // A toy message-passing simulation: N tasks, each with its own event
+    // queue; every event may deterministically spawn a local follow-up
+    // and/or send a message to a peer with at least `link_delay` latency.
+    // Per-task event logs are the observable the shard count must never
+    // change.
+    // ------------------------------------------------------------------
+
+    struct ToyTask {
+        id: usize,
+        n_tasks: usize,
+        queue: EventQueue<u64>,
+        log: Vec<(u64, u64)>,
+        link_delay: SimDuration,
+    }
+
+    impl ToyTask {
+        fn new(id: usize, n_tasks: usize, seeds: &[u64], link_delay_us: u64) -> Self {
+            let mut queue = EventQueue::new();
+            for (i, &s) in seeds.iter().enumerate() {
+                queue.schedule(SimTime::from_micros(1 + (s % 40)), s ^ (i as u64) << 8);
+            }
+            ToyTask {
+                id,
+                n_tasks,
+                queue,
+                log: Vec::new(),
+                link_delay: SimDuration::from_micros(link_delay_us),
+            }
+        }
+    }
+
+    impl ShardTask for ToyTask {
+        type Msg = u64;
+        type Error = std::convert::Infallible;
+
+        fn next_event_at(&self) -> Option<SimTime> {
+            self.queue.peek_time()
+        }
+
+        fn lookahead(&self) -> Lookahead {
+            Lookahead::Finite(self.link_delay)
+        }
+
+        fn advance(
+            &mut self,
+            until: Option<SimTime>,
+            outbox: &mut Vec<Outgoing<u64>>,
+        ) -> Result<(), Self::Error> {
+            while self
+                .queue
+                .peek_time()
+                .is_some_and(|t| until.is_none_or(|u| t <= u))
+            {
+                let Some(ev) = self.queue.pop() else { break };
+                self.log.push((ev.at.as_micros(), ev.event));
+                let payload = ev.event;
+                // Each hop halves the payload, so every seed event spawns
+                // a finite chain (at most 64 follow-ups).
+                let next = payload >> 1;
+                if next == 0 {
+                    continue;
+                }
+                if payload % 3 == 0 {
+                    let to = (self.id + 1 + (payload as usize % self.n_tasks.max(1)))
+                        % self.n_tasks.max(1);
+                    if to != self.id {
+                        outbox.push(Outgoing {
+                            to,
+                            at: ev.at + self.link_delay + SimDuration::from_micros(payload % 7),
+                            msg: next,
+                        });
+                        continue;
+                    }
+                }
+                self.queue
+                    .schedule(ev.at + SimDuration::from_micros(2 + payload % 5), next);
+            }
+            Ok(())
+        }
+
+        fn deliver(&mut self, env: Envelope<u64>) -> Result<(), Self::Error> {
+            self.queue.schedule(env.at, env.msg);
+            Ok(())
+        }
+    }
+
+    fn toy_run(
+        n_tasks: usize,
+        seeds: &[u64],
+        link_delay_us: u64,
+        opts: &ShardOptions,
+    ) -> (Vec<Vec<(u64, u64)>>, ShardStats) {
+        let mut tasks: Vec<ToyTask> = (0..n_tasks)
+            .map(|id| ToyTask::new(id, n_tasks, seeds, link_delay_us))
+            .collect();
+        let stats = run_sharded(&mut tasks, opts).expect("toy run");
+        (tasks.into_iter().map(|t| t.log).collect(), stats)
+    }
+
+    #[test]
+    fn toy_logs_are_identical_across_shard_counts() {
+        let seeds: Vec<u64> = (0..12).map(|i| 0x9E37 ^ (i * 7919)).collect();
+        let (reference, _) = toy_run(6, &seeds, 3, &ShardOptions::new(1));
+        assert!(
+            reference.iter().map(Vec::len).sum::<usize>() > 20,
+            "toy workload must actually do work"
+        );
+        for shards in [2, 4, 8] {
+            for strategy in [
+                SelectionStrategy::RoundRobin,
+                SelectionStrategy::LeastLoaded,
+                SelectionStrategy::Random,
+            ] {
+                let mut opts = ShardOptions::new(shards);
+                opts.strategy = strategy;
+                let (logs, _) = toy_run(6, &seeds, 3, &opts);
+                assert_eq!(
+                    logs, reference,
+                    "{shards} shards / {strategy:?} changed the event logs"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn messages_cross_tasks_and_windows_are_counted() {
+        let seeds: Vec<u64> = (0..10).map(|i| 3 + i * 6).collect(); // many %3==0 payloads
+        let (_, stats) = toy_run(4, &seeds, 2, &ShardOptions::new(2));
+        assert!(stats.windows > 1, "finite lookahead must form windows");
+        assert!(stats.messages > 0, "toy rule must exercise the mailbox");
+        assert!(stats.advances >= stats.windows);
+    }
+
+    #[test]
+    fn single_task_infinite_lookahead_runs_in_one_window() {
+        struct Drain(EventQueue<u32>, u32);
+        impl ShardTask for Drain {
+            type Msg = ();
+            type Error = std::convert::Infallible;
+            fn next_event_at(&self) -> Option<SimTime> {
+                self.0.peek_time()
+            }
+            fn lookahead(&self) -> Lookahead {
+                Lookahead::Infinite
+            }
+            fn advance(
+                &mut self,
+                until: Option<SimTime>,
+                _outbox: &mut Vec<Outgoing<()>>,
+            ) -> Result<(), Self::Error> {
+                assert_eq!(until, None, "infinite lookahead => unbounded window");
+                while let Some(ev) = self.0.pop() {
+                    self.1 += ev.event;
+                }
+                Ok(())
+            }
+            fn deliver(&mut self, _env: Envelope<()>) -> Result<(), Self::Error> {
+                unreachable!("no messages in this test")
+            }
+        }
+        let mut q = EventQueue::new();
+        for i in 0..10 {
+            q.schedule(SimTime::from_micros(i), i as u32);
+        }
+        let mut tasks = vec![Drain(q, 0)];
+        let stats = run_sharded(&mut tasks, &ShardOptions::new(4)).expect("drain");
+        assert_eq!(stats.windows, 1);
+        assert_eq!(tasks[0].1, 45);
+    }
+
+    #[test]
+    fn zero_shards_and_zero_lookahead_are_typed_errors() {
+        let mut tasks = vec![ToyTask::new(0, 1, &[5], 3)];
+        let err = run_sharded(&mut tasks, &ShardOptions::new(0)).unwrap_err();
+        assert!(matches!(err, ShardError::NoShards));
+
+        let mut tasks = vec![ToyTask::new(0, 1, &[5], 0)];
+        let err = run_sharded(&mut tasks, &ShardOptions::new(2)).unwrap_err();
+        assert!(matches!(err, ShardError::ZeroLookahead { task: 0 }));
+    }
+
+    #[test]
+    fn lookahead_violation_is_a_typed_error() {
+        // A cheating task: declares 10us lookahead but messages at +1us.
+        struct Cheat(EventQueue<u64>);
+        impl ShardTask for Cheat {
+            type Msg = u64;
+            type Error = std::convert::Infallible;
+            fn next_event_at(&self) -> Option<SimTime> {
+                self.0.peek_time()
+            }
+            fn lookahead(&self) -> Lookahead {
+                Lookahead::Finite(SimDuration::from_micros(10))
+            }
+            fn advance(
+                &mut self,
+                until: Option<SimTime>,
+                outbox: &mut Vec<Outgoing<u64>>,
+            ) -> Result<(), Self::Error> {
+                while self
+                    .0
+                    .peek_time()
+                    .is_some_and(|t| until.is_none_or(|u| t <= u))
+                {
+                    let Some(ev) = self.0.pop() else { break };
+                    outbox.push(Outgoing {
+                        to: 1,
+                        at: ev.at + SimDuration::from_micros(1),
+                        msg: ev.event,
+                    });
+                }
+                Ok(())
+            }
+            fn deliver(&mut self, env: Envelope<u64>) -> Result<(), Self::Error> {
+                self.0.schedule(env.at, env.msg);
+                Ok(())
+            }
+        }
+        let mut q0 = EventQueue::new();
+        q0.schedule(SimTime::from_micros(5), 1);
+        let mut tasks = vec![Cheat(q0), Cheat(EventQueue::new())];
+        let err = run_sharded(&mut tasks, &ShardOptions::new(2)).unwrap_err();
+        assert!(
+            matches!(err, ShardError::LookaheadViolated { task: 0, .. }),
+            "{err:?}"
+        );
+    }
+
+    #[test]
+    fn worker_panic_is_a_typed_error() {
+        struct Bomb(EventQueue<u64>);
+        impl ShardTask for Bomb {
+            type Msg = ();
+            type Error = std::convert::Infallible;
+            fn next_event_at(&self) -> Option<SimTime> {
+                self.0.peek_time()
+            }
+            fn lookahead(&self) -> Lookahead {
+                Lookahead::Infinite
+            }
+            fn advance(
+                &mut self,
+                _until: Option<SimTime>,
+                _outbox: &mut Vec<Outgoing<()>>,
+            ) -> Result<(), Self::Error> {
+                panic!("boom");
+            }
+            fn deliver(&mut self, _env: Envelope<()>) -> Result<(), Self::Error> {
+                Ok(())
+            }
+        }
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::ZERO, 1);
+        let mut tasks = vec![Bomb(q)];
+        // Silence the panic backtrace noise from the worker thread.
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let err = run_sharded(&mut tasks, &ShardOptions::new(2)).unwrap_err();
+        std::panic::set_hook(prev);
+        assert!(matches!(err, ShardError::WorkerPanic { .. }), "{err:?}");
+    }
+
+    #[test]
+    fn window_backstop_catches_stalled_tasks() {
+        // A task that reports an event but never consumes it.
+        struct Stall;
+        impl ShardTask for Stall {
+            type Msg = u64;
+            type Error = std::convert::Infallible;
+            fn next_event_at(&self) -> Option<SimTime> {
+                Some(SimTime::from_micros(5))
+            }
+            fn lookahead(&self) -> Lookahead {
+                Lookahead::Finite(SimDuration::from_micros(2))
+            }
+            fn advance(
+                &mut self,
+                _until: Option<SimTime>,
+                _outbox: &mut Vec<Outgoing<u64>>,
+            ) -> Result<(), Self::Error> {
+                Ok(())
+            }
+            fn deliver(&mut self, _env: Envelope<u64>) -> Result<(), Self::Error> {
+                Ok(())
+            }
+        }
+        let mut opts = ShardOptions::new(2);
+        opts.max_windows = Some(16);
+        let err = run_sharded(&mut [Stall], &opts).unwrap_err();
+        assert!(matches!(err, ShardError::WindowBackstop { windows: 16 }));
+    }
+
+    // ------------------------------------------------------------------
+    // The two ExecutorScheduler safety invariants, as proptests on the
+    // stealing deque itself.
+    // ------------------------------------------------------------------
+
+    proptest! {
+        /// Safety invariant 1: no task is ever executed twice. Concurrent
+        /// workers drain the deques with stealing enabled; the union of
+        /// their claim logs must be exactly the pushed task set, each task
+        /// claimed once.
+        #[test]
+        fn dashflow_no_task_executed_twice(
+            n_tasks in 1usize..64,
+            shards in 1usize..6,
+            strategy_ix in 0usize..3,
+            seed in 0u64..u64::MAX,
+        ) {
+            let strategy = [
+                SelectionStrategy::RoundRobin,
+                SelectionStrategy::LeastLoaded,
+                SelectionStrategy::Random,
+            ][strategy_ix];
+            let deque = StealDeque::new(shards);
+            for task in 0..n_tasks {
+                deque.push(task % shards, task).unwrap();
+            }
+            let claims: Mutex<Vec<TaskId>> = Mutex::new(Vec::new());
+            std::thread::scope(|scope| {
+                for shard in 0..shards {
+                    let deque = &deque;
+                    let claims = &claims;
+                    scope.spawn(move || {
+                        let mut rng = splitmix64(seed ^ shard as u64);
+                        let mut mine = Vec::new();
+                        loop {
+                            let next = match deque.pop_local(shard).unwrap() {
+                                Some(t) => Some(t),
+                                None => deque
+                                    .steal(shard, strategy, 3, &mut rng, None)
+                                    .unwrap(),
+                            };
+                            match next {
+                                Some(t) => mine.push(t),
+                                None => break,
+                            }
+                        }
+                        claims.lock().unwrap().extend(mine);
+                    });
+                }
+            });
+            let mut claimed = claims.into_inner().unwrap();
+            claimed.sort_unstable();
+            let expect: Vec<TaskId> = (0..n_tasks).collect();
+            // No duplicates (each task executed at most once)...
+            let mut deduped = claimed.clone();
+            deduped.dedup();
+            prop_assert_eq!(&deduped, &claimed, "a task was claimed twice");
+            // ...and with stealing every task is eventually executed. (A
+            // worker may exit while its deque is refilled by nobody — the
+            // executor re-deals per window — so completeness holds up to
+            // tasks left on deques.)
+            let mut leftover = Vec::new();
+            for shard in 0..shards {
+                while let Some(t) = deque.pop_local(shard).unwrap() {
+                    leftover.push(t);
+                }
+            }
+            let mut all = claimed;
+            all.extend(leftover);
+            all.sort_unstable();
+            prop_assert_eq!(all, expect, "claims + leftovers must cover the task set");
+        }
+
+        /// Safety invariant 2: a steal happens only against a victim
+        /// observed non-empty, and a steal attempt makes at most
+        /// `MaxStealAttempts` probes.
+        #[test]
+        fn dashflow_steal_bounded_and_from_nonempty_victims(
+            lens in proptest::collection::vec(0usize..5, 2..6),
+            thief in 0usize..6,
+            max_attempts in 0usize..6,
+            strategy_ix in 0usize..3,
+            seed in 0u64..u64::MAX,
+        ) {
+            let strategy = [
+                SelectionStrategy::RoundRobin,
+                SelectionStrategy::LeastLoaded,
+                SelectionStrategy::Random,
+            ][strategy_ix];
+            let shards = lens.len();
+            let thief = thief % shards;
+            let deque = StealDeque::new(shards);
+            let mut task = 0;
+            for (shard, &len) in lens.iter().enumerate() {
+                for _ in 0..len {
+                    deque.push(shard, task).unwrap();
+                    task += 1;
+                }
+            }
+            let mut rng = splitmix64(seed);
+            let mut log = Vec::new();
+            let stolen = deque
+                .steal(thief, strategy, max_attempts, &mut rng, Some(&mut log))
+                .unwrap();
+            prop_assert!(
+                log.len() <= max_attempts,
+                "{} probes exceed MaxStealAttempts {}",
+                log.len(),
+                max_attempts
+            );
+            for probe in &log {
+                prop_assert_ne!(probe.victim, thief, "a thief must not probe itself");
+                if probe.stolen.is_some() {
+                    prop_assert!(
+                        probe.victim_len > 0,
+                        "stole from a victim observed empty"
+                    );
+                }
+            }
+            // The overall result matches the probe log.
+            prop_assert_eq!(stolen, log.iter().find_map(|p| p.stolen));
+            // A successful steal ends the attempt: only the last probe may
+            // have stolen.
+            for probe in log.iter().rev().skip(1) {
+                prop_assert_eq!(probe.stolen, None);
+            }
+        }
+
+        /// End-to-end determinism: random toy workloads produce identical
+        /// per-task logs at 1 vs 4 shards.
+        #[test]
+        fn toy_workloads_shard_deterministically(
+            seeds in proptest::collection::vec(0u64..u64::MAX, 1..10),
+            n_tasks in 1usize..6,
+            link_delay_us in 1u64..6,
+        ) {
+            let (a, _) = toy_run(n_tasks, &seeds, link_delay_us, &ShardOptions::new(1));
+            let (b, _) = toy_run(n_tasks, &seeds, link_delay_us, &ShardOptions::new(4));
+            prop_assert_eq!(a, b);
+        }
+    }
+}

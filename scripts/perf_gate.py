@@ -11,8 +11,16 @@ baseline and exits nonzero when:
   gate rot — regenerate and commit it instead), or
 * ``steps_per_sec`` regressed by more than the tolerance (15% by
   default; override with ``PERF_GATE_TOLERANCE=0.20`` style env), or
-* either exactness proof (``cache_identity``, ``drain_identity``) is
-  missing or false in the current results.
+* any exactness proof (``cache_identity``, ``drain_identity``,
+  ``shard_identity``) is missing or false in the current results, or
+* a sharded-executor row regressed like-for-like against the baseline's
+  sharded rows (25% by default; ``PERF_GATE_SHARDED_TOLERANCE`` —
+  looser than the single-thread gate because multi-threaded wall clock
+  is noisier on shared runners), or
+* the 1→8-shard scaling factor fell below the floor (2.5x by default;
+  ``PERF_GATE_MIN_SCALING``) **on hosts with at least 8 cores** — a
+  small runner cannot show scaling, so there the factor is only
+  recorded, never enforced.
 
 Regenerate the baseline after an intentional perf change or a runner
 hardware change:
@@ -53,6 +61,66 @@ def rate(doc: dict, path: str, key: str) -> float:
     return float(v)
 
 
+def check_sharded(
+    cur: dict, base: dict, cur_path: str, base_path: str, regen: str
+) -> None:
+    """Gate the sharded executor: like-for-like row regression against
+    the baseline's sharded rows, plus a 1→8-shard scaling floor enforced
+    only on hosts with enough cores to show scaling."""
+    sh = cur.get("sharded")
+    if not (isinstance(sh, dict) and isinstance(sh.get("rows"), list)):
+        fail(f"{cur_path} has no 'sharded' rows — the sharded benchmark must run")
+    if sh.get("identical") is not True:
+        fail(f"sharded rows in {cur_path} are not proven identical")
+    bsh = base.get("sharded")
+    if not (isinstance(bsh, dict) and isinstance(bsh.get("rows"), list)):
+        fail(f"baseline {base_path} predates the sharded benchmark{regen}")
+
+    def row_rate(doc: dict, path: str, shards: int) -> float:
+        for row in doc["rows"]:
+            if isinstance(row, dict) and row.get("shards") == shards:
+                v = row.get("steps_per_sec")
+                if isinstance(v, (int, float)) and v > 0:
+                    return float(v)
+        fail(f"{path} has no sharded row with positive steps_per_sec at {shards} shards")
+
+    tol = float(os.environ.get("PERF_GATE_SHARDED_TOLERANCE", "0.25"))
+    if not 0.0 < tol < 1.0:
+        fail(f"PERF_GATE_SHARDED_TOLERANCE must be in (0, 1), got {tol}")
+    for shards in (1, 8):
+        c = row_rate(sh, cur_path, shards)
+        b = row_rate(bsh, base_path, shards)
+        ratio = c / b
+        print(
+            f"sharded[{shards}] steps_per_sec: {c:,.0f}/s vs "
+            f"baseline {b:,.0f}/s ({ratio:.0%})"
+        )
+        if ratio < 1.0 - tol:
+            fail(
+                f"sharded steps_per_sec at {shards} shards regressed "
+                f"{1.0 - ratio:.0%} (tolerance {tol:.0%}): "
+                f"{c:,.0f}/s vs {b:,.0f}/s{regen}"
+            )
+
+    scaling = sh.get("scaling_x")
+    if not (isinstance(scaling, (int, float)) and scaling > 0):
+        fail(f"{cur_path} has no positive sharded scaling_x")
+    min_scaling = float(os.environ.get("PERF_GATE_MIN_SCALING", "2.5"))
+    cores = cur.get("host_cores")
+    if isinstance(cores, int) and cores >= 8:
+        print(f"sharded scaling: {scaling:.2f}x (1 -> 8 shards) on {cores} cores")
+        if scaling < min_scaling:
+            fail(
+                f"sharded scaling {scaling:.2f}x is below the "
+                f"{min_scaling:.1f}x floor on a {cores}-core host"
+            )
+    else:
+        print(
+            f"note: host_cores={cores} (< 8) — scaling "
+            f"{scaling:.2f}x recorded, floor not enforced"
+        )
+
+
 def main() -> None:
     if len(sys.argv) != 3:
         fail("usage: perf_gate.py <current.json> <baseline.json>")
@@ -69,7 +137,7 @@ def main() -> None:
     if not 0.0 < tolerance < 1.0:
         fail(f"PERF_GATE_TOLERANCE must be in (0, 1), got {tolerance}")
 
-    for ident in ("cache_identity", "drain_identity"):
+    for ident in ("cache_identity", "drain_identity", "shard_identity"):
         got = cur.get(ident)
         if not (isinstance(got, dict) and got.get("identical") is True):
             fail(f"{ident} missing or not identical in {cur_path}")
@@ -83,6 +151,8 @@ def main() -> None:
             f"steps_per_sec regressed {1.0 - ratio:.0%} "
             f"(tolerance {tolerance:.0%}): {c:,.0f}/s vs {b:,.0f}/s{regen}"
         )
+
+    check_sharded(cur, base, cur_path, base_path, regen)
 
     eb, ec = base.get("events_per_sec", 0), cur.get("events_per_sec", 0)
     if eb and ec < (1.0 - tolerance) * eb:
