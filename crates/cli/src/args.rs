@@ -96,6 +96,11 @@ pub const VALUE_FLAGS: &[&str] = &[
     "duration",
     "prompt-tokens",
     "output-tokens",
+    "net-chaos",
+    "net-fault-seed",
+    "request-timeout",
+    "retries",
+    "retry-budget",
 ];
 
 impl Args {

@@ -501,6 +501,7 @@ pub fn perf(args: &Args) -> Result<String, ArgError> {
 ///
 /// Reports invalid flags, an unbindable port, or an invalid config.
 pub fn serve(args: &Args) -> Result<String, ArgError> {
+    use windserve_faults::NetFaultPlan;
     use windserve_gateway::server::{Gateway, GatewayConfig};
     let spec = RunSpec::from_args(args)?;
     let port: u16 = args.get_or("port", 8080u16)?;
@@ -515,12 +516,40 @@ pub fn serve(args: &Args) -> Result<String, ArgError> {
         Some(raw) => Some(parse_duration_secs(raw)?),
         None => None,
     };
+    let request_timeout_secs = match args.get("request-timeout") {
+        Some(raw) => Some(parse_duration_secs(raw)?),
+        None => None,
+    };
+    let net_faults = match args.get("net-chaos") {
+        Some(preset) => {
+            let seed: u64 = match args.get("net-fault-seed") {
+                Some(_) => args.get_or("net-fault-seed", 0u64)?,
+                None => args.get_or("seed", 2766u64)?,
+            };
+            Some(
+                NetFaultPlan::from_preset(preset, seed)
+                    .map_err(|e| ArgError(format!("--net-chaos: {e}")))?,
+            )
+        }
+        None if args.get("net-fault-seed").is_some() => {
+            return Err(ArgError(
+                "--net-fault-seed needs --net-chaos <preset>".to_string(),
+            ));
+        }
+        None => None,
+    };
+    // Install the SIGTERM handler before anything is announced, so a
+    // supervisor that signals the moment it sees liveness always takes
+    // the graceful-drain path.
+    sigterm::install();
     let gateway = Gateway::start(GatewayConfig {
         cfg: spec.config,
         addr: "127.0.0.1".to_string(),
         port,
         workers,
         time_scale,
+        request_timeout_secs,
+        net_faults,
     })
     .map_err(|e| ArgError(format!("{e}")))?;
     // The final report goes to stdout on exit; announce liveness on
@@ -529,27 +558,107 @@ pub fn serve(args: &Args) -> Result<String, ArgError> {
         "windserve gateway listening on http://{} (time-scale {time_scale}x, {workers} workers)",
         gateway.addr()
     );
-    match duration {
-        Some(secs) => std::thread::sleep(std::time::Duration::from_secs_f64(secs)),
-        None => loop {
-            std::thread::sleep(std::time::Duration::from_secs(3600));
-        },
+    let deadline =
+        duration.map(|secs| std::time::Instant::now() + std::time::Duration::from_secs_f64(secs));
+    let mut terminated = false;
+    loop {
+        if sigterm::received() {
+            terminated = true;
+            break;
+        }
+        if deadline.is_some_and(|d| std::time::Instant::now() >= d) {
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(20));
+    }
+    if terminated {
+        // Graceful drain: flip health to draining (new requests get a
+        // typed 503 + Retry-After), then shutdown, which stops the
+        // acceptor and lets the driver run every admitted request to a
+        // terminal state at full simulation speed.
+        eprintln!("windserve gateway: SIGTERM received, draining");
+        gateway.drain();
     }
     let report = gateway.shutdown();
+    let d = &report.driver;
     let value = serde_json::json!({
-        "submitted": report.submitted,
-        "completed": report.completed,
-        "rejected": report.rejected,
-        "aborted": report.aborted,
-        "error": report.error,
+        "submitted": d.submitted,
+        "completed": d.completed,
+        "rejected": d.rejected,
+        "aborted": d.aborted,
+        "deadline_exceeded": d.deadline_exceeded,
+        "disconnected": d.disconnected,
+        "net_faults": report.net_faults.len(),
+        "worker_panics": report.worker_panics,
+        "final_health": report.final_health,
+        "drained": terminated,
+        "error": d.error,
     });
     if args.switch("json") {
         render::json_envelope("serve", value)
     } else {
         Ok(format!(
-            "gateway served {} requests: {} completed, {} rejected, {} aborted\n",
-            report.submitted, report.completed, report.rejected, report.aborted,
+            "gateway served {} requests: {} completed, {} rejected, {} aborted, \
+             {} deadline-exceeded, {} disconnected\n\
+             injected {} net faults | {} worker panics | final health {}\n",
+            d.submitted,
+            d.completed,
+            d.rejected,
+            d.aborted,
+            d.deadline_exceeded,
+            d.disconnected,
+            report.net_faults.len(),
+            report.worker_panics,
+            report.final_health,
         ))
+    }
+}
+
+/// SIGTERM-to-flag plumbing for `serve`'s graceful drain. One audited
+/// FFI call installs a handler that flips an atomic; the serve wait
+/// loop polls the flag. Only async-signal-safe work (a relaxed store)
+/// happens inside the handler.
+#[cfg(unix)]
+mod sigterm {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    static RECEIVED: AtomicBool = AtomicBool::new(false);
+
+    extern "C" fn on_sigterm(_signo: i32) {
+        RECEIVED.store(true, Ordering::SeqCst);
+    }
+
+    /// Installs the SIGTERM handler (idempotent).
+    #[allow(unsafe_code)]
+    pub fn install() {
+        const SIGTERM: i32 = 15;
+        extern "C" {
+            fn signal(signum: i32, handler: usize) -> usize;
+        }
+        // SAFETY: `signal` is the libc entry point with this exact
+        // signature on every unix target we build for, and the handler
+        // only stores to an atomic, which is async-signal-safe.
+        unsafe {
+            signal(SIGTERM, on_sigterm as *const () as usize);
+        }
+    }
+
+    /// True once SIGTERM has been delivered.
+    pub fn received() -> bool {
+        RECEIVED.load(Ordering::SeqCst)
+    }
+}
+
+/// On non-unix targets the flag never flips; `--duration` (or a hard
+/// kill) remains the only way to stop the gateway.
+#[cfg(not(unix))]
+mod sigterm {
+    /// No-op.
+    pub fn install() {}
+
+    /// Always false.
+    pub fn received() -> bool {
+        false
     }
 }
 
@@ -574,7 +683,15 @@ pub fn loadgen(args: &Args) -> Result<String, ArgError> {
         prompt_tokens: args.get_or("prompt-tokens", 256u32)?,
         output_tokens: args.get_or("output-tokens", 32u32)?,
         seed: args.get_or("seed", 2766u64)?,
+        retries: args.get_or("retries", 0u32)?,
+        retry_budget: args.get_or("retry-budget", 0.25f64)?,
     };
+    if !(cfg.retry_budget.is_finite() && cfg.retry_budget >= 0.0) {
+        return Err(ArgError(format!(
+            "--retry-budget must be a non-negative fraction, got {}",
+            cfg.retry_budget
+        )));
+    }
     let report = windserve_gateway::loadgen::run(&cfg).map_err(|e| ArgError(format!("{e}")))?;
     if args.switch("json") {
         return render::json_envelope("loadgen", serde_json::to_value(&report));
@@ -586,9 +703,9 @@ pub fn loadgen(args: &Args) -> Result<String, ArgError> {
             format!("{v:.4}s")
         }
     };
-    Ok(format!(
+    let mut out = format!(
         "loadgen: {} submitted @ {:.1} req/s over {:.1}s wall | peak {} concurrent streams\n\
-         completed {} | 429 {} | 503 {} | aborted {} | transport errors {}\n\
+         completed {} | 429 {} | 503 {} | aborted {} | deadline-exceeded {} | transport errors {}\n\
          TTFT p50 {} p99 {} | TBT p50 {} p99 {}\n\
          goodput {:.3} completions/s\n",
         report.submitted,
@@ -599,13 +716,35 @@ pub fn loadgen(args: &Args) -> Result<String, ArgError> {
         report.rejected_429,
         report.rejected_503,
         report.aborted,
+        report.deadline_exceeded,
         report.transport_errors,
         stat(&report.ttft, report.ttft.p50),
         stat(&report.ttft, report.ttft.p99),
         stat(&report.tbt, report.tbt.p50),
         stat(&report.tbt, report.tbt.p99),
         report.goodput_rps,
-    ))
+    );
+    if cfg.retries > 0 {
+        let fa = &report.first_attempt;
+        let r = &report.retry;
+        out.push_str(&format!(
+            "first attempt: {} completed | 429 {} | 503 {} | aborted {} | \
+             deadline-exceeded {} | transport errors {}\n\
+             retries: {} sent | {} recovered by retry | {} budget-exhausted \
+             (budget {:.0}% of submitted)\n",
+            fa.completed,
+            fa.rejected_429,
+            fa.rejected_503,
+            fa.aborted,
+            fa.deadline_exceeded,
+            fa.transport_errors,
+            r.retries_sent,
+            r.completed_after_retry,
+            r.budget_exhausted,
+            cfg.retry_budget * 100.0,
+        ));
+    }
+    Ok(out)
 }
 
 /// Parses a duration like `500ms`, `5s`, `2m`, or a bare number of
@@ -748,6 +887,17 @@ COMMON FLAGS (with defaults):
                                  (loadgen) injection window [5s]
     --prompt-tokens N            (loadgen) prompt length per request [256]
     --output-tokens N            (loadgen) tokens streamed per request [32]
+    --request-timeout 5s|500ms   (serve) default per-request deadline; a
+                                 client x-request-timeout-ms header wins
+    --net-chaos <preset>         (serve) inject seeded network faults:
+                                 resets, slow-loris, stalled-writes,
+                                 worker-panics, driver-stalls, chaos
+    --net-fault-seed N           (serve) network-fault plan seed [--seed]
+    --retries N                  (loadgen) client retries per request for
+                                 429/503/transport errors, with jittered
+                                 exponential backoff honoring Retry-After [0]
+    --retry-budget F             (loadgen) cap total retries at this
+                                 fraction of submitted requests [0.25]
     --json                       machine-readable output
     --quiet                      (run) one-line summary
     --help                       this text
@@ -1129,7 +1279,30 @@ tier = 1
         let out = serve(&args("serve --port 0 --duration 200ms --json")).unwrap();
         let v = envelope(&out, "serve");
         assert_eq!(v["submitted"].as_u64(), Some(0));
+        assert_eq!(v["deadline_exceeded"].as_u64(), Some(0));
+        assert_eq!(v["net_faults"].as_u64(), Some(0));
+        assert_eq!(v["worker_panics"].as_u64(), Some(0));
+        assert_eq!(v["final_health"].as_str(), Some("healthy"));
         assert!(v["error"].is_null(), "{v:?}");
+    }
+
+    #[test]
+    fn serve_accepts_a_net_chaos_preset_and_reports_injected_faults() {
+        let out = serve(&args(
+            "serve --port 0 --duration 200ms --net-chaos chaos --net-fault-seed 7 --json",
+        ))
+        .unwrap();
+        let v = envelope(&out, "serve");
+        assert!(v["error"].is_null(), "{v:?}");
+        assert_eq!(v["final_health"].as_str(), Some("healthy"));
+    }
+
+    #[test]
+    fn serve_rejects_an_unknown_chaos_preset_and_an_orphan_fault_seed() {
+        let err = serve(&args("serve --port 0 --duration 1s --net-chaos banana")).unwrap_err();
+        assert!(err.0.contains("--net-chaos"), "{err}");
+        let err = serve(&args("serve --port 0 --duration 1s --net-fault-seed 7")).unwrap_err();
+        assert!(err.0.contains("--net-fault-seed"), "{err}");
     }
 
     #[test]
@@ -1161,6 +1334,14 @@ tier = 1
         )))
         .unwrap();
         assert!(text.contains("goodput"), "{text}");
+        // --retries adds the first-attempt/retry breakdown to the text.
+        let text = loadgen(&args(&format!(
+            "loadgen --port {port} --rate 20 --duration 200ms \
+             --prompt-tokens 48 --output-tokens 4 --retries 2"
+        )))
+        .unwrap();
+        assert!(text.contains("first attempt:"), "{text}");
+        assert!(text.contains("retries:"), "{text}");
         gw.shutdown();
     }
 

@@ -1,0 +1,45 @@
+//! Graceful shutdown of the real `windserve serve` binary: SIGTERM
+//! must drain the gateway (stop accepting, finish in-flight work) and
+//! exit 0 with the final JSON envelope on stdout.
+
+#![cfg(unix)]
+
+use std::io::{BufRead, BufReader};
+use std::process::{Command, Stdio};
+
+#[test]
+fn sigterm_drains_the_gateway_and_exits_zero() {
+    // No --duration: the server runs until signalled. Port 0 keeps the
+    // test off any real listener.
+    let mut child = Command::new(env!("CARGO_BIN_EXE_windserve"))
+        .args(["serve", "--port", "0", "--json"])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn windserve serve");
+    // The liveness announcement on stderr means the listener is up and
+    // the SIGTERM handler is installed.
+    let stderr = child.stderr.take().expect("stderr piped");
+    let mut lines = BufReader::new(stderr).lines();
+    let banner = lines
+        .next()
+        .expect("a liveness line")
+        .expect("readable stderr");
+    assert!(banner.contains("listening"), "{banner}");
+
+    let killed = Command::new("kill")
+        .args(["-TERM", &child.id().to_string()])
+        .status()
+        .expect("run kill");
+    assert!(killed.success(), "kill -TERM must reach the child");
+
+    let out = child.wait_with_output().expect("child exits");
+    assert!(out.status.success(), "graceful exit, got {:?}", out.status);
+    let stdout = String::from_utf8(out.stdout).expect("utf8 stdout");
+    let v: serde_json::Value =
+        serde_json::from_str(stdout.trim()).unwrap_or_else(|e| panic!("{e}: {stdout:?}"));
+    assert_eq!(v["command"].as_str(), Some("serve"));
+    assert_eq!(v["report"]["drained"].as_bool(), Some(true));
+    assert_eq!(v["report"]["final_health"].as_str(), Some("draining"));
+    assert!(v["report"]["error"].is_null(), "{v:?}");
+}

@@ -38,6 +38,69 @@
 use serde::{Deserialize, Serialize};
 use windserve_sim::{SimDuration, SimRng, SimTime};
 
+pub mod net;
+
+pub use net::{NetFaultKind, NetFaultPlan, NetFaultRecord, NET_PRESETS};
+
+/// A typed fault-plan validation failure.
+///
+/// Carried by [`FaultPlan::validate`] and [`NetFaultPlan::validate`]
+/// instead of a bare string, so callers can match on the failure class;
+/// the [`Display`](std::fmt::Display) form keeps the original
+/// human-readable message for error envelopes.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum FaultError {
+    /// A probability field was outside `[0, 1]`.
+    ProbabilityOutOfRange {
+        /// Which probability field.
+        field: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+    /// A link degradation factor was below 1 or non-finite.
+    BadDegradeFactor {
+        /// The offending factor.
+        factor: f64,
+    },
+    /// A straggler delay was zero (the fault would be a no-op).
+    ZeroStragglerDelay,
+    /// A duration field must be nonzero while its fault is enabled.
+    ZeroDuration {
+        /// Which duration field.
+        field: &'static str,
+    },
+    /// A preset name did not match any known preset.
+    UnknownPreset {
+        /// The name as given.
+        name: String,
+        /// The accepted preset names.
+        known: &'static [&'static str],
+    },
+}
+
+impl std::fmt::Display for FaultError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FaultError::ProbabilityOutOfRange { field, value } => {
+                write!(f, "{field} must be in [0, 1], got {value}")
+            }
+            FaultError::BadDegradeFactor { factor } => {
+                write!(f, "link degradation factor must be >= 1, got {factor}")
+            }
+            FaultError::ZeroStragglerDelay => write!(f, "straggler delay must be nonzero"),
+            FaultError::ZeroDuration { field } => {
+                write!(f, "{field} must be nonzero while its fault is enabled")
+            }
+            FaultError::UnknownPreset { name, known } => {
+                write!(f, "unknown net-chaos preset {name:?}; try one of {known:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FaultError {}
+
 /// One kind of injected fault.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 #[non_exhaustive]
@@ -226,25 +289,23 @@ impl FaultPlan {
     ///
     /// # Errors
     ///
-    /// Returns a human-readable reason when a probability is outside
+    /// Returns a typed [`FaultError`] when a probability is outside
     /// `[0, 1]`, a degradation factor is below 1, or a straggler delay is
     /// zero.
-    pub fn validate(&self) -> Result<(), String> {
+    pub fn validate(&self) -> Result<(), FaultError> {
         if !(0.0..=1.0).contains(&self.transfer_failure_p) {
-            return Err(format!(
-                "transfer_failure_p must be in [0, 1], got {}",
-                self.transfer_failure_p
-            ));
+            return Err(FaultError::ProbabilityOutOfRange {
+                field: "transfer_failure_p",
+                value: self.transfer_failure_p,
+            });
         }
         for event in &self.events {
             match event.kind {
                 FaultKind::LinkDegrade { factor } if !(factor >= 1.0 && factor.is_finite()) => {
-                    return Err(format!(
-                        "link degradation factor must be >= 1, got {factor}"
-                    ));
+                    return Err(FaultError::BadDegradeFactor { factor });
                 }
                 FaultKind::Straggler { delay, .. } if delay.is_zero() => {
-                    return Err("straggler delay must be nonzero".to_string());
+                    return Err(FaultError::ZeroStragglerDelay);
                 }
                 _ => {}
             }
@@ -320,11 +381,25 @@ mod tests {
     fn validate_rejects_bad_probability_and_factor() {
         let mut plan = FaultPlan::new(0);
         plan.transfer_failure_p = 1.5;
-        assert!(plan.validate().is_err());
+        let err = plan.validate().unwrap_err();
+        assert!(
+            matches!(
+                err,
+                FaultError::ProbabilityOutOfRange {
+                    field: "transfer_failure_p",
+                    ..
+                }
+            ),
+            "{err}"
+        );
+        assert!(err.to_string().contains("[0, 1]"), "{err}");
 
         let plan =
             FaultPlan::new(0).with_event(SimTime::ZERO, FaultKind::LinkDegrade { factor: 0.5 });
-        assert!(plan.validate().is_err());
+        assert!(matches!(
+            plan.validate(),
+            Err(FaultError::BadDegradeFactor { .. })
+        ));
 
         let plan = FaultPlan::new(0).with_event(
             SimTime::ZERO,

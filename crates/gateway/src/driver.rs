@@ -19,7 +19,7 @@ use std::time::{Duration, Instant};
 
 use windserve::{Cluster, ClusterSession, LiveEvent, RunReport, ServeConfig, SessionSnapshot};
 use windserve_metrics::DropReason;
-use windserve_sim::SimTime;
+use windserve_sim::{SimDuration, SimTime};
 use windserve_trace::TraceEvent;
 use windserve_workload::{Request, RequestId};
 
@@ -91,6 +91,10 @@ pub struct DriverReport {
     pub rejected: u64,
     /// Requests dropped after admission (mid-stream aborts).
     pub aborted: u64,
+    /// Streams killed because their per-request deadline expired.
+    pub deadline_exceeded: u64,
+    /// Streams reclaimed because the client disconnected mid-stream.
+    pub disconnected: u64,
     /// The simulator's own run report, if the session finished cleanly.
     pub run_report: Option<RunReport>,
     /// A session error, if the event loop failed.
@@ -102,12 +106,19 @@ enum Msg {
         prompt_tokens: u32,
         output_tokens: u32,
         tier: u8,
+        timeout_secs: Option<f64>,
         verdict: Sender<Result<RequestId, DropReason>>,
         sink: Sink,
     },
     Snapshot {
         reply: Sender<SessionSnapshot>,
     },
+    /// Record a gateway-layer event into the session trace.
+    Trace(TraceEvent),
+    /// A pump stream died mid-flight (client disconnect); reclaim it.
+    StreamDead(u64),
+    /// Injected driver stall (network chaos): sleep on the driver thread.
+    Stall(Duration),
     Shutdown {
         reply: Sender<DriverReport>,
     },
@@ -137,6 +148,7 @@ impl DriverHandle {
         prompt_tokens: u32,
         output_tokens: u32,
         tier: u8,
+        timeout_secs: Option<f64>,
         sink: Sink,
     ) -> Result<RequestId, SubmitError> {
         let (verdict_tx, verdict_rx) = mpsc::channel();
@@ -145,6 +157,7 @@ impl DriverHandle {
                 prompt_tokens,
                 output_tokens,
                 tier,
+                timeout_secs,
                 verdict: verdict_tx,
                 sink,
             })
@@ -154,6 +167,25 @@ impl DriverHandle {
             Ok(Err(reason)) => Err(SubmitError::Dropped(reason)),
             Err(_) => Err(SubmitError::Unavailable),
         }
+    }
+
+    /// Records a gateway-layer event (health transitions, injected
+    /// faults) into the session trace. Best-effort: lost if the driver
+    /// is gone.
+    pub fn emit_trace(&self, ev: TraceEvent) {
+        let _ = self.tx.send(Msg::Trace(ev));
+    }
+
+    /// Reports a pump stream that died mid-flight so the driver reclaims
+    /// its routing state instead of feeding a vanished client forever.
+    pub fn stream_dead(&self, stream: u64) {
+        let _ = self.tx.send(Msg::StreamDead(stream));
+    }
+
+    /// Injects a driver stall (network chaos): the driver thread sleeps
+    /// for `dur` (capped) before processing further work.
+    pub fn stall(&self, dur: Duration) {
+        let _ = self.tx.send(Msg::Stall(dur));
     }
 
     /// A point-in-time snapshot of the live session, or `None` if the
@@ -226,6 +258,8 @@ impl SimDriver {
             completed: 0,
             rejected: 0,
             aborted: 0,
+            deadline_exceeded: 0,
+            disconnected: 0,
             run_report: None,
             error: Some("driver thread unavailable".to_string()),
         })
@@ -238,16 +272,30 @@ struct StreamState {
     submitted_at: SimTime,
     first_token_at: Option<SimTime>,
     tokens: u32,
+    /// Virtual instant past which the stream is killed with
+    /// `deadline-exceeded` (mapped from the wall-clock budget).
+    deadline: Option<SimTime>,
 }
+
+/// Longest injected driver stall honored per message — a chaos plan can
+/// slow the driver, never wedge it.
+const MAX_DRIVER_STALL: Duration = Duration::from_millis(500);
 
 struct Driver {
     session: ClusterSession,
     streams: HashMap<RequestId, StreamState>,
+    /// Pump stream id → request, so a dead-socket notification can
+    /// reclaim the right routing entry.
+    pump_streams: HashMap<u64, RequestId>,
     next_id: u64,
     submitted: u64,
     completed: u64,
     rejected: u64,
     aborted: u64,
+    deadline_exceeded: u64,
+    disconnected: u64,
+    /// Virtual seconds per real second (for mapping request deadlines).
+    scale: f64,
     /// First session failure; once set the driver stops pumping and
     /// reports the error on shutdown.
     error: Option<String>,
@@ -302,11 +350,15 @@ fn driver_loop(session: ClusterSession, rx: &Receiver<Msg>, scale: f64) {
     let mut driver = Driver {
         session,
         streams: HashMap::new(),
+        pump_streams: HashMap::new(),
         next_id: 0,
         submitted: 0,
         completed: 0,
         rejected: 0,
         aborted: 0,
+        deadline_exceeded: 0,
+        disconnected: 0,
+        scale,
         error: None,
     };
     let shutdown_reply = loop {
@@ -342,6 +394,8 @@ fn driver_loop(session: ClusterSession, rx: &Receiver<Msg>, scale: f64) {
         completed,
         rejected,
         aborted,
+        deadline_exceeded,
+        disconnected,
         error,
         ..
     } = driver;
@@ -356,6 +410,8 @@ fn driver_loop(session: ClusterSession, rx: &Receiver<Msg>, scale: f64) {
             completed,
             rejected,
             aborted,
+            deadline_exceeded,
+            disconnected,
             run_report,
             error,
         });
@@ -363,8 +419,8 @@ fn driver_loop(session: ClusterSession, rx: &Receiver<Msg>, scale: f64) {
 }
 
 impl Driver {
-    /// Pumps the session to the mapped virtual instant and routes every
-    /// live event produced.
+    /// Pumps the session to the mapped virtual instant, routes every
+    /// live event produced, then kills streams past their deadline.
     fn advance(&mut self, vnow: SimTime) {
         if self.error.is_some() {
             return;
@@ -373,6 +429,49 @@ impl Driver {
             self.error = Some(e.to_string());
         }
         self.route_live_events();
+        self.enforce_deadlines(vnow);
+    }
+
+    /// Aborts every live stream whose virtual deadline has passed: the
+    /// client gets a typed `deadline-exceeded` SSE terminal (or a
+    /// [`StreamUpdate::Aborted`]), and the routing entry is dropped so
+    /// later sim events for the request are ignored.
+    fn enforce_deadlines(&mut self, vnow: SimTime) {
+        let expired: Vec<RequestId> = self
+            .streams
+            .iter()
+            .filter(|(_, s)| s.deadline.is_some_and(|d| vnow >= d))
+            .map(|(id, _)| *id)
+            .collect();
+        for id in expired {
+            let Some(state) = self.streams.remove(&id) else {
+                continue;
+            };
+            self.deadline_exceeded += 1;
+            if let Sink::Pump { stream, .. } = &state.sink {
+                self.pump_streams.remove(stream);
+            }
+            self.session.emit_trace(TraceEvent::GatewayStreamClosed {
+                id,
+                delivered_tokens: state.tokens,
+            });
+            match &state.sink {
+                Sink::Channel(tx) => {
+                    let _ = tx.send(StreamUpdate::Aborted {
+                        reason: DropReason::DeadlineExceeded,
+                    });
+                }
+                Sink::Pump { pump, stream } => {
+                    let body = String::from_utf8(api::drop_body(DropReason::DeadlineExceeded))
+                        .unwrap_or_default();
+                    let ev = SseEvent::named(DropReason::DeadlineExceeded.label(), body);
+                    let mut bytes = encode_chunk(&ev.encode());
+                    bytes.extend_from_slice(LAST_CHUNK);
+                    pump.push(*stream, Frame::Data(bytes));
+                    pump.push(*stream, Frame::Close);
+                }
+            }
+        }
     }
 
     fn handle(&mut self, msg: Msg, vnow: SimTime) {
@@ -381,6 +480,7 @@ impl Driver {
                 prompt_tokens,
                 output_tokens,
                 tier,
+                timeout_secs,
                 verdict,
                 sink,
             } => {
@@ -423,6 +523,16 @@ impl Driver {
                 }
                 match admission {
                     Ok(id) => {
+                        // The wall-clock budget maps to virtual time with
+                        // the same scale the clock uses, so "2s real"
+                        // means the same thing to the deadline as it
+                        // does to token pacing.
+                        let deadline = timeout_secs
+                            .filter(|secs| secs.is_finite() && *secs > 0.0)
+                            .map(|secs| vnow + SimDuration::from_secs_f64(secs * self.scale));
+                        if let Sink::Pump { stream, .. } = &sink {
+                            self.pump_streams.insert(*stream, id);
+                        }
                         self.streams.insert(
                             id,
                             StreamState {
@@ -430,6 +540,7 @@ impl Driver {
                                 submitted_at: vnow,
                                 first_token_at: None,
                                 tokens: 0,
+                                deadline,
                             },
                         );
                         let _ = verdict.send(Ok(id));
@@ -442,6 +553,28 @@ impl Driver {
             }
             Msg::Snapshot { reply } => {
                 let _ = reply.send(self.session.snapshot());
+            }
+            Msg::Trace(ev) => {
+                self.session.emit_trace(ev);
+            }
+            Msg::StreamDead(stream) => {
+                let Some(id) = self.pump_streams.remove(&stream) else {
+                    return;
+                };
+                let Some(state) = self.streams.remove(&id) else {
+                    return;
+                };
+                self.disconnected += 1;
+                self.session.emit_trace(TraceEvent::GatewayStreamClosed {
+                    id,
+                    delivered_tokens: state.tokens,
+                });
+                // The sim keeps producing tokens for the request; with
+                // the routing entry gone they are dropped on the floor,
+                // which is exactly what a vanished client deserves.
+            }
+            Msg::Stall(dur) => {
+                std::thread::sleep(dur.min(MAX_DRIVER_STALL));
             }
             // Shutdown is intercepted by the loop.
             Msg::Shutdown { .. } => {}
@@ -487,6 +620,9 @@ impl Driver {
                 let Some(state) = self.streams.remove(&id) else {
                     return;
                 };
+                if let Sink::Pump { stream, .. } = &state.sink {
+                    self.pump_streams.remove(stream);
+                }
                 self.completed += 1;
                 self.session.emit_trace(TraceEvent::GatewayStreamClosed {
                     id,
@@ -519,6 +655,9 @@ impl Driver {
                 let Some(state) = self.streams.remove(&id) else {
                     return;
                 };
+                if let Sink::Pump { stream, .. } = &state.sink {
+                    self.pump_streams.remove(stream);
+                }
                 self.aborted += 1;
                 self.session.emit_trace(TraceEvent::GatewayStreamClosed {
                     id,
@@ -595,7 +734,7 @@ mod tests {
         let driver = SimDriver::spawn(test_config(), 1000.0).unwrap();
         let handle = driver.handle();
         let (tx, rx) = mpsc::channel();
-        let id = handle.submit(64, 4, 0, Sink::Channel(tx)).unwrap();
+        let id = handle.submit(64, 4, 0, None, Sink::Channel(tx)).unwrap();
         assert_eq!(id, RequestId(0));
         let mut tokens = 0u32;
         let done = loop {
@@ -625,7 +764,7 @@ mod tests {
         assert_eq!(snap.completed_requests, 0);
         assert!(!snap.instances.is_empty());
         let (tx, rx) = mpsc::channel();
-        handle.submit(64, 2, 0, Sink::Channel(tx)).unwrap();
+        handle.submit(64, 2, 0, None, Sink::Channel(tx)).unwrap();
         // Wait for completion, then the snapshot must count it.
         loop {
             if matches!(
@@ -653,9 +792,11 @@ mod tests {
         let driver = SimDriver::spawn(cfg, 1e-6).unwrap();
         let handle = driver.handle();
         let (tx, _rx) = mpsc::channel();
-        assert!(handle.submit(64, 4, 0, Sink::Channel(tx.clone())).is_ok());
+        assert!(handle
+            .submit(64, 4, 0, None, Sink::Channel(tx.clone()))
+            .is_ok());
         let err = handle
-            .submit(64, 4, 0, Sink::Channel(tx))
+            .submit(64, 4, 0, None, Sink::Channel(tx))
             .expect_err("cap of 1 must reject the second live request");
         match err {
             SubmitError::Dropped(reason) => assert_eq!(reason.http_status(), 429),
@@ -664,5 +805,28 @@ mod tests {
         let report = driver.shutdown();
         assert_eq!(report.rejected, 1);
         assert_eq!(report.completed, 1);
+    }
+
+    #[test]
+    fn deadlines_kill_streams_with_a_typed_abort() {
+        // Freeze virtual time (tiny scale): the request can never finish
+        // on its own, so only the deadline can end it.
+        let driver = SimDriver::spawn(test_config(), 1e-6).unwrap();
+        let handle = driver.handle();
+        let (tx, rx) = mpsc::channel();
+        handle
+            .submit(64, 64, 0, Some(0.05), Sink::Channel(tx))
+            .unwrap();
+        let update = rx.recv_timeout(Duration::from_secs(10)).unwrap();
+        assert_eq!(
+            update,
+            StreamUpdate::Aborted {
+                reason: DropReason::DeadlineExceeded
+            }
+        );
+        let report = driver.shutdown();
+        assert_eq!(report.deadline_exceeded, 1);
+        assert_eq!(report.completed, 0);
+        assert!(report.error.is_none(), "{:?}", report.error);
     }
 }

@@ -202,13 +202,27 @@ pub fn status_reason(code: u16) -> &'static str {
 
 /// Frames a complete fixed-length response (`Connection: close`).
 pub fn simple_response(status: u16, content_type: &str, body: &[u8]) -> Vec<u8> {
+    response_with_headers(status, content_type, &[], body)
+}
+
+/// Frames a complete fixed-length response with extra headers (for
+/// `Retry-After` on shed/drain responses). Always `Connection: close`.
+pub fn response_with_headers(
+    status: u16,
+    content_type: &str,
+    extra: &[(&str, &str)],
+    body: &[u8],
+) -> Vec<u8> {
     let mut out = format!(
-        "HTTP/1.1 {status} {}\r\nContent-Type: {content_type}\r\n\
-         Content-Length: {}\r\nConnection: close\r\n\r\n",
+        "HTTP/1.1 {status} {}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\n",
         status_reason(status),
         body.len(),
     )
     .into_bytes();
+    for (name, value) in extra {
+        out.extend_from_slice(format!("{name}: {value}\r\n").as_bytes());
+    }
+    out.extend_from_slice(b"Connection: close\r\n\r\n");
     out.extend_from_slice(body);
     out
 }
@@ -492,6 +506,17 @@ mod tests {
         assert_eq!(p.status(), Some(200));
         assert!(p.is_done());
         assert_eq!(p.take_body(), b"hello world");
+    }
+
+    #[test]
+    fn extra_headers_land_before_the_blank_line() {
+        let wire = response_with_headers(503, "application/json", &[("Retry-After", "2")], b"{}");
+        let mut p = ResponseParser::new();
+        p.feed(&wire).unwrap();
+        assert_eq!(p.status(), Some(503));
+        assert_eq!(p.header("retry-after"), Some("2"));
+        assert!(p.is_done());
+        assert_eq!(p.take_body(), b"{}");
     }
 
     #[test]

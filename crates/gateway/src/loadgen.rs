@@ -38,6 +38,12 @@ pub struct LoadgenConfig {
     pub output_tokens: u32,
     /// Arrival-process RNG seed.
     pub seed: u64,
+    /// Max retry attempts per request for retryable failures (`429`,
+    /// `503`, transport errors). `0` disables retries entirely.
+    pub retries: u32,
+    /// Retry budget: total retries may not exceed this fraction of
+    /// first-attempt arrivals (a retry storm amplifier guard).
+    pub retry_budget: f64,
 }
 
 impl Default for LoadgenConfig {
@@ -49,8 +55,41 @@ impl Default for LoadgenConfig {
             prompt_tokens: 256,
             output_tokens: 32,
             seed: 0,
+            retries: 0,
+            retry_budget: 0.25,
         }
     }
+}
+
+/// Outcomes of every *first* attempt, before any retry masked them —
+/// the honest picture of what the server did under load.
+#[derive(Debug, Clone, Default, Serialize)]
+pub struct FirstAttemptStats {
+    /// First attempts that completed.
+    pub completed: u64,
+    /// First attempts answered `429`.
+    pub rejected_429: u64,
+    /// First attempts answered `503`.
+    pub rejected_503: u64,
+    /// First attempts aborted mid-stream by a typed SSE `error` event.
+    pub aborted: u64,
+    /// First attempts killed by the server's per-request deadline.
+    pub deadline_exceeded: u64,
+    /// First attempts lost to connect/read/write/parse failures.
+    pub transport_errors: u64,
+}
+
+/// Client-side retry accounting.
+#[derive(Debug, Clone, Default, Serialize)]
+pub struct RetryStats {
+    /// Retry attempts actually sent.
+    pub retries_sent: u64,
+    /// Requests that completed on their first attempt.
+    pub completed_first_try: u64,
+    /// Requests that completed only after one or more retries.
+    pub completed_after_retry: u64,
+    /// Retryable failures abandoned because the retry budget was spent.
+    pub budget_exhausted: u64,
 }
 
 /// The load generator's client-side measurement report.
@@ -66,8 +105,16 @@ pub struct LoadReport {
     pub rejected_503: u64,
     /// Streams aborted mid-flight by a typed SSE `error` event.
     pub aborted: u64,
+    /// Streams killed by the server's per-request deadline (typed SSE
+    /// `deadline-exceeded` event).
+    pub deadline_exceeded: u64,
     /// Connect/read/write/parse failures.
     pub transport_errors: u64,
+    /// Outcomes of first attempts only (what the server did before
+    /// retries masked it).
+    pub first_attempt: FirstAttemptStats,
+    /// Client-side retry accounting.
+    pub retry: RetryStats,
     /// Wall-clock time to first token per completed stream, seconds.
     pub ttft: Percentiles,
     /// Wall-clock time between successive tokens, seconds.
@@ -94,6 +141,8 @@ struct Conn {
     tbt_samples: Vec<f64>,
     /// Terminal SSE state already recorded (done or error).
     finished: Option<Outcome>,
+    /// Zero-based attempt number (0 = first attempt).
+    attempt: u32,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -101,7 +150,27 @@ enum Outcome {
     Completed,
     Rejected(u16),
     Aborted,
+    DeadlineExceeded,
     TransportError,
+}
+
+impl Outcome {
+    /// Failures worth retrying: the server shed or the transport broke.
+    /// Deadline kills and typed aborts are final (the request itself is
+    /// the problem, not the moment it was sent).
+    fn retryable(self) -> bool {
+        matches!(self, Outcome::Rejected(_) | Outcome::TransportError)
+    }
+}
+
+/// Jittered exponential backoff: `base * 2^attempt`, scaled by a
+/// uniform factor in `[0.5, 1.5)`, floored by the server's
+/// `Retry-After` hint and capped at 2 seconds.
+fn backoff_delay(attempt: u32, retry_after_secs: Option<u64>, rng: &mut SimRng) -> Duration {
+    let base = 0.05 * f64::from(2u32.saturating_pow(attempt.min(16)));
+    let jittered = base * (0.5 + rng.next_f64());
+    let floored = jittered.max(retry_after_secs.unwrap_or(0) as f64);
+    Duration::from_secs_f64(floored.min(2.0))
 }
 
 /// Runs the load and reports client-side latency and goodput.
@@ -148,13 +217,37 @@ pub fn run(cfg: &LoadgenConfig) -> windserve::Result<LoadReport> {
     let mut next_arrival = epoch + Duration::from_secs_f64(gaps.pop_front().unwrap_or(0.0));
 
     let mut conns: Vec<Conn> = Vec::new();
+    // Scheduled retries: (fire instant, attempt number of the retry).
+    let mut pending_retries: Vec<(Instant, u32)> = Vec::new();
     let mut submitted = 0u64;
     let mut counts = [0u64; 4]; // completed, 429, 503, aborted
+    let mut deadline_exceeded = 0u64;
     let mut transport_errors = 0u64;
+    let mut first_attempt = FirstAttemptStats::default();
+    let mut retry = RetryStats::default();
     let mut ttfts: Vec<f64> = Vec::new();
     let mut tbts: Vec<f64> = Vec::new();
     let mut peak_concurrent = 0usize;
     let mut buf = [0u8; 16 * 1024];
+
+    let open_conn = |addr: &str, request: &[u8], attempt: u32| -> Option<Conn> {
+        let sock = TcpStream::connect(addr).ok()?;
+        let _ = sock.set_nodelay(true);
+        let _ = sock.set_nonblocking(true);
+        Some(Conn {
+            sock,
+            out: request.to_vec(),
+            written: 0,
+            parser: ResponseParser::new(),
+            sse: SseParser::new(),
+            started: Instant::now(),
+            last_token: None,
+            ttft_secs: None,
+            tbt_samples: Vec::new(),
+            finished: None,
+            attempt,
+        })
+    };
 
     loop {
         let now = Instant::now();
@@ -162,24 +255,22 @@ pub fn run(cfg: &LoadgenConfig) -> windserve::Result<LoadReport> {
         // regardless of backlog.
         while now >= next_arrival && now < deadline {
             submitted += 1;
-            match TcpStream::connect(&cfg.addr) {
-                Ok(sock) => {
-                    let _ = sock.set_nodelay(true);
-                    let _ = sock.set_nonblocking(true);
-                    conns.push(Conn {
-                        sock,
-                        out: request.clone(),
-                        written: 0,
-                        parser: ResponseParser::new(),
-                        sse: SseParser::new(),
-                        started: Instant::now(),
-                        last_token: None,
-                        ttft_secs: None,
-                        tbt_samples: Vec::new(),
-                        finished: None,
-                    });
+            match open_conn(&cfg.addr, &request, 0) {
+                Some(conn) => conns.push(conn),
+                None => {
+                    first_attempt.transport_errors += 1;
+                    // A failed connect is retryable like any transport
+                    // error; route it through the same retry decision.
+                    if cfg.retries > 0 && retry_budget_allows(&retry, submitted, cfg.retry_budget) {
+                        retry.retries_sent += 1;
+                        pending_retries.push((now + backoff_delay(0, None, &mut rng), 1));
+                    } else {
+                        transport_errors += 1;
+                        if cfg.retries > 0 {
+                            retry.budget_exhausted += 1;
+                        }
+                    }
                 }
-                Err(_) => transport_errors += 1,
             }
             let gap = gaps.pop_front().unwrap_or_else(|| {
                 gaps.extend(
@@ -192,6 +283,30 @@ pub fn run(cfg: &LoadgenConfig) -> windserve::Result<LoadReport> {
             });
             next_arrival += Duration::from_secs_f64(gap);
         }
+        // Fire due retries (allowed past the injection deadline: the
+        // drain tail includes them).
+        let mut i = 0;
+        while i < pending_retries.len() {
+            if now >= pending_retries[i].0 {
+                let (_, attempt) = pending_retries.swap_remove(i);
+                match open_conn(&cfg.addr, &request, attempt) {
+                    Some(conn) => conns.push(conn),
+                    None => {
+                        if attempt < cfg.retries
+                            && retry_budget_allows(&retry, submitted, cfg.retry_budget)
+                        {
+                            retry.retries_sent += 1;
+                            pending_retries
+                                .push((now + backoff_delay(attempt, None, &mut rng), attempt + 1));
+                        } else {
+                            transport_errors += 1;
+                        }
+                    }
+                }
+            } else {
+                i += 1;
+            }
+        }
         peak_concurrent = peak_concurrent.max(conns.len());
 
         let mut progressed = false;
@@ -203,9 +318,44 @@ pub fn run(cfg: &LoadgenConfig) -> windserve::Result<LoadReport> {
             }
             Sweep::Finish(outcome) => {
                 progressed = true;
+                if conn.attempt == 0 {
+                    match outcome {
+                        Outcome::Completed => first_attempt.completed += 1,
+                        Outcome::Rejected(429) => first_attempt.rejected_429 += 1,
+                        Outcome::Rejected(_) => first_attempt.rejected_503 += 1,
+                        Outcome::Aborted => first_attempt.aborted += 1,
+                        Outcome::DeadlineExceeded => first_attempt.deadline_exceeded += 1,
+                        Outcome::TransportError => first_attempt.transport_errors += 1,
+                    }
+                }
+                // Retry decision: retryable failure, attempts left,
+                // budget left.
+                if outcome.retryable()
+                    && conn.attempt < cfg.retries
+                    && retry_budget_allows(&retry, submitted, cfg.retry_budget)
+                {
+                    retry.retries_sent += 1;
+                    let hint = conn
+                        .parser
+                        .header("retry-after")
+                        .and_then(|v| v.trim().parse::<u64>().ok());
+                    pending_retries.push((
+                        Instant::now() + backoff_delay(conn.attempt, hint, &mut rng),
+                        conn.attempt + 1,
+                    ));
+                    return false;
+                }
+                if outcome.retryable() && conn.attempt < cfg.retries && cfg.retries > 0 {
+                    retry.budget_exhausted += 1;
+                }
                 match outcome {
                     Outcome::Completed => {
                         counts[0] += 1;
+                        if conn.attempt == 0 {
+                            retry.completed_first_try += 1;
+                        } else {
+                            retry.completed_after_retry += 1;
+                        }
                         if let Some(t) = conn.ttft_secs {
                             ttfts.push(t);
                         }
@@ -214,6 +364,7 @@ pub fn run(cfg: &LoadgenConfig) -> windserve::Result<LoadReport> {
                     Outcome::Rejected(429) => counts[1] += 1,
                     Outcome::Rejected(_) => counts[2] += 1,
                     Outcome::Aborted => counts[3] += 1,
+                    Outcome::DeadlineExceeded => deadline_exceeded += 1,
                     Outcome::TransportError => transport_errors += 1,
                 }
                 false
@@ -221,12 +372,13 @@ pub fn run(cfg: &LoadgenConfig) -> windserve::Result<LoadReport> {
         });
 
         let now = Instant::now();
-        if now >= deadline && conns.is_empty() {
+        if now >= deadline && conns.is_empty() && pending_retries.is_empty() {
             break;
         }
         if now >= drain_deadline {
-            transport_errors += conns.len() as u64;
+            transport_errors += conns.len() as u64 + pending_retries.len() as u64;
             conns.clear();
+            pending_retries.clear();
             break;
         }
         if !progressed {
@@ -241,7 +393,10 @@ pub fn run(cfg: &LoadgenConfig) -> windserve::Result<LoadReport> {
         rejected_429: counts[1],
         rejected_503: counts[2],
         aborted: counts[3],
+        deadline_exceeded,
         transport_errors,
+        first_attempt,
+        retry,
         ttft: Percentiles::summarize(&ttfts),
         tbt: Percentiles::summarize(&tbts),
         goodput_rps: if wall_secs > 0.0 {
@@ -252,6 +407,15 @@ pub fn run(cfg: &LoadgenConfig) -> windserve::Result<LoadReport> {
         wall_secs,
         peak_concurrent,
     })
+}
+
+/// True while total retries stay under `budget × first-attempt arrivals`
+/// (at least one retry is always allowed once something was submitted).
+fn retry_budget_allows(retry: &RetryStats, submitted: u64, budget: f64) -> bool {
+    if submitted == 0 {
+        return false;
+    }
+    (retry.retries_sent as f64) < (budget * submitted as f64).max(1.0)
 }
 
 enum Sweep {
@@ -294,7 +458,9 @@ fn sweep(conn: &mut Conn, buf: &mut [u8]) -> Sweep {
                     Some(200) => {
                         let body = conn.parser.take_body();
                         for ev in conn.sse.feed(&body) {
-                            if ev.event.as_deref() == Some("error") {
+                            if ev.event.as_deref() == Some("deadline-exceeded") {
+                                conn.finished = Some(Outcome::DeadlineExceeded);
+                            } else if ev.event.as_deref() == Some("error") {
                                 conn.finished = Some(Outcome::Aborted);
                             } else if ev.data == api::DONE_SENTINEL {
                                 conn.finished = Some(Outcome::Completed);

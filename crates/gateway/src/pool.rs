@@ -7,6 +7,7 @@
 //! like overload inside the simulated cluster.
 
 use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, PoisonError};
 use std::thread::JoinHandle;
 
@@ -26,6 +27,9 @@ struct Inner {
     state: Mutex<State>,
     wake: Condvar,
     capacity: usize,
+    /// Connection handlers that panicked (each cost only its own
+    /// connection; the count feeds the gateway's resilience report).
+    panics: AtomicU64,
 }
 
 /// A fixed set of worker threads draining a bounded job queue.
@@ -46,7 +50,13 @@ impl std::fmt::Debug for WorkerPool {
 impl WorkerPool {
     /// Spawns `workers` threads sharing a queue of at most `capacity`
     /// waiting jobs (both clamped to at least 1).
-    pub fn new(workers: usize, capacity: usize) -> Self {
+    ///
+    /// # Errors
+    ///
+    /// Returns the OS error when a worker thread cannot be spawned;
+    /// already-spawned workers are joined before returning so no thread
+    /// leaks from a partial pool.
+    pub fn new(workers: usize, capacity: usize) -> std::io::Result<Self> {
         let inner = Arc::new(Inner {
             state: Mutex::new(State {
                 jobs: VecDeque::new(),
@@ -54,17 +64,31 @@ impl WorkerPool {
             }),
             wake: Condvar::new(),
             capacity: capacity.max(1),
+            panics: AtomicU64::new(0),
         });
-        let workers = (0..workers.max(1))
-            .map(|i| {
-                let inner = Arc::clone(&inner);
-                std::thread::Builder::new()
-                    .name(format!("gw-worker-{i}"))
-                    .spawn(move || worker_loop(&inner))
-                    .expect("spawn worker")
-            })
-            .collect();
-        WorkerPool { inner, workers }
+        let mut pool = WorkerPool {
+            inner,
+            workers: Vec::new(),
+        };
+        for i in 0..workers.max(1) {
+            let inner = Arc::clone(&pool.inner);
+            match std::thread::Builder::new()
+                .name(format!("gw-worker-{i}"))
+                .spawn(move || worker_loop(&inner))
+            {
+                Ok(handle) => pool.workers.push(handle),
+                Err(e) => {
+                    pool.shutdown();
+                    return Err(e);
+                }
+            }
+        }
+        Ok(pool)
+    }
+
+    /// How many connection handlers have panicked since the pool started.
+    pub fn panic_count(&self) -> u64 {
+        self.inner.panics.load(Ordering::Relaxed)
     }
 
     /// Queues a job, or returns `false` when the backlog is full (or the
@@ -121,6 +145,7 @@ fn worker_loop(inner: &Inner) {
         // A panicking handler must cost only its own connection, never
         // the worker: catch it so the pool keeps its full capacity.
         if std::panic::catch_unwind(std::panic::AssertUnwindSafe(job)).is_err() {
+            inner.panics.fetch_add(1, Ordering::Relaxed);
             eprintln!("gateway: connection handler panicked; worker continues");
         }
     }
@@ -134,7 +159,7 @@ mod tests {
 
     #[test]
     fn jobs_run_and_shutdown_joins() {
-        let pool = WorkerPool::new(4, 64);
+        let pool = WorkerPool::new(4, 64).unwrap();
         let counter = Arc::new(AtomicUsize::new(0));
         for _ in 0..50 {
             let counter = Arc::clone(&counter);
@@ -147,10 +172,26 @@ mod tests {
     }
 
     #[test]
+    fn panicking_jobs_are_counted_and_spare_the_worker() {
+        let pool = WorkerPool::new(1, 8).unwrap();
+        let (done_tx, done_rx) = mpsc::channel::<()>();
+        assert!(pool.try_execute(|| panic!("injected")));
+        assert!(pool.try_execute(move || {
+            done_tx.send(()).unwrap();
+        }));
+        // The job after the panic still runs: the worker survived.
+        done_rx
+            .recv_timeout(std::time::Duration::from_secs(5))
+            .unwrap();
+        assert_eq!(pool.panic_count(), 1);
+        pool.shutdown();
+    }
+
+    #[test]
     fn full_backlog_refuses_rather_than_queues() {
         // One worker blocked on a channel; capacity 1 means the second
         // queued job fills the backlog and the third is refused.
-        let pool = WorkerPool::new(1, 1);
+        let pool = WorkerPool::new(1, 1).unwrap();
         let (block_tx, block_rx) = mpsc::channel::<()>();
         let (entered_tx, entered_rx) = mpsc::channel::<()>();
         assert!(pool.try_execute(move || {

@@ -8,23 +8,41 @@
 //! *head* — a streaming response parks its socket on the pump and frees
 //! the worker immediately, which is how a small pool sustains thousands
 //! of concurrent streams.
+//!
+//! Resilience: every admission passes the [`Health`] gate (draining and
+//! circuit-breaker fast-fails answer `503` + `Retry-After` without
+//! touching the driver), per-request deadlines propagate to the driver,
+//! dead SSE sockets are reported back so the driver reclaims their
+//! streams, and an optional seeded [`NetFaultPlan`] injects network
+//! chaos (connection resets, slow-loris reads, stalled writes, worker
+//! panics, driver stalls) at the transport layer.
 
 use std::io::{BufReader, Write};
 use std::net::{TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{mpsc, Arc};
-use std::thread::JoinHandle;
+use std::sync::{mpsc, Arc, Mutex, PoisonError};
+use std::time::Duration;
 
 use serde_json::Value;
 use windserve::{Error, ServeConfig};
+use windserve_faults::{NetFaultKind, NetFaultPlan, NetFaultRecord};
+use windserve_trace::TraceEvent;
 
 use crate::api::{self, CompletionRequest};
 use crate::driver::{DriverHandle, DriverReport, SimDriver, Sink, StreamUpdate, SubmitError};
 use crate::envelope::json_envelope;
+use crate::health::{Gate, Health, HealthConfig, HealthSignal, HealthState};
 use crate::http::{self, HttpRequest};
 use crate::pool::WorkerPool;
 use crate::pump::{PumpHandle, StreamPump};
 use crate::registry::Registry;
+
+/// Cap on injected slow-loris / stalled-write delays so a chaos plan can
+/// slow the gateway, never wedge it.
+const MAX_INJECTED_DELAY: Duration = Duration::from_secs(2);
+
+/// `Retry-After` seconds suggested on admission rejections and drain.
+const RETRY_AFTER_SECS: u64 = 1;
 
 /// How the gateway is stood up.
 #[derive(Debug, Clone)]
@@ -40,11 +58,17 @@ pub struct GatewayConfig {
     pub workers: usize,
     /// Virtual seconds simulated per real second.
     pub time_scale: f64,
+    /// Default per-request wall-clock budget; a request past it is
+    /// killed with a typed `deadline-exceeded` terminal. Overridable
+    /// per request via the `x-request-timeout-ms` header.
+    pub request_timeout_secs: Option<f64>,
+    /// Seeded network-chaos plan injected at the transport layer.
+    pub net_faults: Option<NetFaultPlan>,
 }
 
 impl GatewayConfig {
     /// A localhost gateway over `cfg` with an ephemeral port, four
-    /// workers, and a 100× time scale.
+    /// workers, a 100× time scale, no default deadline, and no chaos.
     pub fn local(cfg: ServeConfig) -> Self {
         GatewayConfig {
             cfg,
@@ -52,32 +76,86 @@ impl GatewayConfig {
             port: 0,
             workers: 4,
             time_scale: 100.0,
+            request_timeout_secs: None,
+            net_faults: None,
         }
     }
+}
+
+/// Final accounting from a gateway that has shut down.
+#[derive(Debug)]
+pub struct GatewayReport {
+    /// Health state label at the moment shutdown began.
+    pub final_health: &'static str,
+    /// Every injected network fault, in connection order.
+    pub net_faults: Vec<NetFaultRecord>,
+    /// Connection handlers that panicked (injected or otherwise); each
+    /// cost only its own connection.
+    pub worker_panics: u64,
+    /// The driver's final accounting.
+    pub driver: DriverReport,
 }
 
 /// Everything a worker needs to answer a request.
 struct Ctx {
     handle: DriverHandle,
     pump: PumpHandle,
+    health: Arc<Health>,
     /// Static control-plane registry, serialized once at startup.
     registry: Value,
     /// The served model's context limit; requests that cannot fit are
     /// rejected with `400` (an unschedulable request would never finish).
     max_context: u32,
+    /// Default per-request deadline (seconds), header-overridable.
+    request_timeout_secs: Option<f64>,
+    /// Seeded chaos plan consulted once per accepted connection.
+    net_faults: Option<NetFaultPlan>,
+    /// Injected-fault log (deterministic for a fixed seed and a
+    /// sequential client).
+    fault_log: Arc<Mutex<Vec<NetFaultRecord>>>,
     /// Pump stream ids (decoupled from request ids, which the driver
     /// assigns after submission).
     next_stream: AtomicU64,
+}
+
+impl Ctx {
+    /// Forwards a health transition into the scheduling trace.
+    fn emit_signal(&self, signal: HealthSignal) {
+        let ev = match signal {
+            HealthSignal::StateChanged {
+                from,
+                to,
+                error_rate,
+            } => TraceEvent::GatewayHealthChanged {
+                from: from.label().to_string(),
+                to: to.label().to_string(),
+                error_rate,
+            },
+            HealthSignal::Breaker {
+                state,
+                consecutive_failures,
+            } => TraceEvent::GatewayBreaker {
+                state: state.to_string(),
+                consecutive_failures,
+            },
+        };
+        self.handle.emit_trace(ev);
+    }
 }
 
 /// A running gateway: listener + workers + pump + driver.
 pub struct Gateway {
     local_addr: std::net::SocketAddr,
     stop: Arc<AtomicBool>,
-    acceptor: Option<JoinHandle<WorkerPool>>,
+    acceptor: Option<JoinHandleWorkerPool>,
     pump: StreamPump,
     driver: SimDriver,
+    handle: DriverHandle,
+    health: Arc<Health>,
+    fault_log: Arc<Mutex<Vec<NetFaultRecord>>>,
 }
+
+type JoinHandleWorkerPool = std::thread::JoinHandle<WorkerPool>;
 
 impl std::fmt::Debug for Gateway {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
@@ -92,13 +170,29 @@ impl Gateway {
     ///
     /// # Errors
     ///
-    /// [`Error::Gateway`] when the listener cannot bind; cluster
-    /// construction errors pass through.
+    /// [`Error::Gateway`] when the listener cannot bind or service
+    /// threads cannot spawn; cluster construction and chaos-plan
+    /// validation errors pass through.
     pub fn start(gw: GatewayConfig) -> windserve::Result<Gateway> {
+        if let Some(plan) = &gw.net_faults {
+            plan.validate().map_err(|e| Error::Gateway {
+                reason: format!("net-chaos plan: {e}"),
+            })?;
+        }
         let registry = serde_json::to_value(&Registry::from_config(&gw.cfg));
         let max_context = gw.cfg.model.max_context;
         let driver = SimDriver::spawn(gw.cfg, gw.time_scale)?;
-        let pump = StreamPump::new();
+        let handle = driver.handle();
+        // Dead SSE sockets loop back to the driver so it reclaims the
+        // stream instead of feeding a vanished client forever.
+        let pump = {
+            let handle = handle.clone();
+            StreamPump::with_notifier(Box::new(move |stream| handle.stream_dead(stream))).map_err(
+                |e| Error::Gateway {
+                    reason: format!("spawn pump: {e}"),
+                },
+            )?
+        };
         let listener =
             TcpListener::bind((gw.addr.as_str(), gw.port)).map_err(|e| Error::Gateway {
                 reason: format!("bind {}:{}: {e}", gw.addr, gw.port),
@@ -106,15 +200,26 @@ impl Gateway {
         let local_addr = listener.local_addr().map_err(|e| Error::Gateway {
             reason: format!("local_addr: {e}"),
         })?;
+        let health = Arc::new(Health::new(HealthConfig::default()));
+        let fault_log = Arc::new(Mutex::new(Vec::new()));
         let ctx = Arc::new(Ctx {
-            handle: driver.handle(),
+            handle: handle.clone(),
             pump: pump.handle(),
+            health: Arc::clone(&health),
             registry,
             max_context,
+            request_timeout_secs: gw.request_timeout_secs,
+            net_faults: gw.net_faults,
+            fault_log: Arc::clone(&fault_log),
             next_stream: AtomicU64::new(0),
         });
         let stop = Arc::new(AtomicBool::new(false));
-        let pool = WorkerPool::new(gw.workers, gw.workers.saturating_mul(64).max(64));
+        let pool =
+            WorkerPool::new(gw.workers, gw.workers.saturating_mul(64).max(64)).map_err(|e| {
+                Error::Gateway {
+                    reason: format!("spawn worker pool: {e}"),
+                }
+            })?;
         let acceptor = {
             let stop = Arc::clone(&stop);
             std::thread::Builder::new()
@@ -130,6 +235,9 @@ impl Gateway {
             acceptor: Some(acceptor),
             pump,
             driver,
+            handle,
+            health,
+            fault_log,
         })
     }
 
@@ -144,20 +252,66 @@ impl Gateway {
         self.driver.handle()
     }
 
+    /// The gateway's current health state.
+    pub fn health_state(&self) -> HealthState {
+        self.health.state()
+    }
+
+    /// Begins graceful drain: new completions are rejected with `503` +
+    /// `Retry-After` while in-flight streams keep running. Idempotent;
+    /// follow with [`Gateway::shutdown`] to finish them and exit.
+    pub fn drain(&self) {
+        if let Some(signal) = self.health.begin_drain() {
+            let ev = match signal {
+                HealthSignal::StateChanged {
+                    from,
+                    to,
+                    error_rate,
+                } => TraceEvent::GatewayHealthChanged {
+                    from: from.label().to_string(),
+                    to: to.label().to_string(),
+                    error_rate,
+                },
+                HealthSignal::Breaker {
+                    state,
+                    consecutive_failures,
+                } => TraceEvent::GatewayBreaker {
+                    state: state.to_string(),
+                    consecutive_failures,
+                },
+            };
+            self.handle.emit_trace(ev);
+        }
+    }
+
     /// Stops accepting, drains workers and in-flight simulation work,
-    /// and returns the driver's final accounting.
-    pub fn shutdown(mut self) -> DriverReport {
+    /// and returns the final accounting (driver totals plus the injected
+    /// fault log and worker panic count).
+    pub fn shutdown(mut self) -> GatewayReport {
+        let final_health = self.health.state().label();
         self.stop.store(true, Ordering::SeqCst);
         // Unblock the acceptor's `accept()` with a throwaway connection.
         let _ = TcpStream::connect(self.local_addr);
+        let mut worker_panics = 0;
         if let Some(acceptor) = self.acceptor.take() {
             if let Ok(pool) = acceptor.join() {
+                worker_panics = pool.panic_count();
                 pool.shutdown();
             }
         }
-        let report = self.driver.shutdown();
+        let driver = self.driver.shutdown();
         self.pump.shutdown();
-        report
+        let net_faults = self
+            .fault_log
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clone();
+        GatewayReport {
+            final_health,
+            net_faults,
+            worker_panics,
+            driver,
+        }
     }
 }
 
@@ -167,22 +321,36 @@ fn accept_loop(
     pool: WorkerPool,
     ctx: &Arc<Ctx>,
 ) -> WorkerPool {
+    let mut conn_id: u64 = 0;
     for conn in listener.incoming() {
         if stop.load(Ordering::SeqCst) {
             break;
         }
         let Ok(mut sock) = conn else { continue };
+        let conn = conn_id;
+        conn_id += 1;
+        let fault = ctx.net_faults.as_ref().and_then(|p| p.fault_for(conn));
+        if let Some(kind) = &fault {
+            record_fault(ctx, conn, kind);
+            if matches!(kind, NetFaultKind::ConnReset) {
+                // Close without answering: the client sees the
+                // connection die mid-handshake.
+                drop(sock);
+                continue;
+            }
+        }
         let Ok(job_sock) = sock.try_clone() else {
             continue;
         };
         let ctx = Arc::clone(ctx);
-        let accepted = pool.try_execute(Box::new(move || handle_connection(job_sock, &ctx)));
+        let accepted = pool.try_execute(Box::new(move || handle_connection(job_sock, &ctx, fault)));
         if !accepted {
             // The worker backlog is full: overload of the *gateway*
             // itself, answered inline so the client is not left hanging.
-            let _ = sock.write_all(&http::simple_response(
+            let _ = sock.write_all(&http::response_with_headers(
                 503,
                 "application/json",
+                &[("Retry-After", "1")],
                 &api::error_body(503, "overloaded", "gateway worker backlog is full"),
             ));
         }
@@ -190,8 +358,33 @@ fn accept_loop(
     pool
 }
 
-/// Serves one connection: one request, one response, close.
-fn handle_connection(sock: TcpStream, ctx: &Ctx) {
+/// Logs one injected fault and mirrors it into the scheduling trace.
+fn record_fault(ctx: &Ctx, conn: u64, kind: &NetFaultKind) {
+    ctx.fault_log
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+        .push(NetFaultRecord {
+            conn,
+            kind: kind.label().to_string(),
+        });
+    ctx.handle.emit_trace(TraceEvent::GatewayNetFault {
+        conn,
+        kind: kind.label().to_string(),
+    });
+}
+
+/// Serves one connection: one request, one response, close. An injected
+/// fault (already logged) shapes how the connection behaves.
+fn handle_connection(sock: TcpStream, ctx: &Ctx, fault: Option<NetFaultKind>) {
+    if matches!(fault, Some(NetFaultKind::WorkerPanic)) {
+        // The pool's catch_unwind turns this into a dropped connection
+        // plus a panic count — the gateway itself must keep serving.
+        panic!("injected worker panic");
+    }
+    if let Some(NetFaultKind::SlowLorisRead { delay_ms }) = &fault {
+        // The read side stalls as if the client trickled its bytes.
+        std::thread::sleep(Duration::from_millis(*delay_ms).min(MAX_INJECTED_DELAY));
+    }
     let Ok(read_half) = sock.try_clone() else {
         return;
     };
@@ -210,15 +403,9 @@ fn handle_connection(sock: TcpStream, ctx: &Ctx) {
         }
     };
     match (req.method.as_str(), req.path()) {
-        ("GET", "/healthz") => {
-            let _ = sock.write_all(&http::simple_response(
-                200,
-                "application/json",
-                br#"{"status":"ok"}"#,
-            ));
-        }
+        ("GET", "/healthz") => handle_healthz(&mut sock, ctx),
         ("GET", "/v1/cluster/status") => handle_status(&mut sock, ctx),
-        ("POST", "/v1/completions") => handle_completion(sock, &req, ctx),
+        ("POST", "/v1/completions") => handle_completion(sock, &req, ctx, fault),
         (_, "/healthz" | "/v1/cluster/status" | "/v1/completions") => {
             let _ = sock.write_all(&http::simple_response(
                 405,
@@ -236,8 +423,21 @@ fn handle_connection(sock: TcpStream, ctx: &Ctx) {
     }
 }
 
-/// `GET /v1/cluster/status`: live snapshot + static registry, wrapped in
-/// the shared envelope.
+/// `GET /healthz`: the health snapshot. `200` while serving (healthy or
+/// degraded), `503` once draining.
+fn handle_healthz(sock: &mut TcpStream, ctx: &Ctx) {
+    let snap = ctx.health.snapshot();
+    let status = if snap.status == "draining" { 503 } else { 200 };
+    let body = serde_json::to_string(&snap).unwrap_or_default();
+    let _ = sock.write_all(&http::simple_response(
+        status,
+        "application/json",
+        body.as_bytes(),
+    ));
+}
+
+/// `GET /v1/cluster/status`: live snapshot + static registry + health,
+/// wrapped in the shared envelope.
 fn handle_status(sock: &mut TcpStream, ctx: &Ctx) {
     let Some(snapshot) = ctx.handle.snapshot() else {
         let _ = sock.write_all(&http::simple_response(
@@ -249,6 +449,7 @@ fn handle_status(sock: &mut TcpStream, ctx: &Ctx) {
     };
     let report = serde_json::json!({
         "snapshot": serde_json::to_value(&snapshot),
+        "health": serde_json::to_value(&ctx.health.snapshot()),
         "nodes": ctx.registry["nodes"].clone(),
         "endpoints": ctx.registry["endpoints"].clone(),
         "placement": ctx.registry["placement"].clone(),
@@ -261,9 +462,49 @@ fn handle_status(sock: &mut TcpStream, ctx: &Ctx) {
     ));
 }
 
-/// `POST /v1/completions`: admission, then either a parked SSE stream or
-/// a blocking unary response.
-fn handle_completion(mut sock: TcpStream, req: &HttpRequest, ctx: &Ctx) {
+/// The request's wall-clock budget: the `x-request-timeout-ms` header
+/// wins over the gateway default.
+fn effective_timeout_secs(req: &HttpRequest, ctx: &Ctx) -> Option<f64> {
+    req.header("x-request-timeout-ms")
+        .and_then(|v| v.trim().parse::<u64>().ok())
+        .map(|ms| ms as f64 / 1_000.0)
+        .or(ctx.request_timeout_secs)
+}
+
+/// `POST /v1/completions`: health gate, admission, then either a parked
+/// SSE stream or a blocking unary response.
+fn handle_completion(
+    mut sock: TcpStream,
+    req: &HttpRequest,
+    ctx: &Ctx,
+    fault: Option<NetFaultKind>,
+) {
+    let (gate, signal) = ctx.health.gate();
+    if let Some(signal) = signal {
+        ctx.emit_signal(signal);
+    }
+    match gate {
+        Gate::Allow { .. } => {}
+        Gate::Draining => {
+            let _ = sock.write_all(&http::response_with_headers(
+                503,
+                "application/json",
+                &[("Retry-After", &RETRY_AFTER_SECS.to_string())],
+                &api::error_body(503, "draining", "the gateway is draining"),
+            ));
+            return;
+        }
+        Gate::BreakerOpen { retry_after } => {
+            let secs = retry_after.as_secs_f64().ceil().max(1.0) as u64;
+            let _ = sock.write_all(&http::response_with_headers(
+                503,
+                "application/json",
+                &[("Retry-After", &secs.to_string())],
+                &api::error_body(503, "breaker-open", "the admission circuit breaker is open"),
+            ));
+            return;
+        }
+    }
     let creq = match CompletionRequest::from_json(&req.body) {
         Ok(creq) => creq,
         Err(reason) => {
@@ -290,19 +531,40 @@ fn handle_completion(mut sock: TcpStream, req: &HttpRequest, ctx: &Ctx) {
         ));
         return;
     }
+    if let Some(NetFaultKind::DriverStall { stall_ms }) = &fault {
+        // The driver thread itself lags: every live stream feels it.
+        ctx.handle
+            .stall(Duration::from_millis(*stall_ms).min(MAX_INJECTED_DELAY));
+    }
+    let timeout_secs = effective_timeout_secs(req, ctx);
     if creq.stream {
         let stream = ctx.next_stream.fetch_add(1, Ordering::Relaxed);
         let sink = Sink::Pump {
             pump: ctx.pump.clone(),
             stream,
         };
-        match ctx
-            .handle
-            .submit(creq.prompt_tokens, creq.max_tokens, creq.tier, sink)
-        {
+        let result = ctx.handle.submit(
+            creq.prompt_tokens,
+            creq.max_tokens,
+            creq.tier,
+            timeout_secs,
+            sink,
+        );
+        for signal in ctx.health.record(result.is_err()) {
+            ctx.emit_signal(signal);
+        }
+        match result {
             Ok(_) => {
                 if sock.write_all(&http::sse_response_head()).is_ok() {
                     ctx.pump.register(stream, sock);
+                    if let Some(NetFaultKind::StalledWrite { stall_ms }) = &fault {
+                        // Buffered SSE bytes sit in the pump for the
+                        // stall window before flushing resumes.
+                        ctx.pump.stall(
+                            stream,
+                            Duration::from_millis(*stall_ms).min(MAX_INJECTED_DELAY),
+                        );
+                    }
                 }
                 // Token frames queued before registration are buffered by
                 // the pump; the worker is free as soon as the head is out.
@@ -310,13 +572,22 @@ fn handle_completion(mut sock: TcpStream, req: &HttpRequest, ctx: &Ctx) {
             Err(e) => write_submit_error(&mut sock, &e),
         }
     } else {
+        if let Some(NetFaultKind::StalledWrite { stall_ms }) = &fault {
+            // Unary responses stall before any byte is written.
+            std::thread::sleep(Duration::from_millis(*stall_ms).min(MAX_INJECTED_DELAY));
+        }
         let (tx, rx) = mpsc::channel();
-        match ctx.handle.submit(
+        let result = ctx.handle.submit(
             creq.prompt_tokens,
             creq.max_tokens,
             creq.tier,
+            timeout_secs,
             Sink::Channel(tx),
-        ) {
+        );
+        for signal in ctx.health.record(result.is_err()) {
+            ctx.emit_signal(signal);
+        }
+        match result {
             Ok(id) => loop {
                 match rx.recv() {
                     Ok(StreamUpdate::Token { .. }) => {}
@@ -337,9 +608,10 @@ fn handle_completion(mut sock: TcpStream, req: &HttpRequest, ctx: &Ctx) {
                         return;
                     }
                     Ok(StreamUpdate::Aborted { reason }) => {
-                        let _ = sock.write_all(&http::simple_response(
+                        let _ = sock.write_all(&http::response_with_headers(
                             reason.http_status(),
                             "application/json",
+                            &[("Retry-After", &RETRY_AFTER_SECS.to_string())],
                             &api::drop_body(reason),
                         ));
                         return;
@@ -367,5 +639,10 @@ fn write_submit_error(sock: &mut TcpStream, err: &SubmitError) {
             api::error_body(503, "unavailable", "the gateway is shutting down"),
         ),
     };
-    let _ = sock.write_all(&http::simple_response(status, "application/json", &body));
+    let _ = sock.write_all(&http::response_with_headers(
+        status,
+        "application/json",
+        &[("Retry-After", &RETRY_AFTER_SECS.to_string())],
+        &body,
+    ));
 }

@@ -64,9 +64,9 @@ fn streamed_completion_delivers_ordered_tokens_then_done() {
     }
     assert_eq!(events[8].data, "[DONE]");
     let report = gw.shutdown();
-    assert_eq!(report.submitted, 1);
-    assert_eq!(report.completed, 1);
-    assert!(report.error.is_none(), "{:?}", report.error);
+    assert_eq!(report.driver.submitted, 1);
+    assert_eq!(report.driver.completed, 1);
+    assert!(report.driver.error.is_none(), "{:?}", report.driver.error);
 }
 
 #[test]
@@ -164,7 +164,7 @@ fn overload_rejections_are_typed_429s() {
     assert_eq!(v["error"]["code"].as_u64(), Some(429));
     drop(first);
     let report = gw.shutdown();
-    assert_eq!(report.rejected, 1);
+    assert_eq!(report.driver.rejected, 1);
 }
 
 #[test]
@@ -218,9 +218,12 @@ fn healthz_answers_and_shutdown_is_clean_under_concurrent_streams() {
         t.join().expect("client threads finish");
     }
     let report = gw.shutdown();
-    assert_eq!(report.completed, 8);
-    assert_eq!(report.aborted, 0);
-    assert!(report.run_report.is_some(), "session must finish cleanly");
+    assert_eq!(report.driver.completed, 8);
+    assert_eq!(report.driver.aborted, 0);
+    assert!(
+        report.driver.run_report.is_some(),
+        "session must finish cleanly"
+    );
 }
 
 #[test]
@@ -233,6 +236,7 @@ fn loadgen_measures_nonzero_goodput_against_a_live_gateway() {
         prompt_tokens: 48,
         output_tokens: 4,
         seed: 7,
+        ..Default::default()
     })
     .expect("loadgen runs");
     assert!(report.submitted > 0, "open loop must inject arrivals");
@@ -242,7 +246,7 @@ fn loadgen_measures_nonzero_goodput_against_a_live_gateway() {
     assert!(report.tbt.count > 0, "TBT must be sampled");
     assert_eq!(report.transport_errors, 0, "{report:?}");
     let server = gw.shutdown();
-    assert_eq!(server.completed, report.completed);
+    assert_eq!(server.driver.completed, report.completed);
 }
 
 /// A hostile client must cost exactly one `400` (or a closed socket) —
@@ -289,6 +293,6 @@ fn malformed_requests_get_typed_errors_and_service_continues() {
     assert_eq!(events.last().map(|e| e.data.as_str()), Some("[DONE]"));
 
     let report = gw.shutdown();
-    assert_eq!(report.completed, 1);
-    assert!(report.error.is_none(), "{:?}", report.error);
+    assert_eq!(report.driver.completed, 1);
+    assert!(report.driver.error.is_none(), "{:?}", report.driver.error);
 }

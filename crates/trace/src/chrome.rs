@@ -340,6 +340,41 @@ impl TraceLog {
                     us,
                     json!({"delivered_tokens": *delivered_tokens}),
                 )),
+                TraceEvent::GatewayHealthChanged {
+                    from,
+                    to,
+                    error_rate,
+                } => body.push(instant(
+                    "gateway-health-changed",
+                    SCHEDULER_PID,
+                    0,
+                    us,
+                    json!({
+                        "from": from,
+                        "to": to,
+                        "error_rate": *error_rate,
+                    }),
+                )),
+                TraceEvent::GatewayBreaker {
+                    state,
+                    consecutive_failures,
+                } => body.push(instant(
+                    "gateway-breaker",
+                    SCHEDULER_PID,
+                    0,
+                    us,
+                    json!({
+                        "state": state,
+                        "consecutive_failures": *consecutive_failures,
+                    }),
+                )),
+                TraceEvent::GatewayNetFault { conn, kind } => body.push(instant(
+                    "gateway-net-fault",
+                    SCHEDULER_PID,
+                    0,
+                    us,
+                    json!({"conn": *conn, "kind": kind}),
+                )),
             }
         }
         // Close anything still open at the end of the run (sorted ids and

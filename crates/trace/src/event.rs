@@ -415,6 +415,32 @@ pub enum TraceEvent {
         /// Output tokens actually delivered to the client.
         delivered_tokens: u32,
     },
+    /// The gateway's health state machine moved
+    /// (`healthy`/`degraded`/`draining`).
+    GatewayHealthChanged {
+        /// State label before the transition.
+        from: String,
+        /// State label after the transition.
+        to: String,
+        /// Rolling admission-error rate that drove the transition.
+        error_rate: f64,
+    },
+    /// The gateway's admission circuit breaker changed state
+    /// (`closed`/`open`/`half-open`).
+    GatewayBreaker {
+        /// New breaker state label.
+        state: String,
+        /// Consecutive admission failures at the transition.
+        consecutive_failures: u32,
+    },
+    /// A seeded network fault fired at the gateway (from a
+    /// `NetFaultPlan`).
+    GatewayNetFault {
+        /// The connection (accept order, from 0) the fault hit.
+        conn: u64,
+        /// The fault kind label (`conn-reset`, `worker-panic`, ...).
+        kind: String,
+    },
 }
 
 impl TraceEvent {
@@ -472,6 +498,9 @@ impl TraceEvent {
             TraceEvent::WatchdogAborted { .. } => "watchdog-aborted",
             TraceEvent::GatewaySubmitted { .. } => "gateway-submitted",
             TraceEvent::GatewayStreamClosed { .. } => "gateway-stream-closed",
+            TraceEvent::GatewayHealthChanged { .. } => "gateway-health-changed",
+            TraceEvent::GatewayBreaker { .. } => "gateway-breaker",
+            TraceEvent::GatewayNetFault { .. } => "gateway-net-fault",
         }
     }
 }
