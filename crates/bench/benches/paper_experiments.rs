@@ -10,7 +10,7 @@ use windserve_bench::experiments::fig8;
 use windserve_bench::run_point;
 use windserve_gpu::GpuSpec;
 use windserve_model::{CostModel, ModelSpec};
-use windserve_workload::{ArrivalProcess, Dataset, Trace};
+use windserve_workload::{ArrivalProcess, Dataset, Scenario};
 
 const N: usize = 200;
 
@@ -171,7 +171,11 @@ fn table2_datasets(c: &mut Criterion) {
     g.sample_size(20);
     let ds = Dataset::sharegpt(2048);
     g.bench_function("trace_generation_10k", |b| {
-        b.iter(|| Trace::generate(&ds, &ArrivalProcess::poisson(10.0), 10_000, 7))
+        b.iter(|| {
+            Scenario::single_shot(ds.clone(), ArrivalProcess::poisson(10.0), 10_000)
+                .generate(7)
+                .expect("valid single-shot scenario")
+        })
     });
     g.finish();
 }

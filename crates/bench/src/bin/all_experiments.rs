@@ -22,6 +22,7 @@ fn main() {
         ("extras", experiments::extras::run),
         ("faults", experiments::faults::run),
         ("overload", experiments::overload::run),
+        ("sessions", experiments::sessions::run),
         ("fleet", experiments::fleet::run),
     ];
     let mut all = serde_json::Map::new();

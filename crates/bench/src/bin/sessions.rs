@@ -1,0 +1,10 @@
+//! Multi-turn session study: one seeded conversation trace through
+//! WindServe with prefix-affinity routing, WindServe with the cache but
+//! no affinity, and a cache-less DistServe baseline.
+use windserve_bench::{experiments, ExpContext};
+
+fn main() {
+    let ctx = ExpContext::from_args();
+    let data = experiments::sessions::run(&ctx);
+    ctx.emit("sessions", &data);
+}

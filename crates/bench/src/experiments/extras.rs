@@ -17,7 +17,7 @@ use crate::harness::{print_table, run_point, ExpContext};
 use serde_json::{json, Value};
 use windserve::{Cluster, Parallelism, ServeConfig, SystemKind, VictimPolicy};
 use windserve_gpu::{GpuSpec, Topology};
-use windserve_workload::{ArrivalProcess, Dataset, Trace};
+use windserve_workload::{ArrivalProcess, Dataset, Scenario};
 
 fn summarize(label: &str, report: &windserve::RunReport) -> (Vec<String>, Value) {
     (
@@ -221,7 +221,9 @@ pub fn burstiness(ctx: &ExpContext) -> Value {
                 },
             ),
         ] {
-            let trace = Trace::generate(&dataset, &arrivals, n, 0xE5);
+            let trace = Scenario::single_shot(dataset.clone(), arrivals.clone(), n)
+                .generate(0xE5)
+                .expect("valid single-shot scenario");
             let report = Cluster::new(cfg.clone())
                 .expect("valid config")
                 .run(&trace)
@@ -262,16 +264,17 @@ pub fn autoscaling(ctx: &ExpContext) -> Value {
         }
         let cfg = builder.build().expect("valid config");
         let total = cfg.total_rate(2.0);
-        let trace = Trace::generate(
-            &dataset,
-            &ArrivalProcess::Bursty {
+        let trace = Scenario::single_shot(
+            dataset.clone(),
+            ArrivalProcess::Bursty {
                 base_rate: total * 0.4,
                 burst_rate: total * 1.6,
                 mean_phase_secs: 20.0,
             },
             n,
-            0xE6,
-        );
+        )
+        .generate(0xE6)
+        .expect("valid single-shot scenario");
         let report = Cluster::new(cfg)
             .expect("valid config")
             .run(&trace)

@@ -10,7 +10,7 @@ use crate::harness::{print_table, ExpContext};
 use serde_json::{json, Value};
 use windserve::{Cluster, FaultPlan, ServeConfig, SystemKind};
 use windserve_sim::SimDuration;
-use windserve_workload::{ArrivalProcess, Dataset, Trace};
+use windserve_workload::{ArrivalProcess, Dataset, Scenario};
 
 const HEADERS: [&str; 8] = [
     "scenario", "goodput", "TTFT p50", "TTFT p99", "TPOT p99", "SLO both", "resched", "retries",
@@ -24,7 +24,9 @@ pub fn run(ctx: &ExpContext) -> Value {
     let seed = 0xFA;
     let base = ServeConfig::opt_13b_sharegpt(SystemKind::WindServe);
     let total = base.total_rate(rate);
-    let trace = Trace::generate(&dataset, &ArrivalProcess::poisson(total), n, seed);
+    let trace = Scenario::single_shot(dataset.clone(), ArrivalProcess::poisson(total), n)
+        .generate(seed)
+        .expect("valid single-shot scenario");
     // Fault times scale with the expected run span so crash/recover land
     // mid-run regardless of --quick.
     let horizon = SimDuration::from_secs_f64(n as f64 / total);

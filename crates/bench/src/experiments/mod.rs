@@ -14,5 +14,6 @@ pub mod fig5;
 pub mod fig8;
 pub mod fleet;
 pub mod overload;
+pub mod sessions;
 pub mod table1;
 pub mod table2;

@@ -13,7 +13,7 @@ use crate::harness::{parallel_map, print_table, ExpContext};
 use serde_json::{json, Value};
 use windserve::{Cluster, OverloadConfig, ServeConfig, SystemKind};
 use windserve_sim::SimDuration;
-use windserve_workload::{ArrivalProcess, Dataset, Trace};
+use windserve_workload::{ArrivalProcess, Dataset, Scenario};
 
 const HEADERS: [&str; 9] = [
     "scenario", "goodput", "TTFT p99", "SLO both", "done", "rejected", "shed", "preempt", "peak-q",
@@ -26,12 +26,13 @@ pub fn run(ctx: &ExpContext) -> Value {
     let rate = 3.0;
     let seed = 0xC4FE;
     let base = ServeConfig::opt_13b_sharegpt(SystemKind::WindServe);
-    let trace = Trace::generate(
-        &dataset,
-        &ArrivalProcess::poisson(base.total_rate(rate)),
+    let trace = Scenario::single_shot(
+        dataset.clone(),
+        ArrivalProcess::poisson(base.total_rate(rate)),
         n,
-        seed,
     )
+    .generate(seed)
+    .expect("valid single-shot scenario")
     .with_tiers(3, seed);
     let factors = [1.0, 1.5, 2.0, 3.0];
     let points: Vec<(f64, bool)> = factors

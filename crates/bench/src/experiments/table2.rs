@@ -3,7 +3,7 @@
 
 use crate::harness::{print_table, ExpContext};
 use serde_json::{json, Value};
-use windserve_workload::{ArrivalProcess, Dataset, Trace};
+use windserve_workload::{ArrivalProcess, Dataset, Scenario};
 
 /// Paper targets: (label, dataset, prompt avg/med/p90, output avg/med/p90).
 type Target = (&'static str, Dataset, [f64; 3], [f64; 3]);
@@ -31,7 +31,9 @@ pub fn run(ctx: &ExpContext) -> Value {
     let mut rows = Vec::new();
     let mut data = Vec::new();
     for (label, dataset, p_target, o_target) in targets() {
-        let trace = Trace::generate(&dataset, &ArrivalProcess::poisson(10.0), n, 0x72);
+        let trace = Scenario::single_shot(dataset.clone(), ArrivalProcess::poisson(10.0), n)
+            .generate(0x72)
+            .expect("valid single-shot scenario");
         let stats = trace.stats();
         rows.push(vec![
             label.to_string(),

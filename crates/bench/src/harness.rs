@@ -6,7 +6,7 @@ use std::fs;
 use std::path::PathBuf;
 use std::sync::Mutex;
 use windserve::{Cluster, DrainMode, RunReport, ServeConfig, SystemKind};
-use windserve_workload::{ArrivalProcess, Dataset, Trace};
+use windserve_workload::{ArrivalProcess, Dataset, Scenario};
 
 /// One model/dataset/placement evaluation case (a row of the paper's
 /// Fig. 10/11 grid).
@@ -120,7 +120,9 @@ pub fn run_point_with_drain(
     mode: DrainMode,
 ) -> RunReport {
     let total = cfg.total_rate(per_gpu_rate);
-    let trace = Trace::generate(dataset, &ArrivalProcess::poisson(total), requests, seed);
+    let trace = Scenario::single_shot(dataset.clone(), ArrivalProcess::poisson(total), requests)
+        .generate(seed)
+        .expect("valid single-shot scenario");
     Cluster::new(cfg)
         .expect("experiment config must be valid")
         .run_with_drain(&trace, mode)
@@ -145,7 +147,9 @@ pub fn run_point_sharded(
     mode: DrainMode,
 ) -> RunReport {
     let total = cfg.total_rate(per_gpu_rate);
-    let trace = Trace::generate(dataset, &ArrivalProcess::poisson(total), requests, seed);
+    let trace = Scenario::single_shot(dataset.clone(), ArrivalProcess::poisson(total), requests)
+        .generate(seed)
+        .expect("valid single-shot scenario");
     Cluster::new(cfg)
         .expect("experiment config must be valid")
         .run_sharded_with_drain(&trace, shards, mode)

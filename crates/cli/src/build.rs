@@ -6,7 +6,7 @@ use windserve::{ModelSpec, Parallelism, ServeConfig, SloSpec, SystemKind, Victim
 use windserve_engine::PreemptionMode;
 use windserve_gpu::{GpuSpec, Topology};
 use windserve_sim::SimDuration;
-use windserve_workload::{ArrivalProcess, Dataset};
+use windserve_workload::{ArrivalProcess, Dataset, Scenario, Trace};
 
 /// Resolves a model by its CLI name.
 ///
@@ -325,6 +325,31 @@ impl RunSpec {
             seed,
             arrivals,
         })
+    }
+
+    /// The workload this spec describes: the config file's
+    /// `[workload.scenario]` when one was given, otherwise the classic
+    /// flag-driven single-shot workload (`--dataset` × `--arrivals` ×
+    /// `--requests`).
+    pub fn scenario(&self) -> Scenario {
+        match &self.config.workload {
+            Some(w) => w.scenario.clone(),
+            None => {
+                Scenario::single_shot(self.dataset.clone(), self.arrivals.clone(), self.requests)
+            }
+        }
+    }
+
+    /// Generates the seeded trace for [`RunSpec::scenario`].
+    ///
+    /// # Errors
+    ///
+    /// Reports an invalid scenario (e.g. a config file naming an unknown
+    /// dataset).
+    pub fn generate_trace(&self) -> Result<Trace, ArgError> {
+        self.scenario()
+            .generate(self.seed)
+            .map_err(|e| ArgError(format!("workload: {e}")))
     }
 }
 

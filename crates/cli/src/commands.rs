@@ -16,7 +16,7 @@ pub fn run(args: &Args) -> Result<String, ArgError> {
     let spec = RunSpec::from_args(args)?;
     let trace = match args.get("trace-file") {
         Some(path) => load_trace(path)?,
-        None => Trace::generate(&spec.dataset, &spec.arrivals, spec.requests, spec.seed),
+        None => spec.generate_trace()?,
     };
     if let Some(path) = args.get("save-trace") {
         save_trace(path, &trace)?;
@@ -124,6 +124,13 @@ pub fn compare(args: &Args) -> Result<String, ArgError> {
 /// Reports invalid flags or a failed simulation.
 pub fn sweep(args: &Args) -> Result<String, ArgError> {
     let base = RunSpec::from_args(args)?;
+    if base.config.workload.is_some() {
+        return Err(ArgError(
+            "sweep varies the arrival rate, which a [workload.scenario] config fixes; \
+             drop the [workload] section to sweep"
+                .into(),
+        ));
+    }
     let rates = parse_rates(args.get("rates").unwrap_or("1,2,3,4,5"))?;
     let mut rows = Vec::new();
     for rate in rates {
@@ -158,7 +165,7 @@ pub fn trace(args: &Args) -> Result<String, ArgError> {
         spec.config = config;
     }
     spec.config.trace = TraceMode::Full;
-    let trace = Trace::generate(&spec.dataset, &spec.arrivals, spec.requests, spec.seed);
+    let trace = spec.generate_trace()?;
     let (report, log) = Cluster::new(spec.config.clone())
         .map_err(|e| ArgError(format!("config: {e}")))?
         .run_traced(&trace)
@@ -216,7 +223,7 @@ pub fn faults(args: &Args) -> Result<String, ArgError> {
             )))
         }
     };
-    let trace = Trace::generate(&base.dataset, &base.arrivals, base.requests, base.seed);
+    let trace = base.generate_trace()?;
     let run_with = |config: windserve::ServeConfig| -> Result<RunReport, ArgError> {
         Cluster::new(config)
             .map_err(|e| ArgError(format!("config: {e}")))?
@@ -291,7 +298,8 @@ pub fn overload(args: &Args) -> Result<String, ArgError> {
     if tiers == 0 {
         return Err(ArgError("--tiers must be at least 1".into()));
     }
-    let trace = Trace::generate(&base.dataset, &base.arrivals, base.requests, base.seed)
+    let trace = base
+        .generate_trace()?
         .with_rate_scaled(factor)
         .with_tiers(tiers, base.seed);
     let mut controlled_cfg = base.config.clone();
@@ -347,7 +355,7 @@ pub fn overload(args: &Args) -> Result<String, ArgError> {
 /// differs from the single-threaded one (`--check-shards`).
 pub fn perf(args: &Args) -> Result<String, ArgError> {
     let spec = RunSpec::from_args(args)?;
-    let trace = Trace::generate(&spec.dataset, &spec.arrivals, spec.requests, spec.seed);
+    let trace = spec.generate_trace()?;
     let start = std::time::Instant::now();
     let report = run_cluster(spec.config.clone(), &trace)?;
     let wall = start.elapsed().as_secs_f64();
@@ -581,6 +589,7 @@ pub fn serve(args: &Args) -> Result<String, ArgError> {
     }
     let report = gateway.shutdown();
     let d = &report.driver;
+    let run = d.run_report.as_ref();
     let value = serde_json::json!({
         "submitted": d.submitted,
         "completed": d.completed,
@@ -592,12 +601,15 @@ pub fn serve(args: &Args) -> Result<String, ArgError> {
         "worker_panics": report.worker_panics,
         "final_health": report.final_health,
         "drained": terminated,
+        "prefix_hits": run.map(|r| r.prefix_hits).unwrap_or(0),
+        "prefix_misses": run.map(|r| r.prefix_misses).unwrap_or(0),
+        "prefix_hit_rate": run.map(|r| r.prefix_hit_rate()).unwrap_or(0.0),
         "error": d.error,
     });
     if args.switch("json") {
         render::json_envelope("serve", value)
     } else {
-        Ok(format!(
+        let mut out = format!(
             "gateway served {} requests: {} completed, {} rejected, {} aborted, \
              {} deadline-exceeded, {} disconnected\n\
              injected {} net faults | {} worker panics | final health {}\n",
@@ -610,7 +622,16 @@ pub fn serve(args: &Args) -> Result<String, ArgError> {
             report.net_faults.len(),
             report.worker_panics,
             report.final_health,
-        ))
+        );
+        if let Some(r) = run.filter(|r| r.prefix_hits + r.prefix_misses > 0) {
+            out += &format!(
+                "prefix cache: {} hits / {} misses ({:.1}% hit rate)\n",
+                r.prefix_hits,
+                r.prefix_misses,
+                r.prefix_hit_rate() * 100.0,
+            );
+        }
+        Ok(out)
     }
 }
 
@@ -774,7 +795,7 @@ fn parse_duration_secs(raw: &str) -> Result<f64, ArgError> {
 /// Reports invalid flags.
 pub fn trace_stats(args: &Args) -> Result<String, ArgError> {
     let spec = RunSpec::from_args(args)?;
-    let trace = Trace::generate(&spec.dataset, &spec.arrivals, spec.requests, spec.seed);
+    let trace = spec.generate_trace()?;
     Ok(render::trace_stats_text(&spec, &trace))
 }
 
@@ -906,7 +927,7 @@ COMMON FLAGS (with defaults):
 }
 
 fn execute(spec: &RunSpec) -> Result<RunReport, ArgError> {
-    let trace = Trace::generate(&spec.dataset, &spec.arrivals, spec.requests, spec.seed);
+    let trace = spec.generate_trace()?;
     run_cluster(spec.config.clone(), &trace)
 }
 

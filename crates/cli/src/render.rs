@@ -67,6 +67,16 @@ pub fn report_text(spec: &RunSpec, report: &RunReport) -> String {
         report.backup_hits,
         report.kv_bytes_transferred as f64 / (1u64 << 30) as f64,
     );
+    if report.prefix_hits + report.prefix_misses > 0 {
+        out += &format!(
+            "  prefix cache: {} hits / {} misses ({:.1}% hit rate) | {} prompt tokens served from cache | {} evictions\n",
+            report.prefix_hits,
+            report.prefix_misses,
+            report.prefix_hit_rate() * 100.0,
+            report.prefix_cached_tokens,
+            report.prefix_evictions,
+        );
+    }
     for inst in &report.instances {
         out += &format!(
             "  [{:12}] compute {:5.1}%  mem-bw {:5.1}%  steps p/d/h/aux {}/{}/{}/{}\n",

@@ -14,7 +14,10 @@ use windserve_model::{ModelSpec, Parallelism};
 use windserve_sim::SimDuration;
 use windserve_trace::TraceMode;
 
-use crate::config::{AutoscaleConfig, OverloadConfig, ServeConfig, SystemKind, VictimPolicy};
+use crate::config::{
+    AutoscaleConfig, OverloadConfig, PrefixCacheConfig, ServeConfig, SystemKind, VictimPolicy,
+    WorkloadSpec,
+};
 
 /// Builder for [`ServeConfig`].
 ///
@@ -265,6 +268,47 @@ impl ServeConfigBuilder {
     /// ```
     pub fn with_overload(mut self, overload: OverloadConfig) -> Self {
         self.cfg.overload = Some(overload);
+        self
+    }
+
+    /// Enables session prefix caching over the KV retained on prefill
+    /// instances (and, via [`PrefixCacheConfig::affinity`], prefix-aware
+    /// routing of follow-up turns).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use windserve::{PrefixCacheConfig, ServeConfig};
+    ///
+    /// let cfg = ServeConfig::builder()
+    ///     .with_prefix_cache(PrefixCacheConfig::default())
+    ///     .build()?;
+    /// assert!(cfg.prefix_cache.is_some());
+    /// # Ok::<(), windserve::Error>(())
+    /// ```
+    pub fn with_prefix_cache(mut self, prefix: PrefixCacheConfig) -> Self {
+        self.cfg.prefix_cache = Some(prefix);
+        self
+    }
+
+    /// Attaches a first-party workload description (the config file's
+    /// `[workload.scenario]` section).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use windserve::ServeConfig;
+    /// use windserve_workload::{SessionsScenario, Scenario};
+    ///
+    /// let sessions = SessionsScenario::builder().sessions(50).build().unwrap();
+    /// let cfg = ServeConfig::builder()
+    ///     .with_scenario(Scenario::sessions(sessions))
+    ///     .build()?;
+    /// assert!(cfg.workload.is_some());
+    /// # Ok::<(), windserve::Error>(())
+    /// ```
+    pub fn with_scenario(mut self, scenario: windserve_workload::Scenario) -> Self {
+        self.cfg.workload = Some(WorkloadSpec { scenario });
         self
     }
 

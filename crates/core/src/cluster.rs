@@ -48,7 +48,7 @@ use windserve_engine::{
 };
 use windserve_faults::{FaultEvent, FaultKind, FaultPlan};
 use windserve_gpu::{GpuId, RouteId, StreamSharing, TransferEngine};
-use windserve_kvcache::StallFreeMigration;
+use windserve_kvcache::{PrefixStore, StallFreeMigration};
 use windserve_metrics::{DropReason, DroppedRequest, LatencySummary, PrefillSite, RequestRecord};
 use windserve_model::CostModel;
 use windserve_sim::hash::FxHashMap;
@@ -269,6 +269,10 @@ struct Counters {
     requests_preempted: u64,
     watchdog_aborts: u64,
     invariant_checks: u64,
+    prefix_hits: u64,
+    prefix_misses: u64,
+    prefix_evictions: u64,
+    prefix_cached_tokens: u64,
 }
 
 /// A fully assembled serving deployment, ready to replay traces.
@@ -287,6 +291,10 @@ pub struct Cluster {
     coordinator: Coordinator,
     counters: Counters,
     pending: PendingTable,
+    /// Per-instance session prefix caches, index-aligned with
+    /// `instances`. Empty when [`crate::PrefixCacheConfig`] is absent, so
+    /// non-session runs pay nothing.
+    prefix: Vec<PrefixStore>,
     migrations: FxHashMap<u64, MigrationCtl>,
     actions: FxHashMap<u64, PendingTransfer>,
     next_transfer: u64,
@@ -486,6 +494,12 @@ impl Cluster {
             victim_policy: cfg.victim_policy,
         };
 
+        let prefix = match cfg.prefix_cache {
+            Some(pc) => (0..instances.len())
+                .map(|_| PrefixStore::new(pc.capacity_tokens, pc.ttl))
+                .collect(),
+            None => Vec::new(),
+        };
         let n_instances = instances.len();
         let all_gpus = instances
             .iter()
@@ -502,6 +516,7 @@ impl Cluster {
             coordinator,
             counters: Counters::default(),
             pending: PendingTable::default(),
+            prefix,
             migrations: FxHashMap::default(),
             actions: FxHashMap::default(),
             next_transfer: 0,
@@ -711,6 +726,101 @@ impl Cluster {
         }
     }
 
+    /// The prefix-affinity signal: among `candidates`, the routable
+    /// instance retaining the longest live prefix of `req`'s session
+    /// context, with the retained length. `None` when caching or affinity
+    /// is off, the request is not a session follow-up, or no candidate
+    /// holds at least `min_hit_tokens`. Candidates are scanned in the
+    /// given order and ties keep the earliest, so routing is
+    /// deterministic.
+    fn best_prefix_site(
+        &self,
+        req: &Request,
+        candidates: impl Iterator<Item = usize>,
+        now: SimTime,
+    ) -> Option<(usize, u32)> {
+        let pc = self.cfg.prefix_cache?;
+        if !pc.affinity || self.prefix.is_empty() {
+            return None;
+        }
+        let tag = req.session?;
+        if tag.shared_prefix_tokens < pc.min_hit_tokens {
+            return None;
+        }
+        let mut best: Option<(usize, u32)> = None;
+        for i in candidates {
+            if !self.is_routable(i, now) {
+                continue;
+            }
+            let held = self.prefix[i].peek(tag.session.0, tag.shared_prefix_tokens, now);
+            if held >= pc.min_hit_tokens && best.is_none_or(|(_, b)| held > b) {
+                best = Some((i, held));
+            }
+        }
+        best
+    }
+
+    /// Serves `req`'s shared session prefix from the routed instance's
+    /// cache, returning the token count prefill may skip (0 without
+    /// caching, a session tag, or a sufficient hit). Mutates the store
+    /// (LRU/TTL refresh) and records the hit or miss.
+    fn prefix_serve(&mut self, req: &Request, inst: usize, now: SimTime) -> u32 {
+        let Some(pc) = self.cfg.prefix_cache else {
+            return 0;
+        };
+        let Some(tag) = req.session else {
+            return 0;
+        };
+        if self.prefix.is_empty() || tag.shared_prefix_tokens < pc.min_hit_tokens {
+            return 0;
+        }
+        let id = req.id;
+        let served = self.prefix[inst].lookup(tag.session.0, tag.shared_prefix_tokens, now);
+        if served >= pc.min_hit_tokens {
+            // `with_session` clamps the shared prefix below the prompt,
+            // but keep the suffix invariant local too.
+            let cached = served.min(req.prompt_tokens.saturating_sub(1));
+            self.counters.prefix_hits += 1;
+            self.counters.prefix_cached_tokens += u64::from(cached);
+            self.pending.set_cached_prefix(id.0, cached);
+            let prompt_tokens = req.prompt_tokens;
+            self.tracer.emit(now, || TraceEvent::PrefixHit {
+                id,
+                inst: inst as u32,
+                cached_tokens: cached,
+                prompt_tokens,
+            });
+            cached
+        } else {
+            self.counters.prefix_misses += 1;
+            self.tracer.emit(now, || TraceEvent::PrefixMiss {
+                id,
+                inst: inst as u32,
+            });
+            0
+        }
+    }
+
+    /// Retains `tokens` of session KV in `inst`'s prefix cache after a
+    /// prefill completed there, recording any evictions the insert (or
+    /// its TTL sweep) caused.
+    fn prefix_retain(&mut self, session: u64, tokens: u32, inst: usize, now: SimTime) {
+        if self.prefix.is_empty() {
+            return;
+        }
+        let before = self.prefix[inst].stats();
+        self.prefix[inst].insert(session, tokens, now);
+        let after = self.prefix[inst].stats();
+        self.counters.prefix_evictions += after.evictions - before.evictions;
+        let evicted_tokens = after.evicted_tokens - before.evicted_tokens;
+        if evicted_tokens > 0 {
+            self.tracer.emit(now, || TraceEvent::PrefixEvicted {
+                inst: inst as u32,
+                evicted_tokens,
+            });
+        }
+    }
+
     /// The prefill replica with the smallest predicted TTFT for `prompt`,
     /// or `None` when every prefill replica is down.
     fn pick_prefill(&self, prompt: u32, now: SimTime) -> Option<usize> {
@@ -812,15 +922,24 @@ impl Cluster {
     fn on_arrival(&mut self, req: Request, now: SimTime) {
         let placement = self.route_arrival(&req, now);
         let (id, prompt_tokens, output_tokens) = (req.id, req.prompt_tokens, req.output_tokens);
-        // Record Algorithm 1's prediction for later accuracy analysis.
+        // Record Algorithm 1's prediction for later accuracy analysis. A
+        // prefix-affinity hit shrinks the predicted prefill to the uncached
+        // suffix — the same frame `route_arrival` decides in.
         let predicted_ttft = if self.cfg.system.colocated() {
             None
         } else {
-            self.pick_prefill(req.prompt_tokens, now).map(|p| {
-                self.coordinator
-                    .predict_ttft(&self.profiler, &self.instances[p], req.prompt_tokens, now)
-                    .as_secs_f64()
-            })
+            let affinity = self.best_prefix_site(&req, self.prefill_idxs.iter().copied(), now);
+            affinity
+                .map(|(i, _)| i)
+                .or_else(|| self.pick_prefill(req.prompt_tokens, now))
+                .map(|p| {
+                    let prompt = affinity
+                        .map(|(_, held)| req.prompt_tokens.saturating_sub(held).max(1))
+                        .unwrap_or(req.prompt_tokens);
+                    self.coordinator
+                        .predict_ttft(&self.profiler, &self.instances[p], prompt, now)
+                        .as_secs_f64()
+                })
         };
         if self.cfg.overload.is_some() && !self.admit(&req, &placement, predicted_ttft, now) {
             // Rejected or shed: the typed outcome is already recorded and
@@ -847,7 +966,13 @@ impl Cluster {
                 if let Some(d) = decision {
                     self.tracer.emit(now, || TraceEvent::Dispatch(d));
                 }
-                self.instances[inst].enqueue_prefill(id, prompt_tokens, output_tokens);
+                let cached = self.prefix_serve(&req, inst, now);
+                self.instances[inst].enqueue_prefill_cached(
+                    id,
+                    prompt_tokens,
+                    cached,
+                    output_tokens,
+                );
                 if site == PrefillSite::DecodeInstance {
                     self.counters.dispatched += 1;
                 }
@@ -865,6 +990,11 @@ impl Cluster {
         now: SimTime,
     ) -> Option<(usize, PrefillSite, Option<DispatchDecision>)> {
         if self.cfg.system.colocated() {
+            // A live shared prefix beats load balance: recomputing it
+            // costs more than a slightly longer queue.
+            if let Some((idx, _)) = self.best_prefix_site(req, 0..self.instances.len(), now) {
+                return Some((idx, PrefillSite::Colocated, None));
+            }
             // Least-outstanding-work routing across replicas.
             let idx = (0..self.instances.len())
                 .filter(|&i| self.is_routable(i, now))
@@ -877,7 +1007,15 @@ impl Cluster {
                 })?;
             return Some((idx, PrefillSite::Colocated, None));
         }
-        let Some(p) = self.pick_prefill(req.prompt_tokens, now) else {
+        // Prefix affinity: prefer the prefill replica retaining the longest
+        // live prefix of this session's context; TTFT-based placement is
+        // the fallback. Algorithm 1 still arbitrates below, over the
+        // uncached suffix.
+        let affinity = self.best_prefix_site(req, self.prefill_idxs.iter().copied(), now);
+        let Some(p) = affinity
+            .map(|(i, _)| i)
+            .or_else(|| self.pick_prefill(req.prompt_tokens, now))
+        else {
             // Every prefill replica is down: a decode replica hosts the
             // whole request (guest prefill + decode) until one recovers.
             let d = self
@@ -889,10 +1027,16 @@ impl Cluster {
             return Some((d, PrefillSite::DecodeInstance, None));
         };
         if self.cfg.system.dispatch_enabled() {
+            // With a live prefix at `p` only the suffix needs computing;
+            // predicting over the full prompt would overestimate TTFT and
+            // dispatch work away from the very cache that makes it cheap.
+            let effective_prompt = affinity
+                .map(|(_, held)| req.prompt_tokens.saturating_sub(held).max(1))
+                .unwrap_or(req.prompt_tokens);
             let ttft_pred = self.coordinator.predict_ttft(
                 &self.profiler,
                 &self.instances[p],
-                req.prompt_tokens,
+                effective_prompt,
                 now,
             );
             let threshold = self.coordinator.dispatch_threshold;
@@ -1366,6 +1510,12 @@ impl Cluster {
             id,
             inst: inst as u32,
         });
+        // The prompt's KV now lives at the prefill site; retain it for the
+        // session's follow-up turn (WindServe keeps KV at the prefill
+        // instance, which is exactly what makes this residue reusable).
+        if let Some(tag) = req.session {
+            self.prefix_retain(tag.session.0, prompt, inst, now);
+        }
         if newly_first {
             // A recovery re-prefill regenerates a first token the client
             // already has; only the first delivery is a milestone.
@@ -1655,6 +1805,20 @@ impl Cluster {
         self.recount_active_gpus();
         // Invalidate completion events for steps the crash destroyed.
         self.step_epoch[c] += 1;
+        // Retained session prefixes died with the replica's KV.
+        if let Some(store) = self.prefix.get_mut(c) {
+            let before = store.stats();
+            store.clear();
+            let after = store.stats();
+            self.counters.prefix_evictions += after.evictions - before.evictions;
+            let evicted_tokens = after.evicted_tokens - before.evicted_tokens;
+            if evicted_tokens > 0 {
+                self.tracer.emit(now, || TraceEvent::PrefixEvicted {
+                    inst: c as u32,
+                    evicted_tokens,
+                });
+            }
+        }
 
         // In-flight transfers touching the crashed replica, in tid order so
         // recovery is deterministic.
@@ -2195,6 +2359,8 @@ impl Cluster {
             prefill_site: rec.site,
             swap_outs: rec.swap_outs + swap_outs,
             migrations: rec.migrations,
+            session: rec.req.session,
+            cached_prefix_tokens: rec.cached_prefix,
         });
     }
 
@@ -2248,6 +2414,12 @@ pub struct SessionSnapshot {
     pub events_processed: u64,
     /// Peak resident request count observed.
     pub peak_pending: usize,
+    /// Session prefix-cache hits so far (0 without prefix caching).
+    pub prefix_hits: u64,
+    /// Session prefix-cache misses so far (0 without prefix caching).
+    pub prefix_misses: u64,
+    /// Prefix-cache hit rate so far (0.0 with no probes).
+    pub prefix_hit_rate: f64,
     /// Per-instance state.
     pub instances: Vec<InstanceSnapshot>,
 }
@@ -2668,6 +2840,17 @@ impl ClusterSession {
             watchdog_aborts: self.cluster.counters.watchdog_aborts,
             events_processed: self.processed,
             peak_pending: self.cluster.peak_pending,
+            prefix_hits: self.cluster.counters.prefix_hits,
+            prefix_misses: self.cluster.counters.prefix_misses,
+            prefix_hit_rate: {
+                let probes =
+                    self.cluster.counters.prefix_hits + self.cluster.counters.prefix_misses;
+                if probes == 0 {
+                    0.0
+                } else {
+                    self.cluster.counters.prefix_hits as f64 / probes as f64
+                }
+            },
             instances,
         }
     }
@@ -2765,6 +2948,10 @@ impl ClusterSession {
             watchdog_aborts: cluster.counters.watchdog_aborts,
             invariant_checks: cluster.counters.invariant_checks,
             peak_pending: cluster.peak_pending,
+            prefix_hits: cluster.counters.prefix_hits,
+            prefix_misses: cluster.counters.prefix_misses,
+            prefix_evictions: cluster.counters.prefix_evictions,
+            prefix_cached_tokens: cluster.counters.prefix_cached_tokens,
         };
         Ok((report, log))
     }

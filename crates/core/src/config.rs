@@ -194,6 +194,75 @@ impl OverloadConfig {
     }
 }
 
+/// Session prefix caching over the KV retained on prefill instances.
+/// WindServe keeps a finished prefill's KV on the prefill instance anyway
+/// (it is the migration source); this turns that residue into reusable
+/// work for multi-turn sessions: a follow-up routed to an instance holding
+/// its session's KV charges prefill only for the fresh suffix. `None` on
+/// [`ServeConfig::prefix_cache`] disables caching entirely (legacy
+/// behaviour, bit-for-bit).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PrefixCacheConfig {
+    /// Per-instance budget of retained session KV, tokens. Least-recently
+    /// used sessions are evicted past it.
+    pub capacity_tokens: u64,
+    /// Idle time after which a session's retained KV expires.
+    pub ttl: SimDuration,
+    /// Minimum usable prefix (tokens) for a hit to be worth taking — tiny
+    /// prefixes are not worth skewing placement for.
+    pub min_hit_tokens: u32,
+    /// Route follow-ups to the instance holding the longest live prefix of
+    /// their session (falling back to load-based placement on a miss).
+    /// With affinity off the cache still serves hits that land on the
+    /// right instance by chance — the ablation arm of the `sessions`
+    /// experiment.
+    pub affinity: bool,
+}
+
+impl Default for PrefixCacheConfig {
+    fn default() -> Self {
+        PrefixCacheConfig {
+            capacity_tokens: 200_000,
+            ttl: SimDuration::from_secs(300),
+            min_hit_tokens: 64,
+            affinity: true,
+        }
+    }
+}
+
+impl PrefixCacheConfig {
+    /// Validates parameter ranges.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Config`](crate::Error::Config) describing the first
+    /// invalid field.
+    pub fn validate(&self) -> crate::Result<()> {
+        let config = |reason: String| crate::Error::Config { reason };
+        if self.capacity_tokens == 0 {
+            return Err(config("prefix cache capacity must be positive".into()));
+        }
+        if self.ttl.is_zero() {
+            return Err(config("prefix cache TTL must be positive".into()));
+        }
+        if self.min_hit_tokens == 0 {
+            return Err(config("min_hit_tokens must be at least 1".into()));
+        }
+        Ok(())
+    }
+}
+
+/// First-party workload description carried inside the config file: the
+/// `[workload.scenario]` section. When present, `windserve run` (and the
+/// bench harness helpers that honour it) generate the trace from this
+/// [`Scenario`](windserve_workload::Scenario) instead of the CLI's
+/// dataset/rate flags — one file then fully describes an experiment.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WorkloadSpec {
+    /// The scenario to generate.
+    pub scenario: windserve_workload::Scenario,
+}
+
 /// Which serving system to run — WindServe, an ablation, or a baseline.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 #[non_exhaustive]
@@ -335,6 +404,13 @@ pub struct ServeConfig {
     /// deadline watchdog, invariant auditor). `None` keeps the legacy
     /// accept-everything behaviour.
     pub overload: Option<OverloadConfig>,
+    /// Session prefix caching over retained prefill KV. `None` disables it
+    /// (legacy behaviour, bit-for-bit).
+    pub prefix_cache: Option<PrefixCacheConfig>,
+    /// First-party workload description (`[workload.scenario]` in config
+    /// files). `None` leaves workload selection to the caller (CLI flags,
+    /// bench harness).
+    pub workload: Option<WorkloadSpec>,
     /// Enables the cost model's step-time cache (the default). The cache
     /// reconstructs exact step times — disabling it changes nothing but
     /// speed, and exists so perf tooling can prove that equivalence.
@@ -387,6 +463,8 @@ impl ServeConfig {
             trace: TraceMode::Off,
             faults: None,
             overload: None,
+            prefix_cache: None,
+            workload: None,
             cost_cache: true,
             shards: 1,
         }
@@ -524,6 +602,15 @@ impl ServeConfig {
         }
         if let Some(overload) = &self.overload {
             overload.validate()?;
+        }
+        if let Some(prefix) = &self.prefix_cache {
+            prefix.validate()?;
+        }
+        if let Some(workload) = &self.workload {
+            workload
+                .scenario
+                .validate()
+                .map_err(|e| config(format!("workload scenario: {e}")))?;
         }
         if self.shards == 0 || self.shards > 256 {
             return Err(config(format!(

@@ -761,6 +761,47 @@ mod tests {
     }
 
     #[test]
+    fn prefix_cache_and_scenario_round_trip() {
+        use crate::config::PrefixCacheConfig;
+        use windserve_workload::{Scenario, SessionsScenario};
+        let scenario = Scenario::sessions(
+            SessionsScenario::builder()
+                .sessions(80)
+                .session_rate(3.0)
+                .turns(2, 4)
+                .mean_think_secs(12.5)
+                .followup_tokens(32, 96)
+                .build()
+                .unwrap(),
+        );
+        let cfg = ServeConfig::builder()
+            .with_prefix_cache(PrefixCacheConfig {
+                capacity_tokens: 50_000,
+                ttl: SimDuration::from_secs(120),
+                min_hit_tokens: 32,
+                affinity: false,
+            })
+            .with_scenario(scenario)
+            .build()
+            .unwrap();
+        let text = cfg.to_toml();
+        assert!(text.contains("[prefix_cache]"), "{text}");
+        assert!(text.contains("[workload"), "{text}");
+        let back = ServeConfig::from_toml(&text).unwrap();
+        assert_eq!(back, cfg, "round-trip changed the config:\n{text}");
+        // The scenario survives well enough to regenerate the same trace.
+        let a = cfg.workload.as_ref().unwrap().scenario.generate(9).unwrap();
+        let b = back
+            .workload
+            .as_ref()
+            .unwrap()
+            .scenario
+            .generate(9)
+            .unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
     fn emitted_config_declares_the_schema_version() {
         let text = ServeConfig::opt_13b_sharegpt(SystemKind::WindServe).to_toml();
         let first = text.lines().next().unwrap();

@@ -57,7 +57,7 @@ use windserve_gpu::{GpuId, GpuInventory, Topology};
 use windserve_metrics::LatencySummary;
 use windserve_sim::SimTime;
 use windserve_trace::{LeaseAction, TimedEvent, TraceEvent, TraceLog};
-use windserve_workload::{ArrivalProcess, Dataset, TenantId, Trace};
+use windserve_workload::{ArrivalProcess, Dataset, Scenario, TenantId, Trace};
 
 /// One workload source multiplexed onto a deployment.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -850,7 +850,9 @@ impl Fleet {
                     .map_err(|e| fleet(format!("tenant {:?}: {e}", t.name)))?;
                 let seed = fork_seed(self.cfg.seed, tenant_ix);
                 let trace =
-                    Trace::generate(&dataset, &ArrivalProcess::poisson(t.rate), t.requests, seed);
+                    Scenario::single_shot(dataset, ArrivalProcess::poisson(t.rate), t.requests)
+                        .generate(seed)
+                        .map_err(|e| fleet(format!("tenant {:?}: {e}", t.name)))?;
                 let tiered = if t.tier > 0 {
                     Trace::from_requests(
                         trace

@@ -28,15 +28,15 @@
 //!
 //! ```
 //! use windserve::{Cluster, ServeConfig, SystemKind};
-//! use windserve_workload::{ArrivalProcess, Dataset, Trace};
+//! use windserve_workload::{ArrivalProcess, Dataset, Scenario};
 //!
 //! # fn main() -> windserve::Result<()> {
-//! let trace = Trace::generate(
-//!     &Dataset::sharegpt(2048),
-//!     &ArrivalProcess::poisson(16.0), // 4 req/s x 4 GPUs
+//! let trace = Scenario::single_shot(
+//!     Dataset::sharegpt(2048),
+//!     ArrivalProcess::poisson(16.0), // 4 req/s x 4 GPUs
 //!     200,
-//!     7,
-//! );
+//! )
+//! .generate(7)?;
 //! let wind = Cluster::new(ServeConfig::opt_13b_sharegpt(SystemKind::WindServe))?
 //!     .run(&trace)?;
 //! let dist = Cluster::new(ServeConfig::opt_13b_sharegpt(SystemKind::DistServe))?
@@ -54,8 +54,9 @@
 //!
 //! # fn main() -> windserve::Result<()> {
 //! let cfg = ServeConfig::builder().with_trace(TraceMode::Full).build()?;
-//! let trace = Trace::generate(
-//!     &Dataset::sharegpt(2048), &ArrivalProcess::poisson(16.0), 50, 7);
+//! let trace = Scenario::single_shot(
+//!     Dataset::sharegpt(2048), ArrivalProcess::poisson(16.0), 50)
+//!     .generate(7)?;
 //! let (report, log) = Cluster::new(cfg)?.run_traced(&trace)?;
 //! assert_eq!(report.summary.completed, 50);
 //! assert!(!log.dispatch_decisions().is_empty());
@@ -88,7 +89,10 @@ pub use builder::ServeConfigBuilder;
 pub use cluster::{
     Cluster, ClusterSession, DrainMode, InstanceSnapshot, LiveEvent, SessionSnapshot,
 };
-pub use config::{AutoscaleConfig, OverloadConfig, ServeConfig, SystemKind, VictimPolicy};
+pub use config::{
+    AutoscaleConfig, OverloadConfig, PrefixCacheConfig, ServeConfig, SystemKind, VictimPolicy,
+    WorkloadSpec,
+};
 pub use coordinator::Coordinator;
 pub use error::{Error, Result};
 pub use fleet::{
@@ -107,7 +111,10 @@ pub use windserve_metrics::{
 pub use windserve_model::{ModelSpec, Parallelism};
 pub use windserve_trace as trace;
 pub use windserve_trace::{TraceLog, TraceMode};
-pub use windserve_workload::{ArrivalProcess, Dataset, Request, RequestId, Trace};
+pub use windserve_workload::{
+    ArrivalProcess, Dataset, DatasetSpec, Request, RequestId, Scenario, SessionId, SessionTag,
+    SessionsScenario, Trace,
+};
 
 /// One-stop imports for driving a simulation end to end.
 ///
@@ -117,11 +124,13 @@ pub use windserve_workload::{ArrivalProcess, Dataset, Request, RequestId, Trace}
 pub mod prelude {
     pub use crate::{
         ArbiterConfig, Cluster, DeploymentConfig, Error, FaultKind, FaultPlan, Fleet, FleetConfig,
-        FleetReport, OverloadConfig, Result, RunReport, ServeConfig, ServeConfigBuilder,
-        SystemKind, TenantSpec, VictimPolicy,
+        FleetReport, OverloadConfig, PrefixCacheConfig, Result, RunReport, ServeConfig,
+        ServeConfigBuilder, SystemKind, TenantSpec, VictimPolicy,
     };
     pub use windserve_metrics::SloSpec;
     pub use windserve_model::{ModelSpec, Parallelism};
     pub use windserve_trace::{TraceLog, TraceMode};
-    pub use windserve_workload::{ArrivalProcess, Dataset, Request, RequestId, Trace};
+    pub use windserve_workload::{
+        ArrivalProcess, Dataset, Request, RequestId, Scenario, SessionsScenario, Trace,
+    };
 }

@@ -31,6 +31,7 @@ pub(crate) struct PendingEntry {
     pub decode_start: Option<SimTime>,
     pub swap_outs: u32,
     pub migrations: u32,
+    pub cached_prefix: u32,
 }
 
 /// Struct-of-arrays slab of pending-request state with a free-list.
@@ -51,6 +52,8 @@ pub(crate) struct PendingTable {
     swap_outs: Vec<u32>,
     migrations: Vec<u32>,
     resumed: Vec<u32>,
+    /// Prompt tokens the routed instance served from its prefix cache.
+    cached_prefix: Vec<u32>,
     /// Recycled slots, LIFO.
     free: Vec<u32>,
 }
@@ -86,6 +89,7 @@ impl PendingTable {
                 self.swap_outs[i] = 0;
                 self.migrations[i] = 0;
                 self.resumed[i] = 0;
+                self.cached_prefix[i] = 0;
                 s
             }
             None => {
@@ -100,6 +104,7 @@ impl PendingTable {
                 self.swap_outs.push(0);
                 self.migrations.push(0);
                 self.resumed.push(0);
+                self.cached_prefix.push(0);
                 s
             }
         };
@@ -122,6 +127,7 @@ impl PendingTable {
             decode_start: self.decode_start[i],
             swap_outs: self.swap_outs[i],
             migrations: self.migrations[i],
+            cached_prefix: self.cached_prefix[i],
         })
     }
 
@@ -144,6 +150,7 @@ impl PendingTable {
             decode_start: self.decode_start[i],
             swap_outs: self.swap_outs[i],
             migrations: self.migrations[i],
+            cached_prefix: self.cached_prefix[i],
         })
     }
 
@@ -193,6 +200,14 @@ impl PendingTable {
     pub fn bump_migrations(&mut self, id: u64) {
         if let Some(&s) = self.index.get(&id) {
             self.migrations[s as usize] += 1;
+        }
+    }
+
+    /// Records how many prompt tokens the routed instance's prefix cache
+    /// served for `id`.
+    pub fn set_cached_prefix(&mut self, id: u64, tokens: u32) {
+        if let Some(&s) = self.index.get(&id) {
+            self.cached_prefix[s as usize] = tokens;
         }
     }
 

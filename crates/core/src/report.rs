@@ -109,6 +109,18 @@ pub struct RunReport {
     /// Peak number of resident (queued or running) requests observed — the
     /// p100 queue-depth bound the admission cap enforces.
     pub peak_pending: usize,
+    /// Session follow-ups whose shared prefix was served from an
+    /// instance's prefix cache. Zero without prefix caching.
+    pub prefix_hits: u64,
+    /// Session follow-ups that probed a prefix cache and found too little
+    /// of their shared prefix. Zero without prefix caching.
+    pub prefix_misses: u64,
+    /// Retained session prefixes evicted (capacity pressure, TTL expiry,
+    /// or a replica crash).
+    pub prefix_evictions: u64,
+    /// Total prompt tokens served from prefix caches instead of being
+    /// prefilled — the compute the cache saved.
+    pub prefix_cached_tokens: u64,
 }
 
 impl RunReport {
@@ -206,6 +218,30 @@ impl RunReport {
         let trim = (n as f64 * trim_fraction) as usize;
         let window = &self.records[trim.min(n)..n.saturating_sub(trim)];
         LatencySummary::of(slo, window)
+    }
+
+    /// Prefix-cache hit rate over session follow-ups that probed a cache
+    /// (0 with no probes).
+    pub fn prefix_hit_rate(&self) -> f64 {
+        let probes = self.prefix_hits + self.prefix_misses;
+        if probes == 0 {
+            0.0
+        } else {
+            self.prefix_hits as f64 / probes as f64
+        }
+    }
+
+    /// Latency summaries per conversational session, keyed by the raw
+    /// session id. Requests without a session tag (single-shot workloads)
+    /// group under `None`, so the groups partition the records and their
+    /// `completed` counts sum to `records.len()`. Each group's `ttft` and
+    /// `tpot` percentiles are the per-session TTFT/TBT figures a
+    /// multi-turn report plots.
+    pub fn summary_by_session(
+        &self,
+        slo: windserve_metrics::SloSpec,
+    ) -> std::collections::BTreeMap<Option<u64>, LatencySummary> {
+        LatencySummary::grouped_by(slo, &self.records, |r| r.session.map(|t| t.session.0))
     }
 
     /// A latency summary restricted to requests whose prefill ran at the

@@ -3,15 +3,16 @@
 use crate::{Cluster, ServeConfig, SystemKind};
 use windserve_metrics::PrefillSite;
 use windserve_model::Parallelism;
-use windserve_workload::{ArrivalProcess, Dataset, Trace};
+use windserve_workload::{ArrivalProcess, Dataset, Scenario, Trace};
 
 fn sharegpt_trace(rate_total: f64, n: usize, seed: u64) -> Trace {
-    Trace::generate(
-        &Dataset::sharegpt(2048),
-        &ArrivalProcess::poisson(rate_total),
+    Scenario::single_shot(
+        Dataset::sharegpt(2048),
+        ArrivalProcess::poisson(rate_total),
         n,
-        seed,
     )
+    .generate(seed)
+    .expect("valid single-shot scenario")
 }
 
 fn run(cfg: ServeConfig, trace: &Trace) -> crate::RunReport {
@@ -209,12 +210,9 @@ fn kv_bytes_accounting_is_nonzero_for_pd_systems() {
 
 #[test]
 fn longbench_llama_configs_run_clean() {
-    let trace = Trace::generate(
-        &Dataset::longbench(4096),
-        &ArrivalProcess::poisson(4.0),
-        150,
-        10,
-    );
+    let trace = Scenario::single_shot(Dataset::longbench(4096), ArrivalProcess::poisson(4.0), 150)
+        .generate(10)
+        .expect("valid single-shot scenario");
     for system in [SystemKind::WindServe, SystemKind::DistServe] {
         let report = run(ServeConfig::llama2_13b_longbench(system), &trace);
         assert_eq!(report.summary.completed, 150, "{}", system.label());

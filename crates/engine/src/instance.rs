@@ -185,9 +185,29 @@ impl Instance {
     ///
     /// Panics if the request is already known here.
     pub fn enqueue_prefill(&mut self, id: RequestId, prompt_tokens: u32, output_target: u32) {
-        let prior = self
-            .seqs
-            .insert(id.0, SeqState::new(id, prompt_tokens, output_target));
+        self.enqueue_prefill_cached(id, prompt_tokens, 0, output_target);
+    }
+
+    /// Accepts a fresh request whose first `cached_tokens` prompt tokens
+    /// are already resident in this instance's session prefix cache:
+    /// prefill computes only the remaining suffix (attention still spans
+    /// the full prompt via `past_tokens`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the request is already known here or the cached prefix
+    /// covers the whole prompt.
+    pub fn enqueue_prefill_cached(
+        &mut self,
+        id: RequestId,
+        prompt_tokens: u32,
+        cached_tokens: u32,
+        output_target: u32,
+    ) {
+        let prior = self.seqs.insert(
+            id.0,
+            SeqState::new_with_cached(id, prompt_tokens, cached_tokens, output_target),
+        );
         assert!(prior.is_none(), "{id} enqueued twice");
         self.waiting_prefill.push_back(id);
     }
@@ -495,16 +515,16 @@ impl Instance {
             || self.aux_step.as_ref().is_some_and(in_step)
     }
 
-    /// Queued prefills that have not processed a single prompt token yet —
-    /// the shed candidates (cancelling them wastes no work). In queue
-    /// order.
+    /// Queued prefills that have not processed a single prompt token
+    /// beyond their cached prefix — the shed candidates (cancelling them
+    /// wastes no computed work). In queue order.
     pub fn queued_prefill_ids(&self) -> Vec<RequestId> {
         self.waiting_prefill
             .iter()
             .filter(|id| {
                 self.seqs
                     .get(&id.0)
-                    .map(|s| s.prefilled == 0)
+                    .map(|s| s.prefill_untouched())
                     .unwrap_or(false)
             })
             .copied()
@@ -518,7 +538,7 @@ impl Instance {
         let untouched = self
             .seqs
             .get(&id.0)
-            .map(|s| s.phase == SeqPhase::Prefilling && s.prefilled == 0)
+            .map(|s| s.phase == SeqPhase::Prefilling && s.prefill_untouched())
             .unwrap_or(false);
         if !untouched || !self.waiting_prefill.contains(&id) {
             return false;

@@ -28,8 +28,15 @@ pub struct SeqState {
     pub prompt_tokens: u32,
     /// Output target, tokens (including the first token from the prefill).
     pub output_target: u32,
-    /// Prompt tokens processed so far (for chunked prefill).
+    /// Prompt tokens processed so far (for chunked prefill). Starts at
+    /// [`cached`](Self::cached): cached-prefix tokens count as already
+    /// processed.
     pub prefilled: u32,
+    /// Prompt tokens served from a session prefix cache: their KV was
+    /// already resident when the sequence was enqueued, so prefill charges
+    /// compute only for the `prompt_tokens - cached` suffix (attention
+    /// still spans the full context — `past_tokens` covers the prefix).
+    pub cached: u32,
     /// Output tokens produced so far.
     pub generated: u32,
     /// Current phase.
@@ -45,15 +52,36 @@ pub struct SeqState {
 impl SeqState {
     /// A fresh sequence about to prefill.
     pub fn new(id: RequestId, prompt_tokens: u32, output_target: u32) -> Self {
+        Self::new_with_cached(id, prompt_tokens, 0, output_target)
+    }
+
+    /// A fresh sequence whose first `cached` prompt tokens are served from
+    /// a session prefix cache: prefill starts at the suffix.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a degenerate sequence or if the cached prefix covers the
+    /// whole prompt (a prefill always has at least one token to compute).
+    pub fn new_with_cached(
+        id: RequestId,
+        prompt_tokens: u32,
+        cached: u32,
+        output_target: u32,
+    ) -> Self {
         assert!(
             prompt_tokens > 0 && output_target > 0,
             "degenerate sequence"
+        );
+        assert!(
+            cached < prompt_tokens,
+            "cached prefix must leave a suffix to prefill"
         );
         SeqState {
             id,
             prompt_tokens,
             output_target,
-            prefilled: 0,
+            prefilled: cached,
+            cached,
             generated: 0,
             phase: SeqPhase::Prefilling,
             decode_start: None,
@@ -76,12 +104,20 @@ impl SeqState {
             prompt_tokens,
             output_target,
             prefilled: prompt_tokens,
+            cached: 0,
             generated,
             phase: SeqPhase::DecodeWaiting,
             decode_start: None,
             swap_outs: 0,
             migrations,
         }
+    }
+
+    /// True while the sequence is queued for prefill and no work has been
+    /// done beyond its cached prefix — i.e. it has not yet been picked up
+    /// by a prefill step and can still be cancelled or re-routed.
+    pub fn prefill_untouched(&self) -> bool {
+        self.prefilled == self.cached
     }
 
     /// Context length for attention purposes (prompt processed + tokens
@@ -127,5 +163,24 @@ mod tests {
         let mut s = SeqState::arriving_for_decode(RequestId(1), 10, 3, 1, 0);
         s.generated = 3;
         assert!(s.is_done());
+    }
+
+    #[test]
+    fn cached_prefix_starts_prefill_at_the_suffix() {
+        let s = SeqState::new_with_cached(RequestId(1), 100, 80, 20);
+        assert_eq!(s.prompt_remaining(), 20);
+        assert_eq!(s.context(), 80, "cached KV is attendable context");
+        assert!(s.prefill_untouched(), "no suffix work done yet");
+        let mut started = s.clone();
+        started.prefilled += 5;
+        assert!(!started.prefill_untouched());
+        // An uncached sequence is untouched exactly at prefilled == 0.
+        assert!(SeqState::new(RequestId(2), 10, 1).prefill_untouched());
+    }
+
+    #[test]
+    #[should_panic(expected = "suffix")]
+    fn fully_cached_prompt_rejected() {
+        let _ = SeqState::new_with_cached(RequestId(1), 100, 100, 20);
     }
 }

@@ -49,7 +49,7 @@ impl Instance {
                 let newly_prefilling = step
                     .prefill_ids
                     .iter()
-                    .filter(|(id, _)| self.seqs[&id.0].prefilled == 0)
+                    .filter(|(id, _)| self.seqs[&id.0].prefill_untouched())
                     .map(|&(id, _)| id)
                     .collect();
                 started.push(StartedStep {
@@ -78,7 +78,7 @@ impl Instance {
                 let newly_prefilling = step
                     .prefill_ids
                     .iter()
-                    .filter(|(id, _)| self.seqs[&id.0].prefilled == 0)
+                    .filter(|(id, _)| self.seqs[&id.0].prefill_untouched())
                     .map(|&(id, _)| id)
                     .collect();
                 started.push(StartedStep {

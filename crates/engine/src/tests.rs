@@ -389,3 +389,40 @@ fn recompute_preemption_pays_compute_not_transfers() {
     );
     rec_inst.kv().check_invariants().unwrap();
 }
+
+#[test]
+fn cached_prefix_charges_only_the_suffix() {
+    // Same 1500-token prompt, one with 1200 tokens already resident in the
+    // session prefix cache: the cached sequence's prefill must finish
+    // strictly sooner (it computes a 300-token suffix, not the full
+    // prompt), and must still end fully prefilled.
+    let run = |cached: u32| -> (Instance, SimTime) {
+        let mut inst = instance(InstanceRole::Prefill);
+        if cached == 0 {
+            inst.enqueue_prefill(RequestId(1), 1500, 10);
+        } else {
+            inst.enqueue_prefill_cached(RequestId(1), 1500, cached, 10);
+        }
+        let mut finish = SimTime::ZERO;
+        let mut clock = SimTime::ZERO;
+        drive(&mut inst, 100, |_, out| {
+            clock += out.duration;
+            if !out.finished_prefills.is_empty() {
+                finish = clock;
+            }
+        });
+        (inst, finish)
+    };
+    let (_cold, cold_finish) = run(0);
+    let (warm, warm_finish) = run(1200);
+    assert!(warm_finish > SimTime::ZERO && cold_finish > SimTime::ZERO);
+    assert!(
+        warm_finish < cold_finish,
+        "cached prefill {warm_finish:?} not faster than cold {cold_finish:?}"
+    );
+    // The cached sequence still accounts the full prompt as prefilled.
+    let seq = &warm.seqs[&1];
+    assert_eq!(seq.prefilled, 1500);
+    assert_eq!(seq.cached, 1200);
+    assert_eq!(seq.prompt_remaining(), 0);
+}

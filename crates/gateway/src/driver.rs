@@ -21,7 +21,7 @@ use windserve::{Cluster, ClusterSession, LiveEvent, RunReport, ServeConfig, Sess
 use windserve_metrics::DropReason;
 use windserve_sim::{SimDuration, SimTime};
 use windserve_trace::TraceEvent;
-use windserve_workload::{Request, RequestId};
+use windserve_workload::{Request, RequestId, SessionId};
 
 use crate::api;
 use crate::http::{encode_chunk, LAST_CHUNK};
@@ -107,6 +107,10 @@ enum Msg {
         output_tokens: u32,
         tier: u8,
         timeout_secs: Option<f64>,
+        /// Client-chosen conversation key (the `x-session-id` header);
+        /// follow-ups under the same key are tagged as session turns so
+        /// prefix caching and affinity routing can act on them.
+        session: Option<String>,
         verdict: Sender<Result<RequestId, DropReason>>,
         sink: Sink,
     },
@@ -149,6 +153,7 @@ impl DriverHandle {
         output_tokens: u32,
         tier: u8,
         timeout_secs: Option<f64>,
+        session: Option<String>,
         sink: Sink,
     ) -> Result<RequestId, SubmitError> {
         let (verdict_tx, verdict_rx) = mpsc::channel();
@@ -158,6 +163,7 @@ impl DriverHandle {
                 output_tokens,
                 tier,
                 timeout_secs,
+                session,
                 verdict: verdict_tx,
                 sink,
             })
@@ -281,12 +287,26 @@ struct StreamState {
 /// slow the driver, never wedge it.
 const MAX_DRIVER_STALL: Duration = Duration::from_millis(500);
 
+/// Per-conversation state keyed by the client's `x-session-id` header.
+struct GatewaySession {
+    id: SessionId,
+    /// Turns submitted so far (the next turn's index).
+    turns: u32,
+    /// Tokens accumulated in the conversation after the last turn
+    /// (prompt + output) — the upper bound on the next turn's shared
+    /// prefix.
+    context_tokens: u64,
+}
+
 struct Driver {
     session: ClusterSession,
     streams: HashMap<RequestId, StreamState>,
     /// Pump stream id → request, so a dead-socket notification can
     /// reclaim the right routing entry.
     pump_streams: HashMap<u64, RequestId>,
+    /// Conversation state per `x-session-id` key.
+    sessions: HashMap<String, GatewaySession>,
+    next_session: u64,
     next_id: u64,
     submitted: u64,
     completed: u64,
@@ -351,6 +371,8 @@ fn driver_loop(session: ClusterSession, rx: &Receiver<Msg>, scale: f64) {
         session,
         streams: HashMap::new(),
         pump_streams: HashMap::new(),
+        sessions: HashMap::new(),
+        next_session: 0,
         next_id: 0,
         submitted: 0,
         completed: 0,
@@ -419,6 +441,39 @@ fn driver_loop(session: ClusterSession, rx: &Receiver<Msg>, scale: f64) {
 }
 
 impl Driver {
+    /// Advances the conversation keyed by `key` one turn and returns the
+    /// `(session, turn, shared_prefix_tokens)` tag for the request. The
+    /// shared prefix is the conversation's accumulated context, capped by
+    /// `Request::with_session` at `prompt - 1` so at least one prompt
+    /// token is always freshly prefillable.
+    fn session_turn(
+        &mut self,
+        key: String,
+        prompt_tokens: u32,
+        output_tokens: u32,
+    ) -> (SessionId, u32, u32) {
+        use std::collections::hash_map::Entry;
+        let entry = match self.sessions.entry(key) {
+            Entry::Occupied(e) => e.into_mut(),
+            Entry::Vacant(v) => {
+                let id = SessionId(self.next_session);
+                self.next_session += 1;
+                v.insert(GatewaySession {
+                    id,
+                    turns: 0,
+                    context_tokens: 0,
+                })
+            }
+        };
+        let shared = u32::try_from(entry.context_tokens).unwrap_or(u32::MAX);
+        let tag = (entry.id, entry.turns, shared);
+        entry.turns += 1;
+        // Each turn's prompt is assumed to embed the full history, so the
+        // conversation context after this turn is its prompt + output.
+        entry.context_tokens = u64::from(prompt_tokens) + u64::from(output_tokens);
+        tag
+    }
+
     /// Pumps the session to the mapped virtual instant, routes every
     /// live event produced, then kills streams past their deadline.
     fn advance(&mut self, vnow: SimTime) {
@@ -481,6 +536,7 @@ impl Driver {
                 output_tokens,
                 tier,
                 timeout_secs,
+                session,
                 verdict,
                 sink,
             } => {
@@ -492,7 +548,11 @@ impl Driver {
                 let id = RequestId(self.next_id);
                 self.next_id += 1;
                 self.submitted += 1;
-                let req = Request::new(id, vnow, prompt_tokens, output_tokens).with_tier(tier);
+                let mut req = Request::new(id, vnow, prompt_tokens, output_tokens).with_tier(tier);
+                if let Some(key) = session {
+                    let tag = self.session_turn(key, prompt_tokens, output_tokens);
+                    req = req.with_session(tag.0, tag.1, tag.2);
+                }
                 self.session.inject(req);
                 self.session.emit_trace(TraceEvent::GatewaySubmitted {
                     id,
@@ -734,7 +794,9 @@ mod tests {
         let driver = SimDriver::spawn(test_config(), 1000.0).unwrap();
         let handle = driver.handle();
         let (tx, rx) = mpsc::channel();
-        let id = handle.submit(64, 4, 0, None, Sink::Channel(tx)).unwrap();
+        let id = handle
+            .submit(64, 4, 0, None, None, Sink::Channel(tx))
+            .unwrap();
         assert_eq!(id, RequestId(0));
         let mut tokens = 0u32;
         let done = loop {
@@ -764,7 +826,9 @@ mod tests {
         assert_eq!(snap.completed_requests, 0);
         assert!(!snap.instances.is_empty());
         let (tx, rx) = mpsc::channel();
-        handle.submit(64, 2, 0, None, Sink::Channel(tx)).unwrap();
+        handle
+            .submit(64, 2, 0, None, None, Sink::Channel(tx))
+            .unwrap();
         // Wait for completion, then the snapshot must count it.
         loop {
             if matches!(
@@ -793,10 +857,10 @@ mod tests {
         let handle = driver.handle();
         let (tx, _rx) = mpsc::channel();
         assert!(handle
-            .submit(64, 4, 0, None, Sink::Channel(tx.clone()))
+            .submit(64, 4, 0, None, None, Sink::Channel(tx.clone()))
             .is_ok());
         let err = handle
-            .submit(64, 4, 0, None, Sink::Channel(tx))
+            .submit(64, 4, 0, None, None, Sink::Channel(tx))
             .expect_err("cap of 1 must reject the second live request");
         match err {
             SubmitError::Dropped(reason) => assert_eq!(reason.http_status(), 429),
@@ -808,6 +872,42 @@ mod tests {
     }
 
     #[test]
+    fn session_turns_share_a_prefix_and_hit_the_cache() {
+        let mut cfg = test_config();
+        cfg.prefix_cache = Some(windserve::PrefixCacheConfig::default());
+        let driver = SimDriver::spawn(cfg, 1000.0).unwrap();
+        let handle = driver.handle();
+        // Three turns of one conversation: each prompt embeds the history,
+        // so follow-ups carry a growing shared prefix.
+        for turn in 0..3u32 {
+            let (tx, rx) = mpsc::channel();
+            let prompt = 256 * (turn + 1);
+            handle
+                .submit(prompt, 8, 0, None, Some("conv-1".into()), Sink::Channel(tx))
+                .unwrap();
+            loop {
+                match rx.recv_timeout(Duration::from_secs(30)).unwrap() {
+                    StreamUpdate::Done { .. } => break,
+                    StreamUpdate::Aborted { reason } => panic!("aborted: {reason:?}"),
+                    StreamUpdate::Token { .. } => {}
+                }
+            }
+        }
+        let snap = handle.snapshot().unwrap();
+        assert!(
+            snap.prefix_hits >= 1,
+            "follow-up turns must hit the prefix cache ({} hits / {} misses)",
+            snap.prefix_hits,
+            snap.prefix_misses
+        );
+        assert!(snap.prefix_hit_rate > 0.0);
+        let report = driver.shutdown();
+        let run = report.run_report.expect("clean run");
+        assert!(run.prefix_hits >= 1);
+        assert!(run.prefix_cached_tokens > 0);
+    }
+
+    #[test]
     fn deadlines_kill_streams_with_a_typed_abort() {
         // Freeze virtual time (tiny scale): the request can never finish
         // on its own, so only the deadline can end it.
@@ -815,7 +915,7 @@ mod tests {
         let handle = driver.handle();
         let (tx, rx) = mpsc::channel();
         handle
-            .submit(64, 64, 0, Some(0.05), Sink::Channel(tx))
+            .submit(64, 64, 0, Some(0.05), None, Sink::Channel(tx))
             .unwrap();
         let update = rx.recv_timeout(Duration::from_secs(10)).unwrap();
         assert_eq!(

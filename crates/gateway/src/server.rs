@@ -537,6 +537,14 @@ fn handle_completion(
             .stall(Duration::from_millis(*stall_ms).min(MAX_INJECTED_DELAY));
     }
     let timeout_secs = effective_timeout_secs(req, ctx);
+    // A client that tags its turns with `x-session-id` gets them treated
+    // as one conversation: the driver assigns a session, counts turns,
+    // and marks the shared prefix for prefix caching.
+    let session = req
+        .header("x-session-id")
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .map(str::to_string);
     if creq.stream {
         let stream = ctx.next_stream.fetch_add(1, Ordering::Relaxed);
         let sink = Sink::Pump {
@@ -548,6 +556,7 @@ fn handle_completion(
             creq.max_tokens,
             creq.tier,
             timeout_secs,
+            session,
             sink,
         );
         for signal in ctx.health.record(result.is_err()) {
@@ -582,6 +591,7 @@ fn handle_completion(
             creq.max_tokens,
             creq.tier,
             timeout_secs,
+            session,
             Sink::Channel(tx),
         );
         for signal in ctx.health.record(result.is_err()) {

@@ -8,7 +8,10 @@
 //!   machine (background bulk transfer while decoding continues, bounded
 //!   pause for the tail);
 //! * [`BackupStore`] — opportunistic prefill-side KV backups that shrink
-//!   later migration deltas.
+//!   later migration deltas;
+//! * [`PrefixStore`] — session-keyed prefix cache over the KV retained on
+//!   prefill instances, with a token budget, LRU + TTL eviction and
+//!   conservation-checked accounting.
 //!
 //! # Examples
 //!
@@ -28,8 +31,10 @@ mod backup;
 mod error;
 mod manager;
 mod migrate;
+mod prefix;
 
 pub use backup::{Backup, BackupStore};
 pub use error::{Error, Result};
 pub use manager::{AllocError, BlockId, BlockManager, SeqKey};
 pub use migrate::{background_duration_secs, MigrationPhase, StallFreeMigration};
+pub use prefix::{PrefixStats, PrefixStore, SessionKey};

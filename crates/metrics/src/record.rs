@@ -11,7 +11,7 @@
 
 use serde::{Deserialize, Serialize};
 use windserve_sim::SimTime;
-use windserve_workload::RequestId;
+use windserve_workload::{RequestId, SessionTag};
 
 /// Where a request's prefill ultimately ran.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -54,6 +54,13 @@ pub struct RequestRecord {
     /// Times this request was migrated across instances (dynamic
     /// rescheduling).
     pub migrations: u32,
+    /// The conversational session this request belongs to (`None` for
+    /// single-shot workloads).
+    pub session: Option<SessionTag>,
+    /// Prompt tokens served from a session prefix cache (0 on a miss or
+    /// when caching is off): prefill computed only
+    /// `prompt_tokens - cached_prefix_tokens`.
+    pub cached_prefix_tokens: u32,
 }
 
 impl RequestRecord {
@@ -153,6 +160,8 @@ mod tests {
             prefill_site: PrefillSite::PrefillInstance,
             swap_outs: 0,
             migrations: 0,
+            session: None,
+            cached_prefix_tokens: 0,
         }
     }
 

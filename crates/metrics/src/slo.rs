@@ -136,6 +136,8 @@ mod tests {
             prefill_site: PrefillSite::PrefillInstance,
             swap_outs: 0,
             migrations: 0,
+            session: None,
+            cached_prefix_tokens: 0,
         }
     }
 

@@ -115,6 +115,8 @@ mod tests {
             prefill_site: site,
             swap_outs: (i % 2) as u32,
             migrations: 0,
+            session: None,
+            cached_prefix_tokens: 0,
         }
     }
 

@@ -375,6 +375,39 @@ impl TraceLog {
                     us,
                     json!({"conn": *conn, "kind": kind}),
                 )),
+                TraceEvent::PrefixHit {
+                    id,
+                    inst,
+                    cached_tokens,
+                    prompt_tokens,
+                } => body.push(instant(
+                    "prefix-hit",
+                    REQUESTS_PID,
+                    id.0,
+                    us,
+                    json!({
+                        "inst": *inst,
+                        "cached_tokens": *cached_tokens,
+                        "prompt_tokens": *prompt_tokens,
+                    }),
+                )),
+                TraceEvent::PrefixMiss { id, inst } => body.push(instant(
+                    "prefix-miss",
+                    REQUESTS_PID,
+                    id.0,
+                    us,
+                    json!({"inst": *inst}),
+                )),
+                TraceEvent::PrefixEvicted {
+                    inst,
+                    evicted_tokens,
+                } => body.push(instant(
+                    "prefix-evicted",
+                    SCHEDULER_PID,
+                    0,
+                    us,
+                    json!({"inst": *inst, "evicted_tokens": *evicted_tokens}),
+                )),
             }
         }
         // Close anything still open at the end of the run (sorted ids and

@@ -441,6 +441,35 @@ pub enum TraceEvent {
         /// The fault kind label (`conn-reset`, `worker-panic`, ...).
         kind: String,
     },
+    /// A session follow-up found part of its shared prefix in the target
+    /// instance's prefix cache; prefill computes only the suffix.
+    PrefixHit {
+        /// The arriving request.
+        id: RequestId,
+        /// The instance whose cache served the prefix.
+        inst: u32,
+        /// Prompt tokens served from the cache.
+        cached_tokens: u32,
+        /// Full prompt length, tokens.
+        prompt_tokens: u32,
+    },
+    /// A session follow-up probed the target instance's prefix cache and
+    /// found none of its shared prefix (evicted, expired, or first turn
+    /// landed elsewhere).
+    PrefixMiss {
+        /// The arriving request.
+        id: RequestId,
+        /// The instance whose cache was probed.
+        inst: u32,
+    },
+    /// A prefix-cache insert (or TTL sweep) evicted retained session KV
+    /// to stay inside the instance's capacity budget.
+    PrefixEvicted {
+        /// The instance whose cache evicted.
+        inst: u32,
+        /// Retained tokens released by this eviction round.
+        evicted_tokens: u64,
+    },
 }
 
 impl TraceEvent {
@@ -462,6 +491,8 @@ impl TraceEvent {
             | TraceEvent::WatchdogAborted { id, .. }
             | TraceEvent::GatewaySubmitted { id, .. }
             | TraceEvent::GatewayStreamClosed { id, .. }
+            | TraceEvent::PrefixHit { id, .. }
+            | TraceEvent::PrefixMiss { id, .. }
             | TraceEvent::Finished { id } => Some(*id),
             TraceEvent::Dispatch(d) => Some(d.request),
             TraceEvent::Admission(a) => Some(a.request),
@@ -501,6 +532,9 @@ impl TraceEvent {
             TraceEvent::GatewayHealthChanged { .. } => "gateway-health-changed",
             TraceEvent::GatewayBreaker { .. } => "gateway-breaker",
             TraceEvent::GatewayNetFault { .. } => "gateway-net-fault",
+            TraceEvent::PrefixHit { .. } => "prefix-hit",
+            TraceEvent::PrefixMiss { .. } => "prefix-miss",
+            TraceEvent::PrefixEvicted { .. } => "prefix-evicted",
         }
     }
 }

@@ -37,20 +37,67 @@ impl ArrivalProcess {
     ///
     /// # Panics
     ///
-    /// Panics if `rate` is not strictly positive and finite.
+    /// Panics if `rate` is not strictly positive and finite. Use
+    /// [`ArrivalProcess::try_poisson`] to handle untrusted rates.
     pub fn poisson(rate: f64) -> Self {
-        assert!(rate.is_finite() && rate > 0.0, "invalid rate {rate}");
-        ArrivalProcess::Poisson { rate }
+        Self::try_poisson(rate).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Poisson arrivals at `rate` req/s, rejecting invalid rates.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidArrival`](crate::Error::InvalidArrival) if
+    /// `rate` is not strictly positive and finite.
+    pub fn try_poisson(rate: f64) -> crate::Result<Self> {
+        check_rate("rate", rate)?;
+        Ok(ArrivalProcess::Poisson { rate })
     }
 
     /// Deterministic arrivals at `rate` req/s.
     ///
     /// # Panics
     ///
-    /// Panics if `rate` is not strictly positive and finite.
+    /// Panics if `rate` is not strictly positive and finite. Use
+    /// [`ArrivalProcess::try_uniform`] to handle untrusted rates.
     pub fn uniform(rate: f64) -> Self {
-        assert!(rate.is_finite() && rate > 0.0, "invalid rate {rate}");
-        ArrivalProcess::Uniform { rate }
+        Self::try_uniform(rate).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Deterministic arrivals at `rate` req/s, rejecting invalid rates.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidArrival`](crate::Error::InvalidArrival) if
+    /// `rate` is not strictly positive and finite.
+    pub fn try_uniform(rate: f64) -> crate::Result<Self> {
+        check_rate("rate", rate)?;
+        Ok(ArrivalProcess::Uniform { rate })
+    }
+
+    /// Checks every parameter of the process. Variants built through the
+    /// `try_` constructors are always valid; this covers processes
+    /// assembled field-by-field (e.g. deserialized from a config file).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidArrival`](crate::Error::InvalidArrival)
+    /// naming the first non-positive or non-finite parameter.
+    pub fn validate(&self) -> crate::Result<()> {
+        match *self {
+            ArrivalProcess::Poisson { rate } | ArrivalProcess::Uniform { rate } => {
+                check_rate("rate", rate)
+            }
+            ArrivalProcess::Bursty {
+                base_rate,
+                burst_rate,
+                mean_phase_secs,
+            } => {
+                check_rate("base_rate", base_rate)?;
+                check_rate("burst_rate", burst_rate)?;
+                check_rate("mean_phase_secs", mean_phase_secs)
+            }
+        }
     }
 
     /// Long-run mean rate of the process, req/s.
@@ -110,6 +157,16 @@ impl ArrivalProcess {
             }
         }
         out
+    }
+}
+
+fn check_rate(field: &str, value: f64) -> crate::Result<()> {
+    if value.is_finite() && value > 0.0 {
+        Ok(())
+    } else {
+        Err(crate::Error::InvalidArrival {
+            reason: format!("{field} must be positive and finite, got {value}"),
+        })
     }
 }
 
@@ -199,8 +256,32 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "invalid rate")]
+    #[should_panic(expected = "invalid arrival process")]
     fn zero_rate_rejected() {
         let _ = ArrivalProcess::poisson(0.0);
+    }
+
+    #[test]
+    fn try_constructors_return_typed_errors() {
+        assert!(ArrivalProcess::try_poisson(4.0).is_ok());
+        for bad in [0.0, -1.0, f64::NAN, f64::INFINITY] {
+            let err = ArrivalProcess::try_poisson(bad).unwrap_err();
+            assert!(matches!(err, crate::Error::InvalidArrival { .. }), "{err}");
+            assert!(ArrivalProcess::try_uniform(bad).is_err());
+        }
+    }
+
+    #[test]
+    fn validate_covers_fieldwise_construction() {
+        assert!(ArrivalProcess::poisson(2.0).validate().is_ok());
+        let bad = ArrivalProcess::Bursty {
+            base_rate: 2.0,
+            burst_rate: 20.0,
+            mean_phase_secs: 0.0,
+        };
+        let err = bad.validate().unwrap_err();
+        assert!(err.to_string().contains("mean_phase_secs"), "{err}");
+        let bad = ArrivalProcess::Poisson { rate: f64::NAN };
+        assert!(bad.validate().is_err());
     }
 }

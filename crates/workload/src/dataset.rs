@@ -48,6 +48,22 @@ impl QuantileSampler {
     /// 1.0, and are strictly increasing in quantile and non-decreasing in
     /// value, with all values ≥ 1.
     pub fn new(points: Vec<(f64, f64)>) -> crate::Result<Self> {
+        let sampler = QuantileSampler { points };
+        sampler.validate()?;
+        Ok(sampler)
+    }
+
+    /// Re-checks the control-point invariants enforced by
+    /// [`QuantileSampler::new`]. Samplers built through `new` are always
+    /// valid; this covers samplers that arrived through deserialization,
+    /// whose points were never screened.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidSampler`](crate::Error::InvalidSampler)
+    /// describing the first violated invariant.
+    pub fn validate(&self) -> crate::Result<()> {
+        let points = &self.points;
         let invalid = |reason: String| crate::Error::InvalidSampler { reason };
         if points.len() < 2 {
             return Err(invalid("need at least two control points".into()));
@@ -72,7 +88,7 @@ impl QuantileSampler {
         if points.iter().any(|&(_, v)| v < 1.0 || !v.is_finite()) {
             return Err(invalid("token counts must be finite and >= 1".into()));
         }
-        Ok(QuantileSampler { points })
+        Ok(())
     }
 
     /// The value at quantile `q ∈ [0, 1]` (linear interpolation).
@@ -257,6 +273,34 @@ impl Dataset {
         }
     }
 
+    /// Checks that this dataset can actually produce requests: both
+    /// samplers' control points hold their invariants and the context
+    /// window leaves room for at least one prompt and one output token.
+    /// Datasets built through the named constructors are always valid;
+    /// this covers datasets assembled by hand or deserialized from a
+    /// config file, which [`Dataset::sample_request`] would otherwise
+    /// answer with a panic.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidDataset`](crate::Error::InvalidDataset) (or
+    /// the underlying
+    /// [`Error::InvalidSampler`](crate::Error::InvalidSampler)) describing
+    /// the first violated invariant.
+    pub fn validate(&self) -> crate::Result<()> {
+        self.prompt.validate()?;
+        self.output.validate()?;
+        if self.max_context < 2 {
+            return Err(crate::Error::InvalidDataset {
+                reason: format!(
+                    "{}: max_context {} leaves no room for a prompt and an output token",
+                    self.name, self.max_context
+                ),
+            });
+        }
+        Ok(())
+    }
+
     /// Samples one request with the given id and arrival time, clamping
     /// lengths so that `prompt + output <= max_context` (prompts are capped
     /// at `max_context - 1`; outputs fill what remains).
@@ -357,6 +401,28 @@ mod tests {
         assert!(QuantileSampler::new(vec![(0.1, 1.0), (1.0, 2.0)]).is_err());
         assert!(QuantileSampler::new(vec![(0.0, 5.0), (1.0, 2.0)]).is_err());
         assert!(QuantileSampler::new(vec![(0.0, 0.0), (1.0, 2.0)]).is_err());
+    }
+
+    #[test]
+    fn validate_catches_hand_assembled_datasets() {
+        assert!(Dataset::sharegpt(2048).validate().is_ok());
+        // A window of one token cannot hold a prompt plus an output; only
+        // validate() stands between this and an arithmetic panic inside
+        // sample_request.
+        let mut d = Dataset::fixed(1, 1, 2);
+        d.max_context = 1;
+        let err = d.validate().unwrap_err();
+        assert!(matches!(err, crate::Error::InvalidDataset { .. }), "{err}");
+        // Deserialized samplers are re-screened too.
+        let mut d = Dataset::sharegpt(2048);
+        d.prompt.validate().unwrap();
+        d.output = QuantileSampler {
+            points: vec![(0.5, 3.0)],
+        };
+        assert!(matches!(
+            d.validate().unwrap_err(),
+            crate::Error::InvalidSampler { .. }
+        ));
     }
 
     #[test]

@@ -17,6 +17,24 @@ pub enum Error {
         /// What is wrong with the name or spec.
         reason: String,
     },
+    /// A dataset's lengths cannot fit its context window (see
+    /// [`Dataset::validate`](crate::Dataset::validate)).
+    InvalidDataset {
+        /// What is wrong with the dataset.
+        reason: String,
+    },
+    /// An arrival process was configured with a non-positive or non-finite
+    /// rate or phase length.
+    InvalidArrival {
+        /// What is wrong with the process parameters.
+        reason: String,
+    },
+    /// A [`Scenario`](crate::Scenario) is internally inconsistent (empty
+    /// workload, degenerate session distributions, out-of-order trace).
+    InvalidScenario {
+        /// What is wrong with the scenario.
+        reason: String,
+    },
 }
 
 impl fmt::Display for Error {
@@ -24,6 +42,9 @@ impl fmt::Display for Error {
         match self {
             Error::InvalidSampler { reason } => write!(f, "invalid sampler: {reason}"),
             Error::UnknownDataset { reason } => write!(f, "{reason}"),
+            Error::InvalidDataset { reason } => write!(f, "invalid dataset: {reason}"),
+            Error::InvalidArrival { reason } => write!(f, "invalid arrival process: {reason}"),
+            Error::InvalidScenario { reason } => write!(f, "invalid scenario: {reason}"),
         }
     }
 }

@@ -29,6 +29,33 @@ impl fmt::Display for TenantId {
     }
 }
 
+/// Identifier of the conversational session a request belongs to. All
+/// turns of one multi-turn conversation share a [`SessionId`]; the
+/// scheduler uses it as the prefix-cache key.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct SessionId(pub u64);
+
+impl fmt::Display for SessionId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "s{}", self.0)
+    }
+}
+
+/// Conversational-session metadata attached to a request. Follow-up turns
+/// carry the session they continue, their turn index, and how many of
+/// their prompt tokens are a verbatim prefix of the previous turn's full
+/// context — the tokens a prefix cache could serve without recomputation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SessionTag {
+    /// The session this turn continues.
+    pub session: SessionId,
+    /// Zero-based turn index within the session.
+    pub turn: u32,
+    /// Leading prompt tokens shared verbatim with the prior turn's full
+    /// context (zero for a session's first turn).
+    pub shared_prefix_tokens: u32,
+}
+
 /// One inference request: a prompt to prefill and a number of tokens to
 /// decode. Output length is used only by the simulator's oracle (the real
 /// system discovers it at EOS time); schedulers never read it.
@@ -51,6 +78,10 @@ pub struct Request {
     /// [`Request::new`] defaults it to tenant `0`, so untagged traces
     /// behave exactly as before.
     pub tenant: TenantId,
+    /// Conversational-session metadata, if this request is a turn of a
+    /// multi-turn session. [`Request::new`] defaults it to `None`, so
+    /// single-shot traces behave exactly as before.
+    pub session: Option<SessionTag>,
 }
 
 impl Request {
@@ -69,6 +100,7 @@ impl Request {
             output_tokens,
             tier: 0,
             tenant: TenantId(0),
+            session: None,
         }
     }
 
@@ -81,6 +113,23 @@ impl Request {
     /// The same request tagged with a tenant.
     pub fn with_tenant(mut self, tenant: TenantId) -> Self {
         self.tenant = tenant;
+        self
+    }
+
+    /// The same request tagged as a turn of a conversational session. The
+    /// shared-prefix claim is clamped so at least one prompt token is new
+    /// (a prefill always has something to compute).
+    pub fn with_session(
+        mut self,
+        session: SessionId,
+        turn: u32,
+        shared_prefix_tokens: u32,
+    ) -> Self {
+        self.session = Some(SessionTag {
+            session,
+            turn,
+            shared_prefix_tokens: shared_prefix_tokens.min(self.prompt_tokens.saturating_sub(1)),
+        });
         self
     }
 
@@ -140,5 +189,21 @@ mod tests {
         assert_eq!(tagged.tier, r.tier);
         assert_eq!(tagged.prompt_tokens, r.prompt_tokens);
         assert_eq!(format!("{}", tagged.tenant), "t3");
+    }
+
+    #[test]
+    fn session_tag_defaults_off_and_clamps_prefix() {
+        let r = Request::new(RequestId(5), SimTime::ZERO, 100, 5);
+        assert!(r.session.is_none());
+        let tagged = r.with_session(SessionId(2), 3, 40);
+        let tag = tagged.session.unwrap();
+        assert_eq!(tag.session, SessionId(2));
+        assert_eq!(tag.turn, 3);
+        assert_eq!(tag.shared_prefix_tokens, 40);
+        assert_eq!(format!("{}", tag.session), "s2");
+        // A prefix claim covering the whole prompt is clamped: at least one
+        // token must be freshly prefilled.
+        let clamped = r.with_session(SessionId(2), 4, 100).session.unwrap();
+        assert_eq!(clamped.shared_prefix_tokens, 99);
     }
 }

@@ -15,14 +15,15 @@ use windserve_sim::{SimRng, SimTime};
 /// # Examples
 ///
 /// ```
-/// use windserve_workload::{ArrivalProcess, Dataset, Trace};
+/// use windserve_workload::{ArrivalProcess, Dataset, Scenario};
 ///
-/// let trace = Trace::generate(
-///     &Dataset::sharegpt(2048),
-///     &ArrivalProcess::poisson(4.0),
+/// let trace = Scenario::single_shot(
+///     Dataset::sharegpt(2048),
+///     ArrivalProcess::poisson(4.0),
 ///     100,
-///     42,
-/// );
+/// )
+/// .generate(42)
+/// .unwrap();
 /// assert_eq!(trace.requests().len(), 100);
 /// let stats = trace.stats();
 /// assert!(stats.prompt.mean > 0.0);
@@ -30,6 +31,42 @@ use windserve_sim::{SimRng, SimTime};
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Trace {
     requests: Vec<Request>,
+}
+
+/// Single-shot trace generation: `n` requests from `dataset` issued by
+/// `arrivals`, seeded by `seed`. Length draws and arrival draws use
+/// independent RNG streams, so changing the arrival process does not change
+/// the sampled lengths. This is the generation path behind both the
+/// deprecated [`Trace::generate`] and
+/// [`Scenario::SingleShot`](crate::Scenario::SingleShot) — one body, so the
+/// two spellings are byte-identical by construction.
+pub(crate) fn generate_single_shot(
+    dataset: &Dataset,
+    arrivals: &ArrivalProcess,
+    n: usize,
+    seed: u64,
+) -> Trace {
+    let root = SimRng::seed_from_u64(seed);
+    let mut len_rng = root.fork(1);
+    let mut gap_rng = root.fork(2);
+    let gaps = arrivals.gaps(n, &mut gap_rng);
+    let mut t = SimTime::ZERO;
+    let mut requests = Vec::with_capacity(n);
+    for (i, gap) in gaps.into_iter().enumerate() {
+        t += gap;
+        requests.push(dataset.sample_request(RequestId(i as u64), t, &mut len_rng));
+    }
+    Trace { requests }
+}
+
+/// A copy of `r` with a new id and arrival time; every other tag (tier,
+/// tenant, session) rides along. The trace-rebuilding combinators below all
+/// funnel through this, so new request metadata survives them by default.
+fn retagged(r: &Request, id: RequestId, arrival: SimTime) -> Request {
+    let mut out = *r;
+    out.id = id;
+    out.arrival = arrival;
+    out
 }
 
 /// Summary statistics of one token-length column (Table 2 format).
@@ -58,18 +95,13 @@ impl Trace {
     /// Generates `n` requests from `dataset` with `arrivals`, seeded by
     /// `seed`. Length draws and arrival draws use independent RNG streams,
     /// so changing the arrival process does not change the sampled lengths.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use Scenario::single_shot(dataset, arrivals, n).generate(seed) — \
+                it produces a byte-identical trace"
+    )]
     pub fn generate(dataset: &Dataset, arrivals: &ArrivalProcess, n: usize, seed: u64) -> Self {
-        let root = SimRng::seed_from_u64(seed);
-        let mut len_rng = root.fork(1);
-        let mut gap_rng = root.fork(2);
-        let gaps = arrivals.gaps(n, &mut gap_rng);
-        let mut t = SimTime::ZERO;
-        let mut requests = Vec::with_capacity(n);
-        for (i, gap) in gaps.into_iter().enumerate() {
-            t += gap;
-            requests.push(dataset.sample_request(RequestId(i as u64), t, &mut len_rng));
-        }
-        Trace { requests }
+        generate_single_shot(dataset, arrivals, n, seed)
     }
 
     /// Builds a trace from explicit requests (must be time-ordered).
@@ -113,14 +145,11 @@ impl Trace {
             .iter()
             .enumerate()
             .map(|(i, r)| {
-                Request::new(
+                retagged(
+                    r,
                     RequestId(i as u64),
                     SimTime::ZERO + r.arrival.saturating_since(base),
-                    r.prompt_tokens,
-                    r.output_tokens,
                 )
-                .with_tier(r.tier)
-                .with_tenant(r.tenant)
             })
             .collect();
         Trace { requests }
@@ -141,14 +170,11 @@ impl Trace {
             .requests
             .iter()
             .map(|r| {
-                Request::new(
+                retagged(
+                    r,
                     r.id,
                     SimTime::from_secs_f64(r.arrival.as_secs_f64() / rate_factor),
-                    r.prompt_tokens,
-                    r.output_tokens,
                 )
-                .with_tier(r.tier)
-                .with_tenant(r.tenant)
             })
             .collect();
         Trace { requests }
@@ -165,16 +191,7 @@ impl Trace {
         let requests = all
             .into_iter()
             .enumerate()
-            .map(|(i, r)| {
-                Request::new(
-                    RequestId(i as u64),
-                    r.arrival,
-                    r.prompt_tokens,
-                    r.output_tokens,
-                )
-                .with_tier(r.tier)
-                .with_tenant(r.tenant)
-            })
+            .map(|(i, r)| retagged(r, RequestId(i as u64), r.arrival))
             .collect();
         Trace { requests }
     }
@@ -193,16 +210,7 @@ impl Trace {
         let requests = all
             .into_iter()
             .enumerate()
-            .map(|(i, r)| {
-                Request::new(
-                    RequestId(i as u64),
-                    r.arrival,
-                    r.prompt_tokens,
-                    r.output_tokens,
-                )
-                .with_tier(r.tier)
-                .with_tenant(r.tenant)
-            })
+            .map(|(i, r)| retagged(&r, RequestId(i as u64), r.arrival))
             .collect();
         Trace { requests }
     }
@@ -287,7 +295,35 @@ impl Trace {
 
 #[cfg(test)]
 mod tests {
+    // The deprecated Trace::generate stays covered until it is removed: it
+    // must keep producing the same traces as the Scenario path.
+    #![allow(deprecated)]
+
     use super::*;
+    use crate::request::SessionId;
+
+    #[test]
+    fn session_tags_survive_trace_combinators() {
+        let base = Trace::from_requests(vec![
+            Request::new(RequestId(0), SimTime::ZERO, 100, 10).with_session(SessionId(4), 0, 0),
+            Request::new(RequestId(1), SimTime::from_micros(3), 120, 10).with_session(
+                SessionId(4),
+                1,
+                90,
+            ),
+        ]);
+        let tags = |t: &Trace| -> Vec<_> { t.requests().iter().map(|r| r.session).collect() };
+        let expected = tags(&base);
+        assert_eq!(tags(&base.slice(0..2)), expected);
+        assert_eq!(tags(&base.with_rate_scaled(2.0)), expected);
+        assert_eq!(tags(&base.merge(&Trace::from_requests(vec![]))), expected);
+        assert_eq!(
+            tags(&Trace::merge_tagged(&[(TenantId(1), base.clone())])),
+            expected
+        );
+        assert_eq!(tags(&base.with_tiers(2, 7)), expected);
+        assert_eq!(tags(&base.with_tenant(TenantId(2))), expected);
+    }
 
     #[test]
     fn generation_is_deterministic_in_seed() {

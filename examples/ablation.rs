@@ -8,7 +8,7 @@
 
 use windserve::{Cluster, Parallelism, ServeConfig, SystemKind};
 use windserve_examples::{parse_args, print_report};
-use windserve_workload::{ArrivalProcess, Dataset, Trace};
+use windserve_workload::{ArrivalProcess, Dataset, Scenario};
 
 fn main() -> windserve::Result<()> {
     let (rate, requests, seed) = parse_args(3.0, 1200);
@@ -17,12 +17,13 @@ fn main() -> windserve::Result<()> {
     let longbench = Dataset::longbench(2048);
     for system in [SystemKind::WindServe, SystemKind::WindServeNoSplit] {
         let cfg = ServeConfig::opt_13b_sharegpt(system);
-        let trace = Trace::generate(
-            &longbench,
-            &ArrivalProcess::poisson(cfg.total_rate(rate)),
+        let trace = Scenario::single_shot(
+            longbench.clone(),
+            ArrivalProcess::poisson(cfg.total_rate(rate)),
             requests,
-            seed,
-        );
+        )
+        .generate(seed)
+        .expect("valid single-shot scenario");
         let report = Cluster::new(cfg)?.run(&trace)?;
         print_report(&format!("LongBench @ {rate} req/s/GPU"), &report);
         println!();
@@ -35,12 +36,13 @@ fn main() -> windserve::Result<()> {
             .to_builder()
             .decode_parallelism(Parallelism::tp(1)) // memory-tight decode
             .build()?;
-        let trace = Trace::generate(
-            &sharegpt,
-            &ArrivalProcess::poisson(cfg.total_rate(rate + 1.0)),
+        let trace = Scenario::single_shot(
+            sharegpt.clone(),
+            ArrivalProcess::poisson(cfg.total_rate(rate + 1.0)),
             requests,
-            seed,
-        );
+        )
+        .generate(seed)
+        .expect("valid single-shot scenario");
         let report = Cluster::new(cfg)?.run(&trace)?;
         print_report(
             &format!("ShareGPT [TP-2, TP-1] @ {} req/s/GPU", rate + 1.0),

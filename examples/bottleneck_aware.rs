@@ -10,7 +10,7 @@
 
 use windserve::{Cluster, Parallelism, ServeConfig, SystemKind};
 use windserve_examples::{parse_args, print_report};
-use windserve_workload::{ArrivalProcess, Dataset, Trace};
+use windserve_workload::{ArrivalProcess, Dataset, Scenario};
 
 fn main() -> windserve::Result<()> {
     let (rate, requests, seed) = parse_args(4.0, 1500);
@@ -24,12 +24,13 @@ fn main() -> windserve::Result<()> {
                 .to_builder()
                 .decode_parallelism(decode_par)
                 .build()?;
-            let trace = Trace::generate(
-                &dataset,
-                &ArrivalProcess::poisson(cfg.total_rate(rate)),
+            let trace = Scenario::single_shot(
+                dataset.clone(),
+                ArrivalProcess::poisson(cfg.total_rate(rate)),
                 requests,
-                seed,
-            );
+            )
+            .generate(seed)
+            .expect("valid single-shot scenario");
             let report = Cluster::new(cfg)?.run(&trace)?;
             print_report(&format!("{label} @ {rate} req/s/GPU"), &report);
             println!();

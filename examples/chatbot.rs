@@ -7,7 +7,7 @@
 
 use windserve::{Cluster, ServeConfig, SystemKind};
 use windserve_examples::{parse_args, print_report};
-use windserve_workload::{ArrivalProcess, Dataset, Trace};
+use windserve_workload::{ArrivalProcess, Dataset, Scenario};
 
 fn main() -> windserve::Result<()> {
     let (rate, requests, seed) = parse_args(4.0, 1500);
@@ -18,12 +18,13 @@ fn main() -> windserve::Result<()> {
         SystemKind::VllmColocated,
     ] {
         let cfg = ServeConfig::opt_13b_sharegpt(system);
-        let trace = Trace::generate(
-            &dataset,
-            &ArrivalProcess::poisson(cfg.total_rate(rate)),
+        let trace = Scenario::single_shot(
+            dataset.clone(),
+            ArrivalProcess::poisson(cfg.total_rate(rate)),
             requests,
-            seed,
-        );
+        )
+        .generate(seed)
+        .expect("valid single-shot scenario");
         let report = Cluster::new(cfg)?.run(&trace)?;
         print_report(&format!("chatbot @ {rate} req/s/GPU"), &report);
         println!();

@@ -10,7 +10,7 @@
 use windserve::{Cluster, ServeConfig, SystemKind};
 use windserve_examples::{parse_args, print_report};
 use windserve_gpu::Topology;
-use windserve_workload::{ArrivalProcess, Dataset, Trace};
+use windserve_workload::{ArrivalProcess, Dataset, Scenario};
 
 fn main() -> windserve::Result<()> {
     let (rate, requests, seed) = parse_args(3.5, 1600);
@@ -26,12 +26,13 @@ fn main() -> windserve::Result<()> {
             .decode_replicas(replicas)
             .topology(topo)
             .build()?;
-        let trace = Trace::generate(
-            &dataset,
-            &ArrivalProcess::poisson(cfg.total_rate(rate)),
+        let trace = Scenario::single_shot(
+            dataset.clone(),
+            ArrivalProcess::poisson(cfg.total_rate(rate)),
             requests,
-            seed,
-        );
+        )
+        .generate(seed)
+        .expect("valid single-shot scenario");
         let report = Cluster::new(cfg)?.run(&trace)?;
         print_report(&format!("{label} @ {rate} req/s/GPU"), &report);
         println!();

@@ -10,25 +10,27 @@
 
 use windserve::{Cluster, ServeConfig, SystemKind};
 use windserve_examples::{parse_args, print_report};
-use windserve_workload::{ArrivalProcess, Dataset, Trace};
+use windserve_workload::{ArrivalProcess, Dataset, Scenario};
 
 fn main() -> windserve::Result<()> {
     let (rate, requests, seed) = parse_args(2.0, 800);
     for system in [SystemKind::WindServe, SystemKind::DistServe] {
         let cfg = ServeConfig::opt_13b_sharegpt(system);
         let total = cfg.total_rate(rate);
-        let chat = Trace::generate(
-            &Dataset::sharegpt(2048),
-            &ArrivalProcess::poisson(total * 0.7),
+        let chat = Scenario::single_shot(
+            Dataset::sharegpt(2048),
+            ArrivalProcess::poisson(total * 0.7),
             requests * 7 / 10,
-            seed,
-        );
-        let summarize = Trace::generate(
-            &Dataset::longbench(2048),
-            &ArrivalProcess::poisson(total * 0.3),
+        )
+        .generate(seed)
+        .expect("valid single-shot scenario");
+        let summarize = Scenario::single_shot(
+            Dataset::longbench(2048),
+            ArrivalProcess::poisson(total * 0.3),
             requests * 3 / 10,
-            seed + 1,
-        );
+        )
+        .generate(seed + 1)
+        .expect("valid single-shot scenario");
         let mixed = chat.merge(&summarize);
         let report = Cluster::new(cfg)?.run(&mixed)?;
         print_report(

@@ -7,7 +7,7 @@
 
 use windserve::{Cluster, ServeConfig, SystemKind};
 use windserve_examples::{parse_args, print_report};
-use windserve_workload::{ArrivalProcess, Dataset, Trace};
+use windserve_workload::{ArrivalProcess, Dataset, Scenario};
 
 fn main() -> windserve::Result<()> {
     // Per-GPU rate (the paper's x-axis) and trace size.
@@ -18,12 +18,13 @@ fn main() -> windserve::Result<()> {
     let total_rate = cfg.total_rate(rate);
 
     // A synthetic ShareGPT trace (Table 2 statistics), Poisson arrivals.
-    let trace = Trace::generate(
-        &Dataset::sharegpt(2048),
-        &ArrivalProcess::poisson(total_rate),
+    let trace = Scenario::single_shot(
+        Dataset::sharegpt(2048),
+        ArrivalProcess::poisson(total_rate),
         requests,
-        seed,
-    );
+    )
+    .generate(seed)
+    .expect("valid single-shot scenario");
 
     let report = Cluster::new(cfg)?.run(&trace)?;
     print_report(

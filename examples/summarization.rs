@@ -8,19 +8,20 @@
 
 use windserve::{Cluster, ServeConfig, SystemKind};
 use windserve_examples::{parse_args, print_report};
-use windserve_workload::{ArrivalProcess, Dataset, Trace};
+use windserve_workload::{ArrivalProcess, Dataset, Scenario};
 
 fn main() -> windserve::Result<()> {
     let (rate, requests, seed) = parse_args(1.25, 1000);
     let dataset = Dataset::longbench(4096);
     for system in [SystemKind::WindServe, SystemKind::DistServe] {
         let cfg = ServeConfig::llama2_13b_longbench(system);
-        let trace = Trace::generate(
-            &dataset,
-            &ArrivalProcess::poisson(cfg.total_rate(rate)),
+        let trace = Scenario::single_shot(
+            dataset.clone(),
+            ArrivalProcess::poisson(cfg.total_rate(rate)),
             requests,
-            seed,
-        );
+        )
+        .generate(seed)
+        .expect("valid single-shot scenario");
         let report = Cluster::new(cfg)?.run(&trace)?;
         print_report(&format!("summarization @ {rate} req/s/GPU"), &report);
         println!();

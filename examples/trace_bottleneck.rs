@@ -8,7 +8,7 @@
 //! ```
 
 use windserve::prelude::*;
-use windserve_workload::{ArrivalProcess, Dataset};
+use windserve_workload::{ArrivalProcess, Dataset, Scenario};
 
 fn main() -> windserve::Result<()> {
     let rate = 4.0; // req/s/GPU — enough pressure to trigger dispatch
@@ -17,12 +17,13 @@ fn main() -> windserve::Result<()> {
         .decode_parallelism(windserve::Parallelism::tp(1))
         .with_trace(TraceMode::Full)
         .build()?;
-    let trace = Trace::generate(
-        &Dataset::sharegpt(2048),
-        &ArrivalProcess::poisson(cfg.total_rate(rate)),
+    let trace = Scenario::single_shot(
+        Dataset::sharegpt(2048),
+        ArrivalProcess::poisson(cfg.total_rate(rate)),
         requests,
-        0xF1612,
-    );
+    )
+    .generate(0xF1612)
+    .expect("valid single-shot scenario");
     let (report, log) = Cluster::new(cfg)?.run_traced(&trace)?;
 
     println!(

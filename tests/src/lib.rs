@@ -5,26 +5,28 @@
 //! assertions).
 
 use windserve::{Cluster, DrainMode, RunReport, ServeConfig};
-use windserve_workload::{ArrivalProcess, Dataset, Trace};
+use windserve_workload::{ArrivalProcess, Dataset, Scenario, Trace};
 
 /// Builds a ShareGPT-like trace at `total_rate` req/s.
 pub fn sharegpt_trace(total_rate: f64, n: usize, seed: u64) -> Trace {
-    Trace::generate(
-        &Dataset::sharegpt(2048),
-        &ArrivalProcess::poisson(total_rate),
+    Scenario::single_shot(
+        Dataset::sharegpt(2048),
+        ArrivalProcess::poisson(total_rate),
         n,
-        seed,
     )
+    .generate(seed)
+    .expect("valid single-shot scenario")
 }
 
 /// Builds a LongBench-like trace at `total_rate` req/s.
 pub fn longbench_trace(total_rate: f64, n: usize, seed: u64) -> Trace {
-    Trace::generate(
-        &Dataset::longbench(4096),
-        &ArrivalProcess::poisson(total_rate),
+    Scenario::single_shot(
+        Dataset::longbench(4096),
+        ArrivalProcess::poisson(total_rate),
         n,
-        seed,
     )
+    .generate(seed)
+    .expect("valid single-shot scenario")
 }
 
 /// Runs a config against a trace, panicking on any error (integration

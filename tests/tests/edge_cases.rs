@@ -3,7 +3,7 @@
 use windserve::{ServeConfig, SystemKind};
 use windserve_sim::SimTime;
 use windserve_tests::run;
-use windserve_workload::{ArrivalProcess, Dataset, Request, RequestId, Trace};
+use windserve_workload::{ArrivalProcess, Dataset, Request, RequestId, Scenario, Trace};
 
 fn systems() -> [SystemKind; 3] {
     [
@@ -28,12 +28,13 @@ fn single_request_completes() {
 #[test]
 fn one_token_outputs_never_reach_decode() {
     // Every request is fully answered by its prefill.
-    let trace = Trace::generate(
-        &Dataset::fixed(500, 1, 2048),
-        &ArrivalProcess::poisson(8.0),
+    let trace = Scenario::single_shot(
+        Dataset::fixed(500, 1, 2048),
+        ArrivalProcess::poisson(8.0),
         100,
-        1,
-    );
+    )
+    .generate(1)
+    .expect("valid single-shot scenario");
     for system in systems() {
         let report = run(ServeConfig::opt_13b_sharegpt(system), &trace);
         assert_eq!(report.summary.completed, 100, "{}", system.label());
@@ -50,12 +51,13 @@ fn one_token_outputs_never_reach_decode() {
 
 #[test]
 fn max_context_prompts_fit_and_finish() {
-    let trace = Trace::generate(
-        &Dataset::fixed(2040, 8, 2048),
-        &ArrivalProcess::poisson(4.0),
+    let trace = Scenario::single_shot(
+        Dataset::fixed(2040, 8, 2048),
+        ArrivalProcess::poisson(4.0),
         60,
-        2,
-    );
+    )
+    .generate(2)
+    .expect("valid single-shot scenario");
     for system in systems() {
         let report = run(ServeConfig::opt_13b_sharegpt(system), &trace);
         assert_eq!(report.summary.completed, 60, "{}", system.label());
@@ -65,12 +67,13 @@ fn max_context_prompts_fit_and_finish() {
 #[test]
 fn long_generation_requests_finish() {
     // Few requests, each decoding nearly the whole window.
-    let trace = Trace::generate(
-        &Dataset::fixed(16, 2000, 2048),
-        &ArrivalProcess::poisson(1.0),
+    let trace = Scenario::single_shot(
+        Dataset::fixed(16, 2000, 2048),
+        ArrivalProcess::poisson(1.0),
         20,
-        3,
-    );
+    )
+    .generate(3)
+    .expect("valid single-shot scenario");
     for system in systems() {
         let report = run(ServeConfig::opt_13b_sharegpt(system), &trace);
         assert_eq!(report.summary.completed, 20, "{}", system.label());

@@ -5,15 +5,16 @@
 use windserve::prelude::*;
 use windserve::trace::{DispatchVerdict, TraceEvent};
 use windserve_sim::SimDuration;
-use windserve_workload::{ArrivalProcess, Dataset};
+use windserve_workload::{ArrivalProcess, Dataset, Scenario};
 
 fn sharegpt_trace(requests: usize, rate_per_gpu: f64, cfg: &ServeConfig, seed: u64) -> Trace {
-    Trace::generate(
-        &Dataset::sharegpt(2048),
-        &ArrivalProcess::poisson(cfg.total_rate(rate_per_gpu)),
+    Scenario::single_shot(
+        Dataset::sharegpt(2048),
+        ArrivalProcess::poisson(cfg.total_rate(rate_per_gpu)),
         requests,
-        seed,
     )
+    .generate(seed)
+    .expect("valid single-shot scenario")
 }
 
 fn run_traced(cfg: ServeConfig, trace: &Trace) -> (RunReport, TraceLog) {
